@@ -1,0 +1,122 @@
+//! Ablation bench: the four-way interleaving × coalescing design space, plus the
+//! IPC-transport and sync-interleaving ablations called out in DESIGN.md.
+//!
+//! Unlike the figure benches this one reports *simulated makespans* through
+//! Criterion's timing of the planning pipeline, and prints the makespan table once
+//! at start-up so the ablation numbers land in bench_output.txt.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sigmavp::scenario::{run_scenario_with, GpuMode};
+use sigmavp_gpu::engine::{simulate, Engine, GpuOp, StreamId};
+use sigmavp_ipc::message::VpId;
+use sigmavp_ipc::queue::{Job, JobId, JobKind};
+use sigmavp_sched::deps::reorder_critical_path;
+use sigmavp_sched::interleave::reorder_async;
+use sigmavp_gpu::GpuArch;
+use sigmavp_ipc::transport::TransportCost;
+use sigmavp_workloads::app::Application;
+use sigmavp_workloads::apps::MergeSortApp;
+
+fn print_ablation_table() {
+    let app = MergeSortApp { n: 256 };
+    let apps: Vec<&dyn Application> = (0..4).map(|_| &app as &dyn Application).collect();
+    let arch = GpuArch::quadro_4000();
+
+    println!("ablation: mergeSort x4 VPs, device makespans");
+    for (label, mode, cost) in [
+        ("plain + shm", GpuMode::Multiplexed, TransportCost::shared_memory()),
+        ("optimized + shm", GpuMode::MultiplexedOptimized, TransportCost::shared_memory()),
+        ("plain + socket", GpuMode::Multiplexed, TransportCost::socket()),
+        ("optimized + socket", GpuMode::MultiplexedOptimized, TransportCost::socket()),
+    ] {
+        let r = run_scenario_with(&apps, mode, arch.clone(), cost).expect("scenario");
+        println!(
+            "  {label:<20} makespan {:>10.1} us  ipc {:>8.1} us  groups {}",
+            r.device_makespan_s * 1e6,
+            r.ipc_time_s * 1e6,
+            r.coalesced_groups
+        );
+    }
+}
+
+fn print_scheduler_ablation() {
+    // Greedy earliest-start vs critical-path list scheduling on the Fig. 9
+    // pipeline pattern.
+    let mut jobs = Vec::new();
+    let mut id = 0u64;
+    for vp in 0..8u32 {
+        for (seq, (kind, dur)) in [
+            (JobKind::CopyIn { bytes: 0 }, 1.0),
+            (JobKind::Kernel { name: "k".into(), grid_dim: 1, block_dim: 256 }, 1.5),
+            (JobKind::CopyOut { bytes: 0 }, 1.0),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            jobs.push(Job {
+                id: JobId(id),
+                vp: VpId(vp),
+                seq: seq as u64,
+                kind,
+                sync: true,
+                enqueued_at_s: 0.0,
+                expected_duration_s: dur,
+            });
+            id += 1;
+        }
+    }
+    let to_ops = |jobs: &[Job]| -> Vec<GpuOp> {
+        jobs.iter()
+            .map(|j| GpuOp {
+                id: j.id.0,
+                stream: StreamId(j.vp.0),
+                engine: match j.kind {
+                    JobKind::CopyIn { .. } => Engine::CopyH2D,
+                    JobKind::CopyOut { .. } => Engine::CopyD2H,
+                    JobKind::Kernel { .. } => Engine::Compute,
+                },
+                duration_s: j.expected_duration_s,
+                after: vec![],
+            })
+            .collect()
+    };
+    let arch = sigmavp_gpu::GpuArch::quadro_4000();
+    let serial: f64 = jobs.iter().map(|j| j.expected_duration_s).sum();
+    let greedy = simulate(&arch, &to_ops(&reorder_async(jobs.clone()))).makespan_s;
+    let cp = simulate(&arch, &to_ops(&reorder_critical_path(jobs))).makespan_s;
+    println!("ablation: scheduler policy on the 8-VP Fig. 9 pattern (Tm=1, Tk=1.5)");
+    println!("  synchronous serialization {serial:>6.2}");
+    println!("  greedy earliest-start     {greedy:>6.2}");
+    println!("  critical-path list        {cp:>6.2}");
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    print_ablation_table();
+    print_scheduler_ablation();
+    let app = MergeSortApp { n: 128 };
+    let apps: Vec<&dyn Application> = (0..4).map(|_| &app as &dyn Application).collect();
+    let arch = GpuArch::quadro_4000();
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10);
+    g.bench_function("plain", |b| {
+        b.iter(|| {
+            run_scenario_with(&apps, GpuMode::Multiplexed, arch.clone(), TransportCost::shared_memory())
+                .expect("scenario")
+        })
+    });
+    g.bench_function("optimized", |b| {
+        b.iter(|| {
+            run_scenario_with(
+                &apps,
+                GpuMode::MultiplexedOptimized,
+                arch.clone(),
+                TransportCost::shared_memory(),
+            )
+            .expect("scenario")
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

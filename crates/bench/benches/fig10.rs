@@ -1,0 +1,21 @@
+//! Criterion bench: coalescing gather/scatter plus merged execution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sigmavp_bench::fig10::{fig10a, fig10b};
+use sigmavp_gpu::GpuArch;
+
+fn bench_fig10(c: &mut Criterion) {
+    let arch = GpuArch::quadro_4000();
+    let mut g = c.benchmark_group("fig10_coalesce");
+    g.sample_size(10);
+    for n in [4u32, 16] {
+        g.bench_with_input(BenchmarkId::new("split", n), &n, |b, &n| {
+            b.iter(|| fig10a(&arch, &[n]))
+        });
+    }
+    g.bench_function("staircase_16", |b| b.iter(|| fig10b(&arch, 16)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion bench: full multi-VP scenario throughput (simulator performance).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sigmavp::scenario::{run_scenario, GpuMode};
+use sigmavp_workloads::app::Application;
+use sigmavp_workloads::apps::BlackScholesApp;
+
+fn bench_fig11(c: &mut Criterion) {
+    let app = BlackScholesApp { n: 1024, iterations: 2, ..BlackScholesApp::new(1) };
+    let apps: Vec<&dyn Application> = (0..4).map(|_| &app as &dyn Application).collect();
+    let mut g = c.benchmark_group("fig11_scenario");
+    g.sample_size(10);
+    g.bench_function("emulated_on_vp", |b| {
+        b.iter(|| run_scenario(&apps, GpuMode::EmulatedOnVp).expect("scenario"))
+    });
+    g.bench_function("multiplexed", |b| {
+        b.iter(|| run_scenario(&apps, GpuMode::Multiplexed).expect("scenario"))
+    });
+    g.bench_function("multiplexed_optimized", |b| {
+        b.iter(|| run_scenario(&apps, GpuMode::MultiplexedOptimized).expect("scenario"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig11);
+criterion_main!(benches);

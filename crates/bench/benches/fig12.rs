@@ -1,0 +1,20 @@
+//! Criterion bench: the profile-based estimation pipeline (Figs. 12 and 13).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sigmavp_bench::fig12::estimate_app;
+use sigmavp_bench::fig13::estimate_app_power;
+use sigmavp_gpu::GpuArch;
+use sigmavp_workloads::apps::BlackScholesApp;
+
+fn bench_estimation(c: &mut Criterion) {
+    let app = BlackScholesApp { n: 4096, iterations: 1, ..BlackScholesApp::new(1) };
+    let host = GpuArch::quadro_4000();
+    let mut g = c.benchmark_group("fig12_13_estimation");
+    g.sample_size(10);
+    g.bench_function("timing_pipeline", |b| b.iter(|| estimate_app(&app, &host)));
+    g.bench_function("power_pipeline", |b| b.iter(|| estimate_app_power(&app, &host)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_estimation);
+criterion_main!(benches);

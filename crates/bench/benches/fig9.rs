@@ -1,0 +1,19 @@
+//! Criterion bench: interleaving scheduler + engine timeline throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sigmavp_bench::fig9::measure;
+use sigmavp_gpu::GpuArch;
+
+fn bench_fig9(c: &mut Criterion) {
+    let arch = GpuArch::quadro_4000();
+    let mut g = c.benchmark_group("fig9_interleave");
+    for n in [2u32, 8, 32, 128] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| measure(&arch, n, 13.44e-3, 13.44e-3))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

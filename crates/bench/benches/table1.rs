@@ -1,0 +1,20 @@
+//! Criterion bench: how fast the simulator runs the Table 1 path comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sigmavp::paths::run_table1;
+use sigmavp_workloads::apps::MatrixMulApp;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    g.bench_function("six_paths_matmul_24", |b| {
+        b.iter(|| {
+            let app = MatrixMulApp::with_shape(24, 1);
+            run_table1(&app, 2 * 24u64.pow(3)).expect("paths run")
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

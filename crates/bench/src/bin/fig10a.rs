@@ -1,0 +1,9 @@
+//! Regenerate Fig. 10a (coalescing effectiveness).
+
+use sigmavp_gpu::GpuArch;
+
+fn main() {
+    let arch = GpuArch::quadro_4000();
+    let pts = sigmavp_bench::fig10::fig10a(&arch, &[1, 2, 4, 8, 16, 32, 64]);
+    sigmavp_bench::fig10::print_fig10a(&pts);
+}

@@ -1,0 +1,9 @@
+//! Regenerate Fig. 10b (grid-size staircase).
+
+use sigmavp_gpu::GpuArch;
+
+fn main() {
+    let arch = GpuArch::quadro_4000();
+    let pts = sigmavp_bench::fig10::fig10b(&arch, 64);
+    sigmavp_bench::fig10::print_fig10b(&pts);
+}

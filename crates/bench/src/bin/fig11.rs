@@ -1,0 +1,18 @@
+//! Regenerate Fig. 11 (full suite, 8 VPs, three configurations).
+//!
+//! ```text
+//! fig11 [scale] [n_vps]    # defaults: scale 6, 8 VPs
+//! ```
+//!
+//! Larger scales grow every workload linearly and push the speedups toward the
+//! asymptotic emulation/device per-instruction ratio.
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let scale: u32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(6);
+    let n_vps: usize =
+        args.next().and_then(|a| a.parse().ok()).unwrap_or(sigmavp_bench::fig11::N_VPS);
+    eprintln!("running the Fig. 11 suite at scale {scale} with {n_vps} VPs per app...");
+    let rows = sigmavp_bench::fig11::run(scale, n_vps);
+    sigmavp_bench::fig11::print(&rows);
+}

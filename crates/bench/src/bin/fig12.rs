@@ -1,0 +1,6 @@
+//! Regenerate Fig. 12 (timing estimation accuracy).
+
+fn main() {
+    let records = sigmavp_bench::fig12::run();
+    sigmavp_bench::fig12::print(&records);
+}

@@ -1,0 +1,8 @@
+//! Extended Fig. 12: timing-estimation accuracy across the *whole* 22-app suite
+//! (the paper evaluates four applications; this sweep shows the pipeline
+//! generalizes over the full instruction-mix spectrum).
+
+fn main() {
+    let records = sigmavp_bench::fig12::run_suite_sweep();
+    sigmavp_bench::fig12::print(&records);
+}

@@ -1,0 +1,6 @@
+//! Regenerate Fig. 13 (power estimation accuracy).
+
+fn main() {
+    let records = sigmavp_bench::fig13::run();
+    sigmavp_bench::fig13::print(&records);
+}

@@ -1,0 +1,9 @@
+//! Regenerate Fig. 9a (interleaving speedup vs kernel length).
+
+use sigmavp_gpu::GpuArch;
+
+fn main() {
+    let arch = GpuArch::quadro_4000();
+    let pts = sigmavp_bench::fig9::fig9a(&arch);
+    sigmavp_bench::fig9::print_fig9a(&pts);
+}

@@ -1,0 +1,9 @@
+//! Regenerate Fig. 9b (interleaving speedup vs number of programs).
+
+use sigmavp_gpu::GpuArch;
+
+fn main() {
+    let arch = GpuArch::quadro_4000();
+    let pts = sigmavp_bench::fig9::fig9b(&arch);
+    sigmavp_bench::fig9::print_fig9b(&pts);
+}

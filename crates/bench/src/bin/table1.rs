@@ -1,0 +1,6 @@
+//! Regenerate Table 1 of the paper.
+
+fn main() {
+    let t = sigmavp_bench::table1::run();
+    sigmavp_bench::table1::print(&t);
+}

@@ -1,0 +1,67 @@
+//! Export a Chrome trace (chrome://tracing / Perfetto) of a multi-VP device
+//! timeline, with and without the ΣVP optimizations.
+//!
+//! ```text
+//! cargo run --release -p sigmavp-bench --bin trace > timeline.json
+//! ```
+
+use sigmavp_gpu::engine::{simulate, GpuOp, StreamId, Engine};
+use sigmavp_gpu::GpuArch;
+use sigmavp_ipc::message::VpId;
+use sigmavp_ipc::queue::{Job, JobId, JobKind};
+use sigmavp_sched::interleave::reorder_async;
+
+fn jobs(n: u32) -> Vec<Job> {
+    let mut out = Vec::new();
+    let mut id = 0;
+    for vp in 0..n {
+        for (seq, (kind, dur)) in [
+            (JobKind::CopyIn { bytes: 0 }, 1.0),
+            (JobKind::Kernel { name: "k".into(), grid_dim: 1, block_dim: 256 }, 1.2),
+            (JobKind::CopyOut { bytes: 0 }, 1.0),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            out.push(Job {
+                id: JobId(id),
+                vp: VpId(vp),
+                seq: seq as u64,
+                kind,
+                sync: true,
+                enqueued_at_s: 0.0,
+                expected_duration_s: dur,
+            });
+            id += 1;
+        }
+    }
+    out
+}
+
+fn to_ops(jobs: &[Job]) -> Vec<GpuOp> {
+    jobs.iter()
+        .map(|j| GpuOp {
+            id: j.id.0,
+            stream: StreamId(j.vp.0),
+            engine: match j.kind {
+                JobKind::CopyIn { .. } => Engine::CopyH2D,
+                JobKind::CopyOut { .. } => Engine::CopyD2H,
+                JobKind::Kernel { .. } => Engine::Compute,
+            },
+            duration_s: j.expected_duration_s,
+            after: vec![],
+        })
+        .collect()
+}
+
+fn main() {
+    let arch = GpuArch::quadro_4000();
+    let reordered = reorder_async(jobs(6));
+    let timeline = simulate(&arch, &to_ops(&reordered));
+    eprintln!(
+        "interleaved 6-VP timeline: makespan {:.2}, compute utilization {:.0}%",
+        timeline.makespan_s,
+        timeline.utilization(Engine::Compute) * 100.0
+    );
+    println!("{}", timeline.to_chrome_trace());
+}

@@ -1,0 +1,269 @@
+//! Fig. 10: Kernel Coalescing experiments with the real `vectorAdd` kernel.
+//!
+//! * **Fig. 10a** — a fixed total amount of work (64 × 512 elements) is split over
+//!   N programs; coalescing merges them back into one launch over contiguous
+//!   memory. The measured speedup grows with N because each un-coalesced program
+//!   pays its own launch overhead and wastes its own partially filled wave.
+//! * **Fig. 10b** — a single kernel's execution time as the grid grows from 1 to
+//!   64 blocks of 512 threads: a staircase whose treads are the device's
+//!   wave quantum (`Texpect = To + Te·⌈ξ/λ⌉`, Eq. 9).
+//!
+//! Both experiments *really execute* the kernel (data in, data out) and, for
+//! Fig. 10a, really gather/scatter member buffers through the
+//! [`MemoryLayout`] planner, validating the
+//! merged results against per-program execution.
+
+use sigmavp_gpu::{GpuArch, GpuDevice};
+use sigmavp_sched::coalesce::MemoryLayout;
+use sigmavp_sptx::interp::{LaunchConfig, ParamValue};
+use sigmavp_workloads::kernels::{monte_carlo, vector_add};
+use sigmavp_workloads::util::{bytes_to_f32s, f32s_to_bytes};
+
+/// Total elements, matching the paper's 64 grids × 512 threads shape.
+pub const TOTAL_ELEMENTS: u64 = 64 * 512;
+
+/// Threads per block throughout.
+pub const BLOCK: u32 = 512;
+
+/// One Fig. 10a data point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoalescePoint {
+    /// Programs the work was split into.
+    pub n_programs: u32,
+    /// Total simulated time running them separately, seconds.
+    pub separate_s: f64,
+    /// Simulated time of the single coalesced execution, seconds.
+    pub coalesced_s: f64,
+}
+
+impl CoalescePoint {
+    /// The speedup coalescing delivers at this point.
+    pub fn speedup(&self) -> f64 {
+        self.separate_s / self.coalesced_s
+    }
+}
+
+/// Run Fig. 10a for the given split counts. Every point executes both ways and
+/// cross-validates the numerical results.
+///
+/// # Panics
+///
+/// Panics on any device fault or validation mismatch.
+pub fn fig10a(arch: &GpuArch, splits: &[u32]) -> Vec<CoalescePoint> {
+    let program = vector_add();
+    splits
+        .iter()
+        .map(|&n| {
+            let per = TOTAL_ELEMENTS / n as u64;
+            let a: Vec<f32> = (0..TOTAL_ELEMENTS).map(|i| i as f32 * 0.5).collect();
+            let b: Vec<f32> = (0..TOTAL_ELEMENTS).map(|i| 100.0 - i as f32 * 0.25).collect();
+
+            // Separate: N programs, each with its own buffers, copies and launch.
+            let mut dev = GpuDevice::new(arch.clone());
+            let mut separate_s = 0.0;
+            let mut separate_out = Vec::with_capacity(TOTAL_ELEMENTS as usize);
+            for p in 0..n as u64 {
+                let lo = (p * per) as usize;
+                let hi = (lo + per as usize).min(TOTAL_ELEMENTS as usize);
+                let pa = f32s_to_bytes(&a[lo..hi]);
+                let pb = f32s_to_bytes(&b[lo..hi]);
+                let da = dev.malloc(pa.len() as u64).expect("alloc a");
+                let db = dev.malloc(pb.len() as u64).expect("alloc b");
+                let dc = dev.malloc(pa.len() as u64).expect("alloc c");
+                separate_s += dev.memcpy_h2d(da, &pa).expect("h2d a");
+                separate_s += dev.memcpy_h2d(db, &pb).expect("h2d b");
+                let cfg = LaunchConfig::covering((hi - lo) as u64, BLOCK);
+                let run = dev
+                    .launch(
+                        &program,
+                        &cfg,
+                        &[
+                            ParamValue::Ptr(da.addr()),
+                            ParamValue::Ptr(db.addr()),
+                            ParamValue::Ptr(dc.addr()),
+                            ParamValue::I64((hi - lo) as i64),
+                        ],
+                    )
+                    .expect("separate launch");
+                separate_s += run.cost.time_s;
+                let mut out = vec![0u8; pa.len()];
+                separate_s += dev.memcpy_d2h(&mut out, dc).expect("d2h");
+                separate_out.extend(bytes_to_f32s(&out));
+                for buf in [da, db, dc] {
+                    dev.free(buf).expect("free");
+                }
+            }
+
+            // Coalesced: gather members into one contiguous buffer per argument,
+            // one set of copies, one launch, scatter back (Fig. 5).
+            let sizes: Vec<u64> = (0..n as u64).map(|_| per * 4).collect();
+            let layout = MemoryLayout::contiguous(&sizes, 4);
+            let bytes_a = f32s_to_bytes(&a);
+            let bytes_b = f32s_to_bytes(&b);
+            let gathered_a = layout.gather(
+                &(0..n as usize)
+                    .map(|p| &bytes_a[p * (per as usize) * 4..(p + 1) * (per as usize) * 4])
+                    .collect::<Vec<_>>(),
+            );
+            let gathered_b = layout.gather(
+                &(0..n as usize)
+                    .map(|p| &bytes_b[p * (per as usize) * 4..(p + 1) * (per as usize) * 4])
+                    .collect::<Vec<_>>(),
+            );
+
+            let mut dev = GpuDevice::new(arch.clone());
+            let da = dev.malloc(gathered_a.len() as u64).expect("alloc merged a");
+            let db = dev.malloc(gathered_b.len() as u64).expect("alloc merged b");
+            let dc = dev.malloc(gathered_a.len() as u64).expect("alloc merged c");
+            let mut coalesced_s = 0.0;
+            coalesced_s += dev.memcpy_h2d(da, &gathered_a).expect("merged h2d a");
+            coalesced_s += dev.memcpy_h2d(db, &gathered_b).expect("merged h2d b");
+            let cfg = LaunchConfig::covering(TOTAL_ELEMENTS, BLOCK);
+            let run = dev
+                .launch(
+                    &program,
+                    &cfg,
+                    &[
+                        ParamValue::Ptr(da.addr()),
+                        ParamValue::Ptr(db.addr()),
+                        ParamValue::Ptr(dc.addr()),
+                        ParamValue::I64(TOTAL_ELEMENTS as i64),
+                    ],
+                )
+                .expect("merged launch");
+            coalesced_s += run.cost.time_s;
+            let mut merged_out = vec![0u8; gathered_a.len()];
+            coalesced_s += dev.memcpy_d2h(&mut merged_out, dc).expect("merged d2h");
+            let scattered = layout.scatter(&merged_out);
+
+            // Cross-validate: coalesced execution must produce the same sums.
+            let coalesced_out: Vec<f32> =
+                scattered.iter().flat_map(|part| bytes_to_f32s(part)).collect();
+            assert_eq!(coalesced_out.len(), separate_out.len());
+            for (i, (c, s)) in coalesced_out.iter().zip(&separate_out).enumerate() {
+                assert_eq!(c, s, "element {i} differs between coalesced and separate runs");
+            }
+
+            CoalescePoint { n_programs: n, separate_s, coalesced_s }
+        })
+        .collect()
+}
+
+/// One Fig. 10b data point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StaircasePoint {
+    /// Grid size in blocks.
+    pub grid: u32,
+    /// Measured kernel time, seconds.
+    pub time_s: f64,
+    /// Expected time from Eq. 9: `To + Te·⌈grid/λ⌉`.
+    pub expected_s: f64,
+}
+
+/// Monte-Carlo paths per thread for the Fig. 10b kernel — enough in-register work
+/// that one wave dwarfs the fixed launch overhead (like the paper's
+/// hundreds-of-milliseconds kernel) while keeping memory traffic negligible, so
+/// the treads stay flat.
+pub const FIG10B_PATHS: i64 = 12;
+
+fn launch_staircase_kernel(arch: &GpuArch, grid: u32) -> f64 {
+    let program = monte_carlo();
+    let threads = grid as u64 * BLOCK as u64;
+    let mut dev = GpuDevice::new(arch.clone());
+    let dout = dev.malloc(threads * 4).expect("alloc out");
+    let run = dev
+        .launch(
+            &program,
+            &LaunchConfig::linear(grid, BLOCK),
+            &[ParamValue::Ptr(dout.addr()), ParamValue::I64(threads as i64), ParamValue::I64(FIG10B_PATHS)],
+        )
+        .expect("staircase launch");
+    run.cost.time_s
+}
+
+/// Run Fig. 10b: kernel time as the grid grows from 1 to `max_grid` blocks.
+///
+/// # Panics
+///
+/// Panics on any device fault.
+pub fn fig10b(arch: &GpuArch, max_grid: u32) -> Vec<StaircasePoint> {
+    let lambda = arch.blocks_per_wave(BLOCK) as u64;
+    let to = arch.launch_overhead_us * 1e-6;
+    // Te: one wave's execution time, measured from a single full-wave launch.
+    let te = launch_staircase_kernel(arch, lambda as u32) - to;
+
+    (1..=max_grid)
+        .map(|grid| {
+            let time_s = launch_staircase_kernel(arch, grid);
+            let expected_s = to + te * (grid as u64).div_ceil(lambda) as f64;
+            StaircasePoint { grid, time_s, expected_s }
+        })
+        .collect()
+}
+
+/// Print Fig. 10a.
+pub fn print_fig10a(points: &[CoalescePoint]) {
+    println!("Fig. 10a: vectorAdd coalescing ({TOTAL_ELEMENTS} total elements)");
+    println!("{:>4} {:>14} {:>14} {:>9}", "N", "separate", "coalesced", "speedup");
+    for p in points {
+        println!(
+            "{:>4} {:>14} {:>14} {:>9.2}",
+            p.n_programs,
+            crate::fmt_time(p.separate_s),
+            crate::fmt_time(p.coalesced_s),
+            p.speedup()
+        );
+    }
+    println!();
+}
+
+/// Print Fig. 10b.
+pub fn print_fig10b(points: &[StaircasePoint]) {
+    println!("Fig. 10b: kernel time vs grid size (block = {BLOCK} threads)");
+    println!("{:>5} {:>12} {:>12}", "grid", "measured", "expected");
+    for p in points {
+        println!("{:>5} {:>12} {:>12}", p.grid, crate::fmt_time(p.time_s), crate::fmt_time(p.expected_s));
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig10a_speedup_grows_with_n() {
+        let arch = GpuArch::quadro_4000();
+        let pts = fig10a(&arch, &[1, 4, 16]);
+        assert!((pts[0].speedup() - 1.0).abs() < 0.05, "N=1 is the baseline");
+        assert!(pts[1].speedup() > pts[0].speedup());
+        assert!(pts[2].speedup() > pts[1].speedup());
+        // Paper: 10.54x at 16 programs; accept the 4x–40x band for the substrate.
+        assert!(
+            pts[2].speedup() > 4.0 && pts[2].speedup() < 40.0,
+            "speedup at 16: {:.2}",
+            pts[2].speedup()
+        );
+    }
+
+    #[test]
+    fn fig10b_is_a_staircase() {
+        let arch = GpuArch::quadro_4000();
+        let lambda = arch.blocks_per_wave(BLOCK);
+        let pts = fig10b(&arch, 2 * lambda);
+        // Grids within one wave cost nearly the same (ideal cycles are identical;
+        // only the cache-stall term varies slightly with the data size).
+        for w in pts[..lambda as usize].windows(2) {
+            let delta = (w[0].time_s - w[1].time_s).abs() / w[0].time_s;
+            assert!(delta < 0.05, "tread not flat: {delta:.3}");
+        }
+        // The first grid of the next wave steps up by more than any within-wave
+        // wiggle.
+        let step = pts[lambda as usize].time_s - pts[lambda as usize - 1].time_s;
+        assert!(step / pts[lambda as usize - 1].time_s > 0.10, "no riser at the wave boundary");
+        // Eq. 9 predicts the measurements closely.
+        for p in &pts {
+            assert!((p.time_s - p.expected_s).abs() / p.expected_s < 0.10, "grid {}", p.grid);
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Fig. 12: timing-estimation accuracy.
+//!
+//! For {BlackScholes, MatrixMul, DCT8x8, Mandelbrot} × host GPUs {Quadro 4000,
+//! Grid K520}: profile the dominant kernel on the host, derive σ for the Tegra K1,
+//! evaluate C / C′ / C″, and compare against the "measured" target time — the
+//! target device pricing the target-compiled (expanded) execution. All five series
+//! are reported normalized by the measured target time, exactly like the paper's
+//! bars.
+
+use sigmavp_estimate::accuracy::NormalizedRecord;
+use sigmavp_estimate::compile::TargetCompilation;
+use sigmavp_estimate::timing::estimate_timing;
+use sigmavp_gpu::{GpuArch, GpuDevice};
+use sigmavp_workloads::app::Application;
+use sigmavp_workloads::apps::{BlackScholesApp, Dct8x8App, MandelbrotApp, MatrixMulApp};
+
+use crate::profiles::{dominant_launch, host_profiles, profile_from_hw};
+
+/// The four estimation applications at a size big enough to exercise the caches.
+pub fn estimation_apps() -> Vec<Box<dyn Application>> {
+    vec![
+        Box::new(BlackScholesApp { n: 16 * 1024, iterations: 1, ..BlackScholesApp::new(1) }),
+        Box::new(MatrixMulApp::with_shape(64, 1)),
+        Box::new(Dct8x8App { nblocks: 64 }),
+        Box::new(MandelbrotApp { width: 128, height: 64, maxiter: 96 }),
+    ]
+}
+
+/// The two host GPUs of the paper.
+pub fn host_gpus() -> Vec<GpuArch> {
+    vec![GpuArch::quadro_4000(), GpuArch::grid_k520()]
+}
+
+/// Run Fig. 12 for one application on one host GPU.
+///
+/// # Panics
+///
+/// Panics if the application fails or launches no kernels.
+pub fn estimate_app(app: &dyn Application, host: &GpuArch) -> NormalizedRecord {
+    let target = GpuArch::tegra_k1();
+    let compilation = TargetCompilation::tegra_k1();
+
+    let log = host_profiles(app, host.clone());
+    let hw = dominant_launch(&log);
+    let program = app
+        .kernels()
+        .into_iter()
+        .find(|k| k.name() == hw.kernel)
+        .expect("dominant kernel is one of the app's kernels");
+
+    let est = estimate_timing(&program, hw, host, &target, &compilation);
+
+    // "Measured" target time: the target device pricing the target-compiled
+    // execution profile (the embedded binary really contains the expanded
+    // instruction stream).
+    let target_dev = GpuDevice::new(target);
+    let expanded = compilation.apply_profile(&profile_from_hw(hw));
+    let measured = target_dev.price(&expanded, &hw.launch);
+
+    NormalizedRecord {
+        app: app.name().to_string(),
+        host_gpu: host.name.clone(),
+        host_s: hw.time_s,
+        target_s: measured.time_s,
+        c1_s: est.et1_s,
+        c2_s: est.et2_s,
+        c3_s: est.et3_s,
+    }
+}
+
+/// Extended sweep: estimation accuracy for *every* suite application on the
+/// primary host GPU — beyond the paper's four apps, this checks that the pipeline
+/// generalizes across the whole instruction-mix spectrum (pure-FP to pure-integer
+/// to memory-bound kernels).
+pub fn run_suite_sweep() -> Vec<NormalizedRecord> {
+    sigmavp_workloads::suite::fig11_suite(1)
+        .iter()
+        .map(|app| estimate_app(app.as_ref(), &GpuArch::quadro_4000()))
+        .collect()
+}
+
+/// Run the full Fig. 12 grid.
+pub fn run() -> Vec<NormalizedRecord> {
+    let mut out = Vec::new();
+    for host in host_gpus() {
+        for app in estimation_apps() {
+            out.push(estimate_app(app.as_ref(), &host));
+        }
+    }
+    out
+}
+
+/// Print the Fig. 12 table (normalized, T ≡ 1).
+pub fn print(records: &[NormalizedRecord]) {
+    println!("Fig. 12: normalized execution times on the Tegra K1 target");
+    println!(
+        "{:<16} {:<12} {:>7} {:>7} {:>7} {:>7} {:>7}",
+        "application", "host GPU", "H", "T", "C", "C'", "C''"
+    );
+    println!("{}", "-".repeat(70));
+    for r in records {
+        let n = r.normalized();
+        println!(
+            "{:<16} {:<12} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>7.3}",
+            r.app, r.host_gpu, n[0], n[1], n[2], n[3], n[4]
+        );
+    }
+    let worst_c3 = records
+        .iter()
+        .map(|r| r.model_errors()[2])
+        .fold(0.0f64, f64::max);
+    println!();
+    println!("worst C'' error: {:.1}% (paper: estimates close to 1 on both hosts)", worst_c3 * 100.0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c_double_prime_is_accurate_across_hosts_and_apps() {
+        for host in host_gpus() {
+            for app in estimation_apps() {
+                let r = estimate_app(app.as_ref(), &host);
+                let e = r.model_errors();
+                assert!(
+                    e[2] < 0.40,
+                    "{} on {}: C'' error {:.2}",
+                    r.app,
+                    r.host_gpu,
+                    e[2]
+                );
+                // Host execution is much faster than the target (paper: "execution
+                // times observed on the host GPU are much shorter").
+                assert!(r.host_s < r.target_s * 0.7, "{} host not faster", r.app);
+            }
+        }
+    }
+
+    #[test]
+    fn estimation_generalizes_across_the_whole_suite() {
+        let records = run_suite_sweep();
+        assert!(records.len() >= 20);
+        let errors: Vec<f64> = records.iter().map(|r| r.model_errors()[2]).collect();
+        let mean = errors.iter().sum::<f64>() / errors.len() as f64;
+        let worst = errors.iter().cloned().fold(0.0f64, f64::max);
+        assert!(mean < 0.25, "mean C'' error {mean:.3}");
+        assert!(worst < 0.60, "worst C'' error {worst:.3}");
+    }
+
+    #[test]
+    fn refinement_helps_on_average() {
+        let records = run();
+        let mean = |i: usize| {
+            records.iter().map(|r| r.model_errors()[i]).sum::<f64>() / records.len() as f64
+        };
+        let (e1, e3) = (mean(0), mean(2));
+        assert!(e3 <= e1 + 0.02, "C'' mean {e3:.3} vs C mean {e1:.3}");
+    }
+}

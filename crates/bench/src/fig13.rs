@@ -1,0 +1,107 @@
+//! Fig. 13: power-estimation accuracy.
+//!
+//! Same grid as Fig. 12, but comparing the Eq. 6 power estimate `P{K,T}` against
+//! the "measured" target power — the target device's ground-truth energy
+//! accounting (which, unlike the estimator, also charges DRAM-traffic energy, so
+//! measured and estimated genuinely differ).
+
+use sigmavp_estimate::accuracy::PowerRecord;
+use sigmavp_estimate::compile::TargetCompilation;
+use sigmavp_estimate::power::estimate_power;
+use sigmavp_estimate::timing::estimate_timing;
+use sigmavp_gpu::{GpuArch, GpuDevice};
+use sigmavp_workloads::app::Application;
+
+use crate::fig12::{estimation_apps, host_gpus};
+use crate::profiles::{dominant_launch, host_profiles, profile_from_hw};
+
+/// Run Fig. 13 for one application on one host GPU.
+///
+/// # Panics
+///
+/// Panics if the application fails or launches no kernels.
+pub fn estimate_app_power(app: &dyn Application, host: &GpuArch) -> PowerRecord {
+    let target = GpuArch::tegra_k1();
+    let compilation = TargetCompilation::tegra_k1();
+
+    let log = host_profiles(app, host.clone());
+    let hw = dominant_launch(&log);
+    let program = app
+        .kernels()
+        .into_iter()
+        .find(|k| k.name() == hw.kernel)
+        .expect("dominant kernel is registered");
+
+    let est = estimate_timing(&program, hw, host, &target, &compilation);
+    let estimated = estimate_power(&est.sigma_target, est.et3_s, &target);
+
+    let target_dev = GpuDevice::new(target);
+    let expanded = compilation.apply_profile(&profile_from_hw(hw));
+    let measured = target_dev.price(&expanded, &hw.launch);
+
+    PowerRecord {
+        app: app.name().to_string(),
+        host_gpu: host.name.clone(),
+        measured_w: measured.power_w,
+        estimated_w: estimated.total_w(),
+    }
+}
+
+/// Run the full Fig. 13 grid.
+pub fn run() -> Vec<PowerRecord> {
+    let mut out = Vec::new();
+    for host in host_gpus() {
+        for app in estimation_apps() {
+            out.push(estimate_app_power(app.as_ref(), &host));
+        }
+    }
+    out
+}
+
+/// Print the Fig. 13 table (normalized, T ≡ 1).
+pub fn print(records: &[PowerRecord]) {
+    println!("Fig. 13: normalized power dissipation on the Tegra K1 target");
+    println!(
+        "{:<16} {:<12} {:>10} {:>10} {:>8}",
+        "application", "host GPU", "T (watts)", "P (watts)", "error"
+    );
+    println!("{}", "-".repeat(62));
+    for r in records {
+        println!(
+            "{:<16} {:<12} {:>10.2} {:>10.2} {:>7.1}%",
+            r.app,
+            r.host_gpu,
+            r.measured_w,
+            r.estimated_w,
+            r.relative_error() * 100.0
+        );
+    }
+    let worst = records.iter().map(PowerRecord::relative_error).fold(0.0f64, f64::max);
+    println!();
+    println!("worst error: {:.1}% (paper: within about 10%)", worst * 100.0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_estimates_are_near_measured() {
+        for host in host_gpus() {
+            for app in estimation_apps() {
+                let r = estimate_app_power(app.as_ref(), &host);
+                assert!(
+                    r.relative_error() < 0.35,
+                    "{} on {}: power error {:.2} ({} vs {} W)",
+                    r.app,
+                    r.host_gpu,
+                    r.relative_error(),
+                    r.estimated_w,
+                    r.measured_w
+                );
+                // Embedded-scale magnitudes (single-digit to low-double-digit W).
+                assert!(r.measured_w > 1.0 && r.measured_w < 40.0, "{}", r.measured_w);
+            }
+        }
+    }
+}

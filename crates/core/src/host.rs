@@ -1,0 +1,283 @@
+//! The host-side ΣVP runtime: Job Dispatcher plus record keeping.
+//!
+//! "The Job Dispatcher links the requests to the GPU driver library on the host
+//! machine and invokes the physical GPU instructions based on the requests in the
+//! Job Queue" (paper, Section 2). [`HostRuntime::process`] is that dispatcher: it
+//! receives decoded request [`Envelope`]s, executes them on the simulated host
+//! [`GpuDevice`] (functionally — real data moves), and emits response envelopes.
+//! Every device-touching request also appends a [`JobRecord`] so the scenario
+//! engine can replay the job stream through the two-engine timeline model with and
+//! without the re-scheduler's optimizations.
+
+use std::collections::HashMap;
+
+use sigmavp_gpu::alloc::DeviceBuffer;
+use sigmavp_gpu::{GpuArch, GpuDevice};
+use sigmavp_ipc::message::{Envelope, Request, Response, ResponseEnvelope, VpId, WireParam};
+use sigmavp_sptx::interp::{LaunchConfig, ParamValue};
+use sigmavp_vp::registry::KernelRegistry;
+
+/// What one dispatched job did on the device.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecordKind {
+    /// Host-to-device transfer.
+    H2d {
+        /// Bytes moved.
+        bytes: u64,
+        /// Guest stream (0 = default).
+        stream: u32,
+    },
+    /// Device-to-host transfer.
+    D2h {
+        /// Bytes moved.
+        bytes: u64,
+        /// Guest stream (0 = default).
+        stream: u32,
+    },
+    /// A kernel launch.
+    Kernel {
+        /// Kernel name.
+        name: String,
+        /// Grid size in blocks.
+        grid_dim: u32,
+        /// Block size in threads.
+        block_dim: u32,
+        /// Fixed launch overhead included in `duration_s`.
+        launch_overhead_s: f64,
+        /// Waves the grid occupied on the host device.
+        waves: u64,
+        /// Guest stream the launch belongs to (0 = default).
+        stream: u32,
+    },
+}
+
+/// One device-touching job, in dispatch order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRecord {
+    /// Originating VP.
+    pub vp: VpId,
+    /// The VP's request sequence number.
+    pub seq: u64,
+    /// What ran.
+    pub kind: RecordKind,
+    /// Device time the job took, in simulated seconds.
+    pub duration_s: f64,
+}
+
+/// The host-side runtime: device, kernel registry, handle table and job log.
+#[derive(Debug)]
+pub struct HostRuntime {
+    device: GpuDevice,
+    registry: KernelRegistry,
+    handles: HashMap<u64, DeviceBuffer>,
+    next_handle: u64,
+    records: Vec<JobRecord>,
+}
+
+impl HostRuntime {
+    /// A runtime over a host GPU of architecture `arch` serving kernels from
+    /// `registry`.
+    pub fn new(arch: GpuArch, registry: KernelRegistry) -> Self {
+        HostRuntime {
+            device: GpuDevice::new(arch),
+            registry,
+            handles: HashMap::new(),
+            next_handle: 1,
+            records: Vec::new(),
+        }
+    }
+
+    /// The underlying device (for profiler-log access).
+    pub fn device(&self) -> &GpuDevice {
+        &self.device
+    }
+
+    /// The job log so far, in dispatch order.
+    pub fn records(&self) -> &[JobRecord] {
+        &self.records
+    }
+
+    /// Drain and return the job log.
+    pub fn take_records(&mut self) -> Vec<JobRecord> {
+        std::mem::take(&mut self.records)
+    }
+
+    /// Dispatch one request, returning the response. All failures are reported to
+    /// the guest as [`Response::Error`] (the host never panics on guest input).
+    pub fn process(&mut self, envelope: &Envelope) -> ResponseEnvelope {
+        let body = match self.dispatch(envelope) {
+            Ok(r) => r,
+            Err(message) => Response::Error { message },
+        };
+        ResponseEnvelope { vp: envelope.vp, seq: envelope.seq, sent_at_s: envelope.sent_at_s, body }
+    }
+
+    fn dispatch(&mut self, envelope: &Envelope) -> Result<Response, String> {
+        match &envelope.body {
+            Request::Malloc { bytes } => {
+                let buf = self.device.malloc(*bytes).map_err(|e| e.to_string())?;
+                let handle = self.next_handle;
+                self.next_handle += 1;
+                self.handles.insert(handle, buf);
+                Ok(Response::Malloc { handle })
+            }
+            Request::Free { handle } => {
+                let buf = self.handles.remove(handle).ok_or(format!("unknown handle {handle}"))?;
+                self.device.free(buf).map_err(|e| e.to_string())?;
+                Ok(Response::Done)
+            }
+            Request::MemcpyH2D { handle, data, stream } => {
+                let buf = self.buffer(*handle)?;
+                let t = self.device.memcpy_h2d(buf, data).map_err(|e| e.to_string())?;
+                self.records.push(JobRecord {
+                    vp: envelope.vp,
+                    seq: envelope.seq,
+                    kind: RecordKind::H2d { bytes: data.len() as u64, stream: *stream },
+                    duration_s: t,
+                });
+                Ok(Response::Done)
+            }
+            Request::MemcpyD2H { handle, len, stream } => {
+                let buf = self.buffer(*handle)?;
+                if buf.len() != *len {
+                    return Err(format!("buffer is {} bytes, requested {len}", buf.len()));
+                }
+                let mut out = vec![0u8; *len as usize];
+                let t = self.device.memcpy_d2h(&mut out, buf).map_err(|e| e.to_string())?;
+                self.records.push(JobRecord {
+                    vp: envelope.vp,
+                    seq: envelope.seq,
+                    kind: RecordKind::D2h { bytes: *len, stream: *stream },
+                    duration_s: t,
+                });
+                Ok(Response::Data { data: out })
+            }
+            Request::Launch { kernel, grid_dim, block_dim, params, stream, .. } => {
+                let program = self.registry.get(kernel).map_err(|e| e.to_string())?;
+                let resolved = self.resolve(params)?;
+                let cfg = LaunchConfig::linear(*grid_dim, *block_dim);
+                let run = self.device.launch(&program, &cfg, &resolved).map_err(|e| e.to_string())?;
+                self.records.push(JobRecord {
+                    vp: envelope.vp,
+                    seq: envelope.seq,
+                    kind: RecordKind::Kernel {
+                        name: kernel.clone(),
+                        grid_dim: *grid_dim,
+                        block_dim: *block_dim,
+                        launch_overhead_s: self.device.arch().launch_overhead_us * 1e-6,
+                        waves: run.cost.waves,
+                        stream: *stream,
+                    },
+                    duration_s: run.cost.time_s,
+                });
+                Ok(Response::Launched { device_time_s: run.cost.time_s })
+            }
+            Request::Synchronize => Ok(Response::Done),
+        }
+    }
+
+    fn buffer(&self, handle: u64) -> Result<DeviceBuffer, String> {
+        self.handles.get(&handle).copied().ok_or(format!("unknown handle {handle}"))
+    }
+
+    fn resolve(&self, params: &[WireParam]) -> Result<Vec<ParamValue>, String> {
+        params
+            .iter()
+            .map(|p| match p {
+                WireParam::Buffer(h) => self.buffer(*h).map(|b| ParamValue::Ptr(b.addr())),
+                WireParam::F64(v) => Ok(ParamValue::F64(*v)),
+                WireParam::I64(v) => Ok(ParamValue::I64(*v)),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigmavp_sptx::asm;
+
+    fn runtime() -> HostRuntime {
+        let scale = asm::parse(
+            ".kernel scale\nentry:\n    rs r0, gtid\n    ldp r1, 0\n    ld.f32 r2, [r1 + r0]\n    add.f32 r2, r2, r2\n    st.f32 [r1 + r0], r2\n    ret\n",
+        )
+        .unwrap();
+        HostRuntime::new(GpuArch::quadro_4000(), [scale].into_iter().collect())
+    }
+
+    fn env(seq: u64, body: Request) -> Envelope {
+        Envelope { vp: VpId(0), seq, sent_at_s: 0.0, body }
+    }
+
+    #[test]
+    fn full_request_cycle() {
+        let mut rt = runtime();
+        let r = rt.process(&env(0, Request::Malloc { bytes: 64 * 4 }));
+        let Response::Malloc { handle } = r.body else { panic!("expected malloc response") };
+
+        let data: Vec<u8> = (0..64u32).flat_map(|i| (i as f32).to_le_bytes()).collect();
+        let r = rt.process(&env(1, Request::MemcpyH2D { handle, data, stream: 0 }));
+        assert_eq!(r.body, Response::Done);
+
+        let r = rt.process(&env(
+            2,
+            Request::Launch {
+                kernel: "scale".into(),
+                grid_dim: 1,
+                block_dim: 64,
+                params: vec![WireParam::Buffer(handle)],
+                sync: true,
+                stream: 0,
+            },
+        ));
+        let Response::Launched { device_time_s } = r.body else { panic!("expected launch response") };
+        assert!(device_time_s > 0.0);
+
+        let r = rt.process(&env(3, Request::MemcpyD2H { handle, len: 64 * 4, stream: 0 }));
+        let Response::Data { data } = r.body else { panic!("expected data response") };
+        assert_eq!(f32::from_le_bytes(data[4..8].try_into().unwrap()), 2.0);
+
+        let r = rt.process(&env(4, Request::Free { handle }));
+        assert_eq!(r.body, Response::Done);
+
+        // Three device-touching records: h2d, kernel, d2h.
+        assert_eq!(rt.records().len(), 3);
+        assert!(matches!(rt.records()[1].kind, RecordKind::Kernel { .. }));
+    }
+
+    #[test]
+    fn guest_errors_become_error_responses() {
+        let mut rt = runtime();
+        let r = rt.process(&env(0, Request::Free { handle: 99 }));
+        assert!(matches!(r.body, Response::Error { .. }));
+        let r = rt.process(&env(
+            1,
+            Request::Launch { kernel: "nope".into(), grid_dim: 1, block_dim: 1, params: vec![], sync: true, stream: 0 },
+        ));
+        assert!(matches!(r.body, Response::Error { .. }));
+    }
+
+    #[test]
+    fn handles_are_per_runtime_and_stable() {
+        let mut rt = runtime();
+        let Response::Malloc { handle: h1 } = rt.process(&env(0, Request::Malloc { bytes: 128 })).body
+        else {
+            panic!()
+        };
+        let Response::Malloc { handle: h2 } = rt.process(&env(1, Request::Malloc { bytes: 128 })).body
+        else {
+            panic!()
+        };
+        assert_ne!(h1, h2);
+    }
+
+    #[test]
+    fn d2h_size_mismatch_is_rejected() {
+        let mut rt = runtime();
+        let Response::Malloc { handle } = rt.process(&env(0, Request::Malloc { bytes: 64 })).body else {
+            panic!()
+        };
+        let r = rt.process(&env(1, Request::MemcpyD2H { handle, len: 128, stream: 0 }));
+        assert!(matches!(r.body, Response::Error { .. }));
+    }
+}

@@ -1,0 +1,713 @@
+//! Multi-VP scenarios: run N virtual platforms through complete applications and
+//! price the simulation in the paper's three configurations.
+//!
+//! The paper's Fig. 11 compares, for eight concurrent VP instances of each
+//! benchmark: (1) GPU emulation on the VP, (2) plain host-GPU multiplexing, and
+//! (3) multiplexing plus Kernel Interleaving and Kernel Coalescing. This module
+//! reproduces that comparison:
+//!
+//! * Every VP **functionally executes** its application (inputs generated, kernels
+//!   run, outputs validated) over the chosen backend; nothing is faked at the data
+//!   level.
+//! * **Timing** composes three ingredients: per-VP *non-GPU* simulated time
+//!   (guest CPU work, file I/O, software OpenGL — VPs run on separate host cores,
+//!   so these overlap and only the maximum counts), per-VP *IPC* time, and the
+//!   host-GPU *timeline makespan* of the recorded job stream, replayed through the
+//!   two-engine [`engine`](sigmavp_gpu::engine) model.
+//! * In [`GpuMode::MultiplexedOptimized`], the job stream is first reordered by
+//!   the [interleaver](sigmavp_sched::interleave) and identical kernel jobs from
+//!   different VPs (at the same per-VP kernel ordinal) are merged into single
+//!   launches with wave-aligned grids and amortized launch overheads, with
+//!   cross-stream dependencies preserved in the timeline.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use sigmavp_gpu::engine::{simulate, Engine as GpuEngine, GpuOp, StreamId};
+use sigmavp_gpu::GpuArch;
+use sigmavp_ipc::message::VpId;
+use sigmavp_ipc::queue::{Job, JobId, JobKind};
+use sigmavp_ipc::transport::TransportCost;
+use sigmavp_sched::interleave::reorder_async;
+use sigmavp_vp::emulation::EmulatedGpu;
+use sigmavp_vp::platform::VirtualPlatform;
+use sigmavp_vp::registry::KernelRegistry;
+use sigmavp_workloads::app::{AppEnv, Application};
+
+use crate::backend::MultiplexedGpu;
+use crate::error::SigmaVpError;
+use crate::host::{HostRuntime, JobRecord, RecordKind};
+
+/// The GPU backend configuration of a scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GpuMode {
+    /// Software GPU emulation inside each binary-translating VP (the paper's blue
+    /// bars — the slow baseline).
+    EmulatedOnVp,
+    /// Host-GPU multiplexing without the two optimizations (red line).
+    Multiplexed,
+    /// Host-GPU multiplexing with Kernel Interleaving and Kernel Coalescing
+    /// (green line).
+    MultiplexedOptimized,
+}
+
+/// The outcome of one scenario run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioReport {
+    /// The mode that ran.
+    pub mode: GpuMode,
+    /// Number of VP instances.
+    pub n_vps: usize,
+    /// Total simulated time to complete all VPs, seconds.
+    pub total_time_s: f64,
+    /// Per-VP local simulated times (including time blocked on the GPU service).
+    pub vp_times_s: Vec<f64>,
+    /// Maximum per-VP non-GPU simulated time.
+    pub non_gpu_time_s: f64,
+    /// Maximum per-VP IPC transport time (zero for emulation).
+    pub ipc_time_s: f64,
+    /// Host-GPU timeline makespan (zero for emulation).
+    pub device_makespan_s: f64,
+    /// Device-touching jobs dispatched (zero for emulation).
+    pub gpu_jobs: usize,
+    /// Kernel groups merged by coalescing.
+    pub coalesced_groups: usize,
+    /// Total member launches those groups absorbed.
+    pub coalesced_members: usize,
+    /// Compute-engine utilization of the timeline (zero for emulation).
+    pub compute_utilization: f64,
+}
+
+impl ScenarioReport {
+    /// Speedup of this run relative to a baseline run (typically emulation).
+    pub fn speedup_vs(&self, baseline: &ScenarioReport) -> f64 {
+        baseline.total_time_s / self.total_time_s
+    }
+}
+
+/// Run `apps` (one per VP) in the given mode on the default host GPU
+/// (Quadro 4000) over a shared-memory transport.
+///
+/// # Errors
+///
+/// Returns [`SigmaVpError::Config`] for an empty app list, or any application /
+/// backend failure (including output-validation failures).
+pub fn run_scenario(
+    apps: &[&dyn Application],
+    mode: GpuMode,
+) -> Result<ScenarioReport, SigmaVpError> {
+    run_scenario_with(apps, mode, GpuArch::quadro_4000(), TransportCost::shared_memory())
+}
+
+/// Multi-GPU multiplexing: the paper's framework "multiplexes the host GPUs" —
+/// hosts with several devices spread the VPs across them. VPs are assigned
+/// round-robin to the given devices; each device runs its own timeline, and the
+/// scenario completes when the slowest device (plus the slowest VP's non-GPU work)
+/// does.
+///
+/// # Errors
+///
+/// Returns [`SigmaVpError::Config`] for an empty app or device list, or any
+/// application/backend failure.
+pub fn run_scenario_multi_gpu(
+    apps: &[&dyn Application],
+    mode: GpuMode,
+    archs: &[GpuArch],
+    transport: TransportCost,
+) -> Result<ScenarioReport, SigmaVpError> {
+    if archs.is_empty() {
+        return Err(SigmaVpError::Config("need at least one host gpu".into()));
+    }
+    if apps.is_empty() {
+        return Err(SigmaVpError::Config("scenario needs at least one vp".into()));
+    }
+    if archs.len() == 1 || mode == GpuMode::EmulatedOnVp {
+        return run_scenario_with(apps, mode, archs[0].clone(), transport);
+    }
+    // Partition VPs round-robin across devices and run one sub-scenario per
+    // device; non-GPU work of all VPs overlaps globally (separate host cores),
+    // device timelines are independent hardware.
+    let mut reports = Vec::with_capacity(archs.len());
+    for (d, arch) in archs.iter().enumerate() {
+        let subset: Vec<&dyn Application> =
+            apps.iter().enumerate().filter(|(i, _)| i % archs.len() == d).map(|(_, a)| *a).collect();
+        if subset.is_empty() {
+            continue;
+        }
+        reports.push(run_scenario_with(&subset, mode, arch.clone(), transport)?);
+    }
+    let non_gpu = reports.iter().map(|r| r.non_gpu_time_s).fold(0.0, f64::max);
+    let ipc = reports.iter().map(|r| r.ipc_time_s).fold(0.0, f64::max);
+    let makespan = reports.iter().map(|r| r.device_makespan_s).fold(0.0, f64::max);
+    Ok(ScenarioReport {
+        mode,
+        n_vps: apps.len(),
+        total_time_s: non_gpu + ipc + makespan,
+        vp_times_s: reports.iter().flat_map(|r| r.vp_times_s.iter().copied()).collect(),
+        non_gpu_time_s: non_gpu,
+        ipc_time_s: ipc,
+        device_makespan_s: makespan,
+        gpu_jobs: reports.iter().map(|r| r.gpu_jobs).sum(),
+        coalesced_groups: reports.iter().map(|r| r.coalesced_groups).sum(),
+        coalesced_members: reports.iter().map(|r| r.coalesced_members).sum(),
+        compute_utilization: reports
+            .iter()
+            .map(|r| r.compute_utilization)
+            .fold(0.0, f64::max),
+    })
+}
+
+/// [`run_scenario`] with explicit host-GPU architecture and transport cost.
+///
+/// # Errors
+///
+/// See [`run_scenario`].
+pub fn run_scenario_with(
+    apps: &[&dyn Application],
+    mode: GpuMode,
+    arch: GpuArch,
+    transport: TransportCost,
+) -> Result<ScenarioReport, SigmaVpError> {
+    if apps.is_empty() {
+        return Err(SigmaVpError::Config("scenario needs at least one vp".into()));
+    }
+    match mode {
+        GpuMode::EmulatedOnVp => run_emulated(apps),
+        GpuMode::Multiplexed => run_multiplexed(apps, arch, transport, false),
+        GpuMode::MultiplexedOptimized => run_multiplexed(apps, arch, transport, true),
+    }
+}
+
+fn union_registry(apps: &[&dyn Application]) -> KernelRegistry {
+    apps.iter().flat_map(|a| a.kernels()).collect()
+}
+
+fn run_emulated(apps: &[&dyn Application]) -> Result<ScenarioReport, SigmaVpError> {
+    let registry = union_registry(apps);
+    let mut vp_times = Vec::with_capacity(apps.len());
+    for (i, app) in apps.iter().enumerate() {
+        let mut vp = VirtualPlatform::new(VpId(i as u32));
+        let mut gpu = EmulatedGpu::on_vp(registry.clone());
+        let mut env = AppEnv::new(&mut vp, &mut gpu);
+        app.run_once(&mut env)?;
+        vp_times.push(vp.now_s());
+    }
+    // Each VP simulates on its own host core; the scenario completes when the
+    // slowest VP does.
+    let total = vp_times.iter().copied().fold(0.0, f64::max);
+    Ok(ScenarioReport {
+        mode: GpuMode::EmulatedOnVp,
+        n_vps: apps.len(),
+        total_time_s: total,
+        vp_times_s: vp_times,
+        non_gpu_time_s: total,
+        ipc_time_s: 0.0,
+        device_makespan_s: 0.0,
+        gpu_jobs: 0,
+        coalesced_groups: 0,
+        coalesced_members: 0,
+        compute_utilization: 0.0,
+    })
+}
+
+fn run_multiplexed(
+    apps: &[&dyn Application],
+    arch: GpuArch,
+    transport: TransportCost,
+    optimized: bool,
+) -> Result<ScenarioReport, SigmaVpError> {
+    let registry = union_registry(apps);
+    let runtime = Arc::new(Mutex::new(HostRuntime::new(arch.clone(), registry)));
+
+    let mut vp_times = Vec::with_capacity(apps.len());
+    let mut non_gpu = Vec::with_capacity(apps.len());
+    let mut ipc = Vec::with_capacity(apps.len());
+    for (i, app) in apps.iter().enumerate() {
+        let mut vp = VirtualPlatform::new(VpId(i as u32));
+        let mut gpu = MultiplexedGpu::new(VpId(i as u32), runtime.clone(), transport);
+        let mut env = AppEnv::new(&mut vp, &mut gpu);
+        app.run_once(&mut env)?;
+        vp_times.push(vp.now_s());
+        non_gpu.push(vp.now_s() - vp.stats().gpu_blocked_s);
+        ipc.push(gpu.ipc_stats().transport_time_s);
+    }
+
+    let records = runtime.lock().take_records();
+    let gpu_jobs = records.len();
+    let mut jobs = records_to_jobs(&records);
+    if optimized {
+        jobs = reorder_async(jobs);
+    }
+
+    // Coalescing plan (optimized mode only, and only for VPs whose apps are
+    // coalescing-friendly). The re-scheduler knows the expected time of every
+    // invocation, so it only applies coalescing when the merged timeline actually
+    // wins (an adaptive policy the paper's expected-time machinery enables).
+    let coalescible: Vec<bool> = apps.iter().map(|a| a.characteristics().coalescible).collect();
+    let (timeline, groups, members) = if optimized {
+        let plain_tl = simulate(&arch, &stabilize_dep_order(build_ops_plain(&jobs, &records)));
+        let (ops, g, m) = build_ops_coalesced(&jobs, &records, &coalescible, &arch);
+        let merged_tl = simulate(&arch, &ops);
+        if g > 0 && merged_tl.makespan_s <= plain_tl.makespan_s {
+            (merged_tl, g, m)
+        } else {
+            (plain_tl, 0, 0)
+        }
+    } else {
+        (simulate(&arch, &stabilize_dep_order(build_ops_plain(&jobs, &records))), 0, 0)
+    };
+    let non_gpu_max = non_gpu.iter().copied().fold(0.0, f64::max);
+    let ipc_max = ipc.iter().copied().fold(0.0, f64::max);
+    let total = non_gpu_max + ipc_max + timeline.makespan_s;
+
+    Ok(ScenarioReport {
+        mode: if optimized { GpuMode::MultiplexedOptimized } else { GpuMode::Multiplexed },
+        n_vps: apps.len(),
+        total_time_s: total,
+        vp_times_s: vp_times,
+        non_gpu_time_s: non_gpu_max,
+        ipc_time_s: ipc_max,
+        device_makespan_s: timeline.makespan_s,
+        gpu_jobs,
+        coalesced_groups: groups,
+        coalesced_members: members,
+        compute_utilization: timeline.utilization(GpuEngine::Compute),
+    })
+}
+
+fn records_to_jobs(records: &[JobRecord]) -> Vec<Job> {
+    records
+        .iter()
+        .enumerate()
+        .map(|(i, r)| Job {
+            id: JobId(i as u64),
+            vp: r.vp,
+            seq: r.seq,
+            kind: match &r.kind {
+                RecordKind::H2d { bytes, .. } => JobKind::CopyIn { bytes: *bytes },
+                RecordKind::D2h { bytes, .. } => JobKind::CopyOut { bytes: *bytes },
+                RecordKind::Kernel { name, grid_dim, block_dim, .. } => JobKind::Kernel {
+                    name: name.clone(),
+                    grid_dim: *grid_dim,
+                    block_dim: *block_dim,
+                },
+            },
+            sync: true,
+            enqueued_at_s: 0.0,
+            expected_duration_s: r.duration_s,
+        })
+        .collect()
+}
+
+fn job_engine(kind: &JobKind) -> GpuEngine {
+    match kind {
+        JobKind::CopyIn { .. } => GpuEngine::CopyH2D,
+        JobKind::CopyOut { .. } => GpuEngine::CopyD2H,
+        JobKind::Kernel { .. } => GpuEngine::Compute,
+    }
+}
+
+/// Guest streams supported per VP in the timeline (engine stream id =
+/// `vp × MAX_GUEST_STREAMS + guest_stream`).
+const MAX_GUEST_STREAMS: u32 = 16;
+
+/// Lower jobs to engine ops, honoring guest streams with CUDA *legacy
+/// default-stream* semantics: operations on the default stream (0) synchronize
+/// with every outstanding non-default-stream op of the same VP issued before
+/// them, and non-default-stream ops wait for the last default-stream op. Ops on
+/// different non-default streams of the same VP may overlap (the asynchronous
+/// case of Fig. 4a).
+fn build_ops_plain(jobs: &[Job], records: &[JobRecord]) -> Vec<GpuOp> {
+    let mut last_default: HashMap<VpId, u64> = HashMap::new();
+    let mut outstanding: HashMap<VpId, Vec<u64>> = HashMap::new();
+    jobs.iter()
+        .map(|j| {
+            let guest_stream = match &records[j.id.0 as usize].kind {
+                RecordKind::H2d { stream, .. }
+                | RecordKind::D2h { stream, .. }
+                | RecordKind::Kernel { stream, .. } => *stream % MAX_GUEST_STREAMS,
+            };
+            let op_id = j.id.0;
+            let after = if guest_stream == 0 {
+                // Default-to-default ordering comes from the engine stream itself;
+                // only the cross-stream joins need explicit dependencies.
+                let deps = outstanding.remove(&j.vp).unwrap_or_default();
+                last_default.insert(j.vp, op_id);
+                deps
+            } else {
+                outstanding.entry(j.vp).or_default().push(op_id);
+                last_default.get(&j.vp).map(|&d| vec![d]).unwrap_or_default()
+            };
+            GpuOp {
+                id: op_id,
+                stream: StreamId(j.vp.0 * MAX_GUEST_STREAMS + guest_stream),
+                engine: job_engine(&j.kind),
+                duration_s: j.expected_duration_s,
+                after,
+            }
+        })
+        .collect()
+}
+
+/// Merge matching jobs from different coalescing-friendly VPs into single
+/// operations and lower everything to engine ops with correct cross-stream
+/// dependencies.
+///
+/// Jobs are grouped by their *per-VP ordinal* (the k-th device job each VP
+/// submits) plus an identity check: copies match by direction (their chunks merge
+/// into one contiguous transfer, paper Fig. 5), kernels match by name and block
+/// size (the Kernel Match test). Each merged op sits at the position of its *last*
+/// member, so every member's intra-VP predecessors still precede it; dropped
+/// members' later jobs gain an explicit dependency on the merged op.
+///
+/// Returns `(ops, merged_groups, absorbed_member_jobs)`.
+fn build_ops_coalesced(
+    jobs: &[Job],
+    records: &[JobRecord],
+    coalescible: &[bool],
+    arch: &GpuArch,
+) -> (Vec<GpuOp>, usize, usize) {
+    #[derive(Hash, PartialEq, Eq)]
+    enum Identity {
+        In,
+        Out,
+        Kernel(String, u32),
+    }
+
+    let mut ordinal: HashMap<VpId, u64> = HashMap::new();
+    let mut groups: HashMap<(u64, Identity), Vec<usize>> = HashMap::new();
+    for (idx, job) in jobs.iter().enumerate() {
+        let ord = ordinal.entry(job.vp).or_insert(0);
+        if coalescible.get(job.vp.0 as usize).copied().unwrap_or(false) {
+            let identity = match &job.kind {
+                JobKind::CopyIn { .. } => Identity::In,
+                JobKind::CopyOut { .. } => Identity::Out,
+                JobKind::Kernel { name, block_dim, .. } => {
+                    Identity::Kernel(name.clone(), *block_dim)
+                }
+            };
+            groups.entry((*ord, identity)).or_default().push(idx);
+        }
+        *ord += 1;
+    }
+
+    let mut role: HashMap<usize, MergeRole> = HashMap::new();
+    let mut n_groups = 0;
+    let mut n_members = 0;
+    for (_, member_idxs) in groups {
+        if member_idxs.len() < 2 {
+            continue;
+        }
+        n_groups += 1;
+        n_members += member_idxs.len();
+        let anchor = *member_idxs.iter().max().expect("non-empty group");
+        let others: Vec<usize> = member_idxs.iter().copied().filter(|&i| i != anchor).collect();
+        role.insert(anchor, MergeRole::Anchor { members: others.clone() });
+        for o in others {
+            role.insert(o, MergeRole::Dropped { anchor });
+        }
+    }
+
+    // Lower to ops. Track, per VP, the last emitted op id (for dependency wiring)
+    // and any pending barrier (a dropped member's next op must wait for the merged
+    // op). Barriers on not-yet-lowered anchors use a placeholder id resolved below.
+    let mut ops = Vec::with_capacity(jobs.len());
+    let mut last_op_of_vp: HashMap<VpId, u64> = HashMap::new();
+    let mut pending_barrier: HashMap<VpId, u64> = HashMap::new();
+    let mut anchor_op_id: HashMap<usize, u64> = HashMap::new();
+
+    for (idx, job) in jobs.iter().enumerate() {
+        match role.get(&idx) {
+            Some(MergeRole::Dropped { anchor }) => {
+                pending_barrier.insert(job.vp, u64::MAX - *anchor as u64);
+            }
+            Some(MergeRole::Anchor { members }) => {
+                let duration = merged_duration(jobs, records, idx, members, arch);
+                let mut after: Vec<u64> = members
+                    .iter()
+                    .filter_map(|&m| last_op_of_vp.get(&jobs[m].vp).copied())
+                    .collect();
+                if let Some(b) = pending_barrier.remove(&job.vp) {
+                    after.push(b);
+                }
+                let op_id = idx as u64;
+                ops.push(GpuOp {
+                    id: op_id,
+                    stream: StreamId(job.vp.0),
+                    engine: job_engine(&job.kind),
+                    duration_s: duration,
+                    after,
+                });
+                anchor_op_id.insert(idx, op_id);
+                last_op_of_vp.insert(job.vp, op_id);
+                // All member VPs now logically depend on this op.
+                for &m in members {
+                    last_op_of_vp.insert(jobs[m].vp, op_id);
+                }
+            }
+            None => {
+                let mut after = vec![];
+                if let Some(b) = pending_barrier.remove(&job.vp) {
+                    after.push(b);
+                }
+                let op_id = idx as u64;
+                ops.push(GpuOp {
+                    id: op_id,
+                    stream: StreamId(job.vp.0),
+                    engine: job_engine(&job.kind),
+                    duration_s: job.expected_duration_s,
+                    after,
+                });
+                last_op_of_vp.insert(job.vp, op_id);
+            }
+        }
+    }
+
+    // Resolve placeholder barriers (u64::MAX - anchor_index) to real op ids.
+    for op in &mut ops {
+        for dep in &mut op.after {
+            if *dep > u64::MAX / 2 {
+                let anchor_idx = (u64::MAX - *dep) as usize;
+                *dep = anchor_op_id.get(&anchor_idx).copied().unwrap_or(0);
+            }
+        }
+    }
+    (stabilize_dep_order(ops), n_groups, n_members)
+}
+
+/// Duration of a merged operation.
+///
+/// * Copies merge into one contiguous transfer: one fixed latency plus the summed
+///   bytes over the copy-engine bandwidth (Fig. 5's coalesced memory chunk).
+/// * Kernels merge into one launch: one launch overhead plus the members' combined
+///   compute time scaled by the wave-alignment gain
+///   (`merged waves / Σ member waves` — Eq. 9's alignment effect).
+fn merged_duration(
+    jobs: &[Job],
+    records: &[JobRecord],
+    anchor: usize,
+    members: &[usize],
+    arch: &GpuArch,
+) -> f64 {
+    match &jobs[anchor].kind {
+        JobKind::CopyIn { .. } | JobKind::CopyOut { .. } => {
+            let total_bytes: u64 = members
+                .iter()
+                .chain(std::iter::once(&anchor))
+                .map(|&i| match jobs[i].kind {
+                    JobKind::CopyIn { bytes } | JobKind::CopyOut { bytes } => bytes,
+                    JobKind::Kernel { .. } => 0,
+                })
+                .sum();
+            arch.copy_time_s(total_bytes)
+        }
+        JobKind::Kernel { block_dim, .. } => {
+            let block_dim = *block_dim;
+            let mut total_grid = 0u64;
+            let mut sum_compute = 0.0f64;
+            let mut sum_waves = 0u64;
+            let mut overhead = arch.launch_overhead_us * 1e-6;
+            for &idx in members.iter().chain(std::iter::once(&anchor)) {
+                let JobKind::Kernel { grid_dim, .. } = &jobs[idx].kind else { continue };
+                total_grid += *grid_dim as u64;
+                // Job ids index the original record order even after reordering.
+                let rec = &records[jobs[idx].id.0 as usize];
+                if let RecordKind::Kernel { launch_overhead_s, waves, .. } = &rec.kind {
+                    overhead = *launch_overhead_s;
+                    sum_waves += *waves;
+                    sum_compute += (rec.duration_s - launch_overhead_s).max(0.0);
+                }
+            }
+            let bpw = arch.blocks_per_wave(block_dim) as u64;
+            let merged_waves = total_grid.div_ceil(bpw).max(1);
+            let wave_ratio =
+                if sum_waves > 0 { merged_waves as f64 / sum_waves as f64 } else { 1.0 };
+            overhead + sum_compute * wave_ratio.min(1.0)
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum MergeRole {
+    Anchor { members: Vec<usize> },
+    Dropped { anchor: usize },
+}
+
+/// Reorder ops (stably) so every op is issued after all of its `after`
+/// dependencies — the in-order engine model requires dependencies to precede their
+/// dependents in issue order. Cycles cannot occur (dependencies always point at
+/// merged ops whose members precede the dependents), but the code degrades
+/// gracefully by emitting any stuck remainder in its given order.
+fn stabilize_dep_order(ops: Vec<GpuOp>) -> Vec<GpuOp> {
+    let mut emitted: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    let mut pending: std::collections::VecDeque<GpuOp> = ops.into();
+    let mut out = Vec::with_capacity(pending.len());
+    let mut stall = 0usize;
+    while let Some(op) = pending.pop_front() {
+        if op.after.iter().all(|d| emitted.contains(d)) {
+            emitted.insert(op.id);
+            out.push(op);
+            stall = 0;
+        } else {
+            pending.push_back(op);
+            stall += 1;
+            if stall > pending.len() {
+                while let Some(op) = pending.pop_front() {
+                    out.push(op);
+                }
+                break;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigmavp_workloads::apps::{MatrixMulApp, MergeSortApp, SobelFilterApp, VectorAddApp};
+
+    fn vector_adds(n_vps: usize) -> Vec<VectorAddApp> {
+        (0..n_vps).map(|_| VectorAddApp { n: 2048 }).collect()
+    }
+
+    fn refs(apps: &[VectorAddApp]) -> Vec<&dyn Application> {
+        apps.iter().map(|a| a as &dyn Application).collect()
+    }
+
+    #[test]
+    fn emulation_is_much_slower_than_multiplexing() {
+        // A compute-dense workload (O(n³) kernel over O(n²) guest prep), like the
+        // paper's Table 1/Fig. 11 apps: the GPU work dominates, so multiplexing
+        // shines. Tiny O(n) workloads are bounded by guest-side costs instead.
+        let apps: Vec<MatrixMulApp> = (0..4).map(|_| MatrixMulApp::with_shape(48, 1)).collect();
+        let refs: Vec<&dyn Application> = apps.iter().map(|a| a as &dyn Application).collect();
+        let slow = run_scenario(&refs, GpuMode::EmulatedOnVp).unwrap();
+        let fast = run_scenario(&refs, GpuMode::Multiplexed).unwrap();
+        let speedup = fast.speedup_vs(&slow);
+        // At this toy scale guest-side prep still bounds the gain; the Fig. 11
+        // harness at larger scales reaches the paper's hundreds-to-thousands band.
+        assert!(speedup > 35.0, "speedup only {speedup:.1}");
+        assert_eq!(slow.gpu_jobs, 0);
+        assert!(fast.gpu_jobs > 0);
+    }
+
+    #[test]
+    fn optimizations_help_coalescible_apps() {
+        let apps = vector_adds(8);
+        let refs = refs(&apps);
+        let plain = run_scenario(&refs, GpuMode::Multiplexed).unwrap();
+        let optimized = run_scenario(&refs, GpuMode::MultiplexedOptimized).unwrap();
+        // Four groups: the a/b input copies, the kernel, and the output copy all
+        // merge across the eight VPs.
+        assert!(optimized.coalesced_groups >= 3, "groups {}", optimized.coalesced_groups);
+        assert!(optimized.coalesced_members >= 3 * 8);
+        assert!(
+            optimized.device_makespan_s < plain.device_makespan_s,
+            "optimized {} vs plain {}",
+            optimized.device_makespan_s,
+            plain.device_makespan_s
+        );
+        assert!(optimized.total_time_s <= plain.total_time_s);
+    }
+
+    #[test]
+    fn non_coalescible_apps_merge_nothing() {
+        let apps: Vec<SobelFilterApp> =
+            (0..4).map(|_| SobelFilterApp { width: 16, height: 12 }).collect();
+        let refs: Vec<&dyn Application> = apps.iter().map(|a| a as &dyn Application).collect();
+        let optimized = run_scenario(&refs, GpuMode::MultiplexedOptimized).unwrap();
+        assert_eq!(optimized.coalesced_groups, 0);
+    }
+
+    #[test]
+    fn merge_sort_coalesces_every_pass() {
+        // Each of the log²(n) bitonic passes should merge across VPs.
+        let apps: Vec<MergeSortApp> = (0..4).map(|_| MergeSortApp { n: 64 }).collect();
+        let refs: Vec<&dyn Application> = apps.iter().map(|a| a as &dyn Application).collect();
+        let plain = run_scenario(&refs, GpuMode::Multiplexed).unwrap();
+        let optimized = run_scenario(&refs, GpuMode::MultiplexedOptimized).unwrap();
+        // 64 keys → k = 2..64 (6 stages), Σ passes = 21 per VP; every pass groups.
+        assert!(optimized.coalesced_groups >= 20, "groups {}", optimized.coalesced_groups);
+        assert!(optimized.device_makespan_s < plain.device_makespan_s * 0.5);
+    }
+
+    #[test]
+    fn reports_are_internally_consistent() {
+        let apps = vector_adds(2);
+        let refs = refs(&apps);
+        let r = run_scenario(&refs, GpuMode::Multiplexed).unwrap();
+        assert_eq!(r.n_vps, 2);
+        assert_eq!(r.vp_times_s.len(), 2);
+        assert!(r.total_time_s >= r.device_makespan_s);
+        assert!(r.compute_utilization > 0.0 && r.compute_utilization <= 1.0);
+    }
+
+    #[test]
+    fn two_host_gpus_halve_the_device_makespan() {
+        // Eight compute-dense VPs on one Quadro vs spread over two: the paper's
+        // multi-GPU multiplexing claim at its simplest.
+        let apps: Vec<MatrixMulApp> = (0..8).map(|_| MatrixMulApp::with_shape(24, 1)).collect();
+        let refs: Vec<&dyn Application> = apps.iter().map(|a| a as &dyn Application).collect();
+        let one = run_scenario_multi_gpu(
+            &refs,
+            GpuMode::Multiplexed,
+            &[GpuArch::quadro_4000()],
+            sigmavp_ipc::transport::TransportCost::shared_memory(),
+        )
+        .unwrap();
+        let two = run_scenario_multi_gpu(
+            &refs,
+            GpuMode::Multiplexed,
+            &[GpuArch::quadro_4000(), GpuArch::quadro_4000()],
+            sigmavp_ipc::transport::TransportCost::shared_memory(),
+        )
+        .unwrap();
+        assert_eq!(two.n_vps, 8);
+        assert_eq!(two.gpu_jobs, one.gpu_jobs);
+        let ratio = one.device_makespan_s / two.device_makespan_s;
+        assert!((1.6..=2.4).contains(&ratio), "makespan ratio {ratio:.2}");
+        assert!(two.total_time_s < one.total_time_s);
+    }
+
+    #[test]
+    fn heterogeneous_host_gpus_are_supported() {
+        let apps: Vec<VectorAddApp> = (0..4).map(|_| VectorAddApp { n: 2048 }).collect();
+        let refs: Vec<&dyn Application> = apps.iter().map(|a| a as &dyn Application).collect();
+        let r = run_scenario_multi_gpu(
+            &refs,
+            GpuMode::MultiplexedOptimized,
+            &[GpuArch::quadro_4000(), GpuArch::grid_k520()],
+            sigmavp_ipc::transport::TransportCost::shared_memory(),
+        )
+        .unwrap();
+        assert_eq!(r.n_vps, 4);
+        assert!(r.total_time_s > 0.0);
+        let err = run_scenario_multi_gpu(
+            &refs,
+            GpuMode::Multiplexed,
+            &[],
+            sigmavp_ipc::transport::TransportCost::shared_memory(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SigmaVpError::Config(_)));
+    }
+
+    #[test]
+    fn empty_scenario_is_rejected() {
+        let err = run_scenario(&[], GpuMode::Multiplexed).unwrap_err();
+        assert!(matches!(err, SigmaVpError::Config(_)));
+    }
+
+    #[test]
+    fn more_vps_cost_more_emulation_but_sublinear_sigma_vp() {
+        let small = vector_adds(2);
+        let big = vector_adds(8);
+        let r2 = run_scenario(&refs(&small), GpuMode::MultiplexedOptimized).unwrap();
+        let r8 = run_scenario(&refs(&big), GpuMode::MultiplexedOptimized).unwrap();
+        // Eight coalesced VPs must cost less than 4× the two-VP makespan.
+        assert!(r8.device_makespan_s < 4.0 * r2.device_makespan_s);
+    }
+}

@@ -1,0 +1,410 @@
+//! The live, multi-threaded ΣVP runtime: each VP is a real OS thread.
+//!
+//! The [`scenario`](crate::scenario) engine drives VPs deterministically to make
+//! the experiments reproducible; this module is the *deployment* shape of Fig. 2 —
+//! many VP instances running concurrently against one shared host runtime:
+//!
+//! * every VP thread owns its [`VirtualPlatform`] clock and a
+//!   [`MultiplexedGpu`](crate::backend::MultiplexedGpu) connection; requests are
+//!   really encoded, the shared [`HostRuntime`](crate::host::HostRuntime) mutex is
+//!   the serialization point the paper's Job Queue provides;
+//! * a [`TurnGate`] reproduces the *VP Control* mechanism ("stops and resumes the
+//!   VPs") for synchronous invocations: under
+//!   [`SchedulingPolicy::RoundRobin`], VPs take strict turns issuing GPU calls,
+//!   which is exactly the interleaved arrival order of Fig. 4b — and it makes the
+//!   concurrent job stream deterministic;
+//! * [`ThreadedSigmaVp::join`] collects per-VP outcomes plus the host job log, so
+//!   the same timeline analyses used by the scenario engine apply to live runs.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::{Condvar, Mutex};
+
+use sigmavp_gpu::GpuArch;
+use sigmavp_ipc::message::{VpId, WireParam};
+use sigmavp_ipc::transport::TransportCost;
+use sigmavp_vp::error::VpError;
+use sigmavp_vp::platform::VirtualPlatform;
+use sigmavp_vp::registry::KernelRegistry;
+use sigmavp_vp::service::GpuService;
+use sigmavp_workloads::app::{AppEnv, Application};
+
+use crate::backend::MultiplexedGpu;
+use crate::host::{HostRuntime, JobRecord};
+
+/// How concurrent VPs are admitted to the host GPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulingPolicy {
+    /// First-come-first-served: threads race for the runtime mutex (realistic,
+    /// nondeterministic arrival order).
+    Fifo,
+    /// Strict round-robin turns enforced through the VP-control gate — the
+    /// deterministic, interleaved arrival order of the paper's synchronous
+    /// Kernel Interleaving (Fig. 4b).
+    RoundRobin,
+}
+
+#[derive(Debug)]
+struct GateState {
+    order: Vec<VpId>,
+    next: usize,
+    finished: HashSet<VpId>,
+}
+
+/// The VP-control turnstile: at most one VP may issue GPU calls at a time, and
+/// turns rotate in registration order, skipping finished VPs.
+#[derive(Debug)]
+pub struct TurnGate {
+    state: Mutex<GateState>,
+    cv: Condvar,
+}
+
+impl TurnGate {
+    /// A gate rotating over `order`.
+    pub fn new(order: Vec<VpId>) -> Self {
+        TurnGate { state: Mutex::new(GateState { order, next: 0, finished: HashSet::new() }), cv: Condvar::new() }
+    }
+
+    fn is_turn(state: &GateState, vp: VpId) -> bool {
+        state.order.get(state.next).copied() == Some(vp)
+    }
+
+    fn advance(state: &mut GateState) {
+        if state.order.is_empty() || state.finished.len() >= state.order.len() {
+            return;
+        }
+        // Rotate to the next unfinished VP.
+        for _ in 0..state.order.len() {
+            state.next = (state.next + 1) % state.order.len();
+            if !state.finished.contains(&state.order[state.next]) {
+                return;
+            }
+        }
+    }
+
+    /// Block until it is `vp`'s turn.
+    pub fn enter(&self, vp: VpId) {
+        let mut s = self.state.lock();
+        while !Self::is_turn(&s, vp) {
+            self.cv.wait(&mut s);
+        }
+    }
+
+    /// Yield the turn to the next unfinished VP.
+    pub fn leave(&self, vp: VpId) {
+        let mut s = self.state.lock();
+        if Self::is_turn(&s, vp) {
+            Self::advance(&mut s);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Mark `vp` finished so the rotation skips it (and release its turn if held).
+    pub fn finish(&self, vp: VpId) {
+        let mut s = self.state.lock();
+        s.finished.insert(vp);
+        if Self::is_turn(&s, vp) {
+            Self::advance(&mut s);
+        }
+        self.cv.notify_all();
+    }
+}
+
+/// A [`GpuService`] decorator that takes a gate turn around every call.
+struct GatedGpu {
+    vp: VpId,
+    inner: MultiplexedGpu,
+    gate: Option<Arc<TurnGate>>,
+}
+
+impl GatedGpu {
+    fn guarded<T>(&mut self, f: impl FnOnce(&mut MultiplexedGpu) -> Result<T, VpError>) -> Result<T, VpError> {
+        if let Some(gate) = self.gate.clone() {
+            gate.enter(self.vp);
+            let result = f(&mut self.inner);
+            gate.leave(self.vp);
+            result
+        } else {
+            f(&mut self.inner)
+        }
+    }
+}
+
+impl GpuService for GatedGpu {
+    fn malloc(&mut self, bytes: u64) -> Result<(u64, f64), VpError> {
+        self.guarded(|g| g.malloc(bytes))
+    }
+
+    fn free(&mut self, handle: u64) -> Result<f64, VpError> {
+        self.guarded(|g| g.free(handle))
+    }
+
+    fn memcpy_h2d(&mut self, handle: u64, data: &[u8]) -> Result<f64, VpError> {
+        self.guarded(|g| g.memcpy_h2d(handle, data))
+    }
+
+    fn memcpy_d2h(&mut self, handle: u64, out: &mut [u8]) -> Result<f64, VpError> {
+        self.guarded(|g| g.memcpy_d2h(handle, out))
+    }
+
+    fn launch(
+        &mut self,
+        kernel: &str,
+        grid_dim: u32,
+        block_dim: u32,
+        params: &[WireParam],
+        sync: bool,
+    ) -> Result<f64, VpError> {
+        self.guarded(|g| g.launch(kernel, grid_dim, block_dim, params, sync))
+    }
+
+    fn synchronize(&mut self) -> Result<f64, VpError> {
+        self.guarded(|g| g.synchronize())
+    }
+}
+
+/// Per-VP result of a live run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VpOutcome {
+    /// The VP.
+    pub vp: VpId,
+    /// Application name it ran.
+    pub app: String,
+    /// Final simulated time of the VP's clock.
+    pub simulated_time_s: f64,
+    /// GPU API calls issued.
+    pub gpu_calls: u64,
+    /// Error message if the application failed (validation or backend).
+    pub error: Option<String>,
+}
+
+/// Result of joining a live run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThreadedReport {
+    /// Per-VP outcomes, in spawn order.
+    pub outcomes: Vec<VpOutcome>,
+    /// The host's job log, in dispatch order.
+    pub records: Vec<JobRecord>,
+}
+
+impl ThreadedReport {
+    /// Whether every VP completed without error.
+    pub fn all_ok(&self) -> bool {
+        self.outcomes.iter().all(|o| o.error.is_none())
+    }
+}
+
+/// A live multi-VP ΣVP system.
+pub struct ThreadedSigmaVp {
+    runtime: Arc<Mutex<HostRuntime>>,
+    cost: TransportCost,
+    policy: SchedulingPolicy,
+    pending: Vec<(VpId, Box<dyn Application + Send>)>,
+    next_vp: u32,
+}
+
+impl ThreadedSigmaVp {
+    /// A system over a host GPU of architecture `arch` serving `registry`.
+    pub fn new(
+        arch: GpuArch,
+        registry: KernelRegistry,
+        cost: TransportCost,
+        policy: SchedulingPolicy,
+    ) -> Self {
+        ThreadedSigmaVp {
+            runtime: Arc::new(Mutex::new(HostRuntime::new(arch, registry))),
+            cost,
+            policy,
+            pending: Vec::new(),
+            next_vp: 0,
+        }
+    }
+
+    /// Register an application to run on its own VP thread. Returns the VP id.
+    pub fn spawn(&mut self, app: Box<dyn Application + Send>) -> VpId {
+        let vp = VpId(self.next_vp);
+        self.next_vp += 1;
+        self.pending.push((vp, app));
+        vp
+    }
+
+    /// Launch every registered VP as a thread, wait for completion, and collect the
+    /// report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a VP thread itself panics (applications report failures through
+    /// `Result`, so a panic indicates a bug).
+    pub fn join(self) -> ThreadedReport {
+        let gate = match self.policy {
+            SchedulingPolicy::Fifo => None,
+            SchedulingPolicy::RoundRobin => {
+                Some(Arc::new(TurnGate::new(self.pending.iter().map(|(vp, _)| *vp).collect())))
+            }
+        };
+
+        let handles: Vec<JoinHandle<VpOutcome>> = self
+            .pending
+            .into_iter()
+            .map(|(vp, app)| {
+                let runtime = self.runtime.clone();
+                let cost = self.cost;
+                let gate = gate.clone();
+                std::thread::spawn(move || {
+                    let mut platform = VirtualPlatform::new(vp);
+                    let mut service = GatedGpu {
+                        vp,
+                        inner: MultiplexedGpu::new(vp, runtime, cost),
+                        gate: gate.clone(),
+                    };
+                    let result = {
+                        let mut env = AppEnv::new(&mut platform, &mut service);
+                        app.run_once(&mut env)
+                    };
+                    if let Some(g) = &gate {
+                        g.finish(vp);
+                    }
+                    VpOutcome {
+                        vp,
+                        app: app.name().to_string(),
+                        simulated_time_s: platform.now_s(),
+                        gpu_calls: platform.stats().gpu_calls,
+                        error: result.err().map(|e| e.to_string()),
+                    }
+                })
+            })
+            .collect();
+
+        let mut outcomes: Vec<VpOutcome> =
+            handles.into_iter().map(|h| h.join().expect("vp thread must not panic")).collect();
+        outcomes.sort_by_key(|o| o.vp);
+        let records = self.runtime.lock().take_records();
+        ThreadedReport { outcomes, records }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigmavp_workloads::apps::{MergeSortApp, VectorAddApp};
+
+    fn system(policy: SchedulingPolicy) -> ThreadedSigmaVp {
+        let app = VectorAddApp { n: 1024 };
+        let registry: KernelRegistry = app.kernels().into_iter().collect();
+        ThreadedSigmaVp::new(
+            GpuArch::quadro_4000(),
+            registry,
+            TransportCost::shared_memory(),
+            policy,
+        )
+    }
+
+    #[test]
+    fn concurrent_vps_all_validate() {
+        let mut sys = system(SchedulingPolicy::Fifo);
+        for _ in 0..6 {
+            sys.spawn(Box::new(VectorAddApp { n: 1024 }));
+        }
+        let report = sys.join();
+        assert!(report.all_ok(), "{:?}", report.outcomes);
+        assert_eq!(report.outcomes.len(), 6);
+        // 6 VPs × (2 h2d + 1 kernel + 1 d2h) device jobs.
+        assert_eq!(report.records.len(), 6 * 4);
+        for o in &report.outcomes {
+            assert!(o.simulated_time_s > 0.0);
+            // vectorAdd issues 10 calls: 3 mallocs, 2 h2d, 1 launch, 1 d2h, 3 frees.
+            assert_eq!(o.gpu_calls, 10);
+        }
+    }
+
+    #[test]
+    fn round_robin_policy_interleaves_deterministically() {
+        let mut sys = system(SchedulingPolicy::RoundRobin);
+        for _ in 0..3 {
+            sys.spawn(Box::new(VectorAddApp { n: 512 }));
+        }
+        let report = sys.join();
+        assert!(report.all_ok());
+        // With strict turns, device jobs arrive in perfect round-robin VP order.
+        let vps: Vec<u32> = report.records.iter().map(|r| r.vp.0).collect();
+        let expected: Vec<u32> = (0..vps.len()).map(|i| (i % 3) as u32).collect();
+        assert_eq!(vps, expected, "round-robin arrival order");
+    }
+
+    #[test]
+    fn failures_are_isolated_per_vp() {
+        /// An application that launches a kernel missing from the registry.
+        struct Broken;
+        impl Application for Broken {
+            fn name(&self) -> &str {
+                "broken"
+            }
+            fn kernels(&self) -> Vec<sigmavp_sptx::KernelProgram> {
+                vec![]
+            }
+            fn characteristics(&self) -> sigmavp_workloads::AppTraits {
+                sigmavp_workloads::AppTraits::pure_cuda()
+            }
+            fn run_once(&self, env: &mut AppEnv<'_>) -> Result<(), VpError> {
+                let mut cuda = env.cuda();
+                cuda.launch_sync("missing_kernel", 1, 1, &[])?;
+                Ok(())
+            }
+        }
+
+        let mut sys = system(SchedulingPolicy::RoundRobin);
+        sys.spawn(Box::new(VectorAddApp { n: 512 }));
+        sys.spawn(Box::new(Broken));
+        sys.spawn(Box::new(VectorAddApp { n: 512 }));
+        let report = sys.join();
+        assert!(!report.all_ok());
+        assert_eq!(report.outcomes.iter().filter(|o| o.error.is_some()).count(), 1);
+        // The healthy VPs still completed and validated.
+        assert!(report.outcomes[0].error.is_none());
+        assert!(report.outcomes[2].error.is_none());
+    }
+
+    #[test]
+    fn mixed_apps_share_the_device() {
+        let va = VectorAddApp { n: 512 };
+        let ms = MergeSortApp { n: 64 };
+        let mut registry: KernelRegistry = va.kernels().into_iter().collect();
+        for k in ms.kernels() {
+            registry.register(k);
+        }
+        let mut sys = ThreadedSigmaVp::new(
+            GpuArch::quadro_4000(),
+            registry,
+            TransportCost::shared_memory(),
+            SchedulingPolicy::Fifo,
+        );
+        sys.spawn(Box::new(va));
+        sys.spawn(Box::new(ms));
+        let report = sys.join();
+        assert!(report.all_ok(), "{:?}", report.outcomes);
+        // Both kernel kinds appear in the shared log.
+        let kernels: HashSet<String> = report
+            .records
+            .iter()
+            .filter_map(|r| match &r.kind {
+                crate::host::RecordKind::Kernel { name, .. } => Some(name.clone()),
+                _ => None,
+            })
+            .collect();
+        assert!(kernels.contains("vector_add"));
+        assert!(kernels.contains("bitonic_step"));
+    }
+
+    #[test]
+    fn turn_gate_rotation_skips_finished() {
+        let gate = TurnGate::new(vec![VpId(0), VpId(1), VpId(2)]);
+        gate.enter(VpId(0));
+        gate.finish(VpId(0)); // now VP 1's turn
+        gate.enter(VpId(1));
+        gate.leave(VpId(1)); // now VP 2's turn
+        gate.finish(VpId(2)); // skip to VP 1 again
+        gate.enter(VpId(1)); // must not block
+    }
+}

@@ -1,0 +1,148 @@
+//! Accuracy bookkeeping for the estimation experiments (Figs. 12 and 13).
+//!
+//! The paper normalizes everything by the *measured target* value: Fig. 12 plots,
+//! per application and host GPU, the observed host time H, the observed target time
+//! T (≡ 1 after normalization) and the three estimates C, C′, C″; Fig. 13 plots
+//! measured power T against the estimate P. [`NormalizedRecord`] carries one such
+//! row and computes the normalized series and errors.
+
+/// One application × host-GPU row of the Fig. 12 experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NormalizedRecord {
+    /// Application name.
+    pub app: String,
+    /// Host GPU name the profile came from.
+    pub host_gpu: String,
+    /// Observed time on the host GPU, seconds.
+    pub host_s: f64,
+    /// Observed (simulated-measured) time on the target GPU, seconds.
+    pub target_s: f64,
+    /// Estimate from model C, seconds.
+    pub c1_s: f64,
+    /// Estimate from model C′, seconds.
+    pub c2_s: f64,
+    /// Estimate from model C″, seconds.
+    pub c3_s: f64,
+}
+
+impl NormalizedRecord {
+    /// The five series normalized by the measured target time, in Fig. 12 order:
+    /// `[H, T, C, C′, C″]` (T is 1.0 by construction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the measured target time is not positive.
+    pub fn normalized(&self) -> [f64; 5] {
+        assert!(self.target_s > 0.0, "measured target time must be positive");
+        [
+            self.host_s / self.target_s,
+            1.0,
+            self.c1_s / self.target_s,
+            self.c2_s / self.target_s,
+            self.c3_s / self.target_s,
+        ]
+    }
+
+    /// Relative error of one estimate vs the measured target: `|est − T| / T`.
+    pub fn relative_error(&self, estimate_s: f64) -> f64 {
+        (estimate_s - self.target_s).abs() / self.target_s
+    }
+
+    /// Relative errors of the three models, `[C, C′, C″]`.
+    pub fn model_errors(&self) -> [f64; 3] {
+        [
+            self.relative_error(self.c1_s),
+            self.relative_error(self.c2_s),
+            self.relative_error(self.c3_s),
+        ]
+    }
+}
+
+/// One application × host-GPU row of the Fig. 13 (power) experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerRecord {
+    /// Application name.
+    pub app: String,
+    /// Host GPU name the profile came from.
+    pub host_gpu: String,
+    /// Measured (device ground-truth) mean power on the target, watts.
+    pub measured_w: f64,
+    /// Estimated power from Eq. 6, watts.
+    pub estimated_w: f64,
+}
+
+impl PowerRecord {
+    /// The pair normalized by the measured value: `[T, P]` with T ≡ 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the measured power is not positive.
+    pub fn normalized(&self) -> [f64; 2] {
+        assert!(self.measured_w > 0.0, "measured power must be positive");
+        [1.0, self.estimated_w / self.measured_w]
+    }
+
+    /// Relative error `|P − T| / T`.
+    pub fn relative_error(&self) -> f64 {
+        (self.estimated_w - self.measured_w).abs() / self.measured_w
+    }
+}
+
+/// Mean of a slice of errors (or 0.0 for an empty slice).
+pub fn mean(errors: &[f64]) -> f64 {
+    if errors.is_empty() {
+        return 0.0;
+    }
+    errors.iter().sum::<f64>() / errors.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> NormalizedRecord {
+        NormalizedRecord {
+            app: "BlackScholes".into(),
+            host_gpu: "Quadro 4000".into(),
+            host_s: 0.1,
+            target_s: 1.0,
+            c1_s: 1.3,
+            c2_s: 1.15,
+            c3_s: 1.05,
+        }
+    }
+
+    #[test]
+    fn normalization_pins_target_to_one() {
+        let n = record().normalized();
+        assert_eq!(n[1], 1.0);
+        assert!((n[0] - 0.1).abs() < 1e-12);
+        assert!((n[4] - 1.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn errors_shrink_with_refinement_in_the_example() {
+        let e = record().model_errors();
+        assert!(e[0] > e[1] && e[1] > e[2]);
+        assert!((e[2] - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_record_normalizes_and_errors() {
+        let p = PowerRecord {
+            app: "MatrixMul".into(),
+            host_gpu: "Grid K520".into(),
+            measured_w: 5.0,
+            estimated_w: 5.4,
+        };
+        assert_eq!(p.normalized()[0], 1.0);
+        assert!((p.normalized()[1] - 1.08).abs() < 1e-12);
+        assert!((p.relative_error() - 0.08).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_of_errors() {
+        assert_eq!(mean(&[]), 0.0);
+        assert!((mean(&[0.1, 0.3]) - 0.2).abs() < 1e-12);
+    }
+}

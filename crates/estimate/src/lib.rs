@@ -1,0 +1,31 @@
+//! # sigmavp-estimate — Profile-Based Execution Analysis
+//!
+//! The paper's Section 4: estimate the execution time and power of a kernel on a
+//! *target* embedded GPU (Tegra K1) from a profile captured on the *host* GPU
+//! (Quadro 4000 or Grid K520), without ever executing on the target. The pipeline
+//! (paper Fig. 7):
+//!
+//! 1. **compile** the kernel for both architectures — modeled by
+//!    [`compile::TargetCompilation`], per-class static instruction expansion (Fig. 8
+//!    shows the same kernel compiling to 32 instructions on the host and 43 on the
+//!    target);
+//! 2. **execute on the host** and gather the profile — a
+//!    [`HardwareProfile`](sigmavp_gpu::profiler::HardwareProfile) from the device's
+//!    profiler log;
+//! 3. **derive the target execution profile** — [`sigma::derive_sigma`] implements
+//!    Eq. 1, `σ{K,T} = Σ_i Σ_b λ_b · μ{b_i,T}`;
+//! 4. **estimate time** — [`timing::estimate_timing`] computes the three
+//!    increasingly refined cycle models C (Eq. 2), C′ (Eq. 4) and C″ (Eq. 5);
+//! 5. **estimate power** — [`power::estimate_power`] computes Eq. 6.
+//!
+//! Accuracy bookkeeping for the Fig. 12/13 experiments lives in [`accuracy`].
+#![warn(missing_docs)]
+
+pub mod accuracy;
+pub mod compile;
+pub mod power;
+pub mod sigma;
+pub mod timing;
+
+pub use sigma::derive_sigma;
+pub use timing::{estimate_timing, TimingEstimates};

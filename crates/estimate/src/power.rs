@@ -1,0 +1,114 @@
+//! Power estimation (Eq. 6).
+//!
+//! `P{K,T} = P_static_T + Σ_i [ σ{K_i,T} / ET{K,T} × RP_Component{i,T} ]` — static
+//! dissipation plus, per instruction class, the class's execution rate times its
+//! runtime power component. Following the paper, `ET` is computed from the C″ cycle
+//! estimate.
+
+use sigmavp_gpu::arch::GpuArch;
+use sigmavp_sptx::isa::InstrClass;
+use sigmavp_sptx::program::ClassCounts;
+
+/// A power estimate with its per-component breakdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerEstimate {
+    /// Static dissipation, watts.
+    pub static_w: f64,
+    /// Dynamic (instruction-driven) dissipation, watts.
+    pub dynamic_w: f64,
+    /// Per-class dynamic contribution, watts, in canonical class order.
+    pub per_class_w: [f64; 7],
+}
+
+impl PowerEstimate {
+    /// Total estimated power, watts.
+    pub fn total_w(&self) -> f64 {
+        self.static_w + self.dynamic_w
+    }
+}
+
+/// Estimate the mean power while executing a kernel with derived target counts
+/// `sigma_target` over an estimated execution time `et_s` on `target`.
+///
+/// # Panics
+///
+/// Panics if `et_s` is not positive — an estimate needs a valid execution time.
+pub fn estimate_power(sigma_target: &ClassCounts, et_s: f64, target: &GpuArch) -> PowerEstimate {
+    assert!(et_s > 0.0, "execution time must be positive (got {et_s})");
+    let mut per_class_w = [0.0f64; 7];
+    let mut dynamic_w = 0.0;
+    for class in InstrClass::ALL {
+        // RP_Component has energy-per-instruction units (nJ); rate × energy = W.
+        let rate = sigma_target.get(class) as f64 / et_s;
+        let watts = rate * target.instr_energy_nj.get(class) * 1e-9;
+        per_class_w[class.index()] = watts;
+        dynamic_w += watts;
+    }
+    PowerEstimate { static_w: target.static_power_w, dynamic_w, per_class_w }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(fp32: u64, ld: u64) -> ClassCounts {
+        let mut c = ClassCounts::new();
+        c.add(InstrClass::Fp32, fp32);
+        c.add(InstrClass::Ld, ld);
+        c
+    }
+
+    #[test]
+    fn power_includes_static_floor() {
+        let target = GpuArch::tegra_k1();
+        let p = estimate_power(&counts(0, 0), 1.0, &target);
+        assert_eq!(p.total_w(), target.static_power_w);
+        assert_eq!(p.dynamic_w, 0.0);
+    }
+
+    #[test]
+    fn higher_throughput_means_higher_power() {
+        let target = GpuArch::tegra_k1();
+        let slow = estimate_power(&counts(1_000_000, 0), 1.0, &target);
+        let fast = estimate_power(&counts(1_000_000, 0), 0.1, &target);
+        assert!(fast.total_w() > slow.total_w());
+    }
+
+    #[test]
+    fn per_class_breakdown_sums_to_dynamic() {
+        let target = GpuArch::grid_k520();
+        let p = estimate_power(&counts(5_000_000, 2_000_000), 0.01, &target);
+        let sum: f64 = p.per_class_w.iter().sum();
+        assert!((sum - p.dynamic_w).abs() < 1e-12);
+        assert!(p.per_class_w[InstrClass::Ld.index()] > 0.0);
+    }
+
+    #[test]
+    fn memory_instructions_cost_more_energy_than_bit_ops() {
+        let target = GpuArch::tegra_k1();
+        let mut lds = ClassCounts::new();
+        lds.add(InstrClass::Ld, 1_000_000);
+        let mut bits = ClassCounts::new();
+        bits.add(InstrClass::Bit, 1_000_000);
+        let p_ld = estimate_power(&lds, 0.01, &target);
+        let p_bit = estimate_power(&bits, 0.01, &target);
+        assert!(p_ld.dynamic_w > p_bit.dynamic_w);
+    }
+
+    #[test]
+    fn embedded_target_estimate_is_single_digit_watts() {
+        // A realistic Tegra workload should estimate in the single-digit-watt
+        // range, like the real board.
+        let target = GpuArch::tegra_k1();
+        // ~85 Ginstr/s is a realistic sustained rate; power should be single-digit
+        // to low-double-digit watts like the real board.
+        let p = estimate_power(&counts(800_000_000, 50_000_000), 0.01, &target);
+        assert!(p.total_w() > 1.0 && p.total_w() < 30.0, "got {} W", p.total_w());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_time_panics() {
+        estimate_power(&counts(1, 0), 0.0, &GpuArch::tegra_k1());
+    }
+}

@@ -1,0 +1,129 @@
+//! σ derivation (Eq. 1): expected dynamic instruction counts on the target.
+//!
+//! `σ{K,T} = Σ_i Σ_b [ λ_b · μ{b_i,T} ]` — for every basic block `b` of the kernel,
+//! multiply its per-class static instruction counts *as compiled for the target*
+//! (μ, from the [`TargetCompilation`]) by its iteration count λ_b observed on the
+//! host. λ is architecture-independent: it is determined by the program's control
+//! flow and the input data, both shared between host and target executions.
+
+use sigmavp_gpu::profiler::HardwareProfile;
+use sigmavp_sptx::program::{ClassCounts, KernelProgram};
+
+use crate::compile::TargetCompilation;
+
+/// Derive the expected per-class dynamic instruction counts of `program` on a
+/// target architecture, from the block iteration counts λ captured in a host
+/// profile and the target's compilation model.
+///
+/// Blocks that never executed on the host contribute nothing (λ_b = 0).
+pub fn derive_sigma(
+    program: &KernelProgram,
+    host_profile: &HardwareProfile,
+    compilation: &TargetCompilation,
+) -> ClassCounts {
+    let mixes = program.block_mixes();
+    let mut sigma = ClassCounts::new();
+    for (block, mix) in &mixes {
+        let lambda = host_profile.block_iterations.get(block).copied().unwrap_or(0);
+        if lambda == 0 {
+            continue;
+        }
+        let target_mix = compilation.apply(mix);
+        sigma = sigma.merged(&target_mix.scaled(lambda));
+    }
+    sigma
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigmavp_gpu::arch::GpuArch;
+    use sigmavp_gpu::device::GpuDevice;
+    use sigmavp_sptx::asm;
+    use sigmavp_sptx::interp::{LaunchConfig, ParamValue};
+    use sigmavp_sptx::isa::InstrClass;
+
+    /// A kernel with a data-dependent loop: sums the first `k` integers where `k`
+    /// comes from a parameter.
+    fn loop_kernel() -> KernelProgram {
+        asm::parse(
+            "
+.kernel sum_to_k
+entry:
+    ldp r0, 0       # k
+    ldp r1, 1       # out pointer
+    mov r2, 0       # i
+    mov r3, 0       # acc
+    mov r4, 1
+    bra header
+header:
+    setp.lt.i64 p0, r2, r0
+    @p0 bra body, exit
+body:
+    add.i64 r3, r3, r2
+    add.i64 r2, r2, r4
+    bra header
+exit:
+    st.i64 [r1], r3
+    ret
+",
+        )
+        .unwrap()
+    }
+
+    fn host_profile_for(k: i64) -> (KernelProgram, HardwareProfile) {
+        let program = loop_kernel();
+        let mut dev = GpuDevice::new(GpuArch::quadro_4000());
+        let buf = dev.malloc(8).unwrap();
+        dev.launch(
+            &program,
+            &LaunchConfig::linear(1, 1),
+            &[ParamValue::I64(k), ParamValue::Ptr(buf.addr())],
+        )
+        .unwrap();
+        let profile = dev.profiler_log().last().unwrap().clone();
+        (program, profile)
+    }
+
+    #[test]
+    fn identity_sigma_reproduces_host_counts() {
+        // With identity compilation, Eq. 1 must reconstruct exactly the dynamic
+        // counts the host profiler measured: λ·μ is a lossless decomposition.
+        let (program, profile) = host_profile_for(10);
+        let sigma = derive_sigma(&program, &profile, &TargetCompilation::identity());
+        assert_eq!(sigma, profile.counts);
+    }
+
+    #[test]
+    fn sigma_scales_with_iteration_count() {
+        let (program, p5) = host_profile_for(5);
+        let (_, p50) = host_profile_for(50);
+        let tc = TargetCompilation::tegra_k1();
+        let s5 = derive_sigma(&program, &p5, &tc);
+        let s50 = derive_sigma(&program, &p50, &tc);
+        // The loop body dominates: 10× the iterations ≈ 10× the int instructions.
+        let ratio = s50.get(InstrClass::Int) as f64 / s5.get(InstrClass::Int) as f64;
+        assert!((5.0..11.0).contains(&ratio), "ratio {ratio}");
+        assert!(s50.total() > s5.total());
+    }
+
+    #[test]
+    fn target_compilation_inflates_sigma() {
+        let (program, profile) = host_profile_for(20);
+        let id = derive_sigma(&program, &profile, &TargetCompilation::identity());
+        let tegra = derive_sigma(&program, &profile, &TargetCompilation::tegra_k1());
+        assert!(tegra.total() > id.total());
+    }
+
+    #[test]
+    fn unexecuted_blocks_contribute_nothing() {
+        // k = 0: the loop body never runs; σ must contain no body instructions
+        // beyond the header/exit path.
+        let (program, profile) = host_profile_for(0);
+        let sigma = derive_sigma(&program, &profile, &TargetCompilation::identity());
+        assert_eq!(sigma, profile.counts);
+        // Body adds two int adds per iteration; with k=0 the only int work is the
+        // setp and the movs.
+        assert!(sigma.get(InstrClass::Int) <= 2);
+    }
+}

@@ -1,0 +1,333 @@
+//! GPU architecture descriptions.
+//!
+//! A [`GpuArch`] carries every parameter the timing, cache, energy and engine models
+//! need: SM geometry, per-instruction-class latencies and energies, cache geometry,
+//! copy-engine bandwidth, launch overhead and power figures.
+//!
+//! Three presets mirror the paper's experimental setup: the two *host* GPUs
+//! ([`GpuArch::quadro_4000`] and [`GpuArch::grid_k520`]) and the *target* embedded
+//! GPU ([`GpuArch::tegra_k1`]). Parameter values are taken from public spec sheets
+//! and microbenchmarking literature (the paper's reference \[22\]); absolute accuracy
+//! is not required — the estimation experiments only rely on the *relative*
+//! characteristics (IPC ratio, latency ratios, cache sizes) between host and target.
+
+use sigmavp_sptx::isa::InstrClass;
+
+/// A per-instruction-class table of `f64` values (latencies τ, energies, power
+/// components, …), indexed by [`InstrClass`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassTable {
+    values: [f64; 7],
+}
+
+impl ClassTable {
+    /// Build from `[fp32, fp64, int, bit, branch, ld, st]` in canonical class order.
+    pub fn new(values: [f64; 7]) -> Self {
+        Self { values }
+    }
+
+    /// A table with every class set to `v`.
+    pub fn uniform(v: f64) -> Self {
+        Self { values: [v; 7] }
+    }
+
+    /// Value for one class.
+    pub fn get(&self, class: InstrClass) -> f64 {
+        self.values[class.index()]
+    }
+
+    /// Weighted sum `Σ_i counts(i) × table(i)`.
+    pub fn dot(&self, counts: &sigmavp_sptx::program::ClassCounts) -> f64 {
+        InstrClass::ALL.iter().map(|&c| counts.get(c) as f64 * self.get(c)).sum()
+    }
+}
+
+impl std::ops::Index<InstrClass> for ClassTable {
+    type Output = f64;
+
+    fn index(&self, class: InstrClass) -> &f64 {
+        &self.values[class.index()]
+    }
+}
+
+/// Cache geometry and behaviour parameters for the data-cache stall model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheGeometry {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Line size in bytes.
+    pub line_bytes: u64,
+    /// Set associativity.
+    pub associativity: u32,
+    /// Penalty in cycles for a miss serviced from DRAM.
+    pub miss_penalty_cycles: f64,
+    /// Memory-level parallelism: how many outstanding misses overlap on average,
+    /// dividing the effective stall cost.
+    pub mlp: f64,
+}
+
+/// A complete GPU architecture description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuArch {
+    /// Human-readable name, e.g. `"Quadro 4000"`.
+    pub name: String,
+    /// Number of streaming multiprocessors.
+    pub num_sms: u32,
+    /// Scalar cores per SM.
+    pub cores_per_sm: u32,
+    /// Core (shader) clock in GHz.
+    pub clock_ghz: f64,
+    /// Threads per warp.
+    pub warp_size: u32,
+    /// Maximum resident threads per SM.
+    pub max_threads_per_sm: u32,
+    /// Maximum resident blocks per SM.
+    pub max_blocks_per_sm: u32,
+    /// Per-class instruction issue-to-complete latency τ in cycles (the paper's
+    /// τ\{i,arch\}, Eq. 3).
+    pub latency: ClassTable,
+    /// L2 data-cache parameters.
+    pub cache: CacheGeometry,
+    /// Copy-engine bandwidth in GB/s (PCIe for discrete hosts, memory fabric for the
+    /// embedded target).
+    pub copy_bw_gbps: f64,
+    /// Fixed per-transfer latency in microseconds.
+    pub copy_latency_us: f64,
+    /// Whether the copy engine has independent host-to-device and device-to-host
+    /// channels that can run simultaneously.
+    pub copy_duplex: bool,
+    /// Fixed kernel-launch overhead in microseconds (the paper's `To`, Eq. 9).
+    pub launch_overhead_us: f64,
+    /// Device memory capacity in bytes.
+    pub memory_bytes: u64,
+    /// Static (idle) power dissipation in watts (the paper's `P_static`, Eq. 6).
+    pub static_power_w: f64,
+    /// Per-class energy per executed instruction in nanojoules (the paper's
+    /// `RP_Component`, which has energy-per-instruction units in Eq. 6).
+    pub instr_energy_nj: ClassTable,
+    /// Energy per byte of DRAM traffic in nanojoules; charged on cache misses by the
+    /// device's ground-truth energy accounting (deliberately *not* part of the
+    /// paper-faithful estimation model, so measured and estimated power differ
+    /// realistically).
+    pub dram_energy_nj_per_byte: f64,
+}
+
+impl GpuArch {
+    /// Total scalar cores (`num_sms × cores_per_sm`). This is the paper's "number of
+    /// used GPU processors" when a launch saturates the device.
+    pub fn total_cores(&self) -> u32 {
+        self.num_sms * self.cores_per_sm
+    }
+
+    /// Peak whole-device instructions per cycle — one instruction per core per cycle.
+    /// This is `IPC_max` in the paper's first estimation model (Eq. 2).
+    pub fn peak_ipc(&self) -> f64 {
+        self.total_cores() as f64
+    }
+
+    /// Clock frequency in Hz.
+    pub fn clock_hz(&self) -> f64 {
+        self.clock_ghz * 1e9
+    }
+
+    /// Resident blocks per SM for a given block size, limited by both the thread and
+    /// the block ceilings. Returns at least 1 (a block larger than an SM's thread
+    /// capacity still runs, serially).
+    pub fn blocks_per_sm(&self, block_dim: u32) -> u32 {
+        if block_dim == 0 {
+            return 1;
+        }
+        (self.max_threads_per_sm / block_dim.max(1)).clamp(1, self.max_blocks_per_sm)
+    }
+
+    /// Thread blocks the whole device holds concurrently — one *wave*. A grid whose
+    /// block count is not a multiple of this wastes lanes in its final wave; this
+    /// quantum is the alignment unit λ of the paper's Eq. 9 (in blocks).
+    pub fn blocks_per_wave(&self, block_dim: u32) -> u32 {
+        self.blocks_per_sm(block_dim) * self.num_sms
+    }
+
+    /// Time to move `bytes` over the copy engine, in seconds.
+    pub fn copy_time_s(&self, bytes: u64) -> f64 {
+        self.copy_latency_us * 1e-6 + bytes as f64 / (self.copy_bw_gbps * 1e9)
+    }
+
+    /// Threads the device charges for after wave padding: full waves of
+    /// `blocks_per_wave` blocks.
+    pub fn padded_threads(&self, grid_dim: u32, block_dim: u32) -> u64 {
+        let bpw = self.blocks_per_wave(block_dim) as u64;
+        let waves = (grid_dim as u64).div_ceil(bpw).max(1);
+        waves * bpw * block_dim as u64
+    }
+
+    /// Ratio of padded to launched threads (≥ 1): how much of the device a launch
+    /// wastes through grid misalignment.
+    pub fn padding_scale(&self, grid_dim: u32, block_dim: u32) -> f64 {
+        let launched = (grid_dim as u64 * block_dim as u64).max(1);
+        self.padded_threads(grid_dim, block_dim) as f64 / launched as f64
+    }
+
+    /// A Fermi-generation Quadro 4000, the paper's primary host GPU.
+    pub fn quadro_4000() -> Self {
+        GpuArch {
+            name: "Quadro 4000".into(),
+            num_sms: 8,
+            cores_per_sm: 32,
+            clock_ghz: 0.95,
+            warp_size: 32,
+            max_threads_per_sm: 1024, // 1536 architecturally; 1024 usable with 512-thread blocks
+            max_blocks_per_sm: 8,
+            // Effective cycles per instruction per core at full occupancy
+            // (throughput-style: latencies are hidden by massive multithreading;
+            // FP64 runs at 1/8 rate on Fermi, loads cost ~4 effective cycles
+            // after MLP).              fp32  fp64  int  bit  branch ld   st
+            latency: ClassTable::new([1.0, 8.0, 1.2, 1.0, 2.0, 4.0, 3.0]),
+            cache: CacheGeometry {
+                size_bytes: 512 * 1024,
+                line_bytes: 128,
+                associativity: 8,
+                miss_penalty_cycles: 400.0,
+                mlp: 12.0,
+            },
+            copy_bw_gbps: 6.0, // PCIe 2.0 ×16 effective
+            copy_latency_us: 8.0,
+            copy_duplex: true, // Fermi Quadro has dual DMA engines
+            launch_overhead_us: 7.0,
+            memory_bytes: 2 * 1024 * 1024 * 1024,
+            static_power_w: 32.0,
+            // Per-instruction energies include the amortized memory-hierarchy
+            // energy of the class (loads/stores carry their average DRAM share).
+            //                                 fp32  fp64  int   bit   branch ld    st
+            instr_energy_nj: ClassTable::new([0.45, 1.20, 0.35, 0.25, 0.30, 3.20, 2.60]),
+            dram_energy_nj_per_byte: 0.012,
+        }
+    }
+
+    /// A Kepler-generation Grid K520 (one of its two GK104 GPUs), the paper's second
+    /// host GPU.
+    pub fn grid_k520() -> Self {
+        GpuArch {
+            name: "Grid K520".into(),
+            num_sms: 8,
+            cores_per_sm: 192,
+            clock_ghz: 0.80,
+            warp_size: 32,
+            max_threads_per_sm: 2048,
+            max_blocks_per_sm: 16,
+            // Kepler GK104: fast fp32, weak fp64 (1/24 rate ≈ 12 effective),
+            // slightly costlier integer path than Fermi.
+            latency: ClassTable::new([1.0, 12.0, 1.5, 1.2, 2.0, 5.0, 3.5]),
+            cache: CacheGeometry {
+                size_bytes: 512 * 1024,
+                line_bytes: 128,
+                associativity: 16,
+                miss_penalty_cycles: 450.0,
+                mlp: 16.0,
+            },
+            copy_bw_gbps: 6.0,
+            copy_latency_us: 8.0,
+            copy_duplex: true,
+            launch_overhead_us: 6.0,
+            memory_bytes: 4 * 1024 * 1024 * 1024,
+            static_power_w: 38.0,
+            instr_energy_nj: ClassTable::new([0.30, 1.40, 0.25, 0.18, 0.22, 2.80, 2.30]),
+            dram_energy_nj_per_byte: 0.010,
+        }
+    }
+
+    /// A Tegra K1 (GK20A), the paper's *target* embedded GPU for the time/power
+    /// estimation experiments (Figs. 12 and 13).
+    pub fn tegra_k1() -> Self {
+        GpuArch {
+            name: "Tegra K1".into(),
+            num_sms: 1,
+            cores_per_sm: 192,
+            clock_ghz: 0.852,
+            warp_size: 32,
+            max_threads_per_sm: 2048,
+            max_blocks_per_sm: 16,
+            // Effective CPIs are markedly higher than on the discrete hosts: the
+            // single SMX sustains far lower utilization (sustained matmul is
+            // 5-10x below the discrete parts) and the LPDDR3 memory path is much
+            // slower, which these effective per-class costs fold in.
+            latency: ClassTable::new([5.0, 32.0, 5.0, 2.5, 6.0, 30.0, 15.0]),
+            cache: CacheGeometry {
+                size_bytes: 128 * 1024,
+                line_bytes: 128,
+                associativity: 8,
+                miss_penalty_cycles: 600.0,
+                mlp: 8.0,
+            },
+            copy_bw_gbps: 5.0, // unified LPDDR3, no PCIe hop
+            copy_latency_us: 3.0,
+            copy_duplex: false,
+            launch_overhead_us: 12.0,
+            memory_bytes: 512 * 1024 * 1024,
+            static_power_w: 1.5,
+            instr_energy_nj: ClassTable::new([0.12, 0.55, 0.10, 0.07, 0.09, 1.60, 1.30]),
+            dram_energy_nj_per_byte: 0.015,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigmavp_sptx::program::ClassCounts;
+
+    #[test]
+    fn presets_are_distinct_and_sane() {
+        for arch in [GpuArch::quadro_4000(), GpuArch::grid_k520(), GpuArch::tegra_k1()] {
+            assert!(arch.total_cores() > 0);
+            assert!(arch.clock_hz() > 1e8);
+            assert!(arch.peak_ipc() >= arch.num_sms as f64);
+            assert!(arch.cache.size_bytes > 0);
+        }
+        // The target must be much weaker than the hosts.
+        assert!(GpuArch::tegra_k1().peak_ipc() < GpuArch::quadro_4000().peak_ipc());
+        assert!(GpuArch::tegra_k1().peak_ipc() < GpuArch::grid_k520().peak_ipc());
+    }
+
+    #[test]
+    fn quadro_wave_is_16_blocks_at_512_threads() {
+        // This reproduces the paper's Fig. 10b observation: grids of 9 and 16 blocks
+        // of 512 threads take the same time, i.e. the wave quantum is 16 blocks.
+        let q = GpuArch::quadro_4000();
+        assert_eq!(q.blocks_per_sm(512), 2);
+        assert_eq!(q.blocks_per_wave(512), 16);
+    }
+
+    #[test]
+    fn blocks_per_sm_respects_both_ceilings() {
+        let q = GpuArch::quadro_4000();
+        assert_eq!(q.blocks_per_sm(32), 8); // block ceiling binds
+        assert_eq!(q.blocks_per_sm(1024), 1); // thread ceiling binds
+        assert_eq!(q.blocks_per_sm(2048), 1); // oversized blocks still run
+    }
+
+    #[test]
+    fn copy_time_scales_with_bytes() {
+        let q = GpuArch::quadro_4000();
+        let t1 = q.copy_time_s(1 << 20);
+        let t2 = q.copy_time_s(2 << 20);
+        assert!(t2 > t1);
+        assert!(t1 > q.copy_latency_us * 1e-6);
+    }
+
+    #[test]
+    fn class_table_dot_product() {
+        let t = ClassTable::new([1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+        let mut c = ClassCounts::new();
+        c.add(InstrClass::Fp32, 2);
+        c.add(InstrClass::St, 3);
+        assert_eq!(t.dot(&c), 2.0 * 1.0 + 3.0 * 7.0);
+        assert_eq!(t[InstrClass::Branch], 5.0);
+    }
+
+    #[test]
+    fn fp64_is_slower_than_fp32_everywhere() {
+        for arch in [GpuArch::quadro_4000(), GpuArch::grid_k520(), GpuArch::tegra_k1()] {
+            assert!(arch.latency[InstrClass::Fp64] > arch.latency[InstrClass::Fp32]);
+        }
+    }
+}

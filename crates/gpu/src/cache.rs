@@ -1,0 +1,145 @@
+//! A probabilistic data-cache model.
+//!
+//! This implements the role of the paper's reference \[17\] (Puranik et al.,
+//! *Probabilistic modeling of data cache behavior*): given a compact summary of a
+//! kernel's memory behaviour and a cache geometry, estimate the miss rate and the
+//! data-dependency stall cycles Υ that Eqs. 4–5 add to (and subtract from) the cycle
+//! estimates.
+//!
+//! The model has three ingredients:
+//!
+//! 1. **cold misses** — every distinct memory segment must be fetched once, so the
+//!    cold miss rate is `unique_segments / accesses`;
+//! 2. **capacity misses** — when the footprint exceeds the cache, reuse accesses miss
+//!    with probability growing with the overflow ratio (a smooth approximation of the
+//!    LRU stack-distance distribution for a uniform reuse pattern);
+//! 3. **conflict misses** — a small additive term that shrinks with associativity.
+//!
+//! Stall cycles divide by the architecture's memory-level parallelism, reflecting
+//! that a GPU overlaps many outstanding misses.
+
+use crate::arch::CacheGeometry;
+use sigmavp_sptx::counters::MemoryTraceSummary;
+use sigmavp_sptx::interp::MEMORY_SEGMENT_BYTES;
+
+/// Result of the cache model for one kernel execution on one architecture.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheEstimate {
+    /// Expected fraction of accesses that miss.
+    pub miss_rate: f64,
+    /// Expected number of missing accesses.
+    pub misses: f64,
+    /// Expected data-dependency stall cycles (the paper's Υ), already divided by
+    /// memory-level parallelism.
+    pub stall_cycles: f64,
+    /// Expected DRAM traffic in bytes (misses × line size).
+    pub dram_bytes: f64,
+}
+
+/// Estimate cache behaviour of a memory trace summary on a given cache geometry.
+///
+/// Returns an all-zero estimate for a trace with no accesses.
+pub fn estimate(trace: &MemoryTraceSummary, cache: &CacheGeometry) -> CacheEstimate {
+    if trace.accesses == 0 {
+        return CacheEstimate { miss_rate: 0.0, misses: 0.0, stall_cycles: 0.0, dram_bytes: 0.0 };
+    }
+    let accesses = trace.accesses as f64;
+    let footprint = trace.unique_segments as f64 * MEMORY_SEGMENT_BYTES as f64;
+    let capacity = cache.size_bytes as f64;
+
+    // 1. Cold misses: each unique segment is fetched at least once.
+    let cold_rate = (trace.unique_segments as f64 / accesses).min(1.0);
+
+    // 2. Capacity misses among reuse accesses. With footprint F and capacity C, a
+    //    uniformly random reuse access finds its line resident with probability
+    //    ~ C/F when F > C (steady-state LRU occupancy), so it misses with 1 - C/F.
+    let reuse_rate = 1.0 - cold_rate;
+    let capacity_miss = if footprint > capacity { 1.0 - capacity / footprint } else { 0.0 };
+
+    // 3. Conflict misses: shrink geometrically with associativity; only matter when
+    //    the cache is reasonably full.
+    let fill = (footprint / capacity).min(1.0);
+    let conflict_miss = fill * 0.5f64.powi(cache.associativity.min(16) as i32);
+
+    let miss_rate = (cold_rate + reuse_rate * (capacity_miss + conflict_miss)).min(1.0);
+    let misses = accesses * miss_rate;
+    let stall_cycles = misses * cache.miss_penalty_cycles / cache.mlp.max(1.0);
+    let dram_bytes = misses * cache.line_bytes as f64;
+    CacheEstimate { miss_rate, misses, stall_cycles, dram_bytes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::GpuArch;
+
+    fn trace(accesses: u64, unique_segments: u64) -> MemoryTraceSummary {
+        MemoryTraceSummary {
+            load_bytes: accesses * 4,
+            store_bytes: 0,
+            unique_segments,
+            accesses,
+        }
+    }
+
+    #[test]
+    fn empty_trace_has_no_stalls() {
+        let e = estimate(&MemoryTraceSummary::default(), &GpuArch::quadro_4000().cache);
+        assert_eq!(e.stall_cycles, 0.0);
+        assert_eq!(e.miss_rate, 0.0);
+    }
+
+    #[test]
+    fn fits_in_cache_only_cold_misses() {
+        let cache = GpuArch::quadro_4000().cache; // 512 KiB = 4096 segments
+        // 100 segments, 10 accesses each → footprint 12.8 KiB, fits easily.
+        let e = estimate(&trace(1000, 100), &cache);
+        // cold rate = 0.1; conflict term is tiny at assoc 8 and 2.5% fill.
+        assert!((e.miss_rate - 0.1).abs() < 0.01, "miss rate {}", e.miss_rate);
+    }
+
+    #[test]
+    fn overflow_increases_miss_rate() {
+        let cache = GpuArch::tegra_k1().cache; // 128 KiB = 1024 segments
+        let fitting = estimate(&trace(100_000, 1000), &cache);
+        let overflowing = estimate(&trace(100_000, 10_000), &cache); // 1.28 MiB footprint
+        assert!(overflowing.miss_rate > fitting.miss_rate * 2.0);
+        assert!(overflowing.stall_cycles > fitting.stall_cycles);
+    }
+
+    #[test]
+    fn smaller_cache_stalls_more() {
+        // The same trace must stall more on the Tegra's 128 KiB cache than on the
+        // Quadro's 512 KiB cache — this asymmetry is what C'' corrects for (Eq. 5).
+        let t = trace(500_000, 3000); // 384 KiB footprint: fits Quadro, busts Tegra
+        let on_host = estimate(&t, &GpuArch::quadro_4000().cache);
+        let on_target = estimate(&t, &GpuArch::tegra_k1().cache);
+        assert!(on_target.miss_rate > on_host.miss_rate);
+    }
+
+    #[test]
+    fn miss_rate_is_bounded() {
+        let cache = GpuArch::tegra_k1().cache;
+        let e = estimate(&trace(10, 10_000_000), &cache);
+        assert!(e.miss_rate <= 1.0);
+        let e = estimate(&trace(1, 1), &cache);
+        assert!(e.miss_rate <= 1.0 && e.miss_rate > 0.0);
+    }
+
+    #[test]
+    fn dram_traffic_tracks_misses() {
+        let cache = GpuArch::quadro_4000().cache;
+        let e = estimate(&trace(1000, 500), &cache);
+        assert!((e.dram_bytes - e.misses * cache.line_bytes as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn higher_mlp_reduces_stalls() {
+        let mut low = GpuArch::quadro_4000().cache;
+        low.mlp = 2.0;
+        let mut high = low;
+        high.mlp = 20.0;
+        let t = trace(100_000, 50_000);
+        assert!(estimate(&t, &low).stall_cycles > estimate(&t, &high).stall_cycles);
+    }
+}

@@ -1,0 +1,364 @@
+//! Discrete-event model of the GPU's Copy and Compute engines.
+//!
+//! This is the mechanism behind Kernel Interleaving (paper Fig. 3): a GPU has a Copy
+//! Engine and a Compute Engine that can operate in parallel, but operations *within a
+//! stream* are ordered, and each engine serves operations *in issue order*. The total
+//! makespan therefore depends on the issue order — which is exactly the knob ΣVP's
+//! re-scheduler turns.
+//!
+//! The model is a simple greedy in-order executor: each operation starts at
+//! `max(engine available, previous op in same stream finished)`. With a duplex copy
+//! engine (independent host-to-device and device-to-host channels, as on the paper's
+//! Quadro 4000), a perfectly interleaved schedule of N `copy-in → kernel → copy-out`
+//! programs with `Tm = Tk = T` completes in `(2 + N)·T`, matching the paper's Eq. 7.
+
+use crate::arch::GpuArch;
+
+/// Identifies a CUDA-style stream. ΣVP gives each VP its own stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StreamId(pub u32);
+
+/// The hardware engine an operation runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Engine {
+    /// Host-to-device copy channel.
+    CopyH2D,
+    /// Device-to-host copy channel (same channel as `CopyH2D` on half-duplex
+    /// devices).
+    CopyD2H,
+    /// Kernel execution engine.
+    Compute,
+}
+
+/// One operation submitted to the device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuOp {
+    /// Caller-chosen identifier, carried through to the timeline.
+    pub id: u64,
+    /// Stream this operation belongs to.
+    pub stream: StreamId,
+    /// Which engine it needs.
+    pub engine: Engine,
+    /// How long it runs, in seconds.
+    pub duration_s: f64,
+    /// Extra cross-stream dependencies: this operation may not start before every
+    /// listed op id has completed. Used by Kernel Coalescing, where one merged
+    /// launch consumes the input copies of *several* streams (paper Fig. 6b).
+    pub after: Vec<u64>,
+}
+
+impl GpuOp {
+    /// A host-to-device copy of `bytes` on `arch`.
+    pub fn h2d(id: u64, stream: StreamId, arch: &GpuArch, bytes: u64) -> Self {
+        GpuOp { id, stream, engine: Engine::CopyH2D, duration_s: arch.copy_time_s(bytes), after: vec![] }
+    }
+
+    /// A device-to-host copy of `bytes` on `arch`.
+    pub fn d2h(id: u64, stream: StreamId, arch: &GpuArch, bytes: u64) -> Self {
+        GpuOp { id, stream, engine: Engine::CopyD2H, duration_s: arch.copy_time_s(bytes), after: vec![] }
+    }
+
+    /// A kernel execution of known duration.
+    pub fn kernel(id: u64, stream: StreamId, duration_s: f64) -> Self {
+        GpuOp { id, stream, engine: Engine::Compute, duration_s, after: vec![] }
+    }
+
+    /// Add cross-stream dependencies (builder style).
+    pub fn with_after(mut self, after: Vec<u64>) -> Self {
+        self.after = after;
+        self
+    }
+}
+
+/// When one operation ran.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpSpan {
+    /// The operation's caller-chosen id.
+    pub id: u64,
+    /// Stream it belonged to.
+    pub stream: StreamId,
+    /// Engine it ran on.
+    pub engine: Engine,
+    /// Start time in seconds from timeline origin.
+    pub start_s: f64,
+    /// End time in seconds from timeline origin.
+    pub end_s: f64,
+}
+
+/// The executed schedule: per-op spans plus aggregate statistics.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Timeline {
+    /// One span per submitted operation, in issue order.
+    pub spans: Vec<OpSpan>,
+    /// Completion time of the last operation.
+    pub makespan_s: f64,
+}
+
+impl Timeline {
+    /// Total busy time of one engine.
+    pub fn busy_s(&self, engine: Engine) -> f64 {
+        self.spans.iter().filter(|s| s.engine == engine).map(|s| s.end_s - s.start_s).sum()
+    }
+
+    /// Utilization of an engine over the makespan, in `[0, 1]`.
+    pub fn utilization(&self, engine: Engine) -> f64 {
+        if self.makespan_s <= 0.0 {
+            return 0.0;
+        }
+        self.busy_s(engine) / self.makespan_s
+    }
+
+    /// The span of a particular operation id, if present.
+    pub fn span(&self, id: u64) -> Option<&OpSpan> {
+        self.spans.iter().find(|s| s.id == id)
+    }
+
+    /// Completion time of the last operation in a given stream (0 when the stream
+    /// issued nothing).
+    pub fn stream_finish_s(&self, stream: StreamId) -> f64 {
+        self.spans.iter().filter(|s| s.stream == stream).map(|s| s.end_s).fold(0.0, f64::max)
+    }
+
+    /// Export the timeline as a Chrome trace (the JSON array format accepted by
+    /// `chrome://tracing` and Perfetto): one duration event per op, with the three
+    /// engines as rows and the stream id attached as an argument.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, span) in self.spans.iter().enumerate() {
+            let (tid, engine) = match span.engine {
+                Engine::CopyH2D => (0, "copy-h2d"),
+                Engine::Compute => (1, "compute"),
+                Engine::CopyD2H => (2, "copy-d2h"),
+            };
+            let sep = if i + 1 == self.spans.len() { "" } else { "," };
+            out.push_str(&format!(
+                concat!(
+                    "  {{\"name\": \"op{}\", \"cat\": \"{}\", \"ph\": \"X\", ",
+                    "\"ts\": {:.3}, \"dur\": {:.3}, \"pid\": 0, \"tid\": {}, ",
+                    "\"args\": {{\"stream\": {}}}}}{}\n"
+                ),
+                span.id,
+                engine,
+                span.start_s * 1e6,
+                (span.end_s - span.start_s) * 1e6,
+                tid,
+                span.stream.0,
+                sep
+            ));
+        }
+        out.push_str("]\n");
+        out
+    }
+}
+
+/// Simulate the execution of `ops` in the given *issue order* on `arch`.
+///
+/// Two ordering constraints are honored:
+///
+/// 1. operations in the same stream execute in their issue order, and
+/// 2. each engine serves its operations in issue order (no out-of-order engines).
+///
+/// On half-duplex devices (`arch.copy_duplex == false`), `CopyH2D` and `CopyD2H`
+/// contend for a single copy channel.
+pub fn simulate(arch: &GpuArch, ops: &[GpuOp]) -> Timeline {
+    let mut h2d_free = 0.0f64;
+    let mut d2h_free = 0.0f64;
+    let mut compute_free = 0.0f64;
+    let mut stream_free: std::collections::HashMap<StreamId, f64> = std::collections::HashMap::new();
+    let mut end_by_id: std::collections::HashMap<u64, f64> = std::collections::HashMap::new();
+
+    let mut spans = Vec::with_capacity(ops.len());
+    let mut makespan = 0.0f64;
+
+    for op in ops {
+        let engine_free = match op.engine {
+            Engine::Compute => &mut compute_free,
+            Engine::CopyH2D => &mut h2d_free,
+            Engine::CopyD2H => {
+                if arch.copy_duplex {
+                    &mut d2h_free
+                } else {
+                    &mut h2d_free
+                }
+            }
+        };
+        let stream_prev = stream_free.entry(op.stream).or_insert(0.0);
+        let dep_ready = op
+            .after
+            .iter()
+            .map(|dep| end_by_id.get(dep).copied().unwrap_or(0.0))
+            .fold(0.0f64, f64::max);
+        let start = engine_free.max(*stream_prev).max(dep_ready);
+        let end = start + op.duration_s;
+        *engine_free = end;
+        *stream_prev = end;
+        end_by_id.insert(op.id, end);
+        makespan = makespan.max(end);
+        spans.push(OpSpan { id: op.id, stream: op.stream, engine: op.engine, start_s: start, end_s: end });
+    }
+
+    Timeline { spans, makespan_s: makespan }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn duplex_arch() -> GpuArch {
+        GpuArch::quadro_4000()
+    }
+
+    fn half_duplex_arch() -> GpuArch {
+        GpuArch::tegra_k1()
+    }
+
+    /// Build N copy-in/kernel/copy-out programs with unit durations, in the given
+    /// interleaving: `grouped == false` issues programs back to back (VP-serialized),
+    /// `grouped == true` issues all copy-ins, then kernels, then copy-outs in a
+    /// pipelined round-robin order.
+    fn programs(n: u64, t: f64, pipelined: bool) -> Vec<GpuOp> {
+        let mut ops = Vec::new();
+        if pipelined {
+            // Pipelined issue order: in0, (k0, in1), (out0, k1, in2)...
+            // A simple round-robin by phase achieves the same makespan in this model.
+            for i in 0..n {
+                ops.push(GpuOp { id: i * 3, stream: StreamId(i as u32), engine: Engine::CopyH2D, duration_s: t, after: vec![] });
+            }
+            for i in 0..n {
+                ops.push(GpuOp { id: i * 3 + 1, stream: StreamId(i as u32), engine: Engine::Compute, duration_s: t, after: vec![] });
+            }
+            for i in 0..n {
+                ops.push(GpuOp { id: i * 3 + 2, stream: StreamId(i as u32), engine: Engine::CopyD2H, duration_s: t, after: vec![] });
+            }
+        } else {
+            for i in 0..n {
+                let s = StreamId(0); // one synchronous queue: full serialization
+                ops.push(GpuOp { id: i * 3, stream: s, engine: Engine::CopyH2D, duration_s: t, after: vec![] });
+                ops.push(GpuOp { id: i * 3 + 1, stream: s, engine: Engine::Compute, duration_s: t, after: vec![] });
+                ops.push(GpuOp { id: i * 3 + 2, stream: s, engine: Engine::CopyD2H, duration_s: t, after: vec![] });
+            }
+        }
+        ops
+    }
+
+    #[test]
+    fn serialized_programs_take_3nt() {
+        let arch = duplex_arch();
+        let tl = simulate(&arch, &programs(8, 1.0, false));
+        assert!((tl.makespan_s - 24.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pipelined_programs_match_eq7() {
+        // Eq. 7 with Tm = Tk = T: Ttotal = (2 + N)·T.
+        let arch = duplex_arch();
+        for n in [2u64, 4, 8, 16, 32] {
+            let tl = simulate(&arch, &programs(n, 1.0, true));
+            assert!(
+                (tl.makespan_s - (2.0 + n as f64)).abs() < 1e-9,
+                "N={n}: got {}",
+                tl.makespan_s
+            );
+        }
+    }
+
+    #[test]
+    fn eq7_with_unequal_tm_tk() {
+        // Ttotal = 2·Tm + N·max(Tm, Tk). Long kernels: compute engine is the
+        // bottleneck.
+        let arch = duplex_arch();
+        let (tm, tk, n) = (1.0, 3.0, 5u64);
+        let mut ops = Vec::new();
+        for i in 0..n {
+            ops.push(GpuOp { id: i, stream: StreamId(i as u32), engine: Engine::CopyH2D, duration_s: tm, after: vec![] });
+        }
+        for i in 0..n {
+            ops.push(GpuOp { id: 100 + i, stream: StreamId(i as u32), engine: Engine::Compute, duration_s: tk, after: vec![] });
+        }
+        for i in 0..n {
+            ops.push(GpuOp { id: 200 + i, stream: StreamId(i as u32), engine: Engine::CopyD2H, duration_s: tm, after: vec![] });
+        }
+        let tl = simulate(&arch, &ops);
+        let expected = 2.0 * tm + n as f64 * tk.max(tm);
+        assert!((tl.makespan_s - expected).abs() < 1e-9, "got {}", tl.makespan_s);
+    }
+
+    #[test]
+    fn half_duplex_copies_contend() {
+        // On a half-duplex device, an H2D and a D2H in different streams serialize.
+        let arch = half_duplex_arch();
+        let ops = [
+            GpuOp { id: 0, stream: StreamId(0), engine: Engine::CopyH2D, duration_s: 1.0, after: vec![] },
+            GpuOp { id: 1, stream: StreamId(1), engine: Engine::CopyD2H, duration_s: 1.0, after: vec![] },
+        ];
+        let tl = simulate(&arch, &ops);
+        assert!((tl.makespan_s - 2.0).abs() < 1e-9);
+
+        let duplex_tl = simulate(&duplex_arch(), &ops);
+        assert!((duplex_tl.makespan_s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stream_order_is_preserved() {
+        // A kernel must not start before its stream's copy finished, even though the
+        // compute engine is idle.
+        let arch = duplex_arch();
+        let ops = [
+            GpuOp { id: 0, stream: StreamId(0), engine: Engine::CopyH2D, duration_s: 2.0, after: vec![] },
+            GpuOp { id: 1, stream: StreamId(0), engine: Engine::Compute, duration_s: 1.0, after: vec![] },
+        ];
+        let tl = simulate(&arch, &ops);
+        let k = tl.span(1).unwrap();
+        assert!((k.start_s - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn issue_order_matters_for_makespan() {
+        // Two streams: (long copy, short kernel) and (short copy, long kernel).
+        // Issuing the short copy first lets its long kernel overlap the long copy.
+        let arch = duplex_arch();
+        let bad = [
+            GpuOp { id: 0, stream: StreamId(0), engine: Engine::CopyH2D, duration_s: 4.0, after: vec![] },
+            GpuOp { id: 1, stream: StreamId(1), engine: Engine::CopyH2D, duration_s: 1.0, after: vec![] },
+            GpuOp { id: 2, stream: StreamId(0), engine: Engine::Compute, duration_s: 1.0, after: vec![] },
+            GpuOp { id: 3, stream: StreamId(1), engine: Engine::Compute, duration_s: 4.0, after: vec![] },
+        ];
+        let good = [bad[1].clone(), bad[0].clone(), bad[3].clone(), bad[2].clone()];
+        let t_bad = simulate(&arch, &bad).makespan_s;
+        let t_good = simulate(&arch, &good).makespan_s;
+        assert!(t_good < t_bad, "good {t_good} vs bad {t_bad}");
+    }
+
+    #[test]
+    fn utilization_and_busy_accounting() {
+        let arch = duplex_arch();
+        let tl = simulate(&arch, &programs(4, 1.0, true));
+        assert!((tl.busy_s(Engine::Compute) - 4.0).abs() < 1e-9);
+        assert!(tl.utilization(Engine::Compute) > 0.5);
+        assert!(tl.utilization(Engine::Compute) <= 1.0);
+        assert_eq!(Timeline::default().utilization(Engine::Compute), 0.0);
+    }
+
+    #[test]
+    fn chrome_trace_is_well_formed() {
+        let arch = duplex_arch();
+        let tl = simulate(&arch, &programs(2, 1.0, true));
+        let trace = tl.to_chrome_trace();
+        assert!(trace.starts_with('['));
+        assert!(trace.trim_end().ends_with(']'));
+        assert_eq!(trace.matches("\"ph\": \"X\"").count(), tl.spans.len());
+        assert!(trace.contains("copy-h2d"));
+        assert!(trace.contains("compute"));
+        assert!(trace.contains("copy-d2h"));
+        // No trailing comma before the closing bracket.
+        assert!(!trace.contains(",\n]"));
+    }
+
+    #[test]
+    fn stream_finish_times() {
+        let arch = duplex_arch();
+        let tl = simulate(&arch, &programs(2, 1.0, true));
+        assert!(tl.stream_finish_s(StreamId(0)) <= tl.stream_finish_s(StreamId(1)));
+        assert_eq!(tl.stream_finish_s(StreamId(99)), 0.0);
+    }
+}

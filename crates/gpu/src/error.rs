@@ -1,0 +1,86 @@
+//! Error type for the simulated GPU device.
+
+use std::fmt;
+
+use sigmavp_sptx::SptxError;
+
+/// Errors raised by the simulated GPU device.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GpuError {
+    /// Device memory is exhausted (or too fragmented) for an allocation.
+    OutOfMemory {
+        /// Bytes requested.
+        requested: u64,
+        /// Total device memory.
+        capacity: u64,
+        /// Bytes currently free (possibly fragmented).
+        free: u64,
+    },
+    /// A buffer handle does not belong to this device or was already freed.
+    InvalidBuffer {
+        /// The handle's base address.
+        addr: u64,
+    },
+    /// A memcpy size does not match the destination buffer.
+    SizeMismatch {
+        /// Size of the buffer in bytes.
+        buffer: u64,
+        /// Size of the host-side data in bytes.
+        host: u64,
+    },
+    /// The kernel itself faulted (bounds, div-by-zero, budget, …).
+    Kernel(SptxError),
+}
+
+impl fmt::Display for GpuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpuError::OutOfMemory { requested, capacity, free } => write!(
+                f,
+                "device out of memory: requested {requested} bytes, {free} free of {capacity}"
+            ),
+            GpuError::InvalidBuffer { addr } => {
+                write!(f, "invalid or freed device buffer at address {addr:#x}")
+            }
+            GpuError::SizeMismatch { buffer, host } => {
+                write!(f, "memcpy size mismatch: buffer is {buffer} bytes, host data is {host} bytes")
+            }
+            GpuError::Kernel(e) => write!(f, "kernel fault: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GpuError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GpuError::Kernel(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SptxError> for GpuError {
+    fn from(e: SptxError) -> Self {
+        GpuError::Kernel(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = GpuError::OutOfMemory { requested: 100, capacity: 64, free: 10 };
+        assert!(e.to_string().contains("100"));
+        let e = GpuError::InvalidBuffer { addr: 0x40 };
+        assert!(e.to_string().contains("0x40"));
+    }
+
+    #[test]
+    fn kernel_errors_chain_source() {
+        use std::error::Error;
+        let e = GpuError::from(SptxError::EmptyProgram);
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,144 @@
+//! The device profiler: per-launch hardware counters.
+//!
+//! In the paper, "the Profiler, which is provided by the manufacturer, acquires
+//! execution information such as the number of executed instructions (per instruction
+//! type), the elapsed clock cycles, and the percentages of each occurred stall."
+//! [`HardwareProfile`] is exactly that record; the estimation crate consumes it to
+//! predict target-GPU behaviour without ever executing on the target.
+
+use crate::timing::KernelCost;
+use sigmavp_sptx::counters::ExecutionProfile;
+use sigmavp_sptx::interp::LaunchConfig;
+use sigmavp_sptx::isa::BlockId;
+use sigmavp_sptx::program::ClassCounts;
+use std::collections::HashMap;
+
+/// Hardware counters for one kernel launch on one device — the profiler's output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HardwareProfile {
+    /// Kernel name.
+    pub kernel: String,
+    /// Launch shape.
+    pub launch: LaunchConfig,
+    /// Executed instructions per class (σ on the profiled device, unpadded).
+    pub counts: ClassCounts,
+    /// Per-basic-block iteration counts λ_b (the paper obtains these by dynamically
+    /// inserting PTX instructions; the simulated device provides them natively).
+    pub block_iterations: HashMap<BlockId, u64>,
+    /// Elapsed clock cycles, including stalls.
+    pub cycles: f64,
+    /// Of which: data-dependency stall cycles (the paper's Υ^data).
+    pub data_stall_cycles: f64,
+    /// Cache miss rate observed.
+    pub cache_miss_rate: f64,
+    /// Total load/store operations.
+    pub memory_accesses: u64,
+    /// Distinct 128-byte segments touched (footprint proxy).
+    pub unique_segments: u64,
+    /// Wall time of the launch in (simulated) seconds.
+    pub time_s: f64,
+    /// Energy dissipated in joules (device ground truth).
+    pub energy_j: f64,
+    /// Threads launched.
+    pub threads: u64,
+}
+
+impl HardwareProfile {
+    /// Assemble a profile from the functional execution profile and the cost model's
+    /// output.
+    pub fn from_run(
+        kernel: &str,
+        launch: LaunchConfig,
+        exec: &ExecutionProfile,
+        cost: &KernelCost,
+    ) -> Self {
+        HardwareProfile {
+            kernel: kernel.to_string(),
+            launch,
+            counts: exec.counts,
+            block_iterations: exec.block_iterations.clone(),
+            cycles: cost.cycles,
+            data_stall_cycles: cost.stall_cycles,
+            cache_miss_rate: cost.cache.miss_rate,
+            memory_accesses: exec.memory.accesses,
+            unique_segments: exec.memory.unique_segments,
+            time_s: cost.time_s,
+            energy_j: cost.energy_j,
+            threads: exec.threads,
+        }
+    }
+
+    /// Fraction of elapsed cycles spent stalled on data dependencies.
+    pub fn stall_fraction(&self) -> f64 {
+        if self.cycles <= 0.0 {
+            return 0.0;
+        }
+        self.data_stall_cycles / self.cycles
+    }
+
+    /// Achieved instructions per cycle on the profiled device.
+    pub fn achieved_ipc(&self) -> f64 {
+        if self.cycles <= 0.0 {
+            return 0.0;
+        }
+        self.counts.total() as f64 / self.cycles
+    }
+
+    /// Mean power over the launch, in watts.
+    pub fn mean_power_w(&self) -> f64 {
+        if self.time_s <= 0.0 {
+            return 0.0;
+        }
+        self.energy_j / self.time_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CacheEstimate;
+    use sigmavp_sptx::isa::InstrClass;
+
+    fn sample() -> HardwareProfile {
+        let mut exec = ExecutionProfile::new();
+        exec.counts.add(InstrClass::Fp32, 800);
+        exec.counts.add(InstrClass::Ld, 200);
+        exec.threads = 10;
+        exec.memory.accesses = 200;
+        exec.memory.unique_segments = 50;
+        exec.block_iterations.insert(BlockId(0), 10);
+        let cost = KernelCost {
+            waves: 1,
+            padded_threads: 16,
+            padded_counts: exec.counts,
+            cycles_ideal: 4000.0,
+            stall_cycles: 1000.0,
+            cycles: 5000.0,
+            time_s: 1e-4,
+            energy_j: 2e-3,
+            power_w: 20.0,
+            cache: CacheEstimate { miss_rate: 0.2, misses: 40.0, stall_cycles: 1000.0, dram_bytes: 5120.0 },
+        };
+        HardwareProfile::from_run("k", LaunchConfig::linear(1, 10), &exec, &cost)
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let p = sample();
+        assert!((p.stall_fraction() - 0.2).abs() < 1e-12);
+        assert!((p.achieved_ipc() - 0.2).abs() < 1e-12);
+        assert!((p.mean_power_w() - 20.0).abs() < 1e-9);
+        assert_eq!(p.counts.get(InstrClass::Fp32), 800);
+        assert_eq!(p.block_iterations[&BlockId(0)], 10);
+    }
+
+    #[test]
+    fn zero_cycles_are_safe() {
+        let mut p = sample();
+        p.cycles = 0.0;
+        p.time_s = 0.0;
+        assert_eq!(p.stall_fraction(), 0.0);
+        assert_eq!(p.achieved_ipc(), 0.0);
+        assert_eq!(p.mean_power_w(), 0.0);
+    }
+}

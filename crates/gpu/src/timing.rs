@@ -1,0 +1,198 @@
+//! Kernel cost model: cycles, time and energy for one launch on one architecture.
+//!
+//! The model follows the structure of the paper's Eqs. 3–6 while adding the
+//! *grid-quantization* effect the paper measures in Fig. 10b:
+//!
+//! * per-class cycle work `CP = Σ_i σ_i × τ_i` (ideal, stall-free; Eq. 3),
+//! * data-cache stall cycles Υ from the probabilistic [`crate::cache`] model,
+//! * execution time `ET = C / (P × f) + To` where `P` is the number of device cores,
+//!   `f` the clock, and `To` the launch overhead (paper, Section 4 and Eq. 9),
+//! * **wave padding**: a grid of `g` blocks runs in `⌈g / blocks_per_wave⌉` waves and
+//!   pays for full waves, so σ is scaled to the padded thread count. A 9-block grid
+//!   on a 16-block-wave device costs exactly as much as a 16-block grid — the
+//!   staircase of Fig. 10b and the alignment gain harvested by Kernel Coalescing.
+
+use crate::arch::GpuArch;
+use crate::cache::{self, CacheEstimate};
+use sigmavp_sptx::counters::ExecutionProfile;
+use sigmavp_sptx::interp::LaunchConfig;
+use sigmavp_sptx::program::ClassCounts;
+
+/// Full cost breakdown for one kernel launch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelCost {
+    /// Number of waves the grid needed.
+    pub waves: u64,
+    /// Threads paid for after wave padding (≥ the launched thread count).
+    pub padded_threads: u64,
+    /// σ after wave padding: per-class dynamic instruction counts scaled to the
+    /// padded thread count.
+    pub padded_counts: ClassCounts,
+    /// Ideal (stall-free) cycle work `CP = Σ σ_i τ_i` (Eq. 3).
+    pub cycles_ideal: f64,
+    /// Data-cache stall cycles Υ.
+    pub stall_cycles: f64,
+    /// Total cycle work `C = CP + Υ`.
+    pub cycles: f64,
+    /// Execution time in seconds, including launch overhead.
+    pub time_s: f64,
+    /// Energy in joules (static + per-instruction + DRAM traffic).
+    pub energy_j: f64,
+    /// Mean power over the execution, in watts.
+    pub power_w: f64,
+    /// Cache estimate that produced the stalls.
+    pub cache: CacheEstimate,
+}
+
+/// Compute the cost of executing a kernel whose dynamic behaviour is described by
+/// `profile` with launch shape `cfg` on `arch`.
+///
+/// `profile` is the *functional* execution profile (from the SPTX interpreter); the
+/// same profile priced on different architectures yields different costs, which is
+/// precisely the spread the paper's estimation models have to predict.
+pub fn kernel_cost(arch: &GpuArch, profile: &ExecutionProfile, cfg: &LaunchConfig) -> KernelCost {
+    let blocks = cfg.grid_dim as u64;
+    let bpw = arch.blocks_per_wave(cfg.block_dim) as u64;
+    let waves = blocks.div_ceil(bpw).max(1);
+    let padded_blocks = waves * bpw;
+    let padded_threads = padded_blocks * cfg.block_dim as u64;
+
+    // Scale per-thread work up to the padded thread count. Use f64 scaling to avoid
+    // demanding divisibility; rounding error is negligible at these magnitudes.
+    let launched = profile.threads.max(1);
+    let scale = padded_threads as f64 / launched as f64;
+    let padded_counts: ClassCounts = profile
+        .counts
+        .iter()
+        .map(|(c, n)| (c, (n as f64 * scale).round() as u64))
+        .collect();
+
+    let cycles_ideal = arch.latency.dot(&padded_counts);
+    // Memory behaviour does not scale with padding: idle lanes make no accesses.
+    let cache_est = cache::estimate(&profile.memory, &arch.cache);
+    let cycles = cycles_ideal + cache_est.stall_cycles;
+
+    let compute_time = cycles / (arch.total_cores() as f64 * arch.clock_hz());
+    let time_s = arch.launch_overhead_us * 1e-6 + compute_time;
+
+    let instr_energy = arch.instr_energy_nj.dot(&profile.counts) * 1e-9;
+    let dram_energy = cache_est.dram_bytes * arch.dram_energy_nj_per_byte * 1e-9;
+    let energy_j = arch.static_power_w * time_s + instr_energy + dram_energy;
+    let power_w = if time_s > 0.0 { energy_j / time_s } else { arch.static_power_w };
+
+    KernelCost {
+        waves,
+        padded_threads,
+        padded_counts,
+        cycles_ideal,
+        stall_cycles: cache_est.stall_cycles,
+        cycles,
+        time_s,
+        energy_j,
+        power_w,
+        cache: cache_est,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigmavp_sptx::isa::InstrClass;
+
+    /// A synthetic profile: `per_thread` instructions of one class per thread.
+    fn profile(threads: u64, class: InstrClass, per_thread: u64, accesses: u64, segs: u64) -> ExecutionProfile {
+        let mut p = ExecutionProfile::new();
+        p.counts.add(class, per_thread * threads);
+        p.threads = threads;
+        p.memory.accesses = accesses;
+        p.memory.unique_segments = segs;
+        p.memory.load_bytes = accesses * 4;
+        p
+    }
+
+    #[test]
+    fn staircase_grids_in_same_wave_cost_the_same() {
+        let arch = GpuArch::quadro_4000(); // 16-block wave at 512 threads
+        let mk = |grid: u32| {
+            let cfg = LaunchConfig::linear(grid, 512);
+            // Enough per-thread work that a wave dwarfs the launch overhead.
+            let p = profile(cfg.total_threads(), InstrClass::Fp32, 1000, 0, 0);
+            kernel_cost(&arch, &p, &cfg)
+        };
+        let c9 = mk(9);
+        let c16 = mk(16);
+        let c17 = mk(17);
+        assert_eq!(c9.waves, 1);
+        assert_eq!(c16.waves, 1);
+        assert_eq!(c17.waves, 2);
+        // Same padded work → same time (Fig. 10b tread).
+        assert!((c9.time_s - c16.time_s).abs() / c16.time_s < 1e-9);
+        // Next wave → a step up (Fig. 10b riser).
+        assert!(c17.time_s > c16.time_s * 1.5);
+    }
+
+    #[test]
+    fn fp64_work_is_slower_than_fp32() {
+        let arch = GpuArch::quadro_4000();
+        let cfg = LaunchConfig::linear(16, 512);
+        let t = cfg.total_threads();
+        let f32c = kernel_cost(&arch, &profile(t, InstrClass::Fp32, 100, 0, 0), &cfg);
+        let f64c = kernel_cost(&arch, &profile(t, InstrClass::Fp64, 100, 0, 0), &cfg);
+        assert!(f64c.time_s > f32c.time_s);
+    }
+
+    #[test]
+    fn target_is_slower_than_host_for_the_same_profile() {
+        let cfg = LaunchConfig::linear(16, 256);
+        let p = profile(cfg.total_threads(), InstrClass::Fp32, 500, 10_000, 5_000);
+        let on_host = kernel_cost(&GpuArch::quadro_4000(), &p, &cfg);
+        let on_target = kernel_cost(&GpuArch::tegra_k1(), &p, &cfg);
+        assert!(
+            on_target.time_s > 3.0 * on_host.time_s,
+            "target {} vs host {}",
+            on_target.time_s,
+            on_host.time_s
+        );
+    }
+
+    #[test]
+    fn stalls_add_to_ideal_cycles() {
+        let arch = GpuArch::tegra_k1();
+        let cfg = LaunchConfig::linear(4, 128);
+        let no_mem = kernel_cost(&arch, &profile(cfg.total_threads(), InstrClass::Int, 50, 0, 0), &cfg);
+        let heavy_mem =
+            kernel_cost(&arch, &profile(cfg.total_threads(), InstrClass::Int, 50, 100_000, 50_000), &cfg);
+        assert_eq!(no_mem.stall_cycles, 0.0);
+        assert!(heavy_mem.stall_cycles > 0.0);
+        assert!((heavy_mem.cycles - heavy_mem.cycles_ideal - heavy_mem.stall_cycles).abs() < 1e-6);
+        assert!(heavy_mem.time_s > no_mem.time_s);
+    }
+
+    #[test]
+    fn launch_overhead_is_a_floor() {
+        let arch = GpuArch::quadro_4000();
+        let cfg = LaunchConfig::linear(1, 32);
+        let c = kernel_cost(&arch, &profile(cfg.total_threads(), InstrClass::Int, 1, 0, 0), &cfg);
+        assert!(c.time_s >= arch.launch_overhead_us * 1e-6);
+    }
+
+    #[test]
+    fn energy_and_power_are_positive_and_consistent() {
+        let arch = GpuArch::grid_k520();
+        let cfg = LaunchConfig::linear(8, 256);
+        let c = kernel_cost(&arch, &profile(cfg.total_threads(), InstrClass::Fp32, 200, 1000, 100), &cfg);
+        assert!(c.energy_j > 0.0);
+        assert!(c.power_w >= arch.static_power_w);
+        assert!((c.power_w * c.time_s - c.energy_j).abs() < 1e-12);
+    }
+
+    #[test]
+    fn padded_counts_scale_with_waves() {
+        let arch = GpuArch::quadro_4000();
+        let cfg = LaunchConfig::linear(8, 512); // half a wave
+        let p = profile(cfg.total_threads(), InstrClass::Fp32, 10, 0, 0);
+        let c = kernel_cost(&arch, &p, &cfg);
+        assert_eq!(c.padded_threads, 16 * 512);
+        assert_eq!(c.padded_counts.get(InstrClass::Fp32), 16 * 512 * 10);
+    }
+}

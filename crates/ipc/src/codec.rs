@@ -1,0 +1,344 @@
+//! Binary wire codec for the IPC protocol.
+//!
+//! Frames are length-prefixed: a little-endian `u32` payload length followed by the
+//! payload. Payloads use a compact tagged encoding (one tag byte per variant,
+//! little-endian fixed-width fields, length-prefixed byte strings). The codec is
+//! symmetric: `decode_request(encode_request(e)) == e`.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::error::IpcError;
+use crate::message::{Envelope, Request, Response, ResponseEnvelope, VpId, WireParam};
+
+const TAG_MALLOC: u8 = 1;
+const TAG_FREE: u8 = 2;
+const TAG_H2D: u8 = 3;
+const TAG_D2H: u8 = 4;
+const TAG_LAUNCH: u8 = 5;
+const TAG_SYNC: u8 = 6;
+
+const RTAG_MALLOC: u8 = 101;
+const RTAG_DONE: u8 = 102;
+const RTAG_DATA: u8 = 103;
+const RTAG_LAUNCHED: u8 = 104;
+const RTAG_ERROR: u8 = 105;
+
+const PTAG_BUFFER: u8 = 1;
+const PTAG_F64: u8 = 2;
+const PTAG_I64: u8 = 3;
+
+/// Encode a request envelope into a framed byte buffer.
+pub fn encode_request(envelope: &Envelope) -> Bytes {
+    let mut payload = BytesMut::with_capacity(64);
+    payload.put_u32_le(envelope.vp.0);
+    payload.put_u64_le(envelope.seq);
+    payload.put_f64_le(envelope.sent_at_s);
+    match &envelope.body {
+        Request::Malloc { bytes } => {
+            payload.put_u8(TAG_MALLOC);
+            payload.put_u64_le(*bytes);
+        }
+        Request::Free { handle } => {
+            payload.put_u8(TAG_FREE);
+            payload.put_u64_le(*handle);
+        }
+        Request::MemcpyH2D { handle, data, stream } => {
+            payload.put_u8(TAG_H2D);
+            payload.put_u64_le(*handle);
+            payload.put_u32_le(*stream);
+            put_bytes(&mut payload, data);
+        }
+        Request::MemcpyD2H { handle, len, stream } => {
+            payload.put_u8(TAG_D2H);
+            payload.put_u64_le(*handle);
+            payload.put_u64_le(*len);
+            payload.put_u32_le(*stream);
+        }
+        Request::Launch { kernel, grid_dim, block_dim, params, sync, stream } => {
+            payload.put_u8(TAG_LAUNCH);
+            put_bytes(&mut payload, kernel.as_bytes());
+            payload.put_u32_le(*grid_dim);
+            payload.put_u32_le(*block_dim);
+            payload.put_u32_le(*stream);
+            payload.put_u8(u8::from(*sync));
+            payload.put_u32_le(params.len() as u32);
+            for p in params {
+                match p {
+                    WireParam::Buffer(h) => {
+                        payload.put_u8(PTAG_BUFFER);
+                        payload.put_u64_le(*h);
+                    }
+                    WireParam::F64(v) => {
+                        payload.put_u8(PTAG_F64);
+                        payload.put_f64_le(*v);
+                    }
+                    WireParam::I64(v) => {
+                        payload.put_u8(PTAG_I64);
+                        payload.put_i64_le(*v);
+                    }
+                }
+            }
+        }
+        Request::Synchronize => payload.put_u8(TAG_SYNC),
+    }
+    frame(payload)
+}
+
+/// Decode a framed request envelope.
+///
+/// # Errors
+///
+/// Returns [`IpcError::Decode`] for truncated or malformed frames.
+pub fn decode_request(frame: &[u8]) -> Result<Envelope, IpcError> {
+    let mut buf = unframe(frame)?;
+    let vp = VpId(get_u32(&mut buf, frame.len())?);
+    let seq = get_u64(&mut buf, frame.len())?;
+    let sent_at_s = get_f64(&mut buf, frame.len())?;
+    let tag = get_u8(&mut buf, frame.len())?;
+    let body = match tag {
+        TAG_MALLOC => Request::Malloc { bytes: get_u64(&mut buf, frame.len())? },
+        TAG_FREE => Request::Free { handle: get_u64(&mut buf, frame.len())? },
+        TAG_H2D => {
+            let handle = get_u64(&mut buf, frame.len())?;
+            let stream = get_u32(&mut buf, frame.len())?;
+            let data = get_bytes(&mut buf, frame.len())?;
+            Request::MemcpyH2D { handle, data, stream }
+        }
+        TAG_D2H => Request::MemcpyD2H {
+            handle: get_u64(&mut buf, frame.len())?,
+            len: get_u64(&mut buf, frame.len())?,
+            stream: get_u32(&mut buf, frame.len())?,
+        },
+        TAG_LAUNCH => {
+            let kernel = String::from_utf8(get_bytes(&mut buf, frame.len())?).map_err(|e| {
+                IpcError::Decode { offset: frame.len() - buf.remaining(), message: e.to_string() }
+            })?;
+            let grid_dim = get_u32(&mut buf, frame.len())?;
+            let block_dim = get_u32(&mut buf, frame.len())?;
+            let stream = get_u32(&mut buf, frame.len())?;
+            let sync = get_u8(&mut buf, frame.len())? != 0;
+            let n = get_u32(&mut buf, frame.len())? as usize;
+            let mut params = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                let ptag = get_u8(&mut buf, frame.len())?;
+                params.push(match ptag {
+                    PTAG_BUFFER => WireParam::Buffer(get_u64(&mut buf, frame.len())?),
+                    PTAG_F64 => WireParam::F64(get_f64(&mut buf, frame.len())?),
+                    PTAG_I64 => WireParam::I64(get_i64(&mut buf, frame.len())?),
+                    other => {
+                        return Err(IpcError::Decode {
+                            offset: frame.len() - buf.remaining(),
+                            message: format!("unknown param tag {other}"),
+                        })
+                    }
+                });
+            }
+            Request::Launch { kernel, grid_dim, block_dim, params, sync, stream }
+        }
+        TAG_SYNC => Request::Synchronize,
+        other => {
+            return Err(IpcError::Decode {
+                offset: frame.len() - buf.remaining(),
+                message: format!("unknown request tag {other}"),
+            })
+        }
+    };
+    Ok(Envelope { vp, seq, sent_at_s, body })
+}
+
+/// Encode a response envelope into a framed byte buffer.
+pub fn encode_response(envelope: &ResponseEnvelope) -> Bytes {
+    let mut payload = BytesMut::with_capacity(32);
+    payload.put_u32_le(envelope.vp.0);
+    payload.put_u64_le(envelope.seq);
+    payload.put_f64_le(envelope.sent_at_s);
+    match &envelope.body {
+        Response::Malloc { handle } => {
+            payload.put_u8(RTAG_MALLOC);
+            payload.put_u64_le(*handle);
+        }
+        Response::Done => payload.put_u8(RTAG_DONE),
+        Response::Data { data } => {
+            payload.put_u8(RTAG_DATA);
+            put_bytes(&mut payload, data);
+        }
+        Response::Launched { device_time_s } => {
+            payload.put_u8(RTAG_LAUNCHED);
+            payload.put_f64_le(*device_time_s);
+        }
+        Response::Error { message } => {
+            payload.put_u8(RTAG_ERROR);
+            put_bytes(&mut payload, message.as_bytes());
+        }
+    }
+    frame(payload)
+}
+
+/// Decode a framed response envelope.
+///
+/// # Errors
+///
+/// Returns [`IpcError::Decode`] for truncated or malformed frames.
+pub fn decode_response(frame: &[u8]) -> Result<ResponseEnvelope, IpcError> {
+    let mut buf = unframe(frame)?;
+    let vp = VpId(get_u32(&mut buf, frame.len())?);
+    let seq = get_u64(&mut buf, frame.len())?;
+    let sent_at_s = get_f64(&mut buf, frame.len())?;
+    let tag = get_u8(&mut buf, frame.len())?;
+    let body = match tag {
+        RTAG_MALLOC => Response::Malloc { handle: get_u64(&mut buf, frame.len())? },
+        RTAG_DONE => Response::Done,
+        RTAG_DATA => Response::Data { data: get_bytes(&mut buf, frame.len())? },
+        RTAG_LAUNCHED => Response::Launched { device_time_s: get_f64(&mut buf, frame.len())? },
+        RTAG_ERROR => {
+            let message = String::from_utf8(get_bytes(&mut buf, frame.len())?).map_err(|e| {
+                IpcError::Decode { offset: frame.len() - buf.remaining(), message: e.to_string() }
+            })?;
+            Response::Error { message }
+        }
+        other => {
+            return Err(IpcError::Decode {
+                offset: frame.len() - buf.remaining(),
+                message: format!("unknown response tag {other}"),
+            })
+        }
+    };
+    Ok(ResponseEnvelope { vp, seq, sent_at_s, body })
+}
+
+fn frame(payload: BytesMut) -> Bytes {
+    let mut framed = BytesMut::with_capacity(payload.len() + 4);
+    framed.put_u32_le(payload.len() as u32);
+    framed.extend_from_slice(&payload);
+    framed.freeze()
+}
+
+fn unframe(frame: &[u8]) -> Result<Bytes, IpcError> {
+    if frame.len() < 4 {
+        return Err(IpcError::Decode { offset: 0, message: "frame shorter than length prefix".into() });
+    }
+    let len = u32::from_le_bytes(frame[..4].try_into().expect("length checked")) as usize;
+    if frame.len() != len + 4 {
+        return Err(IpcError::Decode {
+            offset: 4,
+            message: format!("frame length {} does not match prefix {}", frame.len() - 4, len),
+        });
+    }
+    Ok(Bytes::copy_from_slice(&frame[4..]))
+}
+
+fn put_bytes(buf: &mut BytesMut, data: &[u8]) {
+    buf.put_u32_le(data.len() as u32);
+    buf.extend_from_slice(data);
+}
+
+macro_rules! getter {
+    ($name:ident, $ty:ty, $width:expr, $get:ident) => {
+        fn $name(buf: &mut Bytes, total: usize) -> Result<$ty, IpcError> {
+            if buf.remaining() < $width {
+                return Err(IpcError::Decode {
+                    offset: total - buf.remaining(),
+                    message: concat!("truncated ", stringify!($ty)).into(),
+                });
+            }
+            Ok(buf.$get())
+        }
+    };
+}
+
+getter!(get_u8, u8, 1, get_u8);
+getter!(get_u32, u32, 4, get_u32_le);
+getter!(get_u64, u64, 8, get_u64_le);
+getter!(get_i64, i64, 8, get_i64_le);
+getter!(get_f64, f64, 8, get_f64_le);
+
+fn get_bytes(buf: &mut Bytes, total: usize) -> Result<Vec<u8>, IpcError> {
+    let len = get_u32(buf, total)? as usize;
+    if buf.remaining() < len {
+        return Err(IpcError::Decode {
+            offset: total - buf.remaining(),
+            message: format!("truncated byte string of length {len}"),
+        });
+    }
+    let mut out = vec![0u8; len];
+    buf.copy_to_slice(&mut out);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(body: Request) {
+        let e = Envelope { vp: VpId(3), seq: 42, sent_at_s: 1.5, body };
+        let encoded = encode_request(&e);
+        let decoded = decode_request(&encoded).unwrap();
+        assert_eq!(e, decoded);
+    }
+
+    #[test]
+    fn all_requests_roundtrip() {
+        roundtrip_request(Request::Malloc { bytes: 4096 });
+        roundtrip_request(Request::Free { handle: 7 });
+        roundtrip_request(Request::MemcpyH2D { handle: 7, data: vec![1, 2, 3, 4, 5], stream: 2 });
+        roundtrip_request(Request::MemcpyD2H { handle: 7, len: 1024, stream: 0 });
+        roundtrip_request(Request::Launch {
+            kernel: "matrix_mul".into(),
+            grid_dim: 20,
+            block_dim: 512,
+            params: vec![WireParam::Buffer(1), WireParam::F64(3.5), WireParam::I64(-9)],
+            sync: true,
+            stream: 3,
+        });
+        roundtrip_request(Request::Synchronize);
+    }
+
+    #[test]
+    fn all_responses_roundtrip() {
+        for body in [
+            Response::Malloc { handle: 12 },
+            Response::Done,
+            Response::Data { data: vec![9; 100] },
+            Response::Launched { device_time_s: 0.0123 },
+            Response::Error { message: "device out of memory".into() },
+        ] {
+            let e = ResponseEnvelope { vp: VpId(1), seq: 9, sent_at_s: 2.0, body };
+            let decoded = decode_response(&encode_response(&e)).unwrap();
+            assert_eq!(e, decoded);
+        }
+    }
+
+    #[test]
+    fn truncated_frames_are_rejected() {
+        let e = Envelope { vp: VpId(0), seq: 1, sent_at_s: 0.0, body: Request::Synchronize };
+        let encoded = encode_request(&e);
+        for cut in [0, 3, encoded.len() - 1] {
+            assert!(decode_request(&encoded[..cut]).is_err(), "cut at {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn unknown_tags_are_rejected() {
+        let mut payload = BytesMut::new();
+        payload.put_u32_le(0);
+        payload.put_u64_le(0);
+        payload.put_f64_le(0.0);
+        payload.put_u8(200); // bad tag
+        let framed = frame(payload);
+        let err = decode_request(&framed).unwrap_err();
+        assert!(matches!(err, IpcError::Decode { .. }));
+    }
+
+    #[test]
+    fn mismatched_length_prefix_is_rejected() {
+        let e = Envelope { vp: VpId(0), seq: 1, sent_at_s: 0.0, body: Request::Synchronize };
+        let mut bytes = encode_request(&e).to_vec();
+        bytes.push(0xFF); // extra trailing garbage
+        assert!(decode_request(&bytes).is_err());
+    }
+
+    #[test]
+    fn empty_data_roundtrips() {
+        roundtrip_request(Request::MemcpyH2D { handle: 0, data: vec![], stream: 0 });
+    }
+}

@@ -1,0 +1,54 @@
+//! Error type for IPC components.
+
+use std::fmt;
+
+/// Errors raised by the IPC manager's components.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IpcError {
+    /// A frame could not be decoded.
+    Decode {
+        /// Byte offset at which decoding failed.
+        offset: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The peer endpoint hung up.
+    Disconnected,
+    /// A message arrived for a VP that was never registered.
+    UnknownVp(u32),
+    /// A response arrived whose sequence number matches no outstanding request.
+    UnexpectedSequence {
+        /// The stray sequence number.
+        seq: u64,
+    },
+}
+
+impl fmt::Display for IpcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IpcError::Decode { offset, message } => {
+                write!(f, "frame decode failed at byte {offset}: {message}")
+            }
+            IpcError::Disconnected => write!(f, "transport peer disconnected"),
+            IpcError::UnknownVp(id) => write!(f, "message for unregistered vp {id}"),
+            IpcError::UnexpectedSequence { seq } => {
+                write!(f, "response with unknown sequence number {seq}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IpcError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_details() {
+        let e = IpcError::Decode { offset: 12, message: "truncated".into() };
+        assert!(e.to_string().contains("12"));
+        assert!(e.to_string().contains("truncated"));
+        assert!(IpcError::UnknownVp(3).to_string().contains('3'));
+    }
+}

@@ -1,0 +1,180 @@
+//! The request/response protocol between a VP's virtual embedded GPU model and the
+//! host-side ΣVP runtime.
+//!
+//! Requests mirror the CUDA runtime calls the GPU user library intercepts inside the
+//! guest: allocation, transfers, kernel launch (synchronous or asynchronous) and
+//! stream synchronization. Device buffers cross the wire as opaque `u64` handles;
+//! kernels are named (the host owns the kernel registry).
+
+/// Identifier of a virtual platform instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VpId(pub u32);
+
+impl std::fmt::Display for VpId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "vp{}", self.0)
+    }
+}
+
+/// A kernel parameter in wire form.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WireParam {
+    /// A device buffer handle previously returned by `Malloc`.
+    Buffer(u64),
+    /// A 64-bit float scalar.
+    F64(f64),
+    /// A 64-bit integer scalar.
+    I64(i64),
+}
+
+/// A request from a VP to the host.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Allocate `bytes` of device memory (`cudaMalloc`).
+    Malloc {
+        /// Requested size in bytes.
+        bytes: u64,
+    },
+    /// Release a device buffer (`cudaFree`).
+    Free {
+        /// Handle returned by a previous `Malloc`.
+        handle: u64,
+    },
+    /// Copy guest data to a device buffer (`cudaMemcpy` host→device, or the
+    /// `Async` variant when `stream != 0`).
+    MemcpyH2D {
+        /// Destination buffer handle.
+        handle: u64,
+        /// The data (sized exactly like the buffer).
+        data: Vec<u8>,
+        /// Guest stream (0 = default, synchronous semantics).
+        stream: u32,
+    },
+    /// Copy a device buffer back to the guest (`cudaMemcpy` device→host, or the
+    /// `Async` variant when `stream != 0`).
+    MemcpyD2H {
+        /// Source buffer handle.
+        handle: u64,
+        /// Bytes to read.
+        len: u64,
+        /// Guest stream (0 = default, synchronous semantics).
+        stream: u32,
+    },
+    /// Launch a registered kernel.
+    Launch {
+        /// Kernel name in the host registry.
+        kernel: String,
+        /// Grid dimension (blocks).
+        grid_dim: u32,
+        /// Block dimension (threads).
+        block_dim: u32,
+        /// Kernel parameters.
+        params: Vec<WireParam>,
+        /// Synchronous launch: the VP blocks until completion (the kernel-invocation
+        /// type Kernel Interleaving handles via VP stop/resume).
+        sync: bool,
+        /// Guest-side CUDA stream the launch belongs to (0 = default stream).
+        /// Operations on different guest streams of the same VP may overlap on the
+        /// device — the asynchronous-invocation case of the paper's Fig. 4a.
+        stream: u32,
+    },
+    /// Block until every prior request from this VP completed
+    /// (`cudaDeviceSynchronize`).
+    Synchronize,
+}
+
+impl Request {
+    /// Approximate payload size in bytes, used by transports to model per-byte cost.
+    pub fn payload_bytes(&self) -> u64 {
+        match self {
+            Request::MemcpyH2D { data, .. } => data.len() as u64 + 16,
+            Request::MemcpyD2H { .. } => 24,
+            Request::Launch { kernel, params, .. } => kernel.len() as u64 + params.len() as u64 * 9 + 16,
+            _ => 16,
+        }
+    }
+}
+
+/// A response from the host to a VP.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Result of `Malloc`.
+    Malloc {
+        /// The new buffer handle.
+        handle: u64,
+    },
+    /// Generic completion acknowledgment.
+    Done,
+    /// Result of `MemcpyD2H`.
+    Data {
+        /// The buffer contents.
+        data: Vec<u8>,
+    },
+    /// Result of a kernel launch.
+    Launched {
+        /// Simulated device time the kernel took, in seconds.
+        device_time_s: f64,
+    },
+    /// The request failed on the host.
+    Error {
+        /// Human-readable failure description.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Approximate payload size in bytes.
+    pub fn payload_bytes(&self) -> u64 {
+        match self {
+            Response::Data { data } => data.len() as u64 + 8,
+            Response::Error { message } => message.len() as u64 + 8,
+            _ => 16,
+        }
+    }
+}
+
+/// A request with routing and timing metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// Originating VP.
+    pub vp: VpId,
+    /// Per-VP monotonically increasing sequence number; the re-scheduler uses it to
+    /// preserve the VP's partial order.
+    pub seq: u64,
+    /// Simulated send timestamp in seconds.
+    pub sent_at_s: f64,
+    /// The request itself.
+    pub body: Request,
+}
+
+/// A response with routing and timing metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResponseEnvelope {
+    /// Destination VP.
+    pub vp: VpId,
+    /// Sequence number of the request this answers.
+    pub seq: u64,
+    /// Simulated send timestamp in seconds.
+    pub sent_at_s: f64,
+    /// The response itself.
+    pub body: Response,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_sizes_track_content() {
+        let small = Request::Malloc { bytes: 10 };
+        let big = Request::MemcpyH2D { handle: 1, data: vec![0; 1000], stream: 0 };
+        assert!(big.payload_bytes() > small.payload_bytes());
+        let r = Response::Data { data: vec![0; 500] };
+        assert!(r.payload_bytes() >= 500);
+    }
+
+    #[test]
+    fn vp_id_displays() {
+        assert_eq!(VpId(7).to_string(), "vp7");
+    }
+}

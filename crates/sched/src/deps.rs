@@ -1,0 +1,318 @@
+//! Job-dependency DAGs and critical-path list scheduling.
+//!
+//! The paper describes the Re-scheduler as "a non-preemptive, optimal scheduler
+//! augmented for job dependencies" (its reference \[14\], Lombardi et al.). This
+//! module provides that machinery explicitly:
+//!
+//! * [`JobDag`] — the dependency graph over a pending-job window: per-VP chain
+//!   edges (the partial order that must be preserved) plus any extra cross-VP
+//!   edges (e.g. a coalesced launch consuming several VPs' copies);
+//! * [`JobDag::critical_path_lengths`] — longest path from each job to a sink,
+//!   the classic list-scheduling priority;
+//! * [`reorder_critical_path`] — a HEFT-style scheduler: repeatedly issue, among
+//!   the *ready* jobs, the one with the longest critical path (ties broken by
+//!   earliest possible start). Per-VP order is preserved by construction because
+//!   chain edges gate readiness.
+//!
+//! [`reorder_async`](crate::interleave::reorder_async) (earliest-start greedy) and
+//! this critical-path scheduler are alternative policies over the same contract;
+//! the ablation bench compares them.
+
+use std::collections::BTreeMap;
+
+use sigmavp_ipc::message::VpId;
+use sigmavp_ipc::queue::{Job, JobKind};
+
+/// A dependency DAG over a job window. Node indices follow the input job order.
+#[derive(Debug, Clone)]
+pub struct JobDag {
+    jobs: Vec<Job>,
+    preds: Vec<Vec<usize>>,
+    succs: Vec<Vec<usize>>,
+}
+
+impl JobDag {
+    /// Build the DAG implied by per-VP submission order: each job depends on the
+    /// previous job of the same VP.
+    pub fn from_jobs(jobs: Vec<Job>) -> Self {
+        let n = jobs.len();
+        let mut preds = vec![Vec::new(); n];
+        let mut succs = vec![Vec::new(); n];
+        let mut last_of_vp: BTreeMap<VpId, usize> = BTreeMap::new();
+        for (i, job) in jobs.iter().enumerate() {
+            if let Some(&p) = last_of_vp.get(&job.vp) {
+                preds[i].push(p);
+                succs[p].push(i);
+            }
+            last_of_vp.insert(job.vp, i);
+        }
+        JobDag { jobs, preds, succs }
+    }
+
+    /// Add an extra dependency edge `from → to` (e.g. a coalescing barrier).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range or the edge is a self-loop.
+    pub fn add_edge(&mut self, from: usize, to: usize) {
+        assert!(from < self.jobs.len() && to < self.jobs.len(), "edge endpoints must exist");
+        assert_ne!(from, to, "self-dependencies are not allowed");
+        if !self.succs[from].contains(&to) {
+            self.succs[from].push(to);
+            self.preds[to].push(from);
+        }
+    }
+
+    /// Number of jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the DAG is empty.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// The jobs, in input order.
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// Direct predecessors of job `i`.
+    pub fn preds(&self, i: usize) -> &[usize] {
+        &self.preds[i]
+    }
+
+    /// A topological order, or [`None`] if extra edges created a cycle.
+    pub fn topological_order(&self) -> Option<Vec<usize>> {
+        let n = self.jobs.len();
+        let mut indegree: Vec<usize> = self.preds.iter().map(Vec::len).collect();
+        let mut ready: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(i) = ready.pop() {
+            order.push(i);
+            for &s in &self.succs[i] {
+                indegree[s] -= 1;
+                if indegree[s] == 0 {
+                    ready.push(s);
+                }
+            }
+        }
+        (order.len() == n).then_some(order)
+    }
+
+    /// Longest path (by `expected_duration_s`, inclusive of the job itself) from
+    /// each job to any sink — the list-scheduling priority.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is cyclic (only possible through [`JobDag::add_edge`]).
+    pub fn critical_path_lengths(&self) -> Vec<f64> {
+        let order = self.topological_order().expect("dependency graph must be acyclic");
+        let mut cp = vec![0.0f64; self.jobs.len()];
+        for &i in order.iter().rev() {
+            let tail = self.succs[i].iter().map(|&s| cp[s]).fold(0.0, f64::max);
+            cp[i] = self.jobs[i].expected_duration_s + tail;
+        }
+        cp
+    }
+}
+
+/// Critical-path list scheduling over the two-engine model: repeatedly issue,
+/// among the ready jobs, the one with the greatest critical-path length; ties are
+/// broken by earliest possible start on its engine, then by job id.
+///
+/// The output is a permutation of the input preserving per-VP order.
+pub fn reorder_critical_path(jobs: Vec<Job>) -> Vec<Job> {
+    if jobs.is_empty() {
+        return jobs;
+    }
+    let dag = JobDag::from_jobs(jobs);
+    let cp = dag.critical_path_lengths();
+    let n = dag.len();
+
+    let mut remaining_preds: Vec<usize> = (0..n).map(|i| dag.preds(i).len()).collect();
+    let mut ready: Vec<usize> = (0..n).filter(|&i| remaining_preds[i] == 0).collect();
+    let mut scheduled = vec![false; n];
+
+    // Engine availability for the tie-break.
+    let mut h2d_free = 0.0f64;
+    let mut d2h_free = 0.0f64;
+    let mut compute_free = 0.0f64;
+    let mut job_end = vec![0.0f64; n];
+
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        // Pick the ready job with the longest critical path; break ties by the
+        // earliest achievable start, then by index for determinism.
+        let &best = ready
+            .iter()
+            .min_by(|&&a, &&b| {
+                let key = |i: usize| {
+                    let engine_free = match dag.jobs()[i].kind {
+                        JobKind::CopyIn { .. } => h2d_free,
+                        JobKind::CopyOut { .. } => d2h_free,
+                        JobKind::Kernel { .. } => compute_free,
+                    };
+                    let dep_ready =
+                        dag.preds(i).iter().map(|&p| job_end[p]).fold(0.0f64, f64::max);
+                    (engine_free.max(dep_ready), i)
+                };
+                // Longest CP first, then earliest start, then lowest index.
+                cp[b]
+                    .partial_cmp(&cp[a])
+                    .expect("critical paths are finite")
+                    .then_with(|| {
+                        let (sa, ia) = key(a);
+                        let (sb, ib) = key(b);
+                        sa.partial_cmp(&sb).expect("starts are finite").then(ia.cmp(&ib))
+                    })
+            })
+            .expect("ready set is non-empty while jobs remain");
+        ready.retain(|&i| i != best);
+        scheduled[best] = true;
+
+        let job = &dag.jobs()[best];
+        let engine_free = match job.kind {
+            JobKind::CopyIn { .. } => &mut h2d_free,
+            JobKind::CopyOut { .. } => &mut d2h_free,
+            JobKind::Kernel { .. } => &mut compute_free,
+        };
+        let dep_ready = dag.preds(best).iter().map(|&p| job_end[p]).fold(0.0f64, f64::max);
+        let start = engine_free.max(dep_ready);
+        let end = start + job.expected_duration_s;
+        *engine_free = end;
+        job_end[best] = end;
+        out.push(job.clone());
+
+        for i in 0..n {
+            if !scheduled[i] && !ready.contains(&i) {
+                remaining_preds[i] = dag.preds(i).iter().filter(|&&p| !scheduled[p]).count();
+                if remaining_preds[i] == 0 {
+                    ready.push(i);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigmavp_ipc::queue::{preserves_partial_order, JobId};
+
+    fn job(id: u64, vp: u32, seq: u64, kind: JobKind, dur: f64) -> Job {
+        Job {
+            id: JobId(id),
+            vp: VpId(vp),
+            seq,
+            kind,
+            sync: false,
+            enqueued_at_s: 0.0,
+            expected_duration_s: dur,
+        }
+    }
+
+    fn pipeline_jobs(n: u32, tm: f64, tk: f64) -> Vec<Job> {
+        let mut jobs = Vec::new();
+        let mut id = 0;
+        for vp in 0..n {
+            jobs.push(job(id, vp, 0, JobKind::CopyIn { bytes: 1 }, tm));
+            id += 1;
+            jobs.push(job(id, vp, 1, JobKind::Kernel { name: "k".into(), grid_dim: 1, block_dim: 32 }, tk));
+            id += 1;
+            jobs.push(job(id, vp, 2, JobKind::CopyOut { bytes: 1 }, tm));
+            id += 1;
+        }
+        jobs
+    }
+
+    #[test]
+    fn chain_edges_follow_vp_order() {
+        let jobs = pipeline_jobs(2, 1.0, 1.0);
+        let dag = JobDag::from_jobs(jobs);
+        assert!(dag.preds(0).is_empty());
+        assert_eq!(dag.preds(1), &[0]);
+        assert_eq!(dag.preds(2), &[1]);
+        assert!(dag.preds(3).is_empty()); // second VP's first job
+        assert_eq!(dag.len(), 6);
+    }
+
+    #[test]
+    fn critical_paths_decrease_along_chains() {
+        let dag = JobDag::from_jobs(pipeline_jobs(1, 1.0, 2.0));
+        let cp = dag.critical_path_lengths();
+        assert!((cp[0] - 4.0).abs() < 1e-12); // 1 + 2 + 1
+        assert!((cp[1] - 3.0).abs() < 1e-12);
+        assert!((cp[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extra_edges_and_cycle_detection() {
+        let mut dag = JobDag::from_jobs(pipeline_jobs(2, 1.0, 1.0));
+        dag.add_edge(2, 3); // VP0's copy-out gates VP1's copy-in
+        assert!(dag.topological_order().is_some());
+        dag.add_edge(3, 2); // back edge → cycle
+        assert!(dag.topological_order().is_none());
+    }
+
+    #[test]
+    fn schedule_preserves_partial_order() {
+        let jobs = pipeline_jobs(5, 1.0, 2.5);
+        let out = reorder_critical_path(jobs.clone());
+        assert!(preserves_partial_order(&jobs, &out));
+    }
+
+    #[test]
+    fn schedule_pipelines_like_the_greedy() {
+        // On the Fig. 9 pattern the critical-path scheduler also achieves Eq. 7
+        // (compute-bound case).
+        let (n, tm, tk) = (6u32, 1.0, 2.0);
+        let jobs = pipeline_jobs(n, tm, tk);
+        let out = reorder_critical_path(jobs);
+        // Replay on the engine clocks to obtain the makespan.
+        let mut h2d = 0.0f64;
+        let mut d2h = 0.0f64;
+        let mut compute = 0.0f64;
+        let mut vp_free: BTreeMap<VpId, f64> = BTreeMap::new();
+        let mut makespan = 0.0f64;
+        for j in &out {
+            let slot = match j.kind {
+                JobKind::CopyIn { .. } => &mut h2d,
+                JobKind::CopyOut { .. } => &mut d2h,
+                JobKind::Kernel { .. } => &mut compute,
+            };
+            let start = slot.max(vp_free.get(&j.vp).copied().unwrap_or(0.0));
+            let end = start + j.expected_duration_s;
+            *slot = end;
+            vp_free.insert(j.vp, end);
+            makespan = makespan.max(end);
+        }
+        let expected = 2.0 * tm + n as f64 * tk.max(tm);
+        assert!(
+            makespan <= expected + 1e-9,
+            "critical-path makespan {makespan} exceeds Eq. 7 bound {expected}"
+        );
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        assert!(reorder_critical_path(vec![]).is_empty());
+        let one = vec![job(0, 0, 0, JobKind::CopyIn { bytes: 1 }, 1.0)];
+        assert_eq!(reorder_critical_path(one.clone()), one);
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let jobs = pipeline_jobs(4, 0.7, 1.9);
+        assert_eq!(reorder_critical_path(jobs.clone()), reorder_critical_path(jobs));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-dependencies")]
+    fn self_edges_are_rejected() {
+        let mut dag = JobDag::from_jobs(pipeline_jobs(1, 1.0, 1.0));
+        dag.add_edge(1, 1);
+    }
+}

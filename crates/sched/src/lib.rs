@@ -1,0 +1,26 @@
+//! # sigmavp-sched — ΣVP's re-scheduler
+//!
+//! The Re-scheduler (paper Fig. 2) has two functions:
+//!
+//! 1. "it reorders the asynchronous kernel jobs in the Job Queue by keeping a
+//!    partial order in the original VP. It is a non-preemptive, optimal scheduler
+//!    augmented for job dependencies" — implemented in [`interleave`], which also
+//!    provides the stop/resume plan for *synchronous* invocations (Fig. 4b);
+//! 2. "it combines identical kernel requests in the Job Queue into one single kernel
+//!    job, by using Kernel Coalescing" — implemented in [`coalesce`], together with
+//!    the contiguous-memory layout planning of Fig. 5 and the grid-alignment
+//!    analysis behind Eq. 9.
+//!
+//! Both transformations operate on [`Job`](sigmavp_ipc::queue::Job) lists drained
+//! from the [`JobQueue`](sigmavp_ipc::queue::JobQueue) and are *order-contract
+//! checked*: every reordering they produce satisfies
+//! [`preserves_partial_order`](sigmavp_ipc::queue::preserves_partial_order).
+#![warn(missing_docs)]
+
+pub mod coalesce;
+pub mod deps;
+pub mod interleave;
+
+pub use coalesce::{CoalescePlan, MemoryLayout};
+pub use deps::{reorder_critical_path, JobDag};
+pub use interleave::reorder_async;

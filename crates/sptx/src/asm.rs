@@ -1,0 +1,821 @@
+//! A text assembler and disassembler for SPTX.
+//!
+//! The textual syntax is deliberately close to PTX so kernels can be read by anyone
+//! familiar with CUDA toolchains. A program is a `.kernel <name>` header followed by
+//! labeled basic blocks:
+//!
+//! ```text
+//! .kernel scale
+//! entry:
+//!     rs       r0, gtid
+//!     ldp      r1, 0
+//!     ld.f32   r2, [r1 + r0]
+//!     mov.f64  r3, 2.0
+//!     cvt.f32.f64 r3, r3
+//!     mul.f32  r2, r2, r3
+//!     st.f32   [r1 + r0], r2
+//!     ret
+//! ```
+//!
+//! Supported instructions: `add sub mul div rem min max and or xor shl shr` (binary,
+//! suffixed `.f32|.f64|.i64`), `neg abs sqrt exp log sin cos not` (unary), `mad.<ty>`,
+//! `mov` (register or immediate), `cvt.<to>.<from>`, `setp.<cmp>.<ty>`,
+//! `rs` (read special: `tid.x ntid.x ctaid.x nctaid.x gtid`), `ldp` (parameter),
+//! `ld.<ty>` / `st.<ty>` with `[base]`, `[base + idx]`, `[base + idx + off]` or
+//! `[base + off]` operands, `bra <label>`, `@p<N> bra <true>, <false>` and `ret`.
+//!
+//! Comments start with `#` or `//` and run to end of line.
+
+use std::collections::HashMap;
+
+use crate::error::SptxError;
+use crate::isa::{
+    BinOp, BlockId, CmpOp, Imm, Instr, Pred, Reg, ScalarType, Special, Terminator, UnaryOp,
+};
+use crate::program::{BasicBlock, KernelProgram};
+use crate::validate::validate;
+
+/// Parse SPTX assembly text into a validated [`KernelProgram`].
+///
+/// # Errors
+///
+/// Returns [`SptxError::Parse`] (with a 1-based line number) for syntax errors, or
+/// any validation error for structurally unsound programs.
+///
+/// # Example
+///
+/// ```
+/// let src = "
+/// .kernel nop
+/// entry:
+///     ret
+/// ";
+/// let p = sigmavp_sptx::asm::parse(src)?;
+/// assert_eq!(p.name(), "nop");
+/// # Ok::<(), sigmavp_sptx::SptxError>(())
+/// ```
+pub fn parse(source: &str) -> Result<KernelProgram, SptxError> {
+    Parser::new(source).parse()
+}
+
+/// Render a program back to its textual form; `parse(&disassemble(p))` reproduces an
+/// equivalent program. Block labels are uniquified (builder helpers like
+/// `for_loop` reuse label names across loops).
+pub fn disassemble(program: &KernelProgram) -> String {
+    let labels = unique_labels(program);
+    let mut out = format!(".kernel {}\n", program.name());
+    for (i, block) in program.blocks().iter().enumerate() {
+        out.push_str(&format!("{}:\n", labels[i]));
+        for instr in &block.instrs {
+            out.push_str("    ");
+            out.push_str(&format_instr(instr));
+            out.push('\n');
+        }
+        out.push_str("    ");
+        out.push_str(&format_terminator(&block.terminator, &labels));
+        out.push('\n');
+    }
+    out
+}
+
+fn default_label(index: usize) -> String {
+    if index == 0 {
+        "entry".to_string()
+    } else {
+        format!("bb{index}")
+    }
+}
+
+/// One distinct label per block: the block's own label if unique so far, otherwise
+/// suffixed with the block index.
+fn unique_labels(program: &KernelProgram) -> Vec<String> {
+    let mut seen = std::collections::HashSet::new();
+    program
+        .blocks()
+        .iter()
+        .enumerate()
+        .map(|(i, block)| {
+            let base = block.label.clone().unwrap_or_else(|| default_label(i));
+            let label = if seen.contains(&base) { format!("{base}_{i}") } else { base };
+            seen.insert(label.clone());
+            label
+        })
+        .collect()
+}
+
+fn format_instr(i: &Instr) -> String {
+    match i {
+        Instr::Bin { op, ty, dst, a, b } => format!("{}.{ty} {dst}, {a}, {b}", bin_name(*op)),
+        Instr::Un { op, ty, dst, a } => format!("{}.{ty} {dst}, {a}", un_name(*op)),
+        Instr::Mad { ty, dst, a, b, c } => format!("mad.{ty} {dst}, {a}, {b}, {c}"),
+        Instr::MovImm { dst, imm } => match imm {
+            Imm::F(v) => format!("mov.f64 {dst}, {v:?}"),
+            Imm::I(v) => format!("mov {dst}, {v}"),
+        },
+        Instr::Mov { dst, src } => format!("mov {dst}, {src}"),
+        Instr::Cvt { to, from, dst, src } => format!("cvt.{to}.{from} {dst}, {src}"),
+        Instr::Setp { cmp, ty, pred, a, b } => {
+            format!("setp.{}.{ty} {pred}, {a}, {b}", cmp_name(*cmp))
+        }
+        Instr::ReadSpecial { dst, special } => format!("rs {dst}, {}", special_name(*special)),
+        Instr::LdParam { dst, index } => format!("ldp {dst}, {index}"),
+        Instr::Ld { ty, dst, base, index, offset } => {
+            format!("ld.{ty} {dst}, {}", format_mem(*base, *index, *offset))
+        }
+        Instr::St { ty, base, index, offset, src } => {
+            format!("st.{ty} {}, {src}", format_mem(*base, *index, *offset))
+        }
+    }
+}
+
+fn format_mem(base: Reg, index: Option<Reg>, offset: i64) -> String {
+    match (index, offset) {
+        (None, 0) => format!("[{base}]"),
+        (None, o) => format!("[{base} + {o}]"),
+        (Some(i), 0) => format!("[{base} + {i}]"),
+        (Some(i), o) => format!("[{base} + {i} + {o}]"),
+    }
+}
+
+fn format_terminator(t: &Terminator, labels: &[String]) -> String {
+    match t {
+        Terminator::Bra(target) => format!("bra {}", labels[target.0 as usize]),
+        Terminator::CondBra { pred, if_true, if_false } => format!(
+            "@{pred} bra {}, {}",
+            labels[if_true.0 as usize],
+            labels[if_false.0 as usize]
+        ),
+        Terminator::Ret => "ret".to_string(),
+    }
+}
+
+fn bin_name(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "add",
+        BinOp::Sub => "sub",
+        BinOp::Mul => "mul",
+        BinOp::Div => "div",
+        BinOp::Rem => "rem",
+        BinOp::Min => "min",
+        BinOp::Max => "max",
+        BinOp::And => "and",
+        BinOp::Or => "or",
+        BinOp::Xor => "xor",
+        BinOp::Shl => "shl",
+        BinOp::Shr => "shr",
+    }
+}
+
+fn un_name(op: UnaryOp) -> &'static str {
+    match op {
+        UnaryOp::Neg => "neg",
+        UnaryOp::Abs => "abs",
+        UnaryOp::Sqrt => "sqrt",
+        UnaryOp::Exp => "exp",
+        UnaryOp::Log => "log",
+        UnaryOp::Sin => "sin",
+        UnaryOp::Cos => "cos",
+        UnaryOp::Not => "not",
+    }
+}
+
+fn cmp_name(cmp: CmpOp) -> &'static str {
+    match cmp {
+        CmpOp::Eq => "eq",
+        CmpOp::Ne => "ne",
+        CmpOp::Lt => "lt",
+        CmpOp::Le => "le",
+        CmpOp::Gt => "gt",
+        CmpOp::Ge => "ge",
+    }
+}
+
+fn special_name(s: Special) -> &'static str {
+    match s {
+        Special::TidX => "tid.x",
+        Special::NTidX => "ntid.x",
+        Special::CtaIdX => "ctaid.x",
+        Special::NCtaIdX => "nctaid.x",
+        Special::GlobalTid => "gtid",
+    }
+}
+
+/// A pending (pre-label-resolution) terminator.
+enum RawTerminator {
+    Bra(String),
+    CondBra { pred: Pred, if_true: String, if_false: String },
+    Ret,
+}
+
+struct RawBlock {
+    label: String,
+    instrs: Vec<Instr>,
+    terminator: Option<RawTerminator>,
+}
+
+struct Parser<'a> {
+    source: &'a str,
+    name: Option<String>,
+    blocks: Vec<RawBlock>,
+    max_reg: Option<u16>,
+    max_pred: Option<u8>,
+    max_param: Option<usize>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(source: &'a str) -> Self {
+        Self { source, name: None, blocks: Vec::new(), max_reg: None, max_pred: None, max_param: None }
+    }
+
+    fn err(line: usize, message: impl Into<String>) -> SptxError {
+        SptxError::Parse { line, message: message.into() }
+    }
+
+    fn parse(mut self) -> Result<KernelProgram, SptxError> {
+        for (lineno, raw_line) in self.source.lines().enumerate() {
+            let line = lineno + 1;
+            let text = strip_comment(raw_line).trim();
+            if text.is_empty() {
+                continue;
+            }
+            if let Some(rest) = text.strip_prefix(".kernel") {
+                if self.name.is_some() {
+                    return Err(Self::err(line, "duplicate .kernel directive"));
+                }
+                let name = rest.trim();
+                if name.is_empty() {
+                    return Err(Self::err(line, "missing kernel name"));
+                }
+                self.name = Some(name.to_string());
+                continue;
+            }
+            if let Some(label) = text.strip_suffix(':') {
+                let label = label.trim();
+                if !is_ident(label) {
+                    return Err(Self::err(line, format!("invalid label `{label}`")));
+                }
+                if self.blocks.iter().any(|b| b.label == label) {
+                    return Err(Self::err(line, format!("duplicate label `{label}`")));
+                }
+                self.blocks.push(RawBlock { label: label.to_string(), instrs: Vec::new(), terminator: None });
+                continue;
+            }
+            if self.name.is_none() {
+                return Err(Self::err(line, "expected .kernel directive before instructions"));
+            }
+            if self.blocks.is_empty() {
+                return Err(Self::err(line, "instruction before any block label"));
+            }
+            let open = self.blocks.last().map(|b| b.terminator.is_none()).expect("non-empty");
+            if !open {
+                return Err(Self::err(line, "instruction after block terminator (missing label?)"));
+            }
+            self.parse_line(line, text)?;
+        }
+
+        let name = self.name.clone().ok_or(Self::err(0, "missing .kernel directive"))?;
+        if self.blocks.is_empty() {
+            return Err(SptxError::EmptyProgram);
+        }
+        let label_ids: HashMap<String, BlockId> = self
+            .blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (b.label.clone(), BlockId(i as u32)))
+            .collect();
+
+        let mut blocks = Vec::with_capacity(self.blocks.len());
+        for raw in &self.blocks {
+            let term = match &raw.terminator {
+                None => return Err(SptxError::MissingTerminator(label_ids[&raw.label])),
+                Some(RawTerminator::Ret) => Terminator::Ret,
+                Some(RawTerminator::Bra(t)) => Terminator::Bra(
+                    *label_ids.get(t).ok_or(Self::err(0, format!("unknown label `{t}`")))?,
+                ),
+                Some(RawTerminator::CondBra { pred, if_true, if_false }) => Terminator::CondBra {
+                    pred: *pred,
+                    if_true: *label_ids
+                        .get(if_true)
+                        .ok_or(Self::err(0, format!("unknown label `{if_true}`")))?,
+                    if_false: *label_ids
+                        .get(if_false)
+                        .ok_or(Self::err(0, format!("unknown label `{if_false}`")))?,
+                },
+            };
+            blocks.push(BasicBlock {
+                instrs: raw.instrs.clone(),
+                terminator: term,
+                label: Some(raw.label.clone()),
+            });
+        }
+
+        let program = KernelProgram::from_parts(
+            name,
+            blocks,
+            self.max_reg.map_or(0, |m| m + 1),
+            self.max_pred.map_or(0, |m| m + 1),
+            self.max_param.map_or(0, |m| m + 1),
+        );
+        validate(&program)?;
+        Ok(program)
+    }
+
+    fn parse_line(&mut self, line: usize, text: &str) -> Result<(), SptxError> {
+        // Conditional branch: `@p0 bra t, f`.
+        if let Some(rest) = text.strip_prefix('@') {
+            let (pred_tok, rest) =
+                rest.split_once(char::is_whitespace).ok_or(Self::err(line, "expected `@pN bra t, f`"))?;
+            let pred = self.parse_pred(line, pred_tok.trim())?;
+            let rest = rest.trim();
+            let targets = rest
+                .strip_prefix("bra")
+                .ok_or(Self::err(line, "only `bra` may be predicated"))?
+                .trim();
+            let (t, f) = targets
+                .split_once(',')
+                .ok_or(Self::err(line, "conditional branch needs two targets"))?;
+            self.set_terminator(
+                line,
+                RawTerminator::CondBra {
+                    pred,
+                    if_true: t.trim().to_string(),
+                    if_false: f.trim().to_string(),
+                },
+            )?;
+            return Ok(());
+        }
+
+        let (mnemonic, operands) = match text.split_once(char::is_whitespace) {
+            Some((m, o)) => (m.trim(), o.trim()),
+            None => (text, ""),
+        };
+        let mut parts = mnemonic.split('.');
+        let base = parts.next().expect("split always yields one");
+        let suffixes: Vec<&str> = parts.collect();
+
+        match base {
+            "ret" => {
+                self.set_terminator(line, RawTerminator::Ret)?;
+                return Ok(());
+            }
+            "bra" => {
+                if operands.is_empty() {
+                    return Err(Self::err(line, "bra needs a target label"));
+                }
+                self.set_terminator(line, RawTerminator::Bra(operands.to_string()))?;
+                return Ok(());
+            }
+            _ => {}
+        }
+
+        let ops: Vec<String> = split_operands(operands);
+        let instr = match base {
+            "add" | "sub" | "mul" | "div" | "rem" | "min" | "max" | "and" | "or" | "xor" | "shl"
+            | "shr" => {
+                let op = parse_bin(base).expect("matched above");
+                let ty = self.one_type(line, &suffixes)?;
+                let [d, a, b] = self.three_regs(line, &ops)?;
+                Instr::Bin { op, ty, dst: d, a, b }
+            }
+            "neg" | "abs" | "sqrt" | "exp" | "log" | "sin" | "cos" | "not" => {
+                let op = parse_un(base).expect("matched above");
+                let ty = self.one_type(line, &suffixes)?;
+                let [d, a] = self.two_regs(line, &ops)?;
+                Instr::Un { op, ty, dst: d, a }
+            }
+            "mad" => {
+                let ty = self.one_type(line, &suffixes)?;
+                if ops.len() != 4 {
+                    return Err(Self::err(line, "mad takes dst, a, b, c"));
+                }
+                let d = self.parse_reg(line, &ops[0])?;
+                let a = self.parse_reg(line, &ops[1])?;
+                let b = self.parse_reg(line, &ops[2])?;
+                let c = self.parse_reg(line, &ops[3])?;
+                Instr::Mad { ty, dst: d, a, b, c }
+            }
+            "mov" => {
+                if ops.len() != 2 {
+                    return Err(Self::err(line, "mov takes dst, src"));
+                }
+                let d = self.parse_reg(line, &ops[0])?;
+                if ops[1].starts_with('r') && ops[1][1..].chars().all(|c| c.is_ascii_digit()) {
+                    let s = self.parse_reg(line, &ops[1])?;
+                    Instr::Mov { dst: d, src: s }
+                } else if suffixes.first() == Some(&"f64") || suffixes.first() == Some(&"f32") {
+                    let v: f64 = ops[1]
+                        .parse()
+                        .map_err(|_| Self::err(line, format!("bad float immediate `{}`", ops[1])))?;
+                    Instr::MovImm { dst: d, imm: Imm::F(v) }
+                } else {
+                    let v: i64 = ops[1]
+                        .parse()
+                        .map_err(|_| Self::err(line, format!("bad integer immediate `{}`", ops[1])))?;
+                    Instr::MovImm { dst: d, imm: Imm::I(v) }
+                }
+            }
+            "cvt" => {
+                if suffixes.len() != 2 {
+                    return Err(Self::err(line, "cvt needs two type suffixes: cvt.<to>.<from>"));
+                }
+                let to = parse_type(suffixes[0]).ok_or(Self::err(line, "bad cvt destination type"))?;
+                let from = parse_type(suffixes[1]).ok_or(Self::err(line, "bad cvt source type"))?;
+                let [d, s] = self.two_regs(line, &ops)?;
+                Instr::Cvt { to, from, dst: d, src: s }
+            }
+            "setp" => {
+                if suffixes.len() != 2 {
+                    return Err(Self::err(line, "setp needs cmp and type: setp.<cmp>.<ty>"));
+                }
+                let cmp = parse_cmp(suffixes[0]).ok_or(Self::err(line, "bad comparison"))?;
+                let ty = parse_type(suffixes[1]).ok_or(Self::err(line, "bad type"))?;
+                if ops.len() != 3 {
+                    return Err(Self::err(line, "setp takes pred, a, b"));
+                }
+                let pred = self.parse_pred(line, &ops[0])?;
+                let a = self.parse_reg(line, &ops[1])?;
+                let b = self.parse_reg(line, &ops[2])?;
+                Instr::Setp { cmp, ty, pred, a, b }
+            }
+            "rs" => {
+                if ops.len() != 2 {
+                    return Err(Self::err(line, "rs takes dst, special"));
+                }
+                let d = self.parse_reg(line, &ops[0])?;
+                let special = parse_special(&ops[1])
+                    .ok_or(Self::err(line, format!("unknown special register `{}`", ops[1])))?;
+                Instr::ReadSpecial { dst: d, special }
+            }
+            "ldp" => {
+                if ops.len() != 2 {
+                    return Err(Self::err(line, "ldp takes dst, index"));
+                }
+                let d = self.parse_reg(line, &ops[0])?;
+                let index: usize = ops[1]
+                    .parse()
+                    .map_err(|_| Self::err(line, format!("bad parameter index `{}`", ops[1])))?;
+                self.max_param = Some(self.max_param.map_or(index, |m| m.max(index)));
+                Instr::LdParam { dst: d, index }
+            }
+            "ld" => {
+                let ty = self.one_type(line, &suffixes)?;
+                if ops.len() != 2 {
+                    return Err(Self::err(line, "ld takes dst, [mem]"));
+                }
+                let d = self.parse_reg(line, &ops[0])?;
+                let (base_r, index, offset) = self.parse_mem(line, &ops[1])?;
+                Instr::Ld { ty, dst: d, base: base_r, index, offset }
+            }
+            "st" => {
+                let ty = self.one_type(line, &suffixes)?;
+                if ops.len() != 2 {
+                    return Err(Self::err(line, "st takes [mem], src"));
+                }
+                let (base_r, index, offset) = self.parse_mem(line, &ops[0])?;
+                let s = self.parse_reg(line, &ops[1])?;
+                Instr::St { ty, base: base_r, index, offset, src: s }
+            }
+            other => return Err(Self::err(line, format!("unknown instruction `{other}`"))),
+        };
+        self.blocks.last_mut().expect("checked").instrs.push(instr);
+        Ok(())
+    }
+
+    fn set_terminator(&mut self, line: usize, t: RawTerminator) -> Result<(), SptxError> {
+        let block = self.blocks.last_mut().ok_or(Self::err(line, "terminator before any label"))?;
+        if block.terminator.is_some() {
+            return Err(Self::err(line, "block already terminated"));
+        }
+        block.terminator = Some(t);
+        Ok(())
+    }
+
+    fn one_type(&self, line: usize, suffixes: &[&str]) -> Result<ScalarType, SptxError> {
+        match suffixes {
+            [s] => parse_type(s).ok_or(Self::err(line, format!("unknown type `{s}`"))),
+            _ => Err(Self::err(line, "expected exactly one type suffix")),
+        }
+    }
+
+    fn parse_reg(&mut self, line: usize, tok: &str) -> Result<Reg, SptxError> {
+        let tok = tok.trim();
+        let digits = tok
+            .strip_prefix('r')
+            .filter(|d| !d.is_empty() && d.chars().all(|c| c.is_ascii_digit()))
+            .ok_or(Self::err(line, format!("expected register, found `{tok}`")))?;
+        let n: u16 =
+            digits.parse().map_err(|_| Self::err(line, format!("register index too large `{tok}`")))?;
+        self.max_reg = Some(self.max_reg.map_or(n, |m| m.max(n)));
+        Ok(Reg(n))
+    }
+
+    fn parse_pred(&mut self, line: usize, tok: &str) -> Result<Pred, SptxError> {
+        let digits = tok
+            .trim()
+            .strip_prefix('p')
+            .filter(|d| !d.is_empty() && d.chars().all(|c| c.is_ascii_digit()))
+            .ok_or(Self::err(line, format!("expected predicate, found `{tok}`")))?;
+        let n: u8 =
+            digits.parse().map_err(|_| Self::err(line, format!("predicate index too large `{tok}`")))?;
+        self.max_pred = Some(self.max_pred.map_or(n, |m| m.max(n)));
+        Ok(Pred(n))
+    }
+
+    /// Parse `[base]`, `[base + idx]`, `[base + off]`, `[base + idx + off]`.
+    fn parse_mem(&mut self, line: usize, tok: &str) -> Result<(Reg, Option<Reg>, i64), SptxError> {
+        let inner = tok
+            .trim()
+            .strip_prefix('[')
+            .and_then(|s| s.strip_suffix(']'))
+            .ok_or(Self::err(line, format!("expected memory operand, found `{tok}`")))?;
+        let parts: Vec<&str> = inner.split('+').map(str::trim).collect();
+        match parts.as_slice() {
+            [b] => Ok((self.parse_reg(line, b)?, None, 0)),
+            [b, second] => {
+                let base = self.parse_reg(line, b)?;
+                if second.starts_with('r') {
+                    Ok((base, Some(self.parse_reg(line, second)?), 0))
+                } else {
+                    let off: i64 = second
+                        .parse()
+                        .map_err(|_| Self::err(line, format!("bad offset `{second}`")))?;
+                    Ok((base, None, off))
+                }
+            }
+            [b, i, o] => {
+                let base = self.parse_reg(line, b)?;
+                let index = self.parse_reg(line, i)?;
+                let off: i64 =
+                    o.parse().map_err(|_| Self::err(line, format!("bad offset `{o}`")))?;
+                Ok((base, Some(index), off))
+            }
+            _ => Err(Self::err(line, format!("malformed memory operand `{tok}`"))),
+        }
+    }
+
+    fn two_regs(&mut self, line: usize, ops: &[String]) -> Result<[Reg; 2], SptxError> {
+        if ops.len() != 2 {
+            return Err(Self::err(line, "expected two operands"));
+        }
+        Ok([self.parse_reg(line, &ops[0])?, self.parse_reg(line, &ops[1])?])
+    }
+
+    fn three_regs(&mut self, line: usize, ops: &[String]) -> Result<[Reg; 3], SptxError> {
+        if ops.len() != 3 {
+            return Err(Self::err(line, "expected three operands"));
+        }
+        Ok([
+            self.parse_reg(line, &ops[0])?,
+            self.parse_reg(line, &ops[1])?,
+            self.parse_reg(line, &ops[2])?,
+        ])
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    let end = line.find('#').unwrap_or(line.len()).min(line.find("//").unwrap_or(line.len()));
+    &line[..end]
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().map(|c| c.is_ascii_alphabetic() || c == '_').unwrap_or(false)
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Split operands on commas, but keep `[...]` groups intact.
+fn split_operands(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut cur = String::new();
+    for ch in s.chars() {
+        match ch {
+            '[' => {
+                depth += 1;
+                cur.push(ch);
+            }
+            ']' => {
+                depth = depth.saturating_sub(1);
+                cur.push(ch);
+            }
+            ',' if depth == 0 => {
+                if !cur.trim().is_empty() {
+                    out.push(cur.trim().to_string());
+                }
+                cur.clear();
+            }
+            _ => cur.push(ch),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur.trim().to_string());
+    }
+    out
+}
+
+fn parse_type(s: &str) -> Option<ScalarType> {
+    match s {
+        "f32" => Some(ScalarType::F32),
+        "f64" => Some(ScalarType::F64),
+        "i64" => Some(ScalarType::I64),
+        _ => None,
+    }
+}
+
+fn parse_bin(s: &str) -> Option<BinOp> {
+    Some(match s {
+        "add" => BinOp::Add,
+        "sub" => BinOp::Sub,
+        "mul" => BinOp::Mul,
+        "div" => BinOp::Div,
+        "rem" => BinOp::Rem,
+        "min" => BinOp::Min,
+        "max" => BinOp::Max,
+        "and" => BinOp::And,
+        "or" => BinOp::Or,
+        "xor" => BinOp::Xor,
+        "shl" => BinOp::Shl,
+        "shr" => BinOp::Shr,
+        _ => return None,
+    })
+}
+
+fn parse_un(s: &str) -> Option<UnaryOp> {
+    Some(match s {
+        "neg" => UnaryOp::Neg,
+        "abs" => UnaryOp::Abs,
+        "sqrt" => UnaryOp::Sqrt,
+        "exp" => UnaryOp::Exp,
+        "log" => UnaryOp::Log,
+        "sin" => UnaryOp::Sin,
+        "cos" => UnaryOp::Cos,
+        "not" => UnaryOp::Not,
+        _ => return None,
+    })
+}
+
+fn parse_cmp(s: &str) -> Option<CmpOp> {
+    Some(match s {
+        "eq" => CmpOp::Eq,
+        "ne" => CmpOp::Ne,
+        "lt" => CmpOp::Lt,
+        "le" => CmpOp::Le,
+        "gt" => CmpOp::Gt,
+        "ge" => CmpOp::Ge,
+        _ => return None,
+    })
+}
+
+fn parse_special(s: &str) -> Option<Special> {
+    Some(match s {
+        "tid.x" => Special::TidX,
+        "ntid.x" => Special::NTidX,
+        "ctaid.x" => Special::CtaIdX,
+        "nctaid.x" => Special::NCtaIdX,
+        "gtid" => Special::GlobalTid,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{Interpreter, LaunchConfig, Memory, ParamValue};
+
+    const SCALE: &str = "
+.kernel scale            # multiply each f32 element by 2
+entry:
+    rs       r0, gtid
+    ldp      r1, 0
+    ld.f32   r2, [r1 + r0]
+    mov.f64  r3, 2.0
+    mul.f32  r2, r2, r3
+    st.f32   [r1 + r0], r2
+    ret
+";
+
+    #[test]
+    fn parse_and_execute_scale() {
+        let p = parse(SCALE).unwrap();
+        assert_eq!(p.name(), "scale");
+        let mut mem = Memory::new(4 * 4);
+        for i in 0..4 {
+            mem.write_f32(i * 4, (i + 1) as f32).unwrap();
+        }
+        Interpreter::new()
+            .run(&p, &LaunchConfig::linear(1, 4), &[ParamValue::Ptr(0)], &mut mem)
+            .unwrap();
+        for i in 0..4 {
+            assert_eq!(mem.read_f32(i * 4).unwrap(), 2.0 * (i + 1) as f32);
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_disassembler() {
+        let p = parse(SCALE).unwrap();
+        let text = disassemble(&p);
+        let q = parse(&text).unwrap();
+        assert_eq!(p.name(), q.name());
+        assert_eq!(p.static_mix(), q.static_mix());
+        assert_eq!(p.blocks().len(), q.blocks().len());
+    }
+
+    #[test]
+    fn parses_branches_and_loops() {
+        let src = "
+.kernel count
+entry:
+    mov r0, 0
+    mov r1, 5
+    mov r2, 1
+    bra header
+header:
+    setp.lt.i64 p0, r0, r1
+    @p0 bra body, exit
+body:
+    add.i64 r0, r0, r2
+    bra header
+exit:
+    ldp r3, 0
+    st.i64 [r3], r0
+    ret
+";
+        let p = parse(src).unwrap();
+        let mut mem = Memory::new(8);
+        Interpreter::new()
+            .run(&p, &LaunchConfig::linear(1, 1), &[ParamValue::Ptr(0)], &mut mem)
+            .unwrap();
+        assert_eq!(mem.read_i64(0).unwrap(), 5);
+    }
+
+    #[test]
+    fn memory_operand_forms() {
+        let src = "
+.kernel memforms
+entry:
+    ldp r0, 0
+    mov r1, 1
+    ld.i64 r2, [r0]
+    ld.i64 r3, [r0 + 8]
+    ld.i64 r4, [r0 + r1]
+    ld.i64 r5, [r0 + r1 + 8]
+    add.i64 r2, r2, r3
+    add.i64 r2, r2, r4
+    add.i64 r2, r2, r5
+    st.i64 [r0], r2
+    ret
+";
+        let p = parse(src).unwrap();
+        let mut mem = Memory::new(24);
+        mem.write_i64(0, 1).unwrap();
+        mem.write_i64(8, 10).unwrap();
+        mem.write_i64(16, 100).unwrap();
+        Interpreter::new()
+            .run(&p, &LaunchConfig::linear(1, 1), &[ParamValue::Ptr(0)], &mut mem)
+            .unwrap();
+        // [r0]=1, [r0+8]=10, [r0+r1 (idx 1 × 8B)]=10, [r0+r1+8]=100 → 121.
+        assert_eq!(mem.read_i64(0).unwrap(), 121);
+    }
+
+    #[test]
+    fn reports_line_numbers_on_errors() {
+        let src = ".kernel bad\nentry:\n    frobnicate r0, r1\n    ret\n";
+        match parse(src) {
+            Err(SptxError::Parse { line, message }) => {
+                assert_eq!(line, 3);
+                assert!(message.contains("frobnicate"));
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_duplicate_labels_and_unknown_targets() {
+        let dup = ".kernel k\na:\n    ret\na:\n    ret\n";
+        assert!(matches!(parse(dup), Err(SptxError::Parse { .. })));
+        let unknown = ".kernel k\nentry:\n    bra nowhere\n";
+        assert!(parse(unknown).is_err());
+    }
+
+    #[test]
+    fn rejects_instruction_after_terminator() {
+        let src = ".kernel k\nentry:\n    ret\n    mov r0, 1\n";
+        assert!(matches!(parse(src), Err(SptxError::Parse { line: 4, .. })));
+    }
+
+    #[test]
+    fn rejects_missing_kernel_directive() {
+        assert!(parse("entry:\n    ret\n").is_err());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let src = "
+// leading comment
+.kernel c
+entry:          # entry block
+    ret         // done
+";
+        assert!(parse(src).is_ok());
+    }
+}

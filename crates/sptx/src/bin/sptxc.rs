@@ -1,0 +1,175 @@
+//! `sptxc` — the SPTX command-line tool: check, disassemble, optimize and run
+//! kernels from `.sptx` assembly files.
+//!
+//! ```text
+//! sptxc check  kernel.sptx
+//! sptxc opt    kernel.sptx               # optimized assembly on stdout
+//! sptxc stats  kernel.sptx               # static instruction mix
+//! sptxc run    kernel.sptx --grid 4 --block 64 --mem 4096 \
+//!              --param ptr:0 --param i64:256 [--dump-f32 0..32]
+//! ```
+//!
+//! `run` executes the kernel over a zeroed memory image of `--mem` bytes and
+//! prints the dynamic profile; `--dump-f32 LO..HI` additionally prints a word
+//! range of the final memory.
+
+use std::process::ExitCode;
+
+use sigmavp_sptx::asm;
+use sigmavp_sptx::interp::{Interpreter, LaunchConfig, Memory, ParamValue};
+use sigmavp_sptx::isa::InstrClass;
+use sigmavp_sptx::opt::optimize;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: sptxc <check|opt|stats|run> <file.sptx> \
+         [--grid N] [--block N] [--mem BYTES] [--param ptr:N|i64:N|f64:X]... [--dump-f32 LO..HI]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (Some(command), Some(path)) = (args.first(), args.get(1)) else {
+        return usage();
+    };
+    let source = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("sptxc: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let program = match asm::parse(&source) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("sptxc: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match command.as_str() {
+        "check" => {
+            println!(
+                "{}: ok ({} blocks, {} static instructions, {} registers, {} params)",
+                program.name(),
+                program.blocks().len(),
+                program.static_size(),
+                program.num_regs(),
+                program.num_params()
+            );
+            ExitCode::SUCCESS
+        }
+        "stats" => {
+            println!("kernel {}", program.name());
+            for class in InstrClass::ALL {
+                println!("  {class:<7} {}", program.static_mix().get(class));
+            }
+            ExitCode::SUCCESS
+        }
+        "opt" => match optimize(&program) {
+            Ok((optimized, stats)) => {
+                eprintln!(
+                    "sptxc: folded {} and removed {} instructions in {} passes",
+                    stats.folded, stats.removed, stats.iterations
+                );
+                print!("{}", asm::disassemble(&optimized));
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("sptxc: optimizer failed: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        "run" => run_command(&args[2..], &program, path),
+        _ => usage(),
+    }
+}
+
+fn run_command(args: &[String], program: &sigmavp_sptx::KernelProgram, path: &str) -> ExitCode {
+    let mut grid = 1u32;
+    let mut block = 32u32;
+    let mut mem_bytes = 64 * 1024usize;
+    let mut params: Vec<ParamValue> = Vec::new();
+    let mut dump: Option<(u64, u64)> = None;
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let value = |it: &mut std::slice::Iter<String>| -> Option<String> { it.next().cloned() };
+        match flag.as_str() {
+            "--grid" => match value(&mut it).and_then(|v| v.parse().ok()) {
+                Some(v) => grid = v,
+                None => return usage(),
+            },
+            "--block" => match value(&mut it).and_then(|v| v.parse().ok()) {
+                Some(v) => block = v,
+                None => return usage(),
+            },
+            "--mem" => match value(&mut it).and_then(|v| v.parse().ok()) {
+                Some(v) => mem_bytes = v,
+                None => return usage(),
+            },
+            "--param" => {
+                let Some(spec) = value(&mut it) else { return usage() };
+                let Some((kind, raw)) = spec.split_once(':') else { return usage() };
+                let parsed = match kind {
+                    "ptr" => raw.parse().ok().map(ParamValue::Ptr),
+                    "i64" => raw.parse().ok().map(ParamValue::I64),
+                    "f64" => raw.parse().ok().map(ParamValue::F64),
+                    _ => None,
+                };
+                match parsed {
+                    Some(p) => params.push(p),
+                    None => return usage(),
+                }
+            }
+            "--dump-f32" => {
+                let Some(range) = value(&mut it) else { return usage() };
+                let Some((lo, hi)) = range.split_once("..") else { return usage() };
+                match (lo.parse(), hi.parse()) {
+                    (Ok(lo), Ok(hi)) => dump = Some((lo, hi)),
+                    _ => return usage(),
+                }
+            }
+            _ => return usage(),
+        }
+    }
+
+    let mut mem = Memory::new(mem_bytes);
+    match Interpreter::new().run(program, &LaunchConfig::linear(grid, block), &params, &mut mem) {
+        Ok(profile) => {
+            println!(
+                "{}: ran {} threads, {} dynamic instructions",
+                program.name(),
+                profile.threads,
+                profile.counts.total()
+            );
+            for class in InstrClass::ALL {
+                let n = profile.counts.get(class);
+                if n > 0 {
+                    println!("  {class:<7} {n}");
+                }
+            }
+            println!(
+                "  memory: {} accesses, {} unique 128B segments",
+                profile.memory.accesses, profile.memory.unique_segments
+            );
+            if let Some((lo, hi)) = dump {
+                for word in lo..hi {
+                    match mem.read_f32(word * 4) {
+                        Ok(v) => println!("  f32[{word}] = {v}"),
+                        Err(e) => {
+                            eprintln!("sptxc: dump out of range: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("sptxc: {path}: runtime fault: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

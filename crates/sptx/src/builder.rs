@@ -1,0 +1,390 @@
+//! A fluent, programmatic builder for [`KernelProgram`]s.
+//!
+//! The builder hands out fresh registers, accumulates instructions into the current
+//! basic block, and seals blocks when a terminator is emitted. [`ProgramBuilder::build`]
+//! runs the [validator](crate::validate::validate), so the returned program is always
+//! structurally sound.
+
+use crate::error::SptxError;
+use crate::isa::{
+    BinOp, BlockId, CmpOp, Imm, Instr, Pred, Reg, ScalarType, Special, Terminator, UnaryOp,
+};
+use crate::program::{BasicBlock, KernelProgram};
+use crate::validate::validate;
+
+/// Builder for [`KernelProgram`].
+///
+/// # Example
+///
+/// A kernel that doubles every element of a buffer:
+///
+/// ```
+/// use sigmavp_sptx::builder::ProgramBuilder;
+/// use sigmavp_sptx::isa::{BinOp, ScalarType, Special};
+///
+/// # fn main() -> Result<(), sigmavp_sptx::SptxError> {
+/// let mut b = ProgramBuilder::new("double");
+/// let (idx, base, v) = (b.reg(), b.reg(), b.reg());
+/// b.read_special(idx, Special::GlobalTid)
+///     .ld_param(base, 0)
+///     .ld_indexed(ScalarType::F32, v, base, idx, 0)
+///     .binop(BinOp::Add, ScalarType::F32, v, v, v)
+///     .st_indexed(ScalarType::F32, base, idx, 0, v)
+///     .ret();
+/// let program = b.build()?;
+/// assert_eq!(program.name(), "double");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    name: String,
+    sealed: Vec<Option<BasicBlock>>,
+    current: Vec<Instr>,
+    current_id: BlockId,
+    current_label: Option<String>,
+    next_reg: u16,
+    next_pred: u8,
+    max_param: Option<usize>,
+}
+
+impl ProgramBuilder {
+    /// Start building a kernel with the given name. Block 0 (the entry block) is
+    /// open and current.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            sealed: vec![None],
+            current: Vec::new(),
+            current_id: BlockId(0),
+            current_label: None,
+            next_reg: 0,
+            next_pred: 0,
+            max_param: None,
+        }
+    }
+
+    /// Allocate a fresh virtual register.
+    pub fn reg(&mut self) -> Reg {
+        let r = Reg(self.next_reg);
+        self.next_reg += 1;
+        r
+    }
+
+    /// Allocate a fresh predicate register.
+    pub fn pred(&mut self) -> Pred {
+        let p = Pred(self.next_pred);
+        self.next_pred += 1;
+        p
+    }
+
+    /// Reserve a basic block id to be filled in later (needed for forward branches,
+    /// e.g. loop exits). Use [`ProgramBuilder::switch_to`] to start emitting into it.
+    pub fn declare_block(&mut self) -> BlockId {
+        let id = BlockId(self.sealed.len() as u32);
+        self.sealed.push(None);
+        id
+    }
+
+    /// Begin emitting into a previously declared block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the current block has unsealed instructions (emit a terminator
+    /// first) or if `id` was already filled.
+    pub fn switch_to(&mut self, id: BlockId) -> &mut Self {
+        assert!(
+            self.current.is_empty(),
+            "current block {} has instructions but no terminator",
+            self.current_id
+        );
+        assert!(
+            self.sealed.get(id.0 as usize).map(|s| s.is_none()).unwrap_or(false),
+            "block {id} was not declared or is already sealed"
+        );
+        self.current_id = id;
+        self.current_label = None;
+        self
+    }
+
+    /// Attach a human-readable label to the current block (for disassembly).
+    pub fn label(&mut self, label: impl Into<String>) -> &mut Self {
+        self.current_label = Some(label.into());
+        self
+    }
+
+    fn push(&mut self, i: Instr) -> &mut Self {
+        self.current.push(i);
+        self
+    }
+
+    /// Emit a binary operation `dst = a <op> b`.
+    pub fn binop(&mut self, op: BinOp, ty: ScalarType, dst: Reg, a: Reg, b: Reg) -> &mut Self {
+        self.push(Instr::Bin { op, ty, dst, a, b })
+    }
+
+    /// Emit a unary operation `dst = <op> a`.
+    pub fn unop(&mut self, op: UnaryOp, ty: ScalarType, dst: Reg, a: Reg) -> &mut Self {
+        self.push(Instr::Un { op, ty, dst, a })
+    }
+
+    /// Emit a fused multiply-add `dst = a * b + c`.
+    pub fn mad(&mut self, ty: ScalarType, dst: Reg, a: Reg, b: Reg, c: Reg) -> &mut Self {
+        self.push(Instr::Mad { ty, dst, a, b, c })
+    }
+
+    /// Emit an integer immediate move.
+    pub fn mov_imm_i(&mut self, dst: Reg, value: i64) -> &mut Self {
+        self.push(Instr::MovImm { dst, imm: Imm::I(value) })
+    }
+
+    /// Emit a floating-point immediate move.
+    pub fn mov_imm_f(&mut self, dst: Reg, value: f64) -> &mut Self {
+        self.push(Instr::MovImm { dst, imm: Imm::F(value) })
+    }
+
+    /// Emit a register-to-register move.
+    pub fn mov(&mut self, dst: Reg, src: Reg) -> &mut Self {
+        self.push(Instr::Mov { dst, src })
+    }
+
+    /// Emit a type conversion `dst = (to) src`.
+    pub fn cvt(&mut self, to: ScalarType, from: ScalarType, dst: Reg, src: Reg) -> &mut Self {
+        self.push(Instr::Cvt { to, from, dst, src })
+    }
+
+    /// Emit a predicate-setting comparison.
+    pub fn setp(&mut self, cmp: CmpOp, ty: ScalarType, pred: Pred, a: Reg, b: Reg) -> &mut Self {
+        self.push(Instr::Setp { cmp, ty, pred, a, b })
+    }
+
+    /// Emit a special-register read.
+    pub fn read_special(&mut self, dst: Reg, special: Special) -> &mut Self {
+        self.push(Instr::ReadSpecial { dst, special })
+    }
+
+    /// Emit a kernel-parameter load.
+    pub fn ld_param(&mut self, dst: Reg, index: usize) -> &mut Self {
+        self.max_param = Some(self.max_param.map_or(index, |m| m.max(index)));
+        self.push(Instr::LdParam { dst, index })
+    }
+
+    /// Emit a direct load `dst = *(ty*)(base + offset)`.
+    pub fn ld(&mut self, ty: ScalarType, dst: Reg, base: Reg, offset: i64) -> &mut Self {
+        self.push(Instr::Ld { ty, dst, base, index: None, offset })
+    }
+
+    /// Emit an indexed load `dst = *(ty*)(base + index * ty.width() + offset)`.
+    pub fn ld_indexed(&mut self, ty: ScalarType, dst: Reg, base: Reg, index: Reg, offset: i64) -> &mut Self {
+        self.push(Instr::Ld { ty, dst, base, index: Some(index), offset })
+    }
+
+    /// Emit a direct store `*(ty*)(base + offset) = src`.
+    pub fn st(&mut self, ty: ScalarType, base: Reg, offset: i64, src: Reg) -> &mut Self {
+        self.push(Instr::St { ty, base, index: None, offset, src })
+    }
+
+    /// Emit an indexed store `*(ty*)(base + index * ty.width() + offset) = src`.
+    pub fn st_indexed(&mut self, ty: ScalarType, base: Reg, index: Reg, offset: i64, src: Reg) -> &mut Self {
+        self.push(Instr::St { ty, base, index: Some(index), offset, src })
+    }
+
+    fn seal(&mut self, terminator: Terminator) {
+        let block = BasicBlock {
+            instrs: std::mem::take(&mut self.current),
+            terminator,
+            label: self.current_label.take(),
+        };
+        self.sealed[self.current_id.0 as usize] = Some(block);
+    }
+
+    /// Seal the current block with an unconditional branch and open a fresh block as
+    /// the branch target, returning its id.
+    pub fn bra_new_block(&mut self) -> BlockId {
+        let next = self.declare_block();
+        self.seal(Terminator::Bra(next));
+        self.current_id = next;
+        next
+    }
+
+    /// Seal the current block with an unconditional branch to `target`.
+    pub fn bra(&mut self, target: BlockId) -> &mut Self {
+        self.seal(Terminator::Bra(target));
+        self
+    }
+
+    /// Seal the current block with a conditional branch.
+    pub fn cond_bra(&mut self, pred: Pred, if_true: BlockId, if_false: BlockId) -> &mut Self {
+        self.seal(Terminator::CondBra { pred, if_true, if_false });
+        self
+    }
+
+    /// Seal the current block with a return.
+    pub fn ret(&mut self) -> &mut Self {
+        self.seal(Terminator::Ret);
+        self
+    }
+
+    /// Finish the program, validating it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SptxError`] if any declared block was never filled, a branch
+    /// target is unknown, or a register is used before definition (see
+    /// [`crate::validate::validate`]).
+    pub fn build(&mut self) -> Result<KernelProgram, SptxError> {
+        let mut blocks = Vec::with_capacity(self.sealed.len());
+        for (i, b) in self.sealed.iter().enumerate() {
+            match b {
+                Some(b) => blocks.push(b.clone()),
+                None => return Err(SptxError::MissingTerminator(BlockId(i as u32))),
+            }
+        }
+        let program = KernelProgram::from_parts(
+            self.name.clone(),
+            blocks,
+            self.next_reg,
+            self.next_pred,
+            self.max_param.map_or(0, |m| m + 1),
+        );
+        validate(&program)?;
+        Ok(program)
+    }
+}
+
+/// Convenience: build a simple counted loop.
+///
+/// Emits, into `b`, a loop that runs `trip_count` times executing `body` each
+/// iteration with the loop counter available in a register. After the call the
+/// builder is positioned in the loop's exit block.
+///
+/// # Example
+///
+/// ```
+/// use sigmavp_sptx::builder::{for_loop, ProgramBuilder};
+/// use sigmavp_sptx::isa::{BinOp, ScalarType};
+///
+/// # fn main() -> Result<(), sigmavp_sptx::SptxError> {
+/// let mut b = ProgramBuilder::new("sum");
+/// let acc = b.reg();
+/// b.mov_imm_i(acc, 0);
+/// for_loop(&mut b, 10, |b, i| {
+///     b.binop(BinOp::Add, ScalarType::I64, acc, acc, i);
+/// });
+/// b.ret();
+/// let p = b.build()?;
+/// assert!(p.blocks().len() >= 3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn for_loop(b: &mut ProgramBuilder, trip_count: i64, body: impl FnOnce(&mut ProgramBuilder, Reg)) {
+    let i = b.reg();
+    let limit = b.reg();
+    let one = b.reg();
+    let p = b.pred();
+    b.mov_imm_i(i, 0).mov_imm_i(limit, trip_count).mov_imm_i(one, 1);
+
+    let header = b.declare_block();
+    let body_block = b.declare_block();
+    let exit = b.declare_block();
+
+    b.bra(header);
+    b.switch_to(header).label("loop_header");
+    b.setp(CmpOp::Lt, ScalarType::I64, p, i, limit).cond_bra(p, body_block, exit);
+
+    b.switch_to(body_block).label("loop_body");
+    body(b, i);
+    b.binop(BinOp::Add, ScalarType::I64, i, i, one).bra(header);
+
+    b.switch_to(exit).label("loop_exit");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{Interpreter, LaunchConfig, Memory, ParamValue};
+    use crate::isa::InstrClass;
+
+    #[test]
+    fn straight_line_build() {
+        let mut b = ProgramBuilder::new("k");
+        let r = b.reg();
+        b.mov_imm_i(r, 5).ret();
+        let p = b.build().unwrap();
+        assert_eq!(p.blocks().len(), 1);
+        assert_eq!(p.num_regs(), 1);
+        assert_eq!(p.num_params(), 0);
+    }
+
+    #[test]
+    fn unsealed_declared_block_is_an_error() {
+        let mut b = ProgramBuilder::new("k");
+        let _orphan = b.declare_block();
+        let r = b.reg();
+        b.mov_imm_i(r, 1).ret();
+        assert!(matches!(b.build(), Err(SptxError::MissingTerminator(_))));
+    }
+
+    #[test]
+    fn param_count_tracks_max_index() {
+        let mut b = ProgramBuilder::new("k");
+        let r = b.reg();
+        b.ld_param(r, 3).ret();
+        let p = b.build().unwrap();
+        assert_eq!(p.num_params(), 4);
+    }
+
+    #[test]
+    fn for_loop_executes_trip_count_times() {
+        let mut b = ProgramBuilder::new("loop10");
+        let acc = b.reg();
+        let base = b.reg();
+        b.mov_imm_i(acc, 0);
+        for_loop(&mut b, 10, |b, i| {
+            b.binop(BinOp::Add, ScalarType::I64, acc, acc, i);
+        });
+        b.ld_param(base, 0).st(ScalarType::I64, base, 0, acc).ret();
+        let p = b.build().unwrap();
+
+        let mut mem = Memory::new(8);
+        let profile = Interpreter::new()
+            .run(&p, &LaunchConfig::linear(1, 1), &[ParamValue::Ptr(0)], &mut mem)
+            .unwrap();
+        assert_eq!(mem.read_i64(0).unwrap(), 45); // 0+1+..+9
+        // The loop header executed 11 times (10 taken + 1 exit check).
+        assert!(profile.counts.get(InstrClass::Branch) >= 11);
+    }
+
+    #[test]
+    fn nested_loops_compose() {
+        let mut b = ProgramBuilder::new("nest");
+        let acc = b.reg();
+        let base = b.reg();
+        let one = b.reg();
+        b.mov_imm_i(acc, 0).mov_imm_i(one, 1);
+        for_loop(&mut b, 3, |b, _i| {
+            // Inner loop must be built inline: for_loop leaves the builder in the
+            // exit block, so nest by calling it inside the body closure.
+            for_loop(b, 4, |b, _j| {
+                b.binop(BinOp::Add, ScalarType::I64, acc, acc, one);
+            });
+        });
+        b.ld_param(base, 0).st(ScalarType::I64, base, 0, acc).ret();
+        let p = b.build().unwrap();
+        let mut mem = Memory::new(8);
+        Interpreter::new()
+            .run(&p, &LaunchConfig::linear(1, 1), &[ParamValue::Ptr(0)], &mut mem)
+            .unwrap();
+        assert_eq!(mem.read_i64(0).unwrap(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "no terminator")]
+    fn switching_with_open_instructions_panics() {
+        let mut b = ProgramBuilder::new("k");
+        let r = b.reg();
+        let other = b.declare_block();
+        b.mov_imm_i(r, 1);
+        b.switch_to(other);
+    }
+}

@@ -1,0 +1,161 @@
+//! Execution profiles: the dynamic counters produced by running a kernel.
+//!
+//! These are the SPTX equivalent of the hardware profiler the paper relies on
+//! ("the Profiler, which is provided by the manufacturer, acquires execution
+//! information such as the number of executed instructions per instruction type ...").
+
+use std::collections::HashMap;
+
+use crate::isa::{BlockId, InstrClass};
+use crate::program::ClassCounts;
+
+/// Summary of the memory behaviour of one kernel execution, consumed by the GPU
+/// device model's cache/stall estimator.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MemoryTraceSummary {
+    /// Total bytes loaded from global memory.
+    pub load_bytes: u64,
+    /// Total bytes stored to global memory.
+    pub store_bytes: u64,
+    /// Number of distinct 128-byte memory segments touched. A low
+    /// `unique_segments / accesses` ratio indicates well-coalesced, cache-friendly
+    /// access; a high ratio indicates scattered access.
+    pub unique_segments: u64,
+    /// Total number of load/store operations.
+    pub accesses: u64,
+}
+
+impl MemoryTraceSummary {
+    /// Mean bytes per access; `0.0` when no accesses occurred.
+    pub fn mean_access_width(&self) -> f64 {
+        if self.accesses == 0 {
+            return 0.0;
+        }
+        (self.load_bytes + self.store_bytes) as f64 / self.accesses as f64
+    }
+
+    /// Spatial-locality score in `[0, 1]`: 1 means every access hit an already
+    /// touched 128-byte segment, 0 means every access opened a new segment.
+    pub fn locality(&self) -> f64 {
+        if self.accesses == 0 {
+            return 1.0;
+        }
+        1.0 - (self.unique_segments as f64 / self.accesses as f64).min(1.0)
+    }
+}
+
+/// Full dynamic profile of one kernel launch over an entire grid.
+///
+/// Contains everything the paper's Profile-Based Execution Analysis consumes:
+/// per-class dynamic instruction counts (σ on the machine that ran it), per-block
+/// iteration counts (λ_b, obtained in the paper by "dynamically inserting PTX
+/// instructions"), and a memory-trace summary for the data-cache stall model.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExecutionProfile {
+    /// Dynamic instruction counts by class, summed over all threads.
+    pub counts: ClassCounts,
+    /// Per-basic-block execution counts λ_b, summed over all threads.
+    pub block_iterations: HashMap<BlockId, u64>,
+    /// Memory behaviour summary.
+    pub memory: MemoryTraceSummary,
+    /// Number of threads that ran.
+    pub threads: u64,
+}
+
+impl ExecutionProfile {
+    /// An empty profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// λ for one block (0 if never executed).
+    pub fn iterations(&self, block: BlockId) -> u64 {
+        self.block_iterations.get(&block).copied().unwrap_or(0)
+    }
+
+    /// Merge another profile into this one (e.g. accumulate per-thread profiles).
+    pub fn merge(&mut self, other: &ExecutionProfile) {
+        self.counts = self.counts.merged(&other.counts);
+        for (b, n) in &other.block_iterations {
+            *self.block_iterations.entry(*b).or_insert(0) += n;
+        }
+        self.memory.load_bytes += other.memory.load_bytes;
+        self.memory.store_bytes += other.memory.store_bytes;
+        self.memory.unique_segments += other.memory.unique_segments;
+        self.memory.accesses += other.memory.accesses;
+        self.threads += other.threads;
+    }
+
+    /// Per-thread average instruction count; `0.0` for an empty profile.
+    pub fn instructions_per_thread(&self) -> f64 {
+        if self.threads == 0 {
+            return 0.0;
+        }
+        self.counts.total() as f64 / self.threads as f64
+    }
+
+    /// Fraction of dynamic instructions in a class.
+    pub fn class_fraction(&self, class: InstrClass) -> f64 {
+        let total = self.counts.total();
+        if total == 0 {
+            return 0.0;
+        }
+        self.counts.get(class) as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates_everything() {
+        let mut a = ExecutionProfile::new();
+        a.counts.add(InstrClass::Fp32, 10);
+        a.block_iterations.insert(BlockId(0), 5);
+        a.memory.load_bytes = 64;
+        a.memory.accesses = 4;
+        a.threads = 1;
+
+        let mut b = ExecutionProfile::new();
+        b.counts.add(InstrClass::Fp32, 6);
+        b.counts.add(InstrClass::Ld, 2);
+        b.block_iterations.insert(BlockId(0), 3);
+        b.block_iterations.insert(BlockId(1), 1);
+        b.memory.load_bytes = 32;
+        b.memory.accesses = 2;
+        b.threads = 1;
+
+        a.merge(&b);
+        assert_eq!(a.counts.get(InstrClass::Fp32), 16);
+        assert_eq!(a.counts.get(InstrClass::Ld), 2);
+        assert_eq!(a.iterations(BlockId(0)), 8);
+        assert_eq!(a.iterations(BlockId(1)), 1);
+        assert_eq!(a.memory.load_bytes, 96);
+        assert_eq!(a.threads, 2);
+        assert_eq!(a.instructions_per_thread(), 9.0);
+    }
+
+    #[test]
+    fn locality_bounds() {
+        let m = MemoryTraceSummary { load_bytes: 0, store_bytes: 0, unique_segments: 0, accesses: 0 };
+        assert_eq!(m.locality(), 1.0);
+        let m = MemoryTraceSummary { load_bytes: 4, store_bytes: 0, unique_segments: 10, accesses: 10 };
+        assert_eq!(m.locality(), 0.0);
+        let m = MemoryTraceSummary { load_bytes: 4, store_bytes: 0, unique_segments: 1, accesses: 10 };
+        assert!((m.locality() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn class_fraction_of_empty_profile_is_zero() {
+        let p = ExecutionProfile::new();
+        assert_eq!(p.class_fraction(InstrClass::Int), 0.0);
+        assert_eq!(p.instructions_per_thread(), 0.0);
+    }
+
+    #[test]
+    fn mean_access_width() {
+        let m = MemoryTraceSummary { load_bytes: 12, store_bytes: 4, unique_segments: 1, accesses: 4 };
+        assert_eq!(m.mean_access_width(), 4.0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Error types shared by the SPTX assembler, validator and interpreter.
+
+use std::fmt;
+
+use crate::isa::{BlockId, Reg};
+
+/// Any error produced while building, parsing, validating or executing an SPTX
+/// program.
+///
+/// The variants carry enough location information (block, instruction index, register,
+/// address) to point a user at the offending kernel code.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SptxError {
+    /// A branch targets a basic block that does not exist.
+    UnknownBlock {
+        /// The invalid target.
+        target: BlockId,
+        /// The block containing the branch.
+        from: BlockId,
+    },
+    /// A basic block is missing its terminator instruction.
+    MissingTerminator(BlockId),
+    /// A register was read before any instruction wrote it.
+    UseBeforeDef {
+        /// The offending register.
+        reg: Reg,
+        /// The block in which the use occurs.
+        block: BlockId,
+        /// Instruction index within the block.
+        instr: usize,
+    },
+    /// A predicate register was read before any instruction wrote it.
+    PredUseBeforeDef {
+        /// Index of the predicate register.
+        pred: u8,
+        /// The block in which the use occurs.
+        block: BlockId,
+    },
+    /// The program has no basic blocks.
+    EmptyProgram,
+    /// A kernel parameter index is out of range for the supplied parameter list.
+    BadParamIndex {
+        /// The requested parameter slot.
+        index: usize,
+        /// Number of parameters actually supplied.
+        supplied: usize,
+    },
+    /// A load or store fell outside the bounds of kernel global memory.
+    OutOfBoundsAccess {
+        /// Byte address of the access.
+        addr: u64,
+        /// Width of the access in bytes.
+        width: u64,
+        /// Size of the memory in bytes.
+        mem_size: u64,
+    },
+    /// A pointer-typed operation was attempted on a non-pointer parameter.
+    ExpectedPointerParam(usize),
+    /// The interpreter executed more than its configured instruction budget;
+    /// the kernel is assumed to be stuck in an infinite loop.
+    InstructionBudgetExceeded {
+        /// The budget that was exceeded.
+        budget: u64,
+    },
+    /// Integer division or remainder by zero.
+    DivisionByZero {
+        /// The block in which the fault occurred.
+        block: BlockId,
+    },
+    /// A parse error from the text assembler.
+    Parse {
+        /// 1-based source line.
+        line: usize,
+        /// Description of what went wrong.
+        message: String,
+    },
+    /// The launch configuration is degenerate (zero-sized grid or block) or exceeds
+    /// implementation limits.
+    BadLaunch(String),
+}
+
+impl fmt::Display for SptxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SptxError::UnknownBlock { target, from } => {
+                write!(f, "branch in block {from} targets unknown block {target}")
+            }
+            SptxError::MissingTerminator(b) => {
+                write!(f, "basic block {b} has no terminator")
+            }
+            SptxError::UseBeforeDef { reg, block, instr } => write!(
+                f,
+                "register {reg} read before definition at block {block} instruction {instr}"
+            ),
+            SptxError::PredUseBeforeDef { pred, block } => {
+                write!(f, "predicate p{pred} read before definition in block {block}")
+            }
+            SptxError::EmptyProgram => write!(f, "program has no basic blocks"),
+            SptxError::BadParamIndex { index, supplied } => write!(
+                f,
+                "parameter index {index} out of range ({supplied} parameters supplied)"
+            ),
+            SptxError::OutOfBoundsAccess { addr, width, mem_size } => write!(
+                f,
+                "memory access of {width} bytes at address {addr:#x} exceeds memory size {mem_size:#x}"
+            ),
+            SptxError::ExpectedPointerParam(i) => {
+                write!(f, "parameter {i} used as a pointer but is a scalar")
+            }
+            SptxError::InstructionBudgetExceeded { budget } => {
+                write!(f, "instruction budget of {budget} exceeded; kernel assumed divergent")
+            }
+            SptxError::DivisionByZero { block } => {
+                write!(f, "integer division by zero in block {block}")
+            }
+            SptxError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            SptxError::BadLaunch(msg) => write!(f, "invalid launch configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SptxError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::Reg;
+
+    #[test]
+    fn display_is_lowercase_and_specific() {
+        let e = SptxError::UseBeforeDef { reg: Reg(4), block: BlockId(1), instr: 3 };
+        let s = e.to_string();
+        assert!(s.contains("r4"));
+        assert!(s.contains("block 1"));
+        assert!(s.starts_with(char::is_lowercase));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SptxError>();
+    }
+
+    #[test]
+    fn out_of_bounds_reports_hex() {
+        let e = SptxError::OutOfBoundsAccess { addr: 0x100, width: 8, mem_size: 0x80 };
+        assert!(e.to_string().contains("0x100"));
+    }
+}

@@ -1,0 +1,868 @@
+//! A scalar interpreter for SPTX kernels over a CUDA-style grid.
+//!
+//! The interpreter serves two roles in ΣVP:
+//!
+//! * **functional execution** — both the host-GPU device model and the GPU-emulation
+//!   path on the virtual platform use it to actually compute kernel results, and
+//! * **profiling** — every run yields an [`ExecutionProfile`] with per-class dynamic
+//!   instruction counts, per-block iteration counts λ and a memory-trace summary.
+//!
+//! Threads are executed sequentially (block by block, thread by thread); SPTX has no
+//! inter-thread communication primitives, so sequential execution is observationally
+//! equivalent to any parallel schedule.
+
+use std::collections::HashSet;
+
+use crate::counters::{ExecutionProfile, MemoryTraceSummary};
+use crate::error::SptxError;
+use crate::isa::{
+    BinOp, BlockId, CmpOp, Imm, Instr, ScalarType, Special, Terminator, UnaryOp,
+};
+use crate::program::KernelProgram;
+
+/// Byte granularity used for the memory-trace spatial-locality summary; matches the
+/// 128-byte global-memory transaction segments of real CUDA devices.
+pub const MEMORY_SEGMENT_BYTES: u64 = 128;
+
+/// A kernel launch shape: a 1-D grid of 1-D thread blocks (the paper's experiments
+/// all use 1-D launches; Fig. 10b sweeps `grid_dim` 1..64 at `block_dim = 512`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LaunchConfig {
+    /// Number of thread blocks in the grid (`gridDim.x`).
+    pub grid_dim: u32,
+    /// Threads per block (`blockDim.x`).
+    pub block_dim: u32,
+}
+
+impl LaunchConfig {
+    /// Maximum threads per block, mirroring CUDA's limit.
+    pub const MAX_BLOCK_DIM: u32 = 1024;
+
+    /// A linear launch of `grid_dim` blocks × `block_dim` threads.
+    pub fn linear(grid_dim: u32, block_dim: u32) -> Self {
+        Self { grid_dim, block_dim }
+    }
+
+    /// The launch shape that covers `n` elements with `block_dim`-thread blocks
+    /// (`⌈n / block_dim⌉` blocks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_dim` is zero.
+    pub fn covering(n: u64, block_dim: u32) -> Self {
+        assert!(block_dim > 0, "block_dim must be positive");
+        let grid = n.div_ceil(block_dim as u64).max(1);
+        Self { grid_dim: grid as u32, block_dim }
+    }
+
+    /// Total number of threads launched.
+    pub fn total_threads(&self) -> u64 {
+        self.grid_dim as u64 * self.block_dim as u64
+    }
+
+    /// Check the configuration against implementation limits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SptxError::BadLaunch`] for zero-sized dimensions or an oversized
+    /// block.
+    pub fn validate(&self) -> Result<(), SptxError> {
+        if self.grid_dim == 0 || self.block_dim == 0 {
+            return Err(SptxError::BadLaunch("grid and block dimensions must be positive".into()));
+        }
+        if self.block_dim > Self::MAX_BLOCK_DIM {
+            return Err(SptxError::BadLaunch(format!(
+                "block dimension {} exceeds the limit of {}",
+                self.block_dim,
+                Self::MAX_BLOCK_DIM
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// A kernel parameter: either a pointer into kernel global [`Memory`] or an
+/// immediate scalar.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ParamValue {
+    /// Byte offset into the launch's global memory.
+    Ptr(u64),
+    /// 64-bit float scalar.
+    F64(f64),
+    /// 32-bit float scalar.
+    F32(f32),
+    /// 64-bit integer scalar.
+    I64(i64),
+}
+
+/// Flat, bounds-checked global memory for a kernel launch.
+///
+/// ΣVP's Kernel Coalescing copies several VPs' buffers into one contiguous `Memory`
+/// before a merged launch and scatters results back afterwards (paper Fig. 5).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Memory {
+    bytes: Vec<u8>,
+}
+
+impl Memory {
+    /// Allocate `size` zeroed bytes.
+    pub fn new(size: usize) -> Self {
+        Self { bytes: vec![0; size] }
+    }
+
+    /// Create memory from existing bytes.
+    pub fn from_bytes(bytes: Vec<u8>) -> Self {
+        Self { bytes }
+    }
+
+    /// Size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the memory is zero-sized.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Raw byte view.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Mutable raw byte view.
+    pub fn as_bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.bytes
+    }
+
+    fn check(&self, addr: u64, width: u64) -> Result<usize, SptxError> {
+        let end = addr.checked_add(width).ok_or(SptxError::OutOfBoundsAccess {
+            addr,
+            width,
+            mem_size: self.bytes.len() as u64,
+        })?;
+        if end > self.bytes.len() as u64 {
+            return Err(SptxError::OutOfBoundsAccess { addr, width, mem_size: self.bytes.len() as u64 });
+        }
+        Ok(addr as usize)
+    }
+
+    /// Read an `f32` at byte address `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SptxError::OutOfBoundsAccess`] if the access exceeds the memory.
+    pub fn read_f32(&self, addr: u64) -> Result<f32, SptxError> {
+        let a = self.check(addr, 4)?;
+        Ok(f32::from_le_bytes(self.bytes[a..a + 4].try_into().expect("width checked")))
+    }
+
+    /// Read an `f64` at byte address `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SptxError::OutOfBoundsAccess`] if the access exceeds the memory.
+    pub fn read_f64(&self, addr: u64) -> Result<f64, SptxError> {
+        let a = self.check(addr, 8)?;
+        Ok(f64::from_le_bytes(self.bytes[a..a + 8].try_into().expect("width checked")))
+    }
+
+    /// Read an `i64` at byte address `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SptxError::OutOfBoundsAccess`] if the access exceeds the memory.
+    pub fn read_i64(&self, addr: u64) -> Result<i64, SptxError> {
+        let a = self.check(addr, 8)?;
+        Ok(i64::from_le_bytes(self.bytes[a..a + 8].try_into().expect("width checked")))
+    }
+
+    /// Write an `f32` at byte address `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SptxError::OutOfBoundsAccess`] if the access exceeds the memory.
+    pub fn write_f32(&mut self, addr: u64, v: f32) -> Result<(), SptxError> {
+        let a = self.check(addr, 4)?;
+        self.bytes[a..a + 4].copy_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    /// Write an `f64` at byte address `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SptxError::OutOfBoundsAccess`] if the access exceeds the memory.
+    pub fn write_f64(&mut self, addr: u64, v: f64) -> Result<(), SptxError> {
+        let a = self.check(addr, 8)?;
+        self.bytes[a..a + 8].copy_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    /// Write an `i64` at byte address `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SptxError::OutOfBoundsAccess`] if the access exceeds the memory.
+    pub fn write_i64(&mut self, addr: u64, v: i64) -> Result<(), SptxError> {
+        let a = self.check(addr, 8)?;
+        self.bytes[a..a + 8].copy_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    /// Copy `src` into memory starting at `addr` (a host-to-device memcpy).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SptxError::OutOfBoundsAccess`] if the region exceeds the memory.
+    pub fn write_slice(&mut self, addr: u64, src: &[u8]) -> Result<(), SptxError> {
+        let a = self.check(addr, src.len() as u64)?;
+        self.bytes[a..a + src.len()].copy_from_slice(src);
+        Ok(())
+    }
+
+    /// Borrow `len` bytes starting at `addr` (a device-to-host memcpy view).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SptxError::OutOfBoundsAccess`] if the region exceeds the memory.
+    pub fn read_slice(&self, addr: u64, len: u64) -> Result<&[u8], SptxError> {
+        let a = self.check(addr, len)?;
+        Ok(&self.bytes[a..a + len as usize])
+    }
+}
+
+/// Internal register value: all registers are 64 bits wide and dynamically typed
+/// between float and integer interpretations, like PTX untyped registers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Value {
+    F(f64),
+    I(i64),
+}
+
+impl Value {
+    fn as_f64(self) -> f64 {
+        match self {
+            Value::F(v) => v,
+            Value::I(v) => v as f64,
+        }
+    }
+
+    fn as_i64(self) -> i64 {
+        match self {
+            Value::F(v) => v as i64,
+            Value::I(v) => v,
+        }
+    }
+}
+
+/// The SPTX interpreter.
+///
+/// Construct with [`Interpreter::new`], optionally tighten the per-launch instruction
+/// budget with [`Interpreter::with_budget`], then call [`Interpreter::run`].
+#[derive(Debug, Clone)]
+pub struct Interpreter {
+    budget: u64,
+}
+
+impl Default for Interpreter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Interpreter {
+    /// Default per-launch dynamic instruction budget (4 × 10⁹).
+    pub const DEFAULT_BUDGET: u64 = 4_000_000_000;
+
+    /// An interpreter with the default instruction budget.
+    pub fn new() -> Self {
+        Self { budget: Self::DEFAULT_BUDGET }
+    }
+
+    /// Set the per-launch instruction budget; execution aborts with
+    /// [`SptxError::InstructionBudgetExceeded`] when the whole launch exceeds it.
+    pub fn with_budget(mut self, budget: u64) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Execute `program` over the full grid described by `cfg`, reading and writing
+    /// `mem`, and return the launch's [`ExecutionProfile`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SptxError`] for invalid launches, parameter-index or bounds
+    /// violations, integer division by zero, or budget exhaustion.
+    pub fn run(
+        &self,
+        program: &KernelProgram,
+        cfg: &LaunchConfig,
+        params: &[ParamValue],
+        mem: &mut Memory,
+    ) -> Result<ExecutionProfile, SptxError> {
+        cfg.validate()?;
+        if program.num_params() > params.len() {
+            return Err(SptxError::BadParamIndex {
+                index: program.num_params() - 1,
+                supplied: params.len(),
+            });
+        }
+
+        let mut class_counts = [0u64; 7];
+        let mut block_iters = vec![0u64; program.blocks().len()];
+        let mut segments: HashSet<u64> = HashSet::new();
+        let mut trace = MemoryTraceSummary::default();
+        let mut executed: u64 = 0;
+
+        let mut regs = vec![Value::I(0); program.num_regs() as usize];
+        let mut preds = vec![false; program.num_preds() as usize];
+
+        for ctaid in 0..cfg.grid_dim {
+            for tid in 0..cfg.block_dim {
+                // Registers are per-thread; reset them rather than reallocate.
+                regs.iter_mut().for_each(|r| *r = Value::I(0));
+                preds.iter_mut().for_each(|p| *p = false);
+                self.run_thread(
+                    program,
+                    cfg,
+                    params,
+                    mem,
+                    ctaid,
+                    tid,
+                    &mut regs,
+                    &mut preds,
+                    &mut class_counts,
+                    &mut block_iters,
+                    &mut segments,
+                    &mut trace,
+                    &mut executed,
+                )?;
+            }
+        }
+
+        let mut profile = ExecutionProfile::new();
+        for (c, n) in crate::isa::InstrClass::ALL.iter().zip(class_counts.iter()) {
+            profile.counts.add(*c, *n);
+        }
+        for (i, n) in block_iters.iter().enumerate() {
+            if *n > 0 {
+                profile.block_iterations.insert(BlockId(i as u32), *n);
+            }
+        }
+        trace.unique_segments = segments.len() as u64;
+        profile.memory = trace;
+        profile.threads = cfg.total_threads();
+        Ok(profile)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_thread(
+        &self,
+        program: &KernelProgram,
+        cfg: &LaunchConfig,
+        params: &[ParamValue],
+        mem: &mut Memory,
+        ctaid: u32,
+        tid: u32,
+        regs: &mut [Value],
+        preds: &mut [bool],
+        class_counts: &mut [u64; 7],
+        block_iters: &mut [u64],
+        segments: &mut HashSet<u64>,
+        trace: &mut MemoryTraceSummary,
+        executed: &mut u64,
+    ) -> Result<(), SptxError> {
+        let mut block_id = BlockId(0);
+        loop {
+            let block = program.block(block_id).expect("validated program");
+            block_iters[block_id.0 as usize] += 1;
+
+            for instr in &block.instrs {
+                *executed += 1;
+                if *executed > self.budget {
+                    return Err(SptxError::InstructionBudgetExceeded { budget: self.budget });
+                }
+                class_counts[instr.class().index()] += 1;
+                self.exec_instr(
+                    instr, program, cfg, params, mem, ctaid, tid, regs, preds, segments, trace,
+                    block_id,
+                )?;
+            }
+
+            match block.terminator {
+                Terminator::Ret => return Ok(()),
+                Terminator::Bra(t) => {
+                    *executed += 1;
+                    class_counts[crate::isa::InstrClass::Branch.index()] += 1;
+                    block_id = t;
+                }
+                Terminator::CondBra { pred, if_true, if_false } => {
+                    *executed += 1;
+                    class_counts[crate::isa::InstrClass::Branch.index()] += 1;
+                    block_id = if preds[pred.0 as usize] { if_true } else { if_false };
+                }
+            }
+            if *executed > self.budget {
+                return Err(SptxError::InstructionBudgetExceeded { budget: self.budget });
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_instr(
+        &self,
+        instr: &Instr,
+        _program: &KernelProgram,
+        cfg: &LaunchConfig,
+        params: &[ParamValue],
+        mem: &mut Memory,
+        ctaid: u32,
+        tid: u32,
+        regs: &mut [Value],
+        preds: &mut [bool],
+        segments: &mut HashSet<u64>,
+        trace: &mut MemoryTraceSummary,
+        block_id: BlockId,
+    ) -> Result<(), SptxError> {
+        match instr {
+            Instr::Bin { op, ty, dst, a, b } => {
+                let av = regs[a.0 as usize];
+                let bv = regs[b.0 as usize];
+                regs[dst.0 as usize] = eval_bin(*op, *ty, av, bv, block_id)?;
+            }
+            Instr::Un { op, ty, dst, a } => {
+                let av = regs[a.0 as usize];
+                regs[dst.0 as usize] = eval_un(*op, *ty, av);
+            }
+            Instr::Mad { ty, dst, a, b, c } => {
+                let (av, bv, cv) = (regs[a.0 as usize], regs[b.0 as usize], regs[c.0 as usize]);
+                regs[dst.0 as usize] = match ty {
+                    // GPU mad/fma fuses the multiply and add with a single
+                    // rounding, like `f32::mul_add`.
+                    ScalarType::F32 => Value::F(
+                        (av.as_f64() as f32).mul_add(bv.as_f64() as f32, cv.as_f64() as f32) as f64,
+                    ),
+                    ScalarType::F64 => Value::F(av.as_f64() * bv.as_f64() + cv.as_f64()),
+                    ScalarType::I64 => {
+                        Value::I(av.as_i64().wrapping_mul(bv.as_i64()).wrapping_add(cv.as_i64()))
+                    }
+                };
+            }
+            Instr::MovImm { dst, imm } => {
+                regs[dst.0 as usize] = match imm {
+                    Imm::F(v) => Value::F(*v),
+                    Imm::I(v) => Value::I(*v),
+                };
+            }
+            Instr::Mov { dst, src } => regs[dst.0 as usize] = regs[src.0 as usize],
+            Instr::Cvt { to, from, dst, src } => {
+                let v = regs[src.0 as usize];
+                regs[dst.0 as usize] = match (from, to) {
+                    (_, ScalarType::I64) => Value::I(v.as_i64()),
+                    (ScalarType::I64, ScalarType::F32) => Value::F(v.as_i64() as f32 as f64),
+                    (ScalarType::I64, ScalarType::F64) => Value::F(v.as_i64() as f64),
+                    (_, ScalarType::F32) => Value::F(v.as_f64() as f32 as f64),
+                    (_, ScalarType::F64) => Value::F(v.as_f64()),
+                };
+            }
+            Instr::Setp { cmp, ty, pred, a, b } => {
+                let av = regs[a.0 as usize];
+                let bv = regs[b.0 as usize];
+                preds[pred.0 as usize] = match ty {
+                    ScalarType::I64 => compare_ord(*cmp, av.as_i64().cmp(&bv.as_i64())),
+                    ScalarType::F32 => compare_f(*cmp, av.as_f64() as f32 as f64, bv.as_f64() as f32 as f64),
+                    ScalarType::F64 => compare_f(*cmp, av.as_f64(), bv.as_f64()),
+                };
+            }
+            Instr::ReadSpecial { dst, special } => {
+                let v = match special {
+                    Special::TidX => tid as i64,
+                    Special::NTidX => cfg.block_dim as i64,
+                    Special::CtaIdX => ctaid as i64,
+                    Special::NCtaIdX => cfg.grid_dim as i64,
+                    Special::GlobalTid => ctaid as i64 * cfg.block_dim as i64 + tid as i64,
+                };
+                regs[dst.0 as usize] = Value::I(v);
+            }
+            Instr::LdParam { dst, index } => {
+                let p = params
+                    .get(*index)
+                    .ok_or(SptxError::BadParamIndex { index: *index, supplied: params.len() })?;
+                regs[dst.0 as usize] = match p {
+                    ParamValue::Ptr(a) => Value::I(*a as i64),
+                    ParamValue::F64(v) => Value::F(*v),
+                    ParamValue::F32(v) => Value::F(*v as f64),
+                    ParamValue::I64(v) => Value::I(*v),
+                };
+            }
+            Instr::Ld { ty, dst, base, index, offset } => {
+                let addr = effective_addr(regs, *base, *index, *offset, *ty);
+                trace.accesses += 1;
+                trace.load_bytes += ty.width();
+                segments.insert(addr / MEMORY_SEGMENT_BYTES);
+                regs[dst.0 as usize] = match ty {
+                    ScalarType::F32 => Value::F(mem.read_f32(addr)? as f64),
+                    ScalarType::F64 => Value::F(mem.read_f64(addr)?),
+                    ScalarType::I64 => Value::I(mem.read_i64(addr)?),
+                };
+            }
+            Instr::St { ty, base, index, offset, src } => {
+                let addr = effective_addr(regs, *base, *index, *offset, *ty);
+                trace.accesses += 1;
+                trace.store_bytes += ty.width();
+                segments.insert(addr / MEMORY_SEGMENT_BYTES);
+                let v = regs[src.0 as usize];
+                match ty {
+                    ScalarType::F32 => mem.write_f32(addr, v.as_f64() as f32)?,
+                    ScalarType::F64 => mem.write_f64(addr, v.as_f64())?,
+                    ScalarType::I64 => mem.write_i64(addr, v.as_i64())?,
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn effective_addr(
+    regs: &[Value],
+    base: crate::isa::Reg,
+    index: Option<crate::isa::Reg>,
+    offset: i64,
+    ty: ScalarType,
+) -> u64 {
+    let base_v = regs[base.0 as usize].as_i64();
+    let idx_v = index.map_or(0, |r| regs[r.0 as usize].as_i64());
+    base_v
+        .wrapping_add(idx_v.wrapping_mul(ty.width() as i64))
+        .wrapping_add(offset) as u64
+}
+
+fn eval_bin(op: BinOp, ty: ScalarType, a: Value, b: Value, block: BlockId) -> Result<Value, SptxError> {
+    if op.is_bitwise() || ty == ScalarType::I64 {
+        let (x, y) = (a.as_i64(), b.as_i64());
+        let v = match op {
+            BinOp::Add => x.wrapping_add(y),
+            BinOp::Sub => x.wrapping_sub(y),
+            BinOp::Mul => x.wrapping_mul(y),
+            BinOp::Div => {
+                if y == 0 {
+                    return Err(SptxError::DivisionByZero { block });
+                }
+                x.wrapping_div(y)
+            }
+            BinOp::Rem => {
+                if y == 0 {
+                    return Err(SptxError::DivisionByZero { block });
+                }
+                x.wrapping_rem(y)
+            }
+            BinOp::Min => x.min(y),
+            BinOp::Max => x.max(y),
+            BinOp::And => x & y,
+            BinOp::Or => x | y,
+            BinOp::Xor => x ^ y,
+            BinOp::Shl => x.wrapping_shl(y as u32 & 63),
+            BinOp::Shr => x.wrapping_shr(y as u32 & 63),
+        };
+        // Bitwise ops on float-typed values operate on the integer view; arithmetic
+        // with an integer type yields an integer.
+        return Ok(Value::I(v));
+    }
+    let (x, y) = (a.as_f64(), b.as_f64());
+    let v = match (op, ty) {
+        (BinOp::Add, ScalarType::F32) => ((x as f32) + (y as f32)) as f64,
+        (BinOp::Sub, ScalarType::F32) => ((x as f32) - (y as f32)) as f64,
+        (BinOp::Mul, ScalarType::F32) => ((x as f32) * (y as f32)) as f64,
+        (BinOp::Div, ScalarType::F32) => ((x as f32) / (y as f32)) as f64,
+        (BinOp::Rem, ScalarType::F32) => ((x as f32) % (y as f32)) as f64,
+        (BinOp::Min, ScalarType::F32) => ((x as f32).min(y as f32)) as f64,
+        (BinOp::Max, ScalarType::F32) => ((x as f32).max(y as f32)) as f64,
+        (BinOp::Add, _) => x + y,
+        (BinOp::Sub, _) => x - y,
+        (BinOp::Mul, _) => x * y,
+        (BinOp::Div, _) => x / y,
+        (BinOp::Rem, _) => x % y,
+        (BinOp::Min, _) => x.min(y),
+        (BinOp::Max, _) => x.max(y),
+        (bw, _) => unreachable!("bitwise op {bw:?} handled above"),
+    };
+    Ok(Value::F(v))
+}
+
+fn eval_un(op: UnaryOp, ty: ScalarType, a: Value) -> Value {
+    if op.is_bitwise() {
+        return Value::I(!a.as_i64());
+    }
+    if ty == ScalarType::I64 && matches!(op, UnaryOp::Neg | UnaryOp::Abs) {
+        let x = a.as_i64();
+        return Value::I(match op {
+            UnaryOp::Neg => x.wrapping_neg(),
+            UnaryOp::Abs => x.wrapping_abs(),
+            _ => unreachable!(),
+        });
+    }
+    let x = if ty == ScalarType::F32 { a.as_f64() as f32 as f64 } else { a.as_f64() };
+    let v = match op {
+        UnaryOp::Neg => -x,
+        UnaryOp::Abs => x.abs(),
+        UnaryOp::Sqrt => x.sqrt(),
+        UnaryOp::Exp => x.exp(),
+        UnaryOp::Log => x.ln(),
+        UnaryOp::Sin => x.sin(),
+        UnaryOp::Cos => x.cos(),
+        UnaryOp::Not => unreachable!("bitwise handled above"),
+    };
+    Value::F(if ty == ScalarType::F32 { v as f32 as f64 } else { v })
+}
+
+fn compare_ord(cmp: CmpOp, ord: std::cmp::Ordering) -> bool {
+    use std::cmp::Ordering::*;
+    match cmp {
+        CmpOp::Eq => ord == Equal,
+        CmpOp::Ne => ord != Equal,
+        CmpOp::Lt => ord == Less,
+        CmpOp::Le => ord != Greater,
+        CmpOp::Gt => ord == Greater,
+        CmpOp::Ge => ord != Less,
+    }
+}
+
+fn compare_f(cmp: CmpOp, a: f64, b: f64) -> bool {
+    match cmp {
+        CmpOp::Eq => a == b,
+        CmpOp::Ne => a != b,
+        CmpOp::Lt => a < b,
+        CmpOp::Le => a <= b,
+        CmpOp::Gt => a > b,
+        CmpOp::Ge => a >= b,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{for_loop, ProgramBuilder};
+    use crate::isa::InstrClass;
+
+    fn run_simple(program: &KernelProgram, mem: &mut Memory, params: &[ParamValue]) -> ExecutionProfile {
+        Interpreter::new().run(program, &LaunchConfig::linear(1, 1), params, mem).unwrap()
+    }
+
+    #[test]
+    fn memory_round_trips() {
+        let mut m = Memory::new(32);
+        m.write_f32(0, 1.5).unwrap();
+        m.write_f64(8, -2.25).unwrap();
+        m.write_i64(16, -7).unwrap();
+        assert_eq!(m.read_f32(0).unwrap(), 1.5);
+        assert_eq!(m.read_f64(8).unwrap(), -2.25);
+        assert_eq!(m.read_i64(16).unwrap(), -7);
+    }
+
+    #[test]
+    fn memory_bounds_are_enforced() {
+        let mut m = Memory::new(8);
+        assert!(m.read_f64(1).is_err());
+        assert!(m.write_f32(6, 0.0).is_err());
+        assert!(m.read_f32(u64::MAX - 1).is_err());
+        assert!(m.write_slice(4, &[0; 8]).is_err());
+    }
+
+    #[test]
+    fn launch_validation() {
+        assert!(LaunchConfig::linear(0, 32).validate().is_err());
+        assert!(LaunchConfig::linear(4, 0).validate().is_err());
+        assert!(LaunchConfig::linear(4, 2048).validate().is_err());
+        assert!(LaunchConfig::linear(4, 512).validate().is_ok());
+        assert_eq!(LaunchConfig::covering(1000, 512), LaunchConfig::linear(2, 512));
+        assert_eq!(LaunchConfig::covering(0, 512).grid_dim, 1);
+    }
+
+    #[test]
+    fn global_tid_spans_grid() {
+        // Each thread writes its global id into its slot.
+        let mut b = ProgramBuilder::new("ids");
+        let (gtid, base) = (b.reg(), b.reg());
+        b.read_special(gtid, Special::GlobalTid)
+            .ld_param(base, 0)
+            .st_indexed(ScalarType::I64, base, gtid, 0, gtid)
+            .ret();
+        let p = b.build().unwrap();
+        let mut mem = Memory::new(6 * 8);
+        Interpreter::new()
+            .run(&p, &LaunchConfig::linear(3, 2), &[ParamValue::Ptr(0)], &mut mem)
+            .unwrap();
+        for i in 0..6 {
+            assert_eq!(mem.read_i64(i * 8).unwrap(), i as i64);
+        }
+    }
+
+    #[test]
+    fn f32_arithmetic_rounds_to_single_precision() {
+        let mut b = ProgramBuilder::new("f32");
+        let (x, y, z, base) = (b.reg(), b.reg(), b.reg(), b.reg());
+        b.mov_imm_f(x, 1.0e8)
+            .mov_imm_f(y, 1.0)
+            .binop(BinOp::Add, ScalarType::F32, z, x, y)
+            .ld_param(base, 0)
+            .st(ScalarType::F64, base, 0, z)
+            .ret();
+        let p = b.build().unwrap();
+        let mut mem = Memory::new(8);
+        run_simple(&p, &mut mem, &[ParamValue::Ptr(0)]);
+        // 1e8 + 1 rounds to 1e8 in f32.
+        assert_eq!(mem.read_f64(0).unwrap(), 1.0e8);
+    }
+
+    #[test]
+    fn division_by_zero_is_an_error_for_ints_not_floats() {
+        let mut b = ProgramBuilder::new("idiv");
+        let (x, z) = (b.reg(), b.reg());
+        b.mov_imm_i(x, 4).mov_imm_i(z, 0).binop(BinOp::Div, ScalarType::I64, x, x, z).ret();
+        let p = b.build().unwrap();
+        let mut mem = Memory::new(0);
+        let err = Interpreter::new().run(&p, &LaunchConfig::linear(1, 1), &[], &mut mem).unwrap_err();
+        assert!(matches!(err, SptxError::DivisionByZero { .. }));
+
+        let mut b = ProgramBuilder::new("fdiv");
+        let (x, z, base) = (b.reg(), b.reg(), b.reg());
+        b.mov_imm_f(x, 4.0)
+            .mov_imm_f(z, 0.0)
+            .binop(BinOp::Div, ScalarType::F64, x, x, z)
+            .ld_param(base, 0)
+            .st(ScalarType::F64, base, 0, x)
+            .ret();
+        let p = b.build().unwrap();
+        let mut mem = Memory::new(8);
+        run_simple(&p, &mut mem, &[ParamValue::Ptr(0)]);
+        assert!(mem.read_f64(0).unwrap().is_infinite());
+    }
+
+    #[test]
+    fn budget_catches_infinite_loops() {
+        let mut b = ProgramBuilder::new("spin");
+        let header = b.bra_new_block();
+        b.bra(header);
+        let p = b.build().unwrap();
+        let mut mem = Memory::new(0);
+        let err = Interpreter::new()
+            .with_budget(10_000)
+            .run(&p, &LaunchConfig::linear(1, 1), &[], &mut mem)
+            .unwrap_err();
+        assert!(matches!(err, SptxError::InstructionBudgetExceeded { .. }));
+    }
+
+    #[test]
+    fn profile_counts_classes_and_blocks() {
+        let mut b = ProgramBuilder::new("prof");
+        let (acc, base) = (b.reg(), b.reg());
+        b.mov_imm_f(acc, 0.0);
+        let one = b.reg();
+        b.mov_imm_f(one, 1.0);
+        for_loop(&mut b, 5, |b, _| {
+            b.binop(BinOp::Add, ScalarType::F64, acc, acc, one);
+        });
+        b.ld_param(base, 0).st(ScalarType::F64, base, 0, acc).ret();
+        let p = b.build().unwrap();
+        let mut mem = Memory::new(8);
+        let profile =
+            Interpreter::new().run(&p, &LaunchConfig::linear(2, 3), &[ParamValue::Ptr(0)], &mut mem).unwrap();
+        // 6 threads × 5 iterations × 1 f64 add.
+        assert_eq!(profile.counts.get(InstrClass::Fp64), 30);
+        assert_eq!(profile.counts.get(InstrClass::St), 6);
+        assert_eq!(profile.threads, 6);
+        // The loop body block ran 5 times per thread.
+        let body = profile
+            .block_iterations
+            .iter()
+            .map(|(_, &n)| n)
+            .max()
+            .unwrap();
+        assert!(body >= 30);
+        assert_eq!(mem.read_f64(0).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn memory_trace_tracks_segments() {
+        // Two threads store to addresses 0 and 4096 → 2 unique 128B segments.
+        let mut b = ProgramBuilder::new("seg");
+        let (gtid, base, addr, scale) = (b.reg(), b.reg(), b.reg(), b.reg());
+        b.read_special(gtid, Special::GlobalTid)
+            .ld_param(base, 0)
+            .mov_imm_i(scale, 4096)
+            .binop(BinOp::Mul, ScalarType::I64, addr, gtid, scale)
+            .binop(BinOp::Add, ScalarType::I64, addr, addr, base)
+            .st(ScalarType::I64, addr, 0, gtid)
+            .ret();
+        let p = b.build().unwrap();
+        let mut mem = Memory::new(8192 + 8);
+        let profile =
+            Interpreter::new().run(&p, &LaunchConfig::linear(1, 2), &[ParamValue::Ptr(0)], &mut mem).unwrap();
+        assert_eq!(profile.memory.unique_segments, 2);
+        assert_eq!(profile.memory.accesses, 2);
+        assert_eq!(profile.memory.store_bytes, 16);
+    }
+
+    #[test]
+    fn missing_params_are_reported() {
+        let mut b = ProgramBuilder::new("needs2");
+        let r = b.reg();
+        b.ld_param(r, 1).ret();
+        let p = b.build().unwrap();
+        let mut mem = Memory::new(0);
+        let err = Interpreter::new()
+            .run(&p, &LaunchConfig::linear(1, 1), &[ParamValue::I64(0)], &mut mem)
+            .unwrap_err();
+        assert!(matches!(err, SptxError::BadParamIndex { .. }));
+    }
+
+    #[test]
+    fn transcendentals_match_std() {
+        let mut b = ProgramBuilder::new("trans");
+        let (x, base) = (b.reg(), b.reg());
+        b.mov_imm_f(x, 0.5)
+            .unop(UnaryOp::Exp, ScalarType::F64, x, x)
+            .unop(UnaryOp::Log, ScalarType::F64, x, x)
+            .unop(UnaryOp::Sqrt, ScalarType::F64, x, x)
+            .ld_param(base, 0)
+            .st(ScalarType::F64, base, 0, x)
+            .ret();
+        let p = b.build().unwrap();
+        let mut mem = Memory::new(8);
+        run_simple(&p, &mut mem, &[ParamValue::Ptr(0)]);
+        assert!((mem.read_f64(0).unwrap() - 0.5f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cvt_between_types() {
+        let mut b = ProgramBuilder::new("cvt");
+        let (i, f, base) = (b.reg(), b.reg(), b.reg());
+        b.mov_imm_f(f, 3.7)
+            .cvt(ScalarType::I64, ScalarType::F64, i, f)
+            .ld_param(base, 0)
+            .st(ScalarType::I64, base, 0, i)
+            .ret();
+        let p = b.build().unwrap();
+        let mut mem = Memory::new(8);
+        run_simple(&p, &mut mem, &[ParamValue::Ptr(0)]);
+        assert_eq!(mem.read_i64(0).unwrap(), 3);
+    }
+
+    #[test]
+    fn min_max_and_shifts() {
+        let mut b = ProgramBuilder::new("mix");
+        let (x, y, r, base) = (b.reg(), b.reg(), b.reg(), b.reg());
+        b.mov_imm_i(x, 5)
+            .mov_imm_i(y, 9)
+            .binop(BinOp::Max, ScalarType::I64, r, x, y)
+            .binop(BinOp::Shl, ScalarType::I64, r, r, x)
+            .ld_param(base, 0)
+            .st(ScalarType::I64, base, 0, r)
+            .ret();
+        let p = b.build().unwrap();
+        let mut mem = Memory::new(8);
+        run_simple(&p, &mut mem, &[ParamValue::Ptr(0)]);
+        assert_eq!(mem.read_i64(0).unwrap(), 9 << 5);
+    }
+}

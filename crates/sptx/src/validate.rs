@@ -1,0 +1,247 @@
+//! Structural validation of SPTX programs.
+//!
+//! Checks performed:
+//!
+//! 1. the program has at least one block,
+//! 2. every branch targets an existing block,
+//! 3. every register and predicate read is dominated by a definition on **all**
+//!    paths from the entry (a must-be-defined dataflow analysis over the CFG).
+
+use std::collections::HashSet;
+
+use crate::error::SptxError;
+use crate::isa::{BlockId, Instr, Terminator};
+use crate::program::KernelProgram;
+
+/// Validate a program. Invoked automatically by the builder and the assembler.
+///
+/// # Errors
+///
+/// Returns the first structural problem found as a [`SptxError`].
+pub fn validate(program: &KernelProgram) -> Result<(), SptxError> {
+    if program.blocks().is_empty() {
+        return Err(SptxError::EmptyProgram);
+    }
+    check_branch_targets(program)?;
+    check_def_before_use(program)?;
+    Ok(())
+}
+
+fn check_branch_targets(program: &KernelProgram) -> Result<(), SptxError> {
+    let n = program.blocks().len() as u32;
+    for (i, block) in program.blocks().iter().enumerate() {
+        for succ in block.terminator.successors() {
+            if succ.0 >= n {
+                return Err(SptxError::UnknownBlock { target: succ, from: BlockId(i as u32) });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Forward must-be-defined dataflow. `defs_in[b]` = registers defined on every path
+/// from entry to the start of `b`; a use not covered by `defs_in` plus local
+/// definitions is an error.
+fn check_def_before_use(program: &KernelProgram) -> Result<(), SptxError> {
+    let nblocks = program.blocks().len();
+    let preds = predecessors(program);
+
+    // Per-block generated definitions (registers and predicates).
+    let mut gen_regs: Vec<HashSet<u16>> = Vec::with_capacity(nblocks);
+    let mut gen_preds: Vec<HashSet<u8>> = Vec::with_capacity(nblocks);
+    for block in program.blocks() {
+        let mut regs = HashSet::new();
+        let mut prds = HashSet::new();
+        for instr in &block.instrs {
+            if let Some(d) = instr.def() {
+                regs.insert(d.0);
+            }
+            if let Instr::Setp { pred, .. } = instr {
+                prds.insert(pred.0);
+            }
+        }
+        gen_regs.push(regs);
+        gen_preds.push(prds);
+    }
+
+    // Iterate to fixpoint: in[b] = ∩ out[p] over predecessors, out[b] = in[b] ∪ gen[b].
+    // Blocks with no predecessors other than being the entry start empty; unreachable
+    // blocks conservatively start as "everything defined" and shrink.
+    let all_regs: HashSet<u16> = (0..program.num_regs()).collect();
+    let all_preds: HashSet<u8> = (0..program.num_preds()).collect();
+    let mut in_regs: Vec<HashSet<u16>> = vec![all_regs.clone(); nblocks];
+    let mut in_preds: Vec<HashSet<u8>> = vec![all_preds.clone(); nblocks];
+    in_regs[0] = HashSet::new();
+    in_preds[0] = HashSet::new();
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in 0..nblocks {
+            if b == 0 {
+                continue;
+            }
+            let mut new_in_regs: Option<HashSet<u16>> = None;
+            let mut new_in_preds: Option<HashSet<u8>> = None;
+            for &p in &preds[b] {
+                let out_r: HashSet<u16> = in_regs[p].union(&gen_regs[p]).copied().collect();
+                let out_p: HashSet<u8> = in_preds[p].union(&gen_preds[p]).copied().collect();
+                new_in_regs = Some(match new_in_regs {
+                    None => out_r,
+                    Some(acc) => acc.intersection(&out_r).copied().collect(),
+                });
+                new_in_preds = Some(match new_in_preds {
+                    None => out_p,
+                    Some(acc) => acc.intersection(&out_p).copied().collect(),
+                });
+            }
+            if let Some(nr) = new_in_regs {
+                if nr != in_regs[b] {
+                    in_regs[b] = nr;
+                    changed = true;
+                }
+            }
+            if let Some(np) = new_in_preds {
+                if np != in_preds[b] {
+                    in_preds[b] = np;
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    // Check uses block by block.
+    for (bi, block) in program.blocks().iter().enumerate() {
+        let mut defined = in_regs[bi].clone();
+        for (ii, instr) in block.instrs.iter().enumerate() {
+            for used in instr.uses() {
+                if !defined.contains(&used.0) {
+                    return Err(SptxError::UseBeforeDef {
+                        reg: used,
+                        block: BlockId(bi as u32),
+                        instr: ii,
+                    });
+                }
+            }
+            if let Some(d) = instr.def() {
+                defined.insert(d.0);
+            }
+        }
+        if let Terminator::CondBra { pred, .. } = block.terminator {
+            let mut pred_defined = in_preds[bi].clone();
+            for instr in &block.instrs {
+                if let Instr::Setp { pred: p, .. } = instr {
+                    pred_defined.insert(p.0);
+                }
+            }
+            if !pred_defined.contains(&pred.0) {
+                return Err(SptxError::PredUseBeforeDef { pred: pred.0, block: BlockId(bi as u32) });
+            }
+        }
+    }
+    Ok(())
+}
+
+fn predecessors(program: &KernelProgram) -> Vec<Vec<usize>> {
+    let mut preds = vec![Vec::new(); program.blocks().len()];
+    for (i, block) in program.blocks().iter().enumerate() {
+        for succ in block.terminator.successors() {
+            preds[succ.0 as usize].push(i);
+        }
+    }
+    preds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::isa::{BinOp, CmpOp, ScalarType};
+
+    #[test]
+    fn accepts_valid_program() {
+        let mut b = ProgramBuilder::new("ok");
+        let (x, y) = (b.reg(), b.reg());
+        b.mov_imm_i(x, 1).mov_imm_i(y, 2).binop(BinOp::Add, ScalarType::I64, x, x, y).ret();
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn rejects_use_before_def_straight_line() {
+        let mut b = ProgramBuilder::new("bad");
+        let (x, y) = (b.reg(), b.reg());
+        // y is never written before this add.
+        b.binop(BinOp::Add, ScalarType::I64, x, y, y).ret();
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, SptxError::UseBeforeDef { .. }));
+    }
+
+    #[test]
+    fn rejects_def_on_only_one_path() {
+        // entry: cond ? (define x) : (skip) ; join uses x  → must fail.
+        let mut b = ProgramBuilder::new("diamond");
+        let (x, a, zero) = (b.reg(), b.reg(), b.reg());
+        let p = b.pred();
+        b.mov_imm_i(a, 1).mov_imm_i(zero, 0).setp(CmpOp::Gt, ScalarType::I64, p, a, zero);
+        let then_b = b.declare_block();
+        let else_b = b.declare_block();
+        let join = b.declare_block();
+        b.cond_bra(p, then_b, else_b);
+        b.switch_to(then_b);
+        b.mov_imm_i(x, 42).bra(join);
+        b.switch_to(else_b);
+        b.bra(join);
+        b.switch_to(join);
+        b.binop(BinOp::Add, ScalarType::I64, a, x, a).ret();
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, SptxError::UseBeforeDef { .. }));
+    }
+
+    #[test]
+    fn accepts_def_on_both_paths() {
+        let mut b = ProgramBuilder::new("diamond_ok");
+        let (x, a, zero) = (b.reg(), b.reg(), b.reg());
+        let p = b.pred();
+        b.mov_imm_i(a, 1).mov_imm_i(zero, 0).setp(CmpOp::Gt, ScalarType::I64, p, a, zero);
+        let then_b = b.declare_block();
+        let else_b = b.declare_block();
+        let join = b.declare_block();
+        b.cond_bra(p, then_b, else_b);
+        b.switch_to(then_b);
+        b.mov_imm_i(x, 42).bra(join);
+        b.switch_to(else_b);
+        b.mov_imm_i(x, 7).bra(join);
+        b.switch_to(join);
+        b.binop(BinOp::Add, ScalarType::I64, a, x, a).ret();
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn loop_carried_defs_are_visible() {
+        // Definitions before a loop must remain visible inside it across the back
+        // edge (intersection with the back-edge predecessor's out set).
+        let mut b = ProgramBuilder::new("loopdef");
+        let acc = b.reg();
+        b.mov_imm_i(acc, 0);
+        crate::builder::for_loop(&mut b, 3, |b, i| {
+            b.binop(BinOp::Add, ScalarType::I64, acc, acc, i);
+        });
+        b.ret();
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn rejects_undefined_predicate() {
+        let mut b = ProgramBuilder::new("badpred");
+        let p = b.pred();
+        let t = b.declare_block();
+        let e = b.declare_block();
+        b.cond_bra(p, t, e);
+        b.switch_to(t);
+        b.ret();
+        b.switch_to(e);
+        b.ret();
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, SptxError::PredUseBeforeDef { .. }));
+    }
+}

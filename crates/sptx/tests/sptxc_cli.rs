@@ -1,0 +1,104 @@
+//! End-to-end tests of the `sptxc` command-line tool.
+
+use std::process::Command;
+
+fn sptxc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sptxc"))
+}
+
+fn write_kernel(dir: &std::path::Path) -> std::path::PathBuf {
+    let path = dir.join("double.sptx");
+    std::fs::write(
+        &path,
+        "\
+.kernel double
+entry:
+    rs       r0, gtid
+    ldp      r1, 0
+    ld.f32   r2, [r1 + r0]
+    add.f32  r2, r2, r2
+    st.f32   [r1 + r0], r2
+    ret
+",
+    )
+    .expect("write kernel");
+    path
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("sptxc_cli_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn check_reports_program_shape() {
+    let dir = temp_dir("check");
+    let path = write_kernel(&dir);
+    let out = sptxc().arg("check").arg(&path).output().expect("run sptxc");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("double: ok"), "{stdout}");
+    assert!(stdout.contains("1 blocks"), "{stdout}");
+}
+
+#[test]
+fn run_executes_and_dumps_memory() {
+    let dir = temp_dir("run");
+    let path = write_kernel(&dir);
+    let out = sptxc()
+        .args(["run"])
+        .arg(&path)
+        .args(["--grid", "1", "--block", "4", "--mem", "64", "--param", "ptr:0", "--dump-f32", "0..4"])
+        .output()
+        .expect("run sptxc");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("ran 4 threads"), "{stdout}");
+    assert!(stdout.contains("f32[0] = 0"), "{stdout}");
+}
+
+#[test]
+fn opt_emits_reparsable_assembly() {
+    let dir = temp_dir("opt");
+    let path = write_kernel(&dir);
+    let out = sptxc().arg("opt").arg(&path).output().expect("run sptxc");
+    assert!(out.status.success());
+    let optimized = String::from_utf8_lossy(&out.stdout);
+    // The optimizer output is valid SPTX.
+    sigmavp_sptx::asm::parse(&optimized).expect("optimized output reparses");
+}
+
+#[test]
+fn bad_input_fails_with_diagnostics() {
+    let dir = temp_dir("bad");
+    let path = dir.join("broken.sptx");
+    std::fs::write(&path, ".kernel broken\nentry:\n    frobnicate r0\n    ret\n").unwrap();
+    let out = sptxc().arg("check").arg(&path).output().expect("run sptxc");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("frobnicate"), "{stderr}");
+
+    let out = sptxc().arg("check").arg(dir.join("missing.sptx")).output().expect("run sptxc");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn faulting_kernel_reports_runtime_error() {
+    let dir = temp_dir("fault");
+    let path = dir.join("oob.sptx");
+    std::fs::write(
+        &path,
+        ".kernel oob\nentry:\n    mov r0, 99999\n    mov r1, 1\n    st.i64 [r0], r1\n    ret\n",
+    )
+    .unwrap();
+    let out = sptxc()
+        .args(["run"])
+        .arg(&path)
+        .args(["--grid", "1", "--block", "1", "--mem", "64"])
+        .output()
+        .expect("run sptxc");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("runtime fault"), "{stderr}");
+}

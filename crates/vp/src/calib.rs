@@ -1,0 +1,94 @@
+//! Calibration constants for the VP cost models.
+//!
+//! The paper's testbed (32-core Xeon host, QEMU ARM Versatile PB target) is not
+//! available, so the models in [`cpu`](crate::cpu) and
+//! [`emulation`](crate::emulation) are *calibrated against the paper's own Table 1*,
+//! which reports, for a 320×320 double matrix multiplication repeated 300 times:
+//!
+//! | path                | ratio vs native GPU |
+//! |---------------------|--------------------:|
+//! | CUDA on GPU         | 1.00                |
+//! | CUDA emul. on CPU   | 53.52               |
+//! | CUDA emul. on VP    | 2192.95             |
+//! | ΣVP (this work)     | 3.32                |
+//! | C on CPU            | 48.09               |
+//! | C on VP             | 1580.15             |
+//!
+//! Derivations used below:
+//!
+//! * **binary-translation expansion** — `C on VP / C on CPU = 1580.15 / 48.09 ≈
+//!   32.9`: running the same computation inside the binary-translating VP costs
+//!   ~33× the native-CPU instructions. (High for modern QEMU, but it is what the
+//!   paper's own measurements imply for their ARM Versatile PB model.)
+//! * **GPU-emulator efficiency** — `CUDA emul. on CPU / C on CPU = 53.52 / 48.09 ≈
+//!   1.11`: the GPU software emulator is nearly as efficient as hand-written scalar
+//!   C, i.e. roughly one host instruction per emulated GPU-scalar operation once
+//!   vectorized dispatch is amortized. Under translation the interpreter dispatch
+//!   can no longer be amortized, giving the slightly higher
+//!   `2192.95 / 1580.15 ≈ 1.39` ratio, which we capture with a separate
+//!   per-guest-instruction emulation factor.
+
+/// Host-CPU clock in GHz (one core of the paper's 32-core Xeon host; QEMU-style
+/// binary translation is single-threaded per VP).
+pub const HOST_CPU_CLOCK_GHZ: f64 = 2.6;
+
+/// Sustained instructions per cycle of one host core on emulator-style code.
+pub const HOST_CPU_IPC: f64 = 2.0;
+
+/// Binary-translation expansion: host instructions per guest instruction,
+/// `≈ C-on-VP / C-on-CPU` from Table 1.
+pub const TRANSLATION_EXPANSION: f64 = 32.9;
+
+/// Host instructions per emulated GPU-scalar instruction when the GPU emulator runs
+/// natively on the host CPU (`≈ CUDA-emul-on-CPU / C-on-CPU`, scaled by the SPTX
+/// instruction density of the matmul kernel relative to scalar C).
+pub const EMULATION_HOST_INSTR_PER_GPU_INSTR: f64 = 1.1;
+
+/// *Guest* instructions per emulated GPU-scalar instruction when the GPU emulator
+/// runs inside the VP; each of these then pays [`TRANSLATION_EXPANSION`]. The extra
+/// factor over the native case reflects interpreter dispatch that binary
+/// translation cannot fold away (`≈ (CUDA-emul-on-VP / C-on-VP) ×` native factor).
+pub const EMULATION_GUEST_INSTR_PER_GPU_INSTR: f64 = 1.53;
+
+/// Guest instructions charged per GPU-user-library + guest-driver call (API entry,
+/// argument marshalling, MMIO to the virtual GPU model).
+pub const DRIVER_CALL_GUEST_INSTRUCTIONS: u64 = 500;
+
+/// Guest instructions per byte for a guest-side memcpy (the emulated path's
+/// "device" memory lives in guest memory, so `cudaMemcpy` is a guest memcpy).
+pub const GUEST_MEMCPY_INSTR_PER_BYTE: f64 = 0.25;
+
+/// Effective throughput of paravirtual file I/O from inside the VP, bytes/second.
+pub const VP_FILE_IO_BYTES_PER_S: f64 = 200.0e6;
+
+/// Fixed syscall/VM-exit overhead per file operation, seconds.
+pub const VP_FILE_IO_LATENCY_S: f64 = 20.0e-6;
+
+/// Guest instructions per pixel for software (Mesa-style) OpenGL rasterization
+/// inside the guest.
+pub const GL_GUEST_INSTR_PER_PIXEL: f64 = 20.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn translation_expansion_matches_table1_ratio() {
+        let derived = 1580.15 / 48.09;
+        assert!((TRANSLATION_EXPANSION - derived).abs() / derived < 0.01);
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn emulation_factors_are_ordered() {
+        // Emulation under translation must be less efficient per instruction than
+        // native emulation.
+        assert!(EMULATION_GUEST_INSTR_PER_GPU_INSTR > EMULATION_HOST_INSTR_PER_GPU_INSTR);
+    }
+
+    #[test]
+    fn host_rate_is_plausible() {
+        let rate = HOST_CPU_CLOCK_GHZ * 1e9 * HOST_CPU_IPC;
+        assert!(rate > 1e9 && rate < 1e11);
+    }
+}

@@ -1,0 +1,97 @@
+//! CPU and binary-translation cost models.
+//!
+//! Everything the paper's Table 1 compares is *host wall time*: a guest instruction
+//! inside the binary-translating VP costs [`TRANSLATION_EXPANSION`] host
+//! instructions; native code costs one. These two small models convert instruction
+//! counts to (simulated) seconds.
+//!
+//! [`TRANSLATION_EXPANSION`]: crate::calib::TRANSLATION_EXPANSION
+
+use crate::calib;
+
+/// A host-CPU core model: clock and sustained IPC.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuModel {
+    /// Human-readable name.
+    pub name: String,
+    /// Clock frequency in GHz.
+    pub clock_ghz: f64,
+    /// Sustained instructions per cycle.
+    pub ipc: f64,
+}
+
+impl CpuModel {
+    /// One core of the paper's Xeon host.
+    pub fn host_xeon() -> Self {
+        CpuModel {
+            name: "Xeon host core".into(),
+            clock_ghz: calib::HOST_CPU_CLOCK_GHZ,
+            ipc: calib::HOST_CPU_IPC,
+        }
+    }
+
+    /// Native instruction throughput, instructions per second.
+    pub fn instr_rate(&self) -> f64 {
+        self.clock_ghz * 1e9 * self.ipc
+    }
+
+    /// Time to execute `instructions` natively, in seconds.
+    pub fn time_for(&self, instructions: f64) -> f64 {
+        instructions / self.instr_rate()
+    }
+}
+
+/// A binary-translation model: how much a guest instruction expands to on the host.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BinaryTranslation {
+    /// Host instructions per guest instruction.
+    pub expansion: f64,
+}
+
+impl BinaryTranslation {
+    /// The QEMU-ARM-Versatile-PB-like expansion calibrated from Table 1.
+    pub fn qemu_arm() -> Self {
+        BinaryTranslation { expansion: calib::TRANSLATION_EXPANSION }
+    }
+
+    /// An identity translation (guest == host), useful for modeling native runs
+    /// through the same code path.
+    pub fn native() -> Self {
+        BinaryTranslation { expansion: 1.0 }
+    }
+
+    /// Host time to execute `guest_instructions` under this translation on `cpu`.
+    pub fn guest_time(&self, cpu: &CpuModel, guest_instructions: f64) -> f64 {
+        cpu.time_for(guest_instructions * self.expansion)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn native_time_scales_linearly() {
+        let cpu = CpuModel::host_xeon();
+        let t1 = cpu.time_for(1e9);
+        let t2 = cpu.time_for(2e9);
+        assert!((t2 / t1 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn translation_multiplies_cost() {
+        let cpu = CpuModel::host_xeon();
+        let bt = BinaryTranslation::qemu_arm();
+        let native = cpu.time_for(1e6);
+        let translated = bt.guest_time(&cpu, 1e6);
+        assert!((translated / native - bt.expansion).abs() < 1e-9);
+        assert!(bt.expansion > 20.0 && bt.expansion < 50.0);
+    }
+
+    #[test]
+    fn identity_translation_is_free() {
+        let cpu = CpuModel::host_xeon();
+        let bt = BinaryTranslation::native();
+        assert_eq!(bt.guest_time(&cpu, 5e6), cpu.time_for(5e6));
+    }
+}

@@ -1,0 +1,303 @@
+//! The guest-side GPU user library: a CUDA-runtime-like API.
+//!
+//! "The GPU User Library forms a layer that intercepts the requests from user
+//! applications by providing the same APIs of the physical GPUs, e.g. the CUDA
+//! runtime library" (paper, Section 2). [`CudaContext`] is that layer: guest
+//! applications call `malloc` / `memcpy_h2d` / `launch` / `synchronize` exactly as
+//! they would call the CUDA runtime, and the context
+//!
+//! 1. charges the guest driver overhead (user library + guest driver + MMIO into
+//!    the virtual embedded GPU hardware model) to the VP's clock, and
+//! 2. delegates to whatever [`GpuService`] backend is installed — emulation or
+//!    ΣVP's host-GPU multiplexing — making application code backend-agnostic.
+
+use sigmavp_ipc::message::WireParam;
+
+use crate::calib;
+use crate::error::VpError;
+use crate::platform::VirtualPlatform;
+use crate::service::GpuService;
+
+/// A guest-visible device buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GuestBuffer {
+    handle: u64,
+    len: u64,
+}
+
+impl GuestBuffer {
+    /// The service-level handle.
+    pub fn handle(&self) -> u64 {
+        self.handle
+    }
+
+    /// Buffer length in bytes.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the buffer is zero-length.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// This buffer as a kernel parameter.
+    pub fn param(&self) -> WireParam {
+        WireParam::Buffer(self.handle)
+    }
+}
+
+/// The CUDA-runtime-like API surface bound to one VP and one backend.
+///
+/// Borrowed mutably from both the platform (for clock accounting) and the service;
+/// construct one per application phase.
+pub struct CudaContext<'a> {
+    vp: &'a mut VirtualPlatform,
+    service: &'a mut dyn GpuService,
+}
+
+impl<'a> CudaContext<'a> {
+    /// Bind the user library to a VP and a GPU service backend.
+    pub fn new(vp: &'a mut VirtualPlatform, service: &'a mut dyn GpuService) -> Self {
+        CudaContext { vp, service }
+    }
+
+    /// The VP this context charges time to.
+    pub fn vp(&self) -> &VirtualPlatform {
+        self.vp
+    }
+
+    fn driver_overhead(&mut self) {
+        self.vp.run_guest_instructions(calib::DRIVER_CALL_GUEST_INSTRUCTIONS);
+    }
+
+    /// `cudaMalloc`: allocate device memory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend allocation failures as [`VpError`].
+    pub fn malloc(&mut self, bytes: u64) -> Result<GuestBuffer, VpError> {
+        self.driver_overhead();
+        let (handle, t) = self.service.malloc(bytes)?;
+        self.vp.block_on_gpu(t);
+        Ok(GuestBuffer { handle, len: bytes })
+    }
+
+    /// `cudaFree`: release device memory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stale-handle errors from the backend.
+    pub fn free(&mut self, buffer: GuestBuffer) -> Result<(), VpError> {
+        self.driver_overhead();
+        let t = self.service.free(buffer.handle)?;
+        self.vp.block_on_gpu(t);
+        Ok(())
+    }
+
+    /// `cudaMemcpy(HostToDevice)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VpError::SizeMismatch`] when `data` does not fill the buffer.
+    pub fn memcpy_h2d(&mut self, buffer: GuestBuffer, data: &[u8]) -> Result<(), VpError> {
+        self.driver_overhead();
+        let t = self.service.memcpy_h2d(buffer.handle, data)?;
+        self.vp.block_on_gpu(t);
+        Ok(())
+    }
+
+    /// `cudaMemcpy(DeviceToHost)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VpError::SizeMismatch`] when `out` does not match the buffer.
+    pub fn memcpy_d2h(&mut self, out: &mut [u8], buffer: GuestBuffer) -> Result<(), VpError> {
+        self.driver_overhead();
+        let t = self.service.memcpy_d2h(buffer.handle, out)?;
+        self.vp.block_on_gpu(t);
+        Ok(())
+    }
+
+    /// Synchronous kernel launch (`kernel<<<grid, block>>>(…)` followed by an
+    /// implicit wait): blocks the VP until the kernel completed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VpError::UnknownKernel`] or backend execution errors.
+    pub fn launch_sync(
+        &mut self,
+        kernel: &str,
+        grid_dim: u32,
+        block_dim: u32,
+        params: &[WireParam],
+    ) -> Result<(), VpError> {
+        self.driver_overhead();
+        let t = self.service.launch(kernel, grid_dim, block_dim, params, true)?;
+        self.vp.block_on_gpu(t);
+        Ok(())
+    }
+
+    /// Asynchronous kernel launch: returns after submission; completion is awaited
+    /// by [`CudaContext::synchronize`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VpError::UnknownKernel`] or backend submission errors.
+    pub fn launch_async(
+        &mut self,
+        kernel: &str,
+        grid_dim: u32,
+        block_dim: u32,
+        params: &[WireParam],
+    ) -> Result<(), VpError> {
+        self.driver_overhead();
+        let t = self.service.launch(kernel, grid_dim, block_dim, params, false)?;
+        self.vp.block_on_gpu(t);
+        Ok(())
+    }
+
+    /// `cudaMemcpyAsync(HostToDevice)` on a guest stream: returns after submission.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VpError::SizeMismatch`] when `data` does not fill the buffer.
+    pub fn memcpy_h2d_async(
+        &mut self,
+        stream: u32,
+        buffer: GuestBuffer,
+        data: &[u8],
+    ) -> Result<(), VpError> {
+        self.driver_overhead();
+        let t = self.service.memcpy_h2d_async(stream, buffer.handle, data)?;
+        self.vp.block_on_gpu(t);
+        Ok(())
+    }
+
+    /// `cudaMemcpyAsync(DeviceToHost)` on a guest stream: returns after submission;
+    /// the data is valid after [`CudaContext::synchronize`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VpError::SizeMismatch`] when `out` does not match the buffer.
+    pub fn memcpy_d2h_async(
+        &mut self,
+        stream: u32,
+        out: &mut [u8],
+        buffer: GuestBuffer,
+    ) -> Result<(), VpError> {
+        self.driver_overhead();
+        let t = self.service.memcpy_d2h_async(stream, buffer.handle, out)?;
+        self.vp.block_on_gpu(t);
+        Ok(())
+    }
+
+    /// Asynchronous kernel launch on a specific guest stream (like
+    /// `kernel<<<grid, block, 0, stream>>>`); completion is awaited by
+    /// [`CudaContext::synchronize`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VpError::UnknownKernel`] or backend submission errors.
+    pub fn launch_async_on(
+        &mut self,
+        stream: u32,
+        kernel: &str,
+        grid_dim: u32,
+        block_dim: u32,
+        params: &[WireParam],
+    ) -> Result<(), VpError> {
+        self.driver_overhead();
+        let t = self.service.launch_on_stream(stream, kernel, grid_dim, block_dim, params, false)?;
+        self.vp.block_on_gpu(t);
+        Ok(())
+    }
+
+    /// `cudaDeviceSynchronize`: wait for all outstanding asynchronous work.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces deferred errors from asynchronous launches.
+    pub fn synchronize(&mut self) -> Result<(), VpError> {
+        self.driver_overhead();
+        let t = self.service.synchronize()?;
+        self.vp.block_on_gpu(t);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emulation::EmulatedGpu;
+    use crate::registry::KernelRegistry;
+    use sigmavp_ipc::message::VpId;
+    use sigmavp_sptx::asm;
+
+    fn registry() -> KernelRegistry {
+        let inc = asm::parse(
+            ".kernel inc\nentry:\n    rs r0, gtid\n    ldp r1, 0\n    ld.i64 r2, [r1 + r0]\n    mov r3, 1\n    add.i64 r2, r2, r3\n    st.i64 [r1 + r0], r2\n    ret\n",
+        )
+        .unwrap();
+        [inc].into_iter().collect()
+    }
+
+    #[test]
+    fn full_application_flow_over_emulation() {
+        let mut vp = VirtualPlatform::new(VpId(0));
+        let mut backend = EmulatedGpu::on_vp(registry());
+        let mut cuda = CudaContext::new(&mut vp, &mut backend);
+
+        let n = 64u64;
+        let buf = cuda.malloc(n * 8).unwrap();
+        let data: Vec<u8> = (0..n as i64).flat_map(|i| i.to_le_bytes()).collect();
+        cuda.memcpy_h2d(buf, &data).unwrap();
+        cuda.launch_sync("inc", 1, n as u32, &[buf.param()]).unwrap();
+        let mut out = vec![0u8; (n * 8) as usize];
+        cuda.memcpy_d2h(&mut out, buf).unwrap();
+        cuda.free(buf).unwrap();
+
+        for i in 0..n as usize {
+            let v = i64::from_le_bytes(out[i * 8..i * 8 + 8].try_into().unwrap());
+            assert_eq!(v, i as i64 + 1);
+        }
+        // Five API calls: malloc, h2d, launch, d2h, free.
+        assert_eq!(vp.stats().gpu_calls, 5);
+        assert!(vp.now_s() > 0.0);
+    }
+
+    #[test]
+    fn every_call_charges_driver_overhead() {
+        let mut vp = VirtualPlatform::new(VpId(1));
+        let mut backend = EmulatedGpu::on_vp(registry());
+        let mut cuda = CudaContext::new(&mut vp, &mut backend);
+        let buf = cuda.malloc(64).unwrap();
+        cuda.free(buf).unwrap();
+        assert!(vp.stats().guest_instructions >= 2 * calib::DRIVER_CALL_GUEST_INSTRUCTIONS);
+    }
+
+    #[test]
+    fn errors_propagate_without_poisoning_the_vp() {
+        let mut vp = VirtualPlatform::new(VpId(2));
+        let mut backend = EmulatedGpu::on_vp(registry());
+        let mut cuda = CudaContext::new(&mut vp, &mut backend);
+        assert!(cuda.launch_sync("missing", 1, 1, &[]).is_err());
+        // The VP remains usable after an error.
+        let buf = cuda.malloc(8).unwrap();
+        cuda.free(buf).unwrap();
+    }
+
+    #[test]
+    fn async_then_synchronize() {
+        let mut vp = VirtualPlatform::new(VpId(3));
+        let mut backend = EmulatedGpu::on_vp(registry());
+        let mut cuda = CudaContext::new(&mut vp, &mut backend);
+        let buf = cuda.malloc(64 * 8).unwrap();
+        cuda.memcpy_h2d(buf, &vec![0u8; 64 * 8]).unwrap();
+        cuda.launch_async("inc", 1, 64, &[buf.param()]).unwrap();
+        cuda.synchronize().unwrap();
+        let mut out = vec![0u8; 64 * 8];
+        cuda.memcpy_d2h(&mut out, buf).unwrap();
+        assert_eq!(i64::from_le_bytes(out[..8].try_into().unwrap()), 1);
+    }
+}

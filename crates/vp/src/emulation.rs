@@ -1,0 +1,267 @@
+//! Mesa-style software GPU emulation.
+//!
+//! This is the *slow path* the paper measures first (Fig. 1a and Table 1): GPU code
+//! executed by a software emulator, either directly on the host CPU ("CUDA Emul. on
+//! CPU") or inside the binary-translating VP ("CUDA Emul. on VP"). The emulator is
+//! functional — it really executes the SPTX kernel over guest memory via the
+//! interpreter — and its *cost* is `dynamic GPU instructions × emulation factor ×
+//! translation expansion`, with the factors calibrated in [`crate::calib`].
+
+use std::collections::HashMap;
+
+use sigmavp_gpu::alloc::{DeviceAllocator, DeviceBuffer};
+use sigmavp_gpu::arch::ClassTable;
+use sigmavp_ipc::message::WireParam;
+use sigmavp_sptx::interp::{Interpreter, LaunchConfig, Memory, ParamValue};
+
+use crate::calib;
+use crate::cpu::{BinaryTranslation, CpuModel};
+use crate::error::VpError;
+use crate::registry::KernelRegistry;
+use crate::service::GpuService;
+
+/// Default emulated "device" memory (it lives in guest memory).
+pub const DEFAULT_EMULATED_MEMORY_BYTES: u64 = 64 * 1024 * 1024;
+
+/// Guest instructions charged for allocator bookkeeping per malloc/free.
+const ALLOC_GUEST_INSTRUCTIONS: f64 = 200.0;
+
+/// Relative emulation cost per instruction class. Floating-point — and especially
+/// transcendental-heavy FP32 and double-precision — emulates far less efficiently
+/// on a scalar CPU than integer or bitwise work, which is why the paper observes
+/// that "applications that use less floating-point instructions … have relatively
+/// lower speedups" when ΣVP replaces the emulator (Fig. 11).
+///
+/// Order: `[fp32, fp64, int, bit, branch, ld, st]`; values are multiples of the
+/// base per-instruction emulation factor.
+pub fn default_emulation_weights() -> ClassTable {
+    ClassTable::new([2.0, 3.5, 1.0, 0.8, 1.2, 1.3, 1.3])
+}
+
+/// A software-emulated GPU implementing [`GpuService`].
+#[derive(Debug)]
+pub struct EmulatedGpu {
+    registry: KernelRegistry,
+    memory: Memory,
+    allocator: DeviceAllocator,
+    handles: HashMap<u64, DeviceBuffer>,
+    next_handle: u64,
+    cpu: CpuModel,
+    translation: BinaryTranslation,
+    instr_per_gpu_instr: f64,
+    class_weights: ClassTable,
+    emulated_instructions: u64,
+}
+
+impl EmulatedGpu {
+    /// An emulator running natively on the host CPU (Table 1's "CUDA Emul. on
+    /// CPU" row).
+    pub fn on_cpu(registry: KernelRegistry) -> Self {
+        Self::with_memory(
+            registry,
+            DEFAULT_EMULATED_MEMORY_BYTES,
+            BinaryTranslation::native(),
+            calib::EMULATION_HOST_INSTR_PER_GPU_INSTR,
+        )
+    }
+
+    /// An emulator running inside the binary-translating VP (Table 1's "CUDA
+    /// Emul. on VP" row — the configuration ΣVP replaces).
+    pub fn on_vp(registry: KernelRegistry) -> Self {
+        Self::with_memory(
+            registry,
+            DEFAULT_EMULATED_MEMORY_BYTES,
+            BinaryTranslation::qemu_arm(),
+            calib::EMULATION_GUEST_INSTR_PER_GPU_INSTR,
+        )
+    }
+
+    /// Full control over memory size and cost factors.
+    pub fn with_memory(
+        registry: KernelRegistry,
+        memory_bytes: u64,
+        translation: BinaryTranslation,
+        instr_per_gpu_instr: f64,
+    ) -> Self {
+        EmulatedGpu {
+            registry,
+            memory: Memory::new(memory_bytes as usize),
+            allocator: DeviceAllocator::new(memory_bytes),
+            handles: HashMap::new(),
+            next_handle: 1,
+            cpu: CpuModel::host_xeon(),
+            translation,
+            instr_per_gpu_instr,
+            class_weights: default_emulation_weights(),
+            emulated_instructions: 0,
+        }
+    }
+
+    /// Total GPU instructions emulated so far.
+    pub fn emulated_instructions(&self) -> u64 {
+        self.emulated_instructions
+    }
+
+    fn buffer(&self, handle: u64) -> Result<DeviceBuffer, VpError> {
+        self.handles.get(&handle).copied().ok_or(VpError::UnknownHandle(handle))
+    }
+
+    fn guest_cost(&self, guest_instructions: f64) -> f64 {
+        self.translation.guest_time(&self.cpu, guest_instructions)
+    }
+
+    fn resolve_params(&self, params: &[WireParam]) -> Result<Vec<ParamValue>, VpError> {
+        params
+            .iter()
+            .map(|p| match p {
+                WireParam::Buffer(h) => self.buffer(*h).map(|b| ParamValue::Ptr(b.addr())),
+                WireParam::F64(v) => Ok(ParamValue::F64(*v)),
+                WireParam::I64(v) => Ok(ParamValue::I64(*v)),
+            })
+            .collect()
+    }
+}
+
+impl GpuService for EmulatedGpu {
+    fn malloc(&mut self, bytes: u64) -> Result<(u64, f64), VpError> {
+        let buf = self.allocator.alloc(bytes).map_err(|e| VpError::Device(e.to_string()))?;
+        let handle = self.next_handle;
+        self.next_handle += 1;
+        self.handles.insert(handle, buf);
+        Ok((handle, self.guest_cost(ALLOC_GUEST_INSTRUCTIONS)))
+    }
+
+    fn free(&mut self, handle: u64) -> Result<f64, VpError> {
+        let buf = self.handles.remove(&handle).ok_or(VpError::UnknownHandle(handle))?;
+        self.allocator.free(buf).map_err(|e| VpError::Device(e.to_string()))?;
+        Ok(self.guest_cost(ALLOC_GUEST_INSTRUCTIONS))
+    }
+
+    fn memcpy_h2d(&mut self, handle: u64, data: &[u8]) -> Result<f64, VpError> {
+        let buf = self.buffer(handle)?;
+        if buf.len() != data.len() as u64 {
+            return Err(VpError::SizeMismatch { buffer: buf.len(), host: data.len() as u64 });
+        }
+        self.memory.write_slice(buf.addr(), data).map_err(|e| VpError::Device(e.to_string()))?;
+        Ok(self.guest_cost(data.len() as f64 * calib::GUEST_MEMCPY_INSTR_PER_BYTE))
+    }
+
+    fn memcpy_d2h(&mut self, handle: u64, out: &mut [u8]) -> Result<f64, VpError> {
+        let buf = self.buffer(handle)?;
+        if buf.len() != out.len() as u64 {
+            return Err(VpError::SizeMismatch { buffer: buf.len(), host: out.len() as u64 });
+        }
+        let src = self
+            .memory
+            .read_slice(buf.addr(), buf.len())
+            .map_err(|e| VpError::Device(e.to_string()))?;
+        out.copy_from_slice(src);
+        Ok(self.guest_cost(out.len() as f64 * calib::GUEST_MEMCPY_INSTR_PER_BYTE))
+    }
+
+    fn launch(
+        &mut self,
+        kernel: &str,
+        grid_dim: u32,
+        block_dim: u32,
+        params: &[WireParam],
+        _sync: bool,
+    ) -> Result<f64, VpError> {
+        // The emulator is a serial program: synchronous and asynchronous launches
+        // cost the same, there is nothing to overlap with.
+        let program = self.registry.get(kernel)?;
+        let resolved = self.resolve_params(params)?;
+        let cfg = LaunchConfig::linear(grid_dim, block_dim);
+        let profile = Interpreter::new()
+            .run(&program, &cfg, &resolved, &mut self.memory)
+            .map_err(|e| VpError::Device(e.to_string()))?;
+        let instr = profile.counts.total();
+        self.emulated_instructions += instr;
+        // Per-class weighted emulation cost: Σ_i σ_i × weight_i × base factor.
+        let weighted = self.class_weights.dot(&profile.counts);
+        Ok(self.guest_cost(weighted * self.instr_per_gpu_instr))
+    }
+
+    fn synchronize(&mut self) -> Result<f64, VpError> {
+        Ok(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigmavp_sptx::asm;
+
+    fn registry() -> KernelRegistry {
+        let scale = asm::parse(
+            ".kernel scale\nentry:\n    rs r0, gtid\n    ldp r1, 0\n    ld.f32 r2, [r1 + r0]\n    add.f32 r2, r2, r2\n    st.f32 [r1 + r0], r2\n    ret\n",
+        )
+        .unwrap();
+        [scale].into_iter().collect()
+    }
+
+    fn run_scale(svc: &mut EmulatedGpu, n: u64) -> (Vec<u8>, f64) {
+        let (h, t0) = svc.malloc(n * 4).unwrap();
+        let data: Vec<u8> = (0..n).flat_map(|i| (i as f32).to_le_bytes()).collect();
+        let t1 = svc.memcpy_h2d(h, &data).unwrap();
+        let t2 = svc
+            .launch("scale", n.div_ceil(128) as u32, 128, &[WireParam::Buffer(h)], true)
+            .unwrap();
+        let mut out = vec![0u8; (n * 4) as usize];
+        let t3 = svc.memcpy_d2h(h, &mut out).unwrap();
+        let t4 = svc.free(h).unwrap();
+        (out, t0 + t1 + t2 + t3 + t4)
+    }
+
+    #[test]
+    fn functional_results_are_correct() {
+        let mut svc = EmulatedGpu::on_cpu(registry());
+        let (out, t) = run_scale(&mut svc, 256);
+        assert!(t > 0.0);
+        for i in 0..256usize {
+            let v = f32::from_le_bytes(out[i * 4..i * 4 + 4].try_into().unwrap());
+            assert_eq!(v, 2.0 * i as f32);
+        }
+        assert!(svc.emulated_instructions() >= 256 * 5);
+    }
+
+    #[test]
+    fn vp_emulation_is_much_slower_than_cpu_emulation() {
+        let mut on_cpu = EmulatedGpu::on_cpu(registry());
+        let mut on_vp = EmulatedGpu::on_vp(registry());
+        let (_, t_cpu) = run_scale(&mut on_cpu, 1024);
+        let (_, t_vp) = run_scale(&mut on_vp, 1024);
+        let ratio = t_vp / t_cpu;
+        // Table 1 implies ≈ 2193/53.5 ≈ 41× between the two emulation paths.
+        assert!(ratio > 25.0 && ratio < 70.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn wrong_sizes_and_handles_error() {
+        let mut svc = EmulatedGpu::on_cpu(registry());
+        let (h, _) = svc.malloc(64).unwrap();
+        assert!(matches!(svc.memcpy_h2d(h, &[0; 32]), Err(VpError::SizeMismatch { .. })));
+        assert!(matches!(svc.memcpy_h2d(999, &[0; 64]), Err(VpError::UnknownHandle(999))));
+        svc.free(h).unwrap();
+        assert!(matches!(svc.free(h), Err(VpError::UnknownHandle(_))));
+    }
+
+    #[test]
+    fn unknown_kernel_errors() {
+        let mut svc = EmulatedGpu::on_cpu(registry());
+        assert!(matches!(
+            svc.launch("missing", 1, 1, &[], true),
+            Err(VpError::UnknownKernel(_))
+        ));
+    }
+
+    #[test]
+    fn launch_cost_scales_with_work() {
+        let mut svc = EmulatedGpu::on_cpu(registry());
+        let (h, _) = svc.malloc(4096 * 4).unwrap();
+        svc.memcpy_h2d(h, &vec![0u8; 4096 * 4]).unwrap();
+        let t_small = svc.launch("scale", 1, 128, &[WireParam::Buffer(h)], true).unwrap();
+        let t_big = svc.launch("scale", 32, 128, &[WireParam::Buffer(h)], true).unwrap();
+        assert!(t_big > 20.0 * t_small);
+    }
+}

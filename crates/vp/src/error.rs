@@ -1,0 +1,61 @@
+//! Error type for the virtual-platform model.
+
+use std::fmt;
+
+/// Errors raised inside a VP or by the GPU service it talks to.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VpError {
+    /// A kernel name was not found in the registry.
+    UnknownKernel(String),
+    /// A device-buffer handle is unknown to the service.
+    UnknownHandle(u64),
+    /// A transfer size does not match the buffer size.
+    SizeMismatch {
+        /// Buffer size in bytes.
+        buffer: u64,
+        /// Host-side data size in bytes.
+        host: u64,
+    },
+    /// The service's device rejected the request (out of memory, kernel fault, …).
+    Device(String),
+    /// The forwarding backend lost its connection to the host runtime.
+    Disconnected,
+    /// A guest application's self-check failed: the GPU path produced data that
+    /// does not match the reference computation.
+    Validation {
+        /// The application that failed.
+        app: String,
+        /// What differed.
+        message: String,
+    },
+}
+
+impl fmt::Display for VpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VpError::UnknownKernel(name) => write!(f, "kernel `{name}` is not registered"),
+            VpError::UnknownHandle(h) => write!(f, "unknown device buffer handle {h}"),
+            VpError::SizeMismatch { buffer, host } => {
+                write!(f, "transfer size mismatch: buffer {buffer} bytes, host data {host} bytes")
+            }
+            VpError::Device(msg) => write!(f, "device error: {msg}"),
+            VpError::Disconnected => write!(f, "lost connection to the host gpu runtime"),
+            VpError::Validation { app, message } => {
+                write!(f, "validation failed in `{app}`: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(VpError::UnknownKernel("vecAdd".into()).to_string().contains("vecAdd"));
+        assert!(VpError::SizeMismatch { buffer: 8, host: 4 }.to_string().contains('8'));
+    }
+}

@@ -1,0 +1,191 @@
+//! The virtual platform instance: simulated clock and guest-side cost accounting.
+//!
+//! A [`VirtualPlatform`] tracks one simulated embedded device: its clock (simulated
+//! host wall time spent simulating it), the guest CPU work it executes under binary
+//! translation, and the non-CUDA host services — file I/O and software OpenGL — that
+//! the paper identifies as the reason several Fig. 11 applications (Mandelbrot,
+//! simpleGL, …) see lower speedups: "these portions of the applications are not the
+//! target of the acceleration provided by ΣVP."
+
+use sigmavp_ipc::message::VpId;
+
+use crate::calib;
+use crate::cpu::{BinaryTranslation, CpuModel};
+
+/// Accumulated activity of one VP.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct VpStats {
+    /// Guest CPU instructions executed.
+    pub guest_instructions: u64,
+    /// Bytes moved through file I/O.
+    pub file_io_bytes: u64,
+    /// File operations issued.
+    pub file_ops: u64,
+    /// Pixels rendered through the software OpenGL stack.
+    pub gl_pixels: u64,
+    /// GPU API calls issued through the user library.
+    pub gpu_calls: u64,
+    /// Simulated time spent blocked on GPU service calls.
+    pub gpu_blocked_s: f64,
+}
+
+/// One virtual platform instance.
+#[derive(Debug, Clone)]
+pub struct VirtualPlatform {
+    id: VpId,
+    cpu: CpuModel,
+    translation: BinaryTranslation,
+    clock_s: f64,
+    stats: VpStats,
+}
+
+impl VirtualPlatform {
+    /// A QEMU-ARM-like VP with the calibrated translation model.
+    pub fn new(id: VpId) -> Self {
+        VirtualPlatform {
+            id,
+            cpu: CpuModel::host_xeon(),
+            translation: BinaryTranslation::qemu_arm(),
+            clock_s: 0.0,
+            stats: VpStats::default(),
+        }
+    }
+
+    /// A "VP" that is actually native host execution — used to model the
+    /// CPU-native rows of Table 1 through the same code path.
+    pub fn native(id: VpId) -> Self {
+        VirtualPlatform {
+            id,
+            cpu: CpuModel::host_xeon(),
+            translation: BinaryTranslation::native(),
+            clock_s: 0.0,
+            stats: VpStats::default(),
+        }
+    }
+
+    /// This VP's id.
+    pub fn id(&self) -> VpId {
+        self.id
+    }
+
+    /// Current simulated time in seconds.
+    pub fn now_s(&self) -> f64 {
+        self.clock_s
+    }
+
+    /// Accumulated activity counters.
+    pub fn stats(&self) -> VpStats {
+        self.stats
+    }
+
+    /// The translation model in effect.
+    pub fn translation(&self) -> BinaryTranslation {
+        self.translation
+    }
+
+    /// Advance the clock by `dt` seconds (e.g. while blocked on an external
+    /// service).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is negative.
+    pub fn advance(&mut self, dt: f64) {
+        assert!(dt >= 0.0, "cannot advance a clock backwards (dt = {dt})");
+        self.clock_s += dt;
+    }
+
+    /// Account for time blocked on a GPU service call.
+    pub fn block_on_gpu(&mut self, dt: f64) {
+        self.advance(dt);
+        self.stats.gpu_calls += 1;
+        self.stats.gpu_blocked_s += dt;
+    }
+
+    /// Execute `n` guest CPU instructions under binary translation, advancing the
+    /// clock by the modeled simulation cost.
+    pub fn run_guest_instructions(&mut self, n: u64) {
+        self.stats.guest_instructions += n;
+        let dt = self.translation.guest_time(&self.cpu, n as f64);
+        self.advance(dt);
+    }
+
+    /// Perform a guest file operation moving `bytes` bytes (paravirtual I/O:
+    /// VM-exit latency plus throughput-limited transfer).
+    pub fn file_io(&mut self, bytes: u64) {
+        self.stats.file_io_bytes += bytes;
+        self.stats.file_ops += 1;
+        let dt = calib::VP_FILE_IO_LATENCY_S + bytes as f64 / calib::VP_FILE_IO_BYTES_PER_S;
+        self.advance(dt);
+    }
+
+    /// Render `pixels` pixels through the guest's software OpenGL stack
+    /// (Mesa-style rasterization under binary translation — expensive, and never
+    /// accelerated by ΣVP).
+    pub fn opengl_render(&mut self, pixels: u64) {
+        self.stats.gl_pixels += pixels;
+        let guest_instr = pixels as f64 * calib::GL_GUEST_INSTR_PER_PIXEL;
+        let dt = self.translation.guest_time(&self.cpu, guest_instr);
+        self.advance(dt);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_accumulates_monotonically() {
+        let mut vp = VirtualPlatform::new(VpId(0));
+        assert_eq!(vp.now_s(), 0.0);
+        vp.run_guest_instructions(1_000_000);
+        let t1 = vp.now_s();
+        assert!(t1 > 0.0);
+        vp.file_io(4096);
+        assert!(vp.now_s() > t1);
+    }
+
+    #[test]
+    fn translated_vp_is_slower_than_native() {
+        let mut vp = VirtualPlatform::new(VpId(0));
+        let mut native = VirtualPlatform::native(VpId(1));
+        vp.run_guest_instructions(10_000_000);
+        native.run_guest_instructions(10_000_000);
+        let ratio = vp.now_s() / native.now_s();
+        assert!((ratio - calib::TRANSLATION_EXPANSION).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stats_track_activity() {
+        let mut vp = VirtualPlatform::new(VpId(2));
+        vp.run_guest_instructions(100);
+        vp.file_io(10);
+        vp.file_io(20);
+        vp.opengl_render(640 * 480);
+        vp.block_on_gpu(0.5);
+        let s = vp.stats();
+        assert_eq!(s.guest_instructions, 100);
+        assert_eq!(s.file_ops, 2);
+        assert_eq!(s.file_io_bytes, 30);
+        assert_eq!(s.gl_pixels, 640 * 480);
+        assert_eq!(s.gpu_calls, 1);
+        assert!((s.gpu_blocked_s - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn opengl_dominates_small_guest_work() {
+        // A VGA frame through software GL costs millions of guest instructions —
+        // this is why GL-bound apps cap ΣVP's speedup in Fig. 11.
+        let mut vp = VirtualPlatform::new(VpId(3));
+        vp.opengl_render(640 * 480);
+        let gl_time = vp.now_s();
+        let mut vp2 = VirtualPlatform::new(VpId(4));
+        vp2.run_guest_instructions(10_000);
+        assert!(gl_time > 100.0 * vp2.now_s());
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn negative_advance_panics() {
+        VirtualPlatform::new(VpId(0)).advance(-1.0);
+    }
+}

@@ -1,0 +1,156 @@
+//! The kernel registry: name → SPTX program.
+//!
+//! In real CUDA, kernels are embedded in the application binary (fatbin) and
+//! registered with the runtime at load time; the GPU user library then launches them
+//! by function handle. ΣVP keeps the same shape: both the guest-side emulation
+//! backend and the host-side dispatcher resolve kernels by name from a shared
+//! registry, which is what makes application binaries run unchanged on either path.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use sigmavp_sptx::KernelProgram;
+
+use crate::error::VpError;
+
+/// A shared, cheaply clonable registry of SPTX kernels.
+#[derive(Debug, Clone, Default)]
+pub struct KernelRegistry {
+    kernels: HashMap<String, Arc<KernelProgram>>,
+}
+
+impl KernelRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a program under its own name, replacing any previous registration
+    /// and returning the replaced program if there was one.
+    pub fn register(&mut self, program: KernelProgram) -> Option<Arc<KernelProgram>> {
+        self.kernels.insert(program.name().to_string(), Arc::new(program))
+    }
+
+    /// Look up a kernel by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VpError::UnknownKernel`] if the name is not registered.
+    pub fn get(&self, name: &str) -> Result<Arc<KernelProgram>, VpError> {
+        self.kernels.get(name).cloned().ok_or_else(|| VpError::UnknownKernel(name.to_string()))
+    }
+
+    /// Whether a kernel is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.kernels.contains_key(name)
+    }
+
+    /// Registered kernel names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.kernels.keys().map(String::as_str).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Number of registered kernels.
+    pub fn len(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// A copy of this registry with every program run through the SPTX optimizer
+    /// (constant folding + dead-code elimination) — the host-side "compile" step
+    /// of the paper's Fig. 7. Programs that fail to optimize (which would indicate
+    /// an optimizer bug) are kept unoptimized.
+    pub fn optimized(&self) -> KernelRegistry {
+        let mut out = KernelRegistry::new();
+        for program in self.kernels.values() {
+            match sigmavp_sptx::opt::optimize(program) {
+                Ok((optimized, _)) => {
+                    out.register(optimized);
+                }
+                Err(_) => {
+                    out.register(program.as_ref().clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.kernels.is_empty()
+    }
+}
+
+impl FromIterator<KernelProgram> for KernelRegistry {
+    fn from_iter<I: IntoIterator<Item = KernelProgram>>(iter: I) -> Self {
+        let mut r = KernelRegistry::new();
+        for p in iter {
+            r.register(p);
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigmavp_sptx::asm;
+
+    fn nop(name: &str) -> KernelProgram {
+        asm::parse(&format!(".kernel {name}\nentry:\n    ret\n")).unwrap()
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut r = KernelRegistry::new();
+        assert!(r.is_empty());
+        r.register(nop("a"));
+        r.register(nop("b"));
+        assert_eq!(r.len(), 2);
+        assert!(r.contains("a"));
+        assert_eq!(r.get("a").unwrap().name(), "a");
+        assert_eq!(r.names(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn unknown_kernel_is_an_error() {
+        let r = KernelRegistry::new();
+        assert_eq!(r.get("nope").unwrap_err(), VpError::UnknownKernel("nope".into()));
+    }
+
+    #[test]
+    fn reregistration_replaces() {
+        let mut r = KernelRegistry::new();
+        assert!(r.register(nop("k")).is_none());
+        assert!(r.register(nop("k")).is_some());
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn optimized_registry_keeps_names_and_shrinks_programs() {
+        use sigmavp_sptx::builder::ProgramBuilder;
+        use sigmavp_sptx::isa::{BinOp, ScalarType};
+        let mut b = ProgramBuilder::new("chunky");
+        let (x, y, z, base) = (b.reg(), b.reg(), b.reg(), b.reg());
+        b.mov_imm_i(x, 6)
+            .mov_imm_i(y, 7)
+            .binop(BinOp::Mul, ScalarType::I64, z, x, y)
+            .ld_param(base, 0)
+            .st(ScalarType::I64, base, 0, z)
+            .ret();
+        let program = b.build().unwrap();
+        let before = program.static_size();
+        let registry: KernelRegistry = [program].into_iter().collect();
+        let optimized = registry.optimized();
+        assert_eq!(optimized.names(), vec!["chunky"]);
+        assert!(optimized.get("chunky").unwrap().static_size() < before);
+    }
+
+    #[test]
+    fn collects_from_iterator_and_clones_share_programs() {
+        let r: KernelRegistry = [nop("x"), nop("y")].into_iter().collect();
+        let r2 = r.clone();
+        assert!(Arc::ptr_eq(&r.get("x").unwrap(), &r2.get("x").unwrap()));
+    }
+}

@@ -1,0 +1,193 @@
+//! Financial applications: BlackScholes and MonteCarlo.
+
+use crate::app::{check_close, download, p, pf, pi, upload, AppEnv, AppTraits, Application};
+use crate::kernels::{self, black_scholes_reference, monte_carlo_reference};
+use crate::util::{bytes_to_f32s, f32s_to_bytes, random_f32s};
+use sigmavp_sptx::KernelProgram;
+use sigmavp_vp::error::VpError;
+
+/// The `BlackScholes` sample — the paper's best ΣVP speedup case (2045× raw,
+/// 6304× with optimizations): pure transcendental FP32 with a large batch.
+#[derive(Debug, Clone)]
+pub struct BlackScholesApp {
+    /// Number of options priced.
+    pub n: u64,
+    /// Risk-free rate.
+    pub riskfree: f32,
+    /// Volatility.
+    pub volatility: f32,
+    /// Maturity in years.
+    pub maturity: f32,
+    /// Kernel launches per run. The CUDA SDK sample reprices the same batch for
+    /// `NUM_ITERATIONS = 512` launches; the data is uploaded once, so the
+    /// compute-to-copy ratio is very high — which is exactly why BlackScholes is
+    /// the paper's best speedup case.
+    pub iterations: u32,
+}
+
+impl BlackScholesApp {
+    /// Options scale with `scale`.
+    pub fn new(scale: u32) -> Self {
+        BlackScholesApp {
+            n: 2048 * scale as u64,
+            riskfree: 0.02,
+            volatility: 0.30,
+            maturity: 1.0,
+            iterations: 16,
+        }
+    }
+}
+
+impl Default for BlackScholesApp {
+    fn default() -> Self {
+        Self::new(1)
+    }
+}
+
+impl Application for BlackScholesApp {
+    fn name(&self) -> &str {
+        "BlackScholes"
+    }
+
+    fn kernels(&self) -> Vec<KernelProgram> {
+        vec![kernels::black_scholes()]
+    }
+
+    fn characteristics(&self) -> AppTraits {
+        AppTraits::pure_cuda()
+    }
+
+    fn run_once(&self, env: &mut AppEnv<'_>) -> Result<(), VpError> {
+        let n = self.n as usize;
+        let spots = random_f32s(self.name(), 0, n, 20.0, 180.0);
+        let strikes = random_f32s(self.name(), 1, n, 40.0, 160.0);
+        env.vp.run_guest_instructions(n as u64 * 2);
+
+        let mut cuda = env.cuda();
+        let ds = upload(&mut cuda, &f32s_to_bytes(&spots))?;
+        let dk = upload(&mut cuda, &f32s_to_bytes(&strikes))?;
+        let dcall = cuda.malloc(self.n * 4)?;
+        let dput = cuda.malloc(self.n * 4)?;
+        for _ in 0..self.iterations.max(1) {
+            cuda.launch_sync(
+                "black_scholes",
+                self.n.div_ceil(256) as u32,
+                256,
+                &[
+                    p(ds),
+                    p(dk),
+                    p(dcall),
+                    p(dput),
+                    pi(self.n as i64),
+                    pf(self.riskfree as f64),
+                    pf(self.volatility as f64),
+                    pf(self.maturity as f64),
+                ],
+            )?;
+        }
+        let calls = bytes_to_f32s(&download(&mut cuda, dcall)?);
+        let puts = bytes_to_f32s(&download(&mut cuda, dput)?);
+        for buf in [ds, dk, dcall, dput] {
+            cuda.free(buf)?;
+        }
+        let mut ecalls = Vec::with_capacity(n);
+        let mut eputs = Vec::with_capacity(n);
+        for i in 0..n {
+            let (c, pv) =
+                black_scholes_reference(spots[i], strikes[i], self.riskfree, self.volatility, self.maturity);
+            ecalls.push(c);
+            eputs.push(pv);
+        }
+        check_close(self.name(), &calls, &ecalls, 1e-3)?;
+        check_close(self.name(), &puts, &eputs, 1e-3)
+    }
+}
+
+/// The `MonteCarlo` sample: path simulation. Reads its option parameters from a
+/// file (paper: MonteCarlo is one of the file-I/O-limited applications) and is not
+/// coalescing-friendly.
+#[derive(Debug, Clone)]
+pub struct MonteCarloApp {
+    /// Number of simulated instruments (one thread each).
+    pub n: u64,
+    /// Paths per instrument.
+    pub paths: u32,
+}
+
+impl MonteCarloApp {
+    /// Instruments scale with `scale`.
+    pub fn new(scale: u32) -> Self {
+        MonteCarloApp { n: 512 * scale as u64, paths: 64 }
+    }
+}
+
+impl Default for MonteCarloApp {
+    fn default() -> Self {
+        Self::new(1)
+    }
+}
+
+impl Application for MonteCarloApp {
+    fn name(&self) -> &str {
+        "MonteCarlo"
+    }
+
+    fn kernels(&self) -> Vec<KernelProgram> {
+        vec![kernels::monte_carlo()]
+    }
+
+    fn characteristics(&self) -> AppTraits {
+        AppTraits { coalescible: false, file_io_bytes: 64 * 1024, gl_pixels: 0 }
+    }
+
+    fn run_once(&self, env: &mut AppEnv<'_>) -> Result<(), VpError> {
+        // Read market parameters from disk (never accelerated).
+        env.vp.file_io(self.characteristics().file_io_bytes);
+        env.vp.run_guest_instructions(self.n);
+
+        let mut cuda = env.cuda();
+        let dout = cuda.malloc(self.n * 4)?;
+        cuda.launch_sync(
+            "monte_carlo",
+            self.n.div_ceil(128) as u32,
+            128,
+            &[p(dout), pi(self.n as i64), pi(self.paths as i64)],
+        )?;
+        let got = bytes_to_f32s(&download(&mut cuda, dout)?);
+        cuda.free(dout)?;
+        for (t, &g) in got.iter().enumerate() {
+            let e = monte_carlo_reference(t as i64, self.paths as i64);
+            if g != e {
+                return Err(crate::app::validation_error(
+                    self.name(),
+                    format!("instrument {t}: {g} != {e}"),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::testenv::run_app;
+
+    #[test]
+    fn black_scholes_runs_and_validates() {
+        run_app(&BlackScholesApp { n: 128, ..BlackScholesApp::default() });
+    }
+
+    #[test]
+    fn monte_carlo_runs_and_validates() {
+        let t = run_app(&MonteCarloApp { n: 32, paths: 16 });
+        assert!(t > 0.0);
+    }
+
+    #[test]
+    fn monte_carlo_declares_file_io() {
+        let traits_ = MonteCarloApp::default().characteristics();
+        assert!(traits_.file_io_bytes > 0);
+        assert!(!traits_.coalescible);
+    }
+}

@@ -1,0 +1,602 @@
+//! Imaging applications: SobelFilter, convolutionSeparable, dct8x8,
+//! bicubicTexture, recursiveGaussian, VolumeFiltering and stereoDisparity.
+
+use crate::app::{check_close, download, p, pf, pi, upload, AppEnv, AppTraits, Application};
+use crate::kernels::{
+    self, bicubic_reference, convolution_reference, dct8x8_reference,
+    recursive_gaussian_reference, sobel_reference, stereo_disparity_reference,
+    volume_filter_reference,
+};
+use crate::util::{
+    bytes_to_f32s, bytes_to_i64s, f32s_to_bytes, i64s_to_bytes, random_f32s, random_i64s,
+};
+use sigmavp_sptx::KernelProgram;
+use sigmavp_vp::error::VpError;
+
+/// `SobelFilter`: integer edge detection plus an OpenGL display pass — both a
+/// low-FP app and a GL-bound app in the paper's Fig. 11 analysis.
+#[derive(Debug, Clone)]
+pub struct SobelFilterApp {
+    /// Image width.
+    pub width: u64,
+    /// Image height.
+    pub height: u64,
+}
+
+impl SobelFilterApp {
+    /// Area scales with `scale`.
+    pub fn new(scale: u32) -> Self {
+        SobelFilterApp { width: 64, height: 48 * scale as u64 }
+    }
+}
+
+impl Default for SobelFilterApp {
+    fn default() -> Self {
+        Self::new(1)
+    }
+}
+
+impl Application for SobelFilterApp {
+    fn name(&self) -> &str {
+        "SobelFilter"
+    }
+
+    fn kernels(&self) -> Vec<KernelProgram> {
+        vec![kernels::sobel()]
+    }
+
+    fn characteristics(&self) -> AppTraits {
+        AppTraits { coalescible: false, file_io_bytes: 0, gl_pixels: (self.width * self.height) / 4 }
+    }
+
+    fn run_once(&self, env: &mut AppEnv<'_>) -> Result<(), VpError> {
+        let (w, h) = (self.width as usize, self.height as usize);
+        let image = random_i64s(self.name(), 0, w * h, 0, 256);
+        let interior = (w - 2) * (h - 2);
+        env.vp.run_guest_instructions((w * h) as u64);
+
+        let mut cuda = env.cuda();
+        let din = upload(&mut cuda, &i64s_to_bytes(&image))?;
+        let dout = cuda.malloc(interior as u64 * 8)?;
+        cuda.launch_sync(
+            "sobel",
+            (interior as u64).div_ceil(128) as u32,
+            128,
+            &[p(din), p(dout), pi(w as i64), pi(h as i64)],
+        )?;
+        let got = bytes_to_i64s(&download(&mut cuda, dout)?);
+        cuda.free(din)?;
+        cuda.free(dout)?;
+        crate::app::check_equal_i64(self.name(), &got, &sobel_reference(&image, w, h))?;
+        // Display the result through the guest GL stack.
+        env.vp.opengl_render(self.characteristics().gl_pixels);
+        Ok(())
+    }
+}
+
+/// `convolutionSeparable`: 9-tap FIR, not coalescible per the paper.
+#[derive(Debug, Clone)]
+pub struct ConvolutionSeparableApp {
+    /// Output samples.
+    pub n: u64,
+}
+
+impl ConvolutionSeparableApp {
+    /// Samples scale with `scale`.
+    pub fn new(scale: u32) -> Self {
+        ConvolutionSeparableApp { n: 2048 * scale as u64 }
+    }
+}
+
+impl Default for ConvolutionSeparableApp {
+    fn default() -> Self {
+        Self::new(1)
+    }
+}
+
+impl Application for ConvolutionSeparableApp {
+    fn name(&self) -> &str {
+        "convolutionSeparable"
+    }
+
+    fn kernels(&self) -> Vec<KernelProgram> {
+        vec![kernels::convolution_separable()]
+    }
+
+    fn characteristics(&self) -> AppTraits {
+        AppTraits { coalescible: false, file_io_bytes: 0, gl_pixels: 0 }
+    }
+
+    fn run_once(&self, env: &mut AppEnv<'_>) -> Result<(), VpError> {
+        let n = self.n as usize;
+        let input = random_f32s(self.name(), 0, n + 8, -1.0, 1.0);
+        let taps: [f32; 9] = [0.05, 0.09, 0.12, 0.15, 0.18, 0.15, 0.12, 0.09, 0.05];
+        env.vp.run_guest_instructions(n as u64 / 2);
+
+        let mut cuda = env.cuda();
+        let din = upload(&mut cuda, &f32s_to_bytes(&input))?;
+        let dtaps = upload(&mut cuda, &f32s_to_bytes(&taps))?;
+        let dout = cuda.malloc(self.n * 4)?;
+        cuda.launch_sync(
+            "convolution_separable",
+            self.n.div_ceil(256) as u32,
+            256,
+            &[p(din), p(dtaps), p(dout), pi(self.n as i64)],
+        )?;
+        let got = bytes_to_f32s(&download(&mut cuda, dout)?);
+        for buf in [din, dtaps, dout] {
+            cuda.free(buf)?;
+        }
+        check_close(self.name(), &got, &convolution_reference(&input, &taps, n), 1e-4)
+    }
+}
+
+/// `dct8x8`: transcendental-heavy block transform, not coalescible per the paper.
+#[derive(Debug, Clone)]
+pub struct Dct8x8App {
+    /// Number of 8×8 blocks.
+    pub nblocks: u64,
+}
+
+impl Dct8x8App {
+    /// Blocks scale with `scale`.
+    pub fn new(scale: u32) -> Self {
+        Dct8x8App { nblocks: 8 * scale as u64 }
+    }
+}
+
+impl Default for Dct8x8App {
+    fn default() -> Self {
+        Self::new(1)
+    }
+}
+
+impl Application for Dct8x8App {
+    fn name(&self) -> &str {
+        "dct8x8"
+    }
+
+    fn kernels(&self) -> Vec<KernelProgram> {
+        vec![kernels::dct8x8()]
+    }
+
+    fn characteristics(&self) -> AppTraits {
+        AppTraits { coalescible: false, file_io_bytes: 0, gl_pixels: 0 }
+    }
+
+    fn run_once(&self, env: &mut AppEnv<'_>) -> Result<(), VpError> {
+        let n = (self.nblocks * 64) as usize;
+        let input = random_f32s(self.name(), 0, n, -128.0, 128.0);
+        env.vp.run_guest_instructions(n as u64);
+
+        let mut cuda = env.cuda();
+        let din = upload(&mut cuda, &f32s_to_bytes(&input))?;
+        let dout = cuda.malloc(n as u64 * 4)?;
+        cuda.launch_sync(
+            "dct8x8",
+            (n as u64).div_ceil(64) as u32,
+            64,
+            &[p(din), p(dout), pi(self.nblocks as i64)],
+        )?;
+        let got = bytes_to_f32s(&download(&mut cuda, dout)?);
+        cuda.free(din)?;
+        cuda.free(dout)?;
+        for blk in 0..self.nblocks as usize {
+            let block: [f32; 64] = input[blk * 64..(blk + 1) * 64].try_into().expect("64 samples");
+            for u in 0..8 {
+                for v in 0..8 {
+                    let e = dct8x8_reference(&block, u, v);
+                    let g = got[blk * 64 + u * 8 + v];
+                    if (g - e).abs() > 1e-2 + e.abs() * 1e-3 {
+                        return Err(crate::app::validation_error(
+                            self.name(),
+                            format!("block {blk} coeff ({u},{v}): {g} vs {e}"),
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// `bicubicTexture`: cubic resampling of a texture read from disk.
+#[derive(Debug, Clone)]
+pub struct BicubicTextureApp {
+    /// Output samples.
+    pub n_out: u64,
+    /// Resampling ratio.
+    pub scale: f32,
+}
+
+impl BicubicTextureApp {
+    /// Output size scales with `scale_factor`.
+    pub fn new(scale_factor: u32) -> Self {
+        BicubicTextureApp { n_out: 1024 * scale_factor as u64, scale: 0.75 }
+    }
+}
+
+impl Default for BicubicTextureApp {
+    fn default() -> Self {
+        Self::new(1)
+    }
+}
+
+impl Application for BicubicTextureApp {
+    fn name(&self) -> &str {
+        "bicubicTexture"
+    }
+
+    fn kernels(&self) -> Vec<KernelProgram> {
+        vec![kernels::bicubic()]
+    }
+
+    fn characteristics(&self) -> AppTraits {
+        AppTraits { coalescible: true, file_io_bytes: 128 * 1024, gl_pixels: 0 }
+    }
+
+    fn run_once(&self, env: &mut AppEnv<'_>) -> Result<(), VpError> {
+        env.vp.file_io(self.characteristics().file_io_bytes);
+        let n_out = self.n_out as usize;
+        let in_len = ((n_out as f32 * self.scale) as usize) + 8;
+        let input = random_f32s(self.name(), 0, in_len, 0.0, 255.0);
+        env.vp.run_guest_instructions(in_len as u64);
+
+        let mut cuda = env.cuda();
+        let din = upload(&mut cuda, &f32s_to_bytes(&input))?;
+        let dout = cuda.malloc(self.n_out * 4)?;
+        cuda.launch_sync(
+            "bicubic",
+            self.n_out.div_ceil(256) as u32,
+            256,
+            &[p(din), p(dout), pi(self.n_out as i64), pf(self.scale as f64)],
+        )?;
+        let got = bytes_to_f32s(&download(&mut cuda, dout)?);
+        cuda.free(din)?;
+        cuda.free(dout)?;
+        check_close(self.name(), &got, &bicubic_reference(&input, n_out, self.scale), 1e-3)
+    }
+}
+
+/// `recursiveGaussian`: per-row IIR filter over an image read from disk.
+#[derive(Debug, Clone)]
+pub struct RecursiveGaussianApp {
+    /// Rows (one thread each).
+    pub rows: u64,
+    /// Row width.
+    pub width: u64,
+}
+
+impl RecursiveGaussianApp {
+    /// Rows scale with `scale`.
+    pub fn new(scale: u32) -> Self {
+        RecursiveGaussianApp { rows: 64 * scale as u64, width: 128 }
+    }
+}
+
+impl Default for RecursiveGaussianApp {
+    fn default() -> Self {
+        Self::new(1)
+    }
+}
+
+impl Application for RecursiveGaussianApp {
+    fn name(&self) -> &str {
+        "recursiveGaussian"
+    }
+
+    fn kernels(&self) -> Vec<KernelProgram> {
+        vec![kernels::recursive_gaussian()]
+    }
+
+    fn characteristics(&self) -> AppTraits {
+        AppTraits { coalescible: true, file_io_bytes: 128 * 1024, gl_pixels: 0 }
+    }
+
+    fn run_once(&self, env: &mut AppEnv<'_>) -> Result<(), VpError> {
+        env.vp.file_io(self.characteristics().file_io_bytes);
+        let n = (self.rows * self.width) as usize;
+        let input = random_f32s(self.name(), 0, n, 0.0, 255.0);
+        let (a, bc) = (0.2f32, 0.8f32);
+        env.vp.run_guest_instructions(n as u64 / 2);
+
+        let mut cuda = env.cuda();
+        let din = upload(&mut cuda, &f32s_to_bytes(&input))?;
+        let dout = cuda.malloc(n as u64 * 4)?;
+        cuda.launch_sync(
+            "recursive_gaussian",
+            self.rows.div_ceil(64) as u32,
+            64,
+            &[p(din), p(dout), pi(self.rows as i64), pi(self.width as i64), pf(a as f64), pf(bc as f64)],
+        )?;
+        let got = bytes_to_f32s(&download(&mut cuda, dout)?);
+        cuda.free(din)?;
+        cuda.free(dout)?;
+        check_close(
+            self.name(),
+            &got,
+            &recursive_gaussian_reference(&input, self.rows as usize, self.width as usize, a, bc),
+            1e-3,
+        )
+    }
+}
+
+/// `VolumeFiltering`: integer box filtering of a volume plus GL display — both a
+/// low-FP app and a GL-bound app in the paper's analysis.
+#[derive(Debug, Clone)]
+pub struct VolumeFilteringApp {
+    /// Voxels filtered.
+    pub n: u64,
+}
+
+impl VolumeFilteringApp {
+    /// Voxels scale with `scale`.
+    pub fn new(scale: u32) -> Self {
+        VolumeFilteringApp { n: 16 * 1024 * scale as u64 }
+    }
+}
+
+impl Default for VolumeFilteringApp {
+    fn default() -> Self {
+        Self::new(1)
+    }
+}
+
+impl Application for VolumeFilteringApp {
+    fn name(&self) -> &str {
+        "VolumeFiltering"
+    }
+
+    fn kernels(&self) -> Vec<KernelProgram> {
+        vec![kernels::volume_filter()]
+    }
+
+    fn characteristics(&self) -> AppTraits {
+        AppTraits { coalescible: true, file_io_bytes: 0, gl_pixels: 96 * 96 }
+    }
+
+    fn run_once(&self, env: &mut AppEnv<'_>) -> Result<(), VpError> {
+        let n = self.n as usize;
+        let input = random_i64s(self.name(), 0, n + 2, 0, 4096);
+        env.vp.run_guest_instructions(n as u64 / 2);
+
+        let mut cuda = env.cuda();
+        let din = upload(&mut cuda, &i64s_to_bytes(&input))?;
+        let dout = cuda.malloc(self.n * 8)?;
+        cuda.launch_sync(
+            "volume_filter",
+            self.n.div_ceil(256) as u32,
+            256,
+            &[p(din), p(dout), pi(self.n as i64)],
+        )?;
+        let got = bytes_to_i64s(&download(&mut cuda, dout)?);
+        cuda.free(din)?;
+        cuda.free(dout)?;
+        crate::app::check_equal_i64(self.name(), &got, &volume_filter_reference(&input, n))?;
+        env.vp.opengl_render(self.characteristics().gl_pixels);
+        Ok(())
+    }
+}
+
+/// `stereoDisparity`: integer block matching over a disparity range.
+#[derive(Debug, Clone)]
+pub struct StereoDisparityApp {
+    /// Pixels.
+    pub n: u64,
+    /// Disparity candidates (≤ 64).
+    pub maxd: u64,
+}
+
+impl StereoDisparityApp {
+    /// Pixels scale with `scale`.
+    pub fn new(scale: u32) -> Self {
+        StereoDisparityApp { n: 1024 * scale as u64, maxd: 16 }
+    }
+}
+
+impl Default for StereoDisparityApp {
+    fn default() -> Self {
+        Self::new(1)
+    }
+}
+
+impl Application for StereoDisparityApp {
+    fn name(&self) -> &str {
+        "stereoDisparity"
+    }
+
+    fn kernels(&self) -> Vec<KernelProgram> {
+        vec![kernels::stereo_disparity()]
+    }
+
+    fn characteristics(&self) -> AppTraits {
+        AppTraits::pure_cuda()
+    }
+
+    fn run_once(&self, env: &mut AppEnv<'_>) -> Result<(), VpError> {
+        let n = self.n as usize;
+        let maxd = self.maxd as usize;
+        let left = random_i64s(self.name(), 0, n + maxd, 0, 256);
+        let mut right = vec![0i64; n + maxd];
+        for idx in 0..right.len() {
+            right[idx] = if idx >= 3 { left[idx - 3] } else { 511 };
+        }
+        env.vp.run_guest_instructions(n as u64);
+
+        let mut cuda = env.cuda();
+        let dl = upload(&mut cuda, &i64s_to_bytes(&left[..n]))?;
+        let dr = upload(&mut cuda, &i64s_to_bytes(&right))?;
+        let dout = cuda.malloc(self.n * 8)?;
+        cuda.launch_sync(
+            "stereo_disparity",
+            self.n.div_ceil(128) as u32,
+            128,
+            &[p(dl), p(dr), p(dout), pi(self.n as i64), pi(self.maxd as i64)],
+        )?;
+        let got = bytes_to_i64s(&download(&mut cuda, dout)?);
+        for buf in [dl, dr, dout] {
+            cuda.free(buf)?;
+        }
+        crate::app::check_equal_i64(
+            self.name(),
+            &got,
+            &stereo_disparity_reference(&left[..n], &right, self.maxd as i64),
+        )
+    }
+}
+
+/// A stream-pipelined convolution: the input is split into chunks, each processed
+/// on its own guest CUDA stream with asynchronous copies and launches — the
+/// within-VP double-buffering of the paper's Fig. 4a. With `use_streams = false`
+/// the same work runs synchronously on the default stream, giving the unpipelined
+/// baseline for ablation.
+#[derive(Debug, Clone)]
+pub struct StreamedConvolutionApp {
+    /// Output samples per chunk.
+    pub chunk: u64,
+    /// Number of chunks (each gets its own stream when enabled).
+    pub chunks: u32,
+    /// Whether to use per-chunk guest streams with async operations.
+    pub use_streams: bool,
+}
+
+impl StreamedConvolutionApp {
+    /// Chunk size scales with `scale`.
+    pub fn new(scale: u32) -> Self {
+        StreamedConvolutionApp { chunk: 2048 * scale as u64, chunks: 4, use_streams: true }
+    }
+}
+
+impl Default for StreamedConvolutionApp {
+    fn default() -> Self {
+        Self::new(1)
+    }
+}
+
+impl Application for StreamedConvolutionApp {
+    fn name(&self) -> &str {
+        if self.use_streams {
+            "streamedConvolution"
+        } else {
+            "streamedConvolution(sync)"
+        }
+    }
+
+    fn kernels(&self) -> Vec<KernelProgram> {
+        vec![kernels::convolution_separable()]
+    }
+
+    fn characteristics(&self) -> AppTraits {
+        AppTraits { coalescible: false, file_io_bytes: 0, gl_pixels: 0 }
+    }
+
+    fn run_once(&self, env: &mut AppEnv<'_>) -> Result<(), VpError> {
+        let chunk = self.chunk as usize;
+        let taps: [f32; 9] = [0.05, 0.09, 0.12, 0.15, 0.18, 0.15, 0.12, 0.09, 0.05];
+        let inputs: Vec<Vec<f32>> = (0..self.chunks)
+            .map(|c| random_f32s(self.name(), c as u64, chunk + 8, -1.0, 1.0))
+            .collect();
+
+        let mut cuda = env.cuda();
+        let dtaps = upload(&mut cuda, &f32s_to_bytes(&taps))?;
+        let mut dins = Vec::new();
+        let mut douts = Vec::new();
+        for _ in 0..self.chunks {
+            dins.push(cuda.malloc(((chunk + 8) * 4) as u64)?);
+            douts.push(cuda.malloc((chunk * 4) as u64)?);
+        }
+
+        let grid = (chunk as u64).div_ceil(256) as u32;
+        let mut outs: Vec<Vec<u8>> = vec![vec![0u8; chunk * 4]; self.chunks as usize];
+        if self.use_streams {
+            // Pipelined: chunk c's copy overlaps chunk c-1's kernel on the device.
+            for c in 0..self.chunks as usize {
+                let stream = c as u32 + 1;
+                cuda.memcpy_h2d_async(stream, dins[c], &f32s_to_bytes(&inputs[c]))?;
+                cuda.launch_async_on(
+                    stream,
+                    "convolution_separable",
+                    grid,
+                    256,
+                    &[p(dins[c]), p(dtaps), p(douts[c]), pi(chunk as i64)],
+                )?;
+                cuda.memcpy_d2h_async(stream, &mut outs[c], douts[c])?;
+            }
+            cuda.synchronize()?;
+        } else {
+            for c in 0..self.chunks as usize {
+                cuda.memcpy_h2d(dins[c], &f32s_to_bytes(&inputs[c]))?;
+                cuda.launch_sync(
+                    "convolution_separable",
+                    grid,
+                    256,
+                    &[p(dins[c]), p(dtaps), p(douts[c]), pi(chunk as i64)],
+                )?;
+                cuda.memcpy_d2h(&mut outs[c], douts[c])?;
+            }
+        }
+        for buf in dins.into_iter().chain(douts).chain([dtaps]) {
+            cuda.free(buf)?;
+        }
+        for (c, out) in outs.iter().enumerate() {
+            let got = bytes_to_f32s(out);
+            let expected = convolution_reference(&inputs[c], &taps, chunk);
+            check_close(self.name(), &got, &expected, 1e-4)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::testenv::run_app;
+
+    #[test]
+    fn sobel_runs_and_validates() {
+        run_app(&SobelFilterApp { width: 16, height: 12 });
+    }
+
+    #[test]
+    fn convolution_runs_and_validates() {
+        run_app(&ConvolutionSeparableApp { n: 256 });
+    }
+
+    #[test]
+    fn dct_runs_and_validates() {
+        run_app(&Dct8x8App { nblocks: 2 });
+    }
+
+    #[test]
+    fn bicubic_runs_and_validates() {
+        run_app(&BicubicTextureApp { n_out: 128, scale: 0.75 });
+    }
+
+    #[test]
+    fn recursive_gaussian_runs_and_validates() {
+        run_app(&RecursiveGaussianApp { rows: 8, width: 32 });
+    }
+
+    #[test]
+    fn volume_filtering_runs_and_validates() {
+        run_app(&VolumeFilteringApp { n: 512 });
+    }
+
+    #[test]
+    fn stereo_disparity_runs_and_validates() {
+        run_app(&StereoDisparityApp { n: 128, maxd: 8 });
+    }
+
+    #[test]
+    fn streamed_convolution_validates_both_ways() {
+        run_app(&StreamedConvolutionApp { chunk: 256, chunks: 3, use_streams: true });
+        run_app(&StreamedConvolutionApp { chunk: 256, chunks: 3, use_streams: false });
+    }
+
+    #[test]
+    fn gl_apps_declare_pixels() {
+        assert!(SobelFilterApp::default().characteristics().gl_pixels > 0);
+        assert!(VolumeFilteringApp::default().characteristics().gl_pixels > 0);
+        assert_eq!(Dct8x8App::default().characteristics().gl_pixels, 0);
+    }
+}

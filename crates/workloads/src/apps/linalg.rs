@@ -1,0 +1,379 @@
+//! Linear-algebra applications: vectorAdd, matrixMul, scalarProd, transpose,
+//! reduction.
+
+use crate::app::{check_close, download, p, pi, upload, AppEnv, AppTraits, Application};
+use crate::kernels;
+use crate::util::{bytes_to_f32s, bytes_to_f64s, f32s_to_bytes, f64s_to_bytes, random_f32s};
+use sigmavp_sptx::KernelProgram;
+use sigmavp_vp::error::VpError;
+
+/// The `vectorAdd` sample: `c = a + b` over f32, self-validating.
+#[derive(Debug, Clone)]
+pub struct VectorAddApp {
+    /// Elements per vector.
+    pub n: u64,
+}
+
+impl VectorAddApp {
+    /// Elements scale linearly with `scale` (4096 per unit).
+    pub fn new(scale: u32) -> Self {
+        VectorAddApp { n: 4096 * scale as u64 }
+    }
+}
+
+impl Default for VectorAddApp {
+    fn default() -> Self {
+        Self::new(1)
+    }
+}
+
+impl Application for VectorAddApp {
+    fn name(&self) -> &str {
+        "vectorAdd"
+    }
+
+    fn kernels(&self) -> Vec<KernelProgram> {
+        vec![kernels::vector_add()]
+    }
+
+    fn characteristics(&self) -> AppTraits {
+        AppTraits::pure_cuda()
+    }
+
+    fn run_once(&self, env: &mut AppEnv<'_>) -> Result<(), VpError> {
+        let n = self.n;
+        let a = random_f32s(self.name(), 0, n as usize, -100.0, 100.0);
+        let b = random_f32s(self.name(), 1, n as usize, -100.0, 100.0);
+        // Guest-side input preparation.
+        env.vp.run_guest_instructions(n * 4);
+
+        let mut cuda = env.cuda();
+        let da = upload(&mut cuda, &f32s_to_bytes(&a))?;
+        let db = upload(&mut cuda, &f32s_to_bytes(&b))?;
+        let dc = cuda.malloc(n * 4)?;
+        cuda.launch_sync("vector_add", n.div_ceil(256) as u32, 256, &[p(da), p(db), p(dc), pi(n as i64)])?;
+        let got = bytes_to_f32s(&download(&mut cuda, dc)?);
+        for buf in [da, db, dc] {
+            cuda.free(buf)?;
+        }
+        let expected: Vec<f32> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        check_close(self.name(), &got, &expected, 1e-6)
+    }
+}
+
+/// The `matrixMul` sample (Table 1's workload): `C = A·B` over f64, repeated
+/// `reps` times like the paper's 300-iteration loop.
+#[derive(Debug, Clone)]
+pub struct MatrixMulApp {
+    /// Matrix dimension (n×n).
+    pub n: u64,
+    /// Repetitions of the multiply.
+    pub reps: u32,
+}
+
+impl MatrixMulApp {
+    /// n grows with the square root of `scale` to keep n³ work linear-ish.
+    pub fn new(scale: u32) -> Self {
+        MatrixMulApp { n: 16 * scale as u64, reps: 2 }
+    }
+
+    /// The paper's Table 1 shape at a reduced size: `reps` repetitions of an n×n
+    /// multiply.
+    pub fn with_shape(n: u64, reps: u32) -> Self {
+        MatrixMulApp { n, reps }
+    }
+}
+
+impl Default for MatrixMulApp {
+    fn default() -> Self {
+        Self::new(1)
+    }
+}
+
+impl Application for MatrixMulApp {
+    fn name(&self) -> &str {
+        "matrixMul"
+    }
+
+    fn kernels(&self) -> Vec<KernelProgram> {
+        vec![kernels::matrix_mul()]
+    }
+
+    fn characteristics(&self) -> AppTraits {
+        AppTraits::pure_cuda()
+    }
+
+    fn run_once(&self, env: &mut AppEnv<'_>) -> Result<(), VpError> {
+        let n = self.n as usize;
+        let a: Vec<f64> = random_f32s(self.name(), 0, n * n, -2.0, 2.0).into_iter().map(f64::from).collect();
+        let b: Vec<f64> = random_f32s(self.name(), 1, n * n, -2.0, 2.0).into_iter().map(f64::from).collect();
+        env.vp.run_guest_instructions((n * n) as u64 * 2);
+
+        let mut cuda = env.cuda();
+        let da = upload(&mut cuda, &f64s_to_bytes(&a))?;
+        let db = upload(&mut cuda, &f64s_to_bytes(&b))?;
+        let dc = cuda.malloc((n * n * 8) as u64)?;
+        let grid = ((n * n) as u64).div_ceil(128) as u32;
+        for _ in 0..self.reps {
+            cuda.launch_sync("matrix_mul", grid, 128, &[p(da), p(db), p(dc), pi(n as i64)])?;
+        }
+        let got = bytes_to_f64s(&download(&mut cuda, dc)?);
+        for buf in [da, db, dc] {
+            cuda.free(buf)?;
+        }
+        for r in 0..n {
+            for c in 0..n {
+                let expected: f64 = (0..n).map(|k| a[r * n + k] * b[k * n + c]).sum();
+                let g = got[r * n + c];
+                if (g - expected).abs() > 1e-9 * expected.abs().max(1.0) {
+                    return Err(crate::app::validation_error(
+                        self.name(),
+                        format!("C[{r},{c}] = {g}, expected {expected}"),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The `scalarProd` sample: batched dot products.
+#[derive(Debug, Clone)]
+pub struct ScalarProdApp {
+    /// Number of vector pairs.
+    pub pairs: u64,
+    /// Elements per vector.
+    pub seg: u64,
+}
+
+impl ScalarProdApp {
+    /// Pairs scale with `scale`.
+    pub fn new(scale: u32) -> Self {
+        ScalarProdApp { pairs: 64 * scale as u64, seg: 64 }
+    }
+}
+
+impl Default for ScalarProdApp {
+    fn default() -> Self {
+        Self::new(1)
+    }
+}
+
+impl Application for ScalarProdApp {
+    fn name(&self) -> &str {
+        "scalarProd"
+    }
+
+    fn kernels(&self) -> Vec<KernelProgram> {
+        vec![kernels::scalar_prod()]
+    }
+
+    fn characteristics(&self) -> AppTraits {
+        AppTraits::pure_cuda()
+    }
+
+    fn run_once(&self, env: &mut AppEnv<'_>) -> Result<(), VpError> {
+        let n = (self.pairs * self.seg) as usize;
+        let a = random_f32s(self.name(), 0, n, -1.0, 1.0);
+        let b = random_f32s(self.name(), 1, n, -1.0, 1.0);
+        env.vp.run_guest_instructions(n as u64);
+
+        let mut cuda = env.cuda();
+        let da = upload(&mut cuda, &f32s_to_bytes(&a))?;
+        let db = upload(&mut cuda, &f32s_to_bytes(&b))?;
+        let dout = cuda.malloc(self.pairs * 4)?;
+        cuda.launch_sync(
+            "scalar_prod",
+            self.pairs.div_ceil(128) as u32,
+            128,
+            &[p(da), p(db), p(dout), pi(self.pairs as i64), pi(self.seg as i64)],
+        )?;
+        let got = bytes_to_f32s(&download(&mut cuda, dout)?);
+        for buf in [da, db, dout] {
+            cuda.free(buf)?;
+        }
+        let expected: Vec<f32> = (0..self.pairs as usize)
+            .map(|pr| {
+                let mut acc = 0.0f32;
+                for j in 0..self.seg as usize {
+                    let idx = pr * self.seg as usize + j;
+                    acc = a[idx].mul_add(b[idx], acc);
+                }
+                acc
+            })
+            .collect();
+        check_close(self.name(), &got, &expected, 1e-4)
+    }
+}
+
+/// The `transpose` sample: out-of-place matrix transpose (memory bound).
+#[derive(Debug, Clone)]
+pub struct TransposeApp {
+    /// Rows of the input.
+    pub rows: u64,
+    /// Columns of the input.
+    pub cols: u64,
+}
+
+impl TransposeApp {
+    /// Area scales with `scale`.
+    pub fn new(scale: u32) -> Self {
+        TransposeApp { rows: 32 * scale as u64, cols: 64 }
+    }
+}
+
+impl Default for TransposeApp {
+    fn default() -> Self {
+        Self::new(1)
+    }
+}
+
+impl Application for TransposeApp {
+    fn name(&self) -> &str {
+        "transpose"
+    }
+
+    fn kernels(&self) -> Vec<KernelProgram> {
+        vec![kernels::transpose()]
+    }
+
+    fn characteristics(&self) -> AppTraits {
+        AppTraits::pure_cuda()
+    }
+
+    fn run_once(&self, env: &mut AppEnv<'_>) -> Result<(), VpError> {
+        let n = (self.rows * self.cols) as usize;
+        let input = random_f32s(self.name(), 0, n, 0.0, 1.0);
+        env.vp.run_guest_instructions(n as u64);
+
+        let mut cuda = env.cuda();
+        let din = upload(&mut cuda, &f32s_to_bytes(&input))?;
+        let dout = cuda.malloc(n as u64 * 4)?;
+        cuda.launch_sync(
+            "transpose",
+            (n as u64).div_ceil(256) as u32,
+            256,
+            &[p(din), p(dout), pi(self.rows as i64), pi(self.cols as i64)],
+        )?;
+        let got = bytes_to_f32s(&download(&mut cuda, dout)?);
+        cuda.free(din)?;
+        cuda.free(dout)?;
+        for r in 0..self.rows as usize {
+            for c in 0..self.cols as usize {
+                let g = got[c * self.rows as usize + r];
+                let e = input[r * self.cols as usize + c];
+                if g != e {
+                    return Err(crate::app::validation_error(
+                        self.name(),
+                        format!("transposed ({r},{c}) mismatch"),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The `reduction` sample: two-level sum (GPU partials + guest final sum).
+#[derive(Debug, Clone)]
+pub struct ReductionApp {
+    /// GPU threads (each sums `chunk` elements).
+    pub nthreads: u64,
+    /// Elements per thread.
+    pub chunk: u64,
+}
+
+impl ReductionApp {
+    /// Threads scale with `scale`.
+    pub fn new(scale: u32) -> Self {
+        ReductionApp { nthreads: 128 * scale as u64, chunk: 32 }
+    }
+}
+
+impl Default for ReductionApp {
+    fn default() -> Self {
+        Self::new(1)
+    }
+}
+
+impl Application for ReductionApp {
+    fn name(&self) -> &str {
+        "reduction"
+    }
+
+    fn kernels(&self) -> Vec<KernelProgram> {
+        vec![kernels::reduction()]
+    }
+
+    fn characteristics(&self) -> AppTraits {
+        AppTraits::pure_cuda()
+    }
+
+    fn run_once(&self, env: &mut AppEnv<'_>) -> Result<(), VpError> {
+        let n = (self.nthreads * self.chunk) as usize;
+        let input = random_f32s(self.name(), 0, n, 0.0, 1.0);
+        env.vp.run_guest_instructions(n as u64 / 4);
+
+        let mut cuda = env.cuda();
+        let din = upload(&mut cuda, &f32s_to_bytes(&input))?;
+        let dout = cuda.malloc(self.nthreads * 4)?;
+        cuda.launch_sync(
+            "reduction",
+            self.nthreads.div_ceil(128) as u32,
+            128,
+            &[p(din), p(dout), pi(self.nthreads as i64), pi(self.chunk as i64)],
+        )?;
+        let partials = bytes_to_f32s(&download(&mut cuda, dout)?);
+        cuda.free(din)?;
+        cuda.free(dout)?;
+        // Guest-side final reduction.
+        env.vp.run_guest_instructions(self.nthreads * 4);
+        let total: f64 = partials.iter().map(|&v| v as f64).sum();
+        let expected: f64 = input.iter().map(|&v| v as f64).sum();
+        if (total - expected).abs() > expected.abs() * 1e-4 {
+            return Err(crate::app::validation_error(
+                self.name(),
+                format!("sum {total} vs expected {expected}"),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::testenv::run_app;
+
+    #[test]
+    fn vector_add_runs_and_validates() {
+        let t = run_app(&VectorAddApp::default());
+        assert!(t > 0.0);
+    }
+
+    #[test]
+    fn matrix_mul_runs_and_validates() {
+        run_app(&MatrixMulApp::with_shape(8, 2));
+    }
+
+    #[test]
+    fn scalar_prod_runs_and_validates() {
+        run_app(&ScalarProdApp { pairs: 16, seg: 32 });
+    }
+
+    #[test]
+    fn transpose_runs_and_validates() {
+        run_app(&TransposeApp { rows: 16, cols: 24 });
+    }
+
+    #[test]
+    fn reduction_runs_and_validates() {
+        run_app(&ReductionApp { nthreads: 32, chunk: 16 });
+    }
+
+    #[test]
+    fn scale_grows_work() {
+        assert!(VectorAddApp::new(4).n > VectorAddApp::new(1).n);
+        assert!(MatrixMulApp::new(4).n > MatrixMulApp::new(1).n);
+    }
+}

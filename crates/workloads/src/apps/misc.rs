@@ -1,0 +1,620 @@
+//! Remaining applications: Mandelbrot, mergeSort, histogram, nbody, simpleGL,
+//! smokeParticles, marchingCubes and segmentationTreeThrust.
+
+use crate::app::{check_close, download, p, pf, pi, upload, AppEnv, AppTraits, Application};
+use crate::kernels::{self, mandelbrot_reference, marching_reference, nbody_reference};
+use crate::util::{
+    bytes_to_f32s, bytes_to_i64s, f32s_to_bytes, i64s_to_bytes, random_f32s, random_i64s,
+};
+use sigmavp_sptx::KernelProgram;
+use sigmavp_vp::error::VpError;
+
+/// `Mandelbrot`: escape-time fractal; writes the image to disk (file-I/O-limited
+/// per the paper).
+#[derive(Debug, Clone)]
+pub struct MandelbrotApp {
+    /// Image width.
+    pub width: u64,
+    /// Image height.
+    pub height: u64,
+    /// Iteration cap.
+    pub maxiter: u64,
+}
+
+impl MandelbrotApp {
+    /// Area scales with `scale`.
+    pub fn new(scale: u32) -> Self {
+        MandelbrotApp { width: 64, height: 32 * scale as u64, maxiter: 64 }
+    }
+}
+
+impl Default for MandelbrotApp {
+    fn default() -> Self {
+        Self::new(1)
+    }
+}
+
+impl Application for MandelbrotApp {
+    fn name(&self) -> &str {
+        "Mandelbrot"
+    }
+
+    fn kernels(&self) -> Vec<KernelProgram> {
+        vec![kernels::mandelbrot()]
+    }
+
+    fn characteristics(&self) -> AppTraits {
+        AppTraits { coalescible: true, file_io_bytes: self.width * self.height * 8, gl_pixels: 0 }
+    }
+
+    fn run_once(&self, env: &mut AppEnv<'_>) -> Result<(), VpError> {
+        let n = self.width * self.height;
+        let mut cuda = env.cuda();
+        let dout = cuda.malloc(n * 8)?;
+        cuda.launch_sync(
+            "mandelbrot",
+            n.div_ceil(128) as u32,
+            128,
+            &[p(dout), pi(self.width as i64), pi(self.height as i64), pi(self.maxiter as i64)],
+        )?;
+        let got = bytes_to_i64s(&download(&mut cuda, dout)?);
+        cuda.free(dout)?;
+        // Spot-check a sampling of pixels against the reference.
+        for &(px, py) in &[(0u64, 0u64), (self.width / 2, self.height / 2), (self.width - 1, self.height - 1)] {
+            let e = mandelbrot_reference(
+                px as i64,
+                py as i64,
+                self.width as i64,
+                self.height as i64,
+                self.maxiter as i64,
+            );
+            let g = got[(py * self.width + px) as usize];
+            if g != e {
+                return Err(crate::app::validation_error(
+                    self.name(),
+                    format!("pixel ({px},{py}): {g} != {e}"),
+                ));
+            }
+        }
+        // Write the image to disk.
+        env.vp.file_io(self.characteristics().file_io_bytes);
+        Ok(())
+    }
+}
+
+/// `mergeSort`: a full bitonic sorting network — `log²(n)` small integer kernels,
+/// the paper's lowest raw speedup (622×) and largest optimization gain (10×).
+#[derive(Debug, Clone)]
+pub struct MergeSortApp {
+    /// Keys to sort (must be a power of two).
+    pub n: u64,
+}
+
+impl MergeSortApp {
+    /// Size doubles per `scale` power.
+    pub fn new(scale: u32) -> Self {
+        MergeSortApp { n: 256 << (scale - 1).min(8) }
+    }
+}
+
+impl Default for MergeSortApp {
+    fn default() -> Self {
+        Self::new(1)
+    }
+}
+
+impl Application for MergeSortApp {
+    fn name(&self) -> &str {
+        "mergeSort"
+    }
+
+    fn kernels(&self) -> Vec<KernelProgram> {
+        vec![kernels::bitonic_step()]
+    }
+
+    fn characteristics(&self) -> AppTraits {
+        AppTraits::pure_cuda()
+    }
+
+    fn run_once(&self, env: &mut AppEnv<'_>) -> Result<(), VpError> {
+        assert!(self.n.is_power_of_two(), "bitonic sort needs a power-of-two size");
+        let data = random_i64s(self.name(), 0, self.n as usize, -100_000, 100_000);
+        env.vp.run_guest_instructions(self.n);
+
+        let mut cuda = env.cuda();
+        let dbuf = upload(&mut cuda, &i64s_to_bytes(&data))?;
+        let grid = self.n.div_ceil(128) as u32;
+        let mut k = 2i64;
+        while k <= self.n as i64 {
+            let mut j = k / 2;
+            while j > 0 {
+                cuda.launch_sync(
+                    "bitonic_step",
+                    grid,
+                    128,
+                    &[p(dbuf), pi(self.n as i64), pi(j), pi(k)],
+                )?;
+                j /= 2;
+            }
+            k *= 2;
+        }
+        let got = bytes_to_i64s(&download(&mut cuda, dbuf)?);
+        cuda.free(dbuf)?;
+        let mut expected = data;
+        expected.sort_unstable();
+        crate::app::check_equal_i64(self.name(), &got, &expected)
+    }
+}
+
+/// `histogram`: privatized 64-bin histogram with a guest-side final reduction.
+#[derive(Debug, Clone)]
+pub struct HistogramApp {
+    /// GPU threads.
+    pub nthreads: u64,
+    /// Elements per thread.
+    pub chunk: u64,
+}
+
+impl HistogramApp {
+    /// Threads scale with `scale`.
+    pub fn new(scale: u32) -> Self {
+        HistogramApp { nthreads: 64 * scale as u64, chunk: 64 }
+    }
+}
+
+impl Default for HistogramApp {
+    fn default() -> Self {
+        Self::new(1)
+    }
+}
+
+impl Application for HistogramApp {
+    fn name(&self) -> &str {
+        "histogram"
+    }
+
+    fn kernels(&self) -> Vec<KernelProgram> {
+        vec![kernels::histogram()]
+    }
+
+    fn characteristics(&self) -> AppTraits {
+        AppTraits::pure_cuda()
+    }
+
+    fn run_once(&self, env: &mut AppEnv<'_>) -> Result<(), VpError> {
+        let n = (self.nthreads * self.chunk) as usize;
+        let data = random_i64s(self.name(), 0, n, 0, 100_000);
+        env.vp.run_guest_instructions(n as u64 / 4);
+
+        let mut cuda = env.cuda();
+        let ddata = upload(&mut cuda, &i64s_to_bytes(&data))?;
+        let dbins = upload(&mut cuda, &vec![0u8; (self.nthreads * 64 * 8) as usize])?;
+        cuda.launch_sync(
+            "histogram",
+            self.nthreads.div_ceil(64) as u32,
+            64,
+            &[p(ddata), p(dbins), pi(self.nthreads as i64), pi(self.chunk as i64)],
+        )?;
+        let partials = bytes_to_i64s(&download(&mut cuda, dbins)?);
+        cuda.free(ddata)?;
+        cuda.free(dbins)?;
+        // Final reduction on the guest CPU.
+        env.vp.run_guest_instructions(self.nthreads * 64);
+        let mut merged = vec![0i64; 64];
+        for t in 0..self.nthreads as usize {
+            for bin in 0..64 {
+                merged[bin] += partials[t * 64 + bin];
+            }
+        }
+        let mut expected = vec![0i64; 64];
+        for &v in &data {
+            expected[(v & 63) as usize] += 1;
+        }
+        crate::app::check_equal_i64(self.name(), &merged, &expected)
+    }
+}
+
+/// `nbody`: all-pairs gravity plus GL rendering of the bodies.
+#[derive(Debug, Clone)]
+pub struct NbodyApp {
+    /// Bodies.
+    pub n: u64,
+}
+
+impl NbodyApp {
+    /// Bodies scale with `scale` (O(n²) work).
+    pub fn new(scale: u32) -> Self {
+        NbodyApp { n: 128 * scale as u64 }
+    }
+}
+
+impl Default for NbodyApp {
+    fn default() -> Self {
+        Self::new(1)
+    }
+}
+
+impl Application for NbodyApp {
+    fn name(&self) -> &str {
+        "nbody"
+    }
+
+    fn kernels(&self) -> Vec<KernelProgram> {
+        vec![kernels::nbody()]
+    }
+
+    fn characteristics(&self) -> AppTraits {
+        AppTraits { coalescible: false, file_io_bytes: 0, gl_pixels: 96 * 96 }
+    }
+
+    fn run_once(&self, env: &mut AppEnv<'_>) -> Result<(), VpError> {
+        let n = self.n as usize;
+        let px = random_f32s(self.name(), 0, n, -10.0, 10.0);
+        let py = random_f32s(self.name(), 1, n, -10.0, 10.0);
+        let eps = 0.5f32;
+        env.vp.run_guest_instructions(n as u64);
+
+        let mut cuda = env.cuda();
+        let dx = upload(&mut cuda, &f32s_to_bytes(&px))?;
+        let dy = upload(&mut cuda, &f32s_to_bytes(&py))?;
+        let dax = cuda.malloc(self.n * 4)?;
+        let day = cuda.malloc(self.n * 4)?;
+        cuda.launch_sync(
+            "nbody",
+            self.n.div_ceil(128) as u32,
+            128,
+            &[p(dx), p(dy), p(dax), p(day), pi(self.n as i64), pf(eps as f64)],
+        )?;
+        let ax = bytes_to_f32s(&download(&mut cuda, dax)?);
+        let ay = bytes_to_f32s(&download(&mut cuda, day)?);
+        for buf in [dx, dy, dax, day] {
+            cuda.free(buf)?;
+        }
+        let mut eax = Vec::with_capacity(n);
+        let mut eay = Vec::with_capacity(n);
+        for i in 0..n {
+            let (x, y) = nbody_reference(&px, &py, i, eps);
+            eax.push(x);
+            eay.push(y);
+        }
+        check_close(self.name(), &ax, &eax, 1e-3)?;
+        check_close(self.name(), &ay, &eay, 1e-3)?;
+        env.vp.opengl_render(self.characteristics().gl_pixels);
+        Ok(())
+    }
+}
+
+/// `simpleGL`: a tiny vertex kernel followed by a large GL render — the paper's
+/// canonical GL-bound app.
+#[derive(Debug, Clone)]
+pub struct SimpleGlApp {
+    /// Vertices animated.
+    pub vertices: u64,
+    /// Animation frames per run.
+    pub frames: u32,
+}
+
+impl SimpleGlApp {
+    /// Vertices scale with `scale`.
+    pub fn new(scale: u32) -> Self {
+        SimpleGlApp { vertices: 16 * 1024 * scale as u64, frames: 4 }
+    }
+}
+
+impl Default for SimpleGlApp {
+    fn default() -> Self {
+        Self::new(1)
+    }
+}
+
+impl Application for SimpleGlApp {
+    fn name(&self) -> &str {
+        "simpleGL"
+    }
+
+    fn kernels(&self) -> Vec<KernelProgram> {
+        vec![kernels::sine_wave()]
+    }
+
+    fn characteristics(&self) -> AppTraits {
+        AppTraits {
+            coalescible: true,
+            file_io_bytes: 0,
+            gl_pixels: 128 * 128 * self.frames as u64,
+        }
+    }
+
+    fn run_once(&self, env: &mut AppEnv<'_>) -> Result<(), VpError> {
+        let freq = 4.0f32;
+        for frame in 0..self.frames {
+            let time = frame as f32 * 0.1;
+            {
+                let mut cuda = env.cuda();
+                let dverts = cuda.malloc(self.vertices * 4)?;
+                cuda.launch_sync(
+                    "sine_wave",
+                    self.vertices.div_ceil(256) as u32,
+                    256,
+                    &[p(dverts), pi(self.vertices as i64), pf(time as f64), pf(freq as f64)],
+                )?;
+                let verts = bytes_to_f32s(&download(&mut cuda, dverts)?);
+                cuda.free(dverts)?;
+                // Spot-check the animation.
+                let i = (self.vertices / 2) as usize;
+                let e = (i as f32 * 0.01 * freq + time).sin();
+                if (verts[i] - e).abs() > 1e-4 {
+                    return Err(crate::app::validation_error(
+                        self.name(),
+                        format!("frame {frame} vertex {i}: {} vs {e}", verts[i]),
+                    ));
+                }
+            }
+            env.vp.opengl_render(128 * 128);
+        }
+        Ok(())
+    }
+}
+
+/// `smokeParticles`: particle advection plus GL rendering.
+#[derive(Debug, Clone)]
+pub struct SmokeParticlesApp {
+    /// Particles.
+    pub n: u64,
+    /// Simulation steps per run.
+    pub steps: u32,
+}
+
+impl SmokeParticlesApp {
+    /// Particles scale with `scale`.
+    pub fn new(scale: u32) -> Self {
+        SmokeParticlesApp { n: 8 * 1024 * scale as u64, steps: 4 }
+    }
+}
+
+impl Default for SmokeParticlesApp {
+    fn default() -> Self {
+        Self::new(1)
+    }
+}
+
+impl Application for SmokeParticlesApp {
+    fn name(&self) -> &str {
+        "smokeParticles"
+    }
+
+    fn kernels(&self) -> Vec<KernelProgram> {
+        vec![kernels::particle_advect()]
+    }
+
+    fn characteristics(&self) -> AppTraits {
+        AppTraits { coalescible: false, file_io_bytes: 0, gl_pixels: 96 * 96 * self.steps as u64 }
+    }
+
+    fn run_once(&self, env: &mut AppEnv<'_>) -> Result<(), VpError> {
+        let n = self.n as usize;
+        let mut px = random_f32s(self.name(), 0, n, -1.0, 1.0);
+        let mut py = random_f32s(self.name(), 1, n, -1.0, 1.0);
+        let mut vx = random_f32s(self.name(), 2, n, -0.1, 0.1);
+        let mut vy = random_f32s(self.name(), 3, n, -0.1, 0.1);
+        let (dt, damp) = (0.05f32, 0.98f32);
+
+        let mut cuda = env.cuda();
+        let dpx = upload(&mut cuda, &f32s_to_bytes(&px))?;
+        let dpy = upload(&mut cuda, &f32s_to_bytes(&py))?;
+        let dvx = upload(&mut cuda, &f32s_to_bytes(&vx))?;
+        let dvy = upload(&mut cuda, &f32s_to_bytes(&vy))?;
+        for _ in 0..self.steps {
+            cuda.launch_sync(
+                "particle_advect",
+                self.n.div_ceil(256) as u32,
+                256,
+                &[p(dpx), p(dpy), p(dvx), p(dvy), pi(self.n as i64), pf(dt as f64), pf(damp as f64)],
+            )?;
+            // Advance the host reference in lockstep.
+            for i in 0..n {
+                let (nx, ny, nvx, nvy) =
+                    kernels::particle_advect_reference(px[i], py[i], vx[i], vy[i], dt, damp);
+                px[i] = nx;
+                py[i] = ny;
+                vx[i] = nvx;
+                vy[i] = nvy;
+            }
+        }
+        let gx = bytes_to_f32s(&download(&mut cuda, dpx)?);
+        let gy = bytes_to_f32s(&download(&mut cuda, dpy)?);
+        for buf in [dpx, dpy, dvx, dvy] {
+            cuda.free(buf)?;
+        }
+        check_close(self.name(), &gx, &px, 1e-3)?;
+        check_close(self.name(), &gy, &py, 1e-3)?;
+        env.vp.opengl_render(self.characteristics().gl_pixels);
+        Ok(())
+    }
+}
+
+/// `marchingCubes`: cell classification against an isovalue plus GL rendering.
+#[derive(Debug, Clone)]
+pub struct MarchingCubesApp {
+    /// Cells classified.
+    pub ncells: u64,
+}
+
+impl MarchingCubesApp {
+    /// Cells scale with `scale`.
+    pub fn new(scale: u32) -> Self {
+        MarchingCubesApp { ncells: 16 * 1024 * scale as u64 }
+    }
+}
+
+impl Default for MarchingCubesApp {
+    fn default() -> Self {
+        Self::new(1)
+    }
+}
+
+impl Application for MarchingCubesApp {
+    fn name(&self) -> &str {
+        "marchingCubes"
+    }
+
+    fn kernels(&self) -> Vec<KernelProgram> {
+        vec![kernels::marching_threshold()]
+    }
+
+    fn characteristics(&self) -> AppTraits {
+        AppTraits { coalescible: true, file_io_bytes: 0, gl_pixels: 96 * 96 }
+    }
+
+    fn run_once(&self, env: &mut AppEnv<'_>) -> Result<(), VpError> {
+        let n = self.ncells as usize;
+        let field = random_f32s(self.name(), 0, n + 1, 0.0, 1.0);
+        let iso = 0.5f32;
+        env.vp.run_guest_instructions(n as u64 / 4);
+
+        let mut cuda = env.cuda();
+        let dfield = upload(&mut cuda, &f32s_to_bytes(&field))?;
+        let dcases = cuda.malloc(self.ncells * 8)?;
+        cuda.launch_sync(
+            "marching_threshold",
+            self.ncells.div_ceil(256) as u32,
+            256,
+            &[p(dfield), p(dcases), pi(self.ncells as i64), pf(iso as f64)],
+        )?;
+        let got = bytes_to_i64s(&download(&mut cuda, dcases)?);
+        cuda.free(dfield)?;
+        cuda.free(dcases)?;
+        crate::app::check_equal_i64(self.name(), &got, &marching_reference(&field, n, iso))?;
+        env.vp.opengl_render(self.characteristics().gl_pixels);
+        Ok(())
+    }
+}
+
+/// `segmentationTreeThrust`: repeated pointer-jumping rounds over a parent forest
+/// read from disk.
+#[derive(Debug, Clone)]
+pub struct SegmentationTreeApp {
+    /// Nodes.
+    pub n: u64,
+    /// Pointer-jumping rounds (⌈log₂ n⌉ flattens any forest).
+    pub rounds: u32,
+}
+
+impl SegmentationTreeApp {
+    /// Nodes scale with `scale`.
+    pub fn new(scale: u32) -> Self {
+        let n = 2048 * scale as u64;
+        SegmentationTreeApp { n, rounds: n.ilog2() + 1 }
+    }
+}
+
+impl Default for SegmentationTreeApp {
+    fn default() -> Self {
+        Self::new(1)
+    }
+}
+
+impl Application for SegmentationTreeApp {
+    fn name(&self) -> &str {
+        "segmentationTreeThrust"
+    }
+
+    fn kernels(&self) -> Vec<KernelProgram> {
+        vec![kernels::segment_union()]
+    }
+
+    fn characteristics(&self) -> AppTraits {
+        AppTraits { coalescible: true, file_io_bytes: 64 * 1024, gl_pixels: 0 }
+    }
+
+    fn run_once(&self, env: &mut AppEnv<'_>) -> Result<(), VpError> {
+        env.vp.file_io(self.characteristics().file_io_bytes);
+        // A chain forest: node i points at i−1 (two roots at 0 and n/2).
+        let half = (self.n / 2) as i64;
+        let parent: Vec<i64> = (0..self.n as i64)
+            .map(|i| if i == 0 || i == half { i } else { i - 1 })
+            .collect();
+        env.vp.run_guest_instructions(self.n / 2);
+
+        let mut cuda = env.cuda();
+        let dcur = upload(&mut cuda, &i64s_to_bytes(&parent))?;
+        let dnext = cuda.malloc(self.n * 8)?;
+        for _ in 0..self.rounds {
+            cuda.launch_sync(
+                "segment_union",
+                self.n.div_ceil(256) as u32,
+                256,
+                &[p(dcur), p(dnext), pi(self.n as i64)],
+            )?;
+            // Copy next → cur through the guest so `dcur` always holds the latest
+            // parents (the Thrust original ping-pongs the same way).
+            let next = download(&mut cuda, dnext)?;
+            cuda.memcpy_h2d(dcur, &next)?;
+        }
+        let flat = bytes_to_i64s(&download(&mut cuda, dcur)?);
+        cuda.free(dcur)?;
+        cuda.free(dnext)?;
+        for (i, &r) in flat.iter().enumerate() {
+            let expected = if (i as i64) < half { 0 } else { half };
+            if r != expected {
+                return Err(crate::app::validation_error(
+                    self.name(),
+                    format!("node {i} resolved to {r}, expected {expected}"),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::testenv::run_app;
+
+    #[test]
+    fn mandelbrot_runs_and_validates() {
+        run_app(&MandelbrotApp { width: 16, height: 8, maxiter: 32 });
+    }
+
+    #[test]
+    fn merge_sort_runs_and_validates() {
+        run_app(&MergeSortApp { n: 64 });
+    }
+
+    #[test]
+    fn histogram_runs_and_validates() {
+        run_app(&HistogramApp { nthreads: 8, chunk: 16 });
+    }
+
+    #[test]
+    fn nbody_runs_and_validates() {
+        run_app(&NbodyApp { n: 32 });
+    }
+
+    #[test]
+    fn simple_gl_runs_and_validates() {
+        run_app(&SimpleGlApp { vertices: 128, frames: 2 });
+    }
+
+    #[test]
+    fn smoke_particles_runs_and_validates() {
+        run_app(&SmokeParticlesApp { n: 64, steps: 2 });
+    }
+
+    #[test]
+    fn marching_cubes_runs_and_validates() {
+        run_app(&MarchingCubesApp { ncells: 256 });
+    }
+
+    #[test]
+    fn segmentation_tree_runs_and_validates() {
+        run_app(&SegmentationTreeApp { n: 64, rounds: 7 });
+    }
+
+    #[test]
+    fn merge_sort_scale_is_power_of_two() {
+        for scale in 1..6 {
+            assert!(MergeSortApp::new(scale).n.is_power_of_two());
+        }
+    }
+}

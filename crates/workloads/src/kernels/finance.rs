@@ -1,0 +1,254 @@
+//! Financial kernels: BlackScholes and MonteCarlo — the FP-transcendental-heavy end
+//! of the suite (highest ΣVP speedups in Fig. 11).
+
+use sigmavp_sptx::builder::ProgramBuilder;
+use sigmavp_sptx::isa::{BinOp, CmpOp, ScalarType, UnaryOp};
+use sigmavp_sptx::KernelProgram;
+
+use super::guarded_gtid;
+
+/// `BlackScholes`: European call/put option pricing over `f32`.
+///
+/// Uses the logistic approximation of the cumulative normal,
+/// `N(d) ≈ 1 / (1 + e^(−1.702·d))`, and put-call parity for the put leg — the same
+/// formulas the host reference in the application uses, so results match to f32
+/// rounding.
+///
+/// Parameters: `0 = spot`, `1 = strike`, `2 = call_out`, `3 = put_out`, `4 = n`,
+/// `5 = riskfree r`, `6 = volatility v`, `7 = maturity T`.
+pub fn black_scholes() -> KernelProgram {
+    let mut b = ProgramBuilder::new("black_scholes");
+    let gtid = guarded_gtid(&mut b, 4);
+    let (spot_p, strike_p, call_p, put_p) = (b.reg(), b.reg(), b.reg(), b.reg());
+    let (r, v, t) = (b.reg(), b.reg(), b.reg());
+    let (s, k) = (b.reg(), b.reg());
+    b.ld_param(spot_p, 0)
+        .ld_param(strike_p, 1)
+        .ld_param(call_p, 2)
+        .ld_param(put_p, 3)
+        .ld_param(r, 5)
+        .ld_param(v, 6)
+        .ld_param(t, 7)
+        .ld_indexed(ScalarType::F32, s, spot_p, gtid, 0)
+        .ld_indexed(ScalarType::F32, k, strike_p, gtid, 0);
+
+    let f = ScalarType::F32;
+    // sqrt_t = sqrt(T); vsqrt = v*sqrt_t
+    let (sqrt_t, vsqrt) = (b.reg(), b.reg());
+    b.unop(UnaryOp::Sqrt, f, sqrt_t, t).binop(BinOp::Mul, f, vsqrt, v, sqrt_t);
+    // d1 = (ln(S/K) + (r + 0.5 v^2) T) / vsqrt
+    let (ratio, lnr, half, v2, drift, num, d1, d2) =
+        (b.reg(), b.reg(), b.reg(), b.reg(), b.reg(), b.reg(), b.reg(), b.reg());
+    b.binop(BinOp::Div, f, ratio, s, k)
+        .unop(UnaryOp::Log, f, lnr, ratio)
+        .mov_imm_f(half, 0.5)
+        .binop(BinOp::Mul, f, v2, v, v)
+        .binop(BinOp::Mul, f, v2, v2, half)
+        .binop(BinOp::Add, f, drift, r, v2)
+        .binop(BinOp::Mul, f, drift, drift, t)
+        .binop(BinOp::Add, f, num, lnr, drift)
+        .binop(BinOp::Div, f, d1, num, vsqrt)
+        .binop(BinOp::Sub, f, d2, d1, vsqrt);
+
+    // Logistic CND: n(d) = 1 / (1 + exp(-1.702 d))
+    let (cnd_k, one, nd1, nd2, tmp) = (b.reg(), b.reg(), b.reg(), b.reg(), b.reg());
+    b.mov_imm_f(cnd_k, -1.702).mov_imm_f(one, 1.0);
+    for (d, nd) in [(d1, nd1), (d2, nd2)] {
+        b.binop(BinOp::Mul, f, tmp, d, cnd_k)
+            .unop(UnaryOp::Exp, f, tmp, tmp)
+            .binop(BinOp::Add, f, tmp, tmp, one)
+            .binop(BinOp::Div, f, nd, one, tmp);
+    }
+
+    // disc = K * exp(-r T); call = S*N(d1) - disc*N(d2); put = call - S + disc
+    let (disc, neg_rt, call, put) = (b.reg(), b.reg(), b.reg(), b.reg());
+    b.binop(BinOp::Mul, f, neg_rt, r, t)
+        .unop(UnaryOp::Neg, f, neg_rt, neg_rt)
+        .unop(UnaryOp::Exp, f, neg_rt, neg_rt)
+        .binop(BinOp::Mul, f, disc, k, neg_rt)
+        .binop(BinOp::Mul, f, call, s, nd1)
+        .binop(BinOp::Mul, f, tmp, disc, nd2)
+        .binop(BinOp::Sub, f, call, call, tmp)
+        .binop(BinOp::Sub, f, put, call, s)
+        .binop(BinOp::Add, f, put, put, disc)
+        .st_indexed(ScalarType::F32, call_p, gtid, 0, call)
+        .st_indexed(ScalarType::F32, put_p, gtid, 0, put)
+        .ret();
+    b.build().expect("black_scholes is well-formed")
+}
+
+/// `MonteCarlo`: per-thread path simulation with an in-kernel 64-bit LCG and an
+/// exponential payoff — deterministic given the thread id, so the host reference
+/// reproduces it exactly.
+///
+/// Parameters: `0 = out`, `1 = n`, `2 = paths`.
+pub fn monte_carlo() -> KernelProgram {
+    let mut b = ProgramBuilder::new("monte_carlo");
+    let gtid = guarded_gtid(&mut b, 1);
+    let f = ScalarType::F32;
+    let i = ScalarType::I64;
+    let (out, paths) = (b.reg(), b.reg());
+    let (seed, mul, inc, shift, scale, acc) = (b.reg(), b.reg(), b.reg(), b.reg(), b.reg(), b.reg());
+    b.ld_param(out, 0)
+        .ld_param(paths, 2)
+        // seed = gtid * 2654435761 + 12345
+        .mov_imm_i(mul, 2654435761)
+        .binop(BinOp::Mul, i, seed, gtid, mul)
+        .mov_imm_i(inc, 12345)
+        .binop(BinOp::Add, i, seed, seed, inc)
+        // LCG constants (Knuth MMIX)
+        .mov_imm_i(mul, 6364136223846793005)
+        .mov_imm_i(inc, 1442695040888963407)
+        .mov_imm_i(shift, 40)
+        .mov_imm_f(scale, 1.0 / 16_777_216.0)
+        .mov_imm_f(acc, 0.0);
+
+    let (p_idx, one) = (b.reg(), b.reg());
+    let pr = b.pred();
+    b.mov_imm_i(p_idx, 0).mov_imm_i(one, 1);
+    let header = b.declare_block();
+    let body = b.declare_block();
+    let exit = b.declare_block();
+    b.bra(header);
+    b.switch_to(header).label("path_header");
+    b.setp(CmpOp::Lt, i, pr, p_idx, paths).cond_bra(pr, body, exit);
+
+    b.switch_to(body).label("path_body");
+    let (bits, u, payoff, mask) = (b.reg(), b.reg(), b.reg(), b.reg());
+    b.binop(BinOp::Mul, i, seed, seed, mul)
+        .binop(BinOp::Add, i, seed, seed, inc)
+        // u = ((seed >> 40) & 0xFFFFFF) / 2^24 ∈ [0, 1)
+        .binop(BinOp::Shr, i, bits, seed, shift)
+        .mov_imm_i(mask, 0xFF_FFFF)
+        .binop(BinOp::And, i, bits, bits, mask)
+        .cvt(ScalarType::F32, ScalarType::I64, u, bits)
+        .binop(BinOp::Mul, f, u, u, scale)
+        // payoff = exp(u) - 1
+        .unop(UnaryOp::Exp, f, payoff, u)
+        .mov_imm_f(bits, 1.0)
+        .binop(BinOp::Sub, f, payoff, payoff, bits)
+        .binop(BinOp::Add, f, acc, acc, payoff)
+        .binop(BinOp::Add, i, p_idx, p_idx, one)
+        .bra(header);
+
+    b.switch_to(exit).label("path_exit");
+    let mean = b.reg();
+    b.cvt(ScalarType::F32, ScalarType::I64, mean, paths)
+        .binop(BinOp::Div, f, acc, acc, mean)
+        .st_indexed(ScalarType::F32, out, gtid, 0, acc)
+        .ret();
+    b.build().expect("monte_carlo is well-formed")
+}
+
+/// Host-side reference of the Monte-Carlo kernel for one thread id — bit-exact
+/// replication of the in-kernel arithmetic (same f32 operation order).
+pub fn monte_carlo_reference(gtid: i64, paths: i64) -> f32 {
+    let mut seed = gtid.wrapping_mul(2654435761).wrapping_add(12345);
+    let mut acc = 0.0f32;
+    for _ in 0..paths {
+        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let bits = seed.wrapping_shr(40) & 0xFF_FFFF;
+        let u = bits as f32 * (1.0 / 16_777_216.0);
+        // The SPTX interpreter evaluates f32 transcendentals in f64 and rounds the
+        // result to f32; mirror that exactly for bit-exact validation.
+        let payoff = ((u as f64).exp() as f32) - 1.0;
+        acc += payoff;
+    }
+    acc / paths as f32
+}
+
+/// Host-side reference of the Black-Scholes kernel for one option — f32-faithful.
+pub fn black_scholes_reference(s: f32, k: f32, r: f32, v: f32, t: f32) -> (f32, f32) {
+    let sqrt_t = t.sqrt();
+    let vsqrt = v * sqrt_t;
+    let d1 = ((s / k).ln() + (r + v * v * 0.5) * t) / vsqrt;
+    let d2 = d1 - vsqrt;
+    let nd = |d: f32| 1.0f32 / (1.0 + (d * -1.702).exp());
+    let disc = k * (-(r * t)).exp();
+    let call = s * nd(d1) - disc * nd(d2);
+    let put = call - s + disc;
+    (call, put)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::testutil::run;
+    use crate::util::{bytes_to_f32s, f32s_to_bytes};
+    use sigmavp_sptx::interp::{LaunchConfig, ParamValue};
+    use sigmavp_sptx::isa::InstrClass;
+
+    #[test]
+    fn black_scholes_matches_reference() {
+        let n = 32u64;
+        let spots: Vec<f32> = (0..n).map(|i| 80.0 + i as f32).collect();
+        let strikes: Vec<f32> = (0..n).map(|i| 100.0 - 0.5 * i as f32).collect();
+        let (r, v, t) = (0.02f32, 0.3f32, 1.0f32);
+        let mut mem = f32s_to_bytes(&spots);
+        mem.extend(f32s_to_bytes(&strikes));
+        mem.extend(vec![0u8; (2 * n * 4) as usize]);
+        let call_base = 2 * n * 4;
+        let put_base = 3 * n * 4;
+        let out = run(
+            &black_scholes(),
+            LaunchConfig::covering(n, 16),
+            &[
+                ParamValue::Ptr(0),
+                ParamValue::Ptr(n * 4),
+                ParamValue::Ptr(call_base),
+                ParamValue::Ptr(put_base),
+                ParamValue::I64(n as i64),
+                ParamValue::F32(r),
+                ParamValue::F32(v),
+                ParamValue::F32(t),
+            ],
+            mem,
+        );
+        let calls = bytes_to_f32s(out.read_slice(call_base, n * 4).unwrap());
+        let puts = bytes_to_f32s(out.read_slice(put_base, n * 4).unwrap());
+        for idx in 0..n as usize {
+            let (ec, ep) = black_scholes_reference(spots[idx], strikes[idx], r, v, t);
+            assert!((calls[idx] - ec).abs() < 1e-3, "call {idx}: {} vs {ec}", calls[idx]);
+            assert!((puts[idx] - ep).abs() < 1e-3, "put {idx}: {} vs {ep}", puts[idx]);
+        }
+    }
+
+    #[test]
+    fn black_scholes_prices_are_sane() {
+        // Deep in-the-money call ≈ S − K·e^{−rT}; out-of-the-money ≈ 0.
+        let (c_itm, _) = black_scholes_reference(200.0, 100.0, 0.02, 0.3, 1.0);
+        assert!(c_itm > 95.0);
+        let (c_otm, _) = black_scholes_reference(50.0, 100.0, 0.02, 0.3, 1.0);
+        assert!(c_otm < 5.0);
+    }
+
+    #[test]
+    fn monte_carlo_matches_reference_bit_exactly() {
+        let n = 8u64;
+        let paths = 50i64;
+        let mem = vec![0u8; (n * 4) as usize];
+        let out = run(
+            &monte_carlo(),
+            LaunchConfig::covering(n, 4),
+            &[ParamValue::Ptr(0), ParamValue::I64(n as i64), ParamValue::I64(paths)],
+            mem,
+        );
+        let got = bytes_to_f32s(out.read_slice(0, n * 4).unwrap());
+        for t in 0..n as i64 {
+            assert_eq!(got[t as usize], monte_carlo_reference(t, paths), "thread {t}");
+        }
+    }
+
+    #[test]
+    fn finance_kernels_are_fp32_heavy() {
+        // BlackScholes is straight-line FP math: fp32 dominates even statically.
+        let mix = black_scholes().static_mix();
+        assert!(mix.get(InstrClass::Fp32) >= mix.get(InstrClass::Int));
+        // MonteCarlo mixes an integer LCG with FP payoffs: fp32 is a large static
+        // share (≥ the bitwise share) and present in every path iteration.
+        // MonteCarlo mixes an integer LCG with FP payoffs: five fp32 operations in
+        // every path iteration (cvt, mul, exp, sub, add).
+        let mix = monte_carlo().static_mix();
+        assert!(mix.get(InstrClass::Fp32) >= 5);
+    }
+}

@@ -1,0 +1,639 @@
+//! Image/signal-processing kernels: Sobel, separable convolution, DCT 8×8, bicubic
+//! interpolation, recursive Gaussian, volume filtering and stereo disparity.
+//!
+//! Sobel, volume filtering and stereo disparity are deliberately integer/memory
+//! bound — the paper singles them out as the apps whose ΣVP speedups are lowest
+//! because they "use less floating-point instructions".
+
+use sigmavp_sptx::builder::{for_loop, ProgramBuilder};
+use sigmavp_sptx::isa::{BinOp, CmpOp, ScalarType, UnaryOp};
+use sigmavp_sptx::KernelProgram;
+
+use super::{guarded_gtid, guarded_gtid_reg};
+
+/// `SobelFilter`: 3×3 gradient magnitude over `i64` pixels, interior-indexed.
+///
+/// Parameters: `0 = in (w×h pixels)`, `1 = out ((w−2)×(h−2))`, `2 = width`,
+/// `3 = height`.
+pub fn sobel() -> KernelProgram {
+    let mut b = ProgramBuilder::new("sobel");
+    let i = ScalarType::I64;
+    let (w, h, iw, ih, total, two) = (b.reg(), b.reg(), b.reg(), b.reg(), b.reg(), b.reg());
+    b.ld_param(w, 2)
+        .ld_param(h, 3)
+        .mov_imm_i(two, 2)
+        .binop(BinOp::Sub, i, iw, w, two)
+        .binop(BinOp::Sub, i, ih, h, two)
+        .binop(BinOp::Mul, i, total, iw, ih);
+    let gtid = guarded_gtid_reg(&mut b, total);
+
+    let (inp, out) = (b.reg(), b.reg());
+    let (r, c, one, center) = (b.reg(), b.reg(), b.reg(), b.reg());
+    b.ld_param(inp, 0)
+        .ld_param(out, 1)
+        .mov_imm_i(one, 1)
+        .binop(BinOp::Div, i, r, gtid, iw)
+        .binop(BinOp::Add, i, r, r, one)
+        .binop(BinOp::Rem, i, c, gtid, iw)
+        .binop(BinOp::Add, i, c, c, one)
+        .mad(i, center, r, w, c);
+
+    // Load the eight neighbours around `center`.
+    let (up, down) = (b.reg(), b.reg());
+    b.binop(BinOp::Sub, i, up, center, w).binop(BinOp::Add, i, down, center, w);
+    let (tl, tt, tr, ll, rr, bl, bb_, br, idx) =
+        (b.reg(), b.reg(), b.reg(), b.reg(), b.reg(), b.reg(), b.reg(), b.reg(), b.reg());
+    for (dst, base, delta) in [
+        (tl, up, -1i64),
+        (tt, up, 0),
+        (tr, up, 1),
+        (ll, center, -1),
+        (rr, center, 1),
+        (bl, down, -1),
+        (bb_, down, 0),
+        (br, down, 1),
+    ] {
+        b.mov_imm_i(idx, delta);
+        let addr = b.reg();
+        b.binop(BinOp::Add, i, addr, base, idx).ld_indexed(ScalarType::I64, dst, inp, addr, 0);
+    }
+
+    // gx = (tr + 2·rr + br) − (tl + 2·ll + bl); gy = (bl + 2·bb + br) − (tl + 2·tt + tr)
+    let (gx, gy, t1, t2) = (b.reg(), b.reg(), b.reg(), b.reg());
+    b.binop(BinOp::Mul, i, t1, rr, two)
+        .binop(BinOp::Add, i, gx, tr, t1)
+        .binop(BinOp::Add, i, gx, gx, br)
+        .binop(BinOp::Mul, i, t2, ll, two)
+        .binop(BinOp::Add, i, t2, t2, tl)
+        .binop(BinOp::Add, i, t2, t2, bl)
+        .binop(BinOp::Sub, i, gx, gx, t2)
+        .binop(BinOp::Mul, i, t1, bb_, two)
+        .binop(BinOp::Add, i, gy, bl, t1)
+        .binop(BinOp::Add, i, gy, gy, br)
+        .binop(BinOp::Mul, i, t2, tt, two)
+        .binop(BinOp::Add, i, t2, t2, tl)
+        .binop(BinOp::Add, i, t2, t2, tr)
+        .binop(BinOp::Sub, i, gy, gy, t2)
+        .unop(UnaryOp::Abs, i, gx, gx)
+        .unop(UnaryOp::Abs, i, gy, gy)
+        .binop(BinOp::Add, i, gx, gx, gy)
+        .st_indexed(ScalarType::I64, out, gtid, 0, gx)
+        .ret();
+    b.build().expect("sobel is well-formed")
+}
+
+/// Host reference for [`sobel`].
+pub fn sobel_reference(input: &[i64], w: usize, h: usize) -> Vec<i64> {
+    let mut out = Vec::with_capacity((w - 2) * (h - 2));
+    for r in 1..h - 1 {
+        for c in 1..w - 1 {
+            let px = |rr: usize, cc: usize| input[rr * w + cc];
+            let gx = (px(r - 1, c + 1) + 2 * px(r, c + 1) + px(r + 1, c + 1))
+                - (px(r - 1, c - 1) + 2 * px(r, c - 1) + px(r + 1, c - 1));
+            let gy = (px(r + 1, c - 1) + 2 * px(r + 1, c) + px(r + 1, c + 1))
+                - (px(r - 1, c - 1) + 2 * px(r - 1, c) + px(r - 1, c + 1));
+            out.push(gx.abs() + gy.abs());
+        }
+    }
+    out
+}
+
+/// `convolutionSeparable`: 9-tap 1-D FIR over `f32` (one separable pass).
+///
+/// Parameters: `0 = in (n_out + 8 samples)`, `1 = taps (9 f32)`, `2 = out`,
+/// `3 = n_out`.
+pub fn convolution_separable() -> KernelProgram {
+    let mut b = ProgramBuilder::new("convolution_separable");
+    let gtid = guarded_gtid(&mut b, 3);
+    let f = ScalarType::F32;
+    let (inp, taps, out, acc) = (b.reg(), b.reg(), b.reg(), b.reg());
+    b.ld_param(inp, 0).ld_param(taps, 1).ld_param(out, 2).mov_imm_f(acc, 0.0);
+    let (idx, xv, wv) = (b.reg(), b.reg(), b.reg());
+    for_loop(&mut b, 9, |b, t| {
+        b.binop(BinOp::Add, ScalarType::I64, idx, gtid, t)
+            .ld_indexed(f, xv, inp, idx, 0)
+            .ld_indexed(f, wv, taps, t, 0)
+            .mad(f, acc, xv, wv, acc);
+    });
+    b.st_indexed(f, out, gtid, 0, acc).ret();
+    b.build().expect("convolution_separable is well-formed")
+}
+
+/// Host reference for [`convolution_separable`] (f32-faithful mad order).
+pub fn convolution_reference(input: &[f32], taps: &[f32; 9], n_out: usize) -> Vec<f32> {
+    (0..n_out)
+        .map(|i| {
+            let mut acc = 0.0f32;
+            for (t, &w) in taps.iter().enumerate() {
+                acc = input[i + t].mul_add(w, acc);
+            }
+            acc
+        })
+        .collect()
+}
+
+/// `dct8x8`: forward 8×8 DCT-II, one thread per output coefficient — two nested
+/// 8-iteration loops with two `cos` evaluations per sample (transcendental-heavy).
+///
+/// Parameters: `0 = in (nblocks × 64 f32)`, `1 = out`, `2 = nblocks`.
+pub fn dct8x8() -> KernelProgram {
+    let mut b = ProgramBuilder::new("dct8x8");
+    let i = ScalarType::I64;
+    let f = ScalarType::F32;
+    let (nblocks, sixty_four, total) = (b.reg(), b.reg(), b.reg());
+    b.ld_param(nblocks, 2)
+        .mov_imm_i(sixty_four, 64)
+        .binop(BinOp::Mul, i, total, nblocks, sixty_four);
+    let gtid = guarded_gtid_reg(&mut b, total);
+
+    let (inp, out, blk, uv, u, v, eight, base) =
+        (b.reg(), b.reg(), b.reg(), b.reg(), b.reg(), b.reg(), b.reg(), b.reg());
+    b.ld_param(inp, 0)
+        .ld_param(out, 1)
+        .mov_imm_i(eight, 8)
+        .binop(BinOp::Div, i, blk, gtid, sixty_four)
+        .binop(BinOp::Rem, i, uv, gtid, sixty_four)
+        .binop(BinOp::Div, i, u, uv, eight)
+        .binop(BinOp::Rem, i, v, uv, eight)
+        .binop(BinOp::Mul, i, base, blk, sixty_four);
+
+    let (acc, pi16, two, one_i) = (b.reg(), b.reg(), b.reg(), b.reg());
+    b.mov_imm_f(acc, 0.0)
+        .mov_imm_f(pi16, std::f64::consts::PI / 16.0)
+        .mov_imm_i(two, 2)
+        .mov_imm_i(one_i, 1);
+
+    let (idx, sample, ang, cu, cv, term) = (b.reg(), b.reg(), b.reg(), b.reg(), b.reg(), b.reg());
+    for_loop(&mut b, 8, |b, x| {
+        for_loop(b, 8, |b, y| {
+            // sample = in[base + x*8 + y]
+            b.mad(i, idx, x, eight, y)
+                .binop(BinOp::Add, i, idx, idx, base)
+                .ld_indexed(f, sample, inp, idx, 0)
+                // cu = cos((2x+1)·u·π/16)
+                .binop(BinOp::Mul, i, ang, x, two)
+                .binop(BinOp::Add, i, ang, ang, one_i)
+                .binop(BinOp::Mul, i, ang, ang, u)
+                .cvt(f, i, cu, ang)
+                .binop(BinOp::Mul, f, cu, cu, pi16)
+                .unop(UnaryOp::Cos, f, cu, cu)
+                // cv = cos((2y+1)·v·π/16)
+                .binop(BinOp::Mul, i, ang, y, two)
+                .binop(BinOp::Add, i, ang, ang, one_i)
+                .binop(BinOp::Mul, i, ang, ang, v)
+                .cvt(f, i, cv, ang)
+                .binop(BinOp::Mul, f, cv, cv, pi16)
+                .unop(UnaryOp::Cos, f, cv, cv)
+                .binop(BinOp::Mul, f, term, sample, cu)
+                .mad(f, acc, term, cv, acc);
+        });
+    });
+    b.st_indexed(f, out, gtid, 0, acc).ret();
+    b.build().expect("dct8x8 is well-formed")
+}
+
+/// Host reference for [`dct8x8`]: coefficient (u, v) of one 8×8 block.
+pub fn dct8x8_reference(block: &[f32; 64], u: usize, v: usize) -> f32 {
+    let pi16 = (std::f64::consts::PI / 16.0) as f32;
+    let mut acc = 0.0f32;
+    for x in 0..8 {
+        for y in 0..8 {
+            let cu = (((2 * x + 1) * u) as f32 * pi16).cos();
+            let cv = (((2 * y + 1) * v) as f32 * pi16).cos();
+            let term = block[x * 8 + y] * cu;
+            acc = term.mul_add(cv, acc);
+        }
+    }
+    acc
+}
+
+/// `bicubicTexture`: 1-D Catmull-Rom resampling over `f32`.
+///
+/// Parameters: `0 = in`, `1 = out`, `2 = n_out`, `3 = scale`. Input must extend to
+/// index `⌊(n_out−1)·scale⌋ + 3`.
+pub fn bicubic() -> KernelProgram {
+    let mut b = ProgramBuilder::new("bicubic");
+    let gtid = guarded_gtid(&mut b, 2);
+    let f = ScalarType::F32;
+    let i = ScalarType::I64;
+    let (inp, out, scale) = (b.reg(), b.reg(), b.reg());
+    b.ld_param(inp, 0).ld_param(out, 1).ld_param(scale, 3);
+
+    let (pos, i0, fx, f2, f3, half, tmp, tmp2) =
+        (b.reg(), b.reg(), b.reg(), b.reg(), b.reg(), b.reg(), b.reg(), b.reg());
+    b.cvt(f, i, pos, gtid)
+        .binop(BinOp::Mul, f, pos, pos, scale)
+        .mov_imm_f(half, 1.0)
+        .binop(BinOp::Add, f, pos, pos, half) // shift in by one sample
+        .cvt(i, f, i0, pos)
+        .cvt(f, i, fx, i0)
+        .binop(BinOp::Sub, f, fx, pos, fx)
+        .binop(BinOp::Mul, f, f2, fx, fx)
+        .binop(BinOp::Mul, f, f3, f2, fx)
+        .mov_imm_f(half, 0.5);
+
+    // Catmull-Rom weights.
+    let (w0, w1, w2, w3) = (b.reg(), b.reg(), b.reg(), b.reg());
+    // w0 = 0.5·(2f² − f³ − f)
+    b.binop(BinOp::Add, f, tmp, f2, f2)
+        .binop(BinOp::Sub, f, tmp, tmp, f3)
+        .binop(BinOp::Sub, f, tmp, tmp, fx)
+        .binop(BinOp::Mul, f, w0, tmp, half);
+    // w1 = 0.5·(3f³ − 5f² + 2)
+    b.mov_imm_f(tmp2, 3.0)
+        .binop(BinOp::Mul, f, tmp, f3, tmp2)
+        .mov_imm_f(tmp2, 5.0)
+        .binop(BinOp::Mul, f, tmp2, f2, tmp2)
+        .binop(BinOp::Sub, f, tmp, tmp, tmp2)
+        .mov_imm_f(tmp2, 2.0)
+        .binop(BinOp::Add, f, tmp, tmp, tmp2)
+        .binop(BinOp::Mul, f, w1, tmp, half);
+    // w2 = 0.5·(4f² − 3f³ + f)
+    b.mov_imm_f(tmp2, 4.0)
+        .binop(BinOp::Mul, f, tmp, f2, tmp2)
+        .mov_imm_f(tmp2, 3.0)
+        .binop(BinOp::Mul, f, tmp2, f3, tmp2)
+        .binop(BinOp::Sub, f, tmp, tmp, tmp2)
+        .binop(BinOp::Add, f, tmp, tmp, fx)
+        .binop(BinOp::Mul, f, w2, tmp, half);
+    // w3 = 0.5·(f³ − f²)
+    b.binop(BinOp::Sub, f, tmp, f3, f2).binop(BinOp::Mul, f, w3, tmp, half);
+
+    // out = w0·in[i0−1] + w1·in[i0] + w2·in[i0+1] + w3·in[i0+2]
+    let (s, acc) = (b.reg(), b.reg());
+    b.ld_indexed(f, s, inp, i0, -4)
+        .binop(BinOp::Mul, f, acc, s, w0)
+        .ld_indexed(f, s, inp, i0, 0)
+        .mad(f, acc, s, w1, acc)
+        .ld_indexed(f, s, inp, i0, 4)
+        .mad(f, acc, s, w2, acc)
+        .ld_indexed(f, s, inp, i0, 8)
+        .mad(f, acc, s, w3, acc)
+        .st_indexed(f, out, gtid, 0, acc)
+        .ret();
+    b.build().expect("bicubic is well-formed")
+}
+
+/// Host reference for [`bicubic`].
+pub fn bicubic_reference(input: &[f32], n_out: usize, scale: f32) -> Vec<f32> {
+    (0..n_out)
+        .map(|gi| {
+            let pos = gi as f32 * scale + 1.0;
+            let i0 = pos as i64;
+            let fx = pos - i0 as f32;
+            let f2 = fx * fx;
+            let f3 = f2 * fx;
+            let w0 = (f2 + f2 - f3 - fx) * 0.5;
+            let w1 = (3.0 * f3 - 5.0 * f2 + 2.0) * 0.5;
+            let w2 = (4.0 * f2 - 3.0 * f3 + fx) * 0.5;
+            let w3 = (f3 - f2) * 0.5;
+            let at = |k: i64| input[(i0 + k) as usize];
+            let mut acc = at(-1) * w0;
+            acc = at(0).mul_add(w1, acc);
+            acc = at(1).mul_add(w2, acc);
+            at(2).mul_add(w3, acc)
+        })
+        .collect()
+}
+
+/// `recursiveGaussian`: first-order IIR `y[j] = a·x[j] + b·y[j−1]` per row — a
+/// sequential loop per thread, like the CUDA SDK's per-column recursive filter.
+///
+/// Parameters: `0 = in`, `1 = out`, `2 = rows`, `3 = width`, `4 = a`, `5 = b`.
+pub fn recursive_gaussian() -> KernelProgram {
+    let mut b = ProgramBuilder::new("recursive_gaussian");
+    let gtid = guarded_gtid(&mut b, 2);
+    let f = ScalarType::F32;
+    let i = ScalarType::I64;
+    let (inp, out, width, a_c, b_c, base, y) =
+        (b.reg(), b.reg(), b.reg(), b.reg(), b.reg(), b.reg(), b.reg());
+    b.ld_param(inp, 0)
+        .ld_param(out, 1)
+        .ld_param(width, 3)
+        .ld_param(a_c, 4)
+        .ld_param(b_c, 5)
+        .binop(BinOp::Mul, i, base, gtid, width)
+        .mov_imm_f(y, 0.0);
+
+    let (j, one, idx, x, tmp) = (b.reg(), b.reg(), b.reg(), b.reg(), b.reg());
+    let p = b.pred();
+    b.mov_imm_i(j, 0).mov_imm_i(one, 1);
+    let header = b.declare_block();
+    let body = b.declare_block();
+    let exit = b.declare_block();
+    b.bra(header);
+    b.switch_to(header);
+    b.setp(CmpOp::Lt, i, p, j, width).cond_bra(p, body, exit);
+    b.switch_to(body);
+    b.binop(BinOp::Add, i, idx, base, j)
+        .ld_indexed(f, x, inp, idx, 0)
+        .binop(BinOp::Mul, f, tmp, b_c, y)
+        .mad(f, y, a_c, x, tmp)
+        .st_indexed(f, out, idx, 0, y)
+        .binop(BinOp::Add, i, j, j, one)
+        .bra(header);
+    b.switch_to(exit);
+    b.ret();
+    b.build().expect("recursive_gaussian is well-formed")
+}
+
+/// Host reference for [`recursive_gaussian`].
+pub fn recursive_gaussian_reference(input: &[f32], rows: usize, width: usize, a: f32, bc: f32) -> Vec<f32> {
+    let mut out = vec![0.0f32; rows * width];
+    for r in 0..rows {
+        let mut y = 0.0f32;
+        for j in 0..width {
+            let x = input[r * width + j];
+            y = a.mul_add(x, bc * y);
+            out[r * width + j] = y;
+        }
+    }
+    out
+}
+
+/// `VolumeFiltering`: integer 3-point box filter over `i64` voxels (deliberately
+/// FP-free, matching the paper's low-speedup characterization).
+///
+/// Parameters: `0 = in (n_out + 2)`, `1 = out`, `2 = n_out`.
+pub fn volume_filter() -> KernelProgram {
+    let mut b = ProgramBuilder::new("volume_filter");
+    let gtid = guarded_gtid(&mut b, 2);
+    let i = ScalarType::I64;
+    let (inp, out, three, acc, v) = (b.reg(), b.reg(), b.reg(), b.reg(), b.reg());
+    b.ld_param(inp, 0)
+        .ld_param(out, 1)
+        .mov_imm_i(three, 3)
+        .ld_indexed(i, acc, inp, gtid, 0)
+        .ld_indexed(i, v, inp, gtid, 8)
+        .binop(BinOp::Add, i, acc, acc, v)
+        .ld_indexed(i, v, inp, gtid, 16)
+        .binop(BinOp::Add, i, acc, acc, v)
+        .binop(BinOp::Div, i, acc, acc, three)
+        .st_indexed(i, out, gtid, 0, acc)
+        .ret();
+    b.build().expect("volume_filter is well-formed")
+}
+
+/// Host reference for [`volume_filter`].
+pub fn volume_filter_reference(input: &[i64], n_out: usize) -> Vec<i64> {
+    (0..n_out).map(|j| (input[j] + input[j + 1] + input[j + 2]) / 3).collect()
+}
+
+/// `stereoDisparity`: per-pixel winner-take-all disparity search over `maxd`
+/// candidates with an absolute-difference cost — integer compare/min heavy.
+///
+/// Parameters: `0 = left (n)`, `1 = right (n + maxd)`, `2 = out`, `3 = n`,
+/// `4 = maxd` (must be ≤ 64).
+pub fn stereo_disparity() -> KernelProgram {
+    let mut b = ProgramBuilder::new("stereo_disparity");
+    let gtid = guarded_gtid(&mut b, 3);
+    let i = ScalarType::I64;
+    let (left, right, out, maxd, l, best, sixty_four) =
+        (b.reg(), b.reg(), b.reg(), b.reg(), b.reg(), b.reg(), b.reg());
+    b.ld_param(left, 0)
+        .ld_param(right, 1)
+        .ld_param(out, 2)
+        .ld_param(maxd, 4)
+        .ld_indexed(i, l, left, gtid, 0)
+        .mov_imm_i(best, i64::MAX)
+        .mov_imm_i(sixty_four, 64);
+
+    let (d, one, idx, r, diff, key) = (b.reg(), b.reg(), b.reg(), b.reg(), b.reg(), b.reg());
+    let p = b.pred();
+    b.mov_imm_i(d, 0).mov_imm_i(one, 1);
+    let header = b.declare_block();
+    let body = b.declare_block();
+    let exit = b.declare_block();
+    b.bra(header);
+    b.switch_to(header);
+    b.setp(CmpOp::Lt, i, p, d, maxd).cond_bra(p, body, exit);
+    b.switch_to(body);
+    b.binop(BinOp::Add, i, idx, gtid, d)
+        .ld_indexed(i, r, right, idx, 0)
+        .binop(BinOp::Sub, i, diff, l, r)
+        .unop(UnaryOp::Abs, i, diff, diff)
+        // key packs (cost, disparity) so a single min tracks the argmin.
+        .binop(BinOp::Mul, i, key, diff, sixty_four)
+        .binop(BinOp::Add, i, key, key, d)
+        .binop(BinOp::Min, i, best, best, key)
+        .binop(BinOp::Add, i, d, d, one)
+        .bra(header);
+    b.switch_to(exit);
+    b.binop(BinOp::Rem, i, best, best, sixty_four)
+        .st_indexed(i, out, gtid, 0, best)
+        .ret();
+    b.build().expect("stereo_disparity is well-formed")
+}
+
+/// Host reference for [`stereo_disparity`].
+pub fn stereo_disparity_reference(left: &[i64], right: &[i64], maxd: i64) -> Vec<i64> {
+    left.iter()
+        .enumerate()
+        .map(|(idx, &l)| {
+            let mut best = i64::MAX;
+            for d in 0..maxd {
+                let key = (l - right[idx + d as usize]).abs() * 64 + d;
+                best = best.min(key);
+            }
+            best % 64
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::testutil::run;
+    use crate::util::*;
+    use sigmavp_sptx::interp::{LaunchConfig, ParamValue};
+    use sigmavp_sptx::isa::InstrClass;
+
+    #[test]
+    fn sobel_matches_reference() {
+        let (w, h) = (8usize, 6usize);
+        let input: Vec<i64> = (0..w * h).map(|k| ((k * 37) % 255) as i64).collect();
+        let expected = sobel_reference(&input, w, h);
+        let mut mem = i64s_to_bytes(&input);
+        let out_base = mem.len() as u64;
+        mem.extend(vec![0u8; expected.len() * 8]);
+        let out = run(
+            &sobel(),
+            LaunchConfig::covering(expected.len() as u64, 8),
+            &[
+                ParamValue::Ptr(0),
+                ParamValue::Ptr(out_base),
+                ParamValue::I64(w as i64),
+                ParamValue::I64(h as i64),
+            ],
+            mem,
+        );
+        let got = bytes_to_i64s(out.read_slice(out_base, expected.len() as u64 * 8).unwrap());
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn sobel_is_integer_dominated() {
+        let mix = sobel().static_mix();
+        assert_eq!(mix.get(InstrClass::Fp32) + mix.get(InstrClass::Fp64), 0);
+        assert!(mix.get(InstrClass::Int) > 10);
+    }
+
+    #[test]
+    fn convolution_matches_reference() {
+        let n_out = 50usize;
+        let input = random_f32s("conv", 0, n_out + 8, -1.0, 1.0);
+        let taps: [f32; 9] = [0.05, 0.1, 0.15, 0.2, 0.25, 0.2, 0.15, 0.1, 0.05];
+        let expected = convolution_reference(&input, &taps, n_out);
+        let mut mem = f32s_to_bytes(&input);
+        let taps_base = mem.len() as u64;
+        mem.extend(f32s_to_bytes(&taps));
+        let out_base = mem.len() as u64;
+        mem.extend(vec![0u8; n_out * 4]);
+        let out = run(
+            &convolution_separable(),
+            LaunchConfig::covering(n_out as u64, 16),
+            &[
+                ParamValue::Ptr(0),
+                ParamValue::Ptr(taps_base),
+                ParamValue::Ptr(out_base),
+                ParamValue::I64(n_out as i64),
+            ],
+            mem,
+        );
+        let got = bytes_to_f32s(out.read_slice(out_base, n_out as u64 * 4).unwrap());
+        assert!(max_relative_error(&got, &expected) < 1e-5);
+    }
+
+    #[test]
+    fn dct_matches_reference() {
+        let nblocks = 2usize;
+        let input = random_f32s("dct", 0, nblocks * 64, -128.0, 128.0);
+        let mut mem = f32s_to_bytes(&input);
+        let out_base = mem.len() as u64;
+        mem.extend(vec![0u8; nblocks * 64 * 4]);
+        let out = run(
+            &dct8x8(),
+            LaunchConfig::covering((nblocks * 64) as u64, 64),
+            &[ParamValue::Ptr(0), ParamValue::Ptr(out_base), ParamValue::I64(nblocks as i64)],
+            mem,
+        );
+        let got = bytes_to_f32s(out.read_slice(out_base, (nblocks * 64 * 4) as u64).unwrap());
+        for blk in 0..nblocks {
+            let block: [f32; 64] = input[blk * 64..(blk + 1) * 64].try_into().unwrap();
+            for u in 0..8 {
+                for v in 0..8 {
+                    let e = dct8x8_reference(&block, u, v);
+                    let g = got[blk * 64 + u * 8 + v];
+                    assert!(
+                        (g - e).abs() < 1e-2 + e.abs() * 1e-4,
+                        "block {blk} ({u},{v}): {g} vs {e}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bicubic_matches_reference() {
+        let n_out = 40usize;
+        let scale = 0.75f32;
+        let in_len = ((n_out as f32 * scale) as usize) + 8;
+        let input = random_f32s("bicubic", 0, in_len, 0.0, 10.0);
+        let expected = bicubic_reference(&input, n_out, scale);
+        let mut mem = f32s_to_bytes(&input);
+        let out_base = mem.len() as u64;
+        mem.extend(vec![0u8; n_out * 4]);
+        let out = run(
+            &bicubic(),
+            LaunchConfig::covering(n_out as u64, 16),
+            &[
+                ParamValue::Ptr(0),
+                ParamValue::Ptr(out_base),
+                ParamValue::I64(n_out as i64),
+                ParamValue::F32(scale),
+            ],
+            mem,
+        );
+        let got = bytes_to_f32s(out.read_slice(out_base, n_out as u64 * 4).unwrap());
+        assert!(max_relative_error(&got, &expected) < 1e-4);
+    }
+
+    #[test]
+    fn recursive_gaussian_matches_reference() {
+        let (rows, width) = (4usize, 30usize);
+        let input = random_f32s("rg", 0, rows * width, -5.0, 5.0);
+        let (a, bc) = (0.3f32, 0.7f32);
+        let expected = recursive_gaussian_reference(&input, rows, width, a, bc);
+        let mut mem = f32s_to_bytes(&input);
+        let out_base = mem.len() as u64;
+        mem.extend(vec![0u8; rows * width * 4]);
+        let out = run(
+            &recursive_gaussian(),
+            LaunchConfig::covering(rows as u64, 4),
+            &[
+                ParamValue::Ptr(0),
+                ParamValue::Ptr(out_base),
+                ParamValue::I64(rows as i64),
+                ParamValue::I64(width as i64),
+                ParamValue::F32(a),
+                ParamValue::F32(bc),
+            ],
+            mem,
+        );
+        let got = bytes_to_f32s(out.read_slice(out_base, (rows * width * 4) as u64).unwrap());
+        assert!(max_relative_error(&got, &expected) < 1e-4);
+    }
+
+    #[test]
+    fn volume_filter_matches_reference() {
+        let n_out = 64usize;
+        let input = random_i64s("vol", 0, n_out + 2, 0, 255);
+        let expected = volume_filter_reference(&input, n_out);
+        let mut mem = i64s_to_bytes(&input);
+        let out_base = mem.len() as u64;
+        mem.extend(vec![0u8; n_out * 8]);
+        let out = run(
+            &volume_filter(),
+            LaunchConfig::covering(n_out as u64, 32),
+            &[ParamValue::Ptr(0), ParamValue::Ptr(out_base), ParamValue::I64(n_out as i64)],
+            mem,
+        );
+        let got = bytes_to_i64s(out.read_slice(out_base, n_out as u64 * 8).unwrap());
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn stereo_disparity_matches_reference() {
+        let n = 48usize;
+        let maxd = 16i64;
+        // Construct a scene where the true shift is 5: right[i] = left[i - 5].
+        let left = random_i64s("stereo", 0, n + maxd as usize, 0, 255);
+        let mut right = vec![0i64; n + maxd as usize];
+        for idx in 0..right.len() {
+            right[idx] = if idx >= 5 { left[idx - 5] } else { 999 };
+        }
+        let expected = stereo_disparity_reference(&left[..n], &right, maxd);
+        let mut mem = i64s_to_bytes(&left[..n]);
+        let right_base = mem.len() as u64;
+        mem.extend(i64s_to_bytes(&right));
+        let out_base = mem.len() as u64;
+        mem.extend(vec![0u8; n * 8]);
+        let out = run(
+            &stereo_disparity(),
+            LaunchConfig::covering(n as u64, 16),
+            &[
+                ParamValue::Ptr(0),
+                ParamValue::Ptr(right_base),
+                ParamValue::Ptr(out_base),
+                ParamValue::I64(n as i64),
+                ParamValue::I64(maxd),
+            ],
+            mem,
+        );
+        let got = bytes_to_i64s(out.read_slice(out_base, n as u64 * 8).unwrap());
+        assert_eq!(got, expected);
+        // Most pixels should recover the true disparity of 5.
+        let hits = got.iter().filter(|&&d| d == 5).count();
+        assert!(hits > n / 2, "only {hits}/{n} recovered the shift");
+    }
+}

@@ -1,0 +1,690 @@
+//! Remaining suite kernels: Mandelbrot, mergeSort (bitonic step), histogram,
+//! nbody, simpleGL (sine wave), smokeParticles (advection), marchingCubes (cell
+//! classification) and segmentationTreeThrust (pointer jumping).
+
+use sigmavp_sptx::builder::ProgramBuilder;
+use sigmavp_sptx::isa::{BinOp, CmpOp, ScalarType, UnaryOp};
+use sigmavp_sptx::KernelProgram;
+
+use super::{guarded_gtid, guarded_gtid_reg};
+
+/// `Mandelbrot`: per-pixel escape-time iteration — data-dependent loop trip counts
+/// (the classic stress test for λ-based profiling).
+///
+/// Parameters: `0 = out (w×h iteration counts, i64)`, `1 = width`, `2 = height`,
+/// `3 = maxiter`.
+pub fn mandelbrot() -> KernelProgram {
+    let mut b = ProgramBuilder::new("mandelbrot");
+    let i = ScalarType::I64;
+    let f = ScalarType::F32;
+    let (w, h, total) = (b.reg(), b.reg(), b.reg());
+    b.ld_param(w, 1).ld_param(h, 2).binop(BinOp::Mul, i, total, w, h);
+    let gtid = guarded_gtid_reg(&mut b, total);
+
+    let (out, maxiter, px, py) = (b.reg(), b.reg(), b.reg(), b.reg());
+    b.ld_param(out, 0)
+        .ld_param(maxiter, 3)
+        .binop(BinOp::Rem, i, px, gtid, w)
+        .binop(BinOp::Div, i, py, gtid, w);
+
+    // cx = px/w·3.5 − 2.5 ; cy = py/h·2.0 − 1.0
+    let (cx, cy, tmp, span, off) = (b.reg(), b.reg(), b.reg(), b.reg(), b.reg());
+    b.cvt(f, i, cx, px)
+        .cvt(f, i, tmp, w)
+        .binop(BinOp::Div, f, cx, cx, tmp)
+        .mov_imm_f(span, 3.5)
+        .binop(BinOp::Mul, f, cx, cx, span)
+        .mov_imm_f(off, 2.5)
+        .binop(BinOp::Sub, f, cx, cx, off)
+        .cvt(f, i, cy, py)
+        .cvt(f, i, tmp, h)
+        .binop(BinOp::Div, f, cy, cy, tmp)
+        .mov_imm_f(span, 2.0)
+        .binop(BinOp::Mul, f, cy, cy, span)
+        .mov_imm_f(off, 1.0)
+        .binop(BinOp::Sub, f, cy, cy, off);
+
+    let (zx, zy, iter, one, four, mag) = (b.reg(), b.reg(), b.reg(), b.reg(), b.reg(), b.reg());
+    b.mov_imm_f(zx, 0.0)
+        .mov_imm_f(zy, 0.0)
+        .mov_imm_i(iter, 0)
+        .mov_imm_i(one, 1)
+        .mov_imm_f(four, 4.0);
+
+    let header = b.declare_block();
+    let check = b.declare_block();
+    let body = b.declare_block();
+    let exit = b.declare_block();
+    let p = b.pred();
+    let q = b.pred();
+
+    b.bra(header);
+    b.switch_to(header).label("iter_header");
+    b.setp(CmpOp::Lt, i, p, iter, maxiter).cond_bra(p, check, exit);
+
+    b.switch_to(check).label("escape_check");
+    let (zx2, zy2) = (b.reg(), b.reg());
+    b.binop(BinOp::Mul, f, zx2, zx, zx)
+        .binop(BinOp::Mul, f, zy2, zy, zy)
+        .binop(BinOp::Add, f, mag, zx2, zy2)
+        .setp(CmpOp::Ge, f, q, mag, four)
+        .cond_bra(q, exit, body);
+
+    b.switch_to(body).label("iterate");
+    let (nzx, two) = (b.reg(), b.reg());
+    b.binop(BinOp::Sub, f, nzx, zx2, zy2)
+        .binop(BinOp::Add, f, nzx, nzx, cx)
+        .mov_imm_f(two, 2.0)
+        .binop(BinOp::Mul, f, zy, zy, two)
+        .binop(BinOp::Mul, f, zy, zy, zx)
+        .binop(BinOp::Add, f, zy, zy, cy)
+        .mov(zx, nzx)
+        .binop(BinOp::Add, i, iter, iter, one)
+        .bra(header);
+
+    b.switch_to(exit).label("store");
+    b.st_indexed(i, out, gtid, 0, iter).ret();
+    b.build().expect("mandelbrot is well-formed")
+}
+
+/// Host reference for [`mandelbrot`]: iteration count of one pixel (f32-faithful).
+pub fn mandelbrot_reference(px: i64, py: i64, w: i64, h: i64, maxiter: i64) -> i64 {
+    let cx = px as f32 / w as f32 * 3.5 - 2.5;
+    let cy = py as f32 / h as f32 * 2.0 - 1.0;
+    let (mut zx, mut zy) = (0.0f32, 0.0f32);
+    let mut iter = 0i64;
+    while iter < maxiter {
+        let zx2 = zx * zx;
+        let zy2 = zy * zy;
+        if zx2 + zy2 >= 4.0 {
+            break;
+        }
+        let nzx = zx2 - zy2 + cx;
+        zy = zy * 2.0 * zx + cy;
+        zx = nzx;
+        iter += 1;
+    }
+    iter
+}
+
+/// `mergeSort` building block: one bitonic compare-exchange step over `i64` keys.
+/// A full sort runs `log²(n)` launches of this kernel — many small integer-only
+/// kernels, which is exactly why mergeSort shows the paper's lowest raw ΣVP
+/// speedup and the largest gain from the optimizations.
+///
+/// Parameters: `0 = data`, `1 = n`, `2 = j`, `3 = k`.
+pub fn bitonic_step() -> KernelProgram {
+    let mut b = ProgramBuilder::new("bitonic_step");
+    let gtid = guarded_gtid(&mut b, 1);
+    let i = ScalarType::I64;
+    let (data, j, k, ixj) = (b.reg(), b.reg(), b.reg(), b.reg());
+    b.ld_param(data, 0)
+        .ld_param(j, 2)
+        .ld_param(k, 3)
+        .binop(BinOp::Xor, i, ixj, gtid, j);
+
+    // Only the lower index of each pair acts.
+    let p = b.pred();
+    b.setp(CmpOp::Le, i, p, ixj, gtid);
+    let skip = b.declare_block();
+    let act = b.declare_block();
+    b.cond_bra(p, skip, act);
+    b.switch_to(skip);
+    b.ret();
+
+    b.switch_to(act).label("compare_exchange");
+    let (a, bv, lo, hi, dir, zero) = (b.reg(), b.reg(), b.reg(), b.reg(), b.reg(), b.reg());
+    let q = b.pred();
+    b.ld_indexed(i, a, data, gtid, 0)
+        .ld_indexed(i, bv, data, ixj, 0)
+        .binop(BinOp::Min, i, lo, a, bv)
+        .binop(BinOp::Max, i, hi, a, bv)
+        .binop(BinOp::And, i, dir, gtid, k)
+        .mov_imm_i(zero, 0)
+        .setp(CmpOp::Eq, i, q, dir, zero);
+    let asc = b.declare_block();
+    let desc = b.declare_block();
+    b.cond_bra(q, asc, desc);
+
+    b.switch_to(asc).label("ascending");
+    b.st_indexed(i, data, gtid, 0, lo).st_indexed(i, data, ixj, 0, hi).ret();
+    b.switch_to(desc).label("descending");
+    b.st_indexed(i, data, gtid, 0, hi).st_indexed(i, data, ixj, 0, lo).ret();
+    b.build().expect("bitonic_step is well-formed")
+}
+
+/// `histogram`: 64-bin histogram with per-thread privatized bins (no atomics
+/// needed); the host reduces the partials.
+///
+/// Parameters: `0 = data`, `1 = bins (nthreads × 64, pre-zeroed)`, `2 = nthreads`,
+/// `3 = chunk`.
+pub fn histogram() -> KernelProgram {
+    let mut b = ProgramBuilder::new("histogram");
+    let gtid = guarded_gtid(&mut b, 2);
+    let i = ScalarType::I64;
+    let (data, bins, chunk, base, my_bins, mask) =
+        (b.reg(), b.reg(), b.reg(), b.reg(), b.reg(), b.reg());
+    b.ld_param(data, 0)
+        .ld_param(bins, 1)
+        .ld_param(chunk, 3)
+        .binop(BinOp::Mul, i, base, gtid, chunk)
+        .mov_imm_i(mask, 63)
+        .mov_imm_i(my_bins, 64)
+        .binop(BinOp::Mul, i, my_bins, my_bins, gtid);
+
+    let (jj, one, idx, v, slot, count) = (b.reg(), b.reg(), b.reg(), b.reg(), b.reg(), b.reg());
+    let p = b.pred();
+    b.mov_imm_i(jj, 0).mov_imm_i(one, 1);
+    let header = b.declare_block();
+    let body = b.declare_block();
+    let exit = b.declare_block();
+    b.bra(header);
+    b.switch_to(header);
+    b.setp(CmpOp::Lt, i, p, jj, chunk).cond_bra(p, body, exit);
+    b.switch_to(body);
+    b.binop(BinOp::Add, i, idx, base, jj)
+        .ld_indexed(i, v, data, idx, 0)
+        .binop(BinOp::And, i, v, v, mask)
+        .binop(BinOp::Add, i, slot, my_bins, v)
+        .ld_indexed(i, count, bins, slot, 0)
+        .binop(BinOp::Add, i, count, count, one)
+        .st_indexed(i, bins, slot, 0, count)
+        .binop(BinOp::Add, i, jj, jj, one)
+        .bra(header);
+    b.switch_to(exit);
+    b.ret();
+    b.build().expect("histogram is well-formed")
+}
+
+/// `nbody`: all-pairs gravitational acceleration over `f32` — an O(n) inner loop
+/// per thread with `sqrt` and division, FP-heavy.
+///
+/// Parameters: `0 = posx`, `1 = posy`, `2 = accx_out`, `3 = accy_out`, `4 = n`,
+/// `5 = softening ε`.
+pub fn nbody() -> KernelProgram {
+    let mut b = ProgramBuilder::new("nbody");
+    let gtid = guarded_gtid(&mut b, 4);
+    let f = ScalarType::F32;
+    let i = ScalarType::I64;
+    let (pxp, pyp, axp, ayp, n, eps) = (b.reg(), b.reg(), b.reg(), b.reg(), b.reg(), b.reg());
+    let (xi, yi, ax, ay) = (b.reg(), b.reg(), b.reg(), b.reg());
+    b.ld_param(pxp, 0)
+        .ld_param(pyp, 1)
+        .ld_param(axp, 2)
+        .ld_param(ayp, 3)
+        .ld_param(n, 4)
+        .ld_param(eps, 5)
+        .ld_indexed(f, xi, pxp, gtid, 0)
+        .ld_indexed(f, yi, pyp, gtid, 0)
+        .mov_imm_f(ax, 0.0)
+        .mov_imm_f(ay, 0.0);
+
+    let (jj, one, xj, yj, dx, dy, r2, inv, inv3, one_f) =
+        (b.reg(), b.reg(), b.reg(), b.reg(), b.reg(), b.reg(), b.reg(), b.reg(), b.reg(), b.reg());
+    let p = b.pred();
+    b.mov_imm_i(jj, 0).mov_imm_i(one, 1).mov_imm_f(one_f, 1.0);
+    let header = b.declare_block();
+    let body = b.declare_block();
+    let exit = b.declare_block();
+    b.bra(header);
+    b.switch_to(header);
+    b.setp(CmpOp::Lt, i, p, jj, n).cond_bra(p, body, exit);
+    b.switch_to(body);
+    b.ld_indexed(f, xj, pxp, jj, 0)
+        .ld_indexed(f, yj, pyp, jj, 0)
+        .binop(BinOp::Sub, f, dx, xj, xi)
+        .binop(BinOp::Sub, f, dy, yj, yi)
+        .binop(BinOp::Mul, f, r2, dx, dx)
+        .mad(f, r2, dy, dy, r2)
+        .binop(BinOp::Add, f, r2, r2, eps)
+        .unop(UnaryOp::Sqrt, f, inv, r2)
+        .binop(BinOp::Div, f, inv, one_f, inv)
+        .binop(BinOp::Mul, f, inv3, inv, inv)
+        .binop(BinOp::Mul, f, inv3, inv3, inv)
+        .mad(f, ax, dx, inv3, ax)
+        .mad(f, ay, dy, inv3, ay)
+        .binop(BinOp::Add, i, jj, jj, one)
+        .bra(header);
+    b.switch_to(exit);
+    b.st_indexed(f, axp, gtid, 0, ax).st_indexed(f, ayp, gtid, 0, ay).ret();
+    b.build().expect("nbody is well-formed")
+}
+
+/// Host reference for [`nbody`]: acceleration of body `i` (f32-faithful).
+pub fn nbody_reference(px: &[f32], py: &[f32], i: usize, eps: f32) -> (f32, f32) {
+    let (xi, yi) = (px[i], py[i]);
+    let (mut ax, mut ay) = (0.0f32, 0.0f32);
+    for j in 0..px.len() {
+        let dx = px[j] - xi;
+        let dy = py[j] - yi;
+        let mut r2 = dx * dx;
+        r2 = dy.mul_add(dy, r2);
+        r2 += eps;
+        let inv = 1.0 / r2.sqrt();
+        let inv3 = inv * inv * inv;
+        ax = dx.mul_add(inv3, ax);
+        ay = dy.mul_add(inv3, ay);
+    }
+    (ax, ay)
+}
+
+/// `simpleGL`'s vertex kernel: `y[i] = sin(0.01·i·freq + time)`.
+///
+/// Parameters: `0 = verts`, `1 = n`, `2 = time`, `3 = freq`.
+pub fn sine_wave() -> KernelProgram {
+    let mut b = ProgramBuilder::new("sine_wave");
+    let gtid = guarded_gtid(&mut b, 1);
+    let f = ScalarType::F32;
+    let (verts, time, freq, x, step) = (b.reg(), b.reg(), b.reg(), b.reg(), b.reg());
+    b.ld_param(verts, 0)
+        .ld_param(time, 2)
+        .ld_param(freq, 3)
+        .cvt(f, ScalarType::I64, x, gtid)
+        .mov_imm_f(step, 0.01)
+        .binop(BinOp::Mul, f, x, x, step)
+        .binop(BinOp::Mul, f, x, x, freq)
+        .binop(BinOp::Add, f, x, x, time)
+        .unop(UnaryOp::Sin, f, x, x)
+        .st_indexed(f, verts, gtid, 0, x)
+        .ret();
+    b.build().expect("sine_wave is well-formed")
+}
+
+/// `smokeParticles`' advection kernel: damped velocity with a sinusoidal swirl.
+///
+/// Parameters: `0 = px`, `1 = py`, `2 = vx`, `3 = vy`, `4 = n`, `5 = dt`,
+/// `6 = damping`.
+pub fn particle_advect() -> KernelProgram {
+    let mut b = ProgramBuilder::new("particle_advect");
+    let gtid = guarded_gtid(&mut b, 4);
+    let f = ScalarType::F32;
+    let (pxp, pyp, vxp, vyp, dt, damp) = (b.reg(), b.reg(), b.reg(), b.reg(), b.reg(), b.reg());
+    let (x, y, vx, vy, swirl, small) = (b.reg(), b.reg(), b.reg(), b.reg(), b.reg(), b.reg());
+    b.ld_param(pxp, 0)
+        .ld_param(pyp, 1)
+        .ld_param(vxp, 2)
+        .ld_param(vyp, 3)
+        .ld_param(dt, 5)
+        .ld_param(damp, 6)
+        .ld_indexed(f, x, pxp, gtid, 0)
+        .ld_indexed(f, y, pyp, gtid, 0)
+        .ld_indexed(f, vx, vxp, gtid, 0)
+        .ld_indexed(f, vy, vyp, gtid, 0)
+        .mov_imm_f(small, 0.01)
+        // x += vx·dt ; y += vy·dt
+        .mad(f, x, vx, dt, x)
+        .mad(f, y, vy, dt, y)
+        // vx = vx·damp + 0.01·sin(y) ; vy = vy·damp + 0.01·cos(x)
+        .unop(UnaryOp::Sin, f, swirl, y)
+        .binop(BinOp::Mul, f, swirl, swirl, small)
+        .binop(BinOp::Mul, f, vx, vx, damp)
+        .binop(BinOp::Add, f, vx, vx, swirl)
+        .unop(UnaryOp::Cos, f, swirl, x)
+        .binop(BinOp::Mul, f, swirl, swirl, small)
+        .binop(BinOp::Mul, f, vy, vy, damp)
+        .binop(BinOp::Add, f, vy, vy, swirl)
+        .st_indexed(f, pxp, gtid, 0, x)
+        .st_indexed(f, pyp, gtid, 0, y)
+        .st_indexed(f, vxp, gtid, 0, vx)
+        .st_indexed(f, vyp, gtid, 0, vy)
+        .ret();
+    b.build().expect("particle_advect is well-formed")
+}
+
+/// Host reference for [`particle_advect`]: one particle step.
+pub fn particle_advect_reference(
+    x: f32,
+    y: f32,
+    vx: f32,
+    vy: f32,
+    dt: f32,
+    damp: f32,
+) -> (f32, f32, f32, f32) {
+    let nx = vx.mul_add(dt, x);
+    let ny = vy.mul_add(dt, y);
+    let nvx = vx * damp + ny.sin() * 0.01;
+    let nvy = vy * damp + nx.cos() * 0.01;
+    (nx, ny, nvx, nvy)
+}
+
+/// `marchingCubes`' classification kernel (1-D cells): the case index of each cell
+/// from its two corner samples against the isovalue.
+///
+/// Parameters: `0 = field (ncells + 1 f32)`, `1 = cases (i64)`, `2 = ncells`,
+/// `3 = isovalue`.
+pub fn marching_threshold() -> KernelProgram {
+    let mut b = ProgramBuilder::new("marching_threshold");
+    let gtid = guarded_gtid(&mut b, 2);
+    let f = ScalarType::F32;
+    let i = ScalarType::I64;
+    let (field, cases, iso, v0, v1, case, one, two) =
+        (b.reg(), b.reg(), b.reg(), b.reg(), b.reg(), b.reg(), b.reg(), b.reg());
+    let p0 = b.pred();
+    let p1 = b.pred();
+    b.ld_param(field, 0)
+        .ld_param(cases, 1)
+        .ld_param(iso, 3)
+        .ld_indexed(f, v0, field, gtid, 0)
+        .ld_indexed(f, v1, field, gtid, 4)
+        .mov_imm_i(case, 0)
+        .mov_imm_i(one, 1)
+        .mov_imm_i(two, 2)
+        .setp(CmpOp::Lt, f, p0, v0, iso)
+        .setp(CmpOp::Lt, f, p1, v1, iso);
+    let add0 = b.declare_block();
+    let chk1 = b.declare_block();
+    let add1 = b.declare_block();
+    let store = b.declare_block();
+    b.cond_bra(p0, add0, chk1);
+    b.switch_to(add0);
+    b.binop(BinOp::Add, i, case, case, one).bra(chk1);
+    b.switch_to(chk1);
+    b.cond_bra(p1, add1, store);
+    b.switch_to(add1);
+    b.binop(BinOp::Add, i, case, case, two).bra(store);
+    b.switch_to(store);
+    b.st_indexed(i, cases, gtid, 0, case).ret();
+    b.build().expect("marching_threshold is well-formed")
+}
+
+/// Host reference for [`marching_threshold`].
+pub fn marching_reference(field: &[f32], ncells: usize, iso: f32) -> Vec<i64> {
+    (0..ncells)
+        .map(|c| {
+            let mut case = 0i64;
+            if field[c] < iso {
+                case += 1;
+            }
+            if field[c + 1] < iso {
+                case += 2;
+            }
+            case
+        })
+        .collect()
+}
+
+/// `segmentationTreeThrust`'s core step: one round of pointer jumping,
+/// `out[i] = parent[parent[i]]` — dependent loads, integer only.
+///
+/// Parameters: `0 = parent`, `1 = out`, `2 = n`.
+pub fn segment_union() -> KernelProgram {
+    let mut b = ProgramBuilder::new("segment_union");
+    let gtid = guarded_gtid(&mut b, 2);
+    let i = ScalarType::I64;
+    let (parent, out, idx, grand) = (b.reg(), b.reg(), b.reg(), b.reg());
+    b.ld_param(parent, 0)
+        .ld_param(out, 1)
+        .ld_indexed(i, idx, parent, gtid, 0)
+        .ld_indexed(i, grand, parent, idx, 0)
+        .st_indexed(i, out, gtid, 0, grand)
+        .ret();
+    b.build().expect("segment_union is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::testutil::run;
+    use crate::util::*;
+    use sigmavp_sptx::interp::{Interpreter, LaunchConfig, Memory, ParamValue};
+    use sigmavp_sptx::isa::InstrClass;
+
+    #[test]
+    fn mandelbrot_matches_reference() {
+        let (w, h, maxiter) = (16i64, 8i64, 64i64);
+        let n = (w * h) as usize;
+        let out = run(
+            &mandelbrot(),
+            LaunchConfig::covering(n as u64, 32),
+            &[ParamValue::Ptr(0), ParamValue::I64(w), ParamValue::I64(h), ParamValue::I64(maxiter)],
+            vec![0u8; n * 8],
+        );
+        let got = bytes_to_i64s(out.read_slice(0, n as u64 * 8).unwrap());
+        for py in 0..h {
+            for px in 0..w {
+                let e = mandelbrot_reference(px, py, w, h, maxiter);
+                assert_eq!(got[(py * w + px) as usize], e, "pixel ({px},{py})");
+            }
+        }
+        // Interior pixels must saturate, edge pixels escape quickly.
+        assert!(got.contains(&maxiter));
+        assert!(got.iter().any(|&v| v < 4));
+    }
+
+    #[test]
+    fn mandelbrot_lambda_varies_per_input() {
+        // The data-dependent loop must show up as different block iteration counts
+        // for different regions — the property σ-derivation relies on.
+        let p = mandelbrot();
+        let run_region = |w: i64| {
+            let n = (w * 4) as usize;
+            let mut mem = Memory::new(n * 8);
+            Interpreter::new()
+                .run(
+                    &p,
+                    &LaunchConfig::covering(n as u64, 16),
+                    &[ParamValue::Ptr(0), ParamValue::I64(w), ParamValue::I64(4), ParamValue::I64(200)],
+                    &mut mem,
+                )
+                .unwrap()
+        };
+        let small = run_region(4);
+        let large = run_region(32);
+        assert!(large.counts.total() > small.counts.total());
+    }
+
+    #[test]
+    fn bitonic_full_sort_works() {
+        // Drive the kernel through the full bitonic schedule and verify it sorts.
+        let n = 64u64;
+        let data = random_i64s("bitonic", 0, n as usize, -1000, 1000);
+        let mut mem = Memory::from_bytes(i64s_to_bytes(&data));
+        let program = bitonic_step();
+        let mut k = 2i64;
+        while k <= n as i64 {
+            let mut j = k / 2;
+            while j > 0 {
+                Interpreter::new()
+                    .run(
+                        &program,
+                        &LaunchConfig::covering(n, 32),
+                        &[
+                            ParamValue::Ptr(0),
+                            ParamValue::I64(n as i64),
+                            ParamValue::I64(j),
+                            ParamValue::I64(k),
+                        ],
+                        &mut mem,
+                    )
+                    .unwrap();
+                j /= 2;
+            }
+            k *= 2;
+        }
+        let sorted = bytes_to_i64s(mem.read_slice(0, n * 8).unwrap());
+        let mut expected = data;
+        expected.sort_unstable();
+        assert_eq!(sorted, expected);
+    }
+
+    #[test]
+    fn bitonic_step_is_fp_free() {
+        let mix = bitonic_step().static_mix();
+        assert_eq!(mix.get(InstrClass::Fp32) + mix.get(InstrClass::Fp64), 0);
+    }
+
+    #[test]
+    fn histogram_matches_reference() {
+        let nthreads = 4u64;
+        let chunk = 32u64;
+        let n = (nthreads * chunk) as usize;
+        let data = random_i64s("hist", 0, n, 0, 1000);
+        let mut mem = i64s_to_bytes(&data);
+        let bins_base = mem.len() as u64;
+        mem.extend(vec![0u8; (nthreads * 64 * 8) as usize]);
+        let out = run(
+            &histogram(),
+            LaunchConfig::covering(nthreads, 2),
+            &[
+                ParamValue::Ptr(0),
+                ParamValue::Ptr(bins_base),
+                ParamValue::I64(nthreads as i64),
+                ParamValue::I64(chunk as i64),
+            ],
+            mem,
+        );
+        let partials = bytes_to_i64s(out.read_slice(bins_base, nthreads * 64 * 8).unwrap());
+        // Reduce the privatized bins and compare with a host histogram.
+        let mut merged = [0i64; 64];
+        for t in 0..nthreads as usize {
+            for bin in 0..64 {
+                merged[bin] += partials[t * 64 + bin];
+            }
+        }
+        let mut expected = [0i64; 64];
+        for &v in &data {
+            expected[(v & 63) as usize] += 1;
+        }
+        assert_eq!(merged, expected);
+    }
+
+    #[test]
+    fn nbody_matches_reference() {
+        let n = 24usize;
+        let px = random_f32s("nbody_x", 0, n, -10.0, 10.0);
+        let py = random_f32s("nbody_y", 1, n, -10.0, 10.0);
+        let eps = 0.5f32;
+        let mut mem = f32s_to_bytes(&px);
+        mem.extend(f32s_to_bytes(&py));
+        let ax_base = mem.len() as u64;
+        mem.extend(vec![0u8; n * 8]);
+        let out = run(
+            &nbody(),
+            LaunchConfig::covering(n as u64, 8),
+            &[
+                ParamValue::Ptr(0),
+                ParamValue::Ptr(n as u64 * 4),
+                ParamValue::Ptr(ax_base),
+                ParamValue::Ptr(ax_base + n as u64 * 4),
+                ParamValue::I64(n as i64),
+                ParamValue::F32(eps),
+            ],
+            mem,
+        );
+        let ax = bytes_to_f32s(out.read_slice(ax_base, n as u64 * 4).unwrap());
+        let ay = bytes_to_f32s(out.read_slice(ax_base + n as u64 * 4, n as u64 * 4).unwrap());
+        for i in 0..n {
+            let (ex, ey) = nbody_reference(&px, &py, i, eps);
+            assert!((ax[i] - ex).abs() < 1e-4 + ex.abs() * 1e-4, "ax[{i}]");
+            assert!((ay[i] - ey).abs() < 1e-4 + ey.abs() * 1e-4, "ay[{i}]");
+        }
+    }
+
+    #[test]
+    fn sine_wave_matches_reference() {
+        let n = 32usize;
+        let (time, freq) = (0.5f32, 4.0f32);
+        let out = run(
+            &sine_wave(),
+            LaunchConfig::covering(n as u64, 16),
+            &[
+                ParamValue::Ptr(0),
+                ParamValue::I64(n as i64),
+                ParamValue::F32(time),
+                ParamValue::F32(freq),
+            ],
+            vec![0u8; n * 4],
+        );
+        let got = bytes_to_f32s(out.read_slice(0, n as u64 * 4).unwrap());
+        for (i, &g) in got.iter().enumerate() {
+            let e = (i as f32 * 0.01 * freq + time).sin();
+            assert!((g - e).abs() < 1e-5, "vertex {i}");
+        }
+    }
+
+    #[test]
+    fn particle_advect_matches_reference() {
+        let n = 16usize;
+        let px = random_f32s("px", 0, n, -1.0, 1.0);
+        let py = random_f32s("py", 1, n, -1.0, 1.0);
+        let vx = random_f32s("vx", 2, n, -0.1, 0.1);
+        let vy = random_f32s("vy", 3, n, -0.1, 0.1);
+        let (dt, damp) = (0.1f32, 0.99f32);
+        let mut mem = f32s_to_bytes(&px);
+        mem.extend(f32s_to_bytes(&py));
+        mem.extend(f32s_to_bytes(&vx));
+        mem.extend(f32s_to_bytes(&vy));
+        let stride = n as u64 * 4;
+        let out = run(
+            &particle_advect(),
+            LaunchConfig::covering(n as u64, 8),
+            &[
+                ParamValue::Ptr(0),
+                ParamValue::Ptr(stride),
+                ParamValue::Ptr(2 * stride),
+                ParamValue::Ptr(3 * stride),
+                ParamValue::I64(n as i64),
+                ParamValue::F32(dt),
+                ParamValue::F32(damp),
+            ],
+            mem,
+        );
+        let gx = bytes_to_f32s(out.read_slice(0, stride).unwrap());
+        let gvx = bytes_to_f32s(out.read_slice(2 * stride, stride).unwrap());
+        for i in 0..n {
+            let (ex, _ey, evx, _evy) = particle_advect_reference(px[i], py[i], vx[i], vy[i], dt, damp);
+            assert!((gx[i] - ex).abs() < 1e-5);
+            assert!((gvx[i] - evx).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn marching_threshold_matches_reference() {
+        let ncells = 30usize;
+        let field = random_f32s("mc", 0, ncells + 1, 0.0, 1.0);
+        let iso = 0.5f32;
+        let expected = marching_reference(&field, ncells, iso);
+        let mut mem = f32s_to_bytes(&field);
+        let out_base = mem.len() as u64;
+        mem.extend(vec![0u8; ncells * 8]);
+        let out = run(
+            &marching_threshold(),
+            LaunchConfig::covering(ncells as u64, 8),
+            &[
+                ParamValue::Ptr(0),
+                ParamValue::Ptr(out_base),
+                ParamValue::I64(ncells as i64),
+                ParamValue::F32(iso),
+            ],
+            mem,
+        );
+        let got = bytes_to_i64s(out.read_slice(out_base, ncells as u64 * 8).unwrap());
+        assert_eq!(got, expected);
+        // All four cases should normally appear in random data of this size.
+        for case in 0..4 {
+            assert!(got.contains(&case), "case {case} never produced");
+        }
+    }
+
+    #[test]
+    fn segment_union_flattens_chains() {
+        // parent chain 0 <- 1 <- 2 <- ... ; repeated pointer jumping must converge
+        // to root 0 in ⌈log₂ n⌉ rounds.
+        let n = 32usize;
+        let parent: Vec<i64> = (0..n as i64).map(|i| (i - 1).max(0)).collect();
+        let mut cur = parent;
+        let program = segment_union();
+        for _ in 0..6 {
+            let mut mem = i64s_to_bytes(&cur);
+            mem.extend(vec![0u8; n * 8]);
+            let out = run(
+                &program,
+                LaunchConfig::covering(n as u64, 16),
+                &[ParamValue::Ptr(0), ParamValue::Ptr(n as u64 * 8), ParamValue::I64(n as i64)],
+                mem,
+            );
+            cur = bytes_to_i64s(out.read_slice(n as u64 * 8, n as u64 * 8).unwrap());
+        }
+        assert!(cur.iter().all(|&p| p == 0), "all nodes should point at the root");
+    }
+}

@@ -1,0 +1,28 @@
+//! # sigmavp-workloads — the CUDA-SDK-like benchmark suite
+//!
+//! The paper's Fig. 11 evaluates ΣVP on "the suite of benchmark GPU applications
+//! available as part of the CUDA SDK". This crate reimplements twenty of those
+//! applications against the ΣVP stack: each one is an [`app::Application`] with
+//!
+//! * one or more real [SPTX](sigmavp_sptx) kernels (built programmatically in
+//!   [`kernels`]), whose instruction mixes mirror the original apps — FP-heavy
+//!   finance kernels, integer/memory-bound filters, transcendental-heavy DCTs;
+//! * a guest-side driver routine ([`app::Application::run_once`]) that allocates,
+//!   uploads, launches, downloads and **validates** results against a host
+//!   reference implementation; and
+//! * the non-CUDA behaviour the paper calls out as speedup limiters: file I/O
+//!   (Mandelbrot, MonteCarlo, …) and software OpenGL rendering (simpleGL, nbody,
+//!   smokeParticles, …).
+//!
+//! [`suite::fig11_suite`] returns the full twenty-two-application suite at a chosen
+//! scale; individual apps are in [`apps`].
+#![warn(missing_docs)]
+
+pub mod app;
+pub mod apps;
+pub mod kernels;
+pub mod suite;
+pub mod util;
+
+pub use app::{AppEnv, AppTraits, Application};
+pub use suite::fig11_suite;

@@ -1,0 +1,126 @@
+//! Byte-level conversion helpers and deterministic input generation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Convert a slice of `f32` to little-endian bytes.
+pub fn f32s_to_bytes(values: &[f32]) -> Vec<u8> {
+    values.iter().flat_map(|v| v.to_le_bytes()).collect()
+}
+
+/// Convert little-endian bytes back to `f32`s.
+///
+/// # Panics
+///
+/// Panics if the byte length is not a multiple of 4.
+pub fn bytes_to_f32s(bytes: &[u8]) -> Vec<f32> {
+    assert_eq!(bytes.len() % 4, 0, "byte length must be a multiple of 4");
+    bytes.chunks_exact(4).map(|c| f32::from_le_bytes(c.try_into().expect("chunk of 4"))).collect()
+}
+
+/// Convert a slice of `f64` to little-endian bytes.
+pub fn f64s_to_bytes(values: &[f64]) -> Vec<u8> {
+    values.iter().flat_map(|v| v.to_le_bytes()).collect()
+}
+
+/// Convert little-endian bytes back to `f64`s.
+///
+/// # Panics
+///
+/// Panics if the byte length is not a multiple of 8.
+pub fn bytes_to_f64s(bytes: &[u8]) -> Vec<f64> {
+    assert_eq!(bytes.len() % 8, 0, "byte length must be a multiple of 8");
+    bytes.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().expect("chunk of 8"))).collect()
+}
+
+/// Convert a slice of `i64` to little-endian bytes.
+pub fn i64s_to_bytes(values: &[i64]) -> Vec<u8> {
+    values.iter().flat_map(|v| v.to_le_bytes()).collect()
+}
+
+/// Convert little-endian bytes back to `i64`s.
+///
+/// # Panics
+///
+/// Panics if the byte length is not a multiple of 8.
+pub fn bytes_to_i64s(bytes: &[u8]) -> Vec<i64> {
+    assert_eq!(bytes.len() % 8, 0, "byte length must be a multiple of 8");
+    bytes.chunks_exact(8).map(|c| i64::from_le_bytes(c.try_into().expect("chunk of 8"))).collect()
+}
+
+/// A deterministic RNG seeded from an application name and a salt, so every run of
+/// a workload sees identical inputs (reproducible experiments).
+pub fn seeded_rng(name: &str, salt: u64) -> StdRng {
+    let mut seed = 0x5EED_5EED_5EED_5EEDu64 ^ salt;
+    for b in name.bytes() {
+        seed = seed.wrapping_mul(0x100000001b3).wrapping_add(b as u64);
+    }
+    StdRng::seed_from_u64(seed)
+}
+
+/// `n` uniform `f32` values in `[lo, hi)`.
+pub fn random_f32s(name: &str, salt: u64, n: usize, lo: f32, hi: f32) -> Vec<f32> {
+    let mut rng = seeded_rng(name, salt);
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+/// `n` uniform `i64` values in `[lo, hi)`.
+pub fn random_i64s(name: &str, salt: u64, n: usize, lo: i64, hi: i64) -> Vec<i64> {
+    let mut rng = seeded_rng(name, salt);
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+/// Maximum relative error between two float slices (0.0 for identical inputs).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn max_relative_error(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "slices must have equal length");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let denom = x.abs().max(y.abs()).max(1e-6) as f64;
+            (x as f64 - y as f64).abs() / denom
+        })
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips() {
+        let f = vec![1.5f32, -2.25, 0.0];
+        assert_eq!(bytes_to_f32s(&f32s_to_bytes(&f)), f);
+        let d = vec![1.5f64, -2.25];
+        assert_eq!(bytes_to_f64s(&f64s_to_bytes(&d)), d);
+        let i = vec![1i64, -9, i64::MAX];
+        assert_eq!(bytes_to_i64s(&i64s_to_bytes(&i)), i);
+    }
+
+    #[test]
+    fn seeded_rng_is_deterministic_and_name_sensitive() {
+        let a1 = random_f32s("app", 0, 8, 0.0, 1.0);
+        let a2 = random_f32s("app", 0, 8, 0.0, 1.0);
+        let b = random_f32s("other", 0, 8, 0.0, 1.0);
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+        let salted = random_f32s("app", 1, 8, 0.0, 1.0);
+        assert_ne!(a1, salted);
+    }
+
+    #[test]
+    fn relative_error() {
+        assert_eq!(max_relative_error(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        let e = max_relative_error(&[1.0], &[1.1]);
+        assert!(e > 0.09 && e < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 4")]
+    fn misaligned_bytes_panic() {
+        bytes_to_f32s(&[0, 1, 2]);
+    }
+}

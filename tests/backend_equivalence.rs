@@ -1,0 +1,115 @@
+//! Binary compatibility: the same guest application code must produce identical
+//! results over the software-emulation backend and over ΣVP's multiplexing
+//! backend — the paper's "without requiring any change to the original
+//! GPU-optimized application code" property, verified at the data level.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use sigmavp::backend::MultiplexedGpu;
+use sigmavp::host::HostRuntime;
+use sigmavp_gpu::GpuArch;
+use sigmavp_ipc::message::{VpId, WireParam};
+use sigmavp_ipc::transport::TransportCost;
+use sigmavp_vp::cuda::CudaContext;
+use sigmavp_vp::emulation::EmulatedGpu;
+use sigmavp_vp::platform::VirtualPlatform;
+use sigmavp_vp::registry::KernelRegistry;
+use sigmavp_vp::service::GpuService;
+use sigmavp_workloads::kernels;
+use sigmavp_workloads::util::{bytes_to_f32s, f32s_to_bytes, random_f32s};
+
+/// Drive an arbitrary backend through the user library with a convolution and
+/// return the downloaded output bytes.
+fn run_convolution(service: &mut dyn GpuService) -> Vec<u8> {
+    let mut vp = VirtualPlatform::new(VpId(0));
+    let mut cuda = CudaContext::new(&mut vp, service);
+
+    let n_out = 500usize;
+    let input = random_f32s("equivalence", 0, n_out + 8, -2.0, 2.0);
+    let taps: [f32; 9] = [0.05, 0.09, 0.12, 0.15, 0.18, 0.15, 0.12, 0.09, 0.05];
+
+    let din = cuda.malloc((input.len() * 4) as u64).expect("alloc in");
+    cuda.memcpy_h2d(din, &f32s_to_bytes(&input)).expect("upload in");
+    let dtaps = cuda.malloc(36).expect("alloc taps");
+    cuda.memcpy_h2d(dtaps, &f32s_to_bytes(&taps)).expect("upload taps");
+    let dout = cuda.malloc((n_out * 4) as u64).expect("alloc out");
+    cuda.launch_sync(
+        "convolution_separable",
+        (n_out as u64).div_ceil(128) as u32,
+        128,
+        &[din.param(), dtaps.param(), dout.param(), WireParam::I64(n_out as i64)],
+    )
+    .expect("launch");
+    let mut out = vec![0u8; n_out * 4];
+    cuda.memcpy_d2h(&mut out, dout).expect("download");
+    for buf in [din, dtaps, dout] {
+        cuda.free(buf).expect("free");
+    }
+    out
+}
+
+fn registry() -> KernelRegistry {
+    [kernels::convolution_separable()].into_iter().collect()
+}
+
+#[test]
+fn emulated_and_multiplexed_backends_agree_bit_for_bit() {
+    let mut emulated = EmulatedGpu::on_vp(registry());
+    let out_emulated = run_convolution(&mut emulated);
+
+    let runtime = Arc::new(Mutex::new(HostRuntime::new(GpuArch::quadro_4000(), registry())));
+    let mut multiplexed = MultiplexedGpu::new(VpId(0), runtime, TransportCost::shared_memory());
+    let out_multiplexed = run_convolution(&mut multiplexed);
+
+    assert_eq!(out_emulated, out_multiplexed, "backends diverged");
+    // And both match the host reference.
+    let input = random_f32s("equivalence", 0, 508, -2.0, 2.0);
+    let taps: [f32; 9] = [0.05, 0.09, 0.12, 0.15, 0.18, 0.15, 0.12, 0.09, 0.05];
+    let expected = kernels::convolution_reference(&input, &taps, 500);
+    let got = bytes_to_f32s(&out_multiplexed);
+    for (i, (g, e)) in got.iter().zip(&expected).enumerate() {
+        assert!((g - e).abs() <= e.abs() * 1e-5 + 1e-6, "sample {i}: {g} vs {e}");
+    }
+}
+
+#[test]
+fn host_gpu_architecture_does_not_change_results() {
+    let runtime_q = Arc::new(Mutex::new(HostRuntime::new(GpuArch::quadro_4000(), registry())));
+    let mut q = MultiplexedGpu::new(VpId(0), runtime_q, TransportCost::shared_memory());
+    let out_q = run_convolution(&mut q);
+
+    let runtime_k = Arc::new(Mutex::new(HostRuntime::new(GpuArch::grid_k520(), registry())));
+    let mut k = MultiplexedGpu::new(VpId(0), runtime_k, TransportCost::shared_memory());
+    let out_k = run_convolution(&mut k);
+
+    assert_eq!(out_q, out_k, "results must be architecture-independent");
+}
+
+#[test]
+fn optimizer_does_not_change_results() {
+    // The host may serve SPTX-optimized kernels (constant folding + DCE): the
+    // guest must observe bit-identical outputs.
+    let runtime = Arc::new(Mutex::new(HostRuntime::new(GpuArch::quadro_4000(), registry())));
+    let mut raw = MultiplexedGpu::new(VpId(0), runtime, TransportCost::shared_memory());
+    let out_raw = run_convolution(&mut raw);
+
+    let optimized_registry = registry().optimized();
+    assert!(optimized_registry.contains("convolution_separable"));
+    let runtime =
+        Arc::new(Mutex::new(HostRuntime::new(GpuArch::quadro_4000(), optimized_registry)));
+    let mut opt = MultiplexedGpu::new(VpId(0), runtime, TransportCost::shared_memory());
+    let out_opt = run_convolution(&mut opt);
+
+    assert_eq!(out_raw, out_opt, "optimized kernels diverged");
+}
+
+#[test]
+fn transport_choice_does_not_change_results() {
+    let runtime = Arc::new(Mutex::new(HostRuntime::new(GpuArch::quadro_4000(), registry())));
+    let mut shm = MultiplexedGpu::new(VpId(0), runtime.clone(), TransportCost::shared_memory());
+    let out_shm = run_convolution(&mut shm);
+    let mut sock = MultiplexedGpu::new(VpId(1), runtime, TransportCost::socket());
+    let out_sock = run_convolution(&mut sock);
+    assert_eq!(out_shm, out_sock);
+}

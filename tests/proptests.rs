@@ -1,0 +1,282 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+
+use sigmavp_gpu::alloc::DeviceAllocator;
+use sigmavp_gpu::engine::{simulate, Engine, GpuOp, StreamId};
+use sigmavp_gpu::GpuArch;
+use sigmavp_ipc::codec::{decode_request, decode_response, encode_request, encode_response};
+use sigmavp_ipc::message::{Envelope, Request, Response, ResponseEnvelope, VpId, WireParam};
+use sigmavp_ipc::queue::{preserves_partial_order, Job, JobId, JobKind};
+use sigmavp_sched::coalesce::MemoryLayout;
+use sigmavp_sched::deps::reorder_critical_path;
+use sigmavp_sched::interleave::reorder_async;
+
+// ---------------------------------------------------------------------------
+// IPC codec: every message round-trips bit-exactly.
+// ---------------------------------------------------------------------------
+
+fn arb_wire_param() -> impl Strategy<Value = WireParam> {
+    prop_oneof![
+        any::<u64>().prop_map(WireParam::Buffer),
+        any::<i64>().prop_map(WireParam::I64),
+        // Finite floats only: the codec is exact, but NaN breaks PartialEq.
+        (-1e12f64..1e12).prop_map(WireParam::F64),
+    ]
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        any::<u64>().prop_map(|bytes| Request::Malloc { bytes }),
+        any::<u64>().prop_map(|handle| Request::Free { handle }),
+        (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..256), 0u32..16)
+            .prop_map(|(handle, data, stream)| Request::MemcpyH2D { handle, data, stream }),
+        (any::<u64>(), any::<u64>(), 0u32..16)
+            .prop_map(|(handle, len, stream)| Request::MemcpyD2H { handle, len, stream }),
+        (
+            "[a-z_][a-z0-9_]{0,24}",
+            1u32..4096,
+            1u32..1024,
+            proptest::collection::vec(arb_wire_param(), 0..8),
+            any::<bool>(),
+            0u32..16,
+        )
+            .prop_map(|(kernel, grid_dim, block_dim, params, sync, stream)| Request::Launch {
+                kernel,
+                grid_dim,
+                block_dim,
+                params,
+                sync,
+                stream,
+            }),
+        Just(Request::Synchronize),
+    ]
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        any::<u64>().prop_map(|handle| Response::Malloc { handle }),
+        Just(Response::Done),
+        proptest::collection::vec(any::<u8>(), 0..256).prop_map(|data| Response::Data { data }),
+        (0.0f64..1e6).prop_map(|device_time_s| Response::Launched { device_time_s }),
+        "[ -~]{0,64}".prop_map(|message| Response::Error { message }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn request_codec_roundtrips(vp in any::<u32>(), seq in any::<u64>(), t in 0.0f64..1e9, body in arb_request()) {
+        let env = Envelope { vp: VpId(vp), seq, sent_at_s: t, body };
+        let decoded = decode_request(&encode_request(&env)).expect("roundtrip decodes");
+        prop_assert_eq!(env, decoded);
+    }
+
+    #[test]
+    fn response_codec_roundtrips(vp in any::<u32>(), seq in any::<u64>(), body in arb_response()) {
+        let env = ResponseEnvelope { vp: VpId(vp), seq, sent_at_s: 0.0, body };
+        let decoded = decode_response(&encode_response(&env)).expect("roundtrip decodes");
+        prop_assert_eq!(env, decoded);
+    }
+
+    #[test]
+    fn truncated_requests_never_panic(body in arb_request(), cut in 0usize..64) {
+        let env = Envelope { vp: VpId(0), seq: 0, sent_at_s: 0.0, body };
+        let frame = encode_request(&env);
+        let cut = cut.min(frame.len());
+        // Must error or succeed, never panic.
+        let _ = decode_request(&frame[..cut]);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Re-scheduler: reordering always preserves each VP's partial order and never
+// lengthens the synchronous-serialization bound.
+// ---------------------------------------------------------------------------
+
+fn arb_jobs() -> impl Strategy<Value = Vec<Job>> {
+    proptest::collection::vec((0u32..6, 0usize..3, 1u64..1_000_000), 0..40).prop_map(|specs| {
+        let mut seq_per_vp = std::collections::HashMap::new();
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (vp, kind_sel, dur_us))| {
+                let seq = seq_per_vp.entry(vp).or_insert(0u64);
+                *seq += 1;
+                Job {
+                    id: JobId(i as u64),
+                    vp: VpId(vp),
+                    seq: *seq,
+                    kind: match kind_sel {
+                        0 => JobKind::CopyIn { bytes: dur_us },
+                        1 => JobKind::CopyOut { bytes: dur_us },
+                        _ => JobKind::Kernel {
+                            name: "k".into(),
+                            grid_dim: 1 + (dur_us % 64) as u32,
+                            block_dim: 128,
+                        },
+                    },
+                    sync: false,
+                    enqueued_at_s: 0.0,
+                    expected_duration_s: dur_us as f64 * 1e-6,
+                }
+            })
+            .collect()
+    })
+}
+
+fn jobs_to_ops(jobs: &[Job]) -> Vec<GpuOp> {
+    jobs.iter()
+        .map(|j| GpuOp {
+            id: j.id.0,
+            stream: StreamId(j.vp.0),
+            engine: match j.kind {
+                JobKind::CopyIn { .. } => Engine::CopyH2D,
+                JobKind::CopyOut { .. } => Engine::CopyD2H,
+                JobKind::Kernel { .. } => Engine::Compute,
+            },
+            duration_s: j.expected_duration_s,
+            after: vec![],
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn reorder_preserves_partial_order(jobs in arb_jobs()) {
+        let reordered = reorder_async(jobs.clone());
+        prop_assert!(preserves_partial_order(&jobs, &reordered));
+    }
+
+    #[test]
+    fn reorder_never_exceeds_serial_sum(jobs in arb_jobs()) {
+        let serial: f64 = jobs.iter().map(|j| j.expected_duration_s).sum();
+        let reordered = reorder_async(jobs);
+        let makespan = simulate(&GpuArch::quadro_4000(), &jobs_to_ops(&reordered)).makespan_s;
+        prop_assert!(makespan <= serial + 1e-12);
+    }
+
+    #[test]
+    fn critical_path_scheduler_honours_the_same_contract(jobs in arb_jobs()) {
+        // The alternative (ref [14]-style) scheduler preserves per-VP order and
+        // never exceeds the synchronous-serialization bound either.
+        let reordered = reorder_critical_path(jobs.clone());
+        prop_assert!(preserves_partial_order(&jobs, &reordered));
+        let serial: f64 = jobs.iter().map(|j| j.expected_duration_s).sum();
+        let makespan = simulate(&GpuArch::quadro_4000(), &jobs_to_ops(&reordered)).makespan_s;
+        prop_assert!(makespan <= serial + 1e-12);
+    }
+
+    #[test]
+    fn schedulers_agree_within_a_factor(jobs in arb_jobs()) {
+        // Greedy earliest-start and critical-path list scheduling are different
+        // policies but neither should be drastically worse than the other on
+        // random windows (both are 2-approximations of this relaxed model).
+        if jobs.is_empty() { return Ok(()); }
+        let arch = GpuArch::quadro_4000();
+        let m_greedy = simulate(&arch, &jobs_to_ops(&reorder_async(jobs.clone()))).makespan_s;
+        let m_cp = simulate(&arch, &jobs_to_ops(&reorder_critical_path(jobs))).makespan_s;
+        prop_assert!(m_cp <= m_greedy * 3.0 + 1e-12, "cp {m_cp} vs greedy {m_greedy}");
+        prop_assert!(m_greedy <= m_cp * 3.0 + 1e-12, "greedy {m_greedy} vs cp {m_cp}");
+    }
+
+    #[test]
+    fn reorder_is_idempotent_on_its_own_output(jobs in arb_jobs()) {
+        // Re-running the scheduler on an already-optimized order must not change
+        // the makespan (it may produce a different but equally good order).
+        let arch = GpuArch::quadro_4000();
+        let once = reorder_async(jobs);
+        let m1 = simulate(&arch, &jobs_to_ops(&once)).makespan_s;
+        let twice = reorder_async(once);
+        let m2 = simulate(&arch, &jobs_to_ops(&twice)).makespan_s;
+        prop_assert!((m1 - m2).abs() <= 1e-12 * m1.max(1.0));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Coalescing memory layout: gather/scatter is a partition isomorphism.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn gather_scatter_roundtrips(parts in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 1..8)) {
+        let sizes: Vec<u64> = parts.iter().map(|p| p.len() as u64).collect();
+        let layout = MemoryLayout::contiguous(&sizes, 128);
+        let slices: Vec<&[u8]> = parts.iter().map(Vec::as_slice).collect();
+        let merged = layout.gather(&slices);
+        let back = layout.scatter(&merged);
+        prop_assert_eq!(parts, back);
+    }
+
+    #[test]
+    fn layout_offsets_never_overlap(sizes in proptest::collection::vec(1u64..10_000, 1..16)) {
+        let layout = MemoryLayout::contiguous(&sizes, 128);
+        for i in 1..sizes.len() {
+            prop_assert!(layout.offset(i) >= layout.offset(i - 1) + layout.len_of(i - 1));
+            prop_assert_eq!(layout.offset(i) % 128, 0);
+        }
+        prop_assert!(layout.total_len() >= sizes.iter().sum::<u64>());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Device allocator: free bytes are conserved, live allocations never overlap.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn allocator_conserves_and_separates(ops in proptest::collection::vec((any::<bool>(), 1u64..4096), 1..64)) {
+        let capacity = 1 << 20;
+        let mut alloc = DeviceAllocator::new(capacity);
+        let mut live = Vec::new();
+        for (do_alloc, len) in ops {
+            if do_alloc || live.is_empty() {
+                if let Ok(buf) = alloc.alloc(len) {
+                    live.push(buf);
+                }
+            } else {
+                let buf = live.swap_remove(live.len() / 2);
+                alloc.free(buf).expect("live buffer frees");
+            }
+            // Conservation: used + free == capacity.
+            prop_assert_eq!(alloc.used_bytes() + alloc.free_bytes(), capacity);
+            // Separation: live buffers never overlap.
+            let mut ranges: Vec<(u64, u64)> = live.iter().map(|b| (b.addr(), b.addr() + b.len())).collect();
+            ranges.sort_unstable();
+            for w in ranges.windows(2) {
+                prop_assert!(w[0].1 <= w[1].0, "overlap: {:?}", w);
+            }
+        }
+        // Draining everything restores full capacity.
+        for buf in live {
+            alloc.free(buf).expect("drain");
+        }
+        prop_assert_eq!(alloc.free_bytes(), capacity);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine timeline: makespan bounds.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn makespan_is_bounded_by_sum_and_critical_path(jobs in arb_jobs()) {
+        let arch = GpuArch::quadro_4000();
+        let ops = jobs_to_ops(&jobs);
+        let tl = simulate(&arch, &ops);
+        let sum: f64 = jobs.iter().map(|j| j.expected_duration_s).sum();
+        prop_assert!(tl.makespan_s <= sum + 1e-12);
+        // Lower bound: the busiest engine's total work.
+        for engine in [Engine::CopyH2D, Engine::CopyD2H, Engine::Compute] {
+            prop_assert!(tl.makespan_s + 1e-12 >= tl.busy_s(engine));
+        }
+        // Per-stream ordering: spans of one stream never overlap.
+        for a in &tl.spans {
+            for b in &tl.spans {
+                if a.id < b.id && a.stream == b.stream {
+                    prop_assert!(a.end_s <= b.start_s + 1e-12 || b.end_s <= a.start_s + 1e-12);
+                }
+            }
+        }
+    }
+}
