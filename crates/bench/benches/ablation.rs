@@ -8,12 +8,12 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use sigmavp::scenario::{run_scenario_with, GpuMode};
 use sigmavp_gpu::engine::{simulate, Engine, GpuOp, StreamId};
+use sigmavp_gpu::GpuArch;
 use sigmavp_ipc::message::VpId;
 use sigmavp_ipc::queue::{Job, JobId, JobKind};
+use sigmavp_ipc::transport::TransportCost;
 use sigmavp_sched::deps::reorder_critical_path;
 use sigmavp_sched::interleave::reorder_async;
-use sigmavp_gpu::GpuArch;
-use sigmavp_ipc::transport::TransportCost;
 use sigmavp_workloads::app::Application;
 use sigmavp_workloads::apps::MergeSortApp;
 
@@ -100,8 +100,13 @@ fn bench_ablation(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("plain", |b| {
         b.iter(|| {
-            run_scenario_with(&apps, GpuMode::Multiplexed, arch.clone(), TransportCost::shared_memory())
-                .expect("scenario")
+            run_scenario_with(
+                &apps,
+                GpuMode::Multiplexed,
+                arch.clone(),
+                TransportCost::shared_memory(),
+            )
+            .expect("scenario")
         })
     });
     g.bench_function("optimized", |b| {

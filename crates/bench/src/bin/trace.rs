@@ -1,15 +1,32 @@
-//! Export a Chrome trace (chrome://tracing / Perfetto) of a multi-VP device
-//! timeline, with and without the ΣVP optimizations.
+//! Export one unified Chrome trace (chrome://tracing / Perfetto) of a
+//! multi-VP ΣVP run, plus a metrics snapshot.
 //!
 //! ```text
 //! cargo run --release -p sigmavp-bench --bin trace > timeline.json
 //! ```
+//!
+//! The JSON on stdout holds two process groups:
+//!
+//! * **runtime (wall clock)** — a *live* dispatcher run (fig11-style fleet of
+//!   VP threads over real transports): one lane per VP, the dispatcher's
+//!   per-job execution spans, and the job queue's depth as a counter track;
+//! * **device (simulated time)** — the interleaved device timeline replayed
+//!   through the engine model: copy-engine and compute-engine lanes plus a
+//!   per-VP stream mirror.
+//!
+//! The metrics snapshot (queue-wait percentiles, engine overlap, coalescing
+//! and profiler counters) goes to stderr as a summary table and JSON.
 
-use sigmavp_gpu::engine::{simulate, GpuOp, StreamId, Engine};
+use sigmavp::dispatcher::DispatchedSigmaVp;
+use sigmavp_gpu::engine::{simulate, Engine, GpuOp, StreamId};
 use sigmavp_gpu::GpuArch;
 use sigmavp_ipc::message::VpId;
 use sigmavp_ipc::queue::{Job, JobId, JobKind};
+use sigmavp_ipc::transport::TransportCost;
 use sigmavp_sched::interleave::reorder_async;
+use sigmavp_vp::registry::KernelRegistry;
+use sigmavp_workloads::app::Application;
+use sigmavp_workloads::apps::VectorAddApp;
 
 fn jobs(n: u32) -> Vec<Job> {
     let mut out = Vec::new();
@@ -55,13 +72,49 @@ fn to_ops(jobs: &[Job]) -> Vec<GpuOp> {
 }
 
 fn main() {
+    let telemetry = sigmavp_telemetry::install();
+
+    // Part 1: live wall-clock run — a 4-VP fleet over real transports with the
+    // full dispatcher loop. Every layer (queue, dispatcher, VP threads,
+    // interpreter) reports into the installed collector.
+    let app = VectorAddApp { n: 4096 };
+    let registry: KernelRegistry = app.kernels().into_iter().collect();
+    let mut sys =
+        DispatchedSigmaVp::new(GpuArch::quadro_4000(), registry, TransportCost::shared_memory());
+    for _ in 0..4 {
+        sys.spawn(Box::new(VectorAddApp { n: 4096 }));
+    }
+    let (report, stats) = sys.join();
+    assert!(report.all_ok(), "fleet must validate: {:?}", report.outcomes);
+
+    // Part 2: simulated device timeline — the interleaved schedule replayed on
+    // the engine model, mirrored onto per-VP stream lanes.
     let arch = GpuArch::quadro_4000();
     let reordered = reorder_async(jobs(6));
     let timeline = simulate(&arch, &to_ops(&reordered));
+    timeline.record_metrics();
+
+    // One unified trace: wall-clock events drained from the collector plus the
+    // simulated-time device events.
+    let mut events = telemetry.drain_events();
+    events.extend(timeline.trace_events_with_streams());
+    println!("{}", sigmavp_telemetry::export::chrome_trace_json(&events));
+
+    let snapshot = telemetry.snapshot();
     eprintln!(
-        "interleaved 6-VP timeline: makespan {:.2}, compute utilization {:.0}%",
+        "live fleet: {} requests, max window {}; device replay: makespan {:.2}s, \
+         compute utilization {:.0}%, overlap {:.0}%",
+        stats.requests,
+        stats.max_window,
         timeline.makespan_s,
-        timeline.utilization(Engine::Compute) * 100.0
+        timeline.utilization(Engine::Compute) * 100.0,
+        timeline.overlap_fraction() * 100.0
     );
-    println!("{}", timeline.to_chrome_trace());
+    eprintln!();
+    eprint!("{}", sigmavp_telemetry::export::summary_table(&snapshot));
+    eprintln!();
+    eprint!("{}", sigmavp_telemetry::export::metrics_json(&snapshot));
+    if telemetry.dropped_events() > 0 {
+        eprintln!("warning: {} trace events dropped (ring full)", telemetry.dropped_events());
+    }
 }

@@ -175,7 +175,11 @@ fn launch_staircase_kernel(arch: &GpuArch, grid: u32) -> f64 {
         .launch(
             &program,
             &LaunchConfig::linear(grid, BLOCK),
-            &[ParamValue::Ptr(dout.addr()), ParamValue::I64(threads as i64), ParamValue::I64(FIG10B_PATHS)],
+            &[
+                ParamValue::Ptr(dout.addr()),
+                ParamValue::I64(threads as i64),
+                ParamValue::I64(FIG10B_PATHS),
+            ],
         )
         .expect("staircase launch");
     run.cost.time_s
@@ -222,7 +226,12 @@ pub fn print_fig10b(points: &[StaircasePoint]) {
     println!("Fig. 10b: kernel time vs grid size (block = {BLOCK} threads)");
     println!("{:>5} {:>12} {:>12}", "grid", "measured", "expected");
     for p in points {
-        println!("{:>5} {:>12} {:>12}", p.grid, crate::fmt_time(p.time_s), crate::fmt_time(p.expected_s));
+        println!(
+            "{:>5} {:>12} {:>12}",
+            p.grid,
+            crate::fmt_time(p.time_s),
+            crate::fmt_time(p.expected_s)
+        );
     }
     println!();
 }

@@ -105,12 +105,12 @@ pub fn print(records: &[NormalizedRecord]) {
             r.app, r.host_gpu, n[0], n[1], n[2], n[3], n[4]
         );
     }
-    let worst_c3 = records
-        .iter()
-        .map(|r| r.model_errors()[2])
-        .fold(0.0f64, f64::max);
+    let worst_c3 = records.iter().map(|r| r.model_errors()[2]).fold(0.0f64, f64::max);
     println!();
-    println!("worst C'' error: {:.1}% (paper: estimates close to 1 on both hosts)", worst_c3 * 100.0);
+    println!(
+        "worst C'' error: {:.1}% (paper: estimates close to 1 on both hosts)",
+        worst_c3 * 100.0
+    );
 }
 
 #[cfg(test)]
@@ -123,13 +123,7 @@ mod tests {
             for app in estimation_apps() {
                 let r = estimate_app(app.as_ref(), &host);
                 let e = r.model_errors();
-                assert!(
-                    e[2] < 0.40,
-                    "{} on {}: C'' error {:.2}",
-                    r.app,
-                    r.host_gpu,
-                    e[2]
-                );
+                assert!(e[2] < 0.40, "{} on {}: C'' error {:.2}", r.app, r.host_gpu, e[2]);
                 // Host execution is much faster than the target (paper: "execution
                 // times observed on the host GPU are much shorter").
                 assert!(r.host_s < r.target_s * 0.7, "{} host not faster", r.app);

@@ -138,7 +138,8 @@ mod tests {
     fn fig9a_peaks_near_tm() {
         let arch = GpuArch::quadro_4000();
         let pts = fig9a(&arch);
-        let peak = pts.iter().cloned().fold(pts[0], |a, b| if b.measured > a.measured { b } else { a });
+        let peak =
+            pts.iter().cloned().fold(pts[0], |a, b| if b.measured > a.measured { b } else { a });
         // The paper: highest speedup when kernel time ≈ memcpy time.
         assert!(
             (peak.kernel_ms - TM_MS).abs() < 8.0,
@@ -160,8 +161,18 @@ mod tests {
             // "quite close to the expected values" — never below Eq. 7's bound,
             // and at most ~35% above it (the duplex copy channels let the real
             // schedule overlap the drain that Eq. 7 counts serially).
-            assert!(p.measured >= p.expected - 1e-9, "measured {} < expected {}", p.measured, p.expected);
-            assert!(p.measured <= p.expected * 1.35 + 0.05, "measured {} >> expected {}", p.measured, p.expected);
+            assert!(
+                p.measured >= p.expected - 1e-9,
+                "measured {} < expected {}",
+                p.measured,
+                p.expected
+            );
+            assert!(
+                p.measured <= p.expected * 1.35 + 0.05,
+                "measured {} >> expected {}",
+                p.measured,
+                p.expected
+            );
         }
     }
 
@@ -171,7 +182,13 @@ mod tests {
         let pts = fig9b(&arch);
         for p in &pts {
             let bound = 3.0 * p.n_programs as f64 / (p.n_programs as f64 + 2.0);
-            assert!((p.measured - bound).abs() < 0.05, "N={}: {} vs {}", p.n_programs, p.measured, bound);
+            assert!(
+                (p.measured - bound).abs() < 0.05,
+                "N={}: {} vs {}",
+                p.n_programs,
+                p.measured,
+                bound
+            );
         }
         assert!(pts.last().unwrap().measured > 2.7, "large-N speedup should near 3x");
         // Monotone in N.

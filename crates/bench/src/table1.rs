@@ -23,7 +23,9 @@ pub fn run() -> Table1 {
 
 /// Print the table in the paper's format.
 pub fn print(t: &Table1) {
-    println!("Table 1: execution time of matrix multiplication ({MATRIX_N}x{MATRIX_N} f64, x{REPS})");
+    println!(
+        "Table 1: execution time of matrix multiplication ({MATRIX_N}x{MATRIX_N} f64, x{REPS})"
+    );
     println!("{:<22} {:<14} {:>12} {:>9}", "Language/Path", "Executed by", "Time", "Ratio");
     println!("{}", "-".repeat(60));
     for (row, ratio) in t.rows.iter().zip(t.ratios()) {

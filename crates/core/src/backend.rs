@@ -16,6 +16,7 @@ use sigmavp_ipc::codec;
 use sigmavp_ipc::message::{Envelope, Request, Response, VpId, WireParam};
 use sigmavp_ipc::transport::TransportCost;
 use sigmavp_vp::error::VpError;
+use sigmavp_vp::platform::SimClock;
 use sigmavp_vp::service::GpuService;
 
 use crate::host::HostRuntime;
@@ -39,13 +40,30 @@ pub struct MultiplexedGpu {
     cost: TransportCost,
     seq: u64,
     ipc: IpcStats,
+    clock: SimClock,
 }
 
 impl MultiplexedGpu {
     /// Connect VP `vp` to a shared host runtime over a transport with the given
-    /// cost model.
+    /// cost model. Requests are stamped from a zeroed clock until
+    /// [`with_clock`](MultiplexedGpu::with_clock) attaches the VP's.
     pub fn new(vp: VpId, runtime: Arc<Mutex<HostRuntime>>, cost: TransportCost) -> Self {
-        MultiplexedGpu { vp, runtime, cost, seq: 0, ipc: IpcStats::default() }
+        MultiplexedGpu {
+            vp,
+            runtime,
+            cost,
+            seq: 0,
+            ipc: IpcStats::default(),
+            clock: SimClock::new(),
+        }
+    }
+
+    /// Stamp outgoing requests' `sent_at_s` from the given simulated clock
+    /// (normally the owning [`VirtualPlatform`](sigmavp_vp::VirtualPlatform)'s
+    /// [`clock_handle`](sigmavp_vp::VirtualPlatform::clock_handle)).
+    pub fn with_clock(mut self, clock: SimClock) -> Self {
+        self.clock = clock;
+        self
     }
 
     /// IPC accounting for this VP so far.
@@ -56,7 +74,7 @@ impl MultiplexedGpu {
     /// Perform one request/response round trip. Returns the response body and the
     /// transport delay (device time is carried inside the response).
     fn round_trip(&mut self, body: Request) -> Result<(Response, f64), VpError> {
-        let envelope = Envelope { vp: self.vp, seq: self.seq, sent_at_s: 0.0, body };
+        let envelope = Envelope { vp: self.vp, seq: self.seq, sent_at_s: self.clock.now_s(), body };
         self.seq += 1;
 
         let frame = codec::encode_request(&envelope);

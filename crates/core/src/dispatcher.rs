@@ -22,6 +22,7 @@
 
 use std::collections::HashMap;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use sigmavp_gpu::GpuArch;
 use sigmavp_ipc::codec;
@@ -30,8 +31,9 @@ use sigmavp_ipc::queue::{Job, JobKind, JobQueue};
 use sigmavp_ipc::transport::{pair, ChannelTransport, Transport, TransportCost};
 use sigmavp_ipc::IpcError;
 use sigmavp_sched::interleave::reorder_async;
+use sigmavp_telemetry::{Lane, TimeDomain};
 use sigmavp_vp::error::VpError;
-use sigmavp_vp::platform::VirtualPlatform;
+use sigmavp_vp::platform::{SimClock, VirtualPlatform};
 use sigmavp_vp::registry::KernelRegistry;
 use sigmavp_vp::service::GpuService;
 use sigmavp_workloads::app::{AppEnv, Application};
@@ -44,12 +46,19 @@ struct RemoteGpu {
     vp: VpId,
     transport: ChannelTransport,
     seq: u64,
+    /// Shared view of the owning VP's simulated clock; stamps every request's
+    /// `sent_at_s` so the host can measure guest-observed queueing delay.
+    clock: SimClock,
 }
 
 impl RemoteGpu {
     fn round_trip(&mut self, body: Request) -> Result<(Response, f64), VpError> {
-        let envelope =
-            sigmavp_ipc::message::Envelope { vp: self.vp, seq: self.seq, sent_at_s: 0.0, body };
+        let envelope = sigmavp_ipc::message::Envelope {
+            vp: self.vp,
+            seq: self.seq,
+            sent_at_s: self.clock.now_s(),
+            body,
+        };
         self.seq += 1;
         let frame = codec::encode_request(&envelope);
         let out_delay = self.transport.send(frame).map_err(|_| VpError::Disconnected)?;
@@ -189,11 +198,22 @@ impl DispatchedSigmaVp {
             host_ends.push((vp, host_end));
             handles.push(std::thread::spawn(move || {
                 let mut platform = VirtualPlatform::new(vp);
-                let mut service = RemoteGpu { vp, transport: vp_end, seq: 0 };
+                let mut service =
+                    RemoteGpu { vp, transport: vp_end, seq: 0, clock: platform.clock_handle() };
+                let recorder = sigmavp_telemetry::recorder();
+                let started_wall_s = recorder.wall_now_s();
+                let started = Instant::now();
                 let result = {
                     let mut env = AppEnv::new(&mut platform, &mut service);
                     app.run_once(&mut env)
                 };
+                recorder.span(
+                    TimeDomain::Wall,
+                    Lane::Vp(vp.0),
+                    app.name().to_string(),
+                    started_wall_s,
+                    started.elapsed().as_secs_f64(),
+                );
                 VpOutcome {
                     vp,
                     app: app.name().to_string(),
@@ -218,6 +238,15 @@ impl DispatchedSigmaVp {
     }
 }
 
+/// Trace-span name for a dispatched job.
+fn dispatch_span_name(job: &Job) -> String {
+    match &job.kind {
+        JobKind::CopyIn { bytes } => format!("h2d {bytes}B (VP {})", job.vp.0),
+        JobKind::CopyOut { bytes } => format!("d2h {bytes}B (VP {})", job.vp.0),
+        JobKind::Kernel { name, .. } => format!("{name} (VP {})", job.vp.0),
+    }
+}
+
 /// The host-side dispatcher loop.
 fn run_dispatcher(
     arch: GpuArch,
@@ -227,10 +256,12 @@ fn run_dispatcher(
     let mut runtime = HostRuntime::new(arch, registry);
     let queue = JobQueue::new();
     let mut stats = DispatchStats::default();
+    let recorder = sigmavp_telemetry::recorder();
     // The profiler feedback loop: last observed duration per kernel name.
     let mut expected_kernel_s: HashMap<String, f64> = HashMap::new();
-    // Envelopes waiting for execution, keyed by job id.
-    let mut waiting: HashMap<u64, sigmavp_ipc::message::Envelope> = HashMap::new();
+    // Envelopes waiting for execution, keyed by job id, with the wall-clock
+    // instant the request arrived at the dispatcher.
+    let mut waiting: HashMap<u64, (sigmavp_ipc::message::Envelope, Instant)> = HashMap::new();
 
     loop {
         // 1. Gather: poll every endpoint once; enqueue decoded requests.
@@ -242,9 +273,7 @@ fn run_dispatcher(
                 debug_assert_eq!(envelope.vp, *vp);
                 let id = queue.next_id();
                 let kind = match &envelope.body {
-                    Request::MemcpyH2D { data, .. } => {
-                        JobKind::CopyIn { bytes: data.len() as u64 }
-                    }
+                    Request::MemcpyH2D { data, .. } => JobKind::CopyIn { bytes: data.len() as u64 },
                     Request::MemcpyD2H { len, .. } => JobKind::CopyOut { bytes: *len },
                     Request::Launch { kernel, grid_dim, block_dim, .. } => JobKind::Kernel {
                         name: kernel.clone(),
@@ -260,7 +289,16 @@ fn run_dispatcher(
                         runtime.device().arch().copy_time_s(*bytes)
                     }
                     JobKind::Kernel { name, .. } => {
-                        expected_kernel_s.get(name).copied().unwrap_or(0.0)
+                        // The profiler feedback loop, observed: a hit means a
+                        // previous launch of this kernel already taught the
+                        // re-scheduler its expected duration.
+                        if let Some(t) = expected_kernel_s.get(name) {
+                            recorder.count("profiler.feedback.hits", 1);
+                            *t
+                        } else {
+                            recorder.count("profiler.feedback.misses", 1);
+                            0.0
+                        }
                     }
                 };
                 queue.push(Job {
@@ -269,10 +307,10 @@ fn run_dispatcher(
                     seq: envelope.seq,
                     kind,
                     sync: true,
-                    enqueued_at_s: 0.0,
+                    enqueued_at_s: envelope.sent_at_s,
                     expected_duration_s: expected,
                 });
-                waiting.insert(id.0, envelope);
+                waiting.insert(id.0, (envelope, Instant::now()));
                 true
             }
             Ok(None) => true,
@@ -285,11 +323,32 @@ fn run_dispatcher(
         let window = queue.drain_all();
         if window.len() > 1 {
             stats.multi_job_windows += 1;
+            recorder.count("dispatch.multi_job_windows", 1);
+        }
+        if !window.is_empty() {
+            recorder.count("dispatch.windows", 1);
+            recorder.observe_s("dispatch.window_jobs", window.len() as f64);
         }
         stats.max_window = stats.max_window.max(window.len());
         for job in reorder_async(window) {
-            let envelope = waiting.remove(&job.id.0).expect("every job has an envelope");
+            let (envelope, arrived) = waiting.remove(&job.id.0).expect("every job has an envelope");
+            let exec_started_wall_s = recorder.wall_now_s();
+            let exec_started = Instant::now();
             let response: ResponseEnvelope = runtime.process(&envelope);
+            if recorder.enabled() {
+                recorder.span(
+                    TimeDomain::Wall,
+                    Lane::Dispatcher,
+                    dispatch_span_name(&job),
+                    exec_started_wall_s,
+                    exec_started.elapsed().as_secs_f64(),
+                );
+                // Per-VP request latency: dispatcher arrival to response ready.
+                recorder.observe_s(
+                    &format!("dispatch.vp{}.latency_s", envelope.vp.0),
+                    arrived.elapsed().as_secs_f64(),
+                );
+            }
             // Feed the profiler observation back into the expected-time table.
             if let Some(JobRecord { kind: RecordKind::Kernel { name, .. }, duration_s, .. }) =
                 runtime.records().last()
@@ -324,8 +383,11 @@ mod tests {
     fn dispatched_fleet_validates_end_to_end() {
         let app = VectorAddApp { n: 2048 };
         let registry: KernelRegistry = app.kernels().into_iter().collect();
-        let mut sys =
-            DispatchedSigmaVp::new(GpuArch::quadro_4000(), registry, TransportCost::shared_memory());
+        let mut sys = DispatchedSigmaVp::new(
+            GpuArch::quadro_4000(),
+            registry,
+            TransportCost::shared_memory(),
+        );
         for _ in 0..4 {
             sys.spawn(Box::new(VectorAddApp { n: 2048 }));
         }
@@ -343,10 +405,17 @@ mod tests {
         // being reordered without panics and everything still validating.
         let app = BlackScholesApp { n: 1024, iterations: 4, ..BlackScholesApp::new(1) };
         let registry: KernelRegistry = app.kernels().into_iter().collect();
-        let mut sys =
-            DispatchedSigmaVp::new(GpuArch::quadro_4000(), registry, TransportCost::shared_memory());
+        let mut sys = DispatchedSigmaVp::new(
+            GpuArch::quadro_4000(),
+            registry,
+            TransportCost::shared_memory(),
+        );
         for _ in 0..4 {
-            sys.spawn(Box::new(BlackScholesApp { n: 1024, iterations: 4, ..BlackScholesApp::new(1) }));
+            sys.spawn(Box::new(BlackScholesApp {
+                n: 1024,
+                iterations: 4,
+                ..BlackScholesApp::new(1)
+            }));
         }
         let (report, stats) = sys.join();
         assert!(report.all_ok(), "{:?}", report.outcomes);

@@ -62,6 +62,10 @@ pub struct JobRecord {
     pub kind: RecordKind,
     /// Device time the job took, in simulated seconds.
     pub duration_s: f64,
+    /// The guest's simulated clock when it sent the request (from
+    /// [`Envelope::sent_at_s`](sigmavp_ipc::message::Envelope::sent_at_s)) —
+    /// lets the host reconstruct guest-observed queueing delay.
+    pub sent_at_s: f64,
 }
 
 /// The host-side runtime: device, kernel registry, handle table and job log.
@@ -132,6 +136,7 @@ impl HostRuntime {
                 self.records.push(JobRecord {
                     vp: envelope.vp,
                     seq: envelope.seq,
+                    sent_at_s: envelope.sent_at_s,
                     kind: RecordKind::H2d { bytes: data.len() as u64, stream: *stream },
                     duration_s: t,
                 });
@@ -147,6 +152,7 @@ impl HostRuntime {
                 self.records.push(JobRecord {
                     vp: envelope.vp,
                     seq: envelope.seq,
+                    sent_at_s: envelope.sent_at_s,
                     kind: RecordKind::D2h { bytes: *len, stream: *stream },
                     duration_s: t,
                 });
@@ -156,10 +162,12 @@ impl HostRuntime {
                 let program = self.registry.get(kernel).map_err(|e| e.to_string())?;
                 let resolved = self.resolve(params)?;
                 let cfg = LaunchConfig::linear(*grid_dim, *block_dim);
-                let run = self.device.launch(&program, &cfg, &resolved).map_err(|e| e.to_string())?;
+                let run =
+                    self.device.launch(&program, &cfg, &resolved).map_err(|e| e.to_string())?;
                 self.records.push(JobRecord {
                     vp: envelope.vp,
                     seq: envelope.seq,
+                    sent_at_s: envelope.sent_at_s,
                     kind: RecordKind::Kernel {
                         name: kernel.clone(),
                         grid_dim: *grid_dim,
@@ -230,7 +238,9 @@ mod tests {
                 stream: 0,
             },
         ));
-        let Response::Launched { device_time_s } = r.body else { panic!("expected launch response") };
+        let Response::Launched { device_time_s } = r.body else {
+            panic!("expected launch response")
+        };
         assert!(device_time_s > 0.0);
 
         let r = rt.process(&env(3, Request::MemcpyD2H { handle, len: 64 * 4, stream: 0 }));
@@ -252,7 +262,14 @@ mod tests {
         assert!(matches!(r.body, Response::Error { .. }));
         let r = rt.process(&env(
             1,
-            Request::Launch { kernel: "nope".into(), grid_dim: 1, block_dim: 1, params: vec![], sync: true, stream: 0 },
+            Request::Launch {
+                kernel: "nope".into(),
+                grid_dim: 1,
+                block_dim: 1,
+                params: vec![],
+                sync: true,
+                stream: 0,
+            },
         ));
         assert!(matches!(r.body, Response::Error { .. }));
     }
@@ -260,11 +277,13 @@ mod tests {
     #[test]
     fn handles_are_per_runtime_and_stable() {
         let mut rt = runtime();
-        let Response::Malloc { handle: h1 } = rt.process(&env(0, Request::Malloc { bytes: 128 })).body
+        let Response::Malloc { handle: h1 } =
+            rt.process(&env(0, Request::Malloc { bytes: 128 })).body
         else {
             panic!()
         };
-        let Response::Malloc { handle: h2 } = rt.process(&env(1, Request::Malloc { bytes: 128 })).body
+        let Response::Malloc { handle: h2 } =
+            rt.process(&env(1, Request::Malloc { bytes: 128 })).body
         else {
             panic!()
         };
@@ -274,7 +293,8 @@ mod tests {
     #[test]
     fn d2h_size_mismatch_is_rejected() {
         let mut rt = runtime();
-        let Response::Malloc { handle } = rt.process(&env(0, Request::Malloc { bytes: 64 })).body else {
+        let Response::Malloc { handle } = rt.process(&env(0, Request::Malloc { bytes: 64 })).body
+        else {
             panic!()
         };
         let r = rt.process(&env(1, Request::MemcpyD2H { handle, len: 128, stream: 0 }));

@@ -131,8 +131,12 @@ pub fn run_scenario_multi_gpu(
     // device timelines are independent hardware.
     let mut reports = Vec::with_capacity(archs.len());
     for (d, arch) in archs.iter().enumerate() {
-        let subset: Vec<&dyn Application> =
-            apps.iter().enumerate().filter(|(i, _)| i % archs.len() == d).map(|(_, a)| *a).collect();
+        let subset: Vec<&dyn Application> = apps
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % archs.len() == d)
+            .map(|(_, a)| *a)
+            .collect();
         if subset.is_empty() {
             continue;
         }
@@ -152,10 +156,7 @@ pub fn run_scenario_multi_gpu(
         gpu_jobs: reports.iter().map(|r| r.gpu_jobs).sum(),
         coalesced_groups: reports.iter().map(|r| r.coalesced_groups).sum(),
         coalesced_members: reports.iter().map(|r| r.coalesced_members).sum(),
-        compute_utilization: reports
-            .iter()
-            .map(|r| r.compute_utilization)
-            .fold(0.0, f64::max),
+        compute_utilization: reports.iter().map(|r| r.compute_utilization).fold(0.0, f64::max),
     })
 }
 
@@ -295,7 +296,7 @@ fn records_to_jobs(records: &[JobRecord]) -> Vec<Job> {
                 },
             },
             sync: true,
-            enqueued_at_s: 0.0,
+            enqueued_at_s: r.sent_at_s,
             expected_duration_s: r.duration_s,
         })
         .collect()

@@ -64,7 +64,10 @@ pub struct TurnGate {
 impl TurnGate {
     /// A gate rotating over `order`.
     pub fn new(order: Vec<VpId>) -> Self {
-        TurnGate { state: Mutex::new(GateState { order, next: 0, finished: HashSet::new() }), cv: Condvar::new() }
+        TurnGate {
+            state: Mutex::new(GateState { order, next: 0, finished: HashSet::new() }),
+            cv: Condvar::new(),
+        }
     }
 
     fn is_turn(state: &GateState, vp: VpId) -> bool {
@@ -86,9 +89,16 @@ impl TurnGate {
 
     /// Block until it is `vp`'s turn.
     pub fn enter(&self, vp: VpId) {
+        let started = std::time::Instant::now();
         let mut s = self.state.lock();
         while !Self::is_turn(&s, vp) {
             self.cv.wait(&mut s);
+        }
+        drop(s);
+        let r = sigmavp_telemetry::recorder();
+        if r.enabled() {
+            r.count("gate.turns", 1);
+            r.observe_s("gate.wait_s", started.elapsed().as_secs_f64());
         }
     }
 
@@ -120,7 +130,10 @@ struct GatedGpu {
 }
 
 impl GatedGpu {
-    fn guarded<T>(&mut self, f: impl FnOnce(&mut MultiplexedGpu) -> Result<T, VpError>) -> Result<T, VpError> {
+    fn guarded<T>(
+        &mut self,
+        f: impl FnOnce(&mut MultiplexedGpu) -> Result<T, VpError>,
+    ) -> Result<T, VpError> {
         if let Some(gate) = self.gate.clone() {
             gate.enter(self.vp);
             let result = f(&mut self.inner);
@@ -256,7 +269,8 @@ impl ThreadedSigmaVp {
                     let mut platform = VirtualPlatform::new(vp);
                     let mut service = GatedGpu {
                         vp,
-                        inner: MultiplexedGpu::new(vp, runtime, cost),
+                        inner: MultiplexedGpu::new(vp, runtime, cost)
+                            .with_clock(platform.clock_handle()),
                         gate: gate.clone(),
                     };
                     let result = {

@@ -69,7 +69,8 @@ pub fn estimate_timing(
     // and both devices' wave quanta, so it scales ideal cycles to full waves and
     // strips the host's padding out of the transplanted stall gap (otherwise host
     // grid misalignment would masquerade as data stalls on the target).
-    let host_pad = host_arch.padding_scale(host_profile.launch.grid_dim, host_profile.launch.block_dim);
+    let host_pad =
+        host_arch.padding_scale(host_profile.launch.grid_dim, host_profile.launch.block_dim);
     let target_pad =
         target_arch.padding_scale(host_profile.launch.grid_dim, host_profile.launch.block_dim);
     let cp_target = target_arch.latency.dot(&sigma_target) * target_pad;
@@ -93,6 +94,11 @@ pub fn estimate_timing(
     let et3_s = c3_cycles / (target_arch.total_cores() as f64 * target_arch.clock_hz())
         + target_arch.launch_overhead_us * 1e-6;
 
+    let r = sigmavp_telemetry::recorder();
+    if r.enabled() {
+        r.count("estimate.timing_runs", 1);
+        r.observe_s("estimate.et3_s", et3_s);
+    }
     TimingEstimates { sigma_target, c1_cycles, c2_cycles, c3_cycles, et1_s, et2_s, et3_s }
 }
 
@@ -159,7 +165,8 @@ exit:
     fn estimates_bracket_the_measured_target_time() {
         let (program, profile, host) = run_on_host(GpuArch::quadro_4000());
         let target = GpuArch::tegra_k1();
-        let est = estimate_timing(&program, &profile, &host, &target, &TargetCompilation::tegra_k1());
+        let est =
+            estimate_timing(&program, &profile, &host, &target, &TargetCompilation::tegra_k1());
         let measured = measured_on_target(&program, &target);
 
         // The refined model must land within 35% of the measured value; the crude
@@ -173,7 +180,8 @@ exit:
     fn refinement_improves_or_matches_accuracy() {
         let (program, profile, host) = run_on_host(GpuArch::quadro_4000());
         let target = GpuArch::tegra_k1();
-        let est = estimate_timing(&program, &profile, &host, &target, &TargetCompilation::tegra_k1());
+        let est =
+            estimate_timing(&program, &profile, &host, &target, &TargetCompilation::tegra_k1());
         let measured = measured_on_target(&program, &target);
         let e1 = (est.et1_s - measured).abs() / measured;
         let e3 = (est.et3_s - measured).abs() / measured;
@@ -190,8 +198,8 @@ exit:
         let (_, p_grid, grid) = run_on_host(GpuArch::grid_k520());
         let from_quadro = estimate_timing(&program, &p_quadro, &quadro, &target, &tc);
         let from_grid = estimate_timing(&program, &p_grid, &grid, &target, &tc);
-        let spread = (from_quadro.et3_s - from_grid.et3_s).abs()
-            / from_quadro.et3_s.max(from_grid.et3_s);
+        let spread =
+            (from_quadro.et3_s - from_grid.et3_s).abs() / from_quadro.et3_s.max(from_grid.et3_s);
         assert!(spread < 0.3, "host-GPU spread {spread:.2}");
     }
 
@@ -199,7 +207,8 @@ exit:
     fn target_estimates_exceed_host_time() {
         let (program, profile, host) = run_on_host(GpuArch::quadro_4000());
         let target = GpuArch::tegra_k1();
-        let est = estimate_timing(&program, &profile, &host, &target, &TargetCompilation::tegra_k1());
+        let est =
+            estimate_timing(&program, &profile, &host, &target, &TargetCompilation::tegra_k1());
         assert!(est.et3_s > profile.time_s, "target should be slower than host");
     }
 
@@ -207,7 +216,8 @@ exit:
     fn c3_never_drops_below_ideal_target_cycles() {
         let (program, profile, host) = run_on_host(GpuArch::grid_k520());
         let target = GpuArch::tegra_k1();
-        let est = estimate_timing(&program, &profile, &host, &target, &TargetCompilation::tegra_k1());
+        let est =
+            estimate_timing(&program, &profile, &host, &target, &TargetCompilation::tegra_k1());
         let cp_target = target.latency.dot(&est.sigma_target);
         assert!(est.c3_cycles >= cp_target - 1e-6);
     }

@@ -121,14 +121,13 @@ impl DeviceAllocator {
     /// Returns [`GpuError::InvalidBuffer`] for a handle that is not live (double
     /// free or foreign handle).
     pub fn free(&mut self, buffer: DeviceBuffer) -> Result<(), GpuError> {
-        let aligned = self
-            .live
-            .remove(&buffer.addr)
-            .ok_or(GpuError::InvalidBuffer { addr: buffer.addr })?;
+        let aligned =
+            self.live.remove(&buffer.addr).ok_or(GpuError::InvalidBuffer { addr: buffer.addr })?;
         let pos = self.free.partition_point(|r| r.start < buffer.addr);
         self.free.insert(pos, FreeRange { start: buffer.addr, len: aligned });
         // Coalesce with neighbours.
-        if pos + 1 < self.free.len() && self.free[pos].start + self.free[pos].len == self.free[pos + 1].start
+        if pos + 1 < self.free.len()
+            && self.free[pos].start + self.free[pos].len == self.free[pos + 1].start
         {
             self.free[pos].len += self.free[pos + 1].len;
             self.free.remove(pos + 1);

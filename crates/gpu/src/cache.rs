@@ -74,12 +74,7 @@ mod tests {
     use crate::arch::GpuArch;
 
     fn trace(accesses: u64, unique_segments: u64) -> MemoryTraceSummary {
-        MemoryTraceSummary {
-            load_bytes: accesses * 4,
-            store_bytes: 0,
-            unique_segments,
-            accesses,
-        }
+        MemoryTraceSummary { load_bytes: accesses * 4, store_bytes: 0, unique_segments, accesses }
     }
 
     #[test]
@@ -92,7 +87,7 @@ mod tests {
     #[test]
     fn fits_in_cache_only_cold_misses() {
         let cache = GpuArch::quadro_4000().cache; // 512 KiB = 4096 segments
-        // 100 segments, 10 accesses each → footprint 12.8 KiB, fits easily.
+                                                  // 100 segments, 10 accesses each → footprint 12.8 KiB, fits easily.
         let e = estimate(&trace(1000, 100), &cache);
         // cold rate = 0.1; conflict term is tiny at assoc 8 and 2.5% fill.
         assert!((e.miss_rate - 0.1).abs() < 0.01, "miss rate {}", e.miss_rate);

@@ -218,7 +218,13 @@ mod tests {
         let buf = dev.malloc(n * 4).unwrap();
         let host: Vec<u8> = (0..n).flat_map(|i| (i as f32).to_le_bytes()).collect();
         let t_in = dev.memcpy_h2d(buf, &host).unwrap();
-        let run = dev.launch(&scale_kernel(), &LaunchConfig::covering(n, 128), &[ParamValue::Ptr(buf.addr())]).unwrap();
+        let run = dev
+            .launch(
+                &scale_kernel(),
+                &LaunchConfig::covering(n, 128),
+                &[ParamValue::Ptr(buf.addr())],
+            )
+            .unwrap();
         let mut out = vec![0u8; (n * 4) as usize];
         let t_out = dev.memcpy_d2h(&mut out, buf).unwrap();
         dev.free(buf).unwrap();

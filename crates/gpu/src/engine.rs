@@ -12,6 +12,8 @@
 //! Quadro 4000), a perfectly interleaved schedule of N `copy-in → kernel → copy-out`
 //! programs with `Tm = Tk = T` completes in `(2 + N)·T`, matching the paper's Eq. 7.
 
+use sigmavp_telemetry::{Lane, TimeDomain, TraceEvent};
+
 use crate::arch::GpuArch;
 
 /// Identifies a CUDA-style stream. ΣVP gives each VP its own stream.
@@ -50,12 +52,24 @@ pub struct GpuOp {
 impl GpuOp {
     /// A host-to-device copy of `bytes` on `arch`.
     pub fn h2d(id: u64, stream: StreamId, arch: &GpuArch, bytes: u64) -> Self {
-        GpuOp { id, stream, engine: Engine::CopyH2D, duration_s: arch.copy_time_s(bytes), after: vec![] }
+        GpuOp {
+            id,
+            stream,
+            engine: Engine::CopyH2D,
+            duration_s: arch.copy_time_s(bytes),
+            after: vec![],
+        }
     }
 
     /// A device-to-host copy of `bytes` on `arch`.
     pub fn d2h(id: u64, stream: StreamId, arch: &GpuArch, bytes: u64) -> Self {
-        GpuOp { id, stream, engine: Engine::CopyD2H, duration_s: arch.copy_time_s(bytes), after: vec![] }
+        GpuOp {
+            id,
+            stream,
+            engine: Engine::CopyD2H,
+            duration_s: arch.copy_time_s(bytes),
+            after: vec![],
+        }
     }
 
     /// A kernel execution of known duration.
@@ -119,36 +133,131 @@ impl Timeline {
         self.spans.iter().filter(|s| s.stream == stream).map(|s| s.end_s).fold(0.0, f64::max)
     }
 
-    /// Export the timeline as a Chrome trace (the JSON array format accepted by
-    /// `chrome://tracing` and Perfetto): one duration event per op, with the three
-    /// engines as rows and the stream id attached as an argument.
-    pub fn to_chrome_trace(&self) -> String {
-        let mut out = String::from("[\n");
-        for (i, span) in self.spans.iter().enumerate() {
-            let (tid, engine) = match span.engine {
-                Engine::CopyH2D => (0, "copy-h2d"),
-                Engine::Compute => (1, "compute"),
-                Engine::CopyD2H => (2, "copy-d2h"),
-            };
-            let sep = if i + 1 == self.spans.len() { "" } else { "," };
-            out.push_str(&format!(
-                concat!(
-                    "  {{\"name\": \"op{}\", \"cat\": \"{}\", \"ph\": \"X\", ",
-                    "\"ts\": {:.3}, \"dur\": {:.3}, \"pid\": 0, \"tid\": {}, ",
-                    "\"args\": {{\"stream\": {}}}}}{}\n"
-                ),
-                span.id,
-                engine,
-                span.start_s * 1e6,
-                (span.end_s - span.start_s) * 1e6,
-                tid,
-                span.stream.0,
-                sep
-            ));
+    /// Copy–compute overlap efficiency in `[0, 1]`: the fraction of the
+    /// shorter side's busy time during which the compute engine and a copy
+    /// channel were active *simultaneously*. This is the quantity Kernel
+    /// Interleaving maximizes (paper Fig. 3): serialized issue scores 0, a
+    /// perfect pipeline approaches 1.
+    pub fn overlap_fraction(&self) -> f64 {
+        let copy: Vec<(f64, f64)> = self
+            .spans
+            .iter()
+            .filter(|s| matches!(s.engine, Engine::CopyH2D | Engine::CopyD2H))
+            .map(|s| (s.start_s, s.end_s))
+            .collect();
+        let compute: Vec<(f64, f64)> = self
+            .spans
+            .iter()
+            .filter(|s| s.engine == Engine::Compute)
+            .map(|s| (s.start_s, s.end_s))
+            .collect();
+        let copy_busy = merged_length(&copy);
+        let compute_busy: f64 = compute.iter().map(|(a, b)| b - a).sum();
+        let shorter = copy_busy.min(compute_busy);
+        if shorter <= 0.0 {
+            return 0.0;
         }
-        out.push_str("]\n");
-        out
+        let mut overlap = 0.0;
+        for &(cs, ce) in &compute {
+            for &(ps, pe) in &copy {
+                overlap += (ce.min(pe) - cs.max(ps)).max(0.0);
+            }
+        }
+        (overlap / shorter).clamp(0.0, 1.0)
     }
+
+    /// The timeline as simulated-time telemetry events: one span per op on its
+    /// engine's lane, named after the op and its stream.
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.spans
+            .iter()
+            .map(|span| {
+                TraceEvent::span(
+                    TimeDomain::Sim,
+                    engine_lane(span.engine),
+                    format!("op{} (stream {})", span.id, span.stream.0),
+                    span.start_s,
+                    span.end_s - span.start_s,
+                )
+            })
+            .collect()
+    }
+
+    /// Like [`trace_events`](Timeline::trace_events), but additionally mirrors
+    /// every op onto a per-stream VP lane, so each VP's simulated device
+    /// activity reads as its own track.
+    pub fn trace_events_with_streams(&self) -> Vec<TraceEvent> {
+        let mut events = self.trace_events();
+        events.extend(self.spans.iter().map(|span| {
+            TraceEvent::span(
+                TimeDomain::Sim,
+                Lane::Vp(span.stream.0),
+                format!("op{} ({})", span.id, engine_lane(span.engine).label()),
+                span.start_s,
+                span.end_s - span.start_s,
+            )
+        }));
+        events
+    }
+
+    /// Export the timeline as a Chrome trace (the JSON array format accepted by
+    /// `chrome://tracing` and Perfetto): one duration event per op, with the
+    /// three engines as named rows. Thin wrapper over the unified
+    /// [`sigmavp_telemetry::export`] writer.
+    pub fn to_chrome_trace(&self) -> String {
+        sigmavp_telemetry::export::chrome_trace_json(&self.trace_events())
+    }
+
+    /// Publish this timeline's aggregates (per-engine busy seconds and
+    /// utilization, overlap fraction, makespan) to the global telemetry
+    /// recorder. No-op when telemetry is disabled.
+    pub fn record_metrics(&self) {
+        let r = sigmavp_telemetry::recorder();
+        if !r.enabled() {
+            return;
+        }
+        for (engine, key) in [
+            (Engine::CopyH2D, "engine.copy_h2d"),
+            (Engine::CopyD2H, "engine.copy_d2h"),
+            (Engine::Compute, "engine.compute"),
+        ] {
+            r.gauge_set(&format!("{key}.busy_s"), self.busy_s(engine));
+            r.gauge_set(&format!("{key}.utilization"), self.utilization(engine));
+        }
+        r.gauge_set("engine.overlap_fraction", self.overlap_fraction());
+        r.gauge_set("engine.makespan_s", self.makespan_s);
+        r.count("engine.ops", self.spans.len() as u64);
+    }
+}
+
+fn engine_lane(engine: Engine) -> Lane {
+    match engine {
+        Engine::CopyH2D => Lane::CopyH2D,
+        Engine::CopyD2H => Lane::CopyD2H,
+        Engine::Compute => Lane::Compute,
+    }
+}
+
+/// Total length of the union of (possibly overlapping) intervals.
+fn merged_length(intervals: &[(f64, f64)]) -> f64 {
+    let mut sorted: Vec<(f64, f64)> = intervals.to_vec();
+    sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut total = 0.0;
+    let mut current: Option<(f64, f64)> = None;
+    for &(start, end) in &sorted {
+        match current {
+            Some((cs, ce)) if start <= ce => current = Some((cs, ce.max(end))),
+            Some((cs, ce)) => {
+                total += ce - cs;
+                current = Some((start, end));
+            }
+            None => current = Some((start, end)),
+        }
+    }
+    if let Some((cs, ce)) = current {
+        total += ce - cs;
+    }
+    total
 }
 
 /// Simulate the execution of `ops` in the given *issue order* on `arch`.
@@ -164,7 +273,8 @@ pub fn simulate(arch: &GpuArch, ops: &[GpuOp]) -> Timeline {
     let mut h2d_free = 0.0f64;
     let mut d2h_free = 0.0f64;
     let mut compute_free = 0.0f64;
-    let mut stream_free: std::collections::HashMap<StreamId, f64> = std::collections::HashMap::new();
+    let mut stream_free: std::collections::HashMap<StreamId, f64> =
+        std::collections::HashMap::new();
     let mut end_by_id: std::collections::HashMap<u64, f64> = std::collections::HashMap::new();
 
     let mut spans = Vec::with_capacity(ops.len());
@@ -194,7 +304,13 @@ pub fn simulate(arch: &GpuArch, ops: &[GpuOp]) -> Timeline {
         *stream_prev = end;
         end_by_id.insert(op.id, end);
         makespan = makespan.max(end);
-        spans.push(OpSpan { id: op.id, stream: op.stream, engine: op.engine, start_s: start, end_s: end });
+        spans.push(OpSpan {
+            id: op.id,
+            stream: op.stream,
+            engine: op.engine,
+            start_s: start,
+            end_s: end,
+        });
     }
 
     Timeline { spans, makespan_s: makespan }
@@ -222,20 +338,56 @@ mod tests {
             // Pipelined issue order: in0, (k0, in1), (out0, k1, in2)...
             // A simple round-robin by phase achieves the same makespan in this model.
             for i in 0..n {
-                ops.push(GpuOp { id: i * 3, stream: StreamId(i as u32), engine: Engine::CopyH2D, duration_s: t, after: vec![] });
+                ops.push(GpuOp {
+                    id: i * 3,
+                    stream: StreamId(i as u32),
+                    engine: Engine::CopyH2D,
+                    duration_s: t,
+                    after: vec![],
+                });
             }
             for i in 0..n {
-                ops.push(GpuOp { id: i * 3 + 1, stream: StreamId(i as u32), engine: Engine::Compute, duration_s: t, after: vec![] });
+                ops.push(GpuOp {
+                    id: i * 3 + 1,
+                    stream: StreamId(i as u32),
+                    engine: Engine::Compute,
+                    duration_s: t,
+                    after: vec![],
+                });
             }
             for i in 0..n {
-                ops.push(GpuOp { id: i * 3 + 2, stream: StreamId(i as u32), engine: Engine::CopyD2H, duration_s: t, after: vec![] });
+                ops.push(GpuOp {
+                    id: i * 3 + 2,
+                    stream: StreamId(i as u32),
+                    engine: Engine::CopyD2H,
+                    duration_s: t,
+                    after: vec![],
+                });
             }
         } else {
             for i in 0..n {
                 let s = StreamId(0); // one synchronous queue: full serialization
-                ops.push(GpuOp { id: i * 3, stream: s, engine: Engine::CopyH2D, duration_s: t, after: vec![] });
-                ops.push(GpuOp { id: i * 3 + 1, stream: s, engine: Engine::Compute, duration_s: t, after: vec![] });
-                ops.push(GpuOp { id: i * 3 + 2, stream: s, engine: Engine::CopyD2H, duration_s: t, after: vec![] });
+                ops.push(GpuOp {
+                    id: i * 3,
+                    stream: s,
+                    engine: Engine::CopyH2D,
+                    duration_s: t,
+                    after: vec![],
+                });
+                ops.push(GpuOp {
+                    id: i * 3 + 1,
+                    stream: s,
+                    engine: Engine::Compute,
+                    duration_s: t,
+                    after: vec![],
+                });
+                ops.push(GpuOp {
+                    id: i * 3 + 2,
+                    stream: s,
+                    engine: Engine::CopyD2H,
+                    duration_s: t,
+                    after: vec![],
+                });
             }
         }
         ops
@@ -270,13 +422,31 @@ mod tests {
         let (tm, tk, n) = (1.0, 3.0, 5u64);
         let mut ops = Vec::new();
         for i in 0..n {
-            ops.push(GpuOp { id: i, stream: StreamId(i as u32), engine: Engine::CopyH2D, duration_s: tm, after: vec![] });
+            ops.push(GpuOp {
+                id: i,
+                stream: StreamId(i as u32),
+                engine: Engine::CopyH2D,
+                duration_s: tm,
+                after: vec![],
+            });
         }
         for i in 0..n {
-            ops.push(GpuOp { id: 100 + i, stream: StreamId(i as u32), engine: Engine::Compute, duration_s: tk, after: vec![] });
+            ops.push(GpuOp {
+                id: 100 + i,
+                stream: StreamId(i as u32),
+                engine: Engine::Compute,
+                duration_s: tk,
+                after: vec![],
+            });
         }
         for i in 0..n {
-            ops.push(GpuOp { id: 200 + i, stream: StreamId(i as u32), engine: Engine::CopyD2H, duration_s: tm, after: vec![] });
+            ops.push(GpuOp {
+                id: 200 + i,
+                stream: StreamId(i as u32),
+                engine: Engine::CopyD2H,
+                duration_s: tm,
+                after: vec![],
+            });
         }
         let tl = simulate(&arch, &ops);
         let expected = 2.0 * tm + n as f64 * tk.max(tm);
@@ -288,8 +458,20 @@ mod tests {
         // On a half-duplex device, an H2D and a D2H in different streams serialize.
         let arch = half_duplex_arch();
         let ops = [
-            GpuOp { id: 0, stream: StreamId(0), engine: Engine::CopyH2D, duration_s: 1.0, after: vec![] },
-            GpuOp { id: 1, stream: StreamId(1), engine: Engine::CopyD2H, duration_s: 1.0, after: vec![] },
+            GpuOp {
+                id: 0,
+                stream: StreamId(0),
+                engine: Engine::CopyH2D,
+                duration_s: 1.0,
+                after: vec![],
+            },
+            GpuOp {
+                id: 1,
+                stream: StreamId(1),
+                engine: Engine::CopyD2H,
+                duration_s: 1.0,
+                after: vec![],
+            },
         ];
         let tl = simulate(&arch, &ops);
         assert!((tl.makespan_s - 2.0).abs() < 1e-9);
@@ -304,8 +486,20 @@ mod tests {
         // compute engine is idle.
         let arch = duplex_arch();
         let ops = [
-            GpuOp { id: 0, stream: StreamId(0), engine: Engine::CopyH2D, duration_s: 2.0, after: vec![] },
-            GpuOp { id: 1, stream: StreamId(0), engine: Engine::Compute, duration_s: 1.0, after: vec![] },
+            GpuOp {
+                id: 0,
+                stream: StreamId(0),
+                engine: Engine::CopyH2D,
+                duration_s: 2.0,
+                after: vec![],
+            },
+            GpuOp {
+                id: 1,
+                stream: StreamId(0),
+                engine: Engine::Compute,
+                duration_s: 1.0,
+                after: vec![],
+            },
         ];
         let tl = simulate(&arch, &ops);
         let k = tl.span(1).unwrap();
@@ -318,10 +512,34 @@ mod tests {
         // Issuing the short copy first lets its long kernel overlap the long copy.
         let arch = duplex_arch();
         let bad = [
-            GpuOp { id: 0, stream: StreamId(0), engine: Engine::CopyH2D, duration_s: 4.0, after: vec![] },
-            GpuOp { id: 1, stream: StreamId(1), engine: Engine::CopyH2D, duration_s: 1.0, after: vec![] },
-            GpuOp { id: 2, stream: StreamId(0), engine: Engine::Compute, duration_s: 1.0, after: vec![] },
-            GpuOp { id: 3, stream: StreamId(1), engine: Engine::Compute, duration_s: 4.0, after: vec![] },
+            GpuOp {
+                id: 0,
+                stream: StreamId(0),
+                engine: Engine::CopyH2D,
+                duration_s: 4.0,
+                after: vec![],
+            },
+            GpuOp {
+                id: 1,
+                stream: StreamId(1),
+                engine: Engine::CopyH2D,
+                duration_s: 1.0,
+                after: vec![],
+            },
+            GpuOp {
+                id: 2,
+                stream: StreamId(0),
+                engine: Engine::Compute,
+                duration_s: 1.0,
+                after: vec![],
+            },
+            GpuOp {
+                id: 3,
+                stream: StreamId(1),
+                engine: Engine::Compute,
+                duration_s: 4.0,
+                after: vec![],
+            },
         ];
         let good = [bad[1].clone(), bad[0].clone(), bad[3].clone(), bad[2].clone()];
         let t_bad = simulate(&arch, &bad).makespan_s;
@@ -346,12 +564,39 @@ mod tests {
         let trace = tl.to_chrome_trace();
         assert!(trace.starts_with('['));
         assert!(trace.trim_end().ends_with(']'));
-        assert_eq!(trace.matches("\"ph\": \"X\"").count(), tl.spans.len());
-        assert!(trace.contains("copy-h2d"));
-        assert!(trace.contains("compute"));
-        assert!(trace.contains("copy-d2h"));
+        assert_eq!(trace.matches("\"ph\":\"X\"").count(), tl.spans.len());
+        assert!(trace.contains("copy engine (H2D)"));
+        assert!(trace.contains("compute engine"));
+        assert!(trace.contains("copy engine (D2H)"));
         // No trailing comma before the closing bracket.
         assert!(!trace.contains(",\n]"));
+    }
+
+    #[test]
+    fn trace_events_mirror_spans() {
+        let arch = duplex_arch();
+        let tl = simulate(&arch, &programs(2, 1.0, true));
+        let events = tl.trace_events();
+        assert_eq!(events.len(), tl.spans.len());
+        let with_streams = tl.trace_events_with_streams();
+        assert_eq!(with_streams.len(), 2 * tl.spans.len());
+        // The mirrored half lands on VP lanes matching the stream ids.
+        assert!(with_streams.iter().any(|e| e.lane == sigmavp_telemetry::Lane::Vp(1)));
+    }
+
+    #[test]
+    fn overlap_fraction_separates_serial_from_pipelined() {
+        let arch = duplex_arch();
+        let serial = simulate(&arch, &programs(8, 1.0, false));
+        let pipelined = simulate(&arch, &programs(8, 1.0, true));
+        assert_eq!(serial.overlap_fraction(), 0.0, "serialized issue never overlaps");
+        assert!(
+            pipelined.overlap_fraction() > 0.7,
+            "pipelined issue should overlap heavily, got {}",
+            pipelined.overlap_fraction()
+        );
+        assert!(pipelined.overlap_fraction() <= 1.0);
+        assert_eq!(Timeline::default().overlap_fraction(), 0.0);
     }
 
     #[test]

@@ -43,7 +43,10 @@ impl fmt::Display for GpuError {
                 write!(f, "invalid or freed device buffer at address {addr:#x}")
             }
             GpuError::SizeMismatch { buffer, host } => {
-                write!(f, "memcpy size mismatch: buffer is {buffer} bytes, host data is {host} bytes")
+                write!(
+                    f,
+                    "memcpy size mismatch: buffer is {buffer} bytes, host data is {host} bytes"
+                )
             }
             GpuError::Kernel(e) => write!(f, "kernel fault: {e}"),
         }

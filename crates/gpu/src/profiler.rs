@@ -117,7 +117,12 @@ mod tests {
             time_s: 1e-4,
             energy_j: 2e-3,
             power_w: 20.0,
-            cache: CacheEstimate { miss_rate: 0.2, misses: 40.0, stall_cycles: 1000.0, dram_bytes: 5120.0 },
+            cache: CacheEstimate {
+                miss_rate: 0.2,
+                misses: 40.0,
+                stall_cycles: 1000.0,
+                dram_bytes: 5120.0,
+            },
         };
         HardwareProfile::from_run("k", LaunchConfig::linear(1, 10), &exec, &cost)
     }

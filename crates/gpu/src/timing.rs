@@ -61,11 +61,8 @@ pub fn kernel_cost(arch: &GpuArch, profile: &ExecutionProfile, cfg: &LaunchConfi
     // demanding divisibility; rounding error is negligible at these magnitudes.
     let launched = profile.threads.max(1);
     let scale = padded_threads as f64 / launched as f64;
-    let padded_counts: ClassCounts = profile
-        .counts
-        .iter()
-        .map(|(c, n)| (c, (n as f64 * scale).round() as u64))
-        .collect();
+    let padded_counts: ClassCounts =
+        profile.counts.iter().map(|(c, n)| (c, (n as f64 * scale).round() as u64)).collect();
 
     let cycles_ideal = arch.latency.dot(&padded_counts);
     // Memory behaviour does not scale with padding: idle lanes make no accesses.
@@ -100,7 +97,13 @@ mod tests {
     use sigmavp_sptx::isa::InstrClass;
 
     /// A synthetic profile: `per_thread` instructions of one class per thread.
-    fn profile(threads: u64, class: InstrClass, per_thread: u64, accesses: u64, segs: u64) -> ExecutionProfile {
+    fn profile(
+        threads: u64,
+        class: InstrClass,
+        per_thread: u64,
+        accesses: u64,
+        segs: u64,
+    ) -> ExecutionProfile {
         let mut p = ExecutionProfile::new();
         p.counts.add(class, per_thread * threads);
         p.threads = threads;
@@ -159,9 +162,13 @@ mod tests {
     fn stalls_add_to_ideal_cycles() {
         let arch = GpuArch::tegra_k1();
         let cfg = LaunchConfig::linear(4, 128);
-        let no_mem = kernel_cost(&arch, &profile(cfg.total_threads(), InstrClass::Int, 50, 0, 0), &cfg);
-        let heavy_mem =
-            kernel_cost(&arch, &profile(cfg.total_threads(), InstrClass::Int, 50, 100_000, 50_000), &cfg);
+        let no_mem =
+            kernel_cost(&arch, &profile(cfg.total_threads(), InstrClass::Int, 50, 0, 0), &cfg);
+        let heavy_mem = kernel_cost(
+            &arch,
+            &profile(cfg.total_threads(), InstrClass::Int, 50, 100_000, 50_000),
+            &cfg,
+        );
         assert_eq!(no_mem.stall_cycles, 0.0);
         assert!(heavy_mem.stall_cycles > 0.0);
         assert!((heavy_mem.cycles - heavy_mem.cycles_ideal - heavy_mem.stall_cycles).abs() < 1e-6);
@@ -180,7 +187,11 @@ mod tests {
     fn energy_and_power_are_positive_and_consistent() {
         let arch = GpuArch::grid_k520();
         let cfg = LaunchConfig::linear(8, 256);
-        let c = kernel_cost(&arch, &profile(cfg.total_threads(), InstrClass::Fp32, 200, 1000, 100), &cfg);
+        let c = kernel_cost(
+            &arch,
+            &profile(cfg.total_threads(), InstrClass::Fp32, 200, 1000, 100),
+            &cfg,
+        );
         assert!(c.energy_j > 0.0);
         assert!(c.power_w >= arch.static_power_w);
         assert!((c.power_w * c.time_s - c.energy_j).abs() < 1e-12);

@@ -215,7 +215,10 @@ fn frame(payload: BytesMut) -> Bytes {
 
 fn unframe(frame: &[u8]) -> Result<Bytes, IpcError> {
     if frame.len() < 4 {
-        return Err(IpcError::Decode { offset: 0, message: "frame shorter than length prefix".into() });
+        return Err(IpcError::Decode {
+            offset: 0,
+            message: "frame shorter than length prefix".into(),
+        });
     }
     let len = u32::from_le_bytes(frame[..4].try_into().expect("length checked")) as usize;
     if frame.len() != len + 4 {

@@ -89,7 +89,9 @@ impl Request {
         match self {
             Request::MemcpyH2D { data, .. } => data.len() as u64 + 16,
             Request::MemcpyD2H { .. } => 24,
-            Request::Launch { kernel, params, .. } => kernel.len() as u64 + params.len() as u64 * 9 + 16,
+            Request::Launch { kernel, params, .. } => {
+                kernel.len() as u64 + params.len() as u64 * 9 + 16
+            }
             _ => 16,
         }
     }

@@ -111,10 +111,7 @@ impl Transport for ChannelTransport {
 pub fn pair(cost: TransportCost) -> (ChannelTransport, ChannelTransport) {
     let (a_tx, b_rx) = unbounded();
     let (b_tx, a_rx) = unbounded();
-    (
-        ChannelTransport { tx: a_tx, rx: a_rx, cost },
-        ChannelTransport { tx: b_tx, rx: b_rx, cost },
-    )
+    (ChannelTransport { tx: a_tx, rx: a_rx, cost }, ChannelTransport { tx: b_tx, rx: b_rx, cost })
 }
 
 /// A connected pair with shared-memory cost.

@@ -82,12 +82,14 @@ pub fn find_groups(jobs: &[Job]) -> Vec<CoalesceGroup> {
     let mut groups: Vec<CoalesceGroup> = Vec::new();
     let mut index_of: HashMap<KernelMatchKey, usize> = HashMap::new();
 
+    let mut eligible = 0u64;
     for (i, job) in jobs.iter().enumerate() {
         let JobKind::Kernel { name, grid_dim, block_dim } = &job.kind else { continue };
         let first_of_vp = seen_kernel_vps.insert(job.vp);
         if !first_of_vp {
             continue;
         }
+        eligible += 1;
         let key = KernelMatchKey { name: clone_name(name), block_dim: *block_dim };
         let member =
             CoalesceMember { job_index: i, job_id: job.id, vp: job.vp, grid_dim: *grid_dim };
@@ -100,6 +102,15 @@ pub fn find_groups(jobs: &[Job]) -> Vec<CoalesceGroup> {
         }
     }
     groups.retain(|g| g.members.len() >= 2);
+
+    // Coalescing match rate = coalesce.jobs_matched / coalesce.kernel_jobs_eligible.
+    let r = sigmavp_telemetry::recorder();
+    if r.enabled() {
+        r.count("coalesce.scans", 1);
+        r.count("coalesce.kernel_jobs_eligible", eligible);
+        r.count("coalesce.jobs_matched", groups.iter().map(|g| g.len() as u64).sum());
+        r.count("coalesce.groups_found", groups.len() as u64);
+    }
     groups
 }
 
@@ -131,7 +142,16 @@ impl MemoryLayout {
             offsets.push(cursor);
             cursor += len.div_ceil(alignment) * alignment;
         }
-        MemoryLayout { offsets, lens: sizes.to_vec(), total_len: cursor, alignment }
+        let layout = MemoryLayout { offsets, lens: sizes.to_vec(), total_len: cursor, alignment };
+        sigmavp_telemetry::recorder()
+            .count("coalesce.alignment_padding_bytes", layout.padding_bytes());
+        layout
+    }
+
+    /// Bytes lost to alignment padding: total length minus payload (the
+    /// "waste" side of the Eq. 9 trade-off).
+    pub fn padding_bytes(&self) -> u64 {
+        self.total_len - self.lens.iter().sum::<u64>()
     }
 
     /// Byte offset of member `i` inside the coalesced buffer.
@@ -211,7 +231,14 @@ impl CoalescePlan {
     pub fn new(group: CoalesceGroup, member_elements: Vec<u64>, block_dim: u32) -> Self {
         assert_eq!(group.len(), member_elements.len(), "one element count per member");
         assert!(block_dim > 0, "block_dim must be positive");
-        CoalescePlan { group, member_elements, block_dim }
+        let plan = CoalescePlan { group, member_elements, block_dim };
+        let r = sigmavp_telemetry::recorder();
+        if r.enabled() {
+            r.count("coalesce.plans", 1);
+            r.count("coalesce.merged_launches_saved", plan.group.len() as u64 - 1);
+            r.count("coalesce.blocks_saved", plan.blocks_saved());
+        }
+        plan
     }
 
     /// Total elements across members.
@@ -244,8 +271,7 @@ impl CoalescePlan {
     /// The memory layout for one logical buffer of `bytes_per_element` (call once
     /// per kernel argument buffer, e.g. three times for vectorAdd's a, b, out).
     pub fn buffer_layout(&self, bytes_per_element: u64, alignment: u64) -> MemoryLayout {
-        let sizes: Vec<u64> =
-            self.member_elements.iter().map(|&e| e * bytes_per_element).collect();
+        let sizes: Vec<u64> = self.member_elements.iter().map(|&e| e * bytes_per_element).collect();
         MemoryLayout::contiguous(&sizes, alignment)
     }
 }
@@ -347,7 +373,12 @@ mod tests {
         let group = CoalesceGroup {
             key: KernelMatchKey { name: "k".into(), block_dim: 512 },
             members: (0..4)
-                .map(|i| CoalesceMember { job_index: i, job_id: JobId(i as u64), vp: VpId(i as u32), grid_dim: 1 })
+                .map(|i| CoalesceMember {
+                    job_index: i,
+                    job_id: JobId(i as u64),
+                    vp: VpId(i as u32),
+                    grid_dim: 1,
+                })
                 .collect(),
         };
         // Four members with 100 elements each at block 512: separate = 4 blocks,
@@ -365,7 +396,12 @@ mod tests {
         let group = CoalesceGroup {
             key: KernelMatchKey { name: "k".into(), block_dim: 256 },
             members: (0..2)
-                .map(|i| CoalesceMember { job_index: i, job_id: JobId(i as u64), vp: VpId(i as u32), grid_dim: 2 })
+                .map(|i| CoalesceMember {
+                    job_index: i,
+                    job_id: JobId(i as u64),
+                    vp: VpId(i as u32),
+                    grid_dim: 2,
+                })
                 .collect(),
         };
         let plan = CoalescePlan::new(group, vec![512, 512], 256);
@@ -378,7 +414,12 @@ mod tests {
         let group = CoalesceGroup {
             key: KernelMatchKey { name: "k".into(), block_dim: 128 },
             members: (0..2)
-                .map(|i| CoalesceMember { job_index: i, job_id: JobId(i as u64), vp: VpId(i as u32), grid_dim: 1 })
+                .map(|i| CoalesceMember {
+                    job_index: i,
+                    job_id: JobId(i as u64),
+                    vp: VpId(i as u32),
+                    grid_dim: 1,
+                })
                 .collect(),
         };
         let plan = CoalescePlan::new(group, vec![100, 50], 128);
@@ -394,7 +435,12 @@ mod tests {
     fn plan_rejects_mismatched_members() {
         let group = CoalesceGroup {
             key: KernelMatchKey { name: "k".into(), block_dim: 128 },
-            members: vec![CoalesceMember { job_index: 0, job_id: JobId(0), vp: VpId(0), grid_dim: 1 }],
+            members: vec![CoalesceMember {
+                job_index: 0,
+                job_id: JobId(0),
+                vp: VpId(0),
+                grid_dim: 1,
+            }],
         };
         CoalescePlan::new(group, vec![1, 2], 128);
     }

@@ -154,19 +154,15 @@ pub fn reorder_critical_path(jobs: Vec<Job>) -> Vec<Job> {
                         JobKind::CopyOut { .. } => d2h_free,
                         JobKind::Kernel { .. } => compute_free,
                     };
-                    let dep_ready =
-                        dag.preds(i).iter().map(|&p| job_end[p]).fold(0.0f64, f64::max);
+                    let dep_ready = dag.preds(i).iter().map(|&p| job_end[p]).fold(0.0f64, f64::max);
                     (engine_free.max(dep_ready), i)
                 };
                 // Longest CP first, then earliest start, then lowest index.
-                cp[b]
-                    .partial_cmp(&cp[a])
-                    .expect("critical paths are finite")
-                    .then_with(|| {
-                        let (sa, ia) = key(a);
-                        let (sb, ib) = key(b);
-                        sa.partial_cmp(&sb).expect("starts are finite").then(ia.cmp(&ib))
-                    })
+                cp[b].partial_cmp(&cp[a]).expect("critical paths are finite").then_with(|| {
+                    let (sa, ia) = key(a);
+                    let (sb, ib) = key(b);
+                    sa.partial_cmp(&sb).expect("starts are finite").then(ia.cmp(&ib))
+                })
             })
             .expect("ready set is non-empty while jobs remain");
         ready.retain(|&i| i != best);
@@ -220,7 +216,13 @@ mod tests {
         for vp in 0..n {
             jobs.push(job(id, vp, 0, JobKind::CopyIn { bytes: 1 }, tm));
             id += 1;
-            jobs.push(job(id, vp, 1, JobKind::Kernel { name: "k".into(), grid_dim: 1, block_dim: 32 }, tk));
+            jobs.push(job(
+                id,
+                vp,
+                1,
+                JobKind::Kernel { name: "k".into(), grid_dim: 1, block_dim: 32 },
+                tk,
+            ));
             id += 1;
             jobs.push(job(id, vp, 2, JobKind::CopyOut { bytes: 1 }, tm));
             id += 1;

@@ -47,6 +47,10 @@ impl EngineClock {
 /// [`preserves_partial_order`](sigmavp_ipc::queue::preserves_partial_order) with
 /// respect to the input (checked by property tests).
 pub fn reorder_async(jobs: Vec<Job>) -> Vec<Job> {
+    let recorder = sigmavp_telemetry::recorder();
+    let original_ids: Vec<_> =
+        if recorder.enabled() { jobs.iter().map(|j| j.id).collect() } else { Vec::new() };
+
     // Per-VP FIFO queues, in original order. BTreeMap gives deterministic VP
     // iteration order.
     let mut queues: BTreeMap<VpId, std::collections::VecDeque<Job>> = BTreeMap::new();
@@ -82,6 +86,14 @@ pub fn reorder_async(jobs: Vec<Job>) -> Vec<Job> {
         *slot = end;
         vp_free.insert(vp, end);
         out.push(job);
+    }
+
+    if recorder.enabled() {
+        recorder.count("reorder.calls", 1);
+        recorder.count("reorder.jobs", out.len() as u64);
+        let displaced =
+            out.iter().zip(&original_ids).filter(|(job, &original)| job.id != original).count();
+        recorder.count("reorder.displaced_jobs", displaced as u64);
     }
     out
 }
@@ -195,7 +207,13 @@ mod tests {
         for vp in 0..n {
             jobs.push(job(id, vp, 0, JobKind::CopyIn { bytes: 1 }, tm));
             id += 1;
-            jobs.push(job(id, vp, 1, JobKind::Kernel { name: "k".into(), grid_dim: 1, block_dim: 32 }, tk));
+            jobs.push(job(
+                id,
+                vp,
+                1,
+                JobKind::Kernel { name: "k".into(), grid_dim: 1, block_dim: 32 },
+                tk,
+            ));
             id += 1;
             jobs.push(job(id, vp, 2, JobKind::CopyOut { bytes: 1 }, tm));
             id += 1;
@@ -231,7 +249,9 @@ mod tests {
         // Eq. 7: T = 2·Tm + N·max(Tm, Tk). The equation is exact for Tk ≥ Tm
         // (compute-bound pipeline); for Tm > Tk the duplex copy engine lets the
         // drain overlap, so the scheduler may do even better — never worse.
-        for (n, tm, tk) in [(2u32, 1.0, 1.0), (8, 1.0, 1.0), (4, 1.0, 3.0), (4, 3.0, 1.0), (16, 2.0, 2.0)] {
+        for (n, tm, tk) in
+            [(2u32, 1.0, 1.0), (8, 1.0, 1.0), (4, 1.0, 3.0), (4, 3.0, 1.0), (16, 2.0, 2.0)]
+        {
             let original = serial_programs(n, tm, tk);
             let reordered = reorder_async(original.clone());
             let t = makespan(&reordered);

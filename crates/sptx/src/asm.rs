@@ -140,11 +140,9 @@ fn format_mem(base: Reg, index: Option<Reg>, offset: i64) -> String {
 fn format_terminator(t: &Terminator, labels: &[String]) -> String {
     match t {
         Terminator::Bra(target) => format!("bra {}", labels[target.0 as usize]),
-        Terminator::CondBra { pred, if_true, if_false } => format!(
-            "@{pred} bra {}, {}",
-            labels[if_true.0 as usize],
-            labels[if_false.0 as usize]
-        ),
+        Terminator::CondBra { pred, if_true, if_false } => {
+            format!("@{pred} bra {}, {}", labels[if_true.0 as usize], labels[if_false.0 as usize])
+        }
         Terminator::Ret => "ret".to_string(),
     }
 }
@@ -224,7 +222,14 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn new(source: &'a str) -> Self {
-        Self { source, name: None, blocks: Vec::new(), max_reg: None, max_pred: None, max_param: None }
+        Self {
+            source,
+            name: None,
+            blocks: Vec::new(),
+            max_reg: None,
+            max_pred: None,
+            max_param: None,
+        }
     }
 
     fn err(line: usize, message: impl Into<String>) -> SptxError {
@@ -257,7 +262,11 @@ impl<'a> Parser<'a> {
                 if self.blocks.iter().any(|b| b.label == label) {
                     return Err(Self::err(line, format!("duplicate label `{label}`")));
                 }
-                self.blocks.push(RawBlock { label: label.to_string(), instrs: Vec::new(), terminator: None });
+                self.blocks.push(RawBlock {
+                    label: label.to_string(),
+                    instrs: Vec::new(),
+                    terminator: None,
+                });
                 continue;
             }
             if self.name.is_none() {
@@ -323,8 +332,9 @@ impl<'a> Parser<'a> {
     fn parse_line(&mut self, line: usize, text: &str) -> Result<(), SptxError> {
         // Conditional branch: `@p0 bra t, f`.
         if let Some(rest) = text.strip_prefix('@') {
-            let (pred_tok, rest) =
-                rest.split_once(char::is_whitespace).ok_or(Self::err(line, "expected `@pN bra t, f`"))?;
+            let (pred_tok, rest) = rest
+                .split_once(char::is_whitespace)
+                .ok_or(Self::err(line, "expected `@pN bra t, f`"))?;
             let pred = self.parse_pred(line, pred_tok.trim())?;
             let rest = rest.trim();
             let targets = rest
@@ -370,8 +380,8 @@ impl<'a> Parser<'a> {
 
         let ops: Vec<String> = split_operands(operands);
         let instr = match base {
-            "add" | "sub" | "mul" | "div" | "rem" | "min" | "max" | "and" | "or" | "xor" | "shl"
-            | "shr" => {
+            "add" | "sub" | "mul" | "div" | "rem" | "min" | "max" | "and" | "or" | "xor"
+            | "shl" | "shr" => {
                 let op = parse_bin(base).expect("matched above");
                 let ty = self.one_type(line, &suffixes)?;
                 let [d, a, b] = self.three_regs(line, &ops)?;
@@ -403,14 +413,14 @@ impl<'a> Parser<'a> {
                     let s = self.parse_reg(line, &ops[1])?;
                     Instr::Mov { dst: d, src: s }
                 } else if suffixes.first() == Some(&"f64") || suffixes.first() == Some(&"f32") {
-                    let v: f64 = ops[1]
-                        .parse()
-                        .map_err(|_| Self::err(line, format!("bad float immediate `{}`", ops[1])))?;
+                    let v: f64 = ops[1].parse().map_err(|_| {
+                        Self::err(line, format!("bad float immediate `{}`", ops[1]))
+                    })?;
                     Instr::MovImm { dst: d, imm: Imm::F(v) }
                 } else {
-                    let v: i64 = ops[1]
-                        .parse()
-                        .map_err(|_| Self::err(line, format!("bad integer immediate `{}`", ops[1])))?;
+                    let v: i64 = ops[1].parse().map_err(|_| {
+                        Self::err(line, format!("bad integer immediate `{}`", ops[1]))
+                    })?;
                     Instr::MovImm { dst: d, imm: Imm::I(v) }
                 }
             }
@@ -418,7 +428,8 @@ impl<'a> Parser<'a> {
                 if suffixes.len() != 2 {
                     return Err(Self::err(line, "cvt needs two type suffixes: cvt.<to>.<from>"));
                 }
-                let to = parse_type(suffixes[0]).ok_or(Self::err(line, "bad cvt destination type"))?;
+                let to =
+                    parse_type(suffixes[0]).ok_or(Self::err(line, "bad cvt destination type"))?;
                 let from = parse_type(suffixes[1]).ok_or(Self::err(line, "bad cvt source type"))?;
                 let [d, s] = self.two_regs(line, &ops)?;
                 Instr::Cvt { to, from, dst: d, src: s }
@@ -503,8 +514,9 @@ impl<'a> Parser<'a> {
             .strip_prefix('r')
             .filter(|d| !d.is_empty() && d.chars().all(|c| c.is_ascii_digit()))
             .ok_or(Self::err(line, format!("expected register, found `{tok}`")))?;
-        let n: u16 =
-            digits.parse().map_err(|_| Self::err(line, format!("register index too large `{tok}`")))?;
+        let n: u16 = digits
+            .parse()
+            .map_err(|_| Self::err(line, format!("register index too large `{tok}`")))?;
         self.max_reg = Some(self.max_reg.map_or(n, |m| m.max(n)));
         Ok(Reg(n))
     }
@@ -515,8 +527,9 @@ impl<'a> Parser<'a> {
             .strip_prefix('p')
             .filter(|d| !d.is_empty() && d.chars().all(|c| c.is_ascii_digit()))
             .ok_or(Self::err(line, format!("expected predicate, found `{tok}`")))?;
-        let n: u8 =
-            digits.parse().map_err(|_| Self::err(line, format!("predicate index too large `{tok}`")))?;
+        let n: u8 = digits
+            .parse()
+            .map_err(|_| Self::err(line, format!("predicate index too large `{tok}`")))?;
         self.max_pred = Some(self.max_pred.map_or(n, |m| m.max(n)));
         Ok(Pred(n))
     }

@@ -175,7 +175,14 @@ impl ProgramBuilder {
     }
 
     /// Emit an indexed load `dst = *(ty*)(base + index * ty.width() + offset)`.
-    pub fn ld_indexed(&mut self, ty: ScalarType, dst: Reg, base: Reg, index: Reg, offset: i64) -> &mut Self {
+    pub fn ld_indexed(
+        &mut self,
+        ty: ScalarType,
+        dst: Reg,
+        base: Reg,
+        index: Reg,
+        offset: i64,
+    ) -> &mut Self {
         self.push(Instr::Ld { ty, dst, base, index: Some(index), offset })
     }
 
@@ -185,7 +192,14 @@ impl ProgramBuilder {
     }
 
     /// Emit an indexed store `*(ty*)(base + index * ty.width() + offset) = src`.
-    pub fn st_indexed(&mut self, ty: ScalarType, base: Reg, index: Reg, offset: i64, src: Reg) -> &mut Self {
+    pub fn st_indexed(
+        &mut self,
+        ty: ScalarType,
+        base: Reg,
+        index: Reg,
+        offset: i64,
+        src: Reg,
+    ) -> &mut Self {
         self.push(Instr::St { ty, base, index: Some(index), offset, src })
     }
 
@@ -277,7 +291,11 @@ impl ProgramBuilder {
 /// # Ok(())
 /// # }
 /// ```
-pub fn for_loop(b: &mut ProgramBuilder, trip_count: i64, body: impl FnOnce(&mut ProgramBuilder, Reg)) {
+pub fn for_loop(
+    b: &mut ProgramBuilder,
+    trip_count: i64,
+    body: impl FnOnce(&mut ProgramBuilder, Reg),
+) {
     let i = b.reg();
     let limit = b.reg();
     let one = b.reg();
@@ -351,7 +369,7 @@ mod tests {
             .run(&p, &LaunchConfig::linear(1, 1), &[ParamValue::Ptr(0)], &mut mem)
             .unwrap();
         assert_eq!(mem.read_i64(0).unwrap(), 45); // 0+1+..+9
-        // The loop header executed 11 times (10 taken + 1 exit check).
+                                                  // The loop header executed 11 times (10 taken + 1 exit check).
         assert!(profile.counts.get(InstrClass::Branch) >= 11);
     }
 

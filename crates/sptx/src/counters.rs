@@ -138,11 +138,14 @@ mod tests {
 
     #[test]
     fn locality_bounds() {
-        let m = MemoryTraceSummary { load_bytes: 0, store_bytes: 0, unique_segments: 0, accesses: 0 };
+        let m =
+            MemoryTraceSummary { load_bytes: 0, store_bytes: 0, unique_segments: 0, accesses: 0 };
         assert_eq!(m.locality(), 1.0);
-        let m = MemoryTraceSummary { load_bytes: 4, store_bytes: 0, unique_segments: 10, accesses: 10 };
+        let m =
+            MemoryTraceSummary { load_bytes: 4, store_bytes: 0, unique_segments: 10, accesses: 10 };
         assert_eq!(m.locality(), 0.0);
-        let m = MemoryTraceSummary { load_bytes: 4, store_bytes: 0, unique_segments: 1, accesses: 10 };
+        let m =
+            MemoryTraceSummary { load_bytes: 4, store_bytes: 0, unique_segments: 1, accesses: 10 };
         assert!((m.locality() - 0.9).abs() < 1e-12);
     }
 
@@ -155,7 +158,8 @@ mod tests {
 
     #[test]
     fn mean_access_width() {
-        let m = MemoryTraceSummary { load_bytes: 12, store_bytes: 4, unique_segments: 1, accesses: 4 };
+        let m =
+            MemoryTraceSummary { load_bytes: 12, store_bytes: 4, unique_segments: 1, accesses: 4 };
         assert_eq!(m.mean_access_width(), 4.0);
     }
 }

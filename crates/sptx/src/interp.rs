@@ -15,9 +15,7 @@ use std::collections::HashSet;
 
 use crate::counters::{ExecutionProfile, MemoryTraceSummary};
 use crate::error::SptxError;
-use crate::isa::{
-    BinOp, BlockId, CmpOp, Imm, Instr, ScalarType, Special, Terminator, UnaryOp,
-};
+use crate::isa::{BinOp, BlockId, CmpOp, Imm, Instr, ScalarType, Special, Terminator, UnaryOp};
 use crate::program::KernelProgram;
 
 /// Byte granularity used for the memory-trace spatial-locality summary; matches the
@@ -142,7 +140,11 @@ impl Memory {
             mem_size: self.bytes.len() as u64,
         })?;
         if end > self.bytes.len() as u64 {
-            return Err(SptxError::OutOfBoundsAccess { addr, width, mem_size: self.bytes.len() as u64 });
+            return Err(SptxError::OutOfBoundsAccess {
+                addr,
+                width,
+                mem_size: self.bytes.len() as u64,
+            });
         }
         Ok(addr as usize)
     }
@@ -353,6 +355,11 @@ impl Interpreter {
         trace.unique_segments = segments.len() as u64;
         profile.memory = trace;
         profile.threads = cfg.total_threads();
+        let r = sigmavp_telemetry::recorder();
+        if r.enabled() {
+            r.count("sptx.launches", 1);
+            r.count("sptx.instructions_executed", executed);
+        }
         Ok(profile)
     }
 
@@ -471,7 +478,9 @@ impl Interpreter {
                 let bv = regs[b.0 as usize];
                 preds[pred.0 as usize] = match ty {
                     ScalarType::I64 => compare_ord(*cmp, av.as_i64().cmp(&bv.as_i64())),
-                    ScalarType::F32 => compare_f(*cmp, av.as_f64() as f32 as f64, bv.as_f64() as f32 as f64),
+                    ScalarType::F32 => {
+                        compare_f(*cmp, av.as_f64() as f32 as f64, bv.as_f64() as f32 as f64)
+                    }
                     ScalarType::F64 => compare_f(*cmp, av.as_f64(), bv.as_f64()),
                 };
             }
@@ -533,12 +542,16 @@ fn effective_addr(
 ) -> u64 {
     let base_v = regs[base.0 as usize].as_i64();
     let idx_v = index.map_or(0, |r| regs[r.0 as usize].as_i64());
-    base_v
-        .wrapping_add(idx_v.wrapping_mul(ty.width() as i64))
-        .wrapping_add(offset) as u64
+    base_v.wrapping_add(idx_v.wrapping_mul(ty.width() as i64)).wrapping_add(offset) as u64
 }
 
-fn eval_bin(op: BinOp, ty: ScalarType, a: Value, b: Value, block: BlockId) -> Result<Value, SptxError> {
+fn eval_bin(
+    op: BinOp,
+    ty: ScalarType,
+    a: Value,
+    b: Value,
+    block: BlockId,
+) -> Result<Value, SptxError> {
     if op.is_bitwise() || ty == ScalarType::I64 {
         let (x, y) = (a.as_i64(), b.as_i64());
         let v = match op {
@@ -645,7 +658,11 @@ mod tests {
     use crate::builder::{for_loop, ProgramBuilder};
     use crate::isa::InstrClass;
 
-    fn run_simple(program: &KernelProgram, mem: &mut Memory, params: &[ParamValue]) -> ExecutionProfile {
+    fn run_simple(
+        program: &KernelProgram,
+        mem: &mut Memory,
+        params: &[ParamValue],
+    ) -> ExecutionProfile {
         Interpreter::new().run(program, &LaunchConfig::linear(1, 1), params, mem).unwrap()
     }
 
@@ -722,7 +739,8 @@ mod tests {
         b.mov_imm_i(x, 4).mov_imm_i(z, 0).binop(BinOp::Div, ScalarType::I64, x, x, z).ret();
         let p = b.build().unwrap();
         let mut mem = Memory::new(0);
-        let err = Interpreter::new().run(&p, &LaunchConfig::linear(1, 1), &[], &mut mem).unwrap_err();
+        let err =
+            Interpreter::new().run(&p, &LaunchConfig::linear(1, 1), &[], &mut mem).unwrap_err();
         assert!(matches!(err, SptxError::DivisionByZero { .. }));
 
         let mut b = ProgramBuilder::new("fdiv");
@@ -766,19 +784,15 @@ mod tests {
         b.ld_param(base, 0).st(ScalarType::F64, base, 0, acc).ret();
         let p = b.build().unwrap();
         let mut mem = Memory::new(8);
-        let profile =
-            Interpreter::new().run(&p, &LaunchConfig::linear(2, 3), &[ParamValue::Ptr(0)], &mut mem).unwrap();
+        let profile = Interpreter::new()
+            .run(&p, &LaunchConfig::linear(2, 3), &[ParamValue::Ptr(0)], &mut mem)
+            .unwrap();
         // 6 threads × 5 iterations × 1 f64 add.
         assert_eq!(profile.counts.get(InstrClass::Fp64), 30);
         assert_eq!(profile.counts.get(InstrClass::St), 6);
         assert_eq!(profile.threads, 6);
         // The loop body block ran 5 times per thread.
-        let body = profile
-            .block_iterations
-            .iter()
-            .map(|(_, &n)| n)
-            .max()
-            .unwrap();
+        let body = profile.block_iterations.iter().map(|(_, &n)| n).max().unwrap();
         assert!(body >= 30);
         assert_eq!(mem.read_f64(0).unwrap(), 5.0);
     }
@@ -797,8 +811,9 @@ mod tests {
             .ret();
         let p = b.build().unwrap();
         let mut mem = Memory::new(8192 + 8);
-        let profile =
-            Interpreter::new().run(&p, &LaunchConfig::linear(1, 2), &[ParamValue::Ptr(0)], &mut mem).unwrap();
+        let profile = Interpreter::new()
+            .run(&p, &LaunchConfig::linear(1, 2), &[ParamValue::Ptr(0)], &mut mem)
+            .unwrap();
         assert_eq!(profile.memory.unique_segments, 2);
         assert_eq!(profile.memory.accesses, 2);
         assert_eq!(profile.memory.store_bytes, 16);

@@ -492,17 +492,21 @@ mod tests {
 
     #[test]
     fn class_follows_type_for_arithmetic() {
-        let i = Instr::Bin { op: BinOp::Add, ty: ScalarType::F64, dst: Reg(0), a: Reg(1), b: Reg(2) };
+        let i =
+            Instr::Bin { op: BinOp::Add, ty: ScalarType::F64, dst: Reg(0), a: Reg(1), b: Reg(2) };
         assert_eq!(i.class(), InstrClass::Fp64);
-        let i = Instr::Bin { op: BinOp::Add, ty: ScalarType::F32, dst: Reg(0), a: Reg(1), b: Reg(2) };
+        let i =
+            Instr::Bin { op: BinOp::Add, ty: ScalarType::F32, dst: Reg(0), a: Reg(1), b: Reg(2) };
         assert_eq!(i.class(), InstrClass::Fp32);
-        let i = Instr::Bin { op: BinOp::Add, ty: ScalarType::I64, dst: Reg(0), a: Reg(1), b: Reg(2) };
+        let i =
+            Instr::Bin { op: BinOp::Add, ty: ScalarType::I64, dst: Reg(0), a: Reg(1), b: Reg(2) };
         assert_eq!(i.class(), InstrClass::Int);
     }
 
     #[test]
     fn bitwise_ops_are_bit_class_regardless_of_type() {
-        let i = Instr::Bin { op: BinOp::Xor, ty: ScalarType::I64, dst: Reg(0), a: Reg(1), b: Reg(2) };
+        let i =
+            Instr::Bin { op: BinOp::Xor, ty: ScalarType::I64, dst: Reg(0), a: Reg(1), b: Reg(2) };
         assert_eq!(i.class(), InstrClass::Bit);
         let i = Instr::Un { op: UnaryOp::Not, ty: ScalarType::I64, dst: Reg(0), a: Reg(1) };
         assert_eq!(i.class(), InstrClass::Bit);
@@ -510,9 +514,11 @@ mod tests {
 
     #[test]
     fn memory_ops_have_ld_st_classes() {
-        let ld = Instr::Ld { ty: ScalarType::F32, dst: Reg(0), base: Reg(1), index: None, offset: 0 };
+        let ld =
+            Instr::Ld { ty: ScalarType::F32, dst: Reg(0), base: Reg(1), index: None, offset: 0 };
         assert_eq!(ld.class(), InstrClass::Ld);
-        let st = Instr::St { ty: ScalarType::F32, base: Reg(1), index: None, offset: 0, src: Reg(0) };
+        let st =
+            Instr::St { ty: ScalarType::F32, base: Reg(1), index: None, offset: 0, src: Reg(0) };
         assert_eq!(st.class(), InstrClass::St);
     }
 

@@ -181,9 +181,9 @@ fn try_fold(instr: &Instr, known: &HashMap<Reg, Known>) -> Option<Instr> {
                 ScalarType::I64 => {
                     Imm::I(x.as_i64().wrapping_mul(y.as_i64()).wrapping_add(z.as_i64()))
                 }
-                ScalarType::F32 => Imm::F(
-                    (x.as_f64() as f32).mul_add(y.as_f64() as f32, z.as_f64() as f32) as f64,
-                ),
+                ScalarType::F32 => {
+                    Imm::F((x.as_f64() as f32).mul_add(y.as_f64() as f32, z.as_f64() as f32) as f64)
+                }
                 ScalarType::F64 => Imm::F(x.as_f64() * y.as_f64() + z.as_f64()),
             };
             Some(Instr::MovImm { dst: *dst, imm })
@@ -494,8 +494,12 @@ entry:
             before.write_f32(i * 4, i as f32 + 1.0).unwrap();
             after.write_f32(i * 4, i as f32 + 1.0).unwrap();
         }
-        Interpreter::new().run(&p, &LaunchConfig::linear(1, 4), &[ParamValue::Ptr(0)], &mut before).unwrap();
-        Interpreter::new().run(&opt, &LaunchConfig::linear(1, 4), &[ParamValue::Ptr(0)], &mut after).unwrap();
+        Interpreter::new()
+            .run(&p, &LaunchConfig::linear(1, 4), &[ParamValue::Ptr(0)], &mut before)
+            .unwrap();
+        Interpreter::new()
+            .run(&opt, &LaunchConfig::linear(1, 4), &[ParamValue::Ptr(0)], &mut after)
+            .unwrap();
         assert_eq!(before.as_bytes(), after.as_bytes());
     }
 

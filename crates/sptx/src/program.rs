@@ -191,18 +191,18 @@ impl KernelProgram {
     /// Per-block static mixes keyed by block id — the μ table consumed by
     /// σ-derivation (Eq. 1 of the paper).
     pub fn block_mixes(&self) -> HashMap<BlockId, ClassCounts> {
-        self.blocks
-            .iter()
-            .enumerate()
-            .map(|(i, b)| (BlockId(i as u32), b.static_mix()))
-            .collect()
+        self.blocks.iter().enumerate().map(|(i, b)| (BlockId(i as u32), b.static_mix())).collect()
     }
 
     /// A structural fingerprint of the program: name plus static mix. Two launches
     /// are *coalescible* in ΣVP when their fingerprints match (the paper's "identical
     /// kernel" test performed by the Kernel Match module).
     pub fn fingerprint(&self) -> ProgramFingerprint {
-        ProgramFingerprint { name: self.name.clone(), mix: self.static_mix(), blocks: self.blocks.len() }
+        ProgramFingerprint {
+            name: self.name.clone(),
+            mix: self.static_mix(),
+            blocks: self.blocks.len(),
+        }
     }
 }
 

@@ -135,7 +135,10 @@ fn check_def_before_use(program: &KernelProgram) -> Result<(), SptxError> {
                 }
             }
             if !pred_defined.contains(&pred.0) {
-                return Err(SptxError::PredUseBeforeDef { pred: pred.0, block: BlockId(bi as u32) });
+                return Err(SptxError::PredUseBeforeDef {
+                    pred: pred.0,
+                    block: BlockId(bi as u32),
+                });
             }
         }
     }

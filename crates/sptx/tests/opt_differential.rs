@@ -28,8 +28,12 @@ fn arb_op() -> impl Strategy<Value = RandomOp> {
     prop_oneof![
         (0usize..10, 0usize..3, r.clone(), r.clone(), r.clone())
             .prop_map(|(op, ty, dst, a, b)| RandomOp::Bin { op, ty, dst, a, b }),
-        (0usize..8, 0usize..3, r.clone(), r.clone())
-            .prop_map(|(op, ty, dst, a)| RandomOp::Un { op, ty, dst, a }),
+        (0usize..8, 0usize..3, r.clone(), r.clone()).prop_map(|(op, ty, dst, a)| RandomOp::Un {
+            op,
+            ty,
+            dst,
+            a
+        }),
         (0usize..3, r.clone(), r.clone(), r.clone(), r.clone())
             .prop_map(|(ty, dst, a, b, c)| RandomOp::Mad { ty, dst, a, b, c }),
         (r.clone(), r.clone()).prop_map(|(dst, src)| RandomOp::Mov { dst, src }),
@@ -86,7 +90,13 @@ fn build_program(seeds_i: &[i64; 4], seeds_f: &[f64; 4], ops: &[RandomOp]) -> Ke
     for op in ops {
         match op {
             RandomOp::Bin { op, ty, dst, a, b: rb } => {
-                b.binop(bin_of(*op), ty_of(*ty), regs[*dst as usize], regs[*a as usize], regs[*rb as usize]);
+                b.binop(
+                    bin_of(*op),
+                    ty_of(*ty),
+                    regs[*dst as usize],
+                    regs[*a as usize],
+                    regs[*rb as usize],
+                );
             }
             RandomOp::Un { op, ty, dst, a } => {
                 b.unop(un_of(*op), ty_of(*ty), regs[*dst as usize], regs[*a as usize]);
@@ -126,8 +136,12 @@ fn arb_foldable_op() -> impl Strategy<Value = RandomOp> {
         (0usize..10, 0usize..3, r.clone(), r.clone(), r.clone())
             .prop_map(|(op, ty, dst, a, b)| RandomOp::Bin { op, ty, dst, a, b }),
         // Unary restricted to neg/abs, which fold for every type.
-        (0usize..2, 0usize..3, r.clone(), r.clone())
-            .prop_map(|(op, ty, dst, a)| RandomOp::Un { op, ty, dst, a }),
+        (0usize..2, 0usize..3, r.clone(), r.clone()).prop_map(|(op, ty, dst, a)| RandomOp::Un {
+            op,
+            ty,
+            dst,
+            a
+        }),
         (0usize..3, r.clone(), r.clone(), r.clone(), r.clone())
             .prop_map(|(ty, dst, a, b, c)| RandomOp::Mad { ty, dst, a, b, c }),
         (r.clone(), r.clone()).prop_map(|(dst, src)| RandomOp::Mov { dst, src }),

@@ -49,7 +49,18 @@ fn run_executes_and_dumps_memory() {
     let out = sptxc()
         .args(["run"])
         .arg(&path)
-        .args(["--grid", "1", "--block", "4", "--mem", "64", "--param", "ptr:0", "--dump-f32", "0..4"])
+        .args([
+            "--grid",
+            "1",
+            "--block",
+            "4",
+            "--mem",
+            "64",
+            "--param",
+            "ptr:0",
+            "--dump-f32",
+            "0..4",
+        ])
         .output()
         .expect("run sptxc");
     assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));

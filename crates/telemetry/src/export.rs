@@ -1,0 +1,256 @@
+//! Exporters: Chrome-trace JSON, metrics-snapshot JSON, and a plaintext table.
+//!
+//! JSON is emitted by hand (the build environment has no serde), which also
+//! keeps the output byte-stable for tests. The Chrome format is the legacy
+//! "JSON Array Format" understood by `chrome://tracing` and Perfetto: spans
+//! are complete events (`"ph":"X"`), queue-depth samples are counter events
+//! (`"ph":"C"`), and process/thread metadata events give the lanes their
+//! names. The two [`TimeDomain`]s map to two separate pids so simulated and
+//! wall-clock timelines never share an axis.
+
+use std::collections::BTreeSet;
+
+use crate::metrics::MetricsSnapshot;
+use crate::trace::{EventKind, Lane, TimeDomain, TraceEvent};
+
+/// Pid under which simulated-time lanes render.
+pub const SIM_PID: u32 = 0;
+/// Pid under which wall-clock lanes render.
+pub const WALL_PID: u32 = 1;
+
+fn pid(domain: TimeDomain) -> u32 {
+    match domain {
+        TimeDomain::Sim => SIM_PID,
+        TimeDomain::Wall => WALL_PID,
+    }
+}
+
+fn process_name(domain: TimeDomain) -> &'static str {
+    match domain {
+        TimeDomain::Sim => "device (simulated time)",
+        TimeDomain::Wall => "runtime (wall clock)",
+    }
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format an `f64` for JSON (finite values only; non-finite becomes 0).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // `{}` prints integral floats without a dot; that is still valid JSON.
+        s
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Render events as a single Chrome-trace JSON document.
+///
+/// Spans become complete (`X`) events with microsecond timestamps, counter
+/// samples become counter (`C`) events, and metadata events name every
+/// process (time domain) and thread (lane) that appears.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let mut entries: Vec<String> = Vec::with_capacity(events.len() + 16);
+
+    let domains: BTreeSet<TimeDomain> = events.iter().map(|e| e.domain).collect();
+    for domain in &domains {
+        entries.push(format!(
+            "{{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":{},\"tid\":0,\"args\":{{\"name\":\"{}\"}}}}",
+            pid(*domain),
+            process_name(*domain)
+        ));
+    }
+    let lanes: BTreeSet<(TimeDomain, Lane)> = events.iter().map(|e| (e.domain, e.lane)).collect();
+    for (domain, lane) in &lanes {
+        entries.push(format!(
+            "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":{},\"tid\":{},\"args\":{{\"name\":\"{}\"}}}}",
+            pid(*domain),
+            lane.tid(),
+            escape_json(&lane.label())
+        ));
+        entries.push(format!(
+            "{{\"ph\":\"M\",\"name\":\"thread_sort_index\",\"pid\":{},\"tid\":{},\"args\":{{\"sort_index\":{}}}}}",
+            pid(*domain),
+            lane.tid(),
+            lane.tid()
+        ));
+    }
+
+    for event in events {
+        match &event.kind {
+            EventKind::Span { start_s, dur_s } => entries.push(format!(
+                "{{\"ph\":\"X\",\"name\":\"{}\",\"pid\":{},\"tid\":{},\"ts\":{},\"dur\":{}}}",
+                escape_json(&event.name),
+                pid(event.domain),
+                event.lane.tid(),
+                json_f64(start_s * 1e6),
+                json_f64(dur_s * 1e6),
+            )),
+            EventKind::Counter { at_s, value } => entries.push(format!(
+                "{{\"ph\":\"C\",\"name\":\"{}\",\"pid\":{},\"tid\":{},\"ts\":{},\"args\":{{\"value\":{}}}}}",
+                escape_json(&event.name),
+                pid(event.domain),
+                event.lane.tid(),
+                json_f64(at_s * 1e6),
+                json_f64(*value),
+            )),
+        }
+    }
+
+    let mut out = String::from("[\n");
+    out.push_str(&entries.join(",\n"));
+    out.push_str("\n]\n");
+    out
+}
+
+/// Render a metrics snapshot as a JSON object.
+pub fn metrics_json(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::from("{\n  \"counters\": {");
+    let counters: Vec<String> = snapshot
+        .counters
+        .iter()
+        .map(|(name, v)| format!("\"{}\": {}", escape_json(name), v))
+        .collect();
+    out.push_str(&counters.join(", "));
+    out.push_str("},\n  \"gauges\": {");
+    let gauges: Vec<String> = snapshot
+        .gauges
+        .iter()
+        .map(|(name, v)| format!("\"{}\": {}", escape_json(name), json_f64(*v)))
+        .collect();
+    out.push_str(&gauges.join(", "));
+    out.push_str("},\n  \"histograms\": {");
+    let histograms: Vec<String> = snapshot
+        .histograms
+        .iter()
+        .map(|(name, h)| {
+            format!(
+                "\"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"mean\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}}}",
+                escape_json(name),
+                h.count,
+                json_f64(h.sum),
+                json_f64(h.min),
+                json_f64(h.max),
+                json_f64(h.mean()),
+                json_f64(h.p50),
+                json_f64(h.p90),
+                json_f64(h.p99),
+            )
+        })
+        .collect();
+    out.push_str(&histograms.join(", "));
+    out.push_str("}\n}\n");
+    out
+}
+
+/// Render a metrics snapshot as an aligned plaintext table.
+pub fn summary_table(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    if !snapshot.counters.is_empty() {
+        out.push_str("counters\n");
+        for (name, v) in &snapshot.counters {
+            out.push_str(&format!("  {name:<44} {v:>14}\n"));
+        }
+    }
+    if !snapshot.gauges.is_empty() {
+        out.push_str("gauges\n");
+        for (name, v) in &snapshot.gauges {
+            out.push_str(&format!("  {name:<44} {v:>14.6}\n"));
+        }
+    }
+    if !snapshot.histograms.is_empty() {
+        out.push_str("histograms (seconds)\n");
+        out.push_str(&format!(
+            "  {:<44} {:>8} {:>11} {:>11} {:>11} {:>11}\n",
+            "name", "count", "mean", "p50", "p90", "p99"
+        ));
+        for (name, h) in &snapshot.histograms {
+            out.push_str(&format!(
+                "  {:<44} {:>8} {:>11.3e} {:>11.3e} {:>11.3e} {:>11.3e}\n",
+                name,
+                h.count,
+                h.mean(),
+                h.p50,
+                h.p90,
+                h.p99
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::span(TimeDomain::Sim, Lane::Compute, "kernel \"k\"", 0.0, 1e-3),
+            TraceEvent::span(TimeDomain::Sim, Lane::CopyH2D, "h2d", 1e-3, 2e-3),
+            TraceEvent::span(TimeDomain::Wall, Lane::Vp(3), "launch", 0.5e-3, 0.25e-3),
+            TraceEvent::counter(TimeDomain::Wall, Lane::JobQueue, "queue depth", 1e-3, 4.0),
+        ]
+    }
+
+    #[test]
+    fn chrome_trace_is_wellformed_and_labeled() {
+        let json = chrome_trace_json(&sample_events());
+        assert!(json.starts_with("[\n"));
+        assert!(json.trim_end().ends_with(']'));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"ph\":\"C\""));
+        assert!(json.contains("device (simulated time)"));
+        assert!(json.contains("runtime (wall clock)"));
+        assert!(json.contains("compute engine"));
+        assert!(json.contains("copy engine (H2D)"));
+        assert!(json.contains("VP 3"));
+        assert!(json.contains("job queue"));
+        // Escaping: the quoted kernel name must not break the JSON.
+        assert!(json.contains("kernel \\\"k\\\""));
+        // Microsecond conversion.
+        assert!(json.contains("\"dur\":1000"));
+    }
+
+    #[test]
+    fn metrics_exports_cover_all_sections() {
+        let r = Registry::new();
+        r.counter("jobs.enqueued").add(7);
+        r.gauge("queue.depth").set(2.0);
+        r.histogram("queue.wait_s").observe(1e-4);
+        let snap = r.snapshot();
+        let json = metrics_json(&snap);
+        assert!(json.contains("\"jobs.enqueued\": 7"));
+        assert!(json.contains("\"queue.depth\": 2"));
+        assert!(json.contains("\"queue.wait_s\": {\"count\": 1"));
+        let table = summary_table(&snap);
+        assert!(table.contains("jobs.enqueued"));
+        assert!(table.contains("queue.wait_s"));
+        assert!(table.contains("p99"));
+    }
+
+    #[test]
+    fn empty_inputs_produce_valid_output() {
+        assert_eq!(summary_table(&MetricsSnapshot::default()), "");
+        let json = metrics_json(&MetricsSnapshot::default());
+        assert!(json.contains("\"counters\": {}"));
+        let trace = chrome_trace_json(&[]);
+        assert!(trace.starts_with('['));
+    }
+}

@@ -1,0 +1,329 @@
+//! Span/event tracing into a lock-free bounded ring buffer.
+//!
+//! Events carry a [`TimeDomain`] because ΣVP runs two clocks at once: the
+//! *simulated* clock (device timelines, VP clocks) and the host's *wall
+//! clock* (actual dispatcher/queue behaviour). Exporters keep the domains in
+//! separate Chrome-trace process groups so the two timelines never get
+//! visually conflated.
+//!
+//! The ring is a Vyukov-style bounded MPMC queue: producers claim slots with a
+//! CAS on the enqueue cursor and publish with a per-slot sequence number, so
+//! concurrent VP threads, the dispatcher and engine simulation can all record
+//! without locks. When the ring is full new events are **dropped** (and
+//! counted) rather than stalling the runtime — telemetry must never become
+//! the bottleneck it is measuring.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Which clock an event's timestamps belong to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TimeDomain {
+    /// Simulated seconds (device timeline origin).
+    Sim,
+    /// Wall-clock seconds since the collector was installed.
+    Wall,
+}
+
+/// The horizontal track an event renders on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Lane {
+    /// The host-side dispatcher loop.
+    Dispatcher,
+    /// The shared job queue (depth samples).
+    JobQueue,
+    /// The device's host-to-device copy engine.
+    CopyH2D,
+    /// The device's device-to-host copy engine.
+    CopyD2H,
+    /// The device's compute engine.
+    Compute,
+    /// One virtual platform.
+    Vp(u32),
+}
+
+impl Lane {
+    /// Human-readable track label.
+    pub fn label(&self) -> String {
+        match self {
+            Lane::Dispatcher => "dispatcher".to_string(),
+            Lane::JobQueue => "job queue".to_string(),
+            Lane::CopyH2D => "copy engine (H2D)".to_string(),
+            Lane::CopyD2H => "copy engine (D2H)".to_string(),
+            Lane::Compute => "compute engine".to_string(),
+            Lane::Vp(n) => format!("VP {n}"),
+        }
+    }
+
+    /// Stable Chrome-trace thread id for the lane.
+    pub fn tid(&self) -> u32 {
+        match self {
+            Lane::Dispatcher => 1,
+            Lane::JobQueue => 2,
+            Lane::CopyH2D => 10,
+            Lane::CopyD2H => 11,
+            Lane::Compute => 12,
+            Lane::Vp(n) => 100 + n,
+        }
+    }
+}
+
+/// The payload of a [`TraceEvent`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// An interval.
+    Span {
+        /// Start time in seconds (domain-relative).
+        start_s: f64,
+        /// Duration in seconds.
+        dur_s: f64,
+    },
+    /// A sampled value (e.g. queue depth), rendered as a counter track.
+    Counter {
+        /// Sample time in seconds (domain-relative).
+        at_s: f64,
+        /// Sampled value.
+        value: f64,
+    },
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Clock the timestamps belong to.
+    pub domain: TimeDomain,
+    /// Track the event renders on.
+    pub lane: Lane,
+    /// Event name.
+    pub name: String,
+    /// Interval or sample payload.
+    pub kind: EventKind,
+}
+
+impl TraceEvent {
+    /// Convenience constructor for a span.
+    pub fn span(
+        domain: TimeDomain,
+        lane: Lane,
+        name: impl Into<String>,
+        start_s: f64,
+        dur_s: f64,
+    ) -> Self {
+        TraceEvent { domain, lane, name: name.into(), kind: EventKind::Span { start_s, dur_s } }
+    }
+
+    /// Convenience constructor for a counter sample.
+    pub fn counter(
+        domain: TimeDomain,
+        lane: Lane,
+        name: impl Into<String>,
+        at_s: f64,
+        value: f64,
+    ) -> Self {
+        TraceEvent { domain, lane, name: name.into(), kind: EventKind::Counter { at_s, value } }
+    }
+}
+
+struct Slot {
+    sequence: AtomicUsize,
+    value: UnsafeCell<Option<TraceEvent>>,
+}
+
+/// Lock-free bounded MPMC ring buffer of [`TraceEvent`]s (Vyukov queue).
+pub struct SpanRing {
+    slots: Box<[Slot]>,
+    mask: usize,
+    enqueue_pos: AtomicUsize,
+    dequeue_pos: AtomicUsize,
+    dropped: AtomicU64,
+}
+
+// The UnsafeCell contents are only touched by the thread that won the
+// corresponding sequence-number handshake, which is what makes this Sync.
+unsafe impl Sync for SpanRing {}
+unsafe impl Send for SpanRing {}
+
+impl SpanRing {
+    /// A ring holding up to `capacity` events (rounded up to a power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        let capacity = capacity.next_power_of_two();
+        let slots: Vec<Slot> = (0..capacity)
+            .map(|i| Slot { sequence: AtomicUsize::new(i), value: UnsafeCell::new(None) })
+            .collect();
+        SpanRing {
+            slots: slots.into_boxed_slice(),
+            mask: capacity - 1,
+            enqueue_pos: AtomicUsize::new(0),
+            dequeue_pos: AtomicUsize::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Capacity in events.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of events dropped because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Record an event. Returns `false` (and counts a drop) when full.
+    pub fn push(&self, event: TraceEvent) -> bool {
+        let mut pos = self.enqueue_pos.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.sequence.load(Ordering::Acquire);
+            let diff = seq as isize - pos as isize;
+            if diff == 0 {
+                match self.enqueue_pos.compare_exchange_weak(
+                    pos,
+                    pos + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // Safety: winning the CAS gives exclusive access to
+                        // this slot until the Release store below.
+                        unsafe { *slot.value.get() = Some(event) };
+                        slot.sequence.store(pos + 1, Ordering::Release);
+                        return true;
+                    }
+                    Err(observed) => pos = observed,
+                }
+            } else if diff < 0 {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                return false;
+            } else {
+                pos = self.enqueue_pos.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Remove and return the oldest event, if any.
+    pub fn pop(&self) -> Option<TraceEvent> {
+        let mut pos = self.dequeue_pos.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.sequence.load(Ordering::Acquire);
+            let diff = seq as isize - (pos + 1) as isize;
+            if diff == 0 {
+                match self.dequeue_pos.compare_exchange_weak(
+                    pos,
+                    pos + 1,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        // Safety: winning the CAS gives exclusive access to
+                        // this slot until the Release store below.
+                        let event = unsafe { (*slot.value.get()).take() };
+                        slot.sequence.store(pos + self.mask + 1, Ordering::Release);
+                        return event;
+                    }
+                    Err(observed) => pos = observed,
+                }
+            } else if diff < 0 {
+                return None;
+            } else {
+                pos = self.dequeue_pos.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Drain every currently available event, oldest first.
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::new();
+        while let Some(event) = self.pop() {
+            out.push(event);
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for SpanRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanRing")
+            .field("capacity", &self.capacity())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(i: u32) -> TraceEvent {
+        TraceEvent::span(TimeDomain::Sim, Lane::Compute, format!("k{i}"), i as f64, 1.0)
+    }
+
+    #[test]
+    fn fifo_and_capacity() {
+        let ring = SpanRing::with_capacity(4);
+        assert_eq!(ring.capacity(), 4);
+        for i in 0..4 {
+            assert!(ring.push(ev(i)));
+        }
+        assert!(!ring.push(ev(99)), "full ring must drop");
+        assert_eq!(ring.dropped(), 1);
+        let drained = ring.drain();
+        assert_eq!(drained.len(), 4);
+        assert_eq!(drained[0].name, "k0");
+        assert_eq!(drained[3].name, "k3");
+        assert!(ring.pop().is_none());
+        // Slots recycle after a drain.
+        assert!(ring.push(ev(5)));
+        assert_eq!(ring.drain().len(), 1);
+    }
+
+    #[test]
+    fn concurrent_producers_never_lose_accepted_events() {
+        let ring = std::sync::Arc::new(SpanRing::with_capacity(1 << 14));
+        let producers: Vec<_> = (0..4u32)
+            .map(|t| {
+                let ring = ring.clone();
+                std::thread::spawn(move || {
+                    let mut accepted = 0u64;
+                    for i in 0..2000 {
+                        if ring.push(ev(t * 10_000 + i)) {
+                            accepted += 1;
+                        }
+                    }
+                    accepted
+                })
+            })
+            .collect();
+        let accepted: u64 = producers.into_iter().map(|t| t.join().unwrap()).sum();
+        let drained = ring.drain().len() as u64;
+        assert_eq!(accepted, 8000);
+        assert_eq!(drained + ring.dropped(), 8000);
+    }
+
+    #[test]
+    fn lane_labels_and_tids_are_distinct() {
+        let lanes = [
+            Lane::Dispatcher,
+            Lane::JobQueue,
+            Lane::CopyH2D,
+            Lane::CopyD2H,
+            Lane::Compute,
+            Lane::Vp(0),
+            Lane::Vp(1),
+        ];
+        let mut tids: Vec<u32> = lanes.iter().map(Lane::tid).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        assert_eq!(tids.len(), lanes.len());
+        let mut labels: Vec<String> = lanes.iter().map(Lane::label).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), lanes.len());
+    }
+}

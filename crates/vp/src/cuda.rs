@@ -208,7 +208,8 @@ impl<'a> CudaContext<'a> {
         params: &[WireParam],
     ) -> Result<(), VpError> {
         self.driver_overhead();
-        let t = self.service.launch_on_stream(stream, kernel, grid_dim, block_dim, params, false)?;
+        let t =
+            self.service.launch_on_stream(stream, kernel, grid_dim, block_dim, params, false)?;
         self.vp.block_on_gpu(t);
         Ok(())
     }

@@ -249,10 +249,7 @@ mod tests {
     #[test]
     fn unknown_kernel_errors() {
         let mut svc = EmulatedGpu::on_cpu(registry());
-        assert!(matches!(
-            svc.launch("missing", 1, 1, &[], true),
-            Err(VpError::UnknownKernel(_))
-        ));
+        assert!(matches!(svc.launch("missing", 1, 1, &[], true), Err(VpError::UnknownKernel(_))));
     }
 
     #[test]

@@ -34,4 +34,4 @@ pub mod registry;
 pub mod service;
 
 pub use error::VpError;
-pub use platform::VirtualPlatform;
+pub use platform::{SimClock, VirtualPlatform};

@@ -7,10 +7,41 @@
 //! simpleGL, …) see lower speedups: "these portions of the applications are not the
 //! target of the acceleration provided by ΣVP."
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
 use sigmavp_ipc::message::VpId;
 
 use crate::calib;
 use crate::cpu::{BinaryTranslation, CpuModel};
+
+/// A shared read handle on one VP's simulated clock.
+///
+/// The guest-side GPU service runs on the same thread as the platform but is a
+/// separate object (the borrow checker will not let it hold `&VirtualPlatform`
+/// while the application drives both), so request timestamping needs a shared
+/// view of "now". The clock value is stored as `f64` bits in an atomic;
+/// reads/writes are single-writer (the owning VP) multi-reader.
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    bits: Arc<AtomicU64>,
+}
+
+impl SimClock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulated time in seconds.
+    pub fn now_s(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    fn store(&self, t: f64) {
+        self.bits.store(t.to_bits(), Ordering::Relaxed);
+    }
+}
 
 /// Accumulated activity of one VP.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -30,13 +61,31 @@ pub struct VpStats {
 }
 
 /// One virtual platform instance.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct VirtualPlatform {
     id: VpId,
     cpu: CpuModel,
     translation: BinaryTranslation,
     clock_s: f64,
+    clock_handle: SimClock,
     stats: VpStats,
+}
+
+impl Clone for VirtualPlatform {
+    /// Cloning forks the VP: the clone gets its own clock handle (at the same
+    /// time value), so advancing one platform never moves the other's clock.
+    fn clone(&self) -> Self {
+        let clock_handle = SimClock::new();
+        clock_handle.store(self.clock_s);
+        VirtualPlatform {
+            id: self.id,
+            cpu: self.cpu.clone(),
+            translation: self.translation,
+            clock_s: self.clock_s,
+            clock_handle,
+            stats: self.stats,
+        }
+    }
 }
 
 impl VirtualPlatform {
@@ -47,6 +96,7 @@ impl VirtualPlatform {
             cpu: CpuModel::host_xeon(),
             translation: BinaryTranslation::qemu_arm(),
             clock_s: 0.0,
+            clock_handle: SimClock::new(),
             stats: VpStats::default(),
         }
     }
@@ -59,6 +109,7 @@ impl VirtualPlatform {
             cpu: CpuModel::host_xeon(),
             translation: BinaryTranslation::native(),
             clock_s: 0.0,
+            clock_handle: SimClock::new(),
             stats: VpStats::default(),
         }
     }
@@ -71,6 +122,13 @@ impl VirtualPlatform {
     /// Current simulated time in seconds.
     pub fn now_s(&self) -> f64 {
         self.clock_s
+    }
+
+    /// A shared handle on this VP's simulated clock, for objects that need to
+    /// read "now" without borrowing the platform (e.g. the GPU service stub
+    /// timestamping outgoing requests).
+    pub fn clock_handle(&self) -> SimClock {
+        self.clock_handle.clone()
     }
 
     /// Accumulated activity counters.
@@ -92,6 +150,7 @@ impl VirtualPlatform {
     pub fn advance(&mut self, dt: f64) {
         assert!(dt >= 0.0, "cannot advance a clock backwards (dt = {dt})");
         self.clock_s += dt;
+        self.clock_handle.store(self.clock_s);
     }
 
     /// Account for time blocked on a GPU service call.
@@ -187,5 +246,18 @@ mod tests {
     #[should_panic(expected = "backwards")]
     fn negative_advance_panics() {
         VirtualPlatform::new(VpId(0)).advance(-1.0);
+    }
+
+    #[test]
+    fn clock_handle_tracks_platform_and_clone_forks() {
+        let mut vp = VirtualPlatform::new(VpId(0));
+        let handle = vp.clock_handle();
+        assert_eq!(handle.now_s(), 0.0);
+        vp.advance(1.5);
+        assert!((handle.now_s() - 1.5).abs() < 1e-12);
+        let forked = vp.clone();
+        vp.advance(1.0);
+        assert!((handle.now_s() - 2.5).abs() < 1e-12);
+        assert!((forked.clock_handle().now_s() - 1.5).abs() < 1e-12, "clone must fork the clock");
     }
 }

@@ -83,6 +83,7 @@ pub trait Application {
 pub fn upload(cuda: &mut CudaContext<'_>, data: &[u8]) -> Result<GuestBuffer, VpError> {
     let buf = cuda.malloc(data.len() as u64)?;
     cuda.memcpy_h2d(buf, data)?;
+    sigmavp_telemetry::recorder().count("workloads.upload_bytes", data.len() as u64);
     Ok(buf)
 }
 
@@ -94,11 +95,13 @@ pub fn upload(cuda: &mut CudaContext<'_>, data: &[u8]) -> Result<GuestBuffer, Vp
 pub fn download(cuda: &mut CudaContext<'_>, buf: GuestBuffer) -> Result<Vec<u8>, VpError> {
     let mut out = vec![0u8; buf.len() as usize];
     cuda.memcpy_d2h(&mut out, buf)?;
+    sigmavp_telemetry::recorder().count("workloads.download_bytes", out.len() as u64);
     Ok(out)
 }
 
 /// Build a [`VpError::Validation`] for an application.
 pub fn validation_error(app: &str, message: impl Into<String>) -> VpError {
+    sigmavp_telemetry::recorder().count("workloads.validation_failures", 1);
     VpError::Validation { app: app.to_string(), message: message.into() }
 }
 
@@ -108,7 +111,12 @@ pub fn validation_error(app: &str, message: impl Into<String>) -> VpError {
 ///
 /// Returns [`VpError::Validation`] when the maximum relative error exceeds
 /// `tolerance`.
-pub fn check_close(app: &str, got: &[f32], expected: &[f32], tolerance: f64) -> Result<(), VpError> {
+pub fn check_close(
+    app: &str,
+    got: &[f32],
+    expected: &[f32],
+    tolerance: f64,
+) -> Result<(), VpError> {
     if got.len() != expected.len() {
         return Err(validation_error(
             app,
@@ -117,7 +125,10 @@ pub fn check_close(app: &str, got: &[f32], expected: &[f32], tolerance: f64) -> 
     }
     let err = crate::util::max_relative_error(got, expected);
     if err > tolerance {
-        return Err(validation_error(app, format!("max relative error {err:.3e} > {tolerance:.1e}")));
+        return Err(validation_error(
+            app,
+            format!("max relative error {err:.3e} > {tolerance:.1e}"),
+        ));
     }
     Ok(())
 }

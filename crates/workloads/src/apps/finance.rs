@@ -93,8 +93,13 @@ impl Application for BlackScholesApp {
         let mut ecalls = Vec::with_capacity(n);
         let mut eputs = Vec::with_capacity(n);
         for i in 0..n {
-            let (c, pv) =
-                black_scholes_reference(spots[i], strikes[i], self.riskfree, self.volatility, self.maturity);
+            let (c, pv) = black_scholes_reference(
+                spots[i],
+                strikes[i],
+                self.riskfree,
+                self.volatility,
+                self.maturity,
+            );
             ecalls.push(c);
             eputs.push(pv);
         }

@@ -3,9 +3,8 @@
 
 use crate::app::{check_close, download, p, pf, pi, upload, AppEnv, AppTraits, Application};
 use crate::kernels::{
-    self, bicubic_reference, convolution_reference, dct8x8_reference,
-    recursive_gaussian_reference, sobel_reference, stereo_disparity_reference,
-    volume_filter_reference,
+    self, bicubic_reference, convolution_reference, dct8x8_reference, recursive_gaussian_reference,
+    sobel_reference, stereo_disparity_reference, volume_filter_reference,
 };
 use crate::util::{
     bytes_to_f32s, bytes_to_i64s, f32s_to_bytes, i64s_to_bytes, random_f32s, random_i64s,
@@ -46,7 +45,11 @@ impl Application for SobelFilterApp {
     }
 
     fn characteristics(&self) -> AppTraits {
-        AppTraits { coalescible: false, file_io_bytes: 0, gl_pixels: (self.width * self.height) / 4 }
+        AppTraits {
+            coalescible: false,
+            file_io_bytes: 0,
+            gl_pixels: (self.width * self.height) / 4,
+        }
     }
 
     fn run_once(&self, env: &mut AppEnv<'_>) -> Result<(), VpError> {
@@ -307,7 +310,14 @@ impl Application for RecursiveGaussianApp {
             "recursive_gaussian",
             self.rows.div_ceil(64) as u32,
             64,
-            &[p(din), p(dout), pi(self.rows as i64), pi(self.width as i64), pf(a as f64), pf(bc as f64)],
+            &[
+                p(din),
+                p(dout),
+                pi(self.rows as i64),
+                pi(self.width as i64),
+                pf(a as f64),
+                pf(bc as f64),
+            ],
         )?;
         let got = bytes_to_f32s(&download(&mut cuda, dout)?);
         cuda.free(din)?;

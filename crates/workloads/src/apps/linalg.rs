@@ -51,7 +51,12 @@ impl Application for VectorAddApp {
         let da = upload(&mut cuda, &f32s_to_bytes(&a))?;
         let db = upload(&mut cuda, &f32s_to_bytes(&b))?;
         let dc = cuda.malloc(n * 4)?;
-        cuda.launch_sync("vector_add", n.div_ceil(256) as u32, 256, &[p(da), p(db), p(dc), pi(n as i64)])?;
+        cuda.launch_sync(
+            "vector_add",
+            n.div_ceil(256) as u32,
+            256,
+            &[p(da), p(db), p(dc), pi(n as i64)],
+        )?;
         let got = bytes_to_f32s(&download(&mut cuda, dc)?);
         for buf in [da, db, dc] {
             cuda.free(buf)?;
@@ -105,8 +110,10 @@ impl Application for MatrixMulApp {
 
     fn run_once(&self, env: &mut AppEnv<'_>) -> Result<(), VpError> {
         let n = self.n as usize;
-        let a: Vec<f64> = random_f32s(self.name(), 0, n * n, -2.0, 2.0).into_iter().map(f64::from).collect();
-        let b: Vec<f64> = random_f32s(self.name(), 1, n * n, -2.0, 2.0).into_iter().map(f64::from).collect();
+        let a: Vec<f64> =
+            random_f32s(self.name(), 0, n * n, -2.0, 2.0).into_iter().map(f64::from).collect();
+        let b: Vec<f64> =
+            random_f32s(self.name(), 1, n * n, -2.0, 2.0).into_iter().map(f64::from).collect();
         env.vp.run_guest_instructions((n * n) as u64 * 2);
 
         let mut cuda = env.cuda();

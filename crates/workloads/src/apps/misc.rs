@@ -60,7 +60,9 @@ impl Application for MandelbrotApp {
         let got = bytes_to_i64s(&download(&mut cuda, dout)?);
         cuda.free(dout)?;
         // Spot-check a sampling of pixels against the reference.
-        for &(px, py) in &[(0u64, 0u64), (self.width / 2, self.height / 2), (self.width - 1, self.height - 1)] {
+        for &(px, py) in
+            &[(0u64, 0u64), (self.width / 2, self.height / 2), (self.width - 1, self.height - 1)]
+        {
             let e = mandelbrot_reference(
                 px as i64,
                 py as i64,
@@ -317,11 +319,7 @@ impl Application for SimpleGlApp {
     }
 
     fn characteristics(&self) -> AppTraits {
-        AppTraits {
-            coalescible: true,
-            file_io_bytes: 0,
-            gl_pixels: 128 * 128 * self.frames as u64,
-        }
+        AppTraits { coalescible: true, file_io_bytes: 0, gl_pixels: 128 * 128 * self.frames as u64 }
     }
 
     fn run_once(&self, env: &mut AppEnv<'_>) -> Result<(), VpError> {
@@ -408,7 +406,15 @@ impl Application for SmokeParticlesApp {
                 "particle_advect",
                 self.n.div_ceil(256) as u32,
                 256,
-                &[p(dpx), p(dpy), p(dvx), p(dvy), pi(self.n as i64), pf(dt as f64), pf(damp as f64)],
+                &[
+                    p(dpx),
+                    p(dpy),
+                    p(dvx),
+                    p(dvy),
+                    pi(self.n as i64),
+                    pf(dt as f64),
+                    pf(damp as f64),
+                ],
             )?;
             // Advance the host reference in lockstep.
             for i in 0..n {
@@ -530,9 +536,8 @@ impl Application for SegmentationTreeApp {
         env.vp.file_io(self.characteristics().file_io_bytes);
         // A chain forest: node i points at i−1 (two roots at 0 and n/2).
         let half = (self.n / 2) as i64;
-        let parent: Vec<i64> = (0..self.n as i64)
-            .map(|i| if i == 0 || i == half { i } else { i - 1 })
-            .collect();
+        let parent: Vec<i64> =
+            (0..self.n as i64).map(|i| if i == 0 || i == half { i } else { i - 1 }).collect();
         env.vp.run_guest_instructions(self.n / 2);
 
         let mut cuda = env.cuda();

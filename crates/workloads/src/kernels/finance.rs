@@ -88,7 +88,8 @@ pub fn monte_carlo() -> KernelProgram {
     let f = ScalarType::F32;
     let i = ScalarType::I64;
     let (out, paths) = (b.reg(), b.reg());
-    let (seed, mul, inc, shift, scale, acc) = (b.reg(), b.reg(), b.reg(), b.reg(), b.reg(), b.reg());
+    let (seed, mul, inc, shift, scale, acc) =
+        (b.reg(), b.reg(), b.reg(), b.reg(), b.reg(), b.reg());
     b.ld_param(out, 0)
         .ld_param(paths, 2)
         // seed = gtid * 2654435761 + 12345

@@ -141,9 +141,13 @@ pub fn dct8x8() -> KernelProgram {
     let i = ScalarType::I64;
     let f = ScalarType::F32;
     let (nblocks, sixty_four, total) = (b.reg(), b.reg(), b.reg());
-    b.ld_param(nblocks, 2)
-        .mov_imm_i(sixty_four, 64)
-        .binop(BinOp::Mul, i, total, nblocks, sixty_four);
+    b.ld_param(nblocks, 2).mov_imm_i(sixty_four, 64).binop(
+        BinOp::Mul,
+        i,
+        total,
+        nblocks,
+        sixty_four,
+    );
     let gtid = guarded_gtid_reg(&mut b, total);
 
     let (inp, out, blk, uv, u, v, eight, base) =
@@ -338,7 +342,13 @@ pub fn recursive_gaussian() -> KernelProgram {
 }
 
 /// Host reference for [`recursive_gaussian`].
-pub fn recursive_gaussian_reference(input: &[f32], rows: usize, width: usize, a: f32, bc: f32) -> Vec<f32> {
+pub fn recursive_gaussian_reference(
+    input: &[f32],
+    rows: usize,
+    width: usize,
+    a: f32,
+    bc: f32,
+) -> Vec<f32> {
     let mut out = vec![0.0f32; rows * width];
     for r in 0..rows {
         let mut y = 0.0f32;
@@ -419,9 +429,7 @@ pub fn stereo_disparity() -> KernelProgram {
         .binop(BinOp::Add, i, d, d, one)
         .bra(header);
     b.switch_to(exit);
-    b.binop(BinOp::Rem, i, best, best, sixty_four)
-        .st_indexed(i, out, gtid, 0, best)
-        .ret();
+    b.binop(BinOp::Rem, i, best, best, sixty_four).st_indexed(i, out, gtid, 0, best).ret();
     b.build().expect("stereo_disparity is well-formed")
 }
 

@@ -332,8 +332,7 @@ mod tests {
         );
         let partials = bytes_to_f32s(out.read_slice(out_base, nthreads * 4).unwrap());
         for t in 0..nthreads as usize {
-            let expected: f32 =
-                input[t * chunk as usize..(t + 1) * chunk as usize].iter().sum();
+            let expected: f32 = input[t * chunk as usize..(t + 1) * chunk as usize].iter().sum();
             assert_eq!(partials[t], expected);
         }
     }

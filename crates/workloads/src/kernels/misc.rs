@@ -22,10 +22,13 @@ pub fn mandelbrot() -> KernelProgram {
     let gtid = guarded_gtid_reg(&mut b, total);
 
     let (out, maxiter, px, py) = (b.reg(), b.reg(), b.reg(), b.reg());
-    b.ld_param(out, 0)
-        .ld_param(maxiter, 3)
-        .binop(BinOp::Rem, i, px, gtid, w)
-        .binop(BinOp::Div, i, py, gtid, w);
+    b.ld_param(out, 0).ld_param(maxiter, 3).binop(BinOp::Rem, i, px, gtid, w).binop(
+        BinOp::Div,
+        i,
+        py,
+        gtid,
+        w,
+    );
 
     // cx = px/w·3.5 − 2.5 ; cy = py/h·2.0 − 1.0
     let (cx, cy, tmp, span, off) = (b.reg(), b.reg(), b.reg(), b.reg(), b.reg());
@@ -118,10 +121,7 @@ pub fn bitonic_step() -> KernelProgram {
     let gtid = guarded_gtid(&mut b, 1);
     let i = ScalarType::I64;
     let (data, j, k, ixj) = (b.reg(), b.reg(), b.reg(), b.reg());
-    b.ld_param(data, 0)
-        .ld_param(j, 2)
-        .ld_param(k, 3)
-        .binop(BinOp::Xor, i, ixj, gtid, j);
+    b.ld_param(data, 0).ld_param(j, 2).ld_param(k, 3).binop(BinOp::Xor, i, ixj, gtid, j);
 
     // Only the lower index of each pair acts.
     let p = b.pred();
@@ -463,7 +463,12 @@ mod tests {
                 .run(
                     &p,
                     &LaunchConfig::covering(n as u64, 16),
-                    &[ParamValue::Ptr(0), ParamValue::I64(w), ParamValue::I64(4), ParamValue::I64(200)],
+                    &[
+                        ParamValue::Ptr(0),
+                        ParamValue::I64(w),
+                        ParamValue::I64(4),
+                        ParamValue::I64(200),
+                    ],
                     &mut mem,
                 )
                 .unwrap()
@@ -632,7 +637,8 @@ mod tests {
         let gx = bytes_to_f32s(out.read_slice(0, stride).unwrap());
         let gvx = bytes_to_f32s(out.read_slice(2 * stride, stride).unwrap());
         for i in 0..n {
-            let (ex, _ey, evx, _evy) = particle_advect_reference(px[i], py[i], vx[i], vy[i], dt, damp);
+            let (ex, _ey, evx, _evy) =
+                particle_advect_reference(px[i], py[i], vx[i], vy[i], dt, damp);
             assert!((gx[i] - ex).abs() < 1e-5);
             assert!((gvx[i] - evx).abs() < 1e-5);
         }

@@ -36,9 +36,13 @@ pub(crate) fn guarded_gtid(b: &mut ProgramBuilder, n_param: usize) -> Reg {
     let gtid = b.reg();
     let n = b.reg();
     let p = b.pred();
-    b.read_special(gtid, Special::GlobalTid)
-        .ld_param(n, n_param)
-        .setp(CmpOp::Ge, ScalarType::I64, p, gtid, n);
+    b.read_special(gtid, Special::GlobalTid).ld_param(n, n_param).setp(
+        CmpOp::Ge,
+        ScalarType::I64,
+        p,
+        gtid,
+        n,
+    );
     let exit = b.declare_block();
     let body = b.declare_block();
     b.cond_bra(p, exit, body);
@@ -103,7 +107,12 @@ mod tests {
         // 8 threads launched, n = 5: only slots 0..5 may be written.
         let mut mem = Memory::new(8 * 8);
         Interpreter::new()
-            .run(&p, &LaunchConfig::linear(2, 4), &[ParamValue::Ptr(0), ParamValue::I64(5)], &mut mem)
+            .run(
+                &p,
+                &LaunchConfig::linear(2, 4),
+                &[ParamValue::Ptr(0), ParamValue::I64(5)],
+                &mut mem,
+            )
             .unwrap();
         for i in 0..8 {
             let v = mem.read_i64(i * 8).unwrap();

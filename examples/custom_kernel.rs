@@ -51,7 +51,12 @@ fn main() -> Result<(), Box<dyn Error>> {
     let data: Vec<u8> = (0..n).flat_map(|i| (i as f32).to_le_bytes()).collect();
     let buf = cuda.malloc(n * 4)?;
     cuda.memcpy_h2d(buf, &data)?;
-    cuda.launch_sync("scale", n.div_ceil(128) as u32, 128, &[buf.param(), WireParam::I64(n as i64)])?;
+    cuda.launch_sync(
+        "scale",
+        n.div_ceil(128) as u32,
+        128,
+        &[buf.param(), WireParam::I64(n as i64)],
+    )?;
     let mut out = vec![0u8; (n * 4) as usize];
     cuda.memcpy_d2h(&mut out, buf)?;
     cuda.free(buf)?;
@@ -61,6 +66,9 @@ fn main() -> Result<(), Box<dyn Error>> {
         assert_eq!(v, 2.0 * i as f32);
         println!("out[{i}] = {v}");
     }
-    println!("custom kernel ran and validated over SigmaVP in {:.1} us simulated", vp.now_s() * 1e6);
+    println!(
+        "custom kernel ran and validated over SigmaVP in {:.1} us simulated",
+        vp.now_s() * 1e6
+    );
     Ok(())
 }

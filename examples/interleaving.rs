@@ -96,7 +96,9 @@ fn main() {
 
     let expected = 2.0 * T + N as f64 * T;
     println!("Eq. 7 expectation: 2*Tm + N*max(Tm,Tk) = {expected:.0}T");
-    println!("speedup: {:.2}x (Eq. 8 bound 3N/(N+2) = {:.2}x)",
+    println!(
+        "speedup: {:.2}x (Eq. 8 bound 3N/(N+2) = {:.2}x)",
         serial.makespan_s / interleaved.makespan_s,
-        3.0 * N as f64 / (N as f64 + 2.0));
+        3.0 * N as f64 / (N as f64 + 2.0)
+    );
 }

@@ -71,8 +71,13 @@ fn socket_ipc_is_costlier_end_to_end() {
     let app = NbodyApp { n: 64 };
     let apps: Vec<&dyn Application> = vec![&app, &app];
     let arch = GpuArch::quadro_4000();
-    let shm = run_scenario_with(&apps, GpuMode::Multiplexed, arch.clone(), TransportCost::shared_memory())
-        .expect("shm");
+    let shm = run_scenario_with(
+        &apps,
+        GpuMode::Multiplexed,
+        arch.clone(),
+        TransportCost::shared_memory(),
+    )
+    .expect("shm");
     let sock = run_scenario_with(&apps, GpuMode::Multiplexed, arch, TransportCost::socket())
         .expect("socket");
     assert!(sock.ipc_time_s > shm.ipc_time_s);
@@ -175,16 +180,12 @@ fn suite_apps_do_not_leak_device_memory() {
 
     for app in fig11_suite(1) {
         let registry: KernelRegistry = app.kernels().into_iter().collect();
-        let runtime =
-            Arc::new(Mutex::new(HostRuntime::new(GpuArch::quadro_4000(), registry)));
+        let runtime = Arc::new(Mutex::new(HostRuntime::new(GpuArch::quadro_4000(), registry)));
         let capacity = runtime.lock().device().free_bytes();
         {
             let mut vp = VirtualPlatform::new(VpId(0));
-            let mut gpu = MultiplexedGpu::new(
-                VpId(0),
-                runtime.clone(),
-                TransportCost::shared_memory(),
-            );
+            let mut gpu =
+                MultiplexedGpu::new(VpId(0), runtime.clone(), TransportCost::shared_memory());
             let mut env = AppEnv::new(&mut vp, &mut gpu);
             app.run_once(&mut env).unwrap_or_else(|e| panic!("{} failed: {e}", app.name()));
         }

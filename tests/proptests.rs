@@ -41,13 +41,8 @@ fn arb_request() -> impl Strategy<Value = Request> {
             any::<bool>(),
             0u32..16,
         )
-            .prop_map(|(kernel, grid_dim, block_dim, params, sync, stream)| Request::Launch {
-                kernel,
-                grid_dim,
-                block_dim,
-                params,
-                sync,
-                stream,
+            .prop_map(|(kernel, grid_dim, block_dim, params, sync, stream)| {
+                Request::Launch { kernel, grid_dim, block_dim, params, sync, stream }
             }),
         Just(Request::Synchronize),
     ]
@@ -278,5 +273,180 @@ proptest! {
                 }
             }
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry export: Chrome-trace JSON is well-formed for any schedule.
+// ---------------------------------------------------------------------------
+
+/// Minimal JSON validator (the repo deliberately carries no JSON parser): checks
+/// that `s` is one syntactically valid JSON value with nothing trailing.
+fn assert_valid_json(s: &str) {
+    fn skip_ws(b: &[u8], mut i: usize) -> usize {
+        while i < b.len() && matches!(b[i], b' ' | b'\t' | b'\n' | b'\r') {
+            i += 1;
+        }
+        i
+    }
+    fn value(b: &[u8], i: usize) -> Result<usize, String> {
+        let i = skip_ws(b, i);
+        match b.get(i) {
+            Some(b'{') => {
+                let mut i = skip_ws(b, i + 1);
+                if b.get(i) == Some(&b'}') {
+                    return Ok(i + 1);
+                }
+                loop {
+                    i = string(b, skip_ws(b, i))?;
+                    i = skip_ws(b, i);
+                    if b.get(i) != Some(&b':') {
+                        return Err(format!("expected ':' at {i}"));
+                    }
+                    i = value(b, i + 1)?;
+                    i = skip_ws(b, i);
+                    match b.get(i) {
+                        Some(b',') => i += 1,
+                        Some(b'}') => return Ok(i + 1),
+                        _ => return Err(format!("expected ',' or '}}' at {i}")),
+                    }
+                }
+            }
+            Some(b'[') => {
+                let mut i = skip_ws(b, i + 1);
+                if b.get(i) == Some(&b']') {
+                    return Ok(i + 1);
+                }
+                loop {
+                    i = value(b, i)?;
+                    i = skip_ws(b, i);
+                    match b.get(i) {
+                        Some(b',') => i += 1,
+                        Some(b']') => return Ok(i + 1),
+                        _ => return Err(format!("expected ',' or ']' at {i}")),
+                    }
+                }
+            }
+            Some(b'"') => string(b, i),
+            Some(b't') => lit(b, i, b"true"),
+            Some(b'f') => lit(b, i, b"false"),
+            Some(b'n') => lit(b, i, b"null"),
+            Some(_) => number(b, i),
+            None => Err("unexpected end".into()),
+        }
+    }
+    fn lit(b: &[u8], i: usize, what: &[u8]) -> Result<usize, String> {
+        if b[i..].starts_with(what) {
+            Ok(i + what.len())
+        } else {
+            Err(format!("bad literal at {i}"))
+        }
+    }
+    fn string(b: &[u8], i: usize) -> Result<usize, String> {
+        if b.get(i) != Some(&b'"') {
+            return Err(format!("expected string at {i}"));
+        }
+        let mut i = i + 1;
+        loop {
+            match b.get(i) {
+                Some(b'"') => return Ok(i + 1),
+                Some(b'\\') => match b.get(i + 1) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => i += 2,
+                    Some(b'u') => {
+                        let hex = b.get(i + 2..i + 6).ok_or("short \\u escape")?;
+                        if !hex.iter().all(u8::is_ascii_hexdigit) {
+                            return Err(format!("bad \\u escape at {i}"));
+                        }
+                        i += 6;
+                    }
+                    _ => return Err(format!("bad escape at {i}")),
+                },
+                Some(c) if *c >= 0x20 => i += 1,
+                _ => return Err(format!("bad string at {i}")),
+            }
+        }
+    }
+    fn number(b: &[u8], i: usize) -> Result<usize, String> {
+        let start = i;
+        let mut i = i;
+        if b.get(i) == Some(&b'-') {
+            i += 1;
+        }
+        while i < b.len() && matches!(b[i], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+            i += 1;
+        }
+        if i == start || !b[start..i].iter().any(u8::is_ascii_digit) {
+            return Err(format!("expected number at {start}"));
+        }
+        Ok(i)
+    }
+
+    let b = s.as_bytes();
+    match value(b, 0) {
+        Ok(end) => {
+            let end = skip_ws(b, end);
+            assert!(end == b.len(), "trailing garbage at byte {end} of {}", b.len());
+        }
+        Err(e) => panic!("invalid JSON: {e}\n{s}"),
+    }
+}
+
+proptest! {
+    /// Any simulated schedule exports to parseable Chrome-trace JSON whose spans
+    /// have non-negative durations and never overlap within an engine lane.
+    #[test]
+    fn chrome_trace_export_is_well_formed(jobs in arb_jobs()) {
+        use sigmavp_telemetry::{EventKind, TimeDomain};
+
+        let arch = GpuArch::quadro_4000();
+        let tl = simulate(&arch, &jobs_to_ops(&jobs));
+        let events = tl.trace_events_with_streams();
+
+        // Spans are non-negative and sane.
+        let mut per_lane: std::collections::HashMap<_, Vec<(f64, f64)>> =
+            std::collections::HashMap::new();
+        for e in &events {
+            prop_assert_eq!(e.domain, TimeDomain::Sim);
+            if let EventKind::Span { start_s, dur_s } = e.kind {
+                prop_assert!(start_s >= 0.0 && dur_s >= 0.0, "{:?}", e);
+                per_lane.entry(e.lane).or_default().push((start_s, start_s + dur_s));
+            }
+        }
+        // Engine lanes serialize their work: no two spans on one engine overlap.
+        // (VP mirror lanes are per-stream, which the engine model also orders.)
+        for (lane, mut spans) in per_lane {
+            spans.sort_by(|a, b| a.0.total_cmp(&b.0));
+            for w in spans.windows(2) {
+                prop_assert!(w[0].1 <= w[1].0 + 1e-9, "{:?} overlaps on {:?}", w, lane);
+            }
+        }
+
+        assert_valid_json(&sigmavp_telemetry::export::chrome_trace_json(&events));
+    }
+
+    /// Hostile event names (quotes, backslashes, control characters, non-ASCII)
+    /// never break the JSON writer.
+    #[test]
+    fn chrome_trace_escapes_arbitrary_names(
+        names in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..16), 1..8),
+        starts in proptest::collection::vec(0.0f64..1e6, 1..8),
+    ) {
+        use sigmavp_telemetry::{Lane, TimeDomain, TraceEvent};
+
+        // Hostile alphabet: JSON-significant characters, control characters,
+        // and multibyte code points.
+        const NASTY: &[char] =
+            &['"', '\\', '\n', '\r', '\t', '\u{0}', '\u{1f}', '/', 'a', ' ', 'é', '\u{1F980}', '<'];
+        let events: Vec<TraceEvent> = names
+            .iter()
+            .zip(&starts)
+            .enumerate()
+            .map(|(i, (bytes, start))| {
+                let name: String =
+                    bytes.iter().map(|b| NASTY[*b as usize % NASTY.len()]).collect();
+                TraceEvent::span(TimeDomain::Wall, Lane::Vp(i as u32), name, *start, 0.5)
+            })
+            .collect();
+        assert_valid_json(&sigmavp_telemetry::export::chrome_trace_json(&events));
     }
 }
