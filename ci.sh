@@ -12,6 +12,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo build --release"
 cargo build --release --workspace
 
+echo "==> cargo build --examples"
+cargo build --examples
+
+echo "==> cargo bench --no-run"
+cargo bench --workspace --no-run
+
 echo "==> cargo test"
 cargo test -q --workspace
 

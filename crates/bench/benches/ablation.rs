@@ -6,7 +6,8 @@
 //! at start-up so the ablation numbers land in bench_output.txt.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use sigmavp::scenario::{run_scenario_with, GpuMode};
+use sigmavp::scenario::run_scenario_with;
+use sigmavp::Policy;
 use sigmavp_gpu::engine::{simulate, Engine, GpuOp, StreamId};
 use sigmavp_gpu::GpuArch;
 use sigmavp_ipc::message::VpId;
@@ -24,10 +25,10 @@ fn print_ablation_table() {
 
     println!("ablation: mergeSort x4 VPs, device makespans");
     for (label, mode, cost) in [
-        ("plain + shm", GpuMode::Multiplexed, TransportCost::shared_memory()),
-        ("optimized + shm", GpuMode::MultiplexedOptimized, TransportCost::shared_memory()),
-        ("plain + socket", GpuMode::Multiplexed, TransportCost::socket()),
-        ("optimized + socket", GpuMode::MultiplexedOptimized, TransportCost::socket()),
+        ("plain + shm", Policy::Multiplexed, TransportCost::shared_memory()),
+        ("optimized + shm", Policy::MultiplexedOptimized, TransportCost::shared_memory()),
+        ("plain + socket", Policy::Multiplexed, TransportCost::socket()),
+        ("optimized + socket", Policy::MultiplexedOptimized, TransportCost::socket()),
     ] {
         let r = run_scenario_with(&apps, mode, arch.clone(), cost).expect("scenario");
         println!(
@@ -102,7 +103,7 @@ fn bench_ablation(c: &mut Criterion) {
         b.iter(|| {
             run_scenario_with(
                 &apps,
-                GpuMode::Multiplexed,
+                Policy::Multiplexed,
                 arch.clone(),
                 TransportCost::shared_memory(),
             )
@@ -113,7 +114,7 @@ fn bench_ablation(c: &mut Criterion) {
         b.iter(|| {
             run_scenario_with(
                 &apps,
-                GpuMode::MultiplexedOptimized,
+                Policy::MultiplexedOptimized,
                 arch.clone(),
                 TransportCost::shared_memory(),
             )

@@ -1,7 +1,8 @@
 //! Criterion bench: full multi-VP scenario throughput (simulator performance).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use sigmavp::scenario::{run_scenario, GpuMode};
+use sigmavp::scenario::run_scenario;
+use sigmavp::Policy;
 use sigmavp_workloads::app::Application;
 use sigmavp_workloads::apps::BlackScholesApp;
 
@@ -11,13 +12,13 @@ fn bench_fig11(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig11_scenario");
     g.sample_size(10);
     g.bench_function("emulated_on_vp", |b| {
-        b.iter(|| run_scenario(&apps, GpuMode::EmulatedOnVp).expect("scenario"))
+        b.iter(|| run_scenario(&apps, Policy::EmulatedOnVp).expect("scenario"))
     });
     g.bench_function("multiplexed", |b| {
-        b.iter(|| run_scenario(&apps, GpuMode::Multiplexed).expect("scenario"))
+        b.iter(|| run_scenario(&apps, Policy::Multiplexed).expect("scenario"))
     });
     g.bench_function("multiplexed_optimized", |b| {
-        b.iter(|| run_scenario(&apps, GpuMode::MultiplexedOptimized).expect("scenario"))
+        b.iter(|| run_scenario(&apps, Policy::MultiplexedOptimized).expect("scenario"))
     });
     g.finish();
 }

@@ -14,8 +14,9 @@
 //!   through the engine model: copy-engine and compute-engine lanes plus a
 //!   per-VP stream mirror.
 //!
-//! The metrics snapshot (queue-wait percentiles, engine overlap, coalescing
-//! and profiler counters) goes to stderr as a summary table and JSON.
+//! The metrics snapshot (queue-wait percentiles, engine overlap, coalescing,
+//! profiler counters, and the scheduling pipeline's per-pass `plan.pass.*`
+//! series) goes to stderr as a summary table and JSON.
 
 use sigmavp::dispatcher::DispatchedSigmaVp;
 use sigmavp_gpu::engine::{simulate, Engine, GpuOp, StreamId};
@@ -23,7 +24,7 @@ use sigmavp_gpu::GpuArch;
 use sigmavp_ipc::message::VpId;
 use sigmavp_ipc::queue::{Job, JobId, JobKind};
 use sigmavp_ipc::transport::TransportCost;
-use sigmavp_sched::interleave::reorder_async;
+use sigmavp_sched::{PassCtx, Pipeline, Policy};
 use sigmavp_vp::registry::KernelRegistry;
 use sigmavp_workloads::app::Application;
 use sigmavp_workloads::apps::VectorAddApp;
@@ -80,17 +81,19 @@ fn main() {
     let app = VectorAddApp { n: 4096 };
     let registry: KernelRegistry = app.kernels().into_iter().collect();
     let mut sys =
-        DispatchedSigmaVp::new(GpuArch::quadro_4000(), registry, TransportCost::shared_memory());
+        DispatchedSigmaVp::single(GpuArch::quadro_4000(), registry, TransportCost::shared_memory());
     for _ in 0..4 {
         sys.spawn(Box::new(VectorAddApp { n: 4096 }));
     }
     let (report, stats) = sys.join();
     assert!(report.all_ok(), "fleet must validate: {:?}", report.outcomes);
 
-    // Part 2: simulated device timeline — the interleaved schedule replayed on
+    // Part 2: simulated device timeline — the schedule planned through the
+    // shared pipeline (recording per-pass plan.pass.* metrics) and replayed on
     // the engine model, mirrored onto per-VP stream lanes.
     let arch = GpuArch::quadro_4000();
-    let reordered = reorder_async(jobs(6));
+    let pipeline = Pipeline::from_policy(&Policy::Fifo);
+    let reordered = pipeline.plan(jobs(6), &PassCtx::reorder_only()).jobs;
     let timeline = simulate(&arch, &to_ops(&reordered));
     timeline.record_metrics();
 

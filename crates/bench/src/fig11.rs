@@ -5,7 +5,8 @@
 //! two optimizations. Reported per app: the emulation time (the paper's blue bar)
 //! and the two speedups (red and green lines).
 
-use sigmavp::scenario::{run_scenario, GpuMode, ScenarioReport};
+use sigmavp::scenario::{run_scenario, ScenarioReport};
+use sigmavp::Policy;
 use sigmavp_workloads::app::Application;
 use sigmavp_workloads::suite::fig11_suite;
 
@@ -42,10 +43,10 @@ pub fn run(scale: u32, n_vps: usize) -> Vec<Fig11Row> {
         .iter()
         .map(|app| {
             let apps: Vec<&dyn Application> = (0..n_vps).map(|_| app.as_ref()).collect();
-            let emul = run_scenario(&apps, GpuMode::EmulatedOnVp).expect("emulation scenario");
-            let plain = run_scenario(&apps, GpuMode::Multiplexed).expect("multiplexed scenario");
+            let emul = run_scenario(&apps, Policy::EmulatedOnVp).expect("emulation scenario");
+            let plain = run_scenario(&apps, Policy::Multiplexed).expect("multiplexed scenario");
             let opt =
-                run_scenario(&apps, GpuMode::MultiplexedOptimized).expect("optimized scenario");
+                run_scenario(&apps, Policy::MultiplexedOptimized).expect("optimized scenario");
             row(app.as_ref(), &emul, &plain, &opt)
         })
         .collect()
@@ -108,9 +109,9 @@ mod tests {
 
         let run_one = |app: &dyn Application| {
             let apps: Vec<&dyn Application> = (0..3).map(|_| app).collect();
-            let emul = run_scenario(&apps, GpuMode::EmulatedOnVp).unwrap();
-            let plain = run_scenario(&apps, GpuMode::Multiplexed).unwrap();
-            let opt = run_scenario(&apps, GpuMode::MultiplexedOptimized).unwrap();
+            let emul = run_scenario(&apps, Policy::EmulatedOnVp).unwrap();
+            let plain = run_scenario(&apps, Policy::Multiplexed).unwrap();
+            let opt = run_scenario(&apps, Policy::MultiplexedOptimized).unwrap();
             row(app, &emul, &plain, &opt)
         };
         let r_bs = run_one(&bs);

@@ -7,9 +7,11 @@
 //! * each VP thread talks through a real [`ChannelTransport`] endpoint — frames
 //!   are encoded, sent, and decoded on the other side;
 //! * a **dispatcher thread** polls every VP endpoint, pushes decoded requests into
-//!   the actual [`JobQueue`], *re-orders the pending window* with the
-//!   [interleaver](sigmavp_sched::interleave::reorder_async) using expected
-//!   durations, executes each job on the device, and sends the response back;
+//!   the actual [`JobQueue`], *re-orders the pending window* with the scheduling
+//!   [`Pipeline`](sigmavp_sched::Pipeline) using expected durations, executes
+//!   each job on the device its VP was routed to by the
+//!   [`ExecutionSession`](crate::session::ExecutionSession), and sends the
+//!   response back;
 //! * expected durations come from the device **profiler feedback loop**: the first
 //!   launch of a kernel is unknown (duration 0), subsequent launches use the last
 //!   observed time — exactly how the paper's Re-scheduler consumes the Profiler's
@@ -30,7 +32,7 @@ use sigmavp_ipc::message::{Request, Response, ResponseEnvelope, VpId, WireParam}
 use sigmavp_ipc::queue::{Job, JobKind, JobQueue};
 use sigmavp_ipc::transport::{pair, ChannelTransport, Transport, TransportCost};
 use sigmavp_ipc::IpcError;
-use sigmavp_sched::interleave::reorder_async;
+use sigmavp_sched::{PassCtx, Pipeline, Policy};
 use sigmavp_telemetry::{Lane, TimeDomain};
 use sigmavp_vp::error::VpError;
 use sigmavp_vp::platform::{SimClock, VirtualPlatform};
@@ -38,7 +40,8 @@ use sigmavp_vp::registry::KernelRegistry;
 use sigmavp_vp::service::GpuService;
 use sigmavp_workloads::app::{AppEnv, Application};
 
-use crate::host::{HostRuntime, JobRecord, RecordKind};
+use crate::host::{JobRecord, RecordKind};
+use crate::session::ExecutionSession;
 use crate::threaded::{ThreadedReport, VpOutcome};
 
 /// Guest-side [`GpuService`] over a real transport endpoint.
@@ -161,24 +164,54 @@ pub struct DispatchStats {
 
 /// A live ΣVP system with an explicit dispatcher thread over real transports.
 pub struct DispatchedSigmaVp {
-    arch: GpuArch,
+    archs: Vec<GpuArch>,
     registry: KernelRegistry,
     cost: TransportCost,
+    policy: Policy,
     pending: Vec<(VpId, Box<dyn Application + Send>)>,
+    coalescible: HashMap<VpId, bool>,
     next_vp: u32,
 }
 
 impl DispatchedSigmaVp {
-    /// A system over a host GPU of architecture `arch` serving `registry`, with the
-    /// given transport cost model for every VP connection.
-    pub fn new(arch: GpuArch, registry: KernelRegistry, cost: TransportCost) -> Self {
-        DispatchedSigmaVp { arch, registry, cost, pending: Vec::new(), next_vp: 0 }
+    /// A system over `archs` host GPUs serving `registry`, with the given
+    /// transport cost model for every VP connection. VPs are routed to the
+    /// least-loaded device as they spawn.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `archs` is empty.
+    pub fn new(archs: Vec<GpuArch>, registry: KernelRegistry, cost: TransportCost) -> Self {
+        assert!(!archs.is_empty(), "dispatcher runtime needs at least one host gpu");
+        DispatchedSigmaVp {
+            archs,
+            registry,
+            cost,
+            policy: Policy::Fifo,
+            pending: Vec::new(),
+            coalescible: HashMap::new(),
+            next_vp: 0,
+        }
+    }
+
+    /// Single-device convenience constructor (the historical signature's shape).
+    pub fn single(arch: GpuArch, registry: KernelRegistry, cost: TransportCost) -> Self {
+        Self::new(vec![arch], registry, cost)
+    }
+
+    /// Override the scheduling policy (defaults to [`Policy::Fifo`]: earliest-start
+    /// window reordering, no coalescing). The pipeline derived from it reorders
+    /// the live window and prices the final device timelines.
+    pub fn with_policy(mut self, policy: Policy) -> Self {
+        self.policy = policy;
+        self
     }
 
     /// Register an application to run on its own VP thread. Returns the VP id.
     pub fn spawn(&mut self, app: Box<dyn Application + Send>) -> VpId {
         let vp = VpId(self.next_vp);
         self.next_vp += 1;
+        self.coalescible.insert(vp, app.characteristics().coalescible);
         self.pending.push((vp, app));
         vp
     }
@@ -190,10 +223,14 @@ impl DispatchedSigmaVp {
     ///
     /// Panics if a VP thread or the dispatcher panics (bugs, not guest failures).
     pub fn join(self) -> (ThreadedReport, DispatchStats) {
-        // One transport pair per VP.
+        let mut session = ExecutionSession::new(self.archs, self.registry, self.cost)
+            .expect("constructor checked for at least one device");
+
+        // One transport pair per VP; route each VP to a device up front.
         let mut host_ends: Vec<(VpId, ChannelTransport)> = Vec::new();
         let mut handles: Vec<JoinHandle<VpOutcome>> = Vec::new();
         for (vp, app) in self.pending {
+            session.assign(vp);
             let (vp_end, host_end) = pair(self.cost);
             host_ends.push((vp, host_end));
             handles.push(std::thread::spawn(move || {
@@ -225,16 +262,22 @@ impl DispatchedSigmaVp {
         }
 
         let dispatcher = {
-            let arch = self.arch.clone();
-            let registry = self.registry.clone();
-            std::thread::spawn(move || run_dispatcher(arch, registry, host_ends))
+            let pipeline = Pipeline::from_policy(&self.policy);
+            let coalescible = self.coalescible;
+            std::thread::spawn(move || run_dispatcher(session, host_ends, pipeline, coalescible))
         };
 
         let mut outcomes: Vec<VpOutcome> =
             handles.into_iter().map(|h| h.join().expect("vp thread must not panic")).collect();
         outcomes.sort_by_key(|o| o.vp);
-        let (records, stats) = dispatcher.join().expect("dispatcher must not panic");
-        (ThreadedReport { outcomes, records }, stats)
+        let (outcome, stats) = dispatcher.join().expect("dispatcher must not panic");
+        let report = ThreadedReport {
+            outcomes,
+            records: outcome.flat_records(),
+            device_makespan_s: outcome.makespan_s(),
+            device_records: outcome.devices.into_iter().map(|d| d.records).collect(),
+        };
+        (report, stats)
     }
 }
 
@@ -249,14 +292,17 @@ fn dispatch_span_name(job: &Job) -> String {
 
 /// The host-side dispatcher loop.
 fn run_dispatcher(
-    arch: GpuArch,
-    registry: KernelRegistry,
+    mut session: ExecutionSession,
     mut endpoints: Vec<(VpId, ChannelTransport)>,
-) -> (Vec<JobRecord>, DispatchStats) {
-    let mut runtime = HostRuntime::new(arch, registry);
+    pipeline: Pipeline,
+    coalescible: HashMap<VpId, bool>,
+) -> (crate::session::SessionOutcome, DispatchStats) {
     let queue = JobQueue::new();
     let mut stats = DispatchStats::default();
     let recorder = sigmavp_telemetry::recorder();
+    // The window is a live reorder: coalescing decisions happen post-hoc in the
+    // session plan, not on in-flight synchronous requests.
+    let window_ctx = PassCtx::reorder_only();
     // The profiler feedback loop: last observed duration per kernel name.
     let mut expected_kernel_s: HashMap<String, f64> = HashMap::new();
     // Envelopes waiting for execution, keyed by job id, with the wall-clock
@@ -284,9 +330,10 @@ fn run_dispatcher(
                     // zero-byte copies so they flow through the same queue.
                     _ => JobKind::CopyIn { bytes: 0 },
                 };
+                let device = session.device_of(*vp).expect("join assigned every vp");
                 let expected = match &kind {
                     JobKind::CopyIn { bytes } | JobKind::CopyOut { bytes } => {
-                        runtime.device().arch().copy_time_s(*bytes)
+                        session.arch(device).copy_time_s(*bytes)
                     }
                     JobKind::Kernel { name, .. } => {
                         // The profiler feedback loop, observed: a hit means a
@@ -319,7 +366,7 @@ fn run_dispatcher(
         });
 
         // 2. Re-schedule the pending window (the paper's asynchronous reordering,
-        //    Fig. 4a) and dispatch it.
+        //    Fig. 4a) through the shared pipeline and dispatch it.
         let window = queue.drain_all();
         if window.len() > 1 {
             stats.multi_job_windows += 1;
@@ -330,11 +377,13 @@ fn run_dispatcher(
             recorder.observe_s("dispatch.window_jobs", window.len() as f64);
         }
         stats.max_window = stats.max_window.max(window.len());
-        for job in reorder_async(window) {
+        for job in pipeline.plan(window, &window_ctx).jobs {
             let (envelope, arrived) = waiting.remove(&job.id.0).expect("every job has an envelope");
+            let device = session.device_of(envelope.vp).expect("join assigned every vp");
+            let runtime = session.runtime(device);
             let exec_started_wall_s = recorder.wall_now_s();
             let exec_started = Instant::now();
-            let response: ResponseEnvelope = runtime.process(&envelope);
+            let response: ResponseEnvelope = runtime.lock().process(&envelope);
             if recorder.enabled() {
                 recorder.span(
                     TimeDomain::Wall,
@@ -351,7 +400,7 @@ fn run_dispatcher(
             }
             // Feed the profiler observation back into the expected-time table.
             if let Some(JobRecord { kind: RecordKind::Kernel { name, .. }, duration_s, .. }) =
-                runtime.records().last()
+                runtime.lock().records().last()
             {
                 expected_kernel_s.insert(name.clone(), *duration_s);
             }
@@ -371,7 +420,9 @@ fn run_dispatcher(
             std::thread::yield_now();
         }
     }
-    (runtime.take_records(), stats)
+    let outcome =
+        session.drain_and_plan(&pipeline, &|vp| coalescible.get(&vp).copied().unwrap_or(false));
+    (outcome, stats)
 }
 
 #[cfg(test)]
@@ -383,7 +434,7 @@ mod tests {
     fn dispatched_fleet_validates_end_to_end() {
         let app = VectorAddApp { n: 2048 };
         let registry: KernelRegistry = app.kernels().into_iter().collect();
-        let mut sys = DispatchedSigmaVp::new(
+        let mut sys = DispatchedSigmaVp::single(
             GpuArch::quadro_4000(),
             registry,
             TransportCost::shared_memory(),
@@ -396,6 +447,7 @@ mod tests {
         assert_eq!(report.outcomes.len(), 4);
         assert_eq!(report.records.len(), 4 * 4); // 2 h2d + kernel + d2h per VP
         assert!(stats.requests >= 4 * 10);
+        assert!(report.device_makespan_s > 0.0);
     }
 
     #[test]
@@ -405,7 +457,7 @@ mod tests {
         // being reordered without panics and everything still validating.
         let app = BlackScholesApp { n: 1024, iterations: 4, ..BlackScholesApp::new(1) };
         let registry: KernelRegistry = app.kernels().into_iter().collect();
-        let mut sys = DispatchedSigmaVp::new(
+        let mut sys = DispatchedSigmaVp::single(
             GpuArch::quadro_4000(),
             registry,
             TransportCost::shared_memory(),
@@ -422,6 +474,30 @@ mod tests {
         // 4 VPs × (2 h2d + 4 launches + 2 d2h).
         assert_eq!(report.records.len(), 4 * 8);
         assert!(stats.max_window >= 1);
+    }
+
+    #[test]
+    fn two_host_gpus_split_the_dispatched_fleet() {
+        let run = |archs: Vec<GpuArch>| {
+            let app = VectorAddApp { n: 2048 };
+            let registry: KernelRegistry = app.kernels().into_iter().collect();
+            let mut sys = DispatchedSigmaVp::new(archs, registry, TransportCost::shared_memory());
+            for _ in 0..6 {
+                sys.spawn(Box::new(VectorAddApp { n: 2048 }));
+            }
+            let (report, _) = sys.join();
+            assert!(report.all_ok(), "{:?}", report.outcomes);
+            report
+        };
+        let one = run(vec![GpuArch::quadro_4000()]);
+        let two = run(vec![GpuArch::quadro_4000(), GpuArch::quadro_4000()]);
+        assert_eq!(one.records.len(), two.records.len());
+        assert_eq!(two.device_records.len(), 2);
+        // Least-loaded routing spreads six VPs three-and-three, halving each
+        // device's log and shrinking the fleet makespan.
+        assert!(two.device_records.iter().all(|r| r.len() == 3 * 4));
+        let ratio = one.device_makespan_s / two.device_makespan_s;
+        assert!(ratio >= 1.5, "makespan ratio {ratio:.2}");
     }
 
     #[test]
@@ -446,7 +522,7 @@ mod tests {
         let app = VectorAddApp { n: 512 };
         let registry: KernelRegistry = app.kernels().into_iter().collect();
         let mut sys =
-            DispatchedSigmaVp::new(GpuArch::quadro_4000(), registry, TransportCost::socket());
+            DispatchedSigmaVp::single(GpuArch::quadro_4000(), registry, TransportCost::socket());
         sys.spawn(Box::new(app));
         sys.spawn(Box::new(Broken));
         let (report, _) = sys.join();

@@ -22,14 +22,15 @@
 //! ## Quickstart
 //!
 //! ```
-//! use sigmavp::scenario::{run_scenario, GpuMode};
+//! use sigmavp::scenario::run_scenario;
+//! use sigmavp::Policy;
 //! use sigmavp_workloads::apps::VectorAddApp;
 //!
 //! # fn main() -> Result<(), sigmavp::SigmaVpError> {
 //! let app = VectorAddApp { n: 1024 };
 //! let apps: Vec<&dyn sigmavp_workloads::Application> = vec![&app, &app];
-//! let slow = run_scenario(&apps, GpuMode::EmulatedOnVp)?;
-//! let fast = run_scenario(&apps, GpuMode::MultiplexedOptimized)?;
+//! let slow = run_scenario(&apps, Policy::EmulatedOnVp)?;
+//! let fast = run_scenario(&apps, Policy::MultiplexedOptimized)?;
 //! assert!(fast.total_time_s < slow.total_time_s);
 //! # Ok(())
 //! # }
@@ -41,12 +42,22 @@ pub mod dispatcher;
 pub mod error;
 pub mod host;
 pub mod paths;
+pub mod plan;
 pub mod scenario;
+pub mod session;
 pub mod threaded;
 
 pub use backend::MultiplexedGpu;
 pub use dispatcher::DispatchedSigmaVp;
 pub use error::SigmaVpError;
 pub use host::HostRuntime;
-pub use scenario::{run_scenario, run_scenario_with, GpuMode, ScenarioReport};
-pub use threaded::{SchedulingPolicy, ThreadedSigmaVp};
+pub use plan::{plan_device, DevicePlan, EngineEvaluator};
+pub use scenario::{run_scenario, run_scenario_with, ScenarioReport};
+pub use session::{DeviceOutcome, ExecutionSession, SessionOutcome};
+pub use sigmavp_sched::{Admission, BackendKind, InterleaveMode, Pipeline, Policy};
+pub use threaded::ThreadedSigmaVp;
+
+#[allow(deprecated)]
+pub use scenario::GpuMode;
+#[allow(deprecated)]
+pub use threaded::SchedulingPolicy;

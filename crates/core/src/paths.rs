@@ -17,10 +17,6 @@
 //! models ([`sigmavp_vp::calib`]); the *ordering* and rough ratios are the
 //! reproduction target.
 
-use std::sync::Arc;
-
-use parking_lot::Mutex;
-
 use sigmavp_gpu::GpuArch;
 use sigmavp_ipc::message::VpId;
 use sigmavp_ipc::transport::TransportCost;
@@ -30,9 +26,8 @@ use sigmavp_vp::platform::VirtualPlatform;
 use sigmavp_vp::registry::KernelRegistry;
 use sigmavp_workloads::app::{AppEnv, Application};
 
-use crate::backend::MultiplexedGpu;
 use crate::error::SigmaVpError;
-use crate::host::HostRuntime;
+use crate::session::ExecutionSession;
 
 /// One Table 1 row.
 #[derive(Debug, Clone, PartialEq)]
@@ -89,13 +84,13 @@ pub fn run_table1(app: &dyn Application, c_flops: u64) -> Result<Table1, SigmaVp
     // (negligible) native driver overhead, which we model with a zero-latency
     // transport and a native platform.
     let row1 = {
-        let runtime = Arc::new(Mutex::new(HostRuntime::new(arch.clone(), registry.clone())));
-        let mut vp = VirtualPlatform::native(VpId(0));
-        let mut gpu = MultiplexedGpu::new(
-            VpId(0),
-            runtime,
+        let mut session = ExecutionSession::single(
+            arch.clone(),
+            registry.clone(),
             TransportCost { latency_s: 0.0, per_byte_s: 0.0 },
         );
+        let mut vp = VirtualPlatform::native(VpId(0));
+        let mut gpu = session.connect(VpId(0));
         let mut env = AppEnv::new(&mut vp, &mut gpu);
         app.run_once(&mut env)?;
         PathResult {
@@ -136,9 +131,10 @@ pub fn run_table1(app: &dyn Application, c_flops: u64) -> Result<Table1, SigmaVp
 
     // Row 4: ΣVP — the VP forwards CUDA calls to the multiplexed host GPU.
     let row4 = {
-        let runtime = Arc::new(Mutex::new(HostRuntime::new(arch.clone(), registry)));
+        let mut session =
+            ExecutionSession::single(arch.clone(), registry, TransportCost::shared_memory());
         let mut vp = VirtualPlatform::new(VpId(0));
-        let mut gpu = MultiplexedGpu::new(VpId(0), runtime, TransportCost::shared_memory());
+        let mut gpu = session.connect(VpId(0));
         let mut env = AppEnv::new(&mut vp, &mut gpu);
         app.run_once(&mut env)?;
         PathResult {

@@ -14,50 +14,39 @@
 //!   so these overlap and only the maximum counts), per-VP *IPC* time, and the
 //!   host-GPU *timeline makespan* of the recorded job stream, replayed through the
 //!   two-engine [`engine`](sigmavp_gpu::engine) model.
-//! * In [`GpuMode::MultiplexedOptimized`], the job stream is first reordered by
-//!   the [interleaver](sigmavp_sched::interleave) and identical kernel jobs from
-//!   different VPs (at the same per-VP kernel ordinal) are merged into single
-//!   launches with wave-aligned grids and amortized launch overheads, with
-//!   cross-stream dependencies preserved in the timeline.
+//! * Planning is **not** done here: the recorded job stream flows through the
+//!   shared scheduling [`Pipeline`](sigmavp_sched::Pipeline) (derived from the
+//!   run's [`Policy`]) and the [`ExecutionSession`] owns the device set — the
+//!   same spine the live runtimes drive. Under
+//!   [`Policy::MultiplexedOptimized`], that pipeline interleaves the stream
+//!   (Fig. 4a) and merges matching kernels across VPs (Fig. 5), keeping the
+//!   merged plan only when the engine model prices it faster.
 
-use std::collections::HashMap;
-use std::sync::Arc;
-
-use parking_lot::Mutex;
-
-use sigmavp_gpu::engine::{simulate, Engine as GpuEngine, GpuOp, StreamId};
 use sigmavp_gpu::GpuArch;
 use sigmavp_ipc::message::VpId;
-use sigmavp_ipc::queue::{Job, JobId, JobKind};
 use sigmavp_ipc::transport::TransportCost;
-use sigmavp_sched::interleave::reorder_async;
+use sigmavp_sched::{BackendKind, Pipeline, Policy};
 use sigmavp_vp::emulation::EmulatedGpu;
 use sigmavp_vp::platform::VirtualPlatform;
 use sigmavp_vp::registry::KernelRegistry;
 use sigmavp_workloads::app::{AppEnv, Application};
 
-use crate::backend::MultiplexedGpu;
 use crate::error::SigmaVpError;
-use crate::host::{HostRuntime, JobRecord, RecordKind};
+use crate::session::ExecutionSession;
 
-/// The GPU backend configuration of a scenario.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum GpuMode {
-    /// Software GPU emulation inside each binary-translating VP (the paper's blue
-    /// bars — the slow baseline).
-    EmulatedOnVp,
-    /// Host-GPU multiplexing without the two optimizations (red line).
-    Multiplexed,
-    /// Host-GPU multiplexing with Kernel Interleaving and Kernel Coalescing
-    /// (green line).
-    MultiplexedOptimized,
-}
+/// Legacy name of the scenario backend configuration, now unified with the
+/// threaded runtime's scheduling policy into [`Policy`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `sigmavp_sched::Policy` (re-exported as `sigmavp::Policy`)"
+)]
+pub type GpuMode = Policy;
 
 /// The outcome of one scenario run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioReport {
-    /// The mode that ran.
-    pub mode: GpuMode,
+    /// The policy that ran.
+    pub mode: Policy,
     /// Number of VP instances.
     pub n_vps: usize,
     /// Total simulated time to complete all VPs, seconds.
@@ -68,7 +57,8 @@ pub struct ScenarioReport {
     pub non_gpu_time_s: f64,
     /// Maximum per-VP IPC transport time (zero for emulation).
     pub ipc_time_s: f64,
-    /// Host-GPU timeline makespan (zero for emulation).
+    /// Host-GPU timeline makespan — the slowest device for multi-GPU sessions
+    /// (zero for emulation).
     pub device_makespan_s: f64,
     /// Device-touching jobs dispatched (zero for emulation).
     pub gpu_jobs: usize,
@@ -87,7 +77,7 @@ impl ScenarioReport {
     }
 }
 
-/// Run `apps` (one per VP) in the given mode on the default host GPU
+/// Run `apps` (one per VP) under the given policy on the default host GPU
 /// (Quadro 4000) over a shared-memory transport.
 ///
 /// # Errors
@@ -96,16 +86,17 @@ impl ScenarioReport {
 /// backend failure (including output-validation failures).
 pub fn run_scenario(
     apps: &[&dyn Application],
-    mode: GpuMode,
+    mode: Policy,
 ) -> Result<ScenarioReport, SigmaVpError> {
     run_scenario_with(apps, mode, GpuArch::quadro_4000(), TransportCost::shared_memory())
 }
 
 /// Multi-GPU multiplexing: the paper's framework "multiplexes the host GPUs" —
-/// hosts with several devices spread the VPs across them. VPs are assigned
-/// round-robin to the given devices; each device runs its own timeline, and the
-/// scenario completes when the slowest device (plus the slowest VP's non-GPU work)
-/// does.
+/// hosts with several devices spread the VPs across them. The
+/// [`ExecutionSession`] routes each VP to the least-loaded device (round-robin
+/// for sequential arrivals); each device runs its own timeline, and the
+/// scenario completes when the slowest device (plus the slowest VP's non-GPU
+/// work) does.
 ///
 /// # Errors
 ///
@@ -113,7 +104,7 @@ pub fn run_scenario(
 /// application/backend failure.
 pub fn run_scenario_multi_gpu(
     apps: &[&dyn Application],
-    mode: GpuMode,
+    mode: Policy,
     archs: &[GpuArch],
     transport: TransportCost,
 ) -> Result<ScenarioReport, SigmaVpError> {
@@ -123,41 +114,10 @@ pub fn run_scenario_multi_gpu(
     if apps.is_empty() {
         return Err(SigmaVpError::Config("scenario needs at least one vp".into()));
     }
-    if archs.len() == 1 || mode == GpuMode::EmulatedOnVp {
-        return run_scenario_with(apps, mode, archs[0].clone(), transport);
+    match mode.backend {
+        BackendKind::EmulatedOnVp => run_emulated(apps, mode),
+        BackendKind::Multiplexed => run_multiplexed(apps, mode, archs, transport),
     }
-    // Partition VPs round-robin across devices and run one sub-scenario per
-    // device; non-GPU work of all VPs overlaps globally (separate host cores),
-    // device timelines are independent hardware.
-    let mut reports = Vec::with_capacity(archs.len());
-    for (d, arch) in archs.iter().enumerate() {
-        let subset: Vec<&dyn Application> = apps
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| i % archs.len() == d)
-            .map(|(_, a)| *a)
-            .collect();
-        if subset.is_empty() {
-            continue;
-        }
-        reports.push(run_scenario_with(&subset, mode, arch.clone(), transport)?);
-    }
-    let non_gpu = reports.iter().map(|r| r.non_gpu_time_s).fold(0.0, f64::max);
-    let ipc = reports.iter().map(|r| r.ipc_time_s).fold(0.0, f64::max);
-    let makespan = reports.iter().map(|r| r.device_makespan_s).fold(0.0, f64::max);
-    Ok(ScenarioReport {
-        mode,
-        n_vps: apps.len(),
-        total_time_s: non_gpu + ipc + makespan,
-        vp_times_s: reports.iter().flat_map(|r| r.vp_times_s.iter().copied()).collect(),
-        non_gpu_time_s: non_gpu,
-        ipc_time_s: ipc,
-        device_makespan_s: makespan,
-        gpu_jobs: reports.iter().map(|r| r.gpu_jobs).sum(),
-        coalesced_groups: reports.iter().map(|r| r.coalesced_groups).sum(),
-        coalesced_members: reports.iter().map(|r| r.coalesced_members).sum(),
-        compute_utilization: reports.iter().map(|r| r.compute_utilization).fold(0.0, f64::max),
-    })
 }
 
 /// [`run_scenario`] with explicit host-GPU architecture and transport cost.
@@ -167,25 +127,18 @@ pub fn run_scenario_multi_gpu(
 /// See [`run_scenario`].
 pub fn run_scenario_with(
     apps: &[&dyn Application],
-    mode: GpuMode,
+    mode: Policy,
     arch: GpuArch,
     transport: TransportCost,
 ) -> Result<ScenarioReport, SigmaVpError> {
-    if apps.is_empty() {
-        return Err(SigmaVpError::Config("scenario needs at least one vp".into()));
-    }
-    match mode {
-        GpuMode::EmulatedOnVp => run_emulated(apps),
-        GpuMode::Multiplexed => run_multiplexed(apps, arch, transport, false),
-        GpuMode::MultiplexedOptimized => run_multiplexed(apps, arch, transport, true),
-    }
+    run_scenario_multi_gpu(apps, mode, &[arch], transport)
 }
 
 fn union_registry(apps: &[&dyn Application]) -> KernelRegistry {
     apps.iter().flat_map(|a| a.kernels()).collect()
 }
 
-fn run_emulated(apps: &[&dyn Application]) -> Result<ScenarioReport, SigmaVpError> {
+fn run_emulated(apps: &[&dyn Application], mode: Policy) -> Result<ScenarioReport, SigmaVpError> {
     let registry = union_registry(apps);
     let mut vp_times = Vec::with_capacity(apps.len());
     for (i, app) in apps.iter().enumerate() {
@@ -199,7 +152,7 @@ fn run_emulated(apps: &[&dyn Application]) -> Result<ScenarioReport, SigmaVpErro
     // slowest VP does.
     let total = vp_times.iter().copied().fold(0.0, f64::max);
     Ok(ScenarioReport {
-        mode: GpuMode::EmulatedOnVp,
+        mode,
         n_vps: apps.len(),
         total_time_s: total,
         vp_times_s: vp_times,
@@ -215,19 +168,19 @@ fn run_emulated(apps: &[&dyn Application]) -> Result<ScenarioReport, SigmaVpErro
 
 fn run_multiplexed(
     apps: &[&dyn Application],
-    arch: GpuArch,
+    mode: Policy,
+    archs: &[GpuArch],
     transport: TransportCost,
-    optimized: bool,
 ) -> Result<ScenarioReport, SigmaVpError> {
     let registry = union_registry(apps);
-    let runtime = Arc::new(Mutex::new(HostRuntime::new(arch.clone(), registry)));
+    let mut session = ExecutionSession::new(archs.to_vec(), registry, transport)?;
 
     let mut vp_times = Vec::with_capacity(apps.len());
     let mut non_gpu = Vec::with_capacity(apps.len());
     let mut ipc = Vec::with_capacity(apps.len());
     for (i, app) in apps.iter().enumerate() {
         let mut vp = VirtualPlatform::new(VpId(i as u32));
-        let mut gpu = MultiplexedGpu::new(VpId(i as u32), runtime.clone(), transport);
+        let mut gpu = session.connect(VpId(i as u32));
         let mut env = AppEnv::new(&mut vp, &mut gpu);
         app.run_once(&mut env)?;
         vp_times.push(vp.now_s());
@@ -235,334 +188,32 @@ fn run_multiplexed(
         ipc.push(gpu.ipc_stats().transport_time_s);
     }
 
-    let records = runtime.lock().take_records();
-    let gpu_jobs = records.len();
-    let mut jobs = records_to_jobs(&records);
-    if optimized {
-        jobs = reorder_async(jobs);
-    }
-
-    // Coalescing plan (optimized mode only, and only for VPs whose apps are
-    // coalescing-friendly). The re-scheduler knows the expected time of every
-    // invocation, so it only applies coalescing when the merged timeline actually
-    // wins (an adaptive policy the paper's expected-time machinery enables).
+    // Plan the recorded job stream through the shared pipeline. Coalescing only
+    // applies to VPs whose apps are coalescing-friendly, and the adaptive pass
+    // keeps the merged plan only when the engine model prices it faster.
     let coalescible: Vec<bool> = apps.iter().map(|a| a.characteristics().coalescible).collect();
-    let (timeline, groups, members) = if optimized {
-        let plain_tl = simulate(&arch, &stabilize_dep_order(build_ops_plain(&jobs, &records)));
-        let (ops, g, m) = build_ops_coalesced(&jobs, &records, &coalescible, &arch);
-        let merged_tl = simulate(&arch, &ops);
-        if g > 0 && merged_tl.makespan_s <= plain_tl.makespan_s {
-            (merged_tl, g, m)
-        } else {
-            (plain_tl, 0, 0)
-        }
-    } else {
-        (simulate(&arch, &stabilize_dep_order(build_ops_plain(&jobs, &records))), 0, 0)
-    };
+    let pipeline = Pipeline::from_policy(&mode);
+    let outcome = session.drain_and_plan(&pipeline, &|vp: VpId| {
+        coalescible.get(vp.0 as usize).copied().unwrap_or(false)
+    });
+
     let non_gpu_max = non_gpu.iter().copied().fold(0.0, f64::max);
     let ipc_max = ipc.iter().copied().fold(0.0, f64::max);
-    let total = non_gpu_max + ipc_max + timeline.makespan_s;
+    let makespan = outcome.makespan_s();
 
     Ok(ScenarioReport {
-        mode: if optimized { GpuMode::MultiplexedOptimized } else { GpuMode::Multiplexed },
+        mode,
         n_vps: apps.len(),
-        total_time_s: total,
+        total_time_s: non_gpu_max + ipc_max + makespan,
         vp_times_s: vp_times,
         non_gpu_time_s: non_gpu_max,
         ipc_time_s: ipc_max,
-        device_makespan_s: timeline.makespan_s,
-        gpu_jobs,
-        coalesced_groups: groups,
-        coalesced_members: members,
-        compute_utilization: timeline.utilization(GpuEngine::Compute),
+        device_makespan_s: makespan,
+        gpu_jobs: outcome.gpu_jobs(),
+        coalesced_groups: outcome.coalesced_groups(),
+        coalesced_members: outcome.coalesced_members(),
+        compute_utilization: outcome.compute_utilization(),
     })
-}
-
-fn records_to_jobs(records: &[JobRecord]) -> Vec<Job> {
-    records
-        .iter()
-        .enumerate()
-        .map(|(i, r)| Job {
-            id: JobId(i as u64),
-            vp: r.vp,
-            seq: r.seq,
-            kind: match &r.kind {
-                RecordKind::H2d { bytes, .. } => JobKind::CopyIn { bytes: *bytes },
-                RecordKind::D2h { bytes, .. } => JobKind::CopyOut { bytes: *bytes },
-                RecordKind::Kernel { name, grid_dim, block_dim, .. } => JobKind::Kernel {
-                    name: name.clone(),
-                    grid_dim: *grid_dim,
-                    block_dim: *block_dim,
-                },
-            },
-            sync: true,
-            enqueued_at_s: r.sent_at_s,
-            expected_duration_s: r.duration_s,
-        })
-        .collect()
-}
-
-fn job_engine(kind: &JobKind) -> GpuEngine {
-    match kind {
-        JobKind::CopyIn { .. } => GpuEngine::CopyH2D,
-        JobKind::CopyOut { .. } => GpuEngine::CopyD2H,
-        JobKind::Kernel { .. } => GpuEngine::Compute,
-    }
-}
-
-/// Guest streams supported per VP in the timeline (engine stream id =
-/// `vp × MAX_GUEST_STREAMS + guest_stream`).
-const MAX_GUEST_STREAMS: u32 = 16;
-
-/// Lower jobs to engine ops, honoring guest streams with CUDA *legacy
-/// default-stream* semantics: operations on the default stream (0) synchronize
-/// with every outstanding non-default-stream op of the same VP issued before
-/// them, and non-default-stream ops wait for the last default-stream op. Ops on
-/// different non-default streams of the same VP may overlap (the asynchronous
-/// case of Fig. 4a).
-fn build_ops_plain(jobs: &[Job], records: &[JobRecord]) -> Vec<GpuOp> {
-    let mut last_default: HashMap<VpId, u64> = HashMap::new();
-    let mut outstanding: HashMap<VpId, Vec<u64>> = HashMap::new();
-    jobs.iter()
-        .map(|j| {
-            let guest_stream = match &records[j.id.0 as usize].kind {
-                RecordKind::H2d { stream, .. }
-                | RecordKind::D2h { stream, .. }
-                | RecordKind::Kernel { stream, .. } => *stream % MAX_GUEST_STREAMS,
-            };
-            let op_id = j.id.0;
-            let after = if guest_stream == 0 {
-                // Default-to-default ordering comes from the engine stream itself;
-                // only the cross-stream joins need explicit dependencies.
-                let deps = outstanding.remove(&j.vp).unwrap_or_default();
-                last_default.insert(j.vp, op_id);
-                deps
-            } else {
-                outstanding.entry(j.vp).or_default().push(op_id);
-                last_default.get(&j.vp).map(|&d| vec![d]).unwrap_or_default()
-            };
-            GpuOp {
-                id: op_id,
-                stream: StreamId(j.vp.0 * MAX_GUEST_STREAMS + guest_stream),
-                engine: job_engine(&j.kind),
-                duration_s: j.expected_duration_s,
-                after,
-            }
-        })
-        .collect()
-}
-
-/// Merge matching jobs from different coalescing-friendly VPs into single
-/// operations and lower everything to engine ops with correct cross-stream
-/// dependencies.
-///
-/// Jobs are grouped by their *per-VP ordinal* (the k-th device job each VP
-/// submits) plus an identity check: copies match by direction (their chunks merge
-/// into one contiguous transfer, paper Fig. 5), kernels match by name and block
-/// size (the Kernel Match test). Each merged op sits at the position of its *last*
-/// member, so every member's intra-VP predecessors still precede it; dropped
-/// members' later jobs gain an explicit dependency on the merged op.
-///
-/// Returns `(ops, merged_groups, absorbed_member_jobs)`.
-fn build_ops_coalesced(
-    jobs: &[Job],
-    records: &[JobRecord],
-    coalescible: &[bool],
-    arch: &GpuArch,
-) -> (Vec<GpuOp>, usize, usize) {
-    #[derive(Hash, PartialEq, Eq)]
-    enum Identity {
-        In,
-        Out,
-        Kernel(String, u32),
-    }
-
-    let mut ordinal: HashMap<VpId, u64> = HashMap::new();
-    let mut groups: HashMap<(u64, Identity), Vec<usize>> = HashMap::new();
-    for (idx, job) in jobs.iter().enumerate() {
-        let ord = ordinal.entry(job.vp).or_insert(0);
-        if coalescible.get(job.vp.0 as usize).copied().unwrap_or(false) {
-            let identity = match &job.kind {
-                JobKind::CopyIn { .. } => Identity::In,
-                JobKind::CopyOut { .. } => Identity::Out,
-                JobKind::Kernel { name, block_dim, .. } => {
-                    Identity::Kernel(name.clone(), *block_dim)
-                }
-            };
-            groups.entry((*ord, identity)).or_default().push(idx);
-        }
-        *ord += 1;
-    }
-
-    let mut role: HashMap<usize, MergeRole> = HashMap::new();
-    let mut n_groups = 0;
-    let mut n_members = 0;
-    for (_, member_idxs) in groups {
-        if member_idxs.len() < 2 {
-            continue;
-        }
-        n_groups += 1;
-        n_members += member_idxs.len();
-        let anchor = *member_idxs.iter().max().expect("non-empty group");
-        let others: Vec<usize> = member_idxs.iter().copied().filter(|&i| i != anchor).collect();
-        role.insert(anchor, MergeRole::Anchor { members: others.clone() });
-        for o in others {
-            role.insert(o, MergeRole::Dropped { anchor });
-        }
-    }
-
-    // Lower to ops. Track, per VP, the last emitted op id (for dependency wiring)
-    // and any pending barrier (a dropped member's next op must wait for the merged
-    // op). Barriers on not-yet-lowered anchors use a placeholder id resolved below.
-    let mut ops = Vec::with_capacity(jobs.len());
-    let mut last_op_of_vp: HashMap<VpId, u64> = HashMap::new();
-    let mut pending_barrier: HashMap<VpId, u64> = HashMap::new();
-    let mut anchor_op_id: HashMap<usize, u64> = HashMap::new();
-
-    for (idx, job) in jobs.iter().enumerate() {
-        match role.get(&idx) {
-            Some(MergeRole::Dropped { anchor }) => {
-                pending_barrier.insert(job.vp, u64::MAX - *anchor as u64);
-            }
-            Some(MergeRole::Anchor { members }) => {
-                let duration = merged_duration(jobs, records, idx, members, arch);
-                let mut after: Vec<u64> = members
-                    .iter()
-                    .filter_map(|&m| last_op_of_vp.get(&jobs[m].vp).copied())
-                    .collect();
-                if let Some(b) = pending_barrier.remove(&job.vp) {
-                    after.push(b);
-                }
-                let op_id = idx as u64;
-                ops.push(GpuOp {
-                    id: op_id,
-                    stream: StreamId(job.vp.0),
-                    engine: job_engine(&job.kind),
-                    duration_s: duration,
-                    after,
-                });
-                anchor_op_id.insert(idx, op_id);
-                last_op_of_vp.insert(job.vp, op_id);
-                // All member VPs now logically depend on this op.
-                for &m in members {
-                    last_op_of_vp.insert(jobs[m].vp, op_id);
-                }
-            }
-            None => {
-                let mut after = vec![];
-                if let Some(b) = pending_barrier.remove(&job.vp) {
-                    after.push(b);
-                }
-                let op_id = idx as u64;
-                ops.push(GpuOp {
-                    id: op_id,
-                    stream: StreamId(job.vp.0),
-                    engine: job_engine(&job.kind),
-                    duration_s: job.expected_duration_s,
-                    after,
-                });
-                last_op_of_vp.insert(job.vp, op_id);
-            }
-        }
-    }
-
-    // Resolve placeholder barriers (u64::MAX - anchor_index) to real op ids.
-    for op in &mut ops {
-        for dep in &mut op.after {
-            if *dep > u64::MAX / 2 {
-                let anchor_idx = (u64::MAX - *dep) as usize;
-                *dep = anchor_op_id.get(&anchor_idx).copied().unwrap_or(0);
-            }
-        }
-    }
-    (stabilize_dep_order(ops), n_groups, n_members)
-}
-
-/// Duration of a merged operation.
-///
-/// * Copies merge into one contiguous transfer: one fixed latency plus the summed
-///   bytes over the copy-engine bandwidth (Fig. 5's coalesced memory chunk).
-/// * Kernels merge into one launch: one launch overhead plus the members' combined
-///   compute time scaled by the wave-alignment gain
-///   (`merged waves / Σ member waves` — Eq. 9's alignment effect).
-fn merged_duration(
-    jobs: &[Job],
-    records: &[JobRecord],
-    anchor: usize,
-    members: &[usize],
-    arch: &GpuArch,
-) -> f64 {
-    match &jobs[anchor].kind {
-        JobKind::CopyIn { .. } | JobKind::CopyOut { .. } => {
-            let total_bytes: u64 = members
-                .iter()
-                .chain(std::iter::once(&anchor))
-                .map(|&i| match jobs[i].kind {
-                    JobKind::CopyIn { bytes } | JobKind::CopyOut { bytes } => bytes,
-                    JobKind::Kernel { .. } => 0,
-                })
-                .sum();
-            arch.copy_time_s(total_bytes)
-        }
-        JobKind::Kernel { block_dim, .. } => {
-            let block_dim = *block_dim;
-            let mut total_grid = 0u64;
-            let mut sum_compute = 0.0f64;
-            let mut sum_waves = 0u64;
-            let mut overhead = arch.launch_overhead_us * 1e-6;
-            for &idx in members.iter().chain(std::iter::once(&anchor)) {
-                let JobKind::Kernel { grid_dim, .. } = &jobs[idx].kind else { continue };
-                total_grid += *grid_dim as u64;
-                // Job ids index the original record order even after reordering.
-                let rec = &records[jobs[idx].id.0 as usize];
-                if let RecordKind::Kernel { launch_overhead_s, waves, .. } = &rec.kind {
-                    overhead = *launch_overhead_s;
-                    sum_waves += *waves;
-                    sum_compute += (rec.duration_s - launch_overhead_s).max(0.0);
-                }
-            }
-            let bpw = arch.blocks_per_wave(block_dim) as u64;
-            let merged_waves = total_grid.div_ceil(bpw).max(1);
-            let wave_ratio =
-                if sum_waves > 0 { merged_waves as f64 / sum_waves as f64 } else { 1.0 };
-            overhead + sum_compute * wave_ratio.min(1.0)
-        }
-    }
-}
-
-#[derive(Debug, Clone)]
-enum MergeRole {
-    Anchor { members: Vec<usize> },
-    Dropped { anchor: usize },
-}
-
-/// Reorder ops (stably) so every op is issued after all of its `after`
-/// dependencies — the in-order engine model requires dependencies to precede their
-/// dependents in issue order. Cycles cannot occur (dependencies always point at
-/// merged ops whose members precede the dependents), but the code degrades
-/// gracefully by emitting any stuck remainder in its given order.
-fn stabilize_dep_order(ops: Vec<GpuOp>) -> Vec<GpuOp> {
-    let mut emitted: std::collections::HashSet<u64> = std::collections::HashSet::new();
-    let mut pending: std::collections::VecDeque<GpuOp> = ops.into();
-    let mut out = Vec::with_capacity(pending.len());
-    let mut stall = 0usize;
-    while let Some(op) = pending.pop_front() {
-        if op.after.iter().all(|d| emitted.contains(d)) {
-            emitted.insert(op.id);
-            out.push(op);
-            stall = 0;
-        } else {
-            pending.push_back(op);
-            stall += 1;
-            if stall > pending.len() {
-                while let Some(op) = pending.pop_front() {
-                    out.push(op);
-                }
-                break;
-            }
-        }
-    }
-    out
 }
 
 #[cfg(test)]
@@ -585,8 +236,8 @@ mod tests {
         // shines. Tiny O(n) workloads are bounded by guest-side costs instead.
         let apps: Vec<MatrixMulApp> = (0..4).map(|_| MatrixMulApp::with_shape(48, 1)).collect();
         let refs: Vec<&dyn Application> = apps.iter().map(|a| a as &dyn Application).collect();
-        let slow = run_scenario(&refs, GpuMode::EmulatedOnVp).unwrap();
-        let fast = run_scenario(&refs, GpuMode::Multiplexed).unwrap();
+        let slow = run_scenario(&refs, Policy::EmulatedOnVp).unwrap();
+        let fast = run_scenario(&refs, Policy::Multiplexed).unwrap();
         let speedup = fast.speedup_vs(&slow);
         // At this toy scale guest-side prep still bounds the gain; the Fig. 11
         // harness at larger scales reaches the paper's hundreds-to-thousands band.
@@ -599,8 +250,8 @@ mod tests {
     fn optimizations_help_coalescible_apps() {
         let apps = vector_adds(8);
         let refs = refs(&apps);
-        let plain = run_scenario(&refs, GpuMode::Multiplexed).unwrap();
-        let optimized = run_scenario(&refs, GpuMode::MultiplexedOptimized).unwrap();
+        let plain = run_scenario(&refs, Policy::Multiplexed).unwrap();
+        let optimized = run_scenario(&refs, Policy::MultiplexedOptimized).unwrap();
         // Four groups: the a/b input copies, the kernel, and the output copy all
         // merge across the eight VPs.
         assert!(optimized.coalesced_groups >= 3, "groups {}", optimized.coalesced_groups);
@@ -619,7 +270,7 @@ mod tests {
         let apps: Vec<SobelFilterApp> =
             (0..4).map(|_| SobelFilterApp { width: 16, height: 12 }).collect();
         let refs: Vec<&dyn Application> = apps.iter().map(|a| a as &dyn Application).collect();
-        let optimized = run_scenario(&refs, GpuMode::MultiplexedOptimized).unwrap();
+        let optimized = run_scenario(&refs, Policy::MultiplexedOptimized).unwrap();
         assert_eq!(optimized.coalesced_groups, 0);
     }
 
@@ -628,8 +279,8 @@ mod tests {
         // Each of the log²(n) bitonic passes should merge across VPs.
         let apps: Vec<MergeSortApp> = (0..4).map(|_| MergeSortApp { n: 64 }).collect();
         let refs: Vec<&dyn Application> = apps.iter().map(|a| a as &dyn Application).collect();
-        let plain = run_scenario(&refs, GpuMode::Multiplexed).unwrap();
-        let optimized = run_scenario(&refs, GpuMode::MultiplexedOptimized).unwrap();
+        let plain = run_scenario(&refs, Policy::Multiplexed).unwrap();
+        let optimized = run_scenario(&refs, Policy::MultiplexedOptimized).unwrap();
         // 64 keys → k = 2..64 (6 stages), Σ passes = 21 per VP; every pass groups.
         assert!(optimized.coalesced_groups >= 20, "groups {}", optimized.coalesced_groups);
         assert!(optimized.device_makespan_s < plain.device_makespan_s * 0.5);
@@ -639,7 +290,7 @@ mod tests {
     fn reports_are_internally_consistent() {
         let apps = vector_adds(2);
         let refs = refs(&apps);
-        let r = run_scenario(&refs, GpuMode::Multiplexed).unwrap();
+        let r = run_scenario(&refs, Policy::Multiplexed).unwrap();
         assert_eq!(r.n_vps, 2);
         assert_eq!(r.vp_times_s.len(), 2);
         assert!(r.total_time_s >= r.device_makespan_s);
@@ -654,14 +305,14 @@ mod tests {
         let refs: Vec<&dyn Application> = apps.iter().map(|a| a as &dyn Application).collect();
         let one = run_scenario_multi_gpu(
             &refs,
-            GpuMode::Multiplexed,
+            Policy::Multiplexed,
             &[GpuArch::quadro_4000()],
             sigmavp_ipc::transport::TransportCost::shared_memory(),
         )
         .unwrap();
         let two = run_scenario_multi_gpu(
             &refs,
-            GpuMode::Multiplexed,
+            Policy::Multiplexed,
             &[GpuArch::quadro_4000(), GpuArch::quadro_4000()],
             sigmavp_ipc::transport::TransportCost::shared_memory(),
         )
@@ -679,7 +330,7 @@ mod tests {
         let refs: Vec<&dyn Application> = apps.iter().map(|a| a as &dyn Application).collect();
         let r = run_scenario_multi_gpu(
             &refs,
-            GpuMode::MultiplexedOptimized,
+            Policy::MultiplexedOptimized,
             &[GpuArch::quadro_4000(), GpuArch::grid_k520()],
             sigmavp_ipc::transport::TransportCost::shared_memory(),
         )
@@ -688,7 +339,7 @@ mod tests {
         assert!(r.total_time_s > 0.0);
         let err = run_scenario_multi_gpu(
             &refs,
-            GpuMode::Multiplexed,
+            Policy::Multiplexed,
             &[],
             sigmavp_ipc::transport::TransportCost::shared_memory(),
         )
@@ -698,7 +349,7 @@ mod tests {
 
     #[test]
     fn empty_scenario_is_rejected() {
-        let err = run_scenario(&[], GpuMode::Multiplexed).unwrap_err();
+        let err = run_scenario(&[], Policy::Multiplexed).unwrap_err();
         assert!(matches!(err, SigmaVpError::Config(_)));
     }
 
@@ -706,9 +357,18 @@ mod tests {
     fn more_vps_cost_more_emulation_but_sublinear_sigma_vp() {
         let small = vector_adds(2);
         let big = vector_adds(8);
-        let r2 = run_scenario(&refs(&small), GpuMode::MultiplexedOptimized).unwrap();
-        let r8 = run_scenario(&refs(&big), GpuMode::MultiplexedOptimized).unwrap();
+        let r2 = run_scenario(&refs(&small), Policy::MultiplexedOptimized).unwrap();
+        let r8 = run_scenario(&refs(&big), Policy::MultiplexedOptimized).unwrap();
         // Eight coalesced VPs must cost less than 4× the two-VP makespan.
         assert!(r8.device_makespan_s < 4.0 * r2.device_makespan_s);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_gpu_mode_alias_still_compiles() {
+        let apps = vector_adds(2);
+        let refs = refs(&apps);
+        let r = run_scenario(&refs, GpuMode::Multiplexed).unwrap();
+        assert_eq!(r.mode, Policy::Multiplexed);
     }
 }

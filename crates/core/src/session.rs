@@ -1,0 +1,308 @@
+//! The execution session: one object owning the host device set, VP routing,
+//! and the job logs — shared by every runtime.
+//!
+//! The paper's framework "multiplexes the host GPUs": a host with several
+//! devices spreads the VPs across them. [`ExecutionSession`] is that ownership
+//! layer. The scenario engine, the threaded runtime, the dispatcher runtime,
+//! and the Table 1 paths all build one, so multi-GPU routing, record keeping,
+//! and planner integration live in exactly one place:
+//!
+//! * **Device set** — N host GPUs, each with its own [`HostRuntime`] (device,
+//!   kernel registry, job log).
+//! * **Routing** — [`ExecutionSession::assign`] places each VP on the
+//!   least-loaded device (ties go to the lowest index, so sequential
+//!   connections produce the classic round-robin partition).
+//! * **Planning** — [`ExecutionSession::drain_and_plan`] drains every device's
+//!   [`JobRecord`] log and prices it through a shared scheduling
+//!   [`Pipeline`](sigmavp_sched::Pipeline), yielding a [`SessionOutcome`] with
+//!   per-device timelines and fleet-level aggregates.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use sigmavp_gpu::engine::Engine as GpuEngine;
+use sigmavp_gpu::GpuArch;
+use sigmavp_ipc::message::VpId;
+use sigmavp_ipc::transport::TransportCost;
+use sigmavp_sched::Pipeline;
+use sigmavp_vp::registry::KernelRegistry;
+
+use crate::backend::MultiplexedGpu;
+use crate::error::SigmaVpError;
+use crate::host::{HostRuntime, JobRecord};
+use crate::plan::{plan_device, DevicePlan};
+
+#[derive(Debug)]
+struct DeviceSlot {
+    arch: GpuArch,
+    runtime: Arc<Mutex<HostRuntime>>,
+    connected: usize,
+}
+
+/// The device set plus VP routing state for one simulation run.
+#[derive(Debug)]
+pub struct ExecutionSession {
+    devices: Vec<DeviceSlot>,
+    transport: TransportCost,
+    assignments: HashMap<VpId, usize>,
+}
+
+impl ExecutionSession {
+    /// A session over `archs` host GPUs, each serving kernels from `registry`,
+    /// reached through a transport with the given cost model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SigmaVpError::Config`] if `archs` is empty.
+    pub fn new(
+        archs: Vec<GpuArch>,
+        registry: KernelRegistry,
+        transport: TransportCost,
+    ) -> Result<Self, SigmaVpError> {
+        if archs.is_empty() {
+            return Err(SigmaVpError::Config("need at least one host gpu".into()));
+        }
+        let devices = archs
+            .into_iter()
+            .map(|arch| DeviceSlot {
+                runtime: Arc::new(Mutex::new(HostRuntime::new(arch.clone(), registry.clone()))),
+                arch,
+                connected: 0,
+            })
+            .collect();
+        Ok(ExecutionSession { devices, transport, assignments: HashMap::new() })
+    }
+
+    /// A single-device session (the common case; cannot fail).
+    pub fn single(arch: GpuArch, registry: KernelRegistry, transport: TransportCost) -> Self {
+        Self::new(vec![arch], registry, transport)
+            .expect("single-device session always has a device")
+    }
+
+    /// Number of host GPUs in the session.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// Architecture of device `d`.
+    pub fn arch(&self, d: usize) -> &GpuArch {
+        &self.devices[d].arch
+    }
+
+    /// The transport cost model VPs connect through.
+    pub fn transport(&self) -> TransportCost {
+        self.transport
+    }
+
+    /// Shared handle to device `d`'s host runtime (for runtimes that drive the
+    /// dispatch loop themselves).
+    pub fn runtime(&self, d: usize) -> Arc<Mutex<HostRuntime>> {
+        self.devices[d].runtime.clone()
+    }
+
+    /// Route `vp` to a device: least-loaded first, ties to the lowest index (so
+    /// sequential assignment of VPs 0..N over D devices yields the round-robin
+    /// partition `vp % D`). Re-assigning a VP returns its existing device.
+    pub fn assign(&mut self, vp: VpId) -> usize {
+        if let Some(&d) = self.assignments.get(&vp) {
+            return d;
+        }
+        let d = self
+            .devices
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, slot)| (slot.connected, *i))
+            .map(|(i, _)| i)
+            .expect("session has at least one device");
+        self.devices[d].connected += 1;
+        self.assignments.insert(vp, d);
+        d
+    }
+
+    /// The device `vp` was routed to, if assigned.
+    pub fn device_of(&self, vp: VpId) -> Option<usize> {
+        self.assignments.get(&vp).copied()
+    }
+
+    /// Assign `vp` to a device and open a guest-side connection to it.
+    pub fn connect(&mut self, vp: VpId) -> MultiplexedGpu {
+        let d = self.assign(vp);
+        MultiplexedGpu::new(vp, self.devices[d].runtime.clone(), self.transport)
+    }
+
+    /// Drain every device's job log (per-device, in dispatch order).
+    pub fn take_records(&mut self) -> Vec<Vec<JobRecord>> {
+        self.devices.iter().map(|slot| slot.runtime.lock().take_records()).collect()
+    }
+
+    /// Drain every device's job log and plan each through `pipeline`, pricing
+    /// the results on the per-device engine models.
+    pub fn drain_and_plan(
+        &mut self,
+        pipeline: &Pipeline,
+        coalescible: &dyn Fn(VpId) -> bool,
+    ) -> SessionOutcome {
+        let devices = self
+            .devices
+            .iter()
+            .map(|slot| {
+                let records = slot.runtime.lock().take_records();
+                let plan = plan_device(pipeline, &records, coalescible, &slot.arch);
+                DeviceOutcome { arch: slot.arch.clone(), records, plan }
+            })
+            .collect();
+        SessionOutcome { devices }
+    }
+}
+
+/// One device's share of a session: its job log and the priced plan.
+#[derive(Debug, Clone)]
+pub struct DeviceOutcome {
+    /// The device architecture.
+    pub arch: GpuArch,
+    /// The jobs this device served, in dispatch order.
+    pub records: Vec<JobRecord>,
+    /// The planned, priced schedule.
+    pub plan: DevicePlan,
+}
+
+/// Fleet-level view of a drained session: per-device outcomes plus aggregates.
+#[derive(Debug, Clone)]
+pub struct SessionOutcome {
+    /// Per-device outcomes, in device order.
+    pub devices: Vec<DeviceOutcome>,
+}
+
+impl SessionOutcome {
+    /// Device makespan of the fleet: the slowest device's timeline (device
+    /// timelines run on independent hardware).
+    pub fn makespan_s(&self) -> f64 {
+        self.devices.iter().map(|d| d.plan.timeline.makespan_s).fold(0.0, f64::max)
+    }
+
+    /// Total device-touching jobs across the fleet.
+    pub fn gpu_jobs(&self) -> usize {
+        self.devices.iter().map(|d| d.records.len()).sum()
+    }
+
+    /// Kernel groups merged by coalescing, summed over devices.
+    pub fn coalesced_groups(&self) -> usize {
+        self.devices.iter().map(|d| d.plan.coalesced_groups()).sum()
+    }
+
+    /// Total member launches those groups absorbed.
+    pub fn coalesced_members(&self) -> usize {
+        self.devices.iter().map(|d| d.plan.coalesced_members()).sum()
+    }
+
+    /// Best compute-engine utilization across devices.
+    pub fn compute_utilization(&self) -> f64 {
+        self.devices
+            .iter()
+            .map(|d| d.plan.timeline.utilization(GpuEngine::Compute))
+            .fold(0.0, f64::max)
+    }
+
+    /// All records, concatenated by device (back-compat flat view).
+    pub fn flat_records(&self) -> Vec<JobRecord> {
+        self.devices.iter().flat_map(|d| d.records.iter().cloned()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sigmavp_sched::Policy;
+    use sigmavp_vp::service::GpuService;
+    use sigmavp_workloads::app::Application;
+    use sigmavp_workloads::apps::VectorAddApp;
+
+    fn registry() -> KernelRegistry {
+        VectorAddApp { n: 256 }.kernels().into_iter().collect()
+    }
+
+    #[test]
+    fn sequential_assignment_is_round_robin() {
+        let mut s = ExecutionSession::new(
+            vec![GpuArch::quadro_4000(), GpuArch::grid_k520()],
+            registry(),
+            TransportCost::shared_memory(),
+        )
+        .unwrap();
+        for vp in 0..6u32 {
+            assert_eq!(s.assign(VpId(vp)), (vp % 2) as usize);
+        }
+        // Re-assignment is stable.
+        assert_eq!(s.assign(VpId(0)), 0);
+        assert_eq!(s.device_of(VpId(5)), Some(1));
+        assert_eq!(s.device_of(VpId(9)), None);
+    }
+
+    #[test]
+    fn least_loaded_routing_fills_gaps() {
+        let mut s = ExecutionSession::new(
+            vec![GpuArch::quadro_4000(); 3],
+            registry(),
+            TransportCost::shared_memory(),
+        )
+        .unwrap();
+        assert_eq!(s.assign(VpId(0)), 0);
+        assert_eq!(s.assign(VpId(1)), 1);
+        assert_eq!(s.assign(VpId(2)), 2);
+        assert_eq!(s.assign(VpId(3)), 0);
+        // Device 1 and 2 are now lighter than 0.
+        assert_eq!(s.assign(VpId(4)), 1);
+    }
+
+    #[test]
+    fn empty_device_set_is_rejected() {
+        let err =
+            ExecutionSession::new(vec![], registry(), TransportCost::shared_memory()).unwrap_err();
+        assert!(matches!(err, SigmaVpError::Config(_)));
+    }
+
+    #[test]
+    fn connections_share_the_assigned_device() {
+        let mut s = ExecutionSession::new(
+            vec![GpuArch::quadro_4000(), GpuArch::quadro_4000()],
+            registry(),
+            TransportCost::shared_memory(),
+        )
+        .unwrap();
+        let mut a = s.connect(VpId(0));
+        let mut b = s.connect(VpId(1));
+        let (ha, _) = a.malloc(64).unwrap();
+        let (hb, _) = b.malloc(64).unwrap();
+        // Separate devices allocate independently: both get the first handle.
+        assert_eq!(ha, hb);
+        a.free(ha).unwrap();
+        b.free(hb).unwrap();
+    }
+
+    #[test]
+    fn drain_and_plan_aggregates_per_device() {
+        let mut s = ExecutionSession::new(
+            vec![GpuArch::quadro_4000(), GpuArch::quadro_4000()],
+            registry(),
+            TransportCost::shared_memory(),
+        )
+        .unwrap();
+        let data = vec![1u8; 256];
+        for vp in 0..4u32 {
+            let mut gpu = s.connect(VpId(vp));
+            let (h, _) = gpu.malloc(256).unwrap();
+            gpu.memcpy_h2d(h, &data).unwrap();
+            gpu.free(h).unwrap();
+        }
+        let outcome = s.drain_and_plan(&Pipeline::from_policy(&Policy::Multiplexed), &|_| false);
+        assert_eq!(outcome.devices.len(), 2);
+        assert_eq!(outcome.gpu_jobs(), 4);
+        assert_eq!(outcome.devices[0].records.len(), 2);
+        assert_eq!(outcome.flat_records().len(), 4);
+        assert!(outcome.makespan_s() > 0.0);
+        // A second drain finds empty logs.
+        assert_eq!(s.take_records().iter().map(Vec::len).sum::<usize>(), 0);
+    }
+}

@@ -2,21 +2,24 @@
 //!
 //! The [`scenario`](crate::scenario) engine drives VPs deterministically to make
 //! the experiments reproducible; this module is the *deployment* shape of Fig. 2 —
-//! many VP instances running concurrently against one shared host runtime:
+//! many VP instances running concurrently against a shared
+//! [`ExecutionSession`]:
 //!
 //! * every VP thread owns its [`VirtualPlatform`] clock and a
-//!   [`MultiplexedGpu`](crate::backend::MultiplexedGpu) connection; requests are
-//!   really encoded, the shared [`HostRuntime`](crate::host::HostRuntime) mutex is
-//!   the serialization point the paper's Job Queue provides;
+//!   [`MultiplexedGpu`](crate::backend::MultiplexedGpu) connection to the device
+//!   the session routed it to; requests are really encoded, the host-runtime
+//!   mutex is the serialization point the paper's Job Queue provides;
 //! * a [`TurnGate`] reproduces the *VP Control* mechanism ("stops and resumes the
-//!   VPs") for synchronous invocations: under
-//!   [`SchedulingPolicy::RoundRobin`], VPs take strict turns issuing GPU calls,
+//!   VPs") for synchronous invocations: under a policy with
+//!   [`Admission::RoundRobin`], VPs take strict turns issuing GPU calls,
 //!   which is exactly the interleaved arrival order of Fig. 4b — and it makes the
 //!   concurrent job stream deterministic;
-//! * [`ThreadedSigmaVp::join`] collects per-VP outcomes plus the host job log, so
-//!   the same timeline analyses used by the scenario engine apply to live runs.
+//! * [`ThreadedSigmaVp::join`] collects per-VP outcomes plus the per-device job
+//!   logs, and prices the fleet through the same scheduling
+//!   [`Pipeline`](sigmavp_sched::Pipeline) the scenario engine uses — so live
+//!   runs get multi-GPU routing and timeline analysis for free.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -25,6 +28,7 @@ use parking_lot::{Condvar, Mutex};
 use sigmavp_gpu::GpuArch;
 use sigmavp_ipc::message::{VpId, WireParam};
 use sigmavp_ipc::transport::TransportCost;
+use sigmavp_sched::{Admission, Pipeline, Policy};
 use sigmavp_vp::error::VpError;
 use sigmavp_vp::platform::VirtualPlatform;
 use sigmavp_vp::registry::KernelRegistry;
@@ -33,18 +37,15 @@ use sigmavp_workloads::app::{AppEnv, Application};
 
 use crate::backend::MultiplexedGpu;
 use crate::host::{HostRuntime, JobRecord};
+use crate::session::ExecutionSession;
 
-/// How concurrent VPs are admitted to the host GPU.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum SchedulingPolicy {
-    /// First-come-first-served: threads race for the runtime mutex (realistic,
-    /// nondeterministic arrival order).
-    Fifo,
-    /// Strict round-robin turns enforced through the VP-control gate — the
-    /// deterministic, interleaved arrival order of the paper's synchronous
-    /// Kernel Interleaving (Fig. 4b).
-    RoundRobin,
-}
+/// Legacy name of the live-runtime admission policy, now unified with the
+/// scenario engine's `GpuMode` into [`Policy`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `sigmavp_sched::Policy` (re-exported as `sigmavp::Policy`)"
+)]
+pub type SchedulingPolicy = Policy;
 
 #[derive(Debug)]
 struct GateState {
@@ -198,8 +199,14 @@ pub struct VpOutcome {
 pub struct ThreadedReport {
     /// Per-VP outcomes, in spawn order.
     pub outcomes: Vec<VpOutcome>,
-    /// The host's job log, in dispatch order.
+    /// All job records, concatenated device by device (the full log for
+    /// single-device runs, in dispatch order).
     pub records: Vec<JobRecord>,
+    /// Per-device job logs, each in dispatch order.
+    pub device_records: Vec<Vec<JobRecord>>,
+    /// Fleet device makespan: each device's planned job stream replayed through
+    /// the engine model; the slowest device counts.
+    pub device_makespan_s: f64,
 }
 
 impl ThreadedReport {
@@ -211,34 +218,53 @@ impl ThreadedReport {
 
 /// A live multi-VP ΣVP system.
 pub struct ThreadedSigmaVp {
-    runtime: Arc<Mutex<HostRuntime>>,
-    cost: TransportCost,
-    policy: SchedulingPolicy,
+    session: ExecutionSession,
+    policy: Policy,
     pending: Vec<(VpId, Box<dyn Application + Send>)>,
+    coalescible: HashMap<VpId, bool>,
     next_vp: u32,
 }
 
 impl ThreadedSigmaVp {
-    /// A system over a host GPU of architecture `arch` serving `registry`.
+    /// A system over `archs` host GPUs, each serving `registry`. VPs are routed
+    /// to the least-loaded device as they spawn.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `archs` is empty.
     pub fn new(
+        archs: Vec<GpuArch>,
+        registry: KernelRegistry,
+        cost: TransportCost,
+        policy: Policy,
+    ) -> Self {
+        let session = ExecutionSession::new(archs, registry, cost)
+            .expect("threaded runtime needs at least one host gpu");
+        ThreadedSigmaVp {
+            session,
+            policy,
+            pending: Vec::new(),
+            coalescible: HashMap::new(),
+            next_vp: 0,
+        }
+    }
+
+    /// Single-device convenience constructor (the historical signature's shape).
+    pub fn single(
         arch: GpuArch,
         registry: KernelRegistry,
         cost: TransportCost,
-        policy: SchedulingPolicy,
+        policy: Policy,
     ) -> Self {
-        ThreadedSigmaVp {
-            runtime: Arc::new(Mutex::new(HostRuntime::new(arch, registry))),
-            cost,
-            policy,
-            pending: Vec::new(),
-            next_vp: 0,
-        }
+        Self::new(vec![arch], registry, cost, policy)
     }
 
     /// Register an application to run on its own VP thread. Returns the VP id.
     pub fn spawn(&mut self, app: Box<dyn Application + Send>) -> VpId {
         let vp = VpId(self.next_vp);
         self.next_vp += 1;
+        self.session.assign(vp);
+        self.coalescible.insert(vp, app.characteristics().coalescible);
         self.pending.push((vp, app));
         vp
     }
@@ -250,10 +276,10 @@ impl ThreadedSigmaVp {
     ///
     /// Panics if a VP thread itself panics (applications report failures through
     /// `Result`, so a panic indicates a bug).
-    pub fn join(self) -> ThreadedReport {
-        let gate = match self.policy {
-            SchedulingPolicy::Fifo => None,
-            SchedulingPolicy::RoundRobin => {
+    pub fn join(mut self) -> ThreadedReport {
+        let gate = match self.policy.admission {
+            Admission::Fifo => None,
+            Admission::RoundRobin => {
                 Some(Arc::new(TurnGate::new(self.pending.iter().map(|(vp, _)| *vp).collect())))
             }
         };
@@ -262,8 +288,9 @@ impl ThreadedSigmaVp {
             .pending
             .into_iter()
             .map(|(vp, app)| {
-                let runtime = self.runtime.clone();
-                let cost = self.cost;
+                let device = self.session.device_of(vp).expect("spawn assigned a device");
+                let runtime: Arc<Mutex<HostRuntime>> = self.session.runtime(device);
+                let cost = self.session.transport();
                 let gate = gate.clone();
                 std::thread::spawn(move || {
                     let mut platform = VirtualPlatform::new(vp);
@@ -294,8 +321,18 @@ impl ThreadedSigmaVp {
         let mut outcomes: Vec<VpOutcome> =
             handles.into_iter().map(|h| h.join().expect("vp thread must not panic")).collect();
         outcomes.sort_by_key(|o| o.vp);
-        let records = self.runtime.lock().take_records();
-        ThreadedReport { outcomes, records }
+
+        let pipeline = Pipeline::from_policy(&self.policy);
+        let coalescible = self.coalescible;
+        let outcome = self
+            .session
+            .drain_and_plan(&pipeline, &|vp| coalescible.get(&vp).copied().unwrap_or(false));
+        ThreadedReport {
+            outcomes,
+            records: outcome.flat_records(),
+            device_makespan_s: outcome.makespan_s(),
+            device_records: outcome.devices.into_iter().map(|d| d.records).collect(),
+        }
     }
 }
 
@@ -304,10 +341,10 @@ mod tests {
     use super::*;
     use sigmavp_workloads::apps::{MergeSortApp, VectorAddApp};
 
-    fn system(policy: SchedulingPolicy) -> ThreadedSigmaVp {
+    fn system(policy: Policy) -> ThreadedSigmaVp {
         let app = VectorAddApp { n: 1024 };
         let registry: KernelRegistry = app.kernels().into_iter().collect();
-        ThreadedSigmaVp::new(
+        ThreadedSigmaVp::single(
             GpuArch::quadro_4000(),
             registry,
             TransportCost::shared_memory(),
@@ -317,7 +354,7 @@ mod tests {
 
     #[test]
     fn concurrent_vps_all_validate() {
-        let mut sys = system(SchedulingPolicy::Fifo);
+        let mut sys = system(Policy::Fifo);
         for _ in 0..6 {
             sys.spawn(Box::new(VectorAddApp { n: 1024 }));
         }
@@ -326,6 +363,8 @@ mod tests {
         assert_eq!(report.outcomes.len(), 6);
         // 6 VPs × (2 h2d + 1 kernel + 1 d2h) device jobs.
         assert_eq!(report.records.len(), 6 * 4);
+        assert_eq!(report.device_records.len(), 1);
+        assert!(report.device_makespan_s > 0.0);
         for o in &report.outcomes {
             assert!(o.simulated_time_s > 0.0);
             // vectorAdd issues 10 calls: 3 mallocs, 2 h2d, 1 launch, 1 d2h, 3 frees.
@@ -335,7 +374,7 @@ mod tests {
 
     #[test]
     fn round_robin_policy_interleaves_deterministically() {
-        let mut sys = system(SchedulingPolicy::RoundRobin);
+        let mut sys = system(Policy::RoundRobin);
         for _ in 0..3 {
             sys.spawn(Box::new(VectorAddApp { n: 512 }));
         }
@@ -345,6 +384,32 @@ mod tests {
         let vps: Vec<u32> = report.records.iter().map(|r| r.vp.0).collect();
         let expected: Vec<u32> = (0..vps.len()).map(|i| (i % 3) as u32).collect();
         assert_eq!(vps, expected, "round-robin arrival order");
+    }
+
+    #[test]
+    fn two_host_gpus_reduce_the_live_makespan() {
+        // The live-runtime multi-GPU gap, closed: the same eight-VP fleet on one
+        // device vs two. The planned device makespan must drop by ≥ 1.5×.
+        let run = |archs: Vec<GpuArch>| {
+            let app = VectorAddApp { n: 4096 };
+            let registry: KernelRegistry = app.kernels().into_iter().collect();
+            let mut sys =
+                ThreadedSigmaVp::new(archs, registry, TransportCost::shared_memory(), Policy::Fifo);
+            for _ in 0..8 {
+                sys.spawn(Box::new(VectorAddApp { n: 4096 }));
+            }
+            let report = sys.join();
+            assert!(report.all_ok(), "{:?}", report.outcomes);
+            report
+        };
+        let one = run(vec![GpuArch::quadro_4000()]);
+        let two = run(vec![GpuArch::quadro_4000(), GpuArch::quadro_4000()]);
+        assert_eq!(one.records.len(), two.records.len());
+        assert_eq!(two.device_records.len(), 2);
+        // Least-loaded routing spreads eight VPs four-and-four.
+        assert!(two.device_records.iter().all(|r| !r.is_empty()));
+        let ratio = one.device_makespan_s / two.device_makespan_s;
+        assert!(ratio >= 1.5, "makespan ratio {ratio:.2}");
     }
 
     #[test]
@@ -368,7 +433,7 @@ mod tests {
             }
         }
 
-        let mut sys = system(SchedulingPolicy::RoundRobin);
+        let mut sys = system(Policy::RoundRobin);
         sys.spawn(Box::new(VectorAddApp { n: 512 }));
         sys.spawn(Box::new(Broken));
         sys.spawn(Box::new(VectorAddApp { n: 512 }));
@@ -388,11 +453,11 @@ mod tests {
         for k in ms.kernels() {
             registry.register(k);
         }
-        let mut sys = ThreadedSigmaVp::new(
+        let mut sys = ThreadedSigmaVp::single(
             GpuArch::quadro_4000(),
             registry,
             TransportCost::shared_memory(),
-            SchedulingPolicy::Fifo,
+            Policy::Fifo,
         );
         sys.spawn(Box::new(va));
         sys.spawn(Box::new(ms));
@@ -409,6 +474,14 @@ mod tests {
             .collect();
         assert!(kernels.contains("vector_add"));
         assert!(kernels.contains("bitonic_step"));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_scheduling_policy_alias_still_compiles() {
+        let mut sys = system(SchedulingPolicy::Fifo);
+        sys.spawn(Box::new(VectorAddApp { n: 512 }));
+        assert!(sys.join().all_ok());
     }
 
     #[test]

@@ -15,12 +15,24 @@
 //! from the [`JobQueue`](sigmavp_ipc::queue::JobQueue) and are *order-contract
 //! checked*: every reordering they produce satisfies
 //! [`preserves_partial_order`](sigmavp_ipc::queue::preserves_partial_order).
+//!
+//! The [`pipeline`] module composes these mechanisms into the shared planning
+//! spine every runtime drives — [`SchedulePass`]es ([`DepOrder`],
+//! [`Interleave`], [`Coalesce`], [`AdaptiveSelect`]) chained into a
+//! [`Pipeline`] derived from one unified [`Policy`] ([`policy`]).
 #![warn(missing_docs)]
 
 pub mod coalesce;
 pub mod deps;
 pub mod interleave;
+pub mod pipeline;
+pub mod policy;
 
 pub use coalesce::{CoalescePlan, MemoryLayout};
 pub use deps::{reorder_critical_path, JobDag};
 pub use interleave::reorder_async;
+pub use pipeline::{
+    AdaptiveSelect, Coalesce, DepOrder, Interleave, JobStream, MergeGroup, PassCtx, Pipeline,
+    SchedulePass, StreamEvaluator,
+};
+pub use policy::{Admission, BackendKind, InterleaveMode, Policy};

@@ -1,0 +1,194 @@
+//! The unified scheduling policy consumed by the [`Pipeline`](crate::pipeline).
+//!
+//! Historically the reproduction grew two overlapping configuration enums: the
+//! scenario engine's `GpuMode` (emulation vs multiplexing vs multiplexing plus
+//! the re-scheduler optimizations) and the threaded runtime's
+//! `SchedulingPolicy` (FIFO vs round-robin VP admission). Both are facets of
+//! one question — *how is a job stream planned and admitted?* — so they
+//! collapse into a single [`Policy`] with four orthogonal axes:
+//!
+//! * [`BackendKind`] — where GPU work executes (software emulation on the VP,
+//!   or host-GPU multiplexing through the ΣVP runtime);
+//! * [`InterleaveMode`] — which Kernel Interleaving pass reorders the pending
+//!   window (off, the greedy earliest-start scheduler of Fig. 4a, or the
+//!   critical-path list scheduler);
+//! * `coalesce` — whether Kernel Coalescing (plus the adaptive
+//!   keep-the-better-timeline selection) runs;
+//! * [`Admission`] — how concurrent live VPs are admitted to the host runtime
+//!   (racing FIFO, or the paper's deterministic stop/resume round-robin).
+//!
+//! The legacy names survive as `#[deprecated]` type aliases
+//! (`sigmavp::scenario::GpuMode`, `sigmavp::threaded::SchedulingPolicy`) plus
+//! associated constants mirroring the old variant syntax, so existing code
+//! like `GpuMode::MultiplexedOptimized` or `SchedulingPolicy::RoundRobin`
+//! keeps compiling unchanged.
+
+/// Where the guest's GPU work executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// Software GPU emulation inside each binary-translating VP (the paper's
+    /// slow baseline, Fig. 1a).
+    EmulatedOnVp,
+    /// Host-GPU multiplexing through the ΣVP runtime (Fig. 1b).
+    Multiplexed,
+}
+
+/// Which Kernel Interleaving pass reorders the pending job window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InterleaveMode {
+    /// No reordering: jobs run in arrival order.
+    Off,
+    /// The greedy earliest-start list scheduler
+    /// ([`reorder_async`](crate::interleave::reorder_async), Fig. 4a).
+    EarliestStart,
+    /// The HEFT-style critical-path list scheduler
+    /// ([`reorder_critical_path`](crate::deps::reorder_critical_path)).
+    CriticalPath,
+}
+
+/// How concurrent live VPs are admitted to the host runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Admission {
+    /// First-come-first-served: VP threads race (realistic, nondeterministic
+    /// arrival order).
+    Fifo,
+    /// Strict round-robin turns through the VP-control gate — the paper's
+    /// deterministic stop/resume interleaving (Fig. 4b).
+    RoundRobin,
+}
+
+/// The unified scheduling/backend policy: one config consumed by the
+/// [`Pipeline`](crate::pipeline::Pipeline) and by every runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Policy {
+    /// Where GPU work executes.
+    pub backend: BackendKind,
+    /// Which interleaving pass reorders the pending window.
+    pub interleave: InterleaveMode,
+    /// Whether Kernel Coalescing (with adaptive selection) runs.
+    pub coalesce: bool,
+    /// How concurrent live VPs are admitted.
+    pub admission: Admission,
+}
+
+#[allow(non_upper_case_globals)]
+impl Policy {
+    /// Legacy `GpuMode::EmulatedOnVp`: software GPU emulation on each VP.
+    pub const EmulatedOnVp: Policy = Policy {
+        backend: BackendKind::EmulatedOnVp,
+        interleave: InterleaveMode::Off,
+        coalesce: false,
+        admission: Admission::Fifo,
+    };
+    /// Legacy `GpuMode::Multiplexed`: host-GPU multiplexing without the
+    /// re-scheduler optimizations.
+    pub const Multiplexed: Policy = Policy {
+        backend: BackendKind::Multiplexed,
+        interleave: InterleaveMode::Off,
+        coalesce: false,
+        admission: Admission::Fifo,
+    };
+    /// Legacy `GpuMode::MultiplexedOptimized`: multiplexing plus Kernel
+    /// Interleaving and Kernel Coalescing.
+    pub const MultiplexedOptimized: Policy = Policy {
+        backend: BackendKind::Multiplexed,
+        interleave: InterleaveMode::EarliestStart,
+        coalesce: true,
+        admission: Admission::Fifo,
+    };
+    /// Legacy `SchedulingPolicy::Fifo`: live VPs race for the host runtime;
+    /// the pending window is still interleaved by the re-scheduler.
+    pub const Fifo: Policy = Policy {
+        backend: BackendKind::Multiplexed,
+        interleave: InterleaveMode::EarliestStart,
+        coalesce: false,
+        admission: Admission::Fifo,
+    };
+    /// Legacy `SchedulingPolicy::RoundRobin`: live VPs take strict turns
+    /// through the VP-control gate.
+    pub const RoundRobin: Policy = Policy {
+        backend: BackendKind::Multiplexed,
+        interleave: InterleaveMode::EarliestStart,
+        coalesce: false,
+        admission: Admission::RoundRobin,
+    };
+
+    /// The emulation baseline ([`Policy::EmulatedOnVp`]).
+    pub const fn emulated() -> Policy {
+        Policy::EmulatedOnVp
+    }
+
+    /// Plain multiplexing ([`Policy::Multiplexed`]).
+    pub const fn multiplexed() -> Policy {
+        Policy::Multiplexed
+    }
+
+    /// Multiplexing with both re-scheduler optimizations
+    /// ([`Policy::MultiplexedOptimized`]).
+    pub const fn optimized() -> Policy {
+        Policy::MultiplexedOptimized
+    }
+
+    /// Set the admission discipline (builder style).
+    pub const fn with_admission(mut self, admission: Admission) -> Policy {
+        self.admission = admission;
+        self
+    }
+
+    /// Set the interleaving pass (builder style).
+    pub const fn with_interleave(mut self, interleave: InterleaveMode) -> Policy {
+        self.interleave = interleave;
+        self
+    }
+
+    /// Enable or disable Kernel Coalescing (builder style).
+    pub const fn with_coalesce(mut self, coalesce: bool) -> Policy {
+        self.coalesce = coalesce;
+        self
+    }
+
+    /// Whether any planning pass beyond dependency ordering is active.
+    pub const fn plans(&self) -> bool {
+        !matches!(self.interleave, InterleaveMode::Off) || self.coalesce
+    }
+}
+
+impl Default for Policy {
+    /// Plain multiplexing with FIFO admission.
+    fn default() -> Self {
+        Policy::Multiplexed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn legacy_consts_map_to_expected_axes() {
+        assert_eq!(Policy::EmulatedOnVp.backend, BackendKind::EmulatedOnVp);
+        assert_eq!(Policy::Multiplexed.interleave, InterleaveMode::Off);
+        assert_eq!(Policy::MultiplexedOptimized.interleave, InterleaveMode::EarliestStart);
+        assert_eq!(Policy::Fifo.admission, Admission::Fifo);
+        assert_eq!(Policy::RoundRobin.admission, Admission::RoundRobin);
+        let coalescing: Vec<bool> =
+            [Policy::Multiplexed, Policy::MultiplexedOptimized, Policy::Fifo, Policy::RoundRobin]
+                .iter()
+                .map(|p| p.coalesce)
+                .collect();
+        assert_eq!(coalescing, [false, true, false, false]);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let p = Policy::multiplexed()
+            .with_interleave(InterleaveMode::CriticalPath)
+            .with_coalesce(true)
+            .with_admission(Admission::RoundRobin);
+        assert!(p.plans());
+        assert_eq!(p.interleave, InterleaveMode::CriticalPath);
+        assert!(p.coalesce);
+        assert_eq!(p.admission, Admission::RoundRobin);
+        assert!(!Policy::Multiplexed.plans());
+    }
+}

@@ -14,7 +14,8 @@
 
 use std::error::Error;
 
-use sigmavp::scenario::{run_scenario, run_scenario_multi_gpu, GpuMode};
+use sigmavp::scenario::{run_scenario, run_scenario_multi_gpu};
+use sigmavp::Policy;
 use sigmavp_gpu::GpuArch;
 use sigmavp_ipc::transport::TransportCost;
 use sigmavp_workloads::app::Application;
@@ -29,13 +30,13 @@ fn main() -> Result<(), Box<dyn Error>> {
         let app = BlackScholesApp { n: 8 * 1024, ..BlackScholesApp::new(1) };
         let apps: Vec<&dyn Application> = (0..n_vps).map(|_| &app as &dyn Application).collect();
 
-        let emul = run_scenario(&apps, GpuMode::EmulatedOnVp)?;
-        let plain = run_scenario(&apps, GpuMode::Multiplexed)?;
-        let opt = run_scenario(&apps, GpuMode::MultiplexedOptimized)?;
+        let emul = run_scenario(&apps, Policy::EmulatedOnVp)?;
+        let plain = run_scenario(&apps, Policy::Multiplexed)?;
+        let opt = run_scenario(&apps, Policy::MultiplexedOptimized)?;
         // The paper "multiplexes the host GPUs": a second device halves the load.
         let dual = run_scenario_multi_gpu(
             &apps,
-            GpuMode::MultiplexedOptimized,
+            Policy::MultiplexedOptimized,
             &[GpuArch::quadro_4000(), GpuArch::quadro_4000()],
             TransportCost::shared_memory(),
         )?;

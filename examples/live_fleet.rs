@@ -8,9 +8,12 @@
 //! Eight VP threads — a mixed fleet of option pricing, sorting and filtering —
 //! share a Quadro-4000-class device through the ΣVP host runtime. With the
 //! round-robin VP-control policy the arrival order is deterministic (the paper's
-//! Fig. 4b stop/resume interleaving); with FIFO the threads race.
+//! Fig. 4b stop/resume interleaving); with FIFO the threads race. A final run
+//! splits the same fleet across two host GPUs via the execution session's
+//! least-loaded routing, shrinking the device makespan.
 
-use sigmavp::threaded::{SchedulingPolicy, ThreadedSigmaVp};
+use sigmavp::threaded::ThreadedSigmaVp;
+use sigmavp::Policy;
 use sigmavp_gpu::GpuArch;
 use sigmavp_ipc::transport::TransportCost;
 use sigmavp_vp::registry::KernelRegistry;
@@ -30,7 +33,7 @@ fn fleet() -> Vec<Box<dyn Application + Send>> {
     ]
 }
 
-fn run(policy: SchedulingPolicy, label: &str) {
+fn run(policy: Policy, gpus: usize, label: &str) {
     let mut registry = KernelRegistry::new();
     for app in fleet() {
         for k in app.kernels() {
@@ -41,7 +44,7 @@ fn run(policy: SchedulingPolicy, label: &str) {
     let registry = registry.optimized();
 
     let mut system = ThreadedSigmaVp::new(
-        GpuArch::quadro_4000(),
+        vec![GpuArch::quadro_4000(); gpus],
         registry,
         TransportCost::shared_memory(),
         policy,
@@ -62,11 +65,17 @@ fn run(policy: SchedulingPolicy, label: &str) {
             o.error.as_deref().unwrap_or("ok"),
         );
     }
-    println!("  host dispatched {} device jobs\n", report.records.len());
+    println!(
+        "  host dispatched {} device jobs across {} gpu(s); device makespan {:.3} ms\n",
+        report.records.len(),
+        report.device_records.len(),
+        report.device_makespan_s * 1e3,
+    );
     assert!(report.all_ok(), "a VP failed validation");
 }
 
 fn main() {
-    run(SchedulingPolicy::RoundRobin, "round-robin VP control (deterministic interleave)");
-    run(SchedulingPolicy::Fifo, "fifo (threads race for the device)");
+    run(Policy::RoundRobin, 1, "round-robin VP control (deterministic interleave)");
+    run(Policy::Fifo, 1, "fifo (threads race for the device)");
+    run(Policy::Fifo, 2, "fifo, fleet split across two host gpus");
 }

@@ -104,6 +104,74 @@ fn optimizer_does_not_change_results() {
     assert_eq!(out_raw, out_opt, "optimized kernels diverged");
 }
 
+/// The planned device schedule is a property of the fleet, not of the runtime
+/// that recorded it: replanning any runtime's job log through the same
+/// scheduling pipeline yields the same device timeline.
+#[test]
+fn runtimes_agree_on_the_planned_device_timeline() {
+    use sigmavp::dispatcher::DispatchedSigmaVp;
+    use sigmavp::scenario::run_scenario;
+    use sigmavp::threaded::ThreadedSigmaVp;
+    use sigmavp::{plan_device, Pipeline, Policy};
+    use sigmavp_gpu::engine::Timeline;
+    use sigmavp_workloads::app::Application;
+    use sigmavp_workloads::apps::VectorAddApp;
+
+    let policy = Policy::Fifo;
+    let arch = GpuArch::quadro_4000();
+    let app = VectorAddApp { n: 2048 };
+    let registry: KernelRegistry = app.kernels().into_iter().collect();
+
+    // Deterministic replay.
+    let apps: Vec<&dyn Application> = vec![&app, &app, &app];
+    let scenario = run_scenario(&apps, policy).expect("scenario");
+
+    // Live threads racing for the runtime mutex.
+    let mut threaded = ThreadedSigmaVp::single(
+        arch.clone(),
+        registry.clone(),
+        TransportCost::shared_memory(),
+        policy,
+    );
+    for _ in 0..3 {
+        threaded.spawn(Box::new(VectorAddApp { n: 2048 }));
+    }
+    let threaded = threaded.join();
+    assert!(threaded.all_ok());
+
+    // The dispatcher loop over real transports.
+    let mut dispatched =
+        DispatchedSigmaVp::single(arch.clone(), registry, TransportCost::shared_memory())
+            .with_policy(policy);
+    for _ in 0..3 {
+        dispatched.spawn(Box::new(VectorAddApp { n: 2048 }));
+    }
+    let (dispatched, _) = dispatched.join();
+    assert!(dispatched.all_ok());
+
+    // Ignore op ids (they index each runtime's own arrival order) and compare
+    // the physical schedule: engine, stream, start, end of every span.
+    let shape = |t: &Timeline| {
+        let mut spans: Vec<_> = t
+            .spans
+            .iter()
+            .map(|s| (s.stream.0, format!("{:?}", s.engine), s.start_s, s.end_s))
+            .collect();
+        spans.sort_by(|a, b| a.partial_cmp(b).expect("finite span times"));
+        spans
+    };
+    let pipeline = Pipeline::from_policy(&policy);
+    let t_threaded = plan_device(&pipeline, &threaded.device_records[0], &|_| false, &arch);
+    let t_dispatched = plan_device(&pipeline, &dispatched.device_records[0], &|_| false, &arch);
+    assert_eq!(shape(&t_threaded.timeline), shape(&t_dispatched.timeline));
+    assert!((t_threaded.timeline.makespan_s - t_dispatched.timeline.makespan_s).abs() < 1e-12);
+    // Both live runtimes priced their own logs through the same pipeline…
+    assert!((threaded.device_makespan_s - t_threaded.timeline.makespan_s).abs() < 1e-12);
+    assert!((dispatched.device_makespan_s - t_dispatched.timeline.makespan_s).abs() < 1e-12);
+    // …and the deterministic scenario engine lands on the same device makespan.
+    assert!((scenario.device_makespan_s - t_threaded.timeline.makespan_s).abs() < 1e-12);
+}
+
 #[test]
 fn transport_choice_does_not_change_results() {
     let runtime = Arc::new(Mutex::new(HostRuntime::new(GpuArch::quadro_4000(), registry())));

@@ -2,7 +2,8 @@
 //! the IPC codec, the host runtime, the simulated device, the re-scheduler and the
 //! scenario engine.
 
-use sigmavp::scenario::{run_scenario, run_scenario_with, GpuMode};
+use sigmavp::scenario::{run_scenario, run_scenario_with};
+use sigmavp::Policy;
 use sigmavp_gpu::GpuArch;
 use sigmavp_ipc::transport::TransportCost;
 use sigmavp_workloads::app::Application;
@@ -18,7 +19,7 @@ use sigmavp_workloads::suite::fig11_suite;
 fn whole_suite_validates_over_multiplexing() {
     for app in fig11_suite(1) {
         let apps: Vec<&dyn Application> = vec![app.as_ref()];
-        let report = run_scenario(&apps, GpuMode::Multiplexed)
+        let report = run_scenario(&apps, Policy::Multiplexed)
             .unwrap_or_else(|e| panic!("{} failed over multiplexing: {e}", app.name()));
         assert!(report.total_time_s > 0.0, "{}", app.name());
         assert!(report.gpu_jobs > 0, "{} never touched the device", app.name());
@@ -35,9 +36,9 @@ fn mode_ordering_holds_for_mixed_fleet() {
     let d = VectorAddApp { n: 4096 };
     let apps: Vec<&dyn Application> = vec![&a, &b, &c, &d];
 
-    let emul = run_scenario(&apps, GpuMode::EmulatedOnVp).expect("emulation");
-    let plain = run_scenario(&apps, GpuMode::Multiplexed).expect("plain");
-    let opt = run_scenario(&apps, GpuMode::MultiplexedOptimized).expect("optimized");
+    let emul = run_scenario(&apps, Policy::EmulatedOnVp).expect("emulation");
+    let plain = run_scenario(&apps, Policy::Multiplexed).expect("plain");
+    let opt = run_scenario(&apps, Policy::MultiplexedOptimized).expect("optimized");
 
     // At toy sizes mergeSort's micro-kernels are launch-overhead-bound, which
     // caps the fleet-level ratio; the Fig. 11 binary at full scale shows the
@@ -54,13 +55,13 @@ fn mode_ordering_holds_for_mixed_fleet() {
 fn coalescing_only_merges_identical_work() {
     let homo: Vec<MergeSortApp> = (0..4).map(|_| MergeSortApp { n: 64 }).collect();
     let homo_refs: Vec<&dyn Application> = homo.iter().map(|a| a as &dyn Application).collect();
-    let r = run_scenario(&homo_refs, GpuMode::MultiplexedOptimized).expect("homogeneous fleet");
+    let r = run_scenario(&homo_refs, Policy::MultiplexedOptimized).expect("homogeneous fleet");
     assert!(r.coalesced_groups > 0);
 
     let m = MergeSortApp { n: 64 };
     let h = HistogramApp { nthreads: 8, chunk: 16 };
     let hetero: Vec<&dyn Application> = vec![&m, &h];
-    let r = run_scenario(&hetero, GpuMode::MultiplexedOptimized).expect("heterogeneous fleet");
+    let r = run_scenario(&hetero, Policy::MultiplexedOptimized).expect("heterogeneous fleet");
     assert_eq!(r.coalesced_groups, 0);
 }
 
@@ -71,14 +72,10 @@ fn socket_ipc_is_costlier_end_to_end() {
     let app = NbodyApp { n: 64 };
     let apps: Vec<&dyn Application> = vec![&app, &app];
     let arch = GpuArch::quadro_4000();
-    let shm = run_scenario_with(
-        &apps,
-        GpuMode::Multiplexed,
-        arch.clone(),
-        TransportCost::shared_memory(),
-    )
-    .expect("shm");
-    let sock = run_scenario_with(&apps, GpuMode::Multiplexed, arch, TransportCost::socket())
+    let shm =
+        run_scenario_with(&apps, Policy::Multiplexed, arch.clone(), TransportCost::shared_memory())
+            .expect("shm");
+    let sock = run_scenario_with(&apps, Policy::Multiplexed, arch, TransportCost::socket())
         .expect("socket");
     assert!(sock.ipc_time_s > shm.ipc_time_s);
     assert!(sock.total_time_s > shm.total_time_s);
@@ -97,7 +94,7 @@ fn non_cuda_work_limits_speedup() {
         [(&gl as &dyn Application, true), (&io as &dyn Application, true), (&pure, false)]
     {
         let apps: Vec<&dyn Application> = vec![app];
-        let r = run_scenario(&apps, GpuMode::Multiplexed).expect("scenario");
+        let r = run_scenario(&apps, Policy::Multiplexed).expect("scenario");
         let floor_fraction = r.non_gpu_time_s / r.total_time_s;
         if has_floor {
             assert!(floor_fraction > 0.5, "{}: floor {floor_fraction:.2}", app.name());
@@ -114,14 +111,14 @@ fn host_gpu_choice_only_affects_timing() {
     let apps: Vec<&dyn Application> = vec![&app];
     let quadro = run_scenario_with(
         &apps,
-        GpuMode::Multiplexed,
+        Policy::Multiplexed,
         GpuArch::quadro_4000(),
         TransportCost::shared_memory(),
     )
     .expect("quadro");
     let k520 = run_scenario_with(
         &apps,
-        GpuMode::Multiplexed,
+        Policy::Multiplexed,
         GpuArch::grid_k520(),
         TransportCost::shared_memory(),
     )
@@ -139,9 +136,9 @@ fn guest_streams_pipeline_within_one_vp() {
     let sequential = StreamedConvolutionApp { chunk: 8192, chunks: 4, use_streams: false };
 
     let apps: Vec<&dyn Application> = vec![&streamed];
-    let r_streamed = run_scenario(&apps, GpuMode::Multiplexed).expect("streamed");
+    let r_streamed = run_scenario(&apps, Policy::Multiplexed).expect("streamed");
     let apps: Vec<&dyn Application> = vec![&sequential];
-    let r_sequential = run_scenario(&apps, GpuMode::Multiplexed).expect("sequential");
+    let r_sequential = run_scenario(&apps, Policy::Multiplexed).expect("sequential");
 
     assert!(
         r_streamed.device_makespan_s < r_sequential.device_makespan_s * 0.85,
@@ -158,7 +155,7 @@ fn guest_streams_pipeline_within_one_vp() {
 fn scenarios_are_deterministic() {
     let apps: Vec<MergeSortApp> = (0..4).map(|_| MergeSortApp { n: 128 }).collect();
     let refs: Vec<&dyn Application> = apps.iter().map(|a| a as &dyn Application).collect();
-    for mode in [GpuMode::EmulatedOnVp, GpuMode::Multiplexed, GpuMode::MultiplexedOptimized] {
+    for mode in [Policy::EmulatedOnVp, Policy::Multiplexed, Policy::MultiplexedOptimized] {
         let a = run_scenario(&refs, mode).expect("first run");
         let b = run_scenario(&refs, mode).expect("second run");
         assert_eq!(a, b, "{mode:?} diverged between runs");
@@ -199,7 +196,7 @@ fn suite_apps_do_not_leak_device_memory() {
 fn report_invariants() {
     let app = VectorAddApp { n: 2048 };
     let apps: Vec<&dyn Application> = (0..3).map(|_| &app as &dyn Application).collect();
-    for mode in [GpuMode::EmulatedOnVp, GpuMode::Multiplexed, GpuMode::MultiplexedOptimized] {
+    for mode in [Policy::EmulatedOnVp, Policy::Multiplexed, Policy::MultiplexedOptimized] {
         let r = run_scenario(&apps, mode).expect("scenario");
         assert_eq!(r.n_vps, 3);
         assert_eq!(r.vp_times_s.len(), 3);

@@ -188,6 +188,50 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------------
+// Scheduling pipeline: no pass — alone or composed — reorders two jobs of the
+// same VP (the guest's submission-order contract).
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn no_pipeline_pass_reorders_jobs_within_a_vp(jobs in arb_jobs()) {
+        use sigmavp_sched::{
+            AdaptiveSelect, Coalesce, DepOrder, Interleave, InterleaveMode, JobStream, PassCtx,
+            Pipeline, Policy, SchedulePass,
+        };
+
+        let coalescible = |_vp: VpId| true;
+        let ctx = PassCtx::new(&coalescible);
+        let passes: Vec<Box<dyn SchedulePass>> = vec![
+            Box::new(DepOrder),
+            Box::new(Interleave(InterleaveMode::Off)),
+            Box::new(Interleave(InterleaveMode::EarliestStart)),
+            Box::new(Interleave(InterleaveMode::CriticalPath)),
+            Box::new(Coalesce),
+            Box::new(AdaptiveSelect),
+        ];
+        for pass in &passes {
+            let out = pass.apply(JobStream::new(jobs.clone()), &ctx);
+            prop_assert!(
+                preserves_partial_order(&jobs, &out.jobs),
+                "pass {} broke a VP's submission order",
+                pass.name()
+            );
+        }
+        // The composed pipelines of every policy honour the contract too.
+        for policy in [
+            Policy::Multiplexed,
+            Policy::MultiplexedOptimized,
+            Policy::Fifo,
+            Policy::RoundRobin,
+        ] {
+            let out = Pipeline::from_policy(&policy).plan(jobs.clone(), &ctx);
+            prop_assert!(preserves_partial_order(&jobs, &out.jobs));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Coalescing memory layout: gather/scatter is a partition isomorphism.
 // ---------------------------------------------------------------------------
 

@@ -24,7 +24,7 @@ fn vector_add_fleet(
     let app = VectorAddApp { n: 2048 };
     let registry: KernelRegistry = app.kernels().into_iter().collect();
     let mut sys =
-        DispatchedSigmaVp::new(GpuArch::quadro_4000(), registry, TransportCost::shared_memory());
+        DispatchedSigmaVp::single(GpuArch::quadro_4000(), registry, TransportCost::shared_memory());
     for _ in 0..vps {
         sys.spawn(Box::new(VectorAddApp { n: 2048 }));
     }
@@ -127,7 +127,7 @@ fn profiler_feedback_hits_show_up_under_repetition() {
     let mk = || BlackScholesApp { n: 1024, iterations: 4, ..BlackScholesApp::new(1) };
     let registry: KernelRegistry = mk().kernels().into_iter().collect();
     let mut sys =
-        DispatchedSigmaVp::new(GpuArch::quadro_4000(), registry, TransportCost::shared_memory());
+        DispatchedSigmaVp::single(GpuArch::quadro_4000(), registry, TransportCost::shared_memory());
     for _ in 0..3 {
         sys.spawn(Box::new(mk()));
     }
