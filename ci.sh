@@ -21,4 +21,7 @@ cargo bench --workspace --no-run
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> audit regression gate (results/baselines/audit.json)"
+cargo run --release -p sigmavp-bench --bin audit -- --check
+
 echo "CI green."

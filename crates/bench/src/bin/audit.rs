@@ -1,0 +1,543 @@
+//! Model-residual audit and regression gate for the ΣVP reproduction.
+//!
+//! ```text
+//! cargo run --release -p sigmavp-bench --bin audit                    # audit + write BENCH_audit.json
+//! cargo run --release -p sigmavp-bench --bin audit -- --write-baseline
+//! cargo run --release -p sigmavp-bench --bin audit -- --check        # gate against the committed baseline
+//! ```
+//!
+//! Three deterministic simulated scenarios exercise the paper's analytic
+//! model end to end through the real scheduling pipeline:
+//!
+//! * **async4** — a 4-VP copy-in → kernel → copy-out fleet planned with
+//!   earliest-start interleaving; the measured makespan is audited against
+//!   Eq. 7 (`T = 2·Tm + N·max(Tm, Tk)`), and the per-device critical path
+//!   must tile `[0, makespan]` exactly (conservation).
+//! * **speedup4** — the same fleet at `Tm = Tk`; the measured speedup over
+//!   synchronous serialization (the plain duration sum, as in Fig. 9) is
+//!   audited against the Eq. 8 bound `3N/(N+2)`.
+//! * **coalesce6** — six VPs launching the identical kernel; the merged
+//!   launch that Kernel Coalescing emits is audited against Eq. 9
+//!   (`T = To + Te·⌈ξ/λ⌉`) with To/Te/ξ observed from the job log and λ from
+//!   the device model.
+//!
+//! A live 4-VP dispatched fleet then runs for wall-clock observability: the
+//! scheduling pipeline's `plan.pass.*` timings and a job-lifecycle join of
+//! the drained trace events are reported (but *not* gated — wall time is
+//! nondeterministic).
+//!
+//! Everything goes into a hand-rolled-JSON `BENCH_audit.json`; the flat
+//! `"gate"` section is what `--check` compares against the committed baseline
+//! under `results/baselines/`, exiting non-zero on any regression beyond
+//! `--tolerance` (or any model residual above it). `--inject-slowdown F`
+//! scales the measured makespans (for testing the gate itself).
+
+use std::process::ExitCode;
+
+use sigmavp::dispatcher::DispatchedSigmaVp;
+use sigmavp::host::{JobRecord, RecordKind};
+use sigmavp::session::DeviceOutcome;
+use sigmavp::{plan_device, DevicePlan};
+use sigmavp_gpu::GpuArch;
+use sigmavp_ipc::message::VpId;
+use sigmavp_ipc::transport::TransportCost;
+use sigmavp_obs::{
+    compare, device_critical_path, eq7_makespan_s, eq8_speedup_bound, eq9_merged_kernel_s,
+    format_flat_json, join_lifecycles, observed_inputs, parse_flat_json, AuditReport, CriticalPath,
+    JobLifecycle, PathPhase,
+};
+use sigmavp_sched::{Pipeline, Policy};
+use sigmavp_telemetry::export::escape_json;
+use sigmavp_telemetry::{job_uid_seq, job_uid_vp};
+use sigmavp_vp::registry::KernelRegistry;
+use sigmavp_workloads::app::Application;
+use sigmavp_workloads::apps::VectorAddApp;
+
+const DEFAULT_BASELINE: &str = "results/baselines/audit.json";
+const DEFAULT_OUT: &str = "BENCH_audit.json";
+const DEFAULT_TOLERANCE: f64 = 0.10;
+
+struct Args {
+    check: bool,
+    write_baseline: bool,
+    baseline: String,
+    out: String,
+    tolerance: f64,
+    inject_slowdown: f64,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: audit [--check] [--write-baseline] [--baseline PATH] [--out PATH] \
+         [--tolerance F] [--inject-slowdown F]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        check: false,
+        write_baseline: false,
+        baseline: DEFAULT_BASELINE.to_string(),
+        out: DEFAULT_OUT.to_string(),
+        tolerance: DEFAULT_TOLERANCE,
+        inject_slowdown: 1.0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--check" => args.check = true,
+            "--write-baseline" => args.write_baseline = true,
+            "--baseline" => args.baseline = value("--baseline"),
+            "--out" => args.out = value("--out"),
+            "--tolerance" => {
+                args.tolerance = value("--tolerance").parse().unwrap_or_else(|_| usage())
+            }
+            "--inject-slowdown" => {
+                args.inject_slowdown =
+                    value("--inject-slowdown").parse().unwrap_or_else(|_| usage())
+            }
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn record(vp: u32, seq: u64, kind: RecordKind, duration_s: f64) -> JobRecord {
+    JobRecord { vp: VpId(vp), seq, kind, duration_s, sent_at_s: 0.0 }
+}
+
+/// N copy-in → kernel → copy-out programs (the Fig. 9 fleet pattern).
+fn fleet_records(n: u32, tm_s: f64, tk_s: f64, arch: &GpuArch) -> Vec<JobRecord> {
+    let mut records = Vec::new();
+    for vp in 0..n {
+        records.push(record(vp, 0, RecordKind::H2d { bytes: 4096, stream: 0 }, tm_s));
+        records.push(record(
+            vp,
+            1,
+            RecordKind::Kernel {
+                name: "k".into(),
+                grid_dim: 8,
+                block_dim: 128,
+                launch_overhead_s: arch.launch_overhead_us * 1e-6,
+                waves: 1,
+                stream: 0,
+            },
+            tk_s,
+        ));
+        records.push(record(vp, 2, RecordKind::D2h { bytes: 4096, stream: 0 }, tm_s));
+    }
+    records
+}
+
+/// N single-kernel programs launching the identical kernel — every launch is
+/// coalescible into one merged op.
+fn coalescible_records(n: u32, wave_s: f64, arch: &GpuArch) -> Vec<JobRecord> {
+    let (grid_dim, block_dim) = (8u32, 128u32);
+    let waves = u64::from(grid_dim).div_ceil(u64::from(arch.blocks_per_wave(block_dim))).max(1);
+    let overhead_s = arch.launch_overhead_us * 1e-6;
+    (0..n)
+        .map(|vp| {
+            record(
+                vp,
+                0,
+                RecordKind::Kernel {
+                    name: "k".into(),
+                    grid_dim,
+                    block_dim,
+                    launch_overhead_s: overhead_s,
+                    waves,
+                    stream: 0,
+                },
+                overhead_s + waves as f64 * wave_s,
+            )
+        })
+        .collect()
+}
+
+struct Scenario {
+    name: &'static str,
+    records: Vec<JobRecord>,
+    plan: DevicePlan,
+    makespan_s: f64,
+    path: CriticalPath,
+    lifecycles: Vec<JobLifecycle>,
+}
+
+/// Plan one scenario's job log and derive its observability views; verifies
+/// critical-path conservation and that the lifecycle join covers every job.
+fn run_scenario(
+    name: &'static str,
+    records: Vec<JobRecord>,
+    policy: &Policy,
+    coalescible: bool,
+    arch: &GpuArch,
+    slowdown: f64,
+) -> Result<Scenario, String> {
+    let pipeline = Pipeline::from_policy(policy);
+    let plan = plan_device(&pipeline, &records, &|_| coalescible, arch);
+    let outcome =
+        DeviceOutcome { arch: arch.clone(), records: records.clone(), plan: plan.clone() };
+    let path = device_critical_path(&outcome);
+    if !path.is_conserved(1e-9) {
+        return Err(format!(
+            "{name}: critical path NOT conserved: busy {:.6e} + stall {:.6e} != makespan {:.6e}",
+            path.busy_s(),
+            path.stall_s(),
+            path.makespan_s
+        ));
+    }
+    let lifecycles = join_lifecycles(&plan.trace_events(&records));
+    if lifecycles.len() != records.len() {
+        return Err(format!(
+            "{name}: lifecycle join covered {} of {} jobs",
+            lifecycles.len(),
+            records.len()
+        ));
+    }
+    let makespan_s = plan.timeline.makespan_s * slowdown;
+    Ok(Scenario { name, records, plan, makespan_s, path, lifecycles })
+}
+
+fn phase_name(phase: PathPhase) -> &'static str {
+    match phase {
+        PathPhase::Transfer => "transfer",
+        PathPhase::Compute => "compute",
+        PathPhase::Stall => "stall",
+    }
+}
+
+fn scenario_json(s: &Scenario) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "    \"{}\": {{\n      \"makespan_s\": {:.9e},\n      \"overlap_fraction\": {:.6},\n",
+        escape_json(s.name),
+        s.makespan_s,
+        s.plan.timeline.overlap_fraction()
+    ));
+    out.push_str(&format!(
+        "      \"critical_path\": {{\"busy_s\": {:.9e}, \"stall_s\": {:.9e}, \
+         \"transfer_s\": {:.9e}, \"compute_s\": {:.9e}, \"segments\": [\n",
+        s.path.busy_s(),
+        s.path.stall_s().max(0.0),
+        s.path.phase_s(PathPhase::Transfer),
+        s.path.phase_s(PathPhase::Compute)
+    ));
+    let segs: Vec<String> = s
+        .path
+        .segments
+        .iter()
+        .map(|seg| {
+            format!(
+                "        {{\"phase\": \"{}\", \"start_s\": {:.9e}, \"end_s\": {:.9e}, \"job\": {}}}",
+                phase_name(seg.phase),
+                seg.start_s,
+                seg.end_s,
+                seg.job.map_or("null".to_string(), |j| j.to_string())
+            )
+        })
+        .collect();
+    out.push_str(&segs.join(",\n"));
+    out.push_str("\n      ]},\n      \"jobs\": [\n");
+    let jobs: Vec<String> = s
+        .lifecycles
+        .iter()
+        .map(|l| {
+            let (win_start, win_end) = l.device_window.unwrap_or((0.0, 0.0));
+            format!(
+                "        {{\"vp\": {}, \"seq\": {}, \"transfer_sim_s\": {:.9e}, \
+                 \"compute_sim_s\": {:.9e}, \"window_start_s\": {:.9e}, \
+                 \"window_end_s\": {:.9e}, \"stall_s\": {:.9e}}}",
+                l.vp,
+                l.seq,
+                l.transfer_sim_s,
+                l.compute_sim_s,
+                win_start,
+                win_end,
+                l.device_stall_s()
+            )
+        })
+        .collect();
+    out.push_str(&jobs.join(",\n"));
+    out.push_str("\n      ]\n    }");
+    out
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let telemetry = sigmavp_telemetry::install();
+    let arch = GpuArch::quadro_4000();
+    let mut report = AuditReport::new(args.tolerance);
+
+    // --- Scenario 1: async4 — Eq. 7 interleaved makespan. -------------------
+    let (tm, tk) = (1e-4, 2e-4);
+    let async4 = match run_scenario(
+        "async4",
+        fleet_records(4, tm, tk, &arch),
+        &Policy::Fifo,
+        false,
+        &arch,
+        args.inject_slowdown,
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("audit: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let inputs = observed_inputs(&async4.records);
+    report.push("eq7", eq7_makespan_s(inputs.n, inputs.tm_s, inputs.tk_s), async4.makespan_s);
+
+    // --- Scenario 2: speedup4 — Eq. 8 bound at Tm = Tk. ----------------------
+    // The serial baseline is synchronous serialization: the plain duration sum
+    // (as in Fig. 9 — every blocking call queues behind the previous one).
+    let t = 1.5e-4;
+    let speedup4 = match run_scenario(
+        "speedup4",
+        fleet_records(4, t, t, &arch),
+        &Policy::Fifo,
+        false,
+        &arch,
+        args.inject_slowdown,
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("audit: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let serial_s: f64 = speedup4.records.iter().map(|r| r.duration_s).sum();
+    let measured_speedup = serial_s / speedup4.makespan_s;
+    report.push("eq8", eq8_speedup_bound(4), measured_speedup);
+
+    // --- Scenario 3: coalesce6 — Eq. 9 merged-launch alignment. --------------
+    let wave_s = 5e-5;
+    let coalesce6 = match run_scenario(
+        "coalesce6",
+        coalescible_records(6, wave_s, &arch),
+        &Policy::MultiplexedOptimized,
+        true,
+        &arch,
+        args.inject_slowdown,
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("audit: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let group = match coalesce6.plan.stream.groups.first() {
+        Some(g) => g,
+        None => {
+            eprintln!("audit: coalesce6 produced no merge group — coalescing is broken");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Eq. 9 inputs observed from the log: To and Te from the member records
+    // (Te = per-wave compute time), ξ = the merged grid, λ from the device.
+    let (mut xi, mut sum_compute, mut sum_waves, mut to_s) = (0u64, 0.0f64, 0u64, 0.0f64);
+    for r in &coalesce6.records {
+        if let RecordKind::Kernel { grid_dim, launch_overhead_s, waves, .. } = &r.kind {
+            xi += u64::from(*grid_dim);
+            to_s = *launch_overhead_s;
+            sum_waves += *waves;
+            sum_compute += (r.duration_s - launch_overhead_s).max(0.0);
+        }
+    }
+    let te_s = if sum_waves > 0 { sum_compute / sum_waves as f64 } else { 0.0 };
+    let lambda = u64::from(arch.blocks_per_wave(128));
+    let merged_span = match coalesce6.plan.timeline.span(group.anchor.0) {
+        Some(sp) => (sp.end_s - sp.start_s) * args.inject_slowdown,
+        None => {
+            eprintln!("audit: merged anchor op missing from the coalesce6 timeline");
+            return ExitCode::FAILURE;
+        }
+    };
+    report.push("eq9", eq9_merged_kernel_s(to_s, te_s, xi, lambda), merged_span);
+
+    // --- Live dispatched fleet: plan.pass.* timings + wall lifecycles. -------
+    let app = VectorAddApp { n: 4096 };
+    let registry: KernelRegistry = app.kernels().into_iter().collect();
+    let mut sys = DispatchedSigmaVp::single(arch.clone(), registry, TransportCost::shared_memory());
+    for _ in 0..4 {
+        sys.spawn(Box::new(VectorAddApp { n: 4096 }));
+    }
+    let (fleet_report, stats) = sys.join();
+    if !fleet_report.all_ok() {
+        eprintln!("audit: live fleet failed validation: {:?}", fleet_report.outcomes);
+        return ExitCode::FAILURE;
+    }
+    let wall_lifecycles = join_lifecycles(&telemetry.drain_events());
+    let snapshot = telemetry.snapshot();
+
+    // --- Gate metrics (deterministic simulated quantities only). -------------
+    let gate: Vec<(String, f64)> = vec![
+        ("async4.makespan_s".into(), async4.makespan_s),
+        ("async4.overlap_fraction".into(), async4.plan.timeline.overlap_fraction()),
+        ("async4.eq7_residual_frac".into(), report.entry("eq7").expect("pushed").residual_frac),
+        ("async4.critical_path_stall_s".into(), async4.path.stall_s().max(0.0)),
+        ("speedup4.serial_makespan_s".into(), serial_s),
+        ("speedup4.async_makespan_s".into(), speedup4.makespan_s),
+        ("speedup4.measured_speedup".into(), measured_speedup),
+        ("speedup4.eq8_residual_frac".into(), report.entry("eq8").expect("pushed").residual_frac),
+        ("coalesce6.makespan_s".into(), coalesce6.makespan_s),
+        ("coalesce6.eq9_residual_frac".into(), report.entry("eq9").expect("pushed").residual_frac),
+        ("coalesce6.merged_members".into(), coalesce6.plan.coalesced_members() as f64),
+        ("trace.dropped_events".into(), snapshot.dropped_events as f64),
+    ];
+
+    // --- BENCH_audit.json. ----------------------------------------------------
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"sigmavp-audit-v1\",\n");
+    json.push_str(&format!("  \"tolerance\": {:.6},\n", args.tolerance));
+    // The gate section is byte-identical to the baseline format so tooling can
+    // extract and parse it with the same flat parser.
+    let flat = format_flat_json(&gate);
+    json.push_str(&format!("  \"gate\": {},\n", flat.trim_end().replace('\n', "\n  ")));
+    json.push_str(&format!("  \"model\": {},\n", report.to_json()));
+    json.push_str("  \"scenarios\": {\n");
+    let scenarios = [&async4, &speedup4, &coalesce6].map(scenario_json);
+    json.push_str(&scenarios.join(",\n"));
+    json.push_str("\n  },\n");
+    let passes: Vec<String> = snapshot
+        .histograms
+        .iter()
+        .filter(|(name, _)| name.starts_with("plan.pass.") && name.ends_with(".time_s"))
+        .map(|(name, h)| {
+            format!(
+                "    {{\"name\": \"{}\", \"calls\": {}, \"mean_s\": {:.9e}, \"max_s\": {:.9e}}}",
+                escape_json(name),
+                h.count,
+                if h.count > 0 { h.sum / h.count as f64 } else { 0.0 },
+                h.max
+            )
+        })
+        .collect();
+    json.push_str(&format!("  \"passes\": [\n{}\n  ],\n", passes.join(",\n")));
+    let queue_wait_mean_s = if wall_lifecycles.is_empty() {
+        0.0
+    } else {
+        wall_lifecycles.iter().map(|l| l.queue_wall_s).sum::<f64>() / wall_lifecycles.len() as f64
+    };
+    json.push_str(&format!(
+        "  \"live\": {{\"requests\": {}, \"jobs_joined\": {}, \"queue_wait_mean_s\": {:.9e}, \
+         \"dropped_events\": {}}}\n}}\n",
+        stats.requests,
+        wall_lifecycles.len(),
+        queue_wait_mean_s,
+        snapshot.dropped_events
+    ));
+    if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("audit: cannot write {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+
+    // --- Human-readable summary. ----------------------------------------------
+    for s in [&async4, &speedup4, &coalesce6] {
+        println!(
+            "{}: makespan {:.3} ms, overlap {:.0}%, critical path conserved \
+             (busy {:.3} ms + stall {:.3} ms)",
+            s.name,
+            s.makespan_s * 1e3,
+            s.plan.timeline.overlap_fraction() * 100.0,
+            s.path.busy_s() * 1e3,
+            s.path.stall_s().max(0.0) * 1e3
+        );
+    }
+    for e in &report.entries {
+        println!(
+            "model {}: predicted {:.6e}, measured {:.6e}, residual {:.2}% [{}]",
+            e.name,
+            e.predicted,
+            e.measured,
+            e.residual_frac * 100.0,
+            if e.within_tolerance { "ok" } else { "FLAGGED" }
+        );
+    }
+    if snapshot.dropped_events > 0 {
+        eprintln!(
+            "audit: WARNING: {} trace events dropped; wall lifecycles are incomplete",
+            snapshot.dropped_events
+        );
+    }
+    println!(
+        "live fleet: {} requests, {} lifecycles joined, mean queue wait {:.3} ms",
+        stats.requests,
+        wall_lifecycles.len(),
+        queue_wait_mean_s * 1e3
+    );
+    println!("wrote {}", args.out);
+
+    // --- Baseline write / check. ----------------------------------------------
+    if args.write_baseline {
+        if let Some(dir) = std::path::Path::new(&args.baseline).parent() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("audit: cannot create {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        if let Err(e) = std::fs::write(&args.baseline, format_flat_json(&gate)) {
+            eprintln!("audit: cannot write baseline {}: {e}", args.baseline);
+            return ExitCode::FAILURE;
+        }
+        println!("wrote baseline {}", args.baseline);
+    }
+    let mut failed = false;
+    if args.check {
+        let text = match std::fs::read_to_string(&args.baseline) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("audit: cannot read baseline {}: {e}", args.baseline);
+                return ExitCode::FAILURE;
+            }
+        };
+        let baseline = match parse_flat_json(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("audit: malformed baseline {}: {e}", args.baseline);
+                return ExitCode::FAILURE;
+            }
+        };
+        let regressions = compare(&baseline, &gate, args.tolerance);
+        if regressions.is_empty() {
+            println!(
+                "check: {} metrics within {:.0}% of {}",
+                baseline.len(),
+                args.tolerance * 100.0,
+                args.baseline
+            );
+        } else {
+            for r in &regressions {
+                eprintln!("REGRESSION {}", r.describe());
+            }
+            failed = true;
+        }
+    }
+    if !report.all_within() {
+        for e in report.flagged() {
+            eprintln!(
+                "audit: model residual {} = {:.2}% exceeds tolerance {:.0}%",
+                e.name,
+                e.residual_frac * 100.0,
+                args.tolerance * 100.0
+            );
+        }
+        failed = true;
+    }
+    // Demonstrate uid round-tripping in the summary (and keep the helpers hot).
+    if let Some(l) = async4.lifecycles.first() {
+        debug_assert_eq!((job_uid_vp(l.job), job_uid_seq(l.job)), (l.vp, l.seq));
+    }
+    sigmavp_telemetry::uninstall();
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,110 @@
+//! End-to-end tests of the `audit` regression-gate binary: the default audit
+//! passes with near-zero residuals, a written baseline round-trips through
+//! `--check`, and a synthetic slowdown trips the gate with a non-zero exit.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn audit(dir: &std::path::Path, extra: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_audit"))
+        .current_dir(dir)
+        .args(extra)
+        .output()
+        .expect("audit binary runs")
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sigmavp_audit_{name}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// Pull the flat `"gate"` object out of `BENCH_audit.json` (it is emitted in
+/// the exact baseline format, so the baseline parser reads it).
+fn gate_metrics(bench_json: &str) -> Vec<(String, f64)> {
+    let start = bench_json.find("\"gate\": {").expect("gate section present") + "\"gate\": ".len();
+    let end = bench_json[start..].find('}').expect("gate object closes") + start + 1;
+    sigmavp_obs::parse_flat_json(&bench_json[start..end]).expect("gate parses as flat JSON")
+}
+
+fn metric(gate: &[(String, f64)], key: &str) -> f64 {
+    gate.iter().find(|(k, _)| k == key).unwrap_or_else(|| panic!("metric {key} present")).1
+}
+
+#[test]
+fn default_audit_passes_with_small_residuals() {
+    let dir = tmp_dir("default");
+    let out = audit(&dir, &[]);
+    assert!(
+        out.status.success(),
+        "default audit must pass:\n{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // Every scenario's per-job breakdown must tile the measured makespan.
+    assert_eq!(stdout.matches("critical path conserved").count(), 3, "{stdout}");
+
+    let json = std::fs::read_to_string(dir.join("BENCH_audit.json")).expect("report written");
+    let gate = gate_metrics(&json);
+    // Acceptance: the async-interleaved fleet's Eq. 7 residual stays < 10%.
+    assert!(metric(&gate, "async4.eq7_residual_frac") < 0.10);
+    assert!(metric(&gate, "speedup4.eq8_residual_frac") < 0.10);
+    assert!(metric(&gate, "coalesce6.eq9_residual_frac") < 0.10);
+    // Eq. 7 itself: makespan = 2·Tm + N·max(Tm, Tk) for the 4-VP fleet.
+    let makespan = metric(&gate, "async4.makespan_s");
+    assert!((makespan - (2.0 * 1e-4 + 4.0 * 2e-4)).abs() < 0.10 * makespan, "{makespan}");
+    // The report also carries the structured sections.
+    for section in ["\"model\":", "\"scenarios\":", "\"passes\":", "\"live\":"] {
+        assert!(json.contains(section), "missing {section}");
+    }
+}
+
+#[test]
+fn written_baseline_round_trips_through_check() {
+    let dir = tmp_dir("roundtrip");
+    let baseline = dir.join("baseline.json");
+    let write = audit(&dir, &["--write-baseline", "--baseline", baseline.to_str().unwrap()]);
+    assert!(write.status.success(), "{}", String::from_utf8_lossy(&write.stderr));
+
+    let check = audit(&dir, &["--check", "--baseline", baseline.to_str().unwrap()]);
+    assert!(
+        check.status.success(),
+        "self-check must pass:\n{}{}",
+        String::from_utf8_lossy(&check.stdout),
+        String::from_utf8_lossy(&check.stderr)
+    );
+    assert!(String::from_utf8_lossy(&check.stdout).contains("metrics within"));
+}
+
+#[test]
+fn committed_baseline_passes_check() {
+    let baseline = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/baselines/audit.json");
+    assert!(std::path::Path::new(baseline).exists(), "committed baseline at {baseline}");
+    let dir = tmp_dir("committed");
+    let check = audit(&dir, &["--check", "--baseline", baseline]);
+    assert!(
+        check.status.success(),
+        "committed baseline must gate green:\n{}{}",
+        String::from_utf8_lossy(&check.stdout),
+        String::from_utf8_lossy(&check.stderr)
+    );
+}
+
+#[test]
+fn injected_slowdown_trips_the_gate() {
+    let dir = tmp_dir("slowdown");
+    let baseline = dir.join("baseline.json");
+    let write = audit(&dir, &["--write-baseline", "--baseline", baseline.to_str().unwrap()]);
+    assert!(write.status.success(), "{}", String::from_utf8_lossy(&write.stderr));
+
+    // A synthetic 20% slowdown must exit non-zero against a 10% tolerance.
+    let check = audit(
+        &dir,
+        &["--check", "--baseline", baseline.to_str().unwrap(), "--inject-slowdown", "1.2"],
+    );
+    assert!(!check.status.success(), "20% slowdown must trip the 10% gate");
+    let stderr = String::from_utf8_lossy(&check.stderr);
+    assert!(stderr.contains("REGRESSION"), "{stderr}");
+    assert!(stderr.contains("async4.makespan_s"), "{stderr}");
+}

@@ -63,9 +63,22 @@ impl RemoteGpu {
             body,
         };
         self.seq += 1;
+        let recorder = sigmavp_telemetry::recorder();
+        let sent_wall_s = recorder.wall_now_s();
+        let sent = Instant::now();
         let frame = codec::encode_request(&envelope);
         let out_delay = self.transport.send(frame).map_err(|_| VpError::Disconnected)?;
         let resp_frame = self.transport.recv().map_err(|_| VpError::Disconnected)?;
+        // The guest-observed round trip, stamped with the job uid so lifecycle
+        // joins can line the envelope send up against the host-side spans.
+        recorder.span_for_job(
+            TimeDomain::Wall,
+            Lane::Vp(envelope.vp.0),
+            "request",
+            sent_wall_s,
+            sent.elapsed().as_secs_f64(),
+            sigmavp_telemetry::job_uid(envelope.vp.0, envelope.seq),
+        );
         let back_delay = self.transport.cost().delay_for(resp_frame.len() as u64);
         let decoded = codec::decode_response(&resp_frame).map_err(|_| VpError::Disconnected)?;
         match decoded.body {
@@ -306,8 +319,9 @@ fn run_dispatcher(
     // The profiler feedback loop: last observed duration per kernel name.
     let mut expected_kernel_s: HashMap<String, f64> = HashMap::new();
     // Envelopes waiting for execution, keyed by job id, with the wall-clock
-    // instant the request arrived at the dispatcher.
-    let mut waiting: HashMap<u64, (sigmavp_ipc::message::Envelope, Instant)> = HashMap::new();
+    // instant (and collector-relative timestamp) the request arrived at the
+    // dispatcher.
+    let mut waiting: HashMap<u64, (sigmavp_ipc::message::Envelope, Instant, f64)> = HashMap::new();
 
     loop {
         // 1. Gather: poll every endpoint once; enqueue decoded requests.
@@ -357,7 +371,7 @@ fn run_dispatcher(
                     enqueued_at_s: envelope.sent_at_s,
                     expected_duration_s: expected,
                 });
-                waiting.insert(id.0, (envelope, Instant::now()));
+                waiting.insert(id.0, (envelope, Instant::now(), recorder.wall_now_s()));
                 true
             }
             Ok(None) => true,
@@ -378,19 +392,32 @@ fn run_dispatcher(
         }
         stats.max_window = stats.max_window.max(window.len());
         for job in pipeline.plan(window, &window_ctx).jobs {
-            let (envelope, arrived) = waiting.remove(&job.id.0).expect("every job has an envelope");
+            let (envelope, arrived, arrived_wall_s) =
+                waiting.remove(&job.id.0).expect("every job has an envelope");
             let device = session.device_of(envelope.vp).expect("join assigned every vp");
             let runtime = session.runtime(device);
             let exec_started_wall_s = recorder.wall_now_s();
             let exec_started = Instant::now();
             let response: ResponseEnvelope = runtime.lock().process(&envelope);
             if recorder.enabled() {
-                recorder.span(
+                let uid = sigmavp_telemetry::job_uid(envelope.vp.0, envelope.seq);
+                recorder.span_for_job(
                     TimeDomain::Wall,
                     Lane::Dispatcher,
                     dispatch_span_name(&job),
                     exec_started_wall_s,
                     exec_started.elapsed().as_secs_f64(),
+                    uid,
+                );
+                // Queue wait: dispatcher arrival to execution start, on the
+                // job-queue lane so the lifecycle join sees the wait phase.
+                recorder.span_for_job(
+                    TimeDomain::Wall,
+                    Lane::JobQueue,
+                    dispatch_span_name(&job),
+                    arrived_wall_s,
+                    (exec_started_wall_s - arrived_wall_s).max(0.0),
+                    uid,
                 );
                 // Per-VP request latency: dispatcher arrival to response ready.
                 recorder.observe_s(

@@ -51,7 +51,7 @@ pub use backend::MultiplexedGpu;
 pub use dispatcher::DispatchedSigmaVp;
 pub use error::SigmaVpError;
 pub use host::HostRuntime;
-pub use plan::{plan_device, DevicePlan, EngineEvaluator};
+pub use plan::{op_job_uid, plan_device, DevicePlan, EngineEvaluator};
 pub use scenario::{run_scenario, run_scenario_with, ScenarioReport};
 pub use session::{DeviceOutcome, ExecutionSession, SessionOutcome};
 pub use sigmavp_sched::{Admission, BackendKind, InterleaveMode, Pipeline, Policy};

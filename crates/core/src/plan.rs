@@ -20,6 +20,7 @@ use sigmavp_gpu::GpuArch;
 use sigmavp_ipc::message::VpId;
 use sigmavp_ipc::queue::{Job, JobId, JobKind};
 use sigmavp_sched::{JobStream, MergeGroup, PassCtx, Pipeline, StreamEvaluator};
+use sigmavp_telemetry::{job_uid, Lane, TimeDomain, TraceEvent};
 
 use crate::host::{JobRecord, RecordKind};
 
@@ -52,6 +53,17 @@ pub fn records_to_jobs(records: &[JobRecord]) -> Vec<Job> {
             expected_duration_s: r.duration_s,
         })
         .collect()
+}
+
+/// The stable job uid of the record an engine op was lowered from.
+///
+/// Both lowerings emit ops whose `id` is the job id, and job ids index the
+/// original record order (`jobs[i].id == JobId(i)`), so `records[op_id]` is
+/// the op's source record — for merged operations, the group's *anchor*
+/// record. Returns `None` for op ids outside the log (defensive; the
+/// lowerings never produce them).
+pub fn op_job_uid(records: &[JobRecord], op_id: u64) -> Option<u64> {
+    records.get(op_id as usize).map(|r| job_uid(r.vp.0, r.seq))
 }
 
 fn job_engine(kind: &JobKind) -> GpuEngine {
@@ -149,7 +161,9 @@ fn build_ops_merged(
                 if let Some(b) = pending_barrier.remove(&job.vp) {
                     after.push(b);
                 }
-                let op_id = idx as u64;
+                // Op id = job id = original record index, same as the plain
+                // lowering, so op ids always resolve to source records.
+                let op_id = job.id.0;
                 ops.push(GpuOp {
                     id: op_id,
                     stream: StreamId(job.vp.0),
@@ -169,7 +183,7 @@ fn build_ops_merged(
                 if let Some(b) = pending_barrier.remove(&job.vp) {
                     after.push(b);
                 }
-                let op_id = idx as u64;
+                let op_id = job.id.0;
                 ops.push(GpuOp {
                     id: op_id,
                     stream: StreamId(job.vp.0),
@@ -331,6 +345,73 @@ impl DevicePlan {
     pub fn coalesced_members(&self) -> usize {
         self.stream.merged_members()
     }
+
+    /// The plan's device activity as simulated-time trace events, every span
+    /// stamped with its stable job uid:
+    ///
+    /// * one engine-lane span per executed op, named after its source record
+    ///   and carrying that record's uid (the *anchor's* uid for merged ops);
+    /// * one VP-lane mirror per op on the originating VP's lane (the record's
+    ///   true VP, not the widened engine stream id);
+    /// * one VP-lane span per coalesced-away member, covering the merged op's
+    ///   interval on the member's own lane with the member's uid — so a
+    ///   lifecycle join finds device time for *every* job in the log, dropped
+    ///   launches included.
+    ///
+    /// `records` must be the same log the plan was built from.
+    pub fn trace_events(&self, records: &[JobRecord]) -> Vec<TraceEvent> {
+        let name_of = |rec: &JobRecord| match &rec.kind {
+            RecordKind::H2d { bytes, .. } => format!("h2d {bytes}B"),
+            RecordKind::D2h { bytes, .. } => format!("d2h {bytes}B"),
+            RecordKind::Kernel { name, .. } => name.clone(),
+        };
+        let mut events = Vec::with_capacity(2 * self.timeline.spans.len());
+        for span in &self.timeline.spans {
+            let Some(rec) = records.get(span.id as usize) else { continue };
+            let uid = job_uid(rec.vp.0, rec.seq);
+            let lane = match span.engine {
+                GpuEngine::CopyH2D => Lane::CopyH2D,
+                GpuEngine::CopyD2H => Lane::CopyD2H,
+                GpuEngine::Compute => Lane::Compute,
+            };
+            let dur = span.end_s - span.start_s;
+            events.push(
+                TraceEvent::span(TimeDomain::Sim, lane, name_of(rec), span.start_s, dur)
+                    .with_job(uid),
+            );
+            events.push(
+                TraceEvent::span(
+                    TimeDomain::Sim,
+                    Lane::Vp(rec.vp.0),
+                    name_of(rec),
+                    span.start_s,
+                    dur,
+                )
+                .with_job(uid),
+            );
+        }
+        // Members a merge group absorbed never became ops of their own; give
+        // each one a span over its anchor's interval so its device time is
+        // still attributable.
+        for group in &self.stream.groups {
+            let Some(anchor_span) = self.timeline.span(group.anchor.0) else { continue };
+            let (start_s, dur) = (anchor_span.start_s, anchor_span.end_s - anchor_span.start_s);
+            for member in &group.dropped {
+                let Some(rec) = records.get(member.0 as usize) else { continue };
+                events.push(
+                    TraceEvent::span(
+                        TimeDomain::Sim,
+                        Lane::Vp(rec.vp.0),
+                        format!("{} (merged into op{})", name_of(rec), group.anchor.0),
+                        start_s,
+                        dur,
+                    )
+                    .with_job(job_uid(rec.vp.0, rec.seq)),
+                );
+            }
+        }
+        events
+    }
 }
 
 /// Plan one device's job log through `pipeline` and price the result on `arch`:
@@ -477,6 +558,46 @@ mod tests {
         let evaluator = EngineEvaluator::new(&arch, &records);
         let replay = evaluator.makespan_s(&plan.stream.jobs, &plan.stream.groups);
         assert!((replay - plan.timeline.makespan_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trace_events_stamp_every_job_uid() {
+        use sigmavp_telemetry::job_uid;
+        let arch = GpuArch::quadro_4000();
+        let records = fleet_records(6, &arch);
+        let plan = plan_device(
+            &Pipeline::from_policy(&Policy::MultiplexedOptimized),
+            &records,
+            &|_| true,
+            &arch,
+        );
+        assert!(plan.coalesced_members() >= 2, "scenario must exercise merging");
+        let events = plan.trace_events(&records);
+        // Every event is job-stamped, and every record's uid appears at least
+        // once — coalesced-away members included.
+        assert!(events.iter().all(|e| e.job.is_some()));
+        for rec in &records {
+            let uid = job_uid(rec.vp.0, rec.seq);
+            assert!(
+                events.iter().any(|e| e.job == Some(uid)),
+                "no device event for vp{} seq{}",
+                rec.vp.0,
+                rec.seq
+            );
+        }
+        // VP-lane mirrors use the record's true VP id.
+        assert!(events.iter().any(|e| e.lane == Lane::Vp(5)));
+        assert!(!events.iter().any(|e| matches!(e.lane, Lane::Vp(n) if n >= 6)));
+    }
+
+    #[test]
+    fn op_job_uid_maps_ops_to_records() {
+        use sigmavp_telemetry::job_uid;
+        let arch = GpuArch::quadro_4000();
+        let records = fleet_records(2, &arch);
+        assert_eq!(op_job_uid(&records, 0), Some(job_uid(0, 0)));
+        assert_eq!(op_job_uid(&records, 4), Some(job_uid(1, 1)));
+        assert_eq!(op_job_uid(&records, 99), None);
     }
 
     #[test]

@@ -168,6 +168,14 @@ pub struct DeviceOutcome {
     pub plan: DevicePlan,
 }
 
+impl DeviceOutcome {
+    /// This device's planned activity as job-uid-stamped simulated-time trace
+    /// events (see [`DevicePlan::trace_events`]).
+    pub fn trace_events(&self) -> Vec<sigmavp_telemetry::TraceEvent> {
+        self.plan.trace_events(&self.records)
+    }
+}
+
 /// Fleet-level view of a drained session: per-device outcomes plus aggregates.
 #[derive(Debug, Clone)]
 pub struct SessionOutcome {
@@ -208,6 +216,15 @@ impl SessionOutcome {
     /// All records, concatenated by device (back-compat flat view).
     pub fn flat_records(&self) -> Vec<JobRecord> {
         self.devices.iter().flat_map(|d| d.records.iter().cloned()).collect()
+    }
+
+    /// Every device's job-uid-stamped trace events, concatenated in device
+    /// order. Device timelines share a `t = 0` origin (independent hardware),
+    /// and with one VP routed to one device the VP lanes never collide; the
+    /// shared engine lanes overlay devices, so per-device analysis should use
+    /// [`DeviceOutcome::trace_events`] instead.
+    pub fn trace_events(&self) -> Vec<sigmavp_telemetry::TraceEvent> {
+        self.devices.iter().flat_map(DeviceOutcome::trace_events).collect()
     }
 }
 

@@ -138,6 +138,14 @@ impl Timeline {
     /// channel were active *simultaneously*. This is the quantity Kernel
     /// Interleaving maximizes (paper Fig. 3): serialized issue scores 0, a
     /// perfect pipeline approaches 1.
+    ///
+    /// **Degenerate-input contract: the result is always a finite number,
+    /// never `NaN`.** When either side has no busy time — an empty timeline, a
+    /// run that only used one engine class, or spans that are all
+    /// zero-duration — the `overlap/shorter` ratio would be `0/0`; this
+    /// returns `0.0` instead ("no overlap was possible, none was achieved"),
+    /// so downstream gauges and regression baselines can compare the value
+    /// without NaN-guards.
     pub fn overlap_fraction(&self) -> f64 {
         let copy: Vec<(f64, f64)> = self
             .spans
@@ -166,19 +174,40 @@ impl Timeline {
         (overlap / shorter).clamp(0.0, 1.0)
     }
 
+    /// The spans that ran on one engine, in time order. Engines serve their
+    /// operations in issue order, so the filtered issue-order spans are
+    /// already sorted by start time — this is the segment view critical-path
+    /// extraction walks.
+    pub fn engine_segments(&self, engine: Engine) -> impl Iterator<Item = &OpSpan> + '_ {
+        self.spans.iter().filter(move |s| s.engine == engine)
+    }
+
     /// The timeline as simulated-time telemetry events: one span per op on its
     /// engine's lane, named after the op and its stream.
     pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.trace_events_with_jobs(|_| None)
+    }
+
+    /// Like [`trace_events`](Timeline::trace_events), but stamps each span
+    /// with the stable job uid `job_of(op_id)` resolves (see
+    /// [`sigmavp_telemetry::trace::job_uid`]). The engine model itself only
+    /// knows caller-chosen op ids; the planning layer, which knows which job
+    /// record each op came from, supplies the mapping.
+    pub fn trace_events_with_jobs(&self, job_of: impl Fn(u64) -> Option<u64>) -> Vec<TraceEvent> {
         self.spans
             .iter()
             .map(|span| {
-                TraceEvent::span(
+                let ev = TraceEvent::span(
                     TimeDomain::Sim,
                     engine_lane(span.engine),
                     format!("op{} (stream {})", span.id, span.stream.0),
                     span.start_s,
                     span.end_s - span.start_s,
-                )
+                );
+                match job_of(span.id) {
+                    Some(uid) => ev.with_job(uid),
+                    None => ev,
+                }
             })
             .collect()
     }
@@ -187,15 +216,28 @@ impl Timeline {
     /// every op onto a per-stream VP lane, so each VP's simulated device
     /// activity reads as its own track.
     pub fn trace_events_with_streams(&self) -> Vec<TraceEvent> {
-        let mut events = self.trace_events();
+        self.trace_events_with_streams_and_jobs(|_| None)
+    }
+
+    /// [`trace_events_with_streams`](Timeline::trace_events_with_streams) with
+    /// a job-uid mapping applied to both the engine-lane and VP-lane copies.
+    pub fn trace_events_with_streams_and_jobs(
+        &self,
+        job_of: impl Fn(u64) -> Option<u64>,
+    ) -> Vec<TraceEvent> {
+        let mut events = self.trace_events_with_jobs(&job_of);
         events.extend(self.spans.iter().map(|span| {
-            TraceEvent::span(
+            let ev = TraceEvent::span(
                 TimeDomain::Sim,
                 Lane::Vp(span.stream.0),
                 format!("op{} ({})", span.id, engine_lane(span.engine).label()),
                 span.start_s,
                 span.end_s - span.start_s,
-            )
+            );
+            match job_of(span.id) {
+                Some(uid) => ev.with_job(uid),
+                None => ev,
+            }
         }));
         events
     }
@@ -597,6 +639,100 @@ mod tests {
         );
         assert!(pipelined.overlap_fraction() <= 1.0);
         assert_eq!(Timeline::default().overlap_fraction(), 0.0);
+    }
+
+    #[test]
+    fn overlap_fraction_edge_cases_return_zero_not_nan() {
+        // Contract: degenerate timelines score 0.0, never NaN (see the doc on
+        // `overlap_fraction`).
+        let arch = duplex_arch();
+
+        // 1. Empty timeline.
+        let empty = Timeline::default();
+        let f = empty.overlap_fraction();
+        assert!(!f.is_nan());
+        assert_eq!(f, 0.0);
+
+        // 2. Single-engine-only runs: all-compute and all-copy.
+        let compute_only: Vec<GpuOp> =
+            (0..4).map(|i| GpuOp::kernel(i, StreamId(i as u32), 1.0)).collect();
+        let f = simulate(&arch, &compute_only).overlap_fraction();
+        assert!(!f.is_nan());
+        assert_eq!(f, 0.0, "no copy side: nothing to overlap with");
+        let copy_only: Vec<GpuOp> =
+            (0..4).map(|i| GpuOp::h2d(i, StreamId(i as u32), &arch, 1 << 20)).collect();
+        let f = simulate(&arch, &copy_only).overlap_fraction();
+        assert!(!f.is_nan());
+        assert_eq!(f, 0.0, "no compute side: nothing to overlap with");
+
+        // 3. Zero-duration segments on both sides: busy time is 0 on both
+        //    sides, so the 0/0 ratio must collapse to 0.0. (A 0-byte copy
+        //    still pays the fixed copy latency, so build the ops directly.)
+        let zero_copy = |id: u64, engine: Engine| GpuOp {
+            id,
+            stream: StreamId(0),
+            engine,
+            duration_s: 0.0,
+            after: vec![],
+        };
+        let degenerate = [
+            zero_copy(0, Engine::CopyH2D),
+            GpuOp::kernel(1, StreamId(0), 0.0),
+            zero_copy(2, Engine::CopyD2H),
+        ];
+        let tl = simulate(&arch, &degenerate);
+        assert_eq!(tl.makespan_s, 0.0);
+        let f = tl.overlap_fraction();
+        assert!(!f.is_nan());
+        assert_eq!(f, 0.0);
+
+        // Zero-duration copies next to a real kernel likewise stay finite:
+        // the copy side's busy time is zero, so the fraction is 0.0.
+        let mixed = [
+            zero_copy(0, Engine::CopyH2D),
+            GpuOp::kernel(1, StreamId(0), 1.0),
+            GpuOp::kernel(2, StreamId(1), 1.0),
+        ];
+        let f = simulate(&arch, &mixed).overlap_fraction();
+        assert!(!f.is_nan());
+        assert_eq!(f, 0.0);
+    }
+
+    #[test]
+    fn engine_segments_are_filtered_and_time_ordered() {
+        let arch = duplex_arch();
+        let tl = simulate(&arch, &programs(4, 1.0, true));
+        for engine in [Engine::CopyH2D, Engine::Compute, Engine::CopyD2H] {
+            let segs: Vec<&OpSpan> = tl.engine_segments(engine).collect();
+            assert_eq!(segs.len(), 4);
+            assert!(segs.iter().all(|s| s.engine == engine));
+            assert!(
+                segs.windows(2).all(|w| w[0].start_s <= w[1].start_s),
+                "engine serves in issue order, so segments are time-sorted"
+            );
+        }
+        assert_eq!(Timeline::default().engine_segments(Engine::Compute).count(), 0);
+    }
+
+    #[test]
+    fn trace_events_with_jobs_stamp_resolved_ops_only() {
+        let arch = duplex_arch();
+        let tl = simulate(&arch, &programs(2, 1.0, true));
+        // Pretend only even op ids resolve to a job record.
+        let events =
+            tl.trace_events_with_jobs(|id| if id % 2 == 0 { Some(1000 + id) } else { None });
+        assert_eq!(events.len(), tl.spans.len());
+        for (ev, span) in events.iter().zip(&tl.spans) {
+            if span.id % 2 == 0 {
+                assert_eq!(ev.job, Some(1000 + span.id));
+            } else {
+                assert_eq!(ev.job, None);
+            }
+        }
+        // The stream-mirrored variant stamps both copies of each op.
+        let mirrored = tl.trace_events_with_streams_and_jobs(Some);
+        assert_eq!(mirrored.len(), 2 * tl.spans.len());
+        assert!(mirrored.iter().all(|e| e.job.is_some()));
     }
 
     #[test]

@@ -1,0 +1,255 @@
+//! Baseline store + regression gate: a flat JSON metric map and a
+//! direction-aware comparator.
+//!
+//! The audit binary persists its gated metrics as a *flat* JSON object —
+//! string keys to finite numbers, nothing nested — which keeps the parser
+//! here trivial (the build environment has no serde) and the committed
+//! baseline diff-friendly. [`compare`] knows which direction is bad for each
+//! key (`*_s` and `*residual*` regress upward, `*overlap*`/`*speedup*`
+//! regress downward) and reports every metric that moved beyond tolerance in
+//! its bad direction.
+
+/// Which way a metric is allowed to move freely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Smaller is better (durations, residuals, stalls, drops): a regression
+    /// is an *increase* beyond tolerance.
+    LowerIsBetter,
+    /// Larger is better (overlap fractions, speedups, utilizations): a
+    /// regression is a *decrease* beyond tolerance.
+    HigherIsBetter,
+}
+
+/// Classify a metric key by naming convention.
+pub fn direction_for(key: &str) -> Direction {
+    if key.contains("overlap") || key.contains("speedup") || key.contains("utilization") {
+        Direction::HigherIsBetter
+    } else {
+        // `*_s` durations, `*residual*`, stall/drop counts, and anything
+        // unrecognized: treat growth as the bad direction (conservative).
+        Direction::LowerIsBetter
+    }
+}
+
+/// One metric that moved beyond tolerance in its bad direction — or vanished.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// The metric key.
+    pub key: String,
+    /// Its committed baseline value.
+    pub baseline: f64,
+    /// Its current value (`None` when the metric disappeared from the run).
+    pub current: Option<f64>,
+    /// Relative movement in the bad direction (`(cur−base)/|base|` for
+    /// lower-is-better keys, negated for higher-is-better; 0 for vanished).
+    pub delta_frac: f64,
+}
+
+impl Regression {
+    /// Human-readable one-liner for gate output.
+    pub fn describe(&self) -> String {
+        match self.current {
+            Some(cur) => format!(
+                "{}: {:.6e} -> {:.6e} ({:+.1}% in the bad direction)",
+                self.key,
+                self.baseline,
+                cur,
+                self.delta_frac * 100.0
+            ),
+            None => format!("{}: {:.6e} -> MISSING from current run", self.key, self.baseline),
+        }
+    }
+}
+
+/// Compare a run against a baseline: every baseline key whose current value
+/// moved more than `tolerance` (relative) in its bad direction — or is
+/// missing — is a [`Regression`]. Keys new in `current` are not regressions
+/// (they become gated once the baseline is refreshed).
+pub fn compare(
+    baseline: &[(String, f64)],
+    current: &[(String, f64)],
+    tolerance: f64,
+) -> Vec<Regression> {
+    let lookup = |key: &str| current.iter().find(|(k, _)| k == key).map(|(_, v)| *v);
+    let mut regressions = Vec::new();
+    for (key, base) in baseline {
+        let Some(cur) = lookup(key) else {
+            regressions.push(Regression {
+                key: key.clone(),
+                baseline: *base,
+                current: None,
+                delta_frac: 0.0,
+            });
+            continue;
+        };
+        let scale = base.abs().max(1e-12);
+        let raw = (cur - base) / scale;
+        let bad = match direction_for(key) {
+            Direction::LowerIsBetter => raw,
+            Direction::HigherIsBetter => -raw,
+        };
+        if bad > tolerance {
+            regressions.push(Regression {
+                key: key.clone(),
+                baseline: *base,
+                current: Some(cur),
+                delta_frac: bad,
+            });
+        }
+    }
+    regressions
+}
+
+/// Render metric pairs as the flat JSON object [`parse_flat_json`] reads,
+/// one key per line, preserving input order.
+pub fn format_flat_json(pairs: &[(String, f64)]) -> String {
+    use sigmavp_telemetry::export::escape_json;
+    let rows: Vec<String> = pairs
+        .iter()
+        .map(|(k, v)| {
+            let val = if v.is_finite() { format!("{v:.9e}") } else { "0".to_string() };
+            format!("  \"{}\": {}", escape_json(k), val)
+        })
+        .collect();
+    format!("{{\n{}\n}}\n", rows.join(",\n"))
+}
+
+/// Parse a flat JSON object of string keys to numbers. Rejects nesting,
+/// arrays, and non-numeric values with a descriptive error — the baseline
+/// format is deliberately this small.
+pub fn parse_flat_json(text: &str) -> Result<Vec<(String, f64)>, String> {
+    let mut chars = text.chars().peekable();
+    let mut pairs = Vec::new();
+
+    fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
+        while matches!(chars.peek(), Some(c) if c.is_whitespace()) {
+            chars.next();
+        }
+    }
+
+    skip_ws(&mut chars);
+    if chars.next() != Some('{') {
+        return Err("expected '{' at start of baseline".into());
+    }
+    loop {
+        skip_ws(&mut chars);
+        match chars.peek() {
+            Some('}') => {
+                chars.next();
+                break;
+            }
+            Some('"') => {}
+            other => return Err(format!("expected key or '}}', found {other:?}")),
+        }
+        // Key string (escapes beyond \" are not needed for metric names).
+        chars.next();
+        let mut key = String::new();
+        loop {
+            match chars.next() {
+                Some('\\') => match chars.next() {
+                    Some(c) => key.push(c),
+                    None => return Err("unterminated escape in key".into()),
+                },
+                Some('"') => break,
+                Some(c) => key.push(c),
+                None => return Err("unterminated key string".into()),
+            }
+        }
+        skip_ws(&mut chars);
+        if chars.next() != Some(':') {
+            return Err(format!("expected ':' after key {key:?}"));
+        }
+        skip_ws(&mut chars);
+        let mut num = String::new();
+        while matches!(chars.peek(), Some(c) if "+-0123456789.eE".contains(*c)) {
+            num.push(chars.next().expect("peeked"));
+        }
+        let value: f64 =
+            num.parse().map_err(|_| format!("non-numeric value {num:?} for key {key:?}"))?;
+        pairs.push((key, value));
+        skip_ws(&mut chars);
+        match chars.next() {
+            Some(',') => continue,
+            Some('}') => break,
+            other => return Err(format!("expected ',' or '}}', found {other:?}")),
+        }
+    }
+    Ok(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pairs(v: &[(&str, f64)]) -> Vec<(String, f64)> {
+        v.iter().map(|(k, x)| (k.to_string(), *x)).collect()
+    }
+
+    #[test]
+    fn roundtrip_format_and_parse() {
+        let input = pairs(&[
+            ("async4.makespan_s", 6.0123e-4),
+            ("async4.overlap_fraction", 0.75),
+            ("eq7.residual_frac", 0.0),
+        ]);
+        let text = format_flat_json(&input);
+        let parsed = parse_flat_json(&text).unwrap();
+        assert_eq!(parsed.len(), 3);
+        for ((k1, v1), (k2, v2)) in input.iter().zip(&parsed) {
+            assert_eq!(k1, k2);
+            assert!((v1 - v2).abs() <= v1.abs() * 1e-9 + 1e-30, "{k1}: {v1} vs {v2}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(parse_flat_json("").is_err());
+        assert!(parse_flat_json("[1, 2]").is_err());
+        assert!(parse_flat_json("{\"a\": }").is_err());
+        assert!(parse_flat_json("{\"a\": \"str\"}").is_err());
+        assert!(parse_flat_json("{\"a\": 1").is_err());
+        assert!(parse_flat_json("{}").unwrap().is_empty());
+    }
+
+    #[test]
+    fn directions_follow_naming_conventions() {
+        assert_eq!(direction_for("async4.makespan_s"), Direction::LowerIsBetter);
+        assert_eq!(direction_for("eq7.residual_frac"), Direction::LowerIsBetter);
+        assert_eq!(direction_for("trace.dropped_events"), Direction::LowerIsBetter);
+        assert_eq!(direction_for("async4.overlap_fraction"), Direction::HigherIsBetter);
+        assert_eq!(direction_for("eq8.measured_speedup"), Direction::HigherIsBetter);
+        assert_eq!(direction_for("compute.utilization"), Direction::HigherIsBetter);
+    }
+
+    #[test]
+    fn compare_flags_bad_direction_moves_only() {
+        let base =
+            pairs(&[("a.makespan_s", 1.0), ("a.overlap_fraction", 0.8), ("gone.makespan_s", 1.0)]);
+        // makespan +30% (bad), overlap +10% (good direction), one key missing.
+        let cur = pairs(&[("a.makespan_s", 1.3), ("a.overlap_fraction", 0.88), ("new.x", 5.0)]);
+        let regs = compare(&base, &cur, 0.10);
+        assert_eq!(regs.len(), 2);
+        assert_eq!(regs[0].key, "a.makespan_s");
+        assert!((regs[0].delta_frac - 0.3).abs() < 1e-9);
+        assert!(regs[0].describe().contains("bad direction"));
+        assert_eq!(regs[1].key, "gone.makespan_s");
+        assert_eq!(regs[1].current, None);
+        assert!(regs[1].describe().contains("MISSING"));
+    }
+
+    #[test]
+    fn compare_respects_tolerance_and_improvements() {
+        let base = pairs(&[("m.makespan_s", 1.0), ("m.overlap_fraction", 0.5)]);
+        // 5% slower and 5% less overlap: both inside a 10% gate.
+        let cur = pairs(&[("m.makespan_s", 1.05), ("m.overlap_fraction", 0.475)]);
+        assert!(compare(&base, &cur, 0.10).is_empty());
+        // Improvements are never regressions, however large.
+        let better = pairs(&[("m.makespan_s", 0.2), ("m.overlap_fraction", 0.99)]);
+        assert!(compare(&base, &better, 0.10).is_empty());
+        // A 20% slowdown trips the 10% gate (the synthetic-slowdown case).
+        let slow = pairs(&[("m.makespan_s", 1.2), ("m.overlap_fraction", 0.5)]);
+        let regs = compare(&base, &slow, 0.10);
+        assert_eq!(regs.len(), 1);
+        assert!((regs[0].delta_frac - 0.2).abs() < 1e-9);
+    }
+}

@@ -374,7 +374,6 @@ impl Pipeline {
         let mut stream = JobStream::new(jobs);
         for pass in &self.passes {
             #[cfg(debug_assertions)]
-            #[cfg(debug_assertions)]
             let before = stream.jobs.clone();
             let started = Instant::now();
             stream = pass.apply(stream, ctx);

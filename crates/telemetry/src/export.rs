@@ -94,14 +94,21 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
 
     for event in events {
         match &event.kind {
-            EventKind::Span { start_s, dur_s } => entries.push(format!(
-                "{{\"ph\":\"X\",\"name\":\"{}\",\"pid\":{},\"tid\":{},\"ts\":{},\"dur\":{}}}",
-                escape_json(&event.name),
-                pid(event.domain),
-                event.lane.tid(),
-                json_f64(start_s * 1e6),
-                json_f64(dur_s * 1e6),
-            )),
+            EventKind::Span { start_s, dur_s } => {
+                let args = match event.job {
+                    Some(uid) => format!(",\"args\":{{\"job\":{uid}}}"),
+                    None => String::new(),
+                };
+                entries.push(format!(
+                    "{{\"ph\":\"X\",\"name\":\"{}\",\"pid\":{},\"tid\":{},\"ts\":{},\"dur\":{}{}}}",
+                    escape_json(&event.name),
+                    pid(event.domain),
+                    event.lane.tid(),
+                    json_f64(start_s * 1e6),
+                    json_f64(dur_s * 1e6),
+                    args,
+                ))
+            }
             EventKind::Counter { at_s, value } => entries.push(format!(
                 "{{\"ph\":\"C\",\"name\":\"{}\",\"pid\":{},\"tid\":{},\"ts\":{},\"args\":{{\"value\":{}}}}}",
                 escape_json(&event.name),
@@ -155,13 +162,26 @@ pub fn metrics_json(snapshot: &MetricsSnapshot) -> String {
         })
         .collect();
     out.push_str(&histograms.join(", "));
+    out.push_str("},\n  \"trace\": {");
+    out.push_str(&format!("\"dropped_events\": {}", snapshot.dropped_events));
     out.push_str("}\n}\n");
     out
 }
 
 /// Render a metrics snapshot as an aligned plaintext table.
+///
+/// When the trace ring dropped events, the table leads with a loud warning —
+/// a full ring silently truncates every downstream lifecycle join and trace,
+/// so the operator must see it.
 pub fn summary_table(snapshot: &MetricsSnapshot) -> String {
     let mut out = String::new();
+    if snapshot.dropped_events > 0 {
+        out.push_str(&format!(
+            "!!! WARNING: trace ring dropped {} event(s); spans are missing and \
+             the trace/lifecycle views below are INCOMPLETE !!!\n",
+            snapshot.dropped_events
+        ));
+    }
     if !snapshot.counters.is_empty() {
         out.push_str("counters\n");
         for (name, v) in &snapshot.counters {
@@ -202,7 +222,8 @@ mod tests {
 
     fn sample_events() -> Vec<TraceEvent> {
         vec![
-            TraceEvent::span(TimeDomain::Sim, Lane::Compute, "kernel \"k\"", 0.0, 1e-3),
+            TraceEvent::span(TimeDomain::Sim, Lane::Compute, "kernel \"k\"", 0.0, 1e-3)
+                .with_job(crate::trace::job_uid(2, 7)),
             TraceEvent::span(TimeDomain::Sim, Lane::CopyH2D, "h2d", 1e-3, 2e-3),
             TraceEvent::span(TimeDomain::Wall, Lane::Vp(3), "launch", 0.5e-3, 0.25e-3),
             TraceEvent::counter(TimeDomain::Wall, Lane::JobQueue, "queue depth", 1e-3, 4.0),
@@ -226,6 +247,26 @@ mod tests {
         assert!(json.contains("kernel \\\"k\\\""));
         // Microsecond conversion.
         assert!(json.contains("\"dur\":1000"));
+        // Job-stamped spans carry the uid as a Chrome-trace arg.
+        let uid = crate::trace::job_uid(2, 7);
+        assert!(json.contains(&format!("\"args\":{{\"job\":{uid}}}")));
+        // Untagged spans must not grow an args object.
+        assert!(json.contains("\"name\":\"h2d\""));
+        let h2d_line = json.lines().find(|l| l.contains("\"name\":\"h2d\"")).unwrap();
+        assert!(!h2d_line.contains("args"));
+    }
+
+    #[test]
+    fn dropped_events_surface_in_json_and_table() {
+        let mut snap = MetricsSnapshot::default();
+        assert!(metrics_json(&snap).contains("\"dropped_events\": 0"));
+        assert!(!summary_table(&snap).contains("WARNING"));
+        snap.dropped_events = 12;
+        assert!(metrics_json(&snap).contains("\"dropped_events\": 12"));
+        let table = summary_table(&snap);
+        assert!(table.contains("WARNING"));
+        assert!(table.contains("dropped 12 event(s)"));
+        assert!(table.contains("INCOMPLETE"));
     }
 
     #[test]

@@ -42,4 +42,4 @@ pub mod recorder;
 pub mod trace;
 
 pub use recorder::{install, recorder, uninstall, Recorder, Telemetry};
-pub use trace::{EventKind, Lane, TimeDomain, TraceEvent};
+pub use trace::{job_uid, job_uid_seq, job_uid_vp, EventKind, Lane, TimeDomain, TraceEvent};

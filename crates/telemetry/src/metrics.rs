@@ -306,7 +306,7 @@ impl Registry {
             .map(|(k, v)| (k.clone(), v.summary()))
             .collect();
         histograms.sort_by(|a, b| a.0.cmp(&b.0));
-        MetricsSnapshot { counters, gauges, histograms }
+        MetricsSnapshot { counters, gauges, histograms, dropped_events: 0 }
     }
 }
 
@@ -319,6 +319,10 @@ pub struct MetricsSnapshot {
     pub gauges: Vec<(String, f64)>,
     /// Histogram summaries, sorted by name.
     pub histograms: Vec<(String, HistogramSummary)>,
+    /// Trace events lost because the span ring was full. Zero for snapshots
+    /// taken straight off a [`Registry`]; `Telemetry::snapshot` fills it from
+    /// the ring so exporters can surface the loss.
+    pub dropped_events: u64,
 }
 
 impl MetricsSnapshot {

@@ -123,6 +123,23 @@ impl Recorder {
         }
     }
 
+    /// Record a span event stamped with a stable job uid
+    /// (see [`crate::trace::job_uid`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn span_for_job(
+        &self,
+        domain: TimeDomain,
+        lane: Lane,
+        name: impl Into<String>,
+        start_s: f64,
+        dur_s: f64,
+        job: u64,
+    ) {
+        if let Some(core) = self.core {
+            core.ring.push(TraceEvent::span(domain, lane, name, start_s, dur_s).with_job(job));
+        }
+    }
+
     /// Record a counter-sample event.
     pub fn counter_event(
         &self,
@@ -150,9 +167,11 @@ impl Telemetry {
         Recorder { core: Some(self.core) }
     }
 
-    /// Snapshot all metrics.
+    /// Snapshot all metrics, including the trace ring's drop count.
     pub fn snapshot(&self) -> MetricsSnapshot {
-        self.core.registry.snapshot()
+        let mut snap = self.core.registry.snapshot();
+        snap.dropped_events = self.core.ring.dropped();
+        snap
     }
 
     /// Drain all buffered trace events, oldest first.

@@ -16,6 +16,28 @@
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
+/// Stable process-wide job identity: the originating VP in the high 32 bits,
+/// the VP-local sequence number in the low 32. Both `Envelope` (guest side)
+/// and `JobRecord` (host side) carry `(vp, seq)`, so every layer can derive
+/// the same uid without coordination and lifecycle joins never rely on event
+/// ordering heuristics.
+#[must_use]
+pub fn job_uid(vp: u32, seq: u64) -> u64 {
+    ((vp as u64) << 32) | (seq & 0xFFFF_FFFF)
+}
+
+/// The VP component of a [`job_uid`].
+#[must_use]
+pub fn job_uid_vp(uid: u64) -> u32 {
+    (uid >> 32) as u32
+}
+
+/// The per-VP sequence component of a [`job_uid`].
+#[must_use]
+pub fn job_uid_seq(uid: u64) -> u64 {
+    uid & 0xFFFF_FFFF
+}
+
 /// Which clock an event's timestamps belong to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum TimeDomain {
@@ -98,6 +120,10 @@ pub struct TraceEvent {
     pub name: String,
     /// Interval or sample payload.
     pub kind: EventKind,
+    /// Stable [`job_uid`] of the job this event belongs to, when the event is
+    /// attributable to a single job (copy/kernel spans, dispatcher exec spans,
+    /// queue waits). `None` for aggregate events such as counter samples.
+    pub job: Option<u64>,
 }
 
 impl TraceEvent {
@@ -109,7 +135,13 @@ impl TraceEvent {
         start_s: f64,
         dur_s: f64,
     ) -> Self {
-        TraceEvent { domain, lane, name: name.into(), kind: EventKind::Span { start_s, dur_s } }
+        TraceEvent {
+            domain,
+            lane,
+            name: name.into(),
+            kind: EventKind::Span { start_s, dur_s },
+            job: None,
+        }
     }
 
     /// Convenience constructor for a counter sample.
@@ -120,7 +152,20 @@ impl TraceEvent {
         at_s: f64,
         value: f64,
     ) -> Self {
-        TraceEvent { domain, lane, name: name.into(), kind: EventKind::Counter { at_s, value } }
+        TraceEvent {
+            domain,
+            lane,
+            name: name.into(),
+            kind: EventKind::Counter { at_s, value },
+            job: None,
+        }
+    }
+
+    /// Attach a stable [`job_uid`] to the event (builder style).
+    #[must_use]
+    pub fn with_job(mut self, uid: u64) -> Self {
+        self.job = Some(uid);
+        self
     }
 }
 
@@ -304,6 +349,18 @@ mod tests {
         let drained = ring.drain().len() as u64;
         assert_eq!(accepted, 8000);
         assert_eq!(drained + ring.dropped(), 8000);
+    }
+
+    #[test]
+    fn job_uid_round_trips_and_orders_by_vp_then_seq() {
+        let uid = job_uid(3, 41);
+        assert_eq!(job_uid_vp(uid), 3);
+        assert_eq!(job_uid_seq(uid), 41);
+        assert!(job_uid(0, u64::MAX) < job_uid(1, 0), "vp dominates seq");
+        assert!(job_uid(2, 5) < job_uid(2, 6));
+        let tagged = ev(0).with_job(uid);
+        assert_eq!(tagged.job, Some(uid));
+        assert_eq!(ev(0).job, None);
     }
 
     #[test]
