@@ -21,7 +21,7 @@ cargo bench --workspace --no-run
 echo "==> cargo test"
 cargo test -q --workspace
 
-echo "==> audit regression gate (results/baselines/audit.json)"
-cargo run --release -p sigmavp-bench --bin audit -- --check
+echo "==> audit regression gate + chaos smoke (results/baselines/audit.json)"
+cargo run --release -p sigmavp-bench --bin audit -- --faults 42 --check
 
 echo "CI green."

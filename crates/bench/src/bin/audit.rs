@@ -26,6 +26,13 @@
 //! the drained trace events are reported (but *not* gated — wall time is
 //! nondeterministic).
 //!
+//! A **chaos smoke** always runs as well: 4 VPs on 2 host GPUs over a lossy,
+//! delaying link, with GPU 1 killed 40% into the (calibrated) run. Every VP
+//! must still validate with every request executed exactly once, and the
+//! deterministic fault story — `fault.retries`, `fault.gpu_trips`,
+//! `fault.migrations`, plus the chaos-run makespan — is gated under `chaos.*`
+//! (`--faults SEED` overrides the default fault-plan seed 42).
+//!
 //! Everything goes into a hand-rolled-JSON `BENCH_audit.json`; the flat
 //! `"gate"` section is what `--check` compares against the committed baseline
 //! under `results/baselines/`, exiting non-zero on any regression beyond
@@ -34,10 +41,12 @@
 
 use std::process::ExitCode;
 
-use sigmavp::dispatcher::DispatchedSigmaVp;
+use sigmavp::dispatcher::{DispatchStats, DispatchedSigmaVp};
 use sigmavp::host::{JobRecord, RecordKind};
 use sigmavp::session::DeviceOutcome;
-use sigmavp::{plan_device, DevicePlan};
+use sigmavp::threaded::ThreadedReport;
+use sigmavp::{plan_device, DevicePlan, RetryPolicy};
+use sigmavp_fault::{FaultPlan, LinkFaultConfig};
 use sigmavp_gpu::GpuArch;
 use sigmavp_ipc::message::VpId;
 use sigmavp_ipc::transport::TransportCost;
@@ -56,6 +65,7 @@ use sigmavp_workloads::apps::VectorAddApp;
 const DEFAULT_BASELINE: &str = "results/baselines/audit.json";
 const DEFAULT_OUT: &str = "BENCH_audit.json";
 const DEFAULT_TOLERANCE: f64 = 0.10;
+const DEFAULT_FAULT_SEED: u64 = 42;
 
 struct Args {
     check: bool,
@@ -64,12 +74,13 @@ struct Args {
     out: String,
     tolerance: f64,
     inject_slowdown: f64,
+    fault_seed: u64,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: audit [--check] [--write-baseline] [--baseline PATH] [--out PATH] \
-         [--tolerance F] [--inject-slowdown F]"
+         [--tolerance F] [--inject-slowdown F] [--faults SEED]"
     );
     std::process::exit(2);
 }
@@ -82,6 +93,7 @@ fn parse_args() -> Args {
         out: DEFAULT_OUT.to_string(),
         tolerance: DEFAULT_TOLERANCE,
         inject_slowdown: 1.0,
+        fault_seed: DEFAULT_FAULT_SEED,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -103,6 +115,7 @@ fn parse_args() -> Args {
                 args.inject_slowdown =
                     value("--inject-slowdown").parse().unwrap_or_else(|_| usage())
             }
+            "--faults" => args.fault_seed = value("--faults").parse().unwrap_or_else(|_| usage()),
             _ => usage(),
         }
     }
@@ -203,6 +216,100 @@ fn run_scenario(
     }
     let makespan_s = plan.timeline.makespan_s * slowdown;
     Ok(Scenario { name, records, plan, makespan_s, path, lifecycles })
+}
+
+/// Retry policy for the chaos smoke: a short receive timeout keeps dropped
+/// frames cheap, a deep attempt budget makes run failure effectively
+/// impossible at the smoke's fault rates.
+const CHAOS_RETRY: RetryPolicy = RetryPolicy {
+    max_attempts: 6,
+    timeout_us: 5_000,
+    backoff_base_us: 100,
+    backoff_factor: 2,
+    jitter_pct: 25,
+};
+
+/// Deterministic results of the chaos smoke, for the gate and the report.
+struct ChaosOutcome {
+    seed: u64,
+    makespan_s: f64,
+    retries: u64,
+    gpu_trips: u64,
+    migrations: u64,
+    dedup_hits: u64,
+    requests: u64,
+}
+
+/// 4 vectorAdd VPs on two host GPUs, optionally under a fault plan.
+fn chaos_fleet(arch: &GpuArch, plan: Option<FaultPlan>) -> (ThreadedReport, DispatchStats) {
+    let app = VectorAddApp { n: 2048 };
+    let registry: KernelRegistry = app.kernels().into_iter().collect();
+    let mut sys = DispatchedSigmaVp::new(
+        vec![arch.clone(), arch.clone()],
+        registry,
+        TransportCost::shared_memory(),
+    )
+    .with_policy(sigmavp::Policy::Fifo.with_retry(CHAOS_RETRY));
+    if let Some(plan) = plan {
+        sys = sys.with_faults(plan);
+    }
+    for _ in 0..4 {
+        sys.spawn(Box::new(VectorAddApp { n: 2048 }));
+    }
+    sys.join()
+}
+
+/// The chaos smoke: calibrate a kill time from a fault-free run, then kill
+/// GPU 1 mid-run under a lossy link and verify exactly-once completion on the
+/// survivor. Counters are measured as snapshot deltas so earlier sections of
+/// the audit cannot contaminate them.
+fn run_chaos(
+    seed: u64,
+    arch: &GpuArch,
+    telemetry: &sigmavp_telemetry::Telemetry,
+) -> Result<ChaosOutcome, String> {
+    let (clean, _) = chaos_fleet(arch, None);
+    if !clean.all_ok() {
+        return Err(format!("chaos calibration run failed: {:?}", clean.outcomes));
+    }
+    let t_total = clean.outcomes.iter().map(|o| o.simulated_time_s).fold(0.0f64, f64::max);
+    let t_kill = 0.4 * t_total;
+    let plan = FaultPlan::seeded(seed)
+        .with_link(LinkFaultConfig::lossy(0.05, 0.03).with_delay(0.04, 50e-6))
+        .with_outage(1, t_kill);
+    let before = telemetry.snapshot();
+    let (report, stats) = chaos_fleet(arch, Some(plan));
+    let after = telemetry.snapshot();
+    if !report.all_ok() {
+        return Err(format!(
+            "chaos run failed: outcomes {:?}, failed vps {:?}",
+            report.outcomes, report.failed_vps
+        ));
+    }
+    let unique: std::collections::HashSet<(u32, u64)> =
+        report.records.iter().map(|r| (r.vp.0, r.seq)).collect();
+    if report.records.len() != 4 * 4 || unique.len() != report.records.len() {
+        return Err(format!(
+            "chaos run lost or double-executed jobs: {} records, {} unique",
+            report.records.len(),
+            unique.len()
+        ));
+    }
+    if report.device_records[1].iter().any(|r| r.sent_at_s >= t_kill) {
+        return Err("chaos run executed a job on the dead gpu after the kill".into());
+    }
+    let delta = |name: &str| {
+        after.counter(name).unwrap_or(0).saturating_sub(before.counter(name).unwrap_or(0))
+    };
+    Ok(ChaosOutcome {
+        seed,
+        makespan_s: report.device_makespan_s,
+        retries: delta("fault.retries"),
+        gpu_trips: delta("fault.gpu_trips"),
+        migrations: delta("fault.migrations"),
+        dedup_hits: delta("fault.dedup_hits"),
+        requests: stats.requests,
+    })
 }
 
 fn phase_name(phase: PathPhase) -> &'static str {
@@ -374,6 +481,15 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     let wall_lifecycles = join_lifecycles(&telemetry.drain_events());
+
+    // --- Chaos smoke: kill a GPU mid-run under a lossy link. -----------------
+    let chaos = match run_chaos(args.fault_seed, &arch, &telemetry) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("audit: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let snapshot = telemetry.snapshot();
 
     // --- Gate metrics (deterministic simulated quantities only). -------------
@@ -390,6 +506,12 @@ fn main() -> ExitCode {
         ("coalesce6.eq9_residual_frac".into(), report.entry("eq9").expect("pushed").residual_frac),
         ("coalesce6.merged_members".into(), coalesce6.plan.coalesced_members() as f64),
         ("trace.dropped_events".into(), snapshot.dropped_events as f64),
+        // The chaos smoke's fault story is fully seed-determined: the same seed
+        // must reproduce the same retries, trips, migrations, and makespan.
+        ("chaos.makespan_s".into(), chaos.makespan_s),
+        ("chaos.fault_retries".into(), chaos.retries as f64),
+        ("chaos.gpu_trips".into(), chaos.gpu_trips as f64),
+        ("chaos.migrations".into(), chaos.migrations as f64),
     ];
 
     // --- BENCH_audit.json. ----------------------------------------------------
@@ -427,11 +549,22 @@ fn main() -> ExitCode {
     };
     json.push_str(&format!(
         "  \"live\": {{\"requests\": {}, \"jobs_joined\": {}, \"queue_wait_mean_s\": {:.9e}, \
-         \"dropped_events\": {}}}\n}}\n",
+         \"dropped_events\": {}}},\n",
         stats.requests,
         wall_lifecycles.len(),
         queue_wait_mean_s,
         snapshot.dropped_events
+    ));
+    json.push_str(&format!(
+        "  \"chaos\": {{\"seed\": {}, \"makespan_s\": {:.9e}, \"requests\": {}, \
+         \"fault_retries\": {}, \"gpu_trips\": {}, \"migrations\": {}, \"dedup_hits\": {}}}\n}}\n",
+        chaos.seed,
+        chaos.makespan_s,
+        chaos.requests,
+        chaos.retries,
+        chaos.gpu_trips,
+        chaos.migrations,
+        chaos.dedup_hits
     ));
     if let Err(e) = std::fs::write(&args.out, &json) {
         eprintln!("audit: cannot write {}: {e}", args.out);
@@ -471,6 +604,17 @@ fn main() -> ExitCode {
         stats.requests,
         wall_lifecycles.len(),
         queue_wait_mean_s * 1e3
+    );
+    println!(
+        "chaos (seed {}): survived gpu kill — {} requests, {} retries, {} dedup hits, \
+         {} trip(s), {} migration(s), makespan {:.3} ms",
+        chaos.seed,
+        chaos.requests,
+        chaos.retries,
+        chaos.dedup_hits,
+        chaos.gpu_trips,
+        chaos.migrations,
+        chaos.makespan_s * 1e3
     );
     println!("wrote {}", args.out);
 

@@ -4,8 +4,8 @@
 //! Unlike [`threaded`](crate::threaded) (where the host-runtime mutex stands in
 //! for the Job Queue), this module runs the paper's architecture literally:
 //!
-//! * each VP thread talks through a real [`ChannelTransport`] endpoint — frames
-//!   are encoded, sent, and decoded on the other side;
+//! * each VP thread talks through a real transport endpoint — frames are
+//!   encoded, sent, and decoded on the other side;
 //! * a **dispatcher thread** polls every VP endpoint, pushes decoded requests into
 //!   the actual [`JobQueue`], *re-orders the pending window* with the scheduling
 //!   [`Pipeline`](sigmavp_sched::Pipeline) using expected durations, executes
@@ -21,18 +21,42 @@
 //! request per VP — which is precisely why the paper needs VP stop/resume to get
 //! deep interleaving; the window reordering here captures what reordering *can*
 //! do without it.
+//!
+//! # Fault tolerance
+//!
+//! The dispatcher is the supervision point of the fault model (DESIGN.md §10).
+//! With [`DispatchedSigmaVp::with_faults`] every VP link is wrapped in a
+//! [`FaultyTransport`] that injects the plan's drops, corruption and delays, and
+//! the dispatcher injects the plan's transient device errors and honours its
+//! scheduled outages. Robustness comes from three cooperating mechanisms:
+//!
+//! * **request-level retry** — [`RemoteGpu`] retries on receive timeout, corrupt
+//!   response, or a `transient:` device error, with exponential backoff and
+//!   jitter from the [`Policy`]'s [`RetryPolicy`];
+//! * **effect-once dedup** — retries reuse the request's sequence number; the
+//!   dispatcher caches the last *executed* response per VP and resends it on a
+//!   duplicate instead of re-executing, so a lost response never double-applies
+//!   a kernel or memcpy;
+//! * **failover** — per-device circuit breakers trip after consecutive
+//!   failures; VPs on a dead device are migrated to the least-loaded survivor
+//!   by the [`Rebalance`](sigmavp_sched::Rebalance) pass, their device state
+//!   reconstructed by replaying the journal of successful mutating requests.
 
-use std::collections::HashMap;
-use std::thread::JoinHandle;
-use std::time::Instant;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
+use sigmavp_fault::{
+    is_transient_error, replay_journal, CircuitBreaker, DedupCache, DropNotice, FaultPlan,
+    FaultyTransport, HandleMap, LinkDirection, VpJournal, TRANSIENT_ERROR_PREFIX,
+};
 use sigmavp_gpu::GpuArch;
 use sigmavp_ipc::codec;
-use sigmavp_ipc::message::{Request, Response, ResponseEnvelope, VpId, WireParam};
+use sigmavp_ipc::message::{Envelope, Request, Response, ResponseEnvelope, VpId, WireParam};
 use sigmavp_ipc::queue::{Job, JobKind, JobQueue};
-use sigmavp_ipc::transport::{pair, ChannelTransport, Transport, TransportCost};
+use sigmavp_ipc::transport::{pair, Transport, TransportCost};
 use sigmavp_ipc::IpcError;
-use sigmavp_sched::{PassCtx, Pipeline, Policy};
+use sigmavp_sched::{DeviceView, PassCtx, Pipeline, Policy, RetryPolicy};
 use sigmavp_telemetry::{Lane, TimeDomain};
 use sigmavp_vp::error::VpError;
 use sigmavp_vp::platform::{SimClock, VirtualPlatform};
@@ -42,48 +66,129 @@ use sigmavp_workloads::app::{AppEnv, Application};
 
 use crate::host::{JobRecord, RecordKind};
 use crate::session::ExecutionSession;
-use crate::threaded::{ThreadedReport, VpOutcome};
+use crate::threaded::{collect_vp_outcomes, ThreadedReport, VpHandle, VpOutcome};
 
-/// Guest-side [`GpuService`] over a real transport endpoint.
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Guest-side [`GpuService`] over a real transport endpoint, with request-level
+/// retry.
+///
+/// Every request carries a stable sequence number that retries *reuse*, so the
+/// host can deduplicate: a retry after a lost response gets the cached response
+/// back instead of a second execution. Receive timeouts, corrupt response
+/// frames, and `transient:` device errors are retried up to
+/// [`RetryPolicy::max_attempts`] with exponential backoff and jitter; anything
+/// else surfaces as a [`VpError`] preserving the IPC cause.
+/// Wall-clock floor on every receive wait; see the comment at its use site.
+const WALL_DEADLINE_BACKSTOP: Duration = Duration::from_secs(2);
+
 struct RemoteGpu {
     vp: VpId,
-    transport: ChannelTransport,
+    transport: Box<dyn Transport>,
     seq: u64,
     /// Shared view of the owning VP's simulated clock; stamps every request's
     /// `sent_at_s` so the host can measure guest-observed queueing delay.
     clock: SimClock,
+    retry: RetryPolicy,
+    /// Jitter source for backoff; seeded per VP (and from the fault plan when
+    /// one is active) so runs are reproducible.
+    rng: StdRng,
 }
 
 impl RemoteGpu {
     fn round_trip(&mut self, body: Request) -> Result<(Response, f64), VpError> {
-        let envelope = sigmavp_ipc::message::Envelope {
-            vp: self.vp,
-            seq: self.seq,
-            sent_at_s: self.clock.now_s(),
-            body,
-        };
+        let seq = self.seq;
         self.seq += 1;
         let recorder = sigmavp_telemetry::recorder();
         let sent_wall_s = recorder.wall_now_s();
         let sent = Instant::now();
-        let frame = codec::encode_request(&envelope);
-        let out_delay = self.transport.send(frame).map_err(|_| VpError::Disconnected)?;
-        let resp_frame = self.transport.recv().map_err(|_| VpError::Disconnected)?;
-        // The guest-observed round trip, stamped with the job uid so lifecycle
-        // joins can line the envelope send up against the host-side spans.
-        recorder.span_for_job(
-            TimeDomain::Wall,
-            Lane::Vp(envelope.vp.0),
-            "request",
-            sent_wall_s,
-            sent.elapsed().as_secs_f64(),
-            sigmavp_telemetry::job_uid(envelope.vp.0, envelope.seq),
-        );
-        let back_delay = self.transport.cost().delay_for(resp_frame.len() as u64);
-        let decoded = codec::decode_response(&resp_frame).map_err(|_| VpError::Disconnected)?;
-        match decoded.body {
-            Response::Error { message } => Err(VpError::Device(message)),
-            other => Ok((other, out_delay + back_delay)),
+        // Simulated time spent waiting out timeouts and backoff; folded into the
+        // returned delay so the guest clock reflects the recovery cost.
+        let mut extra_sim_s = 0.0f64;
+        let mut attempts = 0u32;
+        let mut last_err = IpcError::Timeout { waited_us: 0 };
+        loop {
+            attempts += 1;
+            let envelope = Envelope {
+                vp: self.vp,
+                seq,
+                sent_at_s: self.clock.now_s() + extra_sim_s,
+                body: body.clone(),
+            };
+            let frame = codec::encode_request(&envelope);
+            let out_delay = self.transport.send(frame).map_err(VpError::Ipc)?;
+            // Injected faults time out instantly through the link's
+            // DropNotice, so this wall deadline is only a liveness backstop
+            // against a genuinely wedged host. It is deliberately far above
+            // RetryPolicy::timeout (the *simulated* wait charged to the
+            // guest): a starved dispatcher on a loaded CI machine must not be
+            // mistaken for a dropped frame, or fault counters stop being
+            // reproducible.
+            let deadline = Instant::now() + self.retry.timeout().max(WALL_DEADLINE_BACKSTOP);
+            // `Some` once a frame for *this* request decoded; stale responses
+            // (retries answered twice) are discarded without ending the wait.
+            let accepted = loop {
+                match self.transport.recv_deadline(deadline).map_err(VpError::Ipc)? {
+                    Some(resp_frame) => {
+                        let back_delay = self.transport.cost().delay_for(resp_frame.len() as u64);
+                        match codec::decode_response(&resp_frame) {
+                            Ok(decoded) if decoded.seq < seq => {
+                                recorder.count("fault.stale_responses", 1);
+                                continue;
+                            }
+                            Ok(decoded) => break Some((decoded, back_delay)),
+                            Err(e) => {
+                                recorder.count("fault.corrupt_responses", 1);
+                                last_err = e;
+                                break None;
+                            }
+                        }
+                    }
+                    None => {
+                        recorder.count("fault.timeouts", 1);
+                        last_err = IpcError::Timeout { waited_us: self.retry.timeout_us };
+                        extra_sim_s += self.retry.timeout_s();
+                        break None;
+                    }
+                }
+            };
+            match accepted {
+                Some((decoded, back_delay)) => match decoded.body {
+                    Response::Error { message } if is_transient_error(&message) => {
+                        if attempts >= self.retry.max_attempts {
+                            return Err(VpError::Device(message));
+                        }
+                    }
+                    Response::Error { message } => return Err(VpError::Device(message)),
+                    other => {
+                        // The guest-observed round trip, stamped with the job uid
+                        // so lifecycle joins can line the envelope send up against
+                        // the host-side spans.
+                        recorder.span_for_job(
+                            TimeDomain::Wall,
+                            Lane::Vp(self.vp.0),
+                            "request",
+                            sent_wall_s,
+                            sent.elapsed().as_secs_f64(),
+                            sigmavp_telemetry::job_uid(self.vp.0, seq),
+                        );
+                        return Ok((other, out_delay + back_delay + extra_sim_s));
+                    }
+                },
+                None => {
+                    if attempts >= self.retry.max_attempts {
+                        return Err(VpError::Ipc(last_err));
+                    }
+                }
+            }
+            recorder.count("fault.retries", 1);
+            let unit: f64 = self.rng.gen_range(0.0..1.0);
+            let backoff = self.retry.backoff_s(attempts, unit);
+            extra_sim_s += backoff;
+            if backoff > 0.0 {
+                std::thread::sleep(std::time::Duration::from_secs_f64(backoff.min(0.005)));
+            }
         }
     }
 }
@@ -173,6 +278,12 @@ pub struct DispatchStats {
     pub multi_job_windows: u64,
     /// Largest pending window observed.
     pub max_window: usize,
+    /// Duplicate requests answered from the dedup cache instead of re-executed.
+    pub dedup_hits: u64,
+    /// VP migrations performed after a device went down.
+    pub migrations: u64,
+    /// Host GPUs taken out of service (scheduled outage or tripped breaker).
+    pub gpu_trips: u64,
 }
 
 /// A live ΣVP system with an explicit dispatcher thread over real transports.
@@ -184,6 +295,7 @@ pub struct DispatchedSigmaVp {
     pending: Vec<(VpId, Box<dyn Application + Send>)>,
     coalescible: HashMap<VpId, bool>,
     next_vp: u32,
+    faults: Option<Arc<FaultPlan>>,
 }
 
 impl DispatchedSigmaVp {
@@ -204,6 +316,7 @@ impl DispatchedSigmaVp {
             pending: Vec::new(),
             coalescible: HashMap::new(),
             next_vp: 0,
+            faults: None,
         }
     }
 
@@ -220,6 +333,14 @@ impl DispatchedSigmaVp {
         self
     }
 
+    /// Inject faults from a deterministic [`FaultPlan`]: every VP link is
+    /// wrapped in a [`FaultyTransport`] seeded from the plan, and the
+    /// dispatcher honours the plan's device outages and transient errors.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(Arc::new(plan));
+        self
+    }
+
     /// Register an application to run on its own VP thread. Returns the VP id.
     pub fn spawn(&mut self, app: Box<dyn Application + Send>) -> VpId {
         let vp = VpId(self.next_vp);
@@ -230,26 +351,66 @@ impl DispatchedSigmaVp {
     }
 
     /// Launch the VP threads and the dispatcher, wait for completion, and collect
-    /// the report plus dispatcher statistics.
+    /// the report plus dispatcher statistics. A VP thread that fails or panics
+    /// lands in [`ThreadedReport::failed_vps`] without aborting the fleet.
     ///
     /// # Panics
     ///
-    /// Panics if a VP thread or the dispatcher panics (bugs, not guest failures).
+    /// Panics if the dispatcher thread itself panics (a bug, not a guest failure).
     pub fn join(self) -> (ThreadedReport, DispatchStats) {
         let mut session = ExecutionSession::new(self.archs, self.registry, self.cost)
             .expect("constructor checked for at least one device");
 
-        // One transport pair per VP; route each VP to a device up front.
-        let mut host_ends: Vec<(VpId, ChannelTransport)> = Vec::new();
-        let mut handles: Vec<JoinHandle<VpOutcome>> = Vec::new();
+        // One transport pair per VP; route each VP to a device up front. With a
+        // fault plan active, both ends of the link go through a FaultyTransport
+        // carrying that direction's deterministic decision stream.
+        let mut host_ends: Vec<(VpId, Box<dyn Transport>)> = Vec::new();
+        let mut handles: Vec<VpHandle> = Vec::new();
+        let retry = self.policy.retry;
         for (vp, app) in self.pending {
             session.assign(vp);
             let (vp_end, host_end) = pair(self.cost);
-            host_ends.push((vp, host_end));
-            handles.push(std::thread::spawn(move || {
+            let (guest_transport, host_transport): (Box<dyn Transport>, Box<dyn Transport>) =
+                match &self.faults {
+                    Some(plan) => {
+                        // Both ends share a DropNotice so an injected drop (or
+                        // an undecodable request) times the guest out in
+                        // simulated time immediately — wall-clock scheduling
+                        // never decides whether a retry happens.
+                        let notice = DropNotice::new();
+                        (
+                            Box::new(
+                                FaultyTransport::new(
+                                    vp_end,
+                                    plan.link_faults(vp, LinkDirection::GuestToHost),
+                                )
+                                .with_notice(notice.clone(), true),
+                            ),
+                            Box::new(
+                                FaultyTransport::new(
+                                    host_end,
+                                    plan.link_faults(vp, LinkDirection::HostToGuest),
+                                )
+                                .with_notice(notice, false),
+                            ),
+                        )
+                    }
+                    None => (Box::new(vp_end), Box::new(host_end)),
+                };
+            host_ends.push((vp, host_transport));
+            let jitter_seed = self.faults.as_ref().map_or(0, |p| p.seed())
+                ^ u64::from(vp.0).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let app_name = app.name().to_string();
+            let handle = std::thread::spawn(move || {
                 let mut platform = VirtualPlatform::new(vp);
-                let mut service =
-                    RemoteGpu { vp, transport: vp_end, seq: 0, clock: platform.clock_handle() };
+                let mut service = RemoteGpu {
+                    vp,
+                    transport: guest_transport,
+                    seq: 0,
+                    clock: platform.clock_handle(),
+                    retry,
+                    rng: StdRng::seed_from_u64(jitter_seed),
+                };
                 let recorder = sigmavp_telemetry::recorder();
                 let started_wall_s = recorder.wall_now_s();
                 let started = Instant::now();
@@ -264,31 +425,36 @@ impl DispatchedSigmaVp {
                     started_wall_s,
                     started.elapsed().as_secs_f64(),
                 );
-                VpOutcome {
+                let error = result.err();
+                let outcome = VpOutcome {
                     vp,
                     app: app.name().to_string(),
                     simulated_time_s: platform.now_s(),
                     gpu_calls: platform.stats().gpu_calls,
-                    error: result.err().map(|e| e.to_string()),
-                }
-            }));
+                    error: error.as_ref().map(|e| e.to_string()),
+                };
+                (outcome, error)
+            });
+            handles.push((vp, app_name, handle));
         }
 
         let dispatcher = {
             let pipeline = Pipeline::from_policy(&self.policy);
             let coalescible = self.coalescible;
-            std::thread::spawn(move || run_dispatcher(session, host_ends, pipeline, coalescible))
+            let faults = self.faults.clone();
+            std::thread::spawn(move || {
+                run_dispatcher(session, host_ends, pipeline, coalescible, faults)
+            })
         };
 
-        let mut outcomes: Vec<VpOutcome> =
-            handles.into_iter().map(|h| h.join().expect("vp thread must not panic")).collect();
-        outcomes.sort_by_key(|o| o.vp);
+        let (outcomes, failed_vps) = collect_vp_outcomes(handles);
         let (outcome, stats) = dispatcher.join().expect("dispatcher must not panic");
         let report = ThreadedReport {
             outcomes,
             records: outcome.flat_records(),
             device_makespan_s: outcome.makespan_s(),
             device_records: outcome.devices.into_iter().map(|d| d.records).collect(),
+            failed_vps,
         };
         (report, stats)
     }
@@ -303,84 +469,229 @@ fn dispatch_span_name(job: &Job) -> String {
     }
 }
 
+/// Dispatcher-side supervision state: per-device health, effect-once dedup,
+/// and per-VP journals for failover replay.
+struct Supervision {
+    plan: Option<Arc<FaultPlan>>,
+    breakers: Vec<CircuitBreaker>,
+    /// Whether each device's trip has already been noticed (counted + marked).
+    down_noticed: Vec<bool>,
+    /// Attempted operations per device; indexes the plan's transient schedule.
+    op_count: Vec<u64>,
+    dedup: DedupCache,
+    journals: HashMap<VpId, VpJournal>,
+    /// Handle translation for migrated VPs (guest handle space → survivor's).
+    maps: HashMap<VpId, HandleMap>,
+    /// Requests currently enqueued but not yet executed, as `(vp, seq)`;
+    /// guards against a delayed duplicate being enqueued twice.
+    in_flight: HashSet<(u32, u64)>,
+}
+
+impl Supervision {
+    fn new(plan: Option<Arc<FaultPlan>>, devices: usize) -> Self {
+        let threshold = plan
+            .as_ref()
+            .map_or(sigmavp_fault::plan::DEFAULT_BREAKER_THRESHOLD, |p| p.breaker_threshold());
+        Supervision {
+            plan,
+            breakers: (0..devices).map(|_| CircuitBreaker::new(threshold)).collect(),
+            down_noticed: vec![false; devices],
+            op_count: vec![0; devices],
+            dedup: DedupCache::new(),
+            journals: HashMap::new(),
+            maps: HashMap::new(),
+            in_flight: HashSet::new(),
+        }
+    }
+
+    /// Is `device` out of service for a request stamped at `sim_s`?
+    fn is_down(&self, session: &ExecutionSession, device: usize, sim_s: f64) -> bool {
+        !session.is_healthy(device)
+            || self.breakers[device].is_open()
+            || self.plan.as_ref().is_some_and(|p| p.device_down(device, sim_s))
+    }
+}
+
+/// Take `device` out of service (idempotent): mark it unhealthy for routing,
+/// trip its breaker, and emit the trip telemetry exactly once.
+fn mark_device_down(
+    session: &mut ExecutionSession,
+    sup: &mut Supervision,
+    stats: &mut DispatchStats,
+    device: usize,
+) {
+    if sup.down_noticed[device] {
+        return;
+    }
+    sup.down_noticed[device] = true;
+    sup.breakers[device].trip();
+    session.mark_down(device);
+    stats.gpu_trips += 1;
+    let recorder = sigmavp_telemetry::recorder();
+    recorder.count("fault.gpu_trips", 1);
+    recorder.gauge_set("fault.healthy_gpus", session.healthy_count() as f64);
+    if session.healthy_count() <= 1 {
+        // Graceful degradation: the fleet continues on a single device.
+        recorder.gauge_set("fault.degraded_mode", 1.0);
+    }
+}
+
+/// Move `vp` onto `target`, reconstructing its device state by replaying the
+/// journal of successful mutating requests (without re-recording them in the
+/// timeline) and installing the resulting handle translation map.
+fn migrate_vp(
+    session: &mut ExecutionSession,
+    sup: &mut Supervision,
+    stats: &mut DispatchStats,
+    vp: VpId,
+    target: usize,
+) {
+    let Some(current) = session.device_of(vp) else { return };
+    if current == target {
+        return;
+    }
+    mark_device_down(session, sup, stats, current);
+    let recorder = sigmavp_telemetry::recorder();
+    let started_wall_s = recorder.wall_now_s();
+    let started = Instant::now();
+    let journal = sup.journals.entry(vp).or_default();
+    let replayed = journal.len() as u64;
+    let runtime = session.runtime(target);
+    let replay = {
+        let mut rt = runtime.lock();
+        replay_journal(journal, |request| {
+            let envelope = Envelope { vp, seq: u64::MAX, sent_at_s: 0.0, body: request.clone() };
+            rt.process_replay(&envelope).body
+        })
+    };
+    match replay {
+        Ok(map) => {
+            sup.maps.insert(vp, map);
+            recorder.count("fault.replayed_jobs", replayed);
+        }
+        Err(_) => {
+            // The survivor rejected part of the replay; the VP keeps running but
+            // requests touching unmapped handles will surface as guest errors.
+            recorder.count("fault.replay_failures", 1);
+            sup.maps.insert(vp, HandleMap::new());
+        }
+    }
+    session.reassign(vp, target);
+    stats.migrations += 1;
+    recorder.count("fault.migrations", 1);
+    recorder.span(
+        TimeDomain::Wall,
+        Lane::Dispatcher,
+        format!("migrate VP {} -> gpu{target}", vp.0),
+        started_wall_s,
+        started.elapsed().as_secs_f64(),
+    );
+}
+
 /// The host-side dispatcher loop.
 fn run_dispatcher(
     mut session: ExecutionSession,
-    mut endpoints: Vec<(VpId, ChannelTransport)>,
+    mut endpoints: Vec<(VpId, Box<dyn Transport>)>,
     pipeline: Pipeline,
     coalescible: HashMap<VpId, bool>,
+    faults: Option<Arc<FaultPlan>>,
 ) -> (crate::session::SessionOutcome, DispatchStats) {
     let queue = JobQueue::new();
     let mut stats = DispatchStats::default();
     let recorder = sigmavp_telemetry::recorder();
-    // The window is a live reorder: coalescing decisions happen post-hoc in the
-    // session plan, not on in-flight synchronous requests.
-    let window_ctx = PassCtx::reorder_only();
+    let mut sup = Supervision::new(faults, session.device_count());
     // The profiler feedback loop: last observed duration per kernel name.
     let mut expected_kernel_s: HashMap<String, f64> = HashMap::new();
     // Envelopes waiting for execution, keyed by job id, with the wall-clock
     // instant (and collector-relative timestamp) the request arrived at the
     // dispatcher.
-    let mut waiting: HashMap<u64, (sigmavp_ipc::message::Envelope, Instant, f64)> = HashMap::new();
+    let mut waiting: HashMap<u64, (Envelope, Instant, f64)> = HashMap::new();
 
     loop {
-        // 1. Gather: poll every endpoint once; enqueue decoded requests.
+        // 1. Gather: poll every endpoint once, then triage the frames — corrupt
+        //    frames are dropped (the guest retries), duplicates of an executed
+        //    request are answered from the dedup cache, duplicates of a pending
+        //    request are ignored, the rest are enqueued.
         let mut any = false;
+        let mut frames: Vec<(VpId, bytes::Bytes)> = Vec::new();
         endpoints.retain(|(vp, endpoint)| match endpoint.try_recv() {
             Ok(Some(frame)) => {
                 any = true;
-                let envelope = codec::decode_request(&frame).expect("vp sends valid frames");
-                debug_assert_eq!(envelope.vp, *vp);
-                let id = queue.next_id();
-                let kind = match &envelope.body {
-                    Request::MemcpyH2D { data, .. } => JobKind::CopyIn { bytes: data.len() as u64 },
-                    Request::MemcpyD2H { len, .. } => JobKind::CopyOut { bytes: *len },
-                    Request::Launch { kernel, grid_dim, block_dim, .. } => JobKind::Kernel {
-                        name: kernel.clone(),
-                        grid_dim: *grid_dim,
-                        block_dim: *block_dim,
-                    },
-                    // Control requests (malloc/free/sync) are cheap; model them as
-                    // zero-byte copies so they flow through the same queue.
-                    _ => JobKind::CopyIn { bytes: 0 },
-                };
-                let device = session.device_of(*vp).expect("join assigned every vp");
-                let expected = match &kind {
-                    JobKind::CopyIn { bytes } | JobKind::CopyOut { bytes } => {
-                        session.arch(device).copy_time_s(*bytes)
-                    }
-                    JobKind::Kernel { name, .. } => {
-                        // The profiler feedback loop, observed: a hit means a
-                        // previous launch of this kernel already taught the
-                        // re-scheduler its expected duration.
-                        if let Some(t) = expected_kernel_s.get(name) {
-                            recorder.count("profiler.feedback.hits", 1);
-                            *t
-                        } else {
-                            recorder.count("profiler.feedback.misses", 1);
-                            0.0
-                        }
-                    }
-                };
-                queue.push(Job {
-                    id,
-                    vp: *vp,
-                    seq: envelope.seq,
-                    kind,
-                    sync: true,
-                    enqueued_at_s: envelope.sent_at_s,
-                    expected_duration_s: expected,
-                });
-                waiting.insert(id.0, (envelope, Instant::now(), recorder.wall_now_s()));
+                frames.push((*vp, frame));
                 true
             }
             Ok(None) => true,
             Err(IpcError::Disconnected) => false,
             Err(_) => false,
         });
+        for (vp, frame) in frames {
+            let Ok(envelope) = codec::decode_request(&frame) else {
+                recorder.count("fault.corrupt_frames", 1);
+                continue;
+            };
+            debug_assert_eq!(envelope.vp, vp);
+            if let Some(cached) = sup.dedup.lookup(vp, envelope.seq) {
+                // Effect-once: this request already executed but its response was
+                // lost in flight; resend the cached response without re-executing.
+                stats.dedup_hits += 1;
+                recorder.count("fault.dedup_hits", 1);
+                let resend = codec::encode_response(cached);
+                if let Some((_, endpoint)) = endpoints.iter().find(|(v, _)| *v == vp) {
+                    let _ = endpoint.send(resend);
+                }
+                continue;
+            }
+            if !sup.in_flight.insert((vp.0, envelope.seq)) {
+                // A delayed duplicate of a request that is still queued.
+                continue;
+            }
+            let id = queue.next_id();
+            let kind = match &envelope.body {
+                Request::MemcpyH2D { data, .. } => JobKind::CopyIn { bytes: data.len() as u64 },
+                Request::MemcpyD2H { len, .. } => JobKind::CopyOut { bytes: *len },
+                Request::Launch { kernel, grid_dim, block_dim, .. } => JobKind::Kernel {
+                    name: kernel.clone(),
+                    grid_dim: *grid_dim,
+                    block_dim: *block_dim,
+                },
+                // Control requests (malloc/free/sync) are cheap; model them as
+                // zero-byte copies so they flow through the same queue.
+                _ => JobKind::CopyIn { bytes: 0 },
+            };
+            let device = session.device_of(vp).expect("join assigned every vp");
+            let expected = match &kind {
+                JobKind::CopyIn { bytes } | JobKind::CopyOut { bytes } => {
+                    session.arch(device).copy_time_s(*bytes)
+                }
+                JobKind::Kernel { name, .. } => {
+                    // The profiler feedback loop, observed: a hit means a
+                    // previous launch of this kernel already taught the
+                    // re-scheduler its expected duration.
+                    if let Some(t) = expected_kernel_s.get(name) {
+                        recorder.count("profiler.feedback.hits", 1);
+                        *t
+                    } else {
+                        recorder.count("profiler.feedback.misses", 1);
+                        0.0
+                    }
+                }
+            };
+            queue.push(Job {
+                id,
+                vp,
+                seq: envelope.seq,
+                kind,
+                sync: true,
+                enqueued_at_s: envelope.sent_at_s,
+                expected_duration_s: expected,
+            });
+            waiting.insert(id.0, (envelope, Instant::now(), recorder.wall_now_s()));
+        }
 
         // 2. Re-schedule the pending window (the paper's asynchronous reordering,
-        //    Fig. 4a) through the shared pipeline and dispatch it.
+        //    Fig. 4a) through the shared pipeline — including the rebalance pass,
+        //    which sees per-device health and plans migrations off dead GPUs —
+        //    then dispatch it.
         let window = queue.drain_all();
         if window.len() > 1 {
             stats.multi_job_windows += 1;
@@ -391,16 +702,133 @@ fn run_dispatcher(
             recorder.observe_s("dispatch.window_jobs", window.len() as f64);
         }
         stats.max_window = stats.max_window.max(window.len());
-        for job in pipeline.plan(window, &window_ctx).jobs {
+        let planned = {
+            let mut queued = vec![0.0f64; session.device_count()];
+            for job in &window {
+                if let Some(d) = session.device_of(job.vp) {
+                    queued[d] += job.expected_duration_s;
+                }
+            }
+            let route = |vp: VpId| session.device_of(vp);
+            let down_for = |d: usize, t: f64| sup.is_down(&session, d, t);
+            let view = DeviceView { queued_s: &queued, route: &route, down_for: &down_for };
+            let ctx = PassCtx::reorder_only().with_devices(&view);
+            pipeline.plan(window, &ctx)
+        };
+        for (vp, target) in planned.migrations {
+            migrate_vp(&mut session, &mut sup, &mut stats, vp, target);
+        }
+        for job in planned.jobs {
             let (envelope, arrived, arrived_wall_s) =
                 waiting.remove(&job.id.0).expect("every job has an envelope");
-            let device = session.device_of(envelope.vp).expect("join assigned every vp");
+            let vp = envelope.vp;
+            let sent_at_s = envelope.sent_at_s;
+            let mut device = session.device_of(vp).expect("join assigned every vp");
+            // Safety net behind the rebalance pass: if the device went down
+            // after planning (or the plan saw an earlier timestamp), fail over
+            // now — or degrade to an error when no survivor is left.
+            if sup.is_down(&session, device, sent_at_s) {
+                mark_device_down(&mut session, &mut sup, &mut stats, device);
+                let survivor = (0..session.device_count())
+                    .find(|&d| d != device && !sup.is_down(&session, d, sent_at_s));
+                match survivor {
+                    Some(target) => {
+                        migrate_vp(&mut session, &mut sup, &mut stats, vp, target);
+                        device = target;
+                    }
+                    None => {
+                        recorder.count("fault.no_survivor", 1);
+                        let response = ResponseEnvelope {
+                            vp,
+                            seq: envelope.seq,
+                            sent_at_s,
+                            body: Response::Error {
+                                message: format!("no surviving host gpu: device {device} is down"),
+                            },
+                        };
+                        stats.requests += 1;
+                        sup.in_flight.remove(&(vp.0, envelope.seq));
+                        let frame = codec::encode_response(&response);
+                        if let Some((_, endpoint)) = endpoints.iter().find(|(v, _)| *v == vp) {
+                            let _ = endpoint.send(frame);
+                        }
+                        continue;
+                    }
+                }
+            }
+            // Transient device-error injection: the plan marks attempted
+            // operation indexes per device; an injected failure feeds the
+            // breaker and is *not* cached, so the guest's retry re-executes.
+            let op = sup.op_count[device];
+            sup.op_count[device] += 1;
+            if sup.plan.as_ref().is_some_and(|p| p.transient_at(device, op)) {
+                recorder.count("fault.injected.transient", 1);
+                if sup.breakers[device].record_failure() {
+                    mark_device_down(&mut session, &mut sup, &mut stats, device);
+                }
+                let response = ResponseEnvelope {
+                    vp,
+                    seq: envelope.seq,
+                    sent_at_s,
+                    body: Response::Error {
+                        message: format!("{TRANSIENT_ERROR_PREFIX} injected device fault"),
+                    },
+                };
+                stats.requests += 1;
+                sup.in_flight.remove(&(vp.0, envelope.seq));
+                let frame = codec::encode_response(&response);
+                if let Some((_, endpoint)) = endpoints.iter().find(|(v, _)| *v == vp) {
+                    let _ = endpoint.send(frame);
+                }
+                continue;
+            }
+            sup.breakers[device].record_success();
+            // Migrated VPs keep their original guest handle space; translate
+            // through the map built by the journal replay.
+            let exec_body = match sup.maps.get(&vp) {
+                Some(map) => match map.translate(&envelope.body) {
+                    Ok(body) => body,
+                    Err(handle) => {
+                        let response = ResponseEnvelope {
+                            vp,
+                            seq: envelope.seq,
+                            sent_at_s,
+                            body: Response::Error {
+                                message: format!("handle {handle} was lost in failover"),
+                            },
+                        };
+                        stats.requests += 1;
+                        sup.in_flight.remove(&(vp.0, envelope.seq));
+                        let frame = codec::encode_response(&response);
+                        if let Some((_, endpoint)) = endpoints.iter().find(|(v, _)| *v == vp) {
+                            let _ = endpoint.send(frame);
+                        }
+                        continue;
+                    }
+                },
+                None => envelope.body.clone(),
+            };
+            let exec_envelope = Envelope { vp, seq: envelope.seq, sent_at_s, body: exec_body };
             let runtime = session.runtime(device);
             let exec_started_wall_s = recorder.wall_now_s();
             let exec_started = Instant::now();
-            let response: ResponseEnvelope = runtime.lock().process(&envelope);
+            let mut response: ResponseEnvelope = runtime.lock().process(&exec_envelope);
+            if let Some(map) = sup.maps.get_mut(&vp) {
+                // Keep the guest's handle space stable across the migration:
+                // new device handles get virtual guest-side names, frees drop
+                // their mapping.
+                match (&envelope.body, &mut response.body) {
+                    (Request::Malloc { .. }, Response::Malloc { handle }) => {
+                        *handle = map.virtualize(*handle);
+                    }
+                    (Request::Free { handle: guest }, Response::Done) => {
+                        map.remove(*guest);
+                    }
+                    _ => {}
+                }
+            }
             if recorder.enabled() {
-                let uid = sigmavp_telemetry::job_uid(envelope.vp.0, envelope.seq);
+                let uid = sigmavp_telemetry::job_uid(vp.0, envelope.seq);
                 recorder.span_for_job(
                     TimeDomain::Wall,
                     Lane::Dispatcher,
@@ -421,10 +849,17 @@ fn run_dispatcher(
                 );
                 // Per-VP request latency: dispatcher arrival to response ready.
                 recorder.observe_s(
-                    &format!("dispatch.vp{}.latency_s", envelope.vp.0),
+                    &format!("dispatch.vp{}.latency_s", vp.0),
                     arrived.elapsed().as_secs_f64(),
                 );
             }
+            // Journal successful mutating requests (guest handle space) so a
+            // later failover can reconstruct device state on a survivor.
+            if sup.plan.is_some() {
+                sup.journals.entry(vp).or_default().record(&envelope.body, &response.body);
+            }
+            // Effect-once: remember the executed response for dedup resends.
+            sup.dedup.store(&response);
             // Feed the profiler observation back into the expected-time table.
             if let Some(JobRecord { kind: RecordKind::Kernel { name, .. }, duration_s, .. }) =
                 runtime.lock().records().last()
@@ -432,10 +867,11 @@ fn run_dispatcher(
                 expected_kernel_s.insert(name.clone(), *duration_s);
             }
             stats.requests += 1;
+            sup.in_flight.remove(&(vp.0, envelope.seq));
             let frame = codec::encode_response(&response);
             // Find the endpoint; the VP may have just disconnected after an error,
             // in which case the response is dropped.
-            if let Some((_, endpoint)) = endpoints.iter().find(|(vp, _)| *vp == envelope.vp) {
+            if let Some((_, endpoint)) = endpoints.iter().find(|(v, _)| *v == vp) {
                 let _ = endpoint.send(frame);
             }
         }

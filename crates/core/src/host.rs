@@ -76,6 +76,7 @@ pub struct HostRuntime {
     handles: HashMap<u64, DeviceBuffer>,
     next_handle: u64,
     records: Vec<JobRecord>,
+    recording: bool,
 }
 
 impl HostRuntime {
@@ -88,6 +89,7 @@ impl HostRuntime {
             handles: HashMap::new(),
             next_handle: 1,
             records: Vec::new(),
+            recording: true,
         }
     }
 
@@ -116,6 +118,16 @@ impl HostRuntime {
         ResponseEnvelope { vp: envelope.vp, seq: envelope.seq, sent_at_s: envelope.sent_at_s, body }
     }
 
+    /// Dispatch a *replayed* request: executes like [`HostRuntime::process`]
+    /// but appends no [`JobRecord`]s, so reconstructing a migrated VP's device
+    /// state after a failover does not double-count its jobs in the timeline.
+    pub fn process_replay(&mut self, envelope: &Envelope) -> ResponseEnvelope {
+        self.recording = false;
+        let response = self.process(envelope);
+        self.recording = true;
+        response
+    }
+
     fn dispatch(&mut self, envelope: &Envelope) -> Result<Response, String> {
         match &envelope.body {
             Request::Malloc { bytes } => {
@@ -133,13 +145,15 @@ impl HostRuntime {
             Request::MemcpyH2D { handle, data, stream } => {
                 let buf = self.buffer(*handle)?;
                 let t = self.device.memcpy_h2d(buf, data).map_err(|e| e.to_string())?;
-                self.records.push(JobRecord {
-                    vp: envelope.vp,
-                    seq: envelope.seq,
-                    sent_at_s: envelope.sent_at_s,
-                    kind: RecordKind::H2d { bytes: data.len() as u64, stream: *stream },
-                    duration_s: t,
-                });
+                if self.recording {
+                    self.records.push(JobRecord {
+                        vp: envelope.vp,
+                        seq: envelope.seq,
+                        sent_at_s: envelope.sent_at_s,
+                        kind: RecordKind::H2d { bytes: data.len() as u64, stream: *stream },
+                        duration_s: t,
+                    });
+                }
                 Ok(Response::Done)
             }
             Request::MemcpyD2H { handle, len, stream } => {
@@ -149,13 +163,15 @@ impl HostRuntime {
                 }
                 let mut out = vec![0u8; *len as usize];
                 let t = self.device.memcpy_d2h(&mut out, buf).map_err(|e| e.to_string())?;
-                self.records.push(JobRecord {
-                    vp: envelope.vp,
-                    seq: envelope.seq,
-                    sent_at_s: envelope.sent_at_s,
-                    kind: RecordKind::D2h { bytes: *len, stream: *stream },
-                    duration_s: t,
-                });
+                if self.recording {
+                    self.records.push(JobRecord {
+                        vp: envelope.vp,
+                        seq: envelope.seq,
+                        sent_at_s: envelope.sent_at_s,
+                        kind: RecordKind::D2h { bytes: *len, stream: *stream },
+                        duration_s: t,
+                    });
+                }
                 Ok(Response::Data { data: out })
             }
             Request::Launch { kernel, grid_dim, block_dim, params, stream, .. } => {
@@ -164,20 +180,22 @@ impl HostRuntime {
                 let cfg = LaunchConfig::linear(*grid_dim, *block_dim);
                 let run =
                     self.device.launch(&program, &cfg, &resolved).map_err(|e| e.to_string())?;
-                self.records.push(JobRecord {
-                    vp: envelope.vp,
-                    seq: envelope.seq,
-                    sent_at_s: envelope.sent_at_s,
-                    kind: RecordKind::Kernel {
-                        name: kernel.clone(),
-                        grid_dim: *grid_dim,
-                        block_dim: *block_dim,
-                        launch_overhead_s: self.device.arch().launch_overhead_us * 1e-6,
-                        waves: run.cost.waves,
-                        stream: *stream,
-                    },
-                    duration_s: run.cost.time_s,
-                });
+                if self.recording {
+                    self.records.push(JobRecord {
+                        vp: envelope.vp,
+                        seq: envelope.seq,
+                        sent_at_s: envelope.sent_at_s,
+                        kind: RecordKind::Kernel {
+                            name: kernel.clone(),
+                            grid_dim: *grid_dim,
+                            block_dim: *block_dim,
+                            launch_overhead_s: self.device.arch().launch_overhead_us * 1e-6,
+                            waves: run.cost.waves,
+                            stream: *stream,
+                        },
+                        duration_s: run.cost.time_s,
+                    });
+                }
                 Ok(Response::Launched { device_time_s: run.cost.time_s })
             }
             Request::Synchronize => Ok(Response::Done),

@@ -39,6 +39,7 @@ struct DeviceSlot {
     arch: GpuArch,
     runtime: Arc<Mutex<HostRuntime>>,
     connected: usize,
+    healthy: bool,
 }
 
 /// The device set plus VP routing state for one simulation run.
@@ -70,6 +71,7 @@ impl ExecutionSession {
                 runtime: Arc::new(Mutex::new(HostRuntime::new(arch.clone(), registry.clone()))),
                 arch,
                 connected: 0,
+                healthy: true,
             })
             .collect();
         Ok(ExecutionSession { devices, transport, assignments: HashMap::new() })
@@ -102,19 +104,25 @@ impl ExecutionSession {
         self.devices[d].runtime.clone()
     }
 
-    /// Route `vp` to a device: least-loaded first, ties to the lowest index (so
-    /// sequential assignment of VPs 0..N over D devices yields the round-robin
-    /// partition `vp % D`). Re-assigning a VP returns its existing device.
+    /// Route `vp` to a device: least-loaded *healthy* device first, ties to the
+    /// lowest index (so sequential assignment of VPs 0..N over D devices yields
+    /// the round-robin partition `vp % D`). Re-assigning a VP returns its
+    /// existing device. If every device has been marked down, routing falls
+    /// back to the full set (degraded, but never unroutable).
     pub fn assign(&mut self, vp: VpId) -> usize {
         if let Some(&d) = self.assignments.get(&vp) {
             return d;
         }
-        let d = self
-            .devices
-            .iter()
-            .enumerate()
-            .min_by_key(|(i, slot)| (slot.connected, *i))
-            .map(|(i, _)| i)
+        let candidates = |healthy_only: bool| {
+            self.devices
+                .iter()
+                .enumerate()
+                .filter(move |(_, slot)| !healthy_only || slot.healthy)
+                .min_by_key(|(i, slot)| (slot.connected, *i))
+                .map(|(i, _)| i)
+        };
+        let d = candidates(true)
+            .or_else(|| candidates(false))
             .expect("session has at least one device");
         self.devices[d].connected += 1;
         self.assignments.insert(vp, d);
@@ -124,6 +132,35 @@ impl ExecutionSession {
     /// The device `vp` was routed to, if assigned.
     pub fn device_of(&self, vp: VpId) -> Option<usize> {
         self.assignments.get(&vp).copied()
+    }
+
+    /// Whether device `d` is still considered healthy.
+    pub fn is_healthy(&self, d: usize) -> bool {
+        self.devices[d].healthy
+    }
+
+    /// Mark device `d` as down: new VPs route around it and its existing VPs
+    /// are expected to migrate.
+    pub fn mark_down(&mut self, d: usize) {
+        self.devices[d].healthy = false;
+    }
+
+    /// Number of devices still marked healthy.
+    pub fn healthy_count(&self) -> usize {
+        self.devices.iter().filter(|s| s.healthy).count()
+    }
+
+    /// Move an already-assigned `vp` onto device `d` (failover), keeping the
+    /// per-device connection counts consistent.
+    pub fn reassign(&mut self, vp: VpId, d: usize) {
+        if let Some(old) = self.assignments.insert(vp, d) {
+            if old != d {
+                self.devices[old].connected = self.devices[old].connected.saturating_sub(1);
+                self.devices[d].connected += 1;
+            }
+        } else {
+            self.devices[d].connected += 1;
+        }
     }
 
     /// Assign `vp` to a device and open a guest-side connection to it.
@@ -271,6 +308,29 @@ mod tests {
         assert_eq!(s.assign(VpId(3)), 0);
         // Device 1 and 2 are now lighter than 0.
         assert_eq!(s.assign(VpId(4)), 1);
+    }
+
+    #[test]
+    fn unhealthy_devices_are_routed_around() {
+        let mut s = ExecutionSession::new(
+            vec![GpuArch::quadro_4000(), GpuArch::quadro_4000()],
+            registry(),
+            TransportCost::shared_memory(),
+        )
+        .unwrap();
+        assert_eq!(s.assign(VpId(0)), 0);
+        s.mark_down(0);
+        assert!(!s.is_healthy(0));
+        assert_eq!(s.healthy_count(), 1);
+        assert_eq!(s.assign(VpId(1)), 1, "new vps avoid the dead device");
+        assert_eq!(s.assign(VpId(2)), 1);
+        // Failover: vp 0 migrates to the survivor.
+        s.reassign(VpId(0), 1);
+        assert_eq!(s.device_of(VpId(0)), Some(1));
+        // With every device down, routing still succeeds (degraded mode).
+        s.mark_down(1);
+        assert_eq!(s.healthy_count(), 0);
+        assert_eq!(s.assign(VpId(3)), 0, "fallback to the full set");
     }
 
     #[test]

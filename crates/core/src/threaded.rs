@@ -207,13 +207,68 @@ pub struct ThreadedReport {
     /// Fleet device makespan: each device's planned job stream replayed through
     /// the engine model; the slowest device counts.
     pub device_makespan_s: f64,
+    /// VPs whose thread failed (application error or panic), with the error.
+    /// A failed VP no longer aborts the fleet: healthy VPs still complete and
+    /// their outcomes are reported alongside.
+    pub failed_vps: Vec<(VpId, VpError)>,
 }
 
 impl ThreadedReport {
     /// Whether every VP completed without error.
     pub fn all_ok(&self) -> bool {
-        self.outcomes.iter().all(|o| o.error.is_none())
+        self.outcomes.iter().all(|o| o.error.is_none()) && self.failed_vps.is_empty()
     }
+}
+
+/// Best-effort panic payload extraction for reporting a crashed VP thread.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic".to_string()
+    }
+}
+
+/// A spawned VP thread awaiting collection: its id, app name, and the handle
+/// yielding the outcome plus any structured error.
+pub(crate) type VpHandle = (VpId, String, JoinHandle<(VpOutcome, Option<VpError>)>);
+
+/// Join a batch of VP threads without letting one panic abort the fleet: a
+/// panicked thread is reported as a failed VP (with a synthesized outcome) and
+/// every healthy VP's result is still collected. Threads report their
+/// structured [`VpError`] (if any) alongside the outcome.
+pub(crate) fn collect_vp_outcomes(
+    handles: Vec<VpHandle>,
+) -> (Vec<VpOutcome>, Vec<(VpId, VpError)>) {
+    let mut outcomes = Vec::new();
+    let mut failed_vps: Vec<(VpId, VpError)> = Vec::new();
+    for (vp, app, handle) in handles {
+        match handle.join() {
+            Ok((outcome, error)) => {
+                if let Some(error) = error {
+                    failed_vps.push((vp, error));
+                }
+                outcomes.push(outcome);
+            }
+            Err(payload) => {
+                let message = format!("vp thread panicked: {}", panic_message(&*payload));
+                sigmavp_telemetry::recorder().count("fault.vp_panics", 1);
+                failed_vps.push((vp, VpError::Device(message.clone())));
+                outcomes.push(VpOutcome {
+                    vp,
+                    app,
+                    simulated_time_s: 0.0,
+                    gpu_calls: 0,
+                    error: Some(message),
+                });
+            }
+        }
+    }
+    outcomes.sort_by_key(|o| o.vp);
+    failed_vps.sort_by_key(|f| f.0);
+    (outcomes, failed_vps)
 }
 
 /// A live multi-VP ΣVP system.
@@ -270,12 +325,9 @@ impl ThreadedSigmaVp {
     }
 
     /// Launch every registered VP as a thread, wait for completion, and collect the
-    /// report.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a VP thread itself panics (applications report failures through
-    /// `Result`, so a panic indicates a bug).
+    /// report. A VP thread that fails — or even panics — no longer aborts the
+    /// fleet: it lands in [`ThreadedReport::failed_vps`] and every healthy VP's
+    /// result is still collected.
     pub fn join(mut self) -> ThreadedReport {
         let gate = match self.policy.admission {
             Admission::Fifo => None,
@@ -284,7 +336,7 @@ impl ThreadedSigmaVp {
             }
         };
 
-        let handles: Vec<JoinHandle<VpOutcome>> = self
+        let handles: Vec<VpHandle> = self
             .pending
             .into_iter()
             .map(|(vp, app)| {
@@ -292,7 +344,8 @@ impl ThreadedSigmaVp {
                 let runtime: Arc<Mutex<HostRuntime>> = self.session.runtime(device);
                 let cost = self.session.transport();
                 let gate = gate.clone();
-                std::thread::spawn(move || {
+                let app_name = app.name().to_string();
+                let handle = std::thread::spawn(move || {
                     let mut platform = VirtualPlatform::new(vp);
                     let mut service = GatedGpu {
                         vp,
@@ -307,20 +360,21 @@ impl ThreadedSigmaVp {
                     if let Some(g) = &gate {
                         g.finish(vp);
                     }
-                    VpOutcome {
+                    let error = result.err();
+                    let outcome = VpOutcome {
                         vp,
                         app: app.name().to_string(),
                         simulated_time_s: platform.now_s(),
                         gpu_calls: platform.stats().gpu_calls,
-                        error: result.err().map(|e| e.to_string()),
-                    }
-                })
+                        error: error.as_ref().map(|e| e.to_string()),
+                    };
+                    (outcome, error)
+                });
+                (vp, app_name, handle)
             })
             .collect();
 
-        let mut outcomes: Vec<VpOutcome> =
-            handles.into_iter().map(|h| h.join().expect("vp thread must not panic")).collect();
-        outcomes.sort_by_key(|o| o.vp);
+        let (outcomes, failed_vps) = collect_vp_outcomes(handles);
 
         let pipeline = Pipeline::from_policy(&self.policy);
         let coalescible = self.coalescible;
@@ -332,6 +386,7 @@ impl ThreadedSigmaVp {
             records: outcome.flat_records(),
             device_makespan_s: outcome.makespan_s(),
             device_records: outcome.devices.into_iter().map(|d| d.records).collect(),
+            failed_vps,
         }
     }
 }

@@ -21,6 +21,11 @@ pub enum IpcError {
         /// The stray sequence number.
         seq: u64,
     },
+    /// No frame arrived before a receive deadline expired.
+    Timeout {
+        /// How long the caller waited, in microseconds.
+        waited_us: u64,
+    },
 }
 
 impl fmt::Display for IpcError {
@@ -33,6 +38,9 @@ impl fmt::Display for IpcError {
             IpcError::UnknownVp(id) => write!(f, "message for unregistered vp {id}"),
             IpcError::UnexpectedSequence { seq } => {
                 write!(f, "response with unknown sequence number {seq}")
+            }
+            IpcError::Timeout { waited_us } => {
+                write!(f, "no frame within {waited_us} us")
             }
         }
     }

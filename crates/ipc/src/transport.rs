@@ -69,6 +69,29 @@ pub trait Transport: Send {
     /// channel is drained.
     fn try_recv(&self) -> Result<Option<Bytes>, IpcError>;
 
+    /// Receive the next frame, giving up at `deadline`. Returns `Ok(None)` when
+    /// the deadline passed with no frame.
+    ///
+    /// The default implementation polls [`Transport::try_recv`]; decorated
+    /// transports that hold frames back (delays) should override it so held
+    /// frames are released while waiting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IpcError::Disconnected`] when the peer endpoint was dropped and the
+    /// channel is drained.
+    fn recv_deadline(&self, deadline: std::time::Instant) -> Result<Option<Bytes>, IpcError> {
+        loop {
+            if let Some(frame) = self.try_recv()? {
+                return Ok(Some(frame));
+            }
+            if std::time::Instant::now() >= deadline {
+                return Ok(None);
+            }
+            std::thread::sleep(std::time::Duration::from_micros(20));
+        }
+    }
+
     /// The transport's cost model.
     fn cost(&self) -> TransportCost;
 }
@@ -174,6 +197,16 @@ mod tests {
         let frame = Bytes::from(vec![0u8; 1000]);
         let d = vp.send(frame).unwrap();
         assert!((d - TransportCost::socket().delay_for(1000)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn recv_deadline_times_out_and_delivers() {
+        let (vp, host) = shared_memory_pair();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_millis(2);
+        assert_eq!(host.recv_deadline(deadline).unwrap(), None, "empty channel times out");
+        vp.send(Bytes::from_static(b"x")).unwrap();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_millis(50);
+        assert!(host.recv_deadline(deadline).unwrap().is_some());
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub mod deps;
 pub mod interleave;
 pub mod pipeline;
 pub mod policy;
+pub mod rebalance;
 
 pub use coalesce::{CoalescePlan, MemoryLayout};
 pub use deps::{reorder_critical_path, JobDag};
@@ -35,4 +36,5 @@ pub use pipeline::{
     AdaptiveSelect, Coalesce, DepOrder, Interleave, JobStream, MergeGroup, PassCtx, Pipeline,
     SchedulePass, StreamEvaluator,
 };
-pub use policy::{Admission, BackendKind, InterleaveMode, Policy};
+pub use policy::{Admission, BackendKind, InterleaveMode, Policy, RetryPolicy};
+pub use rebalance::{DeviceView, Rebalance};

@@ -80,12 +80,16 @@ pub struct JobStream {
     /// Merge groups produced by [`Coalesce`] (empty until that pass runs, and
     /// cleared again by [`AdaptiveSelect`] when merging does not pay).
     pub groups: Vec<MergeGroup>,
+    /// VP → device migrations planned by [`Rebalance`](crate::rebalance::Rebalance)
+    /// for VPs whose assigned device is down; applied by the runtime before the
+    /// window executes.
+    pub migrations: Vec<(VpId, usize)>,
 }
 
 impl JobStream {
-    /// A stream over `jobs` with no merge groups.
+    /// A stream over `jobs` with no merge groups or migrations.
     pub fn new(jobs: Vec<Job>) -> Self {
-        JobStream { jobs, groups: Vec::new() }
+        JobStream { jobs, groups: Vec::new(), migrations: Vec::new() }
     }
 
     /// Number of pending jobs.
@@ -120,23 +124,31 @@ pub trait StreamEvaluator {
 pub struct PassCtx<'a> {
     coalescible: &'a dyn Fn(VpId) -> bool,
     evaluator: Option<&'a dyn StreamEvaluator>,
+    devices: Option<&'a crate::rebalance::DeviceView<'a>>,
 }
 
 impl<'a> PassCtx<'a> {
     /// A context in which no VP is coalescing-friendly and no evaluator is
     /// available (sufficient for pure reordering pipelines).
     pub fn reorder_only() -> PassCtx<'static> {
-        PassCtx { coalescible: &|_| false, evaluator: None }
+        PassCtx { coalescible: &|_| false, evaluator: None, devices: None }
     }
 
     /// A context with a per-VP coalescibility predicate.
     pub fn new(coalescible: &'a dyn Fn(VpId) -> bool) -> Self {
-        PassCtx { coalescible, evaluator: None }
+        PassCtx { coalescible, evaluator: None, devices: None }
     }
 
     /// Attach a makespan oracle for [`AdaptiveSelect`].
     pub fn with_evaluator(mut self, evaluator: &'a dyn StreamEvaluator) -> Self {
         self.evaluator = Some(evaluator);
+        self
+    }
+
+    /// Attach a device-health view for
+    /// [`Rebalance`](crate::rebalance::Rebalance).
+    pub fn with_devices(mut self, devices: &'a crate::rebalance::DeviceView<'a>) -> Self {
+        self.devices = Some(devices);
         self
     }
 
@@ -148,6 +160,11 @@ impl<'a> PassCtx<'a> {
     /// The injected makespan oracle, if any.
     pub fn evaluator(&self) -> Option<&dyn StreamEvaluator> {
         self.evaluator
+    }
+
+    /// The injected device-health view, if any.
+    pub fn devices(&self) -> Option<&crate::rebalance::DeviceView<'a>> {
+        self.devices
     }
 }
 
@@ -335,11 +352,14 @@ impl Pipeline {
         self
     }
 
-    /// The canonical pipeline for a [`Policy`]: [`DepOrder`], then
-    /// [`Interleave`] if enabled, then [`Coalesce`] + [`AdaptiveSelect`] if
-    /// enabled.
+    /// The canonical pipeline for a [`Policy`]:
+    /// [`Rebalance`](crate::rebalance::Rebalance) (identity unless the runtime
+    /// injects a [`DeviceView`](crate::rebalance::DeviceView)), then
+    /// [`DepOrder`], then [`Interleave`] if enabled, then [`Coalesce`] +
+    /// [`AdaptiveSelect`] if enabled.
     pub fn from_policy(policy: &Policy) -> Self {
-        let mut pipeline = Pipeline::new().with_pass(DepOrder);
+        let mut pipeline =
+            Pipeline::new().with_pass(crate::rebalance::Rebalance).with_pass(DepOrder);
         if !matches!(policy.interleave, InterleaveMode::Off) {
             pipeline = pipeline.with_pass(Interleave(policy.interleave));
         }
@@ -567,14 +587,17 @@ mod tests {
 
     #[test]
     fn pipeline_from_policy_shapes() {
-        assert_eq!(Pipeline::from_policy(&Policy::Multiplexed).pass_names(), vec!["dep_order"]);
+        assert_eq!(
+            Pipeline::from_policy(&Policy::Multiplexed).pass_names(),
+            vec!["rebalance", "dep_order"]
+        );
         assert_eq!(
             Pipeline::from_policy(&Policy::MultiplexedOptimized).pass_names(),
-            vec!["dep_order", "interleave", "coalesce", "adaptive_select"]
+            vec!["rebalance", "dep_order", "interleave", "coalesce", "adaptive_select"]
         );
         assert_eq!(
             Pipeline::from_policy(&Policy::Fifo).pass_names(),
-            vec!["dep_order", "interleave"]
+            vec!["rebalance", "dep_order", "interleave"]
         );
     }
 

@@ -17,6 +17,10 @@
 //! * [`Admission`] — how concurrent live VPs are admitted to the host runtime
 //!   (racing FIFO, or the paper's deterministic stop/resume round-robin).
 //!
+//! A fifth axis, [`RetryPolicy`], governs request-level robustness on the
+//! forwarding channel: per-attempt receive timeouts and bounded retry with
+//! exponential backoff plus jitter.
+//!
 //! The legacy names survive as `#[deprecated]` type aliases
 //! (`sigmavp::scenario::GpuMode`, `sigmavp::threaded::SchedulingPolicy`) plus
 //! associated constants mirroring the old variant syntax, so existing code
@@ -57,6 +61,79 @@ pub enum Admission {
     RoundRobin,
 }
 
+/// Bounded-retry configuration for guest→host requests.
+///
+/// Fields are integers (microseconds / counts) so [`Policy`] keeps deriving
+/// `Eq` and `Hash`; use [`RetryPolicy::timeout`] and [`RetryPolicy::backoff_s`]
+/// for the derived time values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RetryPolicy {
+    /// Total attempts per request (first try included). 1 disables retries.
+    pub max_attempts: u32,
+    /// Receive timeout per attempt, in microseconds.
+    pub timeout_us: u64,
+    /// Base backoff after the first failure, in microseconds.
+    pub backoff_base_us: u64,
+    /// Multiplier applied to the backoff per additional failure.
+    pub backoff_factor: u32,
+    /// Jitter as a percentage of the backoff (the sleep is scaled by a random
+    /// factor in `[1 - jitter, 1 + jitter]`).
+    pub jitter_pct: u32,
+}
+
+impl RetryPolicy {
+    /// Default retry discipline: 4 attempts, 25 ms timeout, 200 µs base
+    /// backoff doubling per failure with ±25 % jitter.
+    pub const DEFAULT: RetryPolicy = RetryPolicy {
+        max_attempts: 4,
+        timeout_us: 25_000,
+        backoff_base_us: 200,
+        backoff_factor: 2,
+        jitter_pct: 25,
+    };
+
+    /// No retries: one attempt with a long (60 s) timeout.
+    pub const fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            timeout_us: 60_000_000,
+            backoff_base_us: 0,
+            backoff_factor: 1,
+            jitter_pct: 0,
+        }
+    }
+
+    /// The per-attempt receive timeout.
+    pub fn timeout(&self) -> std::time::Duration {
+        std::time::Duration::from_micros(self.timeout_us)
+    }
+
+    /// The per-attempt receive timeout in seconds.
+    pub fn timeout_s(&self) -> f64 {
+        self.timeout_us as f64 * 1e-6
+    }
+
+    /// Backoff before attempt `failures + 1`, in seconds. `unit` is a random
+    /// factor in `[0, 1)` supplying the jitter.
+    pub fn backoff_s(&self, failures: u32, unit: f64) -> f64 {
+        if failures == 0 || self.backoff_base_us == 0 {
+            return 0.0;
+        }
+        let exp = failures.saturating_sub(1).min(20);
+        let base = self.backoff_base_us as f64
+            * 1e-6
+            * (self.backoff_factor.max(1) as f64).powi(exp as i32);
+        let jitter = self.jitter_pct as f64 / 100.0;
+        base * (1.0 - jitter + 2.0 * jitter * unit)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::DEFAULT
+    }
+}
+
 /// The unified scheduling/backend policy: one config consumed by the
 /// [`Pipeline`](crate::pipeline::Pipeline) and by every runtime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -69,6 +146,8 @@ pub struct Policy {
     pub coalesce: bool,
     /// How concurrent live VPs are admitted.
     pub admission: Admission,
+    /// Request-level retry/timeout discipline for the forwarding channel.
+    pub retry: RetryPolicy,
 }
 
 #[allow(non_upper_case_globals)]
@@ -79,6 +158,7 @@ impl Policy {
         interleave: InterleaveMode::Off,
         coalesce: false,
         admission: Admission::Fifo,
+        retry: RetryPolicy::DEFAULT,
     };
     /// Legacy `GpuMode::Multiplexed`: host-GPU multiplexing without the
     /// re-scheduler optimizations.
@@ -87,6 +167,7 @@ impl Policy {
         interleave: InterleaveMode::Off,
         coalesce: false,
         admission: Admission::Fifo,
+        retry: RetryPolicy::DEFAULT,
     };
     /// Legacy `GpuMode::MultiplexedOptimized`: multiplexing plus Kernel
     /// Interleaving and Kernel Coalescing.
@@ -95,6 +176,7 @@ impl Policy {
         interleave: InterleaveMode::EarliestStart,
         coalesce: true,
         admission: Admission::Fifo,
+        retry: RetryPolicy::DEFAULT,
     };
     /// Legacy `SchedulingPolicy::Fifo`: live VPs race for the host runtime;
     /// the pending window is still interleaved by the re-scheduler.
@@ -103,6 +185,7 @@ impl Policy {
         interleave: InterleaveMode::EarliestStart,
         coalesce: false,
         admission: Admission::Fifo,
+        retry: RetryPolicy::DEFAULT,
     };
     /// Legacy `SchedulingPolicy::RoundRobin`: live VPs take strict turns
     /// through the VP-control gate.
@@ -111,6 +194,7 @@ impl Policy {
         interleave: InterleaveMode::EarliestStart,
         coalesce: false,
         admission: Admission::RoundRobin,
+        retry: RetryPolicy::DEFAULT,
     };
 
     /// The emulation baseline ([`Policy::EmulatedOnVp`]).
@@ -144,6 +228,12 @@ impl Policy {
     /// Enable or disable Kernel Coalescing (builder style).
     pub const fn with_coalesce(mut self, coalesce: bool) -> Policy {
         self.coalesce = coalesce;
+        self
+    }
+
+    /// Set the request retry/timeout discipline (builder style).
+    pub const fn with_retry(mut self, retry: RetryPolicy) -> Policy {
+        self.retry = retry;
         self
     }
 
@@ -190,5 +280,35 @@ mod tests {
         assert!(p.coalesce);
         assert_eq!(p.admission, Admission::RoundRobin);
         assert!(!Policy::Multiplexed.plans());
+    }
+
+    #[test]
+    fn retry_policy_defaults_and_backoff_grow() {
+        let r = RetryPolicy::DEFAULT;
+        assert_eq!(Policy::default().retry, r);
+        assert_eq!(RetryPolicy::none().max_attempts, 1);
+        assert_eq!(r.backoff_s(0, 0.5), 0.0, "no backoff before the first failure");
+        let b1 = r.backoff_s(1, 0.5);
+        let b2 = r.backoff_s(2, 0.5);
+        let b3 = r.backoff_s(3, 0.5);
+        assert!((b1 - 200e-6).abs() < 1e-9, "unit=0.5 means no jitter offset");
+        assert!((b2 / b1 - 2.0).abs() < 1e-9, "backoff doubles per failure");
+        assert!((b3 / b2 - 2.0).abs() < 1e-9);
+        let lo = r.backoff_s(1, 0.0);
+        let hi = r.backoff_s(1, 0.999);
+        assert!(lo < b1 && b1 < hi, "jitter spreads around the base");
+        assert!((lo - 150e-6).abs() < 1e-9, "-25 % at unit=0");
+    }
+
+    #[test]
+    fn with_retry_composes_and_hashes() {
+        use std::collections::HashSet;
+        let custom = RetryPolicy { max_attempts: 2, ..RetryPolicy::DEFAULT };
+        let p = Policy::Fifo.with_retry(custom);
+        assert_eq!(p.retry.max_attempts, 2);
+        let mut set = HashSet::new();
+        set.insert(Policy::Fifo);
+        set.insert(p);
+        assert_eq!(set.len(), 2, "retry participates in Eq/Hash");
     }
 }

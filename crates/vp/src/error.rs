@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use sigmavp_ipc::error::IpcError;
+
 /// Errors raised inside a VP or by the GPU service it talks to.
 #[derive(Debug, Clone, PartialEq)]
 pub enum VpError {
@@ -20,6 +22,9 @@ pub enum VpError {
     Device(String),
     /// The forwarding backend lost its connection to the host runtime.
     Disconnected,
+    /// An IPC-level failure the retry layer could not mask: the cause
+    /// (timeout vs. corrupt frame vs. disconnect) is preserved, not erased.
+    Ipc(IpcError),
     /// A guest application's self-check failed: the GPU path produced data that
     /// does not match the reference computation.
     Validation {
@@ -40,6 +45,7 @@ impl fmt::Display for VpError {
             }
             VpError::Device(msg) => write!(f, "device error: {msg}"),
             VpError::Disconnected => write!(f, "lost connection to the host gpu runtime"),
+            VpError::Ipc(inner) => write!(f, "ipc failure: {inner}"),
             VpError::Validation { app, message } => {
                 write!(f, "validation failed in `{app}`: {message}")
             }
@@ -47,7 +53,20 @@ impl fmt::Display for VpError {
     }
 }
 
-impl std::error::Error for VpError {}
+impl std::error::Error for VpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VpError::Ipc(inner) => Some(inner),
+            _ => None,
+        }
+    }
+}
+
+impl From<IpcError> for VpError {
+    fn from(e: IpcError) -> Self {
+        VpError::Ipc(e)
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -57,5 +76,15 @@ mod tests {
     fn displays() {
         assert!(VpError::UnknownKernel("vecAdd".into()).to_string().contains("vecAdd"));
         assert!(VpError::SizeMismatch { buffer: 8, host: 4 }.to_string().contains('8'));
+    }
+
+    #[test]
+    fn ipc_variant_preserves_the_cause() {
+        use std::error::Error;
+        let e = VpError::from(IpcError::Timeout { waited_us: 25_000 });
+        assert!(e.to_string().contains("25000 us"));
+        let source = e.source().expect("ipc errors carry a source");
+        assert!(source.to_string().contains("25000"));
+        assert!(VpError::Disconnected.source().is_none());
     }
 }

@@ -1,0 +1,128 @@
+//! Property-based fault-injection tests: under *any* schedule of frame drops,
+//! corruption, and delays, request-level retry plus host-side dedup must be
+//! effect-once — no kernel or memcpy is ever lost or applied twice.
+//!
+//! The probe workload doubles a buffer in place twice (`x * 4` total), a
+//! deliberately non-idempotent kernel: a single double-execution of either
+//! launch (or of an h2d racing a launch) changes the final bytes, so the app's
+//! own validation is exactly the "device memory equals the fault-free run"
+//! oracle the fault model promises.
+
+use std::sync::Mutex;
+
+use proptest::prelude::*;
+
+use sigmavp::dispatcher::DispatchedSigmaVp;
+use sigmavp::{Policy, RetryPolicy};
+use sigmavp_fault::{FaultPlan, LinkFaultConfig};
+use sigmavp_gpu::GpuArch;
+use sigmavp_ipc::transport::TransportCost;
+use sigmavp_sptx::KernelProgram;
+use sigmavp_vp::error::VpError;
+use sigmavp_vp::registry::KernelRegistry;
+use sigmavp_workloads::app::{download, p, upload, AppEnv, AppTraits, Application};
+
+/// Serializes runs (the telemetry collector is process-global, and keeping the
+/// fleets sequential keeps the wall-clock timing assumptions honest).
+static RUNS: Mutex<()> = Mutex::new(());
+
+/// Doubles every f32 in a buffer, twice. Applying either launch a second time
+/// yields `x * 8` somewhere and fails validation.
+#[derive(Debug, Clone)]
+struct ScaleTwiceApp {
+    n: u64,
+}
+
+const SCALE_ASM: &str = ".kernel scale\nentry:\n    rs r0, gtid\n    ldp r1, 0\n    ld.f32 r2, [r1 + r0]\n    add.f32 r2, r2, r2\n    st.f32 [r1 + r0], r2\n    ret\n";
+
+impl Application for ScaleTwiceApp {
+    fn name(&self) -> &str {
+        "scaleTwice"
+    }
+
+    fn kernels(&self) -> Vec<KernelProgram> {
+        vec![sigmavp_sptx::asm::parse(SCALE_ASM).expect("scale kernel parses")]
+    }
+
+    fn characteristics(&self) -> AppTraits {
+        AppTraits::pure_cuda()
+    }
+
+    fn run_once(&self, env: &mut AppEnv<'_>) -> Result<(), VpError> {
+        let n = self.n as usize;
+        let input: Vec<f32> = (0..n).map(|i| i as f32 + 1.0).collect();
+        let bytes: Vec<u8> = input.iter().flat_map(|v| v.to_le_bytes()).collect();
+        let mut cuda = env.cuda();
+        let buf = upload(&mut cuda, &bytes)?;
+        for _ in 0..2 {
+            cuda.launch_sync("scale", self.n.div_ceil(64) as u32, 64, &[p(buf)])?;
+        }
+        let out = download(&mut cuda, buf)?;
+        cuda.free(buf)?;
+        for (i, chunk) in out.chunks_exact(4).enumerate() {
+            let got = f32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+            let want = input[i] * 4.0;
+            if got != want {
+                return Err(VpError::Device(format!(
+                    "element {i}: got {got}, want {want} — a job was lost or double-applied"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// For any seed and any drop/corrupt/delay probabilities in range, a
+    /// two-VP fleet completes with every request executed exactly once and
+    /// device memory identical to the fault-free run (per-app validation).
+    #[test]
+    fn retry_and_dedup_are_effect_once(
+        seed in 0u64..1_000_000,
+        drop_prob in 0.0f64..0.10,
+        corrupt_prob in 0.0f64..0.06,
+        delay_prob in 0.0f64..0.10,
+        delay_us in 1.0f64..500.0,
+    ) {
+        let _guard = RUNS.lock().unwrap();
+        let plan = FaultPlan::seeded(seed).with_link(
+            LinkFaultConfig::lossy(drop_prob, corrupt_prob).with_delay(delay_prob, delay_us * 1e-6),
+        );
+        // A short receive timeout keeps dropped frames cheap; a deep attempt
+        // budget makes run failure astronomically unlikely at these rates.
+        let retry = RetryPolicy {
+            max_attempts: 8,
+            timeout_us: 3_000,
+            backoff_base_us: 100,
+            backoff_factor: 2,
+            jitter_pct: 25,
+        };
+        let registry: KernelRegistry =
+            ScaleTwiceApp { n: 256 }.kernels().into_iter().collect();
+        let mut sys = DispatchedSigmaVp::single(
+            GpuArch::quadro_4000(),
+            registry,
+            TransportCost::shared_memory(),
+        )
+        .with_policy(Policy::Fifo.with_retry(retry))
+        .with_faults(plan);
+        for _ in 0..2 {
+            sys.spawn(Box::new(ScaleTwiceApp { n: 256 }));
+        }
+        let (report, _stats) = sys.join();
+        prop_assert!(
+            report.all_ok(),
+            "outcomes: {:?}, failed: {:?}",
+            report.outcomes,
+            report.failed_vps
+        );
+        // Exactly-once at the job-log level too: 2 VPs x (h2d + 2 kernels + d2h),
+        // every (vp, seq) unique.
+        prop_assert_eq!(report.records.len(), 2 * 4);
+        let unique: std::collections::HashSet<(u32, u64)> =
+            report.records.iter().map(|r| (r.vp.0, r.seq)).collect();
+        prop_assert_eq!(unique.len(), 2 * 4);
+    }
+}
