@@ -24,4 +24,7 @@ cargo test -q --workspace
 echo "==> audit regression gate + chaos smoke (results/baselines/audit.json)"
 cargo run --release -p sigmavp-bench --bin audit -- --faults 42 --check
 
+echo "==> perf throughput gate (results/baselines/perf.json)"
+cargo run --release -p sigmavp-bench --bin perf -- --check --tolerance 0.25
+
 echo "CI green."

@@ -7,26 +7,30 @@ use std::ops::Deref;
 use std::sync::Arc;
 
 /// A cheaply cloneable, contiguous, immutable byte buffer with a read cursor.
+///
+/// Backed by an `Arc<Vec<u8>>` so that [`From<Vec<u8>>`] (and therefore
+/// [`BytesMut::freeze`]) transfers ownership of the allocation instead of
+/// copying it — the wire codec relies on this being zero-copy.
 #[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Arc<Vec<u8>>,
     pos: usize,
 }
 
 impl Bytes {
     /// An empty buffer.
     pub fn new() -> Self {
-        Bytes { data: Arc::from(&[][..]), pos: 0 }
+        Bytes { data: Arc::new(Vec::new()), pos: 0 }
     }
 
     /// A buffer over a static slice.
     pub fn from_static(data: &'static [u8]) -> Self {
-        Bytes { data: Arc::from(data), pos: 0 }
+        Bytes { data: Arc::new(data.to_vec()), pos: 0 }
     }
 
     /// A buffer holding a copy of `data`.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes { data: Arc::from(data), pos: 0 }
+        Bytes { data: Arc::new(data.to_vec()), pos: 0 }
     }
 
     /// Remaining length in bytes.
@@ -69,8 +73,9 @@ impl AsRef<[u8]> for Bytes {
 }
 
 impl From<Vec<u8>> for Bytes {
+    /// Zero-copy: takes ownership of the allocation.
     fn from(v: Vec<u8>) -> Self {
-        Bytes { data: Arc::from(v), pos: 0 }
+        Bytes { data: Arc::new(v), pos: 0 }
     }
 }
 
@@ -144,7 +149,12 @@ impl BytesMut {
         self.data.extend_from_slice(src);
     }
 
-    /// Freeze into an immutable [`Bytes`].
+    /// Reset to empty, keeping the allocation for reuse.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Freeze into an immutable [`Bytes`]. Zero-copy: the allocation moves.
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.data)
     }
@@ -154,6 +164,12 @@ impl Deref for BytesMut {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
         &self.data
+    }
+}
+
+impl std::ops::DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
     }
 }
 

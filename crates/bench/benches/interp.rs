@@ -1,0 +1,66 @@
+//! Criterion bench: raw interpreter block throughput, sequential vs
+//! block-parallel.
+//!
+//! A compute-heavy 32-block Mandelbrot-style kernel is launched through the
+//! interpreter at `workers = 1` (the sequential grid loop) and `workers = 4`
+//! (the persistent worker pool with deterministic merge). On a multi-core
+//! host the parallel rows should approach the core count; on a single core
+//! they bound the parallel engine's overhead instead.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use sigmavp_sptx::asm;
+use sigmavp_sptx::interp::{Interpreter, LaunchConfig, Memory, ParamValue};
+
+/// An iteration-heavy kernel: every thread runs a 64-trip escape loop over
+/// its own f64 cell, then stores the iteration count — compute-dominated,
+/// race-free, block-independent.
+const KERNEL: &str = r#".kernel escape
+entry:
+    rs r0, gtid
+    ldp r1, 0
+    mov r2, 8
+    mul.i64 r2, r0, r2
+    add.i64 r2, r2, r1
+    ld.f64 r3, [r2]
+    mov.f64 r4, 0.0
+    mov r5, 0
+    mov r6, 1
+    mov r7, 64
+    bra loop
+loop:
+    mul.f64 r4, r4, r4
+    add.f64 r4, r4, r3
+    add.i64 r5, r5, r6
+    setp.lt.i64 p0, r5, r7
+    @p0 bra loop, done
+done:
+    st.i64 [r2], r5
+    ret
+"#;
+
+fn bench_interp(c: &mut Criterion) {
+    let program = asm::parse(KERNEL).expect("kernel parses");
+    let (grid, block) = (32u32, 64u32);
+    let bytes = u64::from(grid) * u64::from(block) * 8;
+    let cfg = LaunchConfig::linear(grid, block);
+    let mut g = c.benchmark_group("interp");
+    g.sample_size(10);
+    for workers in [1u32, 4] {
+        let interp = Interpreter::new().with_workers(workers);
+        g.bench_function(format!("escape_32x64_workers_{workers}"), |b| {
+            let mut mem = Memory::new(bytes as usize);
+            for t in 0..(grid * block) as u64 {
+                mem.write_f64(t * 8, -0.1 - (t as f64) * 1e-6).unwrap();
+            }
+            b.iter(|| {
+                interp
+                    .run(&program, &cfg, black_box(&[ParamValue::Ptr(0)]), &mut mem)
+                    .expect("launch succeeds")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_interp);
+criterion_main!(benches);

@@ -75,12 +75,15 @@ struct Args {
     tolerance: f64,
     inject_slowdown: f64,
     fault_seed: u64,
+    /// Explicit pass composition for the planned scenarios (ablation); the
+    /// policy-derived pipeline when absent. Gated numbers assume the default.
+    passes: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: audit [--check] [--write-baseline] [--baseline PATH] [--out PATH] \
-         [--tolerance F] [--inject-slowdown F] [--faults SEED]"
+         [--tolerance F] [--inject-slowdown F] [--faults SEED] [--passes a,b,c]"
     );
     std::process::exit(2);
 }
@@ -94,6 +97,7 @@ fn parse_args() -> Args {
         tolerance: DEFAULT_TOLERANCE,
         inject_slowdown: 1.0,
         fault_seed: DEFAULT_FAULT_SEED,
+        passes: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -116,6 +120,7 @@ fn parse_args() -> Args {
                     value("--inject-slowdown").parse().unwrap_or_else(|_| usage())
             }
             "--faults" => args.fault_seed = value("--faults").parse().unwrap_or_else(|_| usage()),
+            "--passes" => args.passes = Some(value("--passes")),
             _ => usage(),
         }
     }
@@ -192,8 +197,12 @@ fn run_scenario(
     coalescible: bool,
     arch: &GpuArch,
     slowdown: f64,
+    passes: Option<&str>,
 ) -> Result<Scenario, String> {
-    let pipeline = Pipeline::from_policy(policy);
+    let pipeline = match passes {
+        Some(spec) => Pipeline::parse(spec).map_err(|e| format!("--passes {spec}: {e}"))?,
+        None => Pipeline::from_policy(policy),
+    };
     let plan = plan_device(&pipeline, &records, &|_| coalescible, arch);
     let outcome =
         DeviceOutcome { arch: arch.clone(), records: records.clone(), plan: plan.clone() };
@@ -391,6 +400,7 @@ fn main() -> ExitCode {
         false,
         &arch,
         args.inject_slowdown,
+        args.passes.as_deref(),
     ) {
         Ok(s) => s,
         Err(e) => {
@@ -412,6 +422,7 @@ fn main() -> ExitCode {
         false,
         &arch,
         args.inject_slowdown,
+        args.passes.as_deref(),
     ) {
         Ok(s) => s,
         Err(e) => {
@@ -432,6 +443,7 @@ fn main() -> ExitCode {
         true,
         &arch,
         args.inject_slowdown,
+        args.passes.as_deref(),
     ) {
         Ok(s) => s,
         Err(e) => {

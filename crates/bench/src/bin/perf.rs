@@ -1,0 +1,455 @@
+//! Block-parallel throughput benchmark and regression gate.
+//!
+//! ```text
+//! cargo run --release -p sigmavp-bench --bin perf                    # measure + write BENCH_perf.json
+//! cargo run --release -p sigmavp-bench --bin perf -- --write-baseline
+//! cargo run --release -p sigmavp-bench --bin perf -- --check        # gate against the committed baseline
+//! cargo run --release -p sigmavp-bench --bin perf -- --passes dep_order,coalesce
+//! ```
+//!
+//! A fixed multi-VP fleet — four VPs running compute-heavy suite apps
+//! (Mandelbrot ×2, MatrixMul, N-body) against one host GPU — is executed twice
+//! through the live dispatcher: once with the sequential interpreter
+//! (`workers = 1`) and once block-parallel (`workers = N`, default 4). Each
+//! configuration runs `--repeats` times; the fastest wall time counts (the
+//! usual guard against scheduler noise), and the deterministic quantities
+//! (jobs, instructions) are asserted identical across every repeat *and* both
+//! worker counts — the parallel engine must not change what executes, only how
+//! fast.
+//!
+//! Reported per configuration: wall makespan, jobs/s, instructions/s. The
+//! headline metric is the wall-clock speedup of `workers = N` over
+//! `workers = 1`.
+//!
+//! **Acceptance bar.** The target is ≥ 2× at `workers = 4` — but that is a
+//! statement about hardware as much as software, so the enforced bar scales
+//! with the host's available parallelism: ≥ 2.0× with 4+ cores, ≥ 1.3× with
+//! 2–3, and ≥ 0.5× on a single core (where no speedup is physically possible
+//! and the bar instead bounds the parallel engine's overhead).
+//!
+//! **Gate.** `--check` compares against the committed baseline
+//! (`results/baselines/perf.json`) through the direction-aware store:
+//! `perf.speedup_wall` is higher-is-better (a baseline near 1.0 from a 1-core
+//! CI host still catches "parallel got slower than sequential" anywhere),
+//! while the job and instruction counts are exact-ish deterministic quantities
+//! that catch the workload silently changing shape. Raw wall seconds are
+//! reported but never gated — wall time is machine property, the speedup
+//! ratio is a code property.
+//!
+//! **Ablation.** `--passes a,b,c` re-plans the fleet's per-device job logs
+//! through an explicitly composed scheduling [`Pipeline`] (see
+//! [`Pipeline::parse`]) and reports planned makespan, overlap, and merge
+//! counts next to the default policy's plan — pass-level ablations without
+//! recompiling.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use sigmavp::dispatcher::DispatchedSigmaVp;
+use sigmavp::plan_device;
+use sigmavp_gpu::GpuArch;
+use sigmavp_ipc::transport::TransportCost;
+use sigmavp_obs::{compare, format_flat_json, parse_flat_json};
+use sigmavp_sched::{Pipeline, Policy};
+use sigmavp_sptx::exec::default_workers;
+use sigmavp_telemetry::export::escape_json;
+use sigmavp_vp::registry::KernelRegistry;
+use sigmavp_workloads::app::Application;
+use sigmavp_workloads::apps::{MandelbrotApp, MatrixMulApp, NbodyApp};
+
+const DEFAULT_BASELINE: &str = "results/baselines/perf.json";
+const DEFAULT_OUT: &str = "BENCH_perf.json";
+const DEFAULT_TOLERANCE: f64 = 0.25;
+const DEFAULT_WORKERS: u32 = 4;
+const DEFAULT_REPEATS: u32 = 3;
+const DEFAULT_SCALE: u32 = 2;
+
+struct Args {
+    check: bool,
+    write_baseline: bool,
+    baseline: String,
+    out: String,
+    tolerance: f64,
+    workers: u32,
+    repeats: u32,
+    scale: u32,
+    passes: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: perf [--check] [--write-baseline] [--baseline PATH] [--out PATH] \
+         [--tolerance F] [--workers N] [--repeats N] [--scale N] [--passes a,b,c]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        check: false,
+        write_baseline: false,
+        baseline: DEFAULT_BASELINE.to_string(),
+        out: DEFAULT_OUT.to_string(),
+        tolerance: DEFAULT_TOLERANCE,
+        workers: DEFAULT_WORKERS,
+        repeats: DEFAULT_REPEATS,
+        scale: DEFAULT_SCALE,
+        passes: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--check" => args.check = true,
+            "--write-baseline" => args.write_baseline = true,
+            "--baseline" => args.baseline = value("--baseline"),
+            "--out" => args.out = value("--out"),
+            "--tolerance" => {
+                args.tolerance = value("--tolerance").parse().unwrap_or_else(|_| usage())
+            }
+            "--workers" => args.workers = value("--workers").parse().unwrap_or_else(|_| usage()),
+            "--repeats" => {
+                args.repeats = value("--repeats").parse::<u32>().unwrap_or_else(|_| usage()).max(1)
+            }
+            "--scale" => args.scale = value("--scale").parse().unwrap_or_else(|_| usage()),
+            "--passes" => args.passes = Some(value("--passes")),
+            _ => usage(),
+        }
+    }
+    args
+}
+
+/// The fixed fleet: four compute-heavy VPs against one host GPU, so the
+/// interpreter's grid loop — not device-level concurrency — is what the
+/// worker count accelerates.
+fn fleet_apps(scale: u32) -> Vec<Box<dyn Application + Send>> {
+    vec![
+        Box::new(MandelbrotApp::new(scale)),
+        Box::new(MatrixMulApp::new(scale)),
+        Box::new(NbodyApp::new(scale)),
+        Box::new(MandelbrotApp::new(scale)),
+    ]
+}
+
+/// One measured fleet execution.
+struct Measure {
+    wall_s: f64,
+    jobs: u64,
+    instructions: u64,
+    launches: u64,
+    parallel_launches: u64,
+    sim_makespan_s: f64,
+    device_records: Vec<Vec<sigmavp::host::JobRecord>>,
+}
+
+impl Measure {
+    fn jobs_per_s(&self) -> f64 {
+        self.jobs as f64 / self.wall_s
+    }
+    fn instructions_per_s(&self) -> f64 {
+        self.instructions as f64 / self.wall_s
+    }
+}
+
+fn run_fleet(
+    workers: u32,
+    scale: u32,
+    telemetry: &sigmavp_telemetry::Telemetry,
+) -> Result<Measure, String> {
+    let registry: KernelRegistry = fleet_apps(scale).iter().flat_map(|app| app.kernels()).collect();
+    let mut sys =
+        DispatchedSigmaVp::single(GpuArch::quadro_4000(), registry, TransportCost::shared_memory())
+            .with_policy(Policy::Fifo.with_workers(workers));
+    for app in fleet_apps(scale) {
+        sys.spawn(app);
+    }
+    let before = telemetry.snapshot();
+    let started = Instant::now();
+    let (report, stats) = sys.join();
+    let wall_s = started.elapsed().as_secs_f64();
+    let after = telemetry.snapshot();
+    if !report.all_ok() {
+        return Err(format!(
+            "fleet failed at workers={workers}: outcomes {:?}, failed {:?}",
+            report.outcomes, report.failed_vps
+        ));
+    }
+    let delta = |name: &str| {
+        after.counter(name).unwrap_or(0).saturating_sub(before.counter(name).unwrap_or(0))
+    };
+    Ok(Measure {
+        wall_s,
+        jobs: stats.requests,
+        instructions: delta("sptx.instructions_executed"),
+        launches: delta("sptx.launches"),
+        parallel_launches: delta("sptx.parallel.launches"),
+        sim_makespan_s: report.device_makespan_s,
+        device_records: report.device_records,
+    })
+}
+
+/// Best wall time over `repeats` runs; deterministic quantities asserted
+/// identical across repeats.
+fn run_config(
+    workers: u32,
+    scale: u32,
+    repeats: u32,
+    telemetry: &sigmavp_telemetry::Telemetry,
+) -> Result<Measure, String> {
+    let mut best: Option<Measure> = None;
+    for _ in 0..repeats {
+        let m = run_fleet(workers, scale, telemetry)?;
+        if let Some(b) = &best {
+            if (m.jobs, m.instructions, m.launches) != (b.jobs, b.instructions, b.launches) {
+                return Err(format!(
+                    "workers={workers}: nondeterministic workload across repeats \
+                     (jobs {} vs {}, instructions {} vs {})",
+                    m.jobs, b.jobs, m.instructions, b.instructions
+                ));
+            }
+        }
+        if best.as_ref().is_none_or(|b| m.wall_s < b.wall_s) {
+            best = Some(m);
+        }
+    }
+    Ok(best.expect("repeats >= 1"))
+}
+
+/// The enforced speedup bar, scaled to what the host can physically deliver.
+fn required_speedup(host_parallelism: usize) -> f64 {
+    match host_parallelism {
+        0 | 1 => 0.5, // no parallelism available: bound the engine's overhead
+        2 | 3 => 1.3,
+        _ => 2.0,
+    }
+}
+
+fn measure_json(name: &str, m: &Measure) -> String {
+    format!(
+        "    \"{name}\": {{\"wall_s\": {:.9e}, \"jobs\": {}, \"jobs_per_s\": {:.9e}, \
+         \"instructions\": {}, \"instructions_per_s\": {:.9e}, \"launches\": {}, \
+         \"parallel_launches\": {}, \"sim_makespan_s\": {:.9e}}}",
+        m.wall_s,
+        m.jobs,
+        m.jobs_per_s(),
+        m.instructions,
+        m.instructions_per_s(),
+        m.launches,
+        m.parallel_launches,
+        m.sim_makespan_s
+    )
+}
+
+/// Re-plan `device_records` through `pipeline` and summarize each device plan.
+fn ablate(pipeline: &Pipeline, device_records: &[Vec<sigmavp::host::JobRecord>]) -> Vec<String> {
+    let arch = GpuArch::quadro_4000();
+    device_records
+        .iter()
+        .enumerate()
+        .map(|(d, records)| {
+            let plan = plan_device(pipeline, records, &|_| true, &arch);
+            format!(
+                "    {{\"device\": {d}, \"jobs\": {}, \"makespan_s\": {:.9e}, \
+                 \"overlap_fraction\": {:.6}, \"coalesced_members\": {}}}",
+                records.len(),
+                plan.timeline.makespan_s,
+                plan.timeline.overlap_fraction(),
+                plan.coalesced_members()
+            )
+        })
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let telemetry = sigmavp_telemetry::install();
+    let host = default_workers();
+    if args.workers < 2 {
+        eprintln!("perf: --workers must be >= 2 (it is compared against workers=1)");
+        return ExitCode::FAILURE;
+    }
+
+    println!(
+        "perf: fleet of 4 VPs (mandelbrot x2, matrixMul, nbody) at scale {}, \
+         1 host GPU, {} repeat(s), host parallelism {}",
+        args.scale, args.repeats, host
+    );
+
+    // --- Measure both configurations. ----------------------------------------
+    let seq = match run_config(1, args.scale, args.repeats, &telemetry) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("perf: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let par = match run_config(args.workers, args.scale, args.repeats, &telemetry) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("perf: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // The parallel engine must execute the identical workload.
+    if (seq.jobs, seq.instructions, seq.launches) != (par.jobs, par.instructions, par.launches) {
+        eprintln!(
+            "perf: workers={} changed the workload: jobs {} vs {}, instructions {} vs {}",
+            args.workers, seq.jobs, par.jobs, seq.instructions, par.instructions
+        );
+        return ExitCode::FAILURE;
+    }
+    if par.parallel_launches == 0 {
+        eprintln!("perf: workers={} never took the block-parallel path", args.workers);
+        return ExitCode::FAILURE;
+    }
+
+    let speedup = seq.wall_s / par.wall_s;
+    let required = required_speedup(host);
+
+    for (name, m) in [("workers=1", &seq), (&format!("workers={}", args.workers), &par)] {
+        println!(
+            "{name}: wall {:.3} ms, {:.0} jobs/s, {:.3e} instr/s ({} jobs, {} instr, \
+             {} parallel launches)",
+            m.wall_s * 1e3,
+            m.jobs_per_s(),
+            m.instructions_per_s(),
+            m.jobs,
+            m.instructions,
+            m.parallel_launches
+        );
+    }
+    println!(
+        "speedup: {speedup:.2}x wall-clock at workers={} (required >= {required:.1}x on \
+         {host}-core host)",
+        args.workers
+    );
+
+    // --- Optional pass ablation. ----------------------------------------------
+    let ablation = match &args.passes {
+        Some(spec) => {
+            let pipeline = match Pipeline::parse(spec) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("perf: --passes {spec}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let rows = ablate(&pipeline, &seq.device_records);
+            println!("ablation [{}]:", pipeline.pass_names().join(","));
+            for row in &rows {
+                println!("{}", row.trim_start());
+            }
+            Some((spec.clone(), rows))
+        }
+        None => None,
+    };
+
+    // --- Gate metrics: ratios and deterministic counts only. ------------------
+    let gate: Vec<(String, f64)> = vec![
+        ("perf.speedup_wall".into(), speedup),
+        ("perf.jobs".into(), seq.jobs as f64),
+        ("perf.instructions".into(), seq.instructions as f64),
+        ("perf.launches".into(), seq.launches as f64),
+        ("perf.parallel_launches".into(), par.parallel_launches as f64),
+    ];
+
+    // --- BENCH_perf.json. ------------------------------------------------------
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"sigmavp-perf-v1\",\n");
+    json.push_str(&format!(
+        "  \"host_parallelism\": {host},\n  \"workers_compared\": [1, {}],\n  \
+         \"scale\": {},\n  \"repeats\": {},\n  \"tolerance\": {:.6},\n",
+        args.workers, args.scale, args.repeats, args.tolerance
+    ));
+    let flat = format_flat_json(&gate);
+    json.push_str(&format!("  \"gate\": {},\n", flat.trim_end().replace('\n', "\n  ")));
+    json.push_str("  \"runs\": {\n");
+    json.push_str(&measure_json("workers_1", &seq));
+    json.push_str(",\n");
+    json.push_str(&measure_json(&format!("workers_{}", args.workers), &par));
+    json.push_str("\n  },\n");
+    json.push_str(&format!(
+        "  \"speedup\": {{\"wall\": {:.6}, \"required\": {:.6}}}",
+        speedup, required
+    ));
+    match &ablation {
+        Some((spec, rows)) => {
+            json.push_str(&format!(
+                ",\n  \"ablation\": {{\"passes\": \"{}\", \"devices\": [\n{}\n  ]}}\n}}\n",
+                escape_json(spec),
+                rows.join(",\n")
+            ));
+        }
+        None => json.push_str("\n}\n"),
+    }
+    if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("perf: cannot write {}: {e}", args.out);
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {}", args.out);
+
+    // --- Baseline write / check. ----------------------------------------------
+    if args.write_baseline {
+        if let Some(dir) = std::path::Path::new(&args.baseline).parent() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("perf: cannot create {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        if let Err(e) = std::fs::write(&args.baseline, format_flat_json(&gate)) {
+            eprintln!("perf: cannot write baseline {}: {e}", args.baseline);
+            return ExitCode::FAILURE;
+        }
+        println!("wrote baseline {}", args.baseline);
+    }
+    let mut failed = false;
+    if args.check {
+        let text = match std::fs::read_to_string(&args.baseline) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("perf: cannot read baseline {}: {e}", args.baseline);
+                return ExitCode::FAILURE;
+            }
+        };
+        let baseline = match parse_flat_json(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("perf: malformed baseline {}: {e}", args.baseline);
+                return ExitCode::FAILURE;
+            }
+        };
+        let regressions = compare(&baseline, &gate, args.tolerance);
+        if regressions.is_empty() {
+            println!(
+                "check: {} metrics within {:.0}% of {}",
+                baseline.len(),
+                args.tolerance * 100.0,
+                args.baseline
+            );
+        } else {
+            for r in &regressions {
+                eprintln!("REGRESSION {}", r.describe());
+            }
+            failed = true;
+        }
+    }
+    if speedup < required {
+        eprintln!(
+            "perf: speedup {speedup:.2}x below the required {required:.1}x for a \
+             {host}-core host"
+        );
+        failed = true;
+    }
+    sigmavp_telemetry::uninstall();
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -360,6 +360,7 @@ impl DispatchedSigmaVp {
     pub fn join(self) -> (ThreadedReport, DispatchStats) {
         let mut session = ExecutionSession::new(self.archs, self.registry, self.cost)
             .expect("constructor checked for at least one device");
+        session.set_workers(self.policy.workers);
 
         // One transport pair per VP; route each VP to a device up front. With a
         // fault plan active, both ends of the link go through a FaultyTransport

@@ -98,6 +98,12 @@ impl HostRuntime {
         &self.device
     }
 
+    /// Set the block-parallel worker count for kernel launches on this
+    /// runtime's device (`0` = one worker per core, `1` = sequential).
+    pub fn set_workers(&mut self, workers: u32) {
+        self.device.set_workers(workers);
+    }
+
     /// The job log so far, in dispatch order.
     pub fn records(&self) -> &[JobRecord] {
         &self.records

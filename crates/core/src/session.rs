@@ -174,20 +174,50 @@ impl ExecutionSession {
         self.devices.iter().map(|slot| slot.runtime.lock().take_records()).collect()
     }
 
+    /// Set the block-parallel worker count used for kernel launches on every
+    /// device (`0` = one worker per core, `1` = sequential).
+    pub fn set_workers(&mut self, workers: u32) {
+        for slot in &self.devices {
+            slot.runtime.lock().set_workers(workers);
+        }
+    }
+
     /// Drain every device's job log and plan each through `pipeline`, pricing
     /// the results on the per-device engine models.
+    ///
+    /// Host GPUs are independent, so devices are planned concurrently on the
+    /// shared SPTX [`WorkerPool`](sigmavp_sptx::exec::WorkerPool); results are
+    /// assembled back in device order, so the outcome is identical to planning
+    /// sequentially.
     pub fn drain_and_plan(
         &mut self,
         pipeline: &Pipeline,
-        coalescible: &dyn Fn(VpId) -> bool,
+        coalescible: &(dyn Fn(VpId) -> bool + Sync),
     ) -> SessionOutcome {
-        let devices = self
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        let inputs: Vec<(GpuArch, Vec<JobRecord>)> = self
             .devices
             .iter()
-            .map(|slot| {
-                let records = slot.runtime.lock().take_records();
-                let plan = plan_device(pipeline, &records, coalescible, &slot.arch);
-                DeviceOutcome { arch: slot.arch.clone(), records, plan }
+            .map(|slot| (slot.arch.clone(), slot.runtime.lock().take_records()))
+            .collect();
+        let plans: Vec<Mutex<Option<DevicePlan>>> =
+            inputs.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let task = |_slot: usize| loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            let Some((arch, records)) = inputs.get(i) else { break };
+            *plans[i].lock() = Some(plan_device(pipeline, records, coalescible, arch));
+        };
+        sigmavp_sptx::exec::WorkerPool::global().run_scoped(inputs.len(), &task);
+
+        let devices = inputs
+            .into_iter()
+            .zip(plans)
+            .map(|((arch, records), plan)| DeviceOutcome {
+                arch,
+                records,
+                plan: plan.into_inner().expect("every device was planned"),
             })
             .collect();
         SessionOutcome { devices }

@@ -293,8 +293,9 @@ impl ThreadedSigmaVp {
         cost: TransportCost,
         policy: Policy,
     ) -> Self {
-        let session = ExecutionSession::new(archs, registry, cost)
+        let mut session = ExecutionSession::new(archs, registry, cost)
             .expect("threaded runtime needs at least one host gpu");
+        session.set_workers(policy.workers);
         ThreadedSigmaVp {
             session,
             policy,

@@ -55,6 +55,7 @@ pub struct GpuDevice {
     arch: GpuArch,
     allocator: DeviceAllocator,
     memory: Memory,
+    interp: Interpreter,
     launches: Vec<HardwareProfile>,
     stats: DeviceStats,
 }
@@ -73,9 +74,16 @@ impl GpuDevice {
             arch,
             allocator: DeviceAllocator::new(bytes),
             memory: Memory::new(bytes as usize),
+            interp: Interpreter::new(),
             launches: Vec::new(),
             stats: DeviceStats::default(),
         }
+    }
+
+    /// Set the block-parallel worker count used for kernel launches
+    /// (`0` = one worker per available core, `1` = sequential).
+    pub fn set_workers(&mut self, workers: u32) {
+        self.interp = Interpreter::new().with_workers(workers);
     }
 
     /// The device's architecture.
@@ -175,7 +183,7 @@ impl GpuDevice {
         cfg: &LaunchConfig,
         params: &[ParamValue],
     ) -> Result<KernelRun, GpuError> {
-        let profile = Interpreter::new().run(program, cfg, params, &mut self.memory)?;
+        let profile = self.interp.run(program, cfg, params, &mut self.memory)?;
         let cost = kernel_cost(&self.arch, &profile, cfg);
         self.stats.launches += 1;
         self.stats.kernel_time_s += cost.time_s;

@@ -369,6 +369,35 @@ impl Pipeline {
         pipeline
     }
 
+    /// Build a pipeline from a comma-separated pass list, e.g.
+    /// `"rebalance,dep_order,interleave,coalesce"` — the knob behind the bench
+    /// binaries' `--passes` flag, so pass-level ablations (with/without
+    /// `rebalance`, `coalesce`, ...) don't require recompiling.
+    ///
+    /// Recognized names (matching [`SchedulePass::name`]): `rebalance`,
+    /// `dep_order`, `interleave` (earliest-start), `interleave_cp`
+    /// (critical-path), `coalesce`, `adaptive_select`. An empty spec yields the
+    /// identity pipeline; whitespace around names is ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending name if it is not a known pass.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut pipeline = Pipeline::new();
+        for name in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            pipeline = match name {
+                "rebalance" => pipeline.with_pass(crate::rebalance::Rebalance),
+                "dep_order" => pipeline.with_pass(DepOrder),
+                "interleave" => pipeline.with_pass(Interleave(InterleaveMode::EarliestStart)),
+                "interleave_cp" => pipeline.with_pass(Interleave(InterleaveMode::CriticalPath)),
+                "coalesce" => pipeline.with_pass(Coalesce),
+                "adaptive_select" => pipeline.with_pass(AdaptiveSelect),
+                other => return Err(format!("unknown pass `{other}`")),
+            };
+        }
+        Ok(pipeline)
+    }
+
     /// Number of passes.
     pub fn depth(&self) -> usize {
         self.passes.len()
@@ -619,5 +648,26 @@ mod tests {
         let out = Pipeline::from_policy(&Policy::MultiplexedOptimized).plan(Vec::new(), &ctx);
         assert!(out.is_empty());
         assert!(out.groups.is_empty());
+    }
+
+    #[test]
+    fn parse_matches_pass_names() {
+        let spec = "rebalance, dep_order,interleave,coalesce,adaptive_select";
+        assert_eq!(
+            Pipeline::parse(spec).unwrap().pass_names(),
+            vec!["rebalance", "dep_order", "interleave", "coalesce", "adaptive_select"]
+        );
+        assert_eq!(
+            Pipeline::parse("dep_order,interleave_cp").unwrap().pass_names(),
+            vec!["dep_order", "interleave_cp"]
+        );
+        assert_eq!(Pipeline::parse("").unwrap().depth(), 0);
+        assert!(Pipeline::parse("dep_order,bogus").unwrap_err().contains("bogus"));
+        // Every from_policy shape is reconstructible from its own names.
+        for policy in [Policy::Multiplexed, Policy::MultiplexedOptimized, Policy::Fifo] {
+            let canonical = Pipeline::from_policy(&policy);
+            let spec = canonical.pass_names().join(",");
+            assert_eq!(Pipeline::parse(&spec).unwrap().pass_names(), canonical.pass_names());
+        }
     }
 }

@@ -148,6 +148,10 @@ pub struct Policy {
     pub admission: Admission,
     /// Request-level retry/timeout discipline for the forwarding channel.
     pub retry: RetryPolicy,
+    /// Worker threads per kernel launch for block-parallel SPTX execution.
+    /// `0` means "one per available core"; `1` forces the sequential
+    /// interpreter (the degenerate case used by differential tests).
+    pub workers: u32,
 }
 
 #[allow(non_upper_case_globals)]
@@ -159,6 +163,7 @@ impl Policy {
         coalesce: false,
         admission: Admission::Fifo,
         retry: RetryPolicy::DEFAULT,
+        workers: 0,
     };
     /// Legacy `GpuMode::Multiplexed`: host-GPU multiplexing without the
     /// re-scheduler optimizations.
@@ -168,6 +173,7 @@ impl Policy {
         coalesce: false,
         admission: Admission::Fifo,
         retry: RetryPolicy::DEFAULT,
+        workers: 0,
     };
     /// Legacy `GpuMode::MultiplexedOptimized`: multiplexing plus Kernel
     /// Interleaving and Kernel Coalescing.
@@ -177,6 +183,7 @@ impl Policy {
         coalesce: true,
         admission: Admission::Fifo,
         retry: RetryPolicy::DEFAULT,
+        workers: 0,
     };
     /// Legacy `SchedulingPolicy::Fifo`: live VPs race for the host runtime;
     /// the pending window is still interleaved by the re-scheduler.
@@ -186,6 +193,7 @@ impl Policy {
         coalesce: false,
         admission: Admission::Fifo,
         retry: RetryPolicy::DEFAULT,
+        workers: 0,
     };
     /// Legacy `SchedulingPolicy::RoundRobin`: live VPs take strict turns
     /// through the VP-control gate.
@@ -195,6 +203,7 @@ impl Policy {
         coalesce: false,
         admission: Admission::RoundRobin,
         retry: RetryPolicy::DEFAULT,
+        workers: 0,
     };
 
     /// The emulation baseline ([`Policy::EmulatedOnVp`]).
@@ -237,6 +246,13 @@ impl Policy {
         self
     }
 
+    /// Set the block-parallel worker count (builder style). `0` = one worker
+    /// per available core, `1` = sequential execution.
+    pub const fn with_workers(mut self, workers: u32) -> Policy {
+        self.workers = workers;
+        self
+    }
+
     /// Whether any planning pass beyond dependency ordering is active.
     pub const fn plans(&self) -> bool {
         !matches!(self.interleave, InterleaveMode::Off) || self.coalesce
@@ -274,8 +290,11 @@ mod tests {
         let p = Policy::multiplexed()
             .with_interleave(InterleaveMode::CriticalPath)
             .with_coalesce(true)
-            .with_admission(Admission::RoundRobin);
+            .with_admission(Admission::RoundRobin)
+            .with_workers(3);
         assert!(p.plans());
+        assert_eq!(p.workers, 3);
+        assert_eq!(Policy::default().workers, 0, "default is one worker per core");
         assert_eq!(p.interleave, InterleaveMode::CriticalPath);
         assert!(p.coalesce);
         assert_eq!(p.admission, Admission::RoundRobin);

@@ -44,6 +44,68 @@ impl MemoryTraceSummary {
     }
 }
 
+/// Deduplicating accumulator for touched 128-byte memory segments.
+///
+/// The interpreter previously tracked segments in a `HashSet<u64>`, paying a
+/// hash and probe on every load and store. Kernel access streams are strongly
+/// run-structured — consecutive accesses usually hit the same or an adjacent
+/// segment — so an append-only vec with a last-value fast path and periodic
+/// sort+dedup compaction is cheaper, and per-worker sets merge by
+/// concatenation followed by one final compaction.
+#[derive(Debug, Clone)]
+pub struct SegmentSet {
+    segs: Vec<u64>,
+    /// Compact when the raw vec reaches this length; doubled after each
+    /// compaction so the amortized cost per insert stays O(log n).
+    watermark: usize,
+}
+
+impl Default for SegmentSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SegmentSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        SegmentSet { segs: Vec::new(), watermark: 1024 }
+    }
+
+    /// Record a touched segment.
+    #[inline]
+    pub fn insert(&mut self, seg: u64) {
+        if self.segs.last() == Some(&seg) {
+            return;
+        }
+        self.segs.push(seg);
+        if self.segs.len() >= self.watermark {
+            self.compact();
+        }
+    }
+
+    fn compact(&mut self) {
+        self.segs.sort_unstable();
+        self.segs.dedup();
+        self.watermark = (self.segs.len() * 2).max(1024);
+    }
+
+    /// Fold another set into this one. Order-insensitive: the distinct count
+    /// of the union does not depend on which worker touched a segment first.
+    pub fn absorb(&mut self, other: SegmentSet) {
+        self.segs.extend(other.segs);
+        if self.segs.len() >= self.watermark {
+            self.compact();
+        }
+    }
+
+    /// Number of distinct segments recorded so far.
+    pub fn distinct(&mut self) -> u64 {
+        self.compact();
+        self.segs.len() as u64
+    }
+}
+
 /// Full dynamic profile of one kernel launch over an entire grid.
 ///
 /// Contains everything the paper's Profile-Based Execution Analysis consumes:
@@ -154,6 +216,38 @@ mod tests {
         let p = ExecutionProfile::new();
         assert_eq!(p.class_fraction(InstrClass::Int), 0.0);
         assert_eq!(p.instructions_per_thread(), 0.0);
+    }
+
+    #[test]
+    fn segment_set_matches_a_hash_set() {
+        use std::collections::HashSet;
+        // A run-structured stream with repeats, plus a scattered tail that
+        // forces several compactions past the (lowered) watermark.
+        let mut set = SegmentSet::new();
+        let mut reference = HashSet::new();
+        let stream: Vec<u64> = (0..5000u64).map(|i| (i / 7) ^ ((i * 2654435761) % 97)).collect();
+        for &s in &stream {
+            set.insert(s);
+            reference.insert(s);
+        }
+        assert_eq!(set.distinct(), reference.len() as u64);
+        // distinct() is idempotent.
+        assert_eq!(set.distinct(), reference.len() as u64);
+    }
+
+    #[test]
+    fn segment_set_absorb_unions() {
+        let mut a = SegmentSet::new();
+        let mut b = SegmentSet::new();
+        for s in [1u64, 2, 3, 3, 4] {
+            a.insert(s);
+        }
+        for s in [3u64, 4, 5, 1] {
+            b.insert(s);
+        }
+        a.absorb(b);
+        assert_eq!(a.distinct(), 5);
+        assert_eq!(SegmentSet::default().distinct(), 0);
     }
 
     #[test]

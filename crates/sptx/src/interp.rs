@@ -7,13 +7,15 @@
 //! * **profiling** — every run yields an [`ExecutionProfile`] with per-class dynamic
 //!   instruction counts, per-block iteration counts λ and a memory-trace summary.
 //!
-//! Threads are executed sequentially (block by block, thread by thread); SPTX has no
-//! inter-thread communication primitives, so sequential execution is observationally
-//! equivalent to any parallel schedule.
+//! SPTX has no inter-thread communication primitives, so sequential execution is
+//! observationally equivalent to any parallel schedule. With `workers = 1` the
+//! interpreter executes the grid sequentially (block by block, thread by thread);
+//! with more workers, independent thread blocks run concurrently on the
+//! process-wide [`exec::WorkerPool`](crate::exec::WorkerPool) and are merged
+//! deterministically so results stay byte-identical to the sequential path
+//! (per-block overlay memory plus journal replay in `(ctaid, tid)` order).
 
-use std::collections::HashSet;
-
-use crate::counters::{ExecutionProfile, MemoryTraceSummary};
+use crate::counters::{ExecutionProfile, MemoryTraceSummary, SegmentSet};
 use crate::error::SptxError;
 use crate::isa::{BinOp, BlockId, CmpOp, Imm, Instr, ScalarType, Special, Terminator, UnaryOp};
 use crate::program::KernelProgram;
@@ -133,7 +135,7 @@ impl Memory {
         &mut self.bytes
     }
 
-    fn check(&self, addr: u64, width: u64) -> Result<usize, SptxError> {
+    pub(crate) fn check(&self, addr: u64, width: u64) -> Result<usize, SptxError> {
         let end = addr.checked_add(width).ok_or(SptxError::OutOfBoundsAccess {
             addr,
             width,
@@ -237,7 +239,7 @@ impl Memory {
 /// Internal register value: all registers are 64 bits wide and dynamically typed
 /// between float and integer interpretations, like PTX untyped registers.
 #[derive(Debug, Clone, Copy, PartialEq)]
-enum Value {
+pub(crate) enum Value {
     F(f64),
     I(i64),
 }
@@ -258,13 +260,52 @@ impl Value {
     }
 }
 
+/// The data space a thread's loads and stores resolve against.
+///
+/// The sequential path executes directly on [`Memory`]; the block-parallel
+/// path executes each block on an overlay (base memory plus the block's own
+/// journaled writes) so independent blocks never contend. Both paths share
+/// the same thread-execution code via this trait.
+pub(crate) trait DataSpace {
+    fn read_f32(&self, addr: u64) -> Result<f32, SptxError>;
+    fn read_f64(&self, addr: u64) -> Result<f64, SptxError>;
+    fn read_i64(&self, addr: u64) -> Result<i64, SptxError>;
+    fn write_f32(&mut self, addr: u64, v: f32) -> Result<(), SptxError>;
+    fn write_f64(&mut self, addr: u64, v: f64) -> Result<(), SptxError>;
+    fn write_i64(&mut self, addr: u64, v: i64) -> Result<(), SptxError>;
+}
+
+impl DataSpace for Memory {
+    fn read_f32(&self, addr: u64) -> Result<f32, SptxError> {
+        Memory::read_f32(self, addr)
+    }
+    fn read_f64(&self, addr: u64) -> Result<f64, SptxError> {
+        Memory::read_f64(self, addr)
+    }
+    fn read_i64(&self, addr: u64) -> Result<i64, SptxError> {
+        Memory::read_i64(self, addr)
+    }
+    fn write_f32(&mut self, addr: u64, v: f32) -> Result<(), SptxError> {
+        Memory::write_f32(self, addr, v)
+    }
+    fn write_f64(&mut self, addr: u64, v: f64) -> Result<(), SptxError> {
+        Memory::write_f64(self, addr, v)
+    }
+    fn write_i64(&mut self, addr: u64, v: i64) -> Result<(), SptxError> {
+        Memory::write_i64(self, addr, v)
+    }
+}
+
 /// The SPTX interpreter.
 ///
 /// Construct with [`Interpreter::new`], optionally tighten the per-launch instruction
-/// budget with [`Interpreter::with_budget`], then call [`Interpreter::run`].
+/// budget with [`Interpreter::with_budget`] or set the block-level parallelism with
+/// [`Interpreter::with_workers`], then call [`Interpreter::run`].
 #[derive(Debug, Clone)]
 pub struct Interpreter {
-    budget: u64,
+    pub(crate) budget: u64,
+    /// Block-level parallelism: 0 = all available cores, 1 = sequential.
+    pub(crate) workers: u32,
 }
 
 impl Default for Interpreter {
@@ -277,9 +318,10 @@ impl Interpreter {
     /// Default per-launch dynamic instruction budget (4 × 10⁹).
     pub const DEFAULT_BUDGET: u64 = 4_000_000_000;
 
-    /// An interpreter with the default instruction budget.
+    /// An interpreter with the default instruction budget, using every
+    /// available core for block-parallel execution.
     pub fn new() -> Self {
-        Self { budget: Self::DEFAULT_BUDGET }
+        Self { budget: Self::DEFAULT_BUDGET, workers: 0 }
     }
 
     /// Set the per-launch instruction budget; execution aborts with
@@ -287,6 +329,25 @@ impl Interpreter {
     pub fn with_budget(mut self, budget: u64) -> Self {
         self.budget = budget;
         self
+    }
+
+    /// Set block-level parallelism: `0` means all available cores (the
+    /// default), `1` forces the sequential path, and `n > 1` caps the number
+    /// of concurrent blocks at `n`. The parallel path merges per-worker
+    /// results in `(ctaid, tid)` order, so every setting produces
+    /// byte-identical memory, profiles and errors.
+    pub fn with_workers(mut self, workers: u32) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// The effective worker count: `workers`, with 0 resolved to the host's
+    /// available parallelism.
+    pub fn effective_workers(&self) -> usize {
+        match self.workers {
+            0 => crate::exec::default_workers(),
+            n => n as usize,
+        }
     }
 
     /// Execute `program` over the full grid described by `cfg`, reading and writing
@@ -311,9 +372,14 @@ impl Interpreter {
             });
         }
 
+        let workers = self.effective_workers();
+        if workers > 1 && cfg.grid_dim > 1 {
+            return crate::parallel::run_parallel(self, program, cfg, params, mem, workers);
+        }
+
         let mut class_counts = [0u64; 7];
         let mut block_iters = vec![0u64; program.blocks().len()];
-        let mut segments: HashSet<u64> = HashSet::new();
+        let mut segments = SegmentSet::new();
         let mut trace = MemoryTraceSummary::default();
         let mut executed: u64 = 0;
 
@@ -352,7 +418,7 @@ impl Interpreter {
                 profile.block_iterations.insert(BlockId(i as u32), *n);
             }
         }
-        trace.unique_segments = segments.len() as u64;
+        trace.unique_segments = segments.distinct();
         profile.memory = trace;
         profile.threads = cfg.total_threads();
         let r = sigmavp_telemetry::recorder();
@@ -364,19 +430,19 @@ impl Interpreter {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn run_thread(
+    pub(crate) fn run_thread<M: DataSpace>(
         &self,
         program: &KernelProgram,
         cfg: &LaunchConfig,
         params: &[ParamValue],
-        mem: &mut Memory,
+        mem: &mut M,
         ctaid: u32,
         tid: u32,
         regs: &mut [Value],
         preds: &mut [bool],
         class_counts: &mut [u64; 7],
         block_iters: &mut [u64],
-        segments: &mut HashSet<u64>,
+        segments: &mut SegmentSet,
         trace: &mut MemoryTraceSummary,
         executed: &mut u64,
     ) -> Result<(), SptxError> {
@@ -417,18 +483,18 @@ impl Interpreter {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn exec_instr(
+    fn exec_instr<M: DataSpace>(
         &self,
         instr: &Instr,
         _program: &KernelProgram,
         cfg: &LaunchConfig,
         params: &[ParamValue],
-        mem: &mut Memory,
+        mem: &mut M,
         ctaid: u32,
         tid: u32,
         regs: &mut [Value],
         preds: &mut [bool],
-        segments: &mut HashSet<u64>,
+        segments: &mut SegmentSet,
         trace: &mut MemoryTraceSummary,
         block_id: BlockId,
     ) -> Result<(), SptxError> {

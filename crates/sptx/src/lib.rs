@@ -64,9 +64,11 @@ pub mod asm;
 pub mod builder;
 pub mod counters;
 pub mod error;
+pub mod exec;
 pub mod interp;
 pub mod isa;
 pub mod opt;
+mod parallel;
 pub mod program;
 pub mod validate;
 

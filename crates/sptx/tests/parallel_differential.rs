@@ -1,0 +1,310 @@
+//! Differential property testing of the block-parallel interpreter: for
+//! random programs, launch shapes and parameters, parallel execution
+//! (workers ∈ {2, 4, 7}) must be observationally identical to the sequential
+//! interpreter (`workers = 1`) — same [`ExecutionProfile`], same final memory
+//! bytes, same error value — across success, faulting-block and
+//! budget-exhaustion outcomes.
+
+use proptest::prelude::*;
+
+use sigmavp_sptx::builder::{for_loop, ProgramBuilder};
+use sigmavp_sptx::counters::ExecutionProfile;
+use sigmavp_sptx::interp::{Interpreter, LaunchConfig, Memory, ParamValue};
+use sigmavp_sptx::isa::{BinOp, Reg, ScalarType, Special, UnaryOp};
+use sigmavp_sptx::{KernelProgram, SptxError};
+
+const NREGS: usize = 6;
+const PARALLEL_WORKERS: [u32; 3] = [2, 4, 7];
+
+/// One randomly chosen fault-free operation over the scratch register file.
+#[derive(Debug, Clone)]
+enum RandomOp {
+    Bin { op: usize, ty: usize, dst: usize, a: usize, b: usize },
+    Un { op: usize, ty: usize, dst: usize, a: usize },
+    Mad { ty: usize, dst: usize, a: usize, b: usize, c: usize },
+    Mov { dst: usize, src: usize },
+    Cvt { to: usize, dst: usize, src: usize },
+}
+
+fn arb_op() -> impl Strategy<Value = RandomOp> {
+    let r = 0usize..NREGS;
+    prop_oneof![
+        (0usize..10, 0usize..3, r.clone(), r.clone(), r.clone())
+            .prop_map(|(op, ty, dst, a, b)| RandomOp::Bin { op, ty, dst, a, b }),
+        (0usize..8, 0usize..3, r.clone(), r.clone()).prop_map(|(op, ty, dst, a)| RandomOp::Un {
+            op,
+            ty,
+            dst,
+            a
+        }),
+        (0usize..3, r.clone(), r.clone(), r.clone(), r.clone())
+            .prop_map(|(ty, dst, a, b, c)| RandomOp::Mad { ty, dst, a, b, c }),
+        (r.clone(), r.clone()).prop_map(|(dst, src)| RandomOp::Mov { dst, src }),
+        (0usize..3, r.clone(), r).prop_map(|(to, dst, src)| RandomOp::Cvt { to, dst, src }),
+    ]
+}
+
+fn ty_of(sel: usize) -> ScalarType {
+    [ScalarType::F32, ScalarType::F64, ScalarType::I64][sel % 3]
+}
+
+fn bin_of(sel: usize) -> BinOp {
+    // Div/Rem excluded here: faults are exercised by the dedicated
+    // `faulting_block_matches_sequential` property below.
+    [
+        BinOp::Add,
+        BinOp::Sub,
+        BinOp::Mul,
+        BinOp::Min,
+        BinOp::Max,
+        BinOp::And,
+        BinOp::Or,
+        BinOp::Xor,
+        BinOp::Shl,
+        BinOp::Shr,
+    ][sel % 10]
+}
+
+fn un_of(sel: usize) -> UnaryOp {
+    [
+        UnaryOp::Neg,
+        UnaryOp::Abs,
+        UnaryOp::Sqrt,
+        UnaryOp::Exp,
+        UnaryOp::Log,
+        UnaryOp::Sin,
+        UnaryOp::Cos,
+        UnaryOp::Not,
+    ][sel % 8]
+}
+
+fn emit(b: &mut ProgramBuilder, regs: &[Reg], ops: &[RandomOp]) {
+    for op in ops {
+        match op {
+            RandomOp::Bin { op, ty, dst, a, b: rb } => {
+                b.binop(bin_of(*op), ty_of(*ty), regs[*dst], regs[*a], regs[*rb]);
+            }
+            RandomOp::Un { op, ty, dst, a } => {
+                b.unop(un_of(*op), ty_of(*ty), regs[*dst], regs[*a]);
+            }
+            RandomOp::Mad { ty, dst, a, b: rb, c } => {
+                b.mad(ty_of(*ty), regs[*dst], regs[*a], regs[*rb], regs[*c]);
+            }
+            RandomOp::Mov { dst, src } => {
+                b.mov(regs[*dst], regs[*src]);
+            }
+            RandomOp::Cvt { to, dst, src } => {
+                b.cvt(ty_of(*to), ScalarType::F64, regs[*dst], regs[*src]);
+            }
+        }
+    }
+}
+
+/// A race-free random kernel: every thread reads `input[gtid]` (read-only
+/// across the launch), mangles a scratch register file with `ops` (optionally
+/// inside a counted loop), and stores all scratch registers to its own
+/// private output slot. No thread reads anything another thread writes, so
+/// sequential and parallel execution must agree bit-for-bit.
+fn build_random_kernel(seed_i: i64, seed_f: f64, ops: &[RandomOp], trips: u32) -> KernelProgram {
+    let mut b = ProgramBuilder::new("par_diff");
+    let gtid = b.reg();
+    b.read_special(gtid, Special::GlobalTid);
+    let regs: Vec<Reg> = (0..NREGS).map(|_| b.reg()).collect();
+    b.mov(regs[0], gtid);
+    b.read_special(regs[1], Special::CtaIdX);
+    b.read_special(regs[2], Special::TidX);
+    let inbase = b.reg();
+    b.ld_param(inbase, 0);
+    b.ld_indexed(ScalarType::F64, regs[3], inbase, gtid, 0);
+    b.mov_imm_i(regs[4], seed_i);
+    b.mov_imm_f(regs[5], seed_f);
+
+    if trips > 0 {
+        for_loop(&mut b, i64::from(trips), |b, _| emit(b, &regs, ops));
+    } else {
+        emit(&mut b, &regs, ops);
+    }
+
+    let (outbase, stride, addr) = (b.reg(), b.reg(), b.reg());
+    b.ld_param(outbase, 1)
+        .mov_imm_i(stride, (NREGS * 16) as i64)
+        .binop(BinOp::Mul, ScalarType::I64, addr, gtid, stride)
+        .binop(BinOp::Add, ScalarType::I64, addr, addr, outbase);
+    for (i, r) in regs.iter().enumerate() {
+        b.st(ScalarType::I64, addr, (i * 16) as i64, *r);
+        b.st(ScalarType::F64, addr, (i * 16 + 8) as i64, *r);
+    }
+    b.ret();
+    b.build().expect("generated kernel is structurally valid")
+}
+
+/// Run `program` over `cfg` at the given worker count on a fresh memory image
+/// (input region seeded with a deterministic pattern), returning the outcome
+/// and the final memory bytes.
+fn run_with_workers(
+    program: &KernelProgram,
+    cfg: &LaunchConfig,
+    workers: u32,
+    budget: Option<u64>,
+) -> (Result<ExecutionProfile, SptxError>, Vec<u8>) {
+    let threads = cfg.total_threads() as usize;
+    let out_base = threads * 8;
+    let mut mem = Memory::new(out_base + threads * NREGS * 16);
+    for t in 0..threads {
+        mem.write_f64(t as u64 * 8, (t as f64).mul_add(-3.25, 1000.5)).unwrap();
+    }
+    let mut interp = Interpreter::new().with_workers(workers);
+    if let Some(budget) = budget {
+        interp = interp.with_budget(budget);
+    }
+    let params = [ParamValue::Ptr(0), ParamValue::Ptr(out_base as u64)];
+    let result = interp.run(program, cfg, &params, &mut mem);
+    (result, mem.as_bytes().to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn parallel_matches_sequential(
+        seed_i in -1_000_000i64..1_000_000,
+        seed_f in -1.0e6f64..1.0e6,
+        ops in proptest::collection::vec(arb_op(), 0..24),
+        grid in 1u32..9,
+        block in 1u32..25,
+        trips in 0u32..6,
+    ) {
+        let program = build_random_kernel(seed_i, seed_f, &ops, trips);
+        let cfg = LaunchConfig::linear(grid, block);
+        let (seq, seq_mem) = run_with_workers(&program, &cfg, 1, None);
+        let seq = seq.expect("race-free random kernel executes");
+        for workers in PARALLEL_WORKERS {
+            let (par, par_mem) = run_with_workers(&program, &cfg, workers, None);
+            let par = par.expect("parallel execution of the same kernel succeeds");
+            prop_assert_eq!(&seq, &par, "profile diverged at workers={}", workers);
+            prop_assert_eq!(&seq_mem, &par_mem, "memory diverged at workers={}", workers);
+        }
+    }
+
+    #[test]
+    fn faulting_block_matches_sequential(
+        grid in 2u32..10,
+        block in 1u32..17,
+        fault_block in 0u32..10,
+    ) {
+        let fault_block = fault_block % grid;
+        // Every thread stores gtid to its slot, then block `fault_block`
+        // divides by zero. Sequential semantics: blocks before the faulting
+        // one complete, thread 0 of the faulting block stores and then
+        // faults, everything after never runs.
+        let mut b = ProgramBuilder::new("par_fault");
+        let (gtid, ctaid, outbase, k, one) = (b.reg(), b.reg(), b.reg(), b.reg(), b.reg());
+        b.read_special(gtid, Special::GlobalTid)
+            .read_special(ctaid, Special::CtaIdX)
+            .ld_param(outbase, 0)
+            .st_indexed(ScalarType::I64, outbase, gtid, 0, gtid)
+            .mov_imm_i(k, i64::from(fault_block))
+            .binop(BinOp::Sub, ScalarType::I64, k, ctaid, k)
+            .mov_imm_i(one, 1)
+            .binop(BinOp::Div, ScalarType::I64, one, one, k)
+            .ret();
+        let program = b.build().unwrap();
+        let cfg = LaunchConfig::linear(grid, block);
+
+        let (seq, seq_mem) = run_with_workers(&program, &cfg, 1, None);
+        let seq_err = seq.expect_err("the faulting block divides by zero");
+        let is_div_by_zero = matches!(seq_err, SptxError::DivisionByZero { .. });
+        prop_assert!(is_div_by_zero);
+        for workers in PARALLEL_WORKERS {
+            let (par, par_mem) = run_with_workers(&program, &cfg, workers, None);
+            let par_err = par.expect_err("parallel run faults identically");
+            prop_assert_eq!(&seq_err, &par_err, "error diverged at workers={}", workers);
+            prop_assert_eq!(&seq_mem, &par_mem, "partial memory diverged at workers={}", workers);
+        }
+    }
+
+    #[test]
+    fn write_write_races_replay_in_ctaid_order(
+        grid in 2u32..9,
+        block in 1u32..17,
+    ) {
+        // All threads store their gtid to the same address: a write-write
+        // race, which the ISA resolves last-writer-wins in (ctaid, tid)
+        // order. Journal replay must reproduce it exactly.
+        let mut b = ProgramBuilder::new("par_race");
+        let (gtid, outbase) = (b.reg(), b.reg());
+        b.read_special(gtid, Special::GlobalTid)
+            .ld_param(outbase, 0)
+            .st(ScalarType::I64, outbase, 0, gtid)
+            .ret();
+        let program = b.build().unwrap();
+        let cfg = LaunchConfig::linear(grid, block);
+        let (seq, seq_mem) = run_with_workers(&program, &cfg, 1, None);
+        seq.unwrap();
+        for workers in PARALLEL_WORKERS {
+            let (par, par_mem) = run_with_workers(&program, &cfg, workers, None);
+            par.unwrap();
+            prop_assert_eq!(&seq_mem, &par_mem, "race order diverged at workers={}", workers);
+        }
+        // And the winner is the last thread of the grid.
+        let winner = i64::from_le_bytes(seq_mem[0..8].try_into().unwrap());
+        prop_assert_eq!(winner, cfg.total_threads() as i64 - 1);
+    }
+}
+
+/// A looped kernel with a statically known per-thread instruction count, used
+/// to sweep the cumulative budget across block boundaries.
+fn budget_kernel() -> KernelProgram {
+    let mut b = ProgramBuilder::new("par_budget");
+    let (gtid, outbase, acc, one) = (b.reg(), b.reg(), b.reg(), b.reg());
+    b.read_special(gtid, Special::GlobalTid)
+        .ld_param(outbase, 0)
+        .mov_imm_i(acc, 0)
+        .mov_imm_i(one, 1);
+    for_loop(&mut b, 7, |b, _| {
+        b.binop(BinOp::Add, ScalarType::I64, acc, acc, one);
+    });
+    b.st_indexed(ScalarType::I64, outbase, gtid, 0, acc).ret();
+    b.build().unwrap()
+}
+
+#[test]
+fn budget_exhaustion_matches_sequential_at_every_boundary() {
+    let program = budget_kernel();
+    let cfg = LaunchConfig::linear(5, 3);
+    let (full, _) = run_with_workers(&program, &cfg, 1, None);
+    let total = full.unwrap().counts.total();
+
+    // Sweep budgets through: plenty, exactly enough, one short, mid-grid,
+    // mid-block, and nearly nothing.
+    let budgets = [total + 10, total, total - 1, total / 2, total / 3 + 1, total / 5, 7, 1];
+    for budget in budgets {
+        let (seq, seq_mem) = run_with_workers(&program, &cfg, 1, Some(budget));
+        for workers in PARALLEL_WORKERS {
+            let (par, par_mem) = run_with_workers(&program, &cfg, workers, Some(budget));
+            match (&seq, &par) {
+                (Ok(s), Ok(p)) => assert_eq!(s, p, "profile diverged at budget {budget}"),
+                (Err(s), Err(p)) => assert_eq!(s, p, "error diverged at budget {budget}"),
+                _ => panic!(
+                    "outcome diverged at budget {budget} workers {workers}: seq={seq:?} par={par:?}"
+                ),
+            }
+            assert_eq!(seq_mem, par_mem, "memory diverged at budget {budget} workers {workers}");
+        }
+    }
+}
+
+#[test]
+fn single_block_grids_use_the_sequential_path() {
+    // grid_dim = 1 cannot be split; the parallel dispatch must fall through
+    // to the sequential loop and still produce the right answer.
+    let program = budget_kernel();
+    let cfg = LaunchConfig::linear(1, 8);
+    let (r, mem) = run_with_workers(&program, &cfg, 8, None);
+    r.unwrap();
+    for t in 0..8u64 {
+        let out =
+            i64::from_le_bytes(mem[(t * 8) as usize..(t * 8 + 8) as usize].try_into().unwrap());
+        assert_eq!(out, 7);
+    }
+}

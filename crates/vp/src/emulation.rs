@@ -12,6 +12,7 @@ use std::collections::HashMap;
 use sigmavp_gpu::alloc::{DeviceAllocator, DeviceBuffer};
 use sigmavp_gpu::arch::ClassTable;
 use sigmavp_ipc::message::WireParam;
+use sigmavp_sptx::counters::ExecutionProfile;
 use sigmavp_sptx::interp::{Interpreter, LaunchConfig, Memory, ParamValue};
 
 use crate::calib;
@@ -51,6 +52,8 @@ pub struct EmulatedGpu {
     instr_per_gpu_instr: f64,
     class_weights: ClassTable,
     emulated_instructions: u64,
+    interp: Interpreter,
+    profiles: Vec<ExecutionProfile>,
 }
 
 impl EmulatedGpu {
@@ -94,12 +97,25 @@ impl EmulatedGpu {
             instr_per_gpu_instr,
             class_weights: default_emulation_weights(),
             emulated_instructions: 0,
+            interp: Interpreter::new(),
+            profiles: Vec::new(),
         }
     }
 
     /// Total GPU instructions emulated so far.
     pub fn emulated_instructions(&self) -> u64 {
         self.emulated_instructions
+    }
+
+    /// Set the block-parallel worker count used for emulated launches
+    /// (`0` = one worker per core, `1` = sequential).
+    pub fn set_workers(&mut self, workers: u32) {
+        self.interp = Interpreter::new().with_workers(workers);
+    }
+
+    /// Execution profiles of every launch so far, oldest first.
+    pub fn profiles(&self) -> &[ExecutionProfile] {
+        &self.profiles
     }
 
     fn buffer(&self, handle: u64) -> Result<DeviceBuffer, VpError> {
@@ -172,13 +188,15 @@ impl GpuService for EmulatedGpu {
         let program = self.registry.get(kernel)?;
         let resolved = self.resolve_params(params)?;
         let cfg = LaunchConfig::linear(grid_dim, block_dim);
-        let profile = Interpreter::new()
+        let profile = self
+            .interp
             .run(&program, &cfg, &resolved, &mut self.memory)
             .map_err(|e| VpError::Device(e.to_string()))?;
         let instr = profile.counts.total();
         self.emulated_instructions += instr;
         // Per-class weighted emulation cost: Σ_i σ_i × weight_i × base factor.
         let weighted = self.class_weights.dot(&profile.counts);
+        self.profiles.push(profile);
         Ok(self.guest_cost(weighted * self.instr_per_gpu_instr))
     }
 

@@ -1,0 +1,116 @@
+//! Full-suite differential: every Fig. 11 application produces byte-identical
+//! results under the sequential interpreter (`workers = 1`) and the
+//! block-parallel one.
+//!
+//! A forwarding [`GpuService`] runs every call against two emulators — one
+//! pinned sequential, one pinned to several workers — and checks the visible
+//! outputs agree call by call (device-to-host bytes, costs). After each app
+//! completes, the per-launch [`ExecutionProfile`]s must be identical, including
+//! `memory.unique_segments` (the counter whose tracking structure changed from
+//! a `HashSet` to the sorted-vec `SegmentSet`).
+
+use sigmavp_ipc::message::{VpId, WireParam};
+use sigmavp_vp::emulation::EmulatedGpu;
+use sigmavp_vp::error::VpError;
+use sigmavp_vp::platform::VirtualPlatform;
+use sigmavp_vp::registry::KernelRegistry;
+use sigmavp_vp::service::GpuService;
+use sigmavp_workloads::app::AppEnv;
+use sigmavp_workloads::suite::fig11_suite;
+
+struct DifferentialGpu {
+    seq: EmulatedGpu,
+    par: EmulatedGpu,
+}
+
+impl DifferentialGpu {
+    fn new(registry: KernelRegistry, workers: u32) -> Self {
+        let mut seq = EmulatedGpu::on_cpu(registry.clone());
+        seq.set_workers(1);
+        let mut par = EmulatedGpu::on_cpu(registry);
+        par.set_workers(workers);
+        DifferentialGpu { seq, par }
+    }
+}
+
+impl GpuService for DifferentialGpu {
+    fn malloc(&mut self, bytes: u64) -> Result<(u64, f64), VpError> {
+        let (handle, cost) = self.seq.malloc(bytes)?;
+        assert_eq!((handle, cost), self.par.malloc(bytes)?);
+        Ok((handle, cost))
+    }
+
+    fn free(&mut self, handle: u64) -> Result<f64, VpError> {
+        let cost = self.seq.free(handle)?;
+        assert_eq!(cost, self.par.free(handle)?);
+        Ok(cost)
+    }
+
+    fn memcpy_h2d(&mut self, handle: u64, data: &[u8]) -> Result<f64, VpError> {
+        let cost = self.seq.memcpy_h2d(handle, data)?;
+        assert_eq!(cost, self.par.memcpy_h2d(handle, data)?);
+        Ok(cost)
+    }
+
+    fn memcpy_d2h(&mut self, handle: u64, out: &mut [u8]) -> Result<f64, VpError> {
+        let cost = self.seq.memcpy_d2h(handle, out)?;
+        let mut other = vec![0u8; out.len()];
+        assert_eq!(cost, self.par.memcpy_d2h(handle, &mut other)?);
+        assert_eq!(out, &other[..], "device-to-host bytes diverged on handle {handle}");
+        Ok(cost)
+    }
+
+    fn launch(
+        &mut self,
+        kernel: &str,
+        grid_dim: u32,
+        block_dim: u32,
+        params: &[WireParam],
+        sync: bool,
+    ) -> Result<f64, VpError> {
+        let cost = self.seq.launch(kernel, grid_dim, block_dim, params, sync)?;
+        assert_eq!(
+            cost,
+            self.par.launch(kernel, grid_dim, block_dim, params, sync)?,
+            "launch cost diverged for kernel {kernel}"
+        );
+        Ok(cost)
+    }
+
+    fn synchronize(&mut self) -> Result<f64, VpError> {
+        let cost = self.seq.synchronize()?;
+        assert_eq!(cost, self.par.synchronize()?);
+        Ok(cost)
+    }
+}
+
+#[test]
+fn every_suite_app_is_parallel_deterministic() {
+    for app in fig11_suite(1) {
+        let registry: KernelRegistry = app.kernels().into_iter().collect();
+        let mut gpu = DifferentialGpu::new(registry, 4);
+        let mut vp = VirtualPlatform::new(VpId(0));
+        let mut env = AppEnv::new(&mut vp, &mut gpu);
+        app.run_once(&mut env).unwrap_or_else(|e| panic!("{} failed: {e}", app.name()));
+
+        let seq = gpu.seq.profiles();
+        let par = gpu.par.profiles();
+        assert!(!seq.is_empty(), "{} launched no kernels", app.name());
+        assert_eq!(seq.len(), par.len(), "{} launch counts diverged", app.name());
+        for (i, (s, p)) in seq.iter().zip(par).enumerate() {
+            assert_eq!(
+                s.memory.unique_segments,
+                p.memory.unique_segments,
+                "{} launch {i}: unique_segments diverged",
+                app.name()
+            );
+            assert_eq!(s, p, "{} launch {i}: profile diverged", app.name());
+        }
+        assert_eq!(
+            gpu.seq.emulated_instructions(),
+            gpu.par.emulated_instructions(),
+            "{}",
+            app.name()
+        );
+    }
+}

@@ -34,6 +34,15 @@ fn fleet(
     gpus: usize,
     faults: Option<FaultPlan>,
 ) -> (ThreadedReport, DispatchStats, MetricsSnapshot) {
+    fleet_with_policy(vps, gpus, faults, sigmavp_sched::Policy::Fifo)
+}
+
+fn fleet_with_policy(
+    vps: usize,
+    gpus: usize,
+    faults: Option<FaultPlan>,
+    policy: sigmavp_sched::Policy,
+) -> (ThreadedReport, DispatchStats, MetricsSnapshot) {
     let telemetry = sigmavp_telemetry::install();
     let app = VectorAddApp { n: 2048 };
     let registry: KernelRegistry = app.kernels().into_iter().collect();
@@ -41,7 +50,8 @@ fn fleet(
         vec![GpuArch::quadro_4000(); gpus],
         registry,
         TransportCost::shared_memory(),
-    );
+    )
+    .with_policy(policy);
     if let Some(plan) = faults {
         sys = sys.with_faults(plan);
     }
@@ -139,6 +149,38 @@ fn transient_errors_trip_the_breaker_and_migrate() {
     assert_eq!(stats.migrations, 1, "stats: {stats:?}");
     assert!(snapshot.counter("fault.retries").unwrap_or(0) >= 3);
     assert!(snapshot.counter("fault.replayed_jobs").unwrap_or(0) > 0, "migration replayed nothing");
+}
+
+/// The block-parallel kernel engine composes with fault injection: with
+/// kernels running across several workers, an injected transient storm still
+/// trips the breaker, migrates the VP with journal replay, and executes every
+/// request exactly once — at `workers = 1` and `workers = 4` alike, with the
+/// identical injected-fault story.
+#[test]
+fn parallel_engine_under_faults_is_still_effect_once() {
+    let _guard = COLLECTOR.lock().unwrap();
+    for workers in [1u32, 4] {
+        let plan = FaultPlan::seeded(11).with_transients(0, vec![2, 3, 4]);
+        let policy = sigmavp_sched::Policy::Fifo.with_workers(workers);
+        let (report, stats, snapshot) = fleet_with_policy(2, 2, Some(plan), policy);
+        assert!(
+            report.all_ok(),
+            "workers={workers}: {:?} {:?}",
+            report.outcomes,
+            report.failed_vps
+        );
+        let unique: std::collections::HashSet<(u32, u64)> =
+            report.records.iter().map(|r| (r.vp.0, r.seq)).collect();
+        assert_eq!(
+            unique.len(),
+            report.records.len(),
+            "workers={workers}: a request executed twice"
+        );
+        assert_eq!(snapshot.counter("fault.injected.transient"), Some(3), "workers={workers}");
+        assert_eq!(stats.gpu_trips, 1, "workers={workers}: {stats:?}");
+        assert_eq!(stats.migrations, 1, "workers={workers}: {stats:?}");
+        assert!(snapshot.counter("fault.replayed_jobs").unwrap_or(0) > 0, "workers={workers}");
+    }
 }
 
 /// A panicking VP is contained: it lands in `failed_vps` with a panic message
