@@ -27,4 +27,7 @@ cargo run --release -p sigmavp-bench --bin audit -- --faults 42 --check
 echo "==> perf throughput gate (results/baselines/perf.json)"
 cargo run --release -p sigmavp-bench --bin perf -- --check --tolerance 0.25
 
+echo "==> fleet scaling + failover gate (results/baselines/fleet.json)"
+cargo run --release -p sigmavp-bench --bin perf -- --fleet --check --tolerance 0.25
+
 echo "CI green."

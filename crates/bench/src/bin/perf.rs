@@ -59,10 +59,13 @@ use sigmavp_workloads::apps::{MandelbrotApp, MatrixMulApp, NbodyApp};
 
 const DEFAULT_BASELINE: &str = "results/baselines/perf.json";
 const DEFAULT_OUT: &str = "BENCH_perf.json";
+const DEFAULT_FLEET_BASELINE: &str = "results/baselines/fleet.json";
+const DEFAULT_FLEET_OUT: &str = "BENCH_fleet.json";
 const DEFAULT_TOLERANCE: f64 = 0.25;
 const DEFAULT_WORKERS: u32 = 4;
 const DEFAULT_REPEATS: u32 = 3;
 const DEFAULT_SCALE: u32 = 2;
+const DEFAULT_VPS: u32 = 256;
 
 struct Args {
     check: bool,
@@ -74,12 +77,15 @@ struct Args {
     repeats: u32,
     scale: u32,
     passes: Option<String>,
+    fleet: bool,
+    vps: u32,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: perf [--check] [--write-baseline] [--baseline PATH] [--out PATH] \
-         [--tolerance F] [--workers N] [--repeats N] [--scale N] [--passes a,b,c]"
+         [--tolerance F] [--workers N] [--repeats N] [--scale N] [--passes a,b,c] \
+         [--fleet] [--vps N]"
     );
     std::process::exit(2);
 }
@@ -95,6 +101,8 @@ fn parse_args() -> Args {
         repeats: DEFAULT_REPEATS,
         scale: DEFAULT_SCALE,
         passes: None,
+        fleet: false,
+        vps: DEFAULT_VPS,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -118,6 +126,8 @@ fn parse_args() -> Args {
             }
             "--scale" => args.scale = value("--scale").parse().unwrap_or_else(|_| usage()),
             "--passes" => args.passes = Some(value("--passes")),
+            "--fleet" => args.fleet = true,
+            "--vps" => args.vps = value("--vps").parse::<u32>().unwrap_or_else(|_| usage()).max(8),
             _ => usage(),
         }
     }
@@ -229,6 +239,374 @@ fn required_speedup(host_parallelism: usize) -> f64 {
     }
 }
 
+// --- Fleet mode (`--fleet`): sharded multi-session scaling gate. -------------
+
+/// One measured fleet run: wall time plus the deterministic counters the gate
+/// asserts byte-identical across repeats and same-seed runs.
+#[derive(Debug, Clone, PartialEq)]
+struct FleetMeasure {
+    wall_s: f64,
+    submitted: u64,
+    steals: u64,
+    migrations: u64,
+    gpu_jobs: u64,
+    p99_wait_s: f64,
+}
+
+impl FleetMeasure {
+    fn jobs_per_s(&self) -> f64 {
+        self.submitted as f64 / self.wall_s
+    }
+
+    /// Everything except wall time — must be identical across repeats.
+    fn deterministic(&self) -> (u64, u64, u64, u64, f64) {
+        (self.submitted, self.steals, self.migrations, self.gpu_jobs, self.p99_wait_s)
+    }
+}
+
+fn fleet_registry() -> KernelRegistry {
+    sigmavp_workloads::apps::VectorAddApp { n: 1024 }.kernels().into_iter().collect()
+}
+
+/// Per-VP scripts with skewed launch counts (1–4), so consistent-hash
+/// placement leaves a load imbalance for the rebalancer to fix.
+fn fleet_scripts(vps: u32) -> Vec<(sigmavp_ipc::message::VpId, sigmavp_fleet::VpScript)> {
+    (0..vps)
+        .map(|vp| {
+            (
+                sigmavp_ipc::message::VpId(vp),
+                sigmavp_fleet::VpScript::vector_add(1024, 1 + vp % 4, vp as u64),
+            )
+        })
+        .collect()
+}
+
+/// Run `vps` scripted VPs over `sessions` sessions in wavefront order.
+fn run_fleet_config(sessions: usize, vps: u32) -> Result<FleetMeasure, String> {
+    let config = sigmavp_fleet::FleetConfig::new(sessions)
+        .with_capacity(vps as usize) // one outstanding request per VP: never sheds
+        .with_steal_interval(64);
+    let fleet = sigmavp_fleet::Fleet::new(config, fleet_registry()).map_err(|e| e.to_string())?;
+    let mut scripts = fleet_scripts(vps);
+    for (vp, _) in &scripts {
+        fleet.admit(*vp).map_err(|e| e.to_string())?;
+    }
+    let started = Instant::now();
+    let submitted = sigmavp_fleet::drive(&fleet, &mut scripts)?;
+    let wall_s = started.elapsed().as_secs_f64();
+    let outcome = fleet.shutdown();
+    if outcome.stats.completed != submitted {
+        return Err(format!(
+            "sessions={sessions}: {} of {submitted} jobs completed",
+            outcome.stats.completed
+        ));
+    }
+    if outcome.stats.shed != 0 {
+        return Err(format!("sessions={sessions}: unexpected sheds: {}", outcome.stats.shed));
+    }
+    Ok(FleetMeasure {
+        wall_s,
+        submitted,
+        steals: outcome.stats.steals,
+        migrations: outcome.stats.migrations,
+        gpu_jobs: outcome.gpu_jobs() as u64,
+        p99_wait_s: outcome.p99_queue_wait_s(),
+    })
+}
+
+/// Best wall time over `repeats`; deterministic counters asserted identical.
+fn run_fleet_repeats(sessions: usize, vps: u32, repeats: u32) -> Result<FleetMeasure, String> {
+    let mut best: Option<FleetMeasure> = None;
+    for _ in 0..repeats {
+        let m = run_fleet_config(sessions, vps)?;
+        if let Some(b) = &best {
+            if m.deterministic() != b.deterministic() {
+                return Err(format!(
+                    "sessions={sessions}: counters changed across same-seed repeats: \
+                     {:?} vs {:?}",
+                    m.deterministic(),
+                    b.deterministic()
+                ));
+            }
+        }
+        if best.as_ref().is_none_or(|b| m.wall_s < b.wall_s) {
+            best = Some(m);
+        }
+    }
+    Ok(best.expect("repeats >= 1"))
+}
+
+/// Deterministic backpressure probe: with dispatchers held, `capacity + extra`
+/// submits must shed exactly `extra` requests.
+fn admission_probe(capacity: usize, extra: u32) -> Result<u64, String> {
+    use sigmavp_ipc::message::{Request, VpId};
+    let config = sigmavp_fleet::FleetConfig::new(1).with_capacity(capacity);
+    let fleet = sigmavp_fleet::Fleet::new(config, fleet_registry()).map_err(|e| e.to_string())?;
+    fleet.hold_workers();
+    let total = capacity as u32 + extra;
+    let mut accepted = Vec::new();
+    for vp in 0..total {
+        fleet.admit(VpId(vp)).map_err(|e| e.to_string())?;
+    }
+    for vp in 0..total {
+        match fleet.submit(VpId(vp), Request::Malloc { bytes: 64 }) {
+            Ok(_) => accepted.push(VpId(vp)),
+            Err(sigmavp_fleet::FleetError::Saturated { .. }) => {}
+            Err(e) => return Err(format!("probe submit: {e}")),
+        }
+    }
+    fleet.release_workers();
+    for vp in accepted {
+        fleet.wait(vp).map_err(|e| format!("probe wait: {e}"))?;
+    }
+    let shed = fleet.stats().shed;
+    fleet.shutdown();
+    Ok(shed)
+}
+
+/// Kill one of `sessions` sessions halfway through the admission sequence and
+/// require every job to finish on the survivors.
+fn kill_run(sessions: usize, vps: u32) -> Result<(u64, sigmavp_fleet::FleetStats), String> {
+    let config = sigmavp_fleet::FleetConfig::new(sessions)
+        .with_capacity(vps as usize)
+        .with_steal_interval(64);
+    let fleet = sigmavp_fleet::Fleet::new(config, fleet_registry()).map_err(|e| e.to_string())?;
+    let mut scripts = fleet_scripts(vps);
+    for (vp, _) in &scripts {
+        fleet.admit(*vp).map_err(|e| e.to_string())?;
+    }
+    let total: u64 = scripts.iter().map(|(_, s)| s.jobs_total()).sum();
+    let submitted = sigmavp_fleet::drive_with(&fleet, &mut scripts, |fleet, admitted| {
+        if admitted == total / 2 {
+            fleet.kill_session(1).expect("session 1 exists");
+        }
+    })?;
+    let outcome = fleet.shutdown();
+    if outcome.stats.completed != submitted {
+        return Err(format!(
+            "kill run: {} of {submitted} jobs completed on the survivors",
+            outcome.stats.completed
+        ));
+    }
+    Ok((submitted, outcome.stats))
+}
+
+fn fleet_measure_json(name: &str, m: &FleetMeasure) -> String {
+    format!(
+        "    \"{name}\": {{\"wall_s\": {:.9e}, \"jobs\": {}, \"jobs_per_s\": {:.9e}, \
+         \"steals\": {}, \"migrations\": {}, \"gpu_jobs\": {}, \"p99_queue_wait_s\": {:.9e}}}",
+        m.wall_s,
+        m.submitted,
+        m.jobs_per_s(),
+        m.steals,
+        m.migrations,
+        m.gpu_jobs,
+        m.p99_wait_s
+    )
+}
+
+/// The `--fleet` entry point: scaling, starvation, backpressure and failover
+/// gates for the sharded multi-session front-end.
+fn fleet_main(args: &Args, host: usize) -> ExitCode {
+    const SESSIONS: usize = 4;
+    const PROBE_CAPACITY: usize = 8;
+    const PROBE_EXTRA: u32 = 5;
+    let baseline = if args.baseline == DEFAULT_BASELINE {
+        DEFAULT_FLEET_BASELINE.to_string()
+    } else {
+        args.baseline.clone()
+    };
+    let out =
+        if args.out == DEFAULT_OUT { DEFAULT_FLEET_OUT.to_string() } else { args.out.clone() };
+
+    println!(
+        "perf --fleet: {} scripted VPs over S=1 and S={SESSIONS} sessions, {} repeat(s), \
+         host parallelism {host}",
+        args.vps, args.repeats
+    );
+
+    let s1 = match run_fleet_repeats(1, args.vps, args.repeats) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("perf --fleet: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let s4 = match run_fleet_repeats(SESSIONS, args.vps, args.repeats) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("perf --fleet: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if s1.submitted != s4.submitted {
+        eprintln!(
+            "perf --fleet: session count changed the workload: {} vs {} jobs",
+            s1.submitted, s4.submitted
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let scaling = s4.jobs_per_s() / s1.jobs_per_s();
+    let required = required_speedup(host);
+    for (name, m) in [("S=1", &s1), (&format!("S={SESSIONS}"), &s4)] {
+        println!(
+            "{name}: wall {:.3} ms, {:.0} jobs/s ({} jobs, {} steals, {} migrations, \
+             p99 queue wait {:.3e} s)",
+            m.wall_s * 1e3,
+            m.jobs_per_s(),
+            m.submitted,
+            m.steals,
+            m.migrations,
+            m.p99_wait_s
+        );
+    }
+    println!(
+        "scaling: {scaling:.2}x jobs/s at S={SESSIONS} (required >= {required:.1}x on \
+         {host}-core host)"
+    );
+
+    let probe_shed = match admission_probe(PROBE_CAPACITY, PROBE_EXTRA) {
+        Ok(shed) => shed,
+        Err(e) => {
+            eprintln!("perf --fleet: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "admission probe: capacity {PROBE_CAPACITY} + {PROBE_EXTRA} submits -> {probe_shed} shed"
+    );
+
+    let kill_vps = args.vps / 4;
+    let (kill_jobs, kill_stats) = match kill_run(SESSIONS, kill_vps) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("perf --fleet: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "failover: killed 1/{SESSIONS} sessions mid-run, {kill_jobs} jobs all completed \
+         ({} rescued, {} migrations)",
+        kill_stats.rescued_jobs, kill_stats.migrations
+    );
+
+    let mut failed = false;
+    if probe_shed != PROBE_EXTRA as u64 {
+        eprintln!("perf --fleet: probe shed {probe_shed}, expected exactly {PROBE_EXTRA}");
+        failed = true;
+    }
+    if s4.steals == 0 || s4.migrations == 0 {
+        eprintln!(
+            "perf --fleet: the rebalancer never moved a VP at S={SESSIONS} \
+             ({} steals, {} migrations)",
+            s4.steals, s4.migrations
+        );
+        failed = true;
+    }
+    if kill_stats.session_trips != 1 {
+        eprintln!("perf --fleet: expected 1 session trip, saw {}", kill_stats.session_trips);
+        failed = true;
+    }
+    if scaling < required {
+        eprintln!(
+            "perf --fleet: scaling {scaling:.2}x below the required {required:.1}x for a \
+             {host}-core host"
+        );
+        failed = true;
+    }
+
+    // Ratios and deterministic counters only — wall seconds are reported but
+    // never gated.
+    let gate: Vec<(String, f64)> = vec![
+        ("fleet.scaling_speedup".into(), scaling),
+        ("fleet.jobs".into(), s1.submitted as f64),
+        ("fleet.gpu_jobs".into(), s1.gpu_jobs as f64),
+        ("fleet.steals".into(), s4.steals as f64),
+        ("fleet.migrations".into(), s4.migrations as f64),
+        ("fleet.p99_queue_wait_s".into(), s4.p99_wait_s),
+        ("fleet.shed_probe".into(), probe_shed as f64),
+        ("fleet.kill_jobs".into(), kill_jobs as f64),
+        ("fleet.kill_trips".into(), kill_stats.session_trips as f64),
+    ];
+
+    let mut json = String::new();
+    json.push_str("{\n  \"schema\": \"sigmavp-fleet-perf-v1\",\n");
+    json.push_str(&format!(
+        "  \"host_parallelism\": {host},\n  \"sessions_compared\": [1, {SESSIONS}],\n  \
+         \"vps\": {},\n  \"repeats\": {},\n  \"tolerance\": {:.6},\n",
+        args.vps, args.repeats, args.tolerance
+    ));
+    let flat = format_flat_json(&gate);
+    json.push_str(&format!("  \"gate\": {},\n", flat.trim_end().replace('\n', "\n  ")));
+    json.push_str("  \"runs\": {\n");
+    json.push_str(&fleet_measure_json("sessions_1", &s1));
+    json.push_str(",\n");
+    json.push_str(&fleet_measure_json(&format!("sessions_{SESSIONS}"), &s4));
+    json.push_str("\n  },\n");
+    json.push_str(&format!(
+        "  \"scaling\": {{\"jobs_per_s\": {scaling:.6}, \"required\": {required:.6}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"failover\": {{\"vps\": {kill_vps}, \"jobs\": {kill_jobs}, \"rescued\": {}, \
+         \"migrations\": {}, \"session_trips\": {}}}\n}}\n",
+        kill_stats.rescued_jobs, kill_stats.migrations, kill_stats.session_trips
+    ));
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("perf --fleet: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out}");
+
+    if args.write_baseline {
+        if let Some(dir) = std::path::Path::new(&baseline).parent() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("perf --fleet: cannot create {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        if let Err(e) = std::fs::write(&baseline, format_flat_json(&gate)) {
+            eprintln!("perf --fleet: cannot write baseline {baseline}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote baseline {baseline}");
+    }
+    if args.check {
+        let text = match std::fs::read_to_string(&baseline) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("perf --fleet: cannot read baseline {baseline}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let base = match parse_flat_json(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("perf --fleet: malformed baseline {baseline}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let regressions = compare(&base, &gate, args.tolerance);
+        if regressions.is_empty() {
+            println!(
+                "check: {} metrics within {:.0}% of {baseline}",
+                base.len(),
+                args.tolerance * 100.0
+            );
+        } else {
+            for r in &regressions {
+                eprintln!("REGRESSION {}", r.describe());
+            }
+            failed = true;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn measure_json(name: &str, m: &Measure) -> String {
     format!(
         "    \"{name}\": {{\"wall_s\": {:.9e}, \"jobs\": {}, \"jobs_per_s\": {:.9e}, \
@@ -269,6 +647,9 @@ fn main() -> ExitCode {
     let args = parse_args();
     let telemetry = sigmavp_telemetry::install();
     let host = default_workers();
+    if args.fleet {
+        return fleet_main(&args, host);
+    }
     if args.workers < 2 {
         eprintln!("perf: --workers must be >= 2 (it is compared against workers=1)");
         return ExitCode::FAILURE;

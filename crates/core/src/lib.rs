@@ -53,7 +53,7 @@ pub use error::SigmaVpError;
 pub use host::HostRuntime;
 pub use plan::{op_job_uid, plan_device, DevicePlan, EngineEvaluator};
 pub use scenario::{run_scenario, run_scenario_with, ScenarioReport};
-pub use session::{DeviceOutcome, ExecutionSession, SessionOutcome};
+pub use session::{DeviceOutcome, ExecutionSession, SessionOutcome, VpQueueWait};
 pub use sigmavp_fault::FaultPlan;
 pub use sigmavp_sched::{Admission, BackendKind, InterleaveMode, Pipeline, Policy, RetryPolicy};
 pub use threaded::ThreadedSigmaVp;

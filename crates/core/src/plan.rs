@@ -341,6 +341,34 @@ impl DevicePlan {
         self.stream.groups.len()
     }
 
+    /// Per-job simulated queue wait: for every record in the log, the delay
+    /// between the guest sending the request (`sent_at_s`) and its operation
+    /// starting on the planned device timeline, clamped at zero (the plan's
+    /// origin is the window start, so a request stamped after its planned
+    /// start simply did not wait). Coalesced-away members are charged their
+    /// anchor's start. `records` must be the log the plan was built from.
+    ///
+    /// This is a *model* quantity — deterministic for a deterministic job log
+    /// — which is exactly what starvation gates want: wall-clock waits vary
+    /// with machine load, planned waits only with the schedule.
+    pub fn queue_waits(&self, records: &[JobRecord]) -> Vec<(VpId, f64)> {
+        let mut anchor_of: HashMap<u64, u64> = HashMap::new();
+        for group in &self.stream.groups {
+            for member in &group.dropped {
+                anchor_of.insert(member.0, group.anchor.0);
+            }
+        }
+        records
+            .iter()
+            .enumerate()
+            .filter_map(|(i, rec)| {
+                let op = anchor_of.get(&(i as u64)).copied().unwrap_or(i as u64);
+                let span = self.timeline.span(op)?;
+                Some((rec.vp, (span.start_s - rec.sent_at_s).max(0.0)))
+            })
+            .collect()
+    }
+
     /// Total member launches those groups absorbed.
     pub fn coalesced_members(&self) -> usize {
         self.stream.merged_members()

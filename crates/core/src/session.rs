@@ -26,7 +26,7 @@ use sigmavp_gpu::engine::Engine as GpuEngine;
 use sigmavp_gpu::GpuArch;
 use sigmavp_ipc::message::VpId;
 use sigmavp_ipc::transport::TransportCost;
-use sigmavp_sched::Pipeline;
+use sigmavp_sched::{Pipeline, Placement};
 use sigmavp_vp::registry::KernelRegistry;
 
 use crate::backend::MultiplexedGpu;
@@ -38,14 +38,15 @@ use crate::plan::{plan_device, DevicePlan};
 struct DeviceSlot {
     arch: GpuArch,
     runtime: Arc<Mutex<HostRuntime>>,
-    connected: usize,
-    healthy: bool,
 }
 
 /// The device set plus VP routing state for one simulation run.
 #[derive(Debug)]
 pub struct ExecutionSession {
     devices: Vec<DeviceSlot>,
+    /// Per-device connection counts and health — the shared least-loaded
+    /// routing policy from `sigmavp-sched`.
+    placement: Placement,
     transport: TransportCost,
     assignments: HashMap<VpId, usize>,
 }
@@ -65,16 +66,15 @@ impl ExecutionSession {
         if archs.is_empty() {
             return Err(SigmaVpError::Config("need at least one host gpu".into()));
         }
-        let devices = archs
+        let devices: Vec<DeviceSlot> = archs
             .into_iter()
             .map(|arch| DeviceSlot {
                 runtime: Arc::new(Mutex::new(HostRuntime::new(arch.clone(), registry.clone()))),
                 arch,
-                connected: 0,
-                healthy: true,
             })
             .collect();
-        Ok(ExecutionSession { devices, transport, assignments: HashMap::new() })
+        let placement = Placement::new(devices.len());
+        Ok(ExecutionSession { devices, placement, transport, assignments: HashMap::new() })
     }
 
     /// A single-device session (the common case; cannot fail).
@@ -108,25 +108,41 @@ impl ExecutionSession {
     /// lowest index (so sequential assignment of VPs 0..N over D devices yields
     /// the round-robin partition `vp % D`). Re-assigning a VP returns its
     /// existing device. If every device has been marked down, routing falls
-    /// back to the full set (degraded, but never unroutable).
+    /// back to the full set (degraded, but never unroutable) — use
+    /// [`ExecutionSession::try_assign`] for strict routing that surfaces the
+    /// all-down case as a typed error instead.
     pub fn assign(&mut self, vp: VpId) -> usize {
         if let Some(&d) = self.assignments.get(&vp) {
             return d;
         }
-        let candidates = |healthy_only: bool| {
-            self.devices
-                .iter()
-                .enumerate()
-                .filter(move |(_, slot)| !healthy_only || slot.healthy)
-                .min_by_key(|(i, slot)| (slot.connected, *i))
-                .map(|(i, _)| i)
-        };
-        let d = candidates(true)
-            .or_else(|| candidates(false))
+        let d = self
+            .placement
+            .least_loaded()
+            .or_else(|| self.placement.least_loaded_any())
             .expect("session has at least one device");
-        self.devices[d].connected += 1;
+        self.placement.add(d);
         self.assignments.insert(vp, d);
         d
+    }
+
+    /// Strict routing: like [`ExecutionSession::assign`], but when every device
+    /// has been marked down return [`SigmaVpError::AllDevicesDown`] instead of
+    /// degrading onto a dead device. A VP that is already assigned keeps its
+    /// device even if that device has since gone down (its migration is the
+    /// supervisor's job, not the router's).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SigmaVpError::AllDevicesDown`] when no healthy device exists
+    /// and `vp` is not already assigned.
+    pub fn try_assign(&mut self, vp: VpId) -> Result<usize, SigmaVpError> {
+        if let Some(&d) = self.assignments.get(&vp) {
+            return Ok(d);
+        }
+        let d = self.placement.least_loaded().ok_or(SigmaVpError::AllDevicesDown)?;
+        self.placement.add(d);
+        self.assignments.insert(vp, d);
+        Ok(d)
     }
 
     /// The device `vp` was routed to, if assigned.
@@ -136,31 +152,38 @@ impl ExecutionSession {
 
     /// Whether device `d` is still considered healthy.
     pub fn is_healthy(&self, d: usize) -> bool {
-        self.devices[d].healthy
+        self.placement.is_healthy(d)
     }
 
     /// Mark device `d` as down: new VPs route around it and its existing VPs
-    /// are expected to migrate.
+    /// are expected to migrate. Idempotent.
     pub fn mark_down(&mut self, d: usize) {
-        self.devices[d].healthy = false;
+        self.placement.mark_down(d);
     }
 
     /// Number of devices still marked healthy.
     pub fn healthy_count(&self) -> usize {
-        self.devices.iter().filter(|s| s.healthy).count()
+        self.placement.healthy_count()
     }
 
     /// Move an already-assigned `vp` onto device `d` (failover), keeping the
-    /// per-device connection counts consistent.
+    /// per-device connection counts consistent. Reassigning a VP to the device
+    /// it is already on is a no-op, so repeated failover of the same VP never
+    /// skews the load counts.
     pub fn reassign(&mut self, vp: VpId, d: usize) {
         if let Some(old) = self.assignments.insert(vp, d) {
-            if old != d {
-                self.devices[old].connected = self.devices[old].connected.saturating_sub(1);
-                self.devices[d].connected += 1;
-            }
+            self.placement.transfer(old, d);
         } else {
-            self.devices[d].connected += 1;
+            self.placement.add(d);
         }
+    }
+
+    /// VPs currently routed to device `d`, in ascending VP order.
+    pub fn vps_on(&self, d: usize) -> Vec<VpId> {
+        let mut vps: Vec<VpId> =
+            self.assignments.iter().filter(|(_, &dev)| dev == d).map(|(&vp, _)| vp).collect();
+        vps.sort_by_key(|vp| vp.0);
+        vps
     }
 
     /// Assign `vp` to a device and open a guest-side connection to it.
@@ -241,6 +264,35 @@ impl DeviceOutcome {
     pub fn trace_events(&self) -> Vec<sigmavp_telemetry::TraceEvent> {
         self.plan.trace_events(&self.records)
     }
+
+    /// Per-job simulated queue waits on this device (see
+    /// [`DevicePlan::queue_waits`]).
+    pub fn queue_waits(&self) -> Vec<(VpId, f64)> {
+        self.plan.queue_waits(&self.records)
+    }
+}
+
+/// Aggregated simulated queue wait for one VP (see
+/// [`SessionOutcome::queue_wait_by_vp`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct VpQueueWait {
+    /// Device-touching jobs the VP ran.
+    pub jobs: usize,
+    /// Summed queue wait over those jobs, in simulated seconds.
+    pub total_s: f64,
+    /// Worst single-job queue wait, in simulated seconds.
+    pub max_s: f64,
+}
+
+impl VpQueueWait {
+    /// Mean queue wait per job (zero for a VP with no jobs).
+    pub fn mean_s(&self) -> f64 {
+        if self.jobs == 0 {
+            0.0
+        } else {
+            self.total_s / self.jobs as f64
+        }
+    }
 }
 
 /// Fleet-level view of a drained session: per-device outcomes plus aggregates.
@@ -283,6 +335,39 @@ impl SessionOutcome {
     /// All records, concatenated by device (back-compat flat view).
     pub fn flat_records(&self) -> Vec<JobRecord> {
         self.devices.iter().flat_map(|d| d.records.iter().cloned()).collect()
+    }
+
+    /// Per-VP simulated queue wait across every device, in ascending VP order.
+    ///
+    /// This is the session-level starvation signal: a VP whose jobs keep
+    /// losing the planned schedule shows up with a large `max_s` here, without
+    /// anyone re-deriving waits from trace spans. Deterministic for a
+    /// deterministic job log (it reads the planned timelines, not wall clocks).
+    pub fn queue_wait_by_vp(&self) -> Vec<(VpId, VpQueueWait)> {
+        let mut by_vp: HashMap<VpId, VpQueueWait> = HashMap::new();
+        for device in &self.devices {
+            for (vp, wait_s) in device.queue_waits() {
+                let entry = by_vp.entry(vp).or_default();
+                entry.jobs += 1;
+                entry.total_s += wait_s;
+                entry.max_s = entry.max_s.max(wait_s);
+            }
+        }
+        let mut out: Vec<(VpId, VpQueueWait)> = by_vp.into_iter().collect();
+        out.sort_by_key(|(vp, _)| vp.0);
+        out
+    }
+
+    /// The p99 (nearest-rank) of per-VP *worst* queue waits — the fleet
+    /// starvation gate's number. Zero for an empty session.
+    pub fn p99_queue_wait_s(&self) -> f64 {
+        let mut worst: Vec<f64> = self.queue_wait_by_vp().iter().map(|(_, w)| w.max_s).collect();
+        if worst.is_empty() {
+            return 0.0;
+        }
+        worst.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let rank = (worst.len() * 99).div_ceil(100);
+        worst[rank - 1]
     }
 
     /// Every device's job-uid-stamped trace events, concatenated in device
@@ -361,6 +446,98 @@ mod tests {
         s.mark_down(1);
         assert_eq!(s.healthy_count(), 0);
         assert_eq!(s.assign(VpId(3)), 0, "fallback to the full set");
+    }
+
+    #[test]
+    fn try_assign_reports_all_devices_down_as_typed_error() {
+        let mut s = ExecutionSession::new(
+            vec![GpuArch::quadro_4000(), GpuArch::quadro_4000()],
+            registry(),
+            TransportCost::shared_memory(),
+        )
+        .unwrap();
+        assert_eq!(s.try_assign(VpId(0)).unwrap(), 0);
+        s.mark_down(0);
+        assert_eq!(s.try_assign(VpId(1)).unwrap(), 1, "strict routing avoids the dead device");
+        s.mark_down(1);
+        // Strict routing refuses; the degraded `assign` still places.
+        assert_eq!(s.try_assign(VpId(2)).unwrap_err(), SigmaVpError::AllDevicesDown);
+        assert_eq!(s.assign(VpId(2)), 0, "degraded fallback remains available");
+        // An already-assigned VP keeps its device even with everything down.
+        assert_eq!(s.try_assign(VpId(0)).unwrap(), 0);
+    }
+
+    #[test]
+    fn mark_down_is_idempotent() {
+        let mut s = ExecutionSession::new(
+            vec![GpuArch::quadro_4000(), GpuArch::quadro_4000()],
+            registry(),
+            TransportCost::shared_memory(),
+        )
+        .unwrap();
+        s.mark_down(0);
+        s.mark_down(0);
+        assert_eq!(s.healthy_count(), 1);
+        assert!(!s.is_healthy(0));
+        assert!(s.is_healthy(1));
+    }
+
+    #[test]
+    fn reassign_is_idempotent_and_keeps_counts_consistent() {
+        let mut s = ExecutionSession::new(
+            vec![GpuArch::quadro_4000(), GpuArch::quadro_4000()],
+            registry(),
+            TransportCost::shared_memory(),
+        )
+        .unwrap();
+        assert_eq!(s.assign(VpId(0)), 0);
+        assert_eq!(s.assign(VpId(1)), 1);
+        // Reassigning a VP onto its current device is a no-op: the next fresh
+        // VP still sees balanced loads and round-robins.
+        s.reassign(VpId(0), 0);
+        s.reassign(VpId(0), 0);
+        assert_eq!(s.device_of(VpId(0)), Some(0));
+        assert_eq!(s.assign(VpId(2)), 0);
+        // Repeated failover of the same VP moves exactly one connection.
+        s.reassign(VpId(1), 0);
+        s.reassign(VpId(1), 0);
+        assert_eq!(s.device_of(VpId(1)), Some(0));
+        assert_eq!(s.assign(VpId(3)), 1, "device 1 is now the emptier one");
+        // Reassigning an unknown VP registers it (failover before first use).
+        s.reassign(VpId(9), 1);
+        assert_eq!(s.device_of(VpId(9)), Some(1));
+        assert_eq!(s.vps_on(0), vec![VpId(0), VpId(1), VpId(2)]);
+    }
+
+    #[test]
+    fn queue_waits_are_exposed_per_vp() {
+        let mut s = ExecutionSession::new(
+            vec![GpuArch::quadro_4000()],
+            registry(),
+            TransportCost::shared_memory(),
+        )
+        .unwrap();
+        let data = vec![1u8; 4096];
+        for vp in 0..3u32 {
+            let mut gpu = s.connect(VpId(vp));
+            let (h, _) = gpu.malloc(4096).unwrap();
+            gpu.memcpy_h2d(h, &data).unwrap();
+            gpu.memcpy_h2d(h, &data).unwrap();
+            gpu.free(h).unwrap();
+        }
+        let outcome = s.drain_and_plan(&Pipeline::from_policy(&Policy::Multiplexed), &|_| false);
+        let waits = outcome.queue_wait_by_vp();
+        assert_eq!(waits.len(), 3, "every VP appears");
+        assert_eq!(waits.iter().map(|(_, w)| w.jobs).sum::<usize>(), 6);
+        for (vp, w) in &waits {
+            assert!(w.max_s >= 0.0 && w.total_s >= w.max_s - 1e-12, "vp {vp:?}: {w:?}");
+            assert!(w.mean_s() <= w.max_s + 1e-12);
+        }
+        // All six copies serialize on one copy engine with sent_at ≈ 0, so the
+        // worst wait is positive and the p99 picks it up.
+        assert!(outcome.p99_queue_wait_s() > 0.0);
+        let worst = waits.iter().map(|(_, w)| w.max_s).fold(0.0, f64::max);
+        assert!((outcome.p99_queue_wait_s() - worst).abs() < 1e-12);
     }
 
     #[test]

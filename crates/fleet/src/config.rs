@@ -1,0 +1,114 @@
+//! Fleet sizing and policy knobs.
+
+use sigmavp_gpu::GpuArch;
+use sigmavp_ipc::transport::TransportCost;
+use sigmavp_sched::Policy;
+
+/// Configuration for a [`Fleet`](crate::Fleet).
+///
+/// Defaults are chosen so `FleetConfig::new(sessions)` gives a working fleet:
+/// one Quadro-4000 host GPU per session, shared-memory transport, a bounded
+/// admission queue of 1024 jobs, and a steal round every 64 admissions.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Number of independent execution sessions (shards).
+    pub sessions: usize,
+    /// Host GPUs per session.
+    pub gpus_per_session: usize,
+    /// Architecture of every host GPU.
+    pub arch: GpuArch,
+    /// Transport cost model between guests and the fleet.
+    pub transport: TransportCost,
+    /// Scheduling policy used when draining sessions at shutdown.
+    pub policy: Policy,
+    /// Block-parallel worker count per host runtime (`1` = sequential,
+    /// `0` = one worker per core).
+    pub workers: u32,
+    /// Maximum in-flight jobs (queued + executing) across the whole fleet;
+    /// admissions beyond this are shed with
+    /// [`FleetError::Saturated`](crate::FleetError::Saturated).
+    pub admission_capacity: usize,
+    /// Admissions per work-stealing window; every `steal_interval` admitted
+    /// jobs the rebalancer compares per-session submitted cost and plans
+    /// migrations. `0` disables stealing.
+    pub steal_interval: u64,
+    /// Steal trigger: rebalance when the hottest session's window cost exceeds
+    /// `steal_ratio` × the coolest session's. Must be > 1.
+    pub steal_ratio: f64,
+    /// Most VPs marked for migration per steal round.
+    pub max_steals_per_round: usize,
+    /// Virtual nodes per session on the consistent-hash placement ring.
+    pub vnodes: usize,
+}
+
+impl FleetConfig {
+    /// A fleet of `sessions` single-GPU sessions with default knobs.
+    pub fn new(sessions: usize) -> Self {
+        FleetConfig {
+            sessions,
+            gpus_per_session: 1,
+            arch: GpuArch::quadro_4000(),
+            transport: TransportCost::shared_memory(),
+            policy: Policy::Fifo,
+            workers: 1,
+            admission_capacity: 1024,
+            steal_interval: 64,
+            steal_ratio: 1.25,
+            max_steals_per_round: 2,
+            vnodes: 16,
+        }
+    }
+
+    /// Set the admission capacity.
+    pub fn with_capacity(mut self, capacity: usize) -> Self {
+        self.admission_capacity = capacity;
+        self
+    }
+
+    /// Set the steal window (`0` disables stealing).
+    pub fn with_steal_interval(mut self, interval: u64) -> Self {
+        self.steal_interval = interval;
+        self
+    }
+
+    /// Set host GPUs per session.
+    pub fn with_gpus_per_session(mut self, gpus: usize) -> Self {
+        self.gpus_per_session = gpus;
+        self
+    }
+
+    /// Validate the configuration.
+    pub(crate) fn validate(&self) -> Result<(), crate::FleetError> {
+        if self.sessions == 0 {
+            return Err(crate::FleetError::Config("need at least one session".into()));
+        }
+        if self.gpus_per_session == 0 {
+            return Err(crate::FleetError::Config("need at least one gpu per session".into()));
+        }
+        if self.admission_capacity == 0 {
+            return Err(crate::FleetError::Config("admission capacity must be positive".into()));
+        }
+        if self.steal_interval > 0 && self.steal_ratio <= 1.0 {
+            return Err(crate::FleetError::Config("steal ratio must exceed 1".into()));
+        }
+        if self.vnodes == 0 {
+            return Err(crate::FleetError::Config("need at least one vnode per session".into()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        assert!(FleetConfig::new(4).validate().is_ok());
+        assert!(FleetConfig::new(0).validate().is_err());
+        assert!(FleetConfig::new(1).with_capacity(0).validate().is_err());
+        let mut bad = FleetConfig::new(2);
+        bad.steal_ratio = 0.5;
+        assert!(bad.validate().is_err());
+    }
+}

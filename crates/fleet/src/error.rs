@@ -1,0 +1,73 @@
+//! Typed fleet-level failures.
+
+use std::fmt;
+
+use sigmavp_ipc::message::VpId;
+
+/// Any failure at the fleet front door.
+///
+/// Admission control is the important case: [`FleetError::Saturated`] is the
+/// backpressure signal — the fleet *sheds* the request instead of buffering it
+/// without bound, and the caller decides whether to retry, slow down, or give
+/// up.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FleetError {
+    /// The bounded admission queue is full; the request was shed, not queued.
+    Saturated {
+        /// In-flight jobs (queued + executing) at the moment of rejection.
+        depth: usize,
+        /// The configured admission capacity.
+        capacity: usize,
+    },
+    /// The VP already has a request outstanding (guests are synchronous:
+    /// exactly one in-flight request per VP).
+    Busy(VpId),
+    /// The VP was never admitted to the fleet.
+    UnknownVp(VpId),
+    /// The VP is already admitted; admission is not idempotent because it
+    /// would silently reset the VP's journal and sequence numbers.
+    AlreadyAdmitted(VpId),
+    /// `wait` was called with no request outstanding and no response pending.
+    NothingOutstanding(VpId),
+    /// Every execution session is dead: there is nowhere left to place or
+    /// migrate a VP.
+    NoSurvivingSessions,
+    /// The fleet has been shut down.
+    Closed,
+    /// Invalid fleet configuration (zero sessions, zero capacity, …).
+    Config(String),
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::Saturated { depth, capacity } => {
+                write!(f, "admission queue saturated ({depth}/{capacity} jobs in flight)")
+            }
+            FleetError::Busy(vp) => write!(f, "{vp} already has a request outstanding"),
+            FleetError::UnknownVp(vp) => write!(f, "{vp} was never admitted"),
+            FleetError::AlreadyAdmitted(vp) => write!(f, "{vp} is already admitted"),
+            FleetError::NothingOutstanding(vp) => {
+                write!(f, "{vp} has no outstanding request to wait for")
+            }
+            FleetError::NoSurvivingSessions => write!(f, "every execution session is dead"),
+            FleetError::Closed => write!(f, "the fleet has been shut down"),
+            FleetError::Config(msg) => write!(f, "fleet configuration error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = FleetError::Saturated { depth: 8, capacity: 8 };
+        assert!(e.to_string().contains("8/8"));
+        assert!(FleetError::Busy(VpId(3)).to_string().contains("vp3"));
+        assert!(FleetError::NoSurvivingSessions.to_string().contains("dead"));
+    }
+}

@@ -1,0 +1,866 @@
+//! The sharded fleet front-end: bounded admission, consistent-hash placement,
+//! deterministic work stealing, and cross-session VP migration.
+//!
+//! # Architecture
+//!
+//! A [`Fleet`] owns `S` *shards*. Each shard is one
+//! [`ExecutionSession`] (its own host-GPU set and job logs) plus a FIFO job
+//! queue drained by a dedicated dispatcher thread — sessions share nothing, so
+//! fleet throughput scales with shards the way the paper's host-GPU
+//! multiplexing scales with devices.
+//!
+//! The *front door* serializes placement state behind one lock:
+//!
+//! * **Admission** — [`Fleet::admit`] places a VP on the consistent-hash ring
+//!   ([`HashRing`]); [`Fleet::submit`] accepts one request per VP (guests are
+//!   synchronous) and *sheds* work with [`FleetError::Saturated`] once the
+//!   fleet-wide in-flight bound is hit — backpressure, not unbounded buffering.
+//! * **Stealing** — every `steal_interval` admissions the rebalancer compares
+//!   per-shard *submitted cost* (a pure function of the requests, so the same
+//!   admission sequence always plans the same steals) and marks the hottest
+//!   VPs for migration to the coolest shard.
+//! * **Migration** — a marked VP moves at its next submit, when it provably
+//!   has no request in flight: its [`VpJournal`] is replayed into the target
+//!   session ([`replay_journal`]) and the resulting [`HandleMap`] translates
+//!   every subsequent request, exactly like PR 4's single-session failover —
+//!   generalized across sessions.
+//! * **Supervision** — [`Fleet::kill_session`] retires a shard from the ring,
+//!   drains its queued jobs, and re-homes them (journal replay + re-enqueue)
+//!   onto survivors; VPs that were idle migrate lazily at their next submit.
+//!   With no survivors left, requests fail with
+//!   [`FleetError::NoSurvivingSessions`].
+//!
+//! Lock order is `front → {shard queue, session, host runtime}`; dispatcher
+//! threads never hold a shard-side lock while taking the front lock, so the
+//! two sides cannot deadlock.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use parking_lot::{Condvar, Mutex};
+
+use sigmavp::{ExecutionSession, SessionOutcome, VpQueueWait};
+use sigmavp_fault::{replay_journal, HandleMap, VpJournal};
+use sigmavp_gpu::GpuArch;
+use sigmavp_ipc::message::{Envelope, Request, Response, ResponseEnvelope, VpId};
+use sigmavp_sched::{HashRing, Pipeline};
+use sigmavp_telemetry::{job_uid, recorder, Lane, TimeDomain};
+use sigmavp_vp::registry::KernelRegistry;
+
+use crate::config::FleetConfig;
+use crate::error::FleetError;
+
+/// Fleet-lifetime counters, mirrored into `fleet.*` telemetry.
+///
+/// For a fixed admission sequence every field except `rescued_jobs` is
+/// deterministic: steals are planned from submitted cost (not wall clocks) and
+/// migrations execute at fixed points in the admission order. `rescued_jobs`
+/// counts jobs that were *queued but unexecuted* when a session died, which
+/// depends on how far the dead dispatcher got.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FleetStats {
+    /// Requests accepted past admission control.
+    pub admitted: u64,
+    /// Requests fully executed and delivered.
+    pub completed: u64,
+    /// Requests shed by the bounded admission queue.
+    pub shed: u64,
+    /// VPs marked for migration by the work-stealing rebalancer.
+    pub steals: u64,
+    /// Cross-session VP migrations performed (steals + failovers).
+    pub migrations: u64,
+    /// Journal replays the target session rejected.
+    pub replay_failures: u64,
+    /// Sessions killed ([`Fleet::kill_session`]).
+    pub session_trips: u64,
+    /// Queued jobs re-homed from a dead session onto survivors.
+    pub rescued_jobs: u64,
+}
+
+/// One in-flight request: the guest-space original (for journaling) and the
+/// device-space translation (for execution).
+#[derive(Debug)]
+struct FleetJob {
+    vp: VpId,
+    seq: u64,
+    guest: Request,
+    exec: Request,
+    sent_at_s: f64,
+    cost_s: f64,
+    enqueued_wall_s: f64,
+}
+
+/// Front-door view of one VP.
+#[derive(Debug)]
+struct VpState {
+    shard: usize,
+    next_seq: u64,
+    /// Simulated guest clock: advances by submit cost + device time.
+    sim_s: f64,
+    outstanding: bool,
+    submitted_wall_s: f64,
+    /// Set by the rebalancer; consumed at the VP's next submit.
+    pending_target: Option<usize>,
+    journal: VpJournal,
+    /// Present once the VP has migrated at least once.
+    map: Option<HandleMap>,
+    /// Completed response awaiting [`Fleet::wait`], with its sim-time advance.
+    mailbox: Option<(ResponseEnvelope, f64)>,
+}
+
+#[derive(Debug)]
+struct FrontState {
+    vps: HashMap<VpId, VpState>,
+    ring: HashRing,
+    alive: Vec<bool>,
+    /// Queued + executing jobs fleet-wide (the admission bound).
+    depth: usize,
+    admitted_in_window: u64,
+    window_cost: Vec<f64>,
+    window_cost_by_vp: HashMap<VpId, f64>,
+    stats: FleetStats,
+    closed: bool,
+}
+
+#[derive(Debug)]
+struct Front {
+    state: Mutex<FrontState>,
+    cv: Condvar,
+}
+
+impl Front {
+    /// Deliver a finished job: virtualize handles for migrated VPs, journal
+    /// the guest-visible effect, advance the VP's simulated clock, and park
+    /// the response in the VP's mailbox.
+    fn complete(&self, job: FleetJob, mut response: ResponseEnvelope) {
+        let rec = recorder();
+        let mut state = self.state.lock();
+        let st = state.vps.get_mut(&job.vp).expect("completed job belongs to an admitted vp");
+        if let Some(map) = st.map.as_mut() {
+            match (&job.guest, &mut response.body) {
+                (Request::Malloc { .. }, Response::Malloc { handle }) => {
+                    *handle = map.virtualize(*handle);
+                }
+                (Request::Free { handle }, Response::Done) => map.remove(*handle),
+                _ => {}
+            }
+        }
+        st.journal.record(&job.guest, &response.body);
+        let device_s = match &response.body {
+            Response::Launched { device_time_s } => *device_time_s,
+            _ => 0.0,
+        };
+        let advance_s = job.cost_s + device_s;
+        st.sim_s += advance_s;
+        st.outstanding = false;
+        let now = rec.wall_now_s();
+        rec.span_for_job(
+            TimeDomain::Wall,
+            Lane::Vp(job.vp.0),
+            "fleet request",
+            st.submitted_wall_s,
+            (now - st.submitted_wall_s).max(0.0),
+            job_uid(job.vp.0, job.seq),
+        );
+        st.mailbox = Some((response, advance_s));
+        state.depth -= 1;
+        state.stats.completed += 1;
+        rec.count("fleet.completed", 1);
+        rec.gauge_set("fleet.depth", state.depth as f64);
+        self.cv.notify_all();
+    }
+}
+
+#[derive(Debug, Default)]
+struct ShardQueue {
+    jobs: VecDeque<FleetJob>,
+    /// The session died: the dispatcher drains the queue into `orphans`
+    /// and exits.
+    down: bool,
+    /// Admission-probe mode: the dispatcher parks without popping.
+    held: bool,
+    closed: bool,
+    worker_done: bool,
+    orphans: Vec<FleetJob>,
+}
+
+#[derive(Debug)]
+struct Shard {
+    index: usize,
+    session: Mutex<ExecutionSession>,
+    queue: Mutex<ShardQueue>,
+    cv: Condvar,
+}
+
+impl Shard {
+    fn depth_gauge(&self) -> String {
+        format!("fleet.s{}.queue_depth", self.index)
+    }
+}
+
+/// The dispatcher loop: pop, execute on the shard's session, deliver.
+fn dispatch_loop(shard: Arc<Shard>, front: Arc<Front>) {
+    let rec = recorder();
+    loop {
+        let job = {
+            let mut q = shard.queue.lock();
+            loop {
+                if q.down {
+                    let q = &mut *q;
+                    q.orphans.extend(q.jobs.drain(..));
+                    q.worker_done = true;
+                    shard.cv.notify_all();
+                    return;
+                }
+                if !q.held {
+                    if let Some(job) = q.jobs.pop_front() {
+                        rec.gauge_set(&shard.depth_gauge(), q.jobs.len() as f64);
+                        break job;
+                    }
+                    if q.closed {
+                        q.worker_done = true;
+                        shard.cv.notify_all();
+                        return;
+                    }
+                }
+                shard.cv.wait(&mut q);
+            }
+        };
+
+        let uid = job_uid(job.vp.0, job.seq);
+        let start_wall = rec.wall_now_s();
+        let wait_s = (start_wall - job.enqueued_wall_s).max(0.0);
+        rec.observe_s("fleet.queue_wait_s", wait_s);
+        rec.span_for_job(
+            TimeDomain::Wall,
+            Lane::JobQueue,
+            "fleet queue",
+            job.enqueued_wall_s,
+            wait_s,
+            uid,
+        );
+
+        // Take the session lock only long enough to resolve the device; the
+        // runtime lock only for the execution itself; and the front lock only
+        // after both are released (the lock order that keeps us deadlock-free).
+        let runtime = {
+            let mut session = shard.session.lock();
+            let device = session.assign(job.vp);
+            session.runtime(device)
+        };
+        let envelope =
+            Envelope { vp: job.vp, seq: job.seq, sent_at_s: job.sent_at_s, body: job.exec.clone() };
+        let response = runtime.lock().process(&envelope);
+        let end_wall = rec.wall_now_s();
+        rec.span_for_job(
+            TimeDomain::Wall,
+            Lane::Dispatcher,
+            request_kind(&job.guest),
+            start_wall,
+            (end_wall - start_wall).max(0.0),
+            uid,
+        );
+        front.complete(job, response);
+    }
+}
+
+fn request_kind(request: &Request) -> &'static str {
+    match request {
+        Request::Malloc { .. } => "malloc",
+        Request::Free { .. } => "free",
+        Request::MemcpyH2D { .. } => "memcpy h2d",
+        Request::MemcpyD2H { .. } => "memcpy d2h",
+        Request::Launch { .. } => "launch",
+        Request::Synchronize => "synchronize",
+    }
+}
+
+/// Deterministic submitted-cost model used by the rebalancer: a pure function
+/// of the request and the device architecture, independent of wall clocks and
+/// profiler feedback, so every run of the same admission sequence plans the
+/// same steals.
+fn request_cost(arch: &GpuArch, request: &Request) -> f64 {
+    const BASE_S: f64 = 1e-7;
+    match request {
+        Request::MemcpyH2D { data, .. } => BASE_S + arch.copy_time_s(data.len() as u64),
+        Request::MemcpyD2H { len, .. } => BASE_S + arch.copy_time_s(*len),
+        Request::Launch { grid_dim, block_dim, .. } => {
+            let threads = *grid_dim as u64 * *block_dim as u64;
+            BASE_S + threads as f64 / (arch.total_cores() as f64 * arch.clock_hz())
+        }
+        Request::Malloc { .. } | Request::Free { .. } | Request::Synchronize => BASE_S,
+    }
+}
+
+/// The sharded multi-session front-end. See the module docs for the design.
+#[derive(Debug)]
+pub struct Fleet {
+    config: FleetConfig,
+    shards: Vec<Arc<Shard>>,
+    front: Arc<Front>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Fleet {
+    /// Build a fleet of `config.sessions` execution sessions, each serving
+    /// kernels from `registry`, and start one dispatcher thread per session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::Config`] for an invalid configuration.
+    pub fn new(config: FleetConfig, registry: KernelRegistry) -> Result<Fleet, FleetError> {
+        config.validate()?;
+        let mut shards = Vec::with_capacity(config.sessions);
+        for index in 0..config.sessions {
+            let mut session = ExecutionSession::new(
+                vec![config.arch.clone(); config.gpus_per_session],
+                registry.clone(),
+                config.transport,
+            )
+            .map_err(|e| FleetError::Config(e.to_string()))?;
+            session.set_workers(config.workers);
+            shards.push(Arc::new(Shard {
+                index,
+                session: Mutex::new(session),
+                queue: Mutex::new(ShardQueue::default()),
+                cv: Condvar::new(),
+            }));
+        }
+        let front = Arc::new(Front {
+            state: Mutex::new(FrontState {
+                vps: HashMap::new(),
+                ring: HashRing::new(config.sessions, config.vnodes),
+                alive: vec![true; config.sessions],
+                depth: 0,
+                admitted_in_window: 0,
+                window_cost: vec![0.0; config.sessions],
+                window_cost_by_vp: HashMap::new(),
+                stats: FleetStats::default(),
+                closed: false,
+            }),
+            cv: Condvar::new(),
+        });
+        let workers = shards
+            .iter()
+            .map(|shard| {
+                let shard = Arc::clone(shard);
+                let front = Arc::clone(&front);
+                std::thread::spawn(move || dispatch_loop(shard, front))
+            })
+            .collect();
+        Ok(Fleet { config, shards, front, workers: Mutex::new(workers) })
+    }
+
+    /// Number of sessions (shards), dead or alive.
+    pub fn session_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether session `s` is still alive.
+    pub fn is_alive(&self, s: usize) -> bool {
+        self.front.state.lock().alive.get(s).copied().unwrap_or(false)
+    }
+
+    /// Snapshot of the fleet counters.
+    pub fn stats(&self) -> FleetStats {
+        self.front.state.lock().stats
+    }
+
+    /// Current fleet-wide in-flight depth (queued + executing jobs).
+    pub fn depth(&self) -> usize {
+        self.front.state.lock().depth
+    }
+
+    /// Admit `vp` to the fleet, placing it on the consistent-hash ring.
+    /// Returns the session index it landed on.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::AlreadyAdmitted`] for a repeat admission,
+    /// [`FleetError::NoSurvivingSessions`] when every session is dead,
+    /// [`FleetError::Closed`] after shutdown.
+    pub fn admit(&self, vp: VpId) -> Result<usize, FleetError> {
+        let mut state = self.front.state.lock();
+        if state.closed {
+            return Err(FleetError::Closed);
+        }
+        if state.vps.contains_key(&vp) {
+            return Err(FleetError::AlreadyAdmitted(vp));
+        }
+        let shard = state.ring.slot_of(vp.0 as u64).ok_or(FleetError::NoSurvivingSessions)?;
+        self.shards[shard].session.lock().assign(vp);
+        state.vps.insert(
+            vp,
+            VpState {
+                shard,
+                next_seq: 0,
+                sim_s: 0.0,
+                outstanding: false,
+                submitted_wall_s: 0.0,
+                pending_target: None,
+                journal: VpJournal::default(),
+                map: None,
+                mailbox: None,
+            },
+        );
+        recorder().gauge_set("fleet.vps", state.vps.len() as f64);
+        Ok(shard)
+    }
+
+    /// Submit one request for `vp`. Executes any pending migration first (the
+    /// VP provably has nothing in flight here), translates handles for
+    /// migrated VPs, and enqueues on the VP's session. Returns the request's
+    /// sequence number; the response is collected with [`Fleet::wait`].
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Saturated`] when the fleet-wide in-flight bound is hit
+    /// (the request is shed — retry later), [`FleetError::Busy`] while the
+    /// VP's previous request is unconsumed, [`FleetError::UnknownVp`] /
+    /// [`FleetError::NoSurvivingSessions`] / [`FleetError::Closed`] as named.
+    pub fn submit(&self, vp: VpId, request: Request) -> Result<u64, FleetError> {
+        let rec = recorder();
+        let mut state = self.front.state.lock();
+        if state.closed {
+            return Err(FleetError::Closed);
+        }
+        {
+            let st = state.vps.get(&vp).ok_or(FleetError::UnknownVp(vp))?;
+            if st.outstanding || st.mailbox.is_some() {
+                return Err(FleetError::Busy(vp));
+            }
+        }
+        if state.depth >= self.config.admission_capacity {
+            state.stats.shed += 1;
+            rec.count("fleet.shed", 1);
+            return Err(FleetError::Saturated {
+                depth: state.depth,
+                capacity: self.config.admission_capacity,
+            });
+        }
+
+        // Relocation point: a planned steal, or failover off a dead session.
+        let current = state.vps.get(&vp).expect("checked above").shard;
+        let mut target = state
+            .vps
+            .get_mut(&vp)
+            .expect("checked above")
+            .pending_target
+            .take()
+            .filter(|&t| state.alive[t]);
+        if target.is_none() && !state.alive[current] {
+            target = Some(state.ring.slot_of(vp.0 as u64).ok_or(FleetError::NoSurvivingSessions)?);
+        }
+        if let Some(t) = target {
+            if t != current {
+                self.migrate_locked(&mut state, vp, t);
+            }
+        }
+
+        let st = state.vps.get_mut(&vp).expect("checked above");
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        let exec = match &st.map {
+            Some(map) => match map.translate(&request) {
+                Ok(translated) => translated,
+                Err(handle) => {
+                    // Unmapped handle: answer without touching any device.
+                    st.mailbox = Some((
+                        ResponseEnvelope {
+                            vp,
+                            seq,
+                            sent_at_s: st.sim_s,
+                            body: Response::Error {
+                                message: format!("unmapped guest handle {handle}"),
+                            },
+                        },
+                        0.0,
+                    ));
+                    self.front.cv.notify_all();
+                    return Ok(seq);
+                }
+            },
+            None => request.clone(),
+        };
+        let cost_s = request_cost(&self.config.arch, &request);
+        let sent_at_s = st.sim_s;
+        let shard_idx = st.shard;
+        st.outstanding = true;
+        st.submitted_wall_s = rec.wall_now_s();
+
+        state.window_cost[shard_idx] += cost_s;
+        *state.window_cost_by_vp.entry(vp).or_insert(0.0) += cost_s;
+        state.depth += 1;
+        state.stats.admitted += 1;
+        state.admitted_in_window += 1;
+        rec.count("fleet.admitted", 1);
+        rec.gauge_set("fleet.depth", state.depth as f64);
+
+        let shard = &self.shards[shard_idx];
+        {
+            let mut q = shard.queue.lock();
+            q.jobs.push_back(FleetJob {
+                vp,
+                seq,
+                guest: request,
+                exec,
+                sent_at_s,
+                cost_s,
+                enqueued_wall_s: rec.wall_now_s(),
+            });
+            rec.gauge_set(&shard.depth_gauge(), q.jobs.len() as f64);
+            shard.cv.notify_one();
+        }
+
+        if self.config.steal_interval > 0 && state.admitted_in_window >= self.config.steal_interval
+        {
+            self.plan_steals(&mut state);
+            state.admitted_in_window = 0;
+        }
+        Ok(seq)
+    }
+
+    /// Block until `vp`'s outstanding request completes; returns the response
+    /// and the simulated-time advance it cost the guest.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::NothingOutstanding`] when nothing is in flight and no
+    /// response is parked; [`FleetError::UnknownVp`] as named.
+    pub fn wait(&self, vp: VpId) -> Result<(ResponseEnvelope, f64), FleetError> {
+        let mut state = self.front.state.lock();
+        loop {
+            let st = state.vps.get_mut(&vp).ok_or(FleetError::UnknownVp(vp))?;
+            if let Some(delivered) = st.mailbox.take() {
+                return Ok(delivered);
+            }
+            if !st.outstanding {
+                return Err(FleetError::NothingOutstanding(vp));
+            }
+            self.front.cv.wait(&mut state);
+        }
+    }
+
+    /// Non-blocking variant of [`Fleet::wait`].
+    pub fn try_take(&self, vp: VpId) -> Option<(ResponseEnvelope, f64)> {
+        self.front.state.lock().vps.get_mut(&vp).and_then(|st| st.mailbox.take())
+    }
+
+    /// Force-migrate an idle `vp` to session `target` (admin/test hook; the
+    /// rebalancer and failover use the same machinery).
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Busy`] while a request is in flight,
+    /// [`FleetError::Config`] for a bad target, plus the usual
+    /// [`FleetError::UnknownVp`].
+    pub fn migrate(&self, vp: VpId, target: usize) -> Result<(), FleetError> {
+        if target >= self.shards.len() {
+            return Err(FleetError::Config(format!("no session {target}")));
+        }
+        let mut state = self.front.state.lock();
+        let st = state.vps.get(&vp).ok_or(FleetError::UnknownVp(vp))?;
+        if st.outstanding || st.mailbox.is_some() {
+            return Err(FleetError::Busy(vp));
+        }
+        if st.shard != target {
+            self.migrate_locked(&mut state, vp, target);
+        }
+        Ok(())
+    }
+
+    /// Kill session `s`: retire it from the placement ring, stop its
+    /// dispatcher, and re-home its queued jobs onto survivors (journal replay
+    /// plus re-enqueue). Idle VPs of the dead session migrate lazily at their
+    /// next submit. Idempotent; returns the number of rescued jobs.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Config`] for an unknown session index.
+    pub fn kill_session(&self, s: usize) -> Result<usize, FleetError> {
+        if s >= self.shards.len() {
+            return Err(FleetError::Config(format!("no session {s}")));
+        }
+        let rec = recorder();
+        {
+            let mut state = self.front.state.lock();
+            if !state.alive[s] {
+                return Ok(0);
+            }
+            state.alive[s] = false;
+            state.ring.retire(s);
+            state.stats.session_trips += 1;
+            rec.count("fleet.session_trips", 1);
+        }
+        // Stop the dispatcher *without* holding the front lock — its final
+        // in-flight completion needs it.
+        let shard = &self.shards[s];
+        let orphans = {
+            let mut q = shard.queue.lock();
+            q.down = true;
+            shard.cv.notify_all();
+            while !q.worker_done {
+                shard.cv.wait(&mut q);
+            }
+            std::mem::take(&mut q.orphans)
+        };
+        rec.gauge_set(&shard.depth_gauge(), 0.0);
+
+        let mut rescued = 0;
+        let mut state = self.front.state.lock();
+        for job in orphans {
+            let vp = job.vp;
+            let Some(target) = state.ring.slot_of(vp.0 as u64) else {
+                // No survivors: fail the job without unbounded buffering.
+                let st = state.vps.get_mut(&vp).expect("orphaned job belongs to an admitted vp");
+                st.outstanding = false;
+                st.mailbox = Some((
+                    ResponseEnvelope {
+                        vp,
+                        seq: job.seq,
+                        sent_at_s: job.sent_at_s,
+                        body: Response::Error { message: "no surviving sessions".into() },
+                    },
+                    0.0,
+                ));
+                state.depth -= 1;
+                continue;
+            };
+            state.vps.get_mut(&vp).expect("orphaned job belongs to an admitted vp").outstanding =
+                false;
+            self.migrate_locked(&mut state, vp, target);
+            let st = state.vps.get_mut(&vp).expect("orphaned job belongs to an admitted vp");
+            let map = st.map.as_ref().expect("migrated vp has a handle map");
+            let exec = match map.translate(&job.guest) {
+                Ok(translated) => translated,
+                Err(handle) => {
+                    st.mailbox = Some((
+                        ResponseEnvelope {
+                            vp,
+                            seq: job.seq,
+                            sent_at_s: job.sent_at_s,
+                            body: Response::Error {
+                                message: format!("unmapped guest handle {handle}"),
+                            },
+                        },
+                        0.0,
+                    ));
+                    state.depth -= 1;
+                    continue;
+                }
+            };
+            st.outstanding = true;
+            let target_shard = &self.shards[target];
+            {
+                let mut q = target_shard.queue.lock();
+                q.jobs.push_back(FleetJob {
+                    vp,
+                    seq: job.seq,
+                    guest: job.guest,
+                    exec,
+                    sent_at_s: job.sent_at_s,
+                    cost_s: job.cost_s,
+                    enqueued_wall_s: rec.wall_now_s(),
+                });
+                rec.gauge_set(&target_shard.depth_gauge(), q.jobs.len() as f64);
+                target_shard.cv.notify_one();
+            }
+            rescued += 1;
+            state.stats.rescued_jobs += 1;
+            rec.count("fleet.rescued_jobs", 1);
+        }
+        self.front.cv.notify_all();
+        Ok(rescued)
+    }
+
+    /// Park every dispatcher without popping (deterministic admission probes:
+    /// with workers held, `capacity + k` submits shed exactly `k` requests).
+    pub fn hold_workers(&self) {
+        for shard in &self.shards {
+            shard.queue.lock().held = true;
+        }
+    }
+
+    /// Resume held dispatchers.
+    pub fn release_workers(&self) {
+        for shard in &self.shards {
+            let mut q = shard.queue.lock();
+            q.held = false;
+            shard.cv.notify_all();
+        }
+    }
+
+    /// Shut the fleet down: stop accepting work, let every dispatcher drain
+    /// its queue, join the threads, and price each session's job log through
+    /// the configured scheduling policy. Call once, after collecting every
+    /// outstanding response.
+    pub fn shutdown(&self) -> FleetOutcome {
+        {
+            let mut state = self.front.state.lock();
+            state.closed = true;
+        }
+        for shard in &self.shards {
+            let mut q = shard.queue.lock();
+            q.closed = true;
+            q.held = false;
+            shard.cv.notify_all();
+        }
+        for handle in self.workers.lock().drain(..) {
+            let _ = handle.join();
+        }
+        let pipeline = Pipeline::from_policy(&self.config.policy);
+        let sessions = self
+            .shards
+            .iter()
+            .map(|shard| shard.session.lock().drain_and_plan(&pipeline, &|_| false))
+            .collect();
+        let stats = self.front.state.lock().stats;
+        FleetOutcome { sessions, stats }
+    }
+
+    /// Replay `vp`'s journal into `target`'s session and switch its placement.
+    /// Caller holds the front lock and guarantees nothing is in flight for
+    /// `vp`. Infallible: a rejected replay leaves the VP with an empty handle
+    /// map (subsequent requests fail with typed per-request errors) and is
+    /// counted in `replay_failures`.
+    fn migrate_locked(&self, state: &mut FrontState, vp: VpId, target: usize) {
+        let rec = recorder();
+        let (journal, sim_s) = {
+            let st = state.vps.get(&vp).expect("migrating an admitted vp");
+            debug_assert!(!st.outstanding, "migration requires an idle vp");
+            (st.journal.clone(), st.sim_s)
+        };
+        let runtime = {
+            let mut session = self.shards[target].session.lock();
+            let device = session.assign(vp);
+            session.runtime(device)
+        };
+        let mut rt = runtime.lock();
+        let replayed = replay_journal(&journal, |request| {
+            rt.process_replay(&Envelope { vp, seq: 0, sent_at_s: sim_s, body: request.clone() })
+                .body
+        });
+        drop(rt);
+        let st = state.vps.get_mut(&vp).expect("migrating an admitted vp");
+        match replayed {
+            Ok(map) => st.map = Some(map),
+            Err(_) => {
+                st.map = Some(HandleMap::new());
+                state.stats.replay_failures += 1;
+                rec.count("fleet.replay_failures", 1);
+            }
+        }
+        let st = state.vps.get_mut(&vp).expect("migrating an admitted vp");
+        st.shard = target;
+        state.stats.migrations += 1;
+        rec.count("fleet.migrations", 1);
+    }
+
+    /// Plan up to `max_steals_per_round` migrations from the hottest alive
+    /// shard to the coolest, by submitted cost over the closing window.
+    /// Deterministic: costs are pure functions of the admitted requests, and
+    /// every tie breaks on the lowest index.
+    fn plan_steals(&self, state: &mut FrontState) {
+        let rec = recorder();
+        let mut hottest: Option<usize> = None;
+        let mut coolest: Option<usize> = None;
+        for s in 0..state.window_cost.len() {
+            if !state.alive[s] {
+                continue;
+            }
+            if hottest.is_none_or(|h| state.window_cost[s] > state.window_cost[h]) {
+                hottest = Some(s);
+            }
+            if coolest.is_none_or(|c| state.window_cost[s] < state.window_cost[c]) {
+                coolest = Some(s);
+            }
+        }
+        if let (Some(hot), Some(cool)) = (hottest, coolest) {
+            if hot != cool
+                && state.window_cost[hot] > self.config.steal_ratio * state.window_cost[cool]
+            {
+                let mut candidates: Vec<(VpId, f64)> = state
+                    .window_cost_by_vp
+                    .iter()
+                    .filter(|(vp, _)| {
+                        state
+                            .vps
+                            .get(vp)
+                            .is_some_and(|st| st.shard == hot && st.pending_target.is_none())
+                    })
+                    .map(|(vp, cost)| (*vp, *cost))
+                    .collect();
+                candidates.sort_by(|a, b| {
+                    b.1.partial_cmp(&a.1)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.0 .0.cmp(&b.0 .0))
+                });
+                for (vp, _) in candidates.into_iter().take(self.config.max_steals_per_round) {
+                    state.vps.get_mut(&vp).expect("candidate is admitted").pending_target =
+                        Some(cool);
+                    state.stats.steals += 1;
+                    rec.count("fleet.steals", 1);
+                }
+            }
+        }
+        for cost in &mut state.window_cost {
+            *cost = 0.0;
+        }
+        state.window_cost_by_vp.clear();
+    }
+}
+
+/// Everything a finished fleet run yields: per-session planned outcomes plus
+/// the fleet counters.
+#[derive(Debug)]
+pub struct FleetOutcome {
+    /// Per-session outcomes, in session order (dead sessions keep the jobs
+    /// they executed before dying).
+    pub sessions: Vec<SessionOutcome>,
+    /// Fleet-lifetime counters.
+    pub stats: FleetStats,
+}
+
+impl FleetOutcome {
+    /// Device-touching jobs executed across every session.
+    pub fn gpu_jobs(&self) -> usize {
+        self.sessions.iter().map(SessionOutcome::gpu_jobs).sum()
+    }
+
+    /// Slowest session's planned makespan (sessions run on independent
+    /// hardware).
+    pub fn makespan_s(&self) -> f64 {
+        self.sessions.iter().map(SessionOutcome::makespan_s).fold(0.0, f64::max)
+    }
+
+    /// Per-VP simulated queue waits merged across sessions, ascending VP
+    /// order. A migrated VP contributes the jobs it ran on every session it
+    /// visited.
+    pub fn queue_wait_by_vp(&self) -> Vec<(VpId, VpQueueWait)> {
+        let mut by_vp: HashMap<VpId, VpQueueWait> = HashMap::new();
+        for session in &self.sessions {
+            for (vp, wait) in session.queue_wait_by_vp() {
+                let entry = by_vp.entry(vp).or_default();
+                entry.jobs += wait.jobs;
+                entry.total_s += wait.total_s;
+                entry.max_s = entry.max_s.max(wait.max_s);
+            }
+        }
+        let mut merged: Vec<(VpId, VpQueueWait)> = by_vp.into_iter().collect();
+        merged.sort_by_key(|(vp, _)| vp.0);
+        merged
+    }
+
+    /// The fleet starvation signal: p99 (nearest-rank) of per-VP worst
+    /// simulated queue waits. Zero for an empty fleet.
+    pub fn p99_queue_wait_s(&self) -> f64 {
+        let mut worst: Vec<f64> = self.queue_wait_by_vp().iter().map(|(_, w)| w.max_s).collect();
+        if worst.is_empty() {
+            return 0.0;
+        }
+        worst.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let rank = (worst.len() * 99).div_ceil(100);
+        worst[rank - 1]
+    }
+}

@@ -1,0 +1,319 @@
+//! Self-checking per-VP request scripts and the deterministic wavefront
+//! driver that feeds them through a [`Fleet`].
+//!
+//! A [`VpScript`] is a tiny guest: it emits the `vector_add` request sequence
+//! (`malloc ×3 → memcpy h2d ×2 → launch ×k → memcpy d2h → free ×3`), tracks
+//! the handles the fleet returns — which change transparently when the VP
+//! migrates between sessions — and verifies the result of the final read-back,
+//! so every completed script is an end-to-end proof that placement, stealing,
+//! migration and failover preserved the VP's device state.
+//!
+//! [`drive`] submits scripts in *wavefront order*: one request per VP per
+//! round, always iterating VPs in ascending order. The admission sequence is
+//! therefore a pure function of the scripts, which is what makes the fleet's
+//! steal/migration counters byte-identical across same-seed runs.
+
+use sigmavp_ipc::message::{Request, Response, VpId, WireParam};
+
+use crate::error::FleetError;
+use crate::fleet::Fleet;
+
+/// The `vector_add` kernel name registered by the workloads crate.
+const KERNEL: &str = "vector_add";
+const BLOCK_DIM: u32 = 256;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Step {
+    MallocA,
+    MallocB,
+    MallocC,
+    CopyA,
+    CopyB,
+    Launch(u32),
+    ReadBack,
+    FreeA,
+    FreeB,
+    FreeC,
+    Done,
+}
+
+/// One VP's scripted `vector_add` session (see the module docs).
+#[derive(Debug, Clone)]
+pub struct VpScript {
+    n: u32,
+    launches: u32,
+    seed: u64,
+    step: Step,
+    ha: u64,
+    hb: u64,
+    hc: u64,
+}
+
+impl VpScript {
+    /// A script computing `c = a + b` over `n` f32 elements with `launches`
+    /// kernel invocations; `seed` varies the input data per VP.
+    pub fn vector_add(n: u32, launches: u32, seed: u64) -> Self {
+        VpScript { n, launches: launches.max(1), seed, step: Step::MallocA, ha: 0, hb: 0, hc: 0 }
+    }
+
+    /// Total requests the script will submit: three mallocs, two uploads,
+    /// `launches` kernel invocations, one read-back, three frees.
+    pub fn jobs_total(&self) -> u64 {
+        9 + self.launches as u64
+    }
+
+    /// Whether the script has run to completion.
+    pub fn is_done(&self) -> bool {
+        self.step == Step::Done
+    }
+
+    fn value_a(&self, i: u32) -> f32 {
+        ((self.seed as u32).wrapping_add(i) % 1000) as f32 * 0.5
+    }
+
+    fn value_b(&self, i: u32) -> f32 {
+        ((self.seed as u32).wrapping_mul(31).wrapping_add(i) % 1000) as f32 * 0.25
+    }
+
+    fn payload(&self, f: impl Fn(&Self, u32) -> f32) -> Vec<u8> {
+        (0..self.n).flat_map(|i| f(self, i).to_le_bytes()).collect()
+    }
+
+    fn launch_request(&self) -> Request {
+        Request::Launch {
+            kernel: KERNEL.into(),
+            grid_dim: self.n.div_ceil(BLOCK_DIM),
+            block_dim: BLOCK_DIM,
+            params: vec![
+                WireParam::Buffer(self.ha),
+                WireParam::Buffer(self.hb),
+                WireParam::Buffer(self.hc),
+                WireParam::I64(self.n as i64),
+            ],
+            sync: true,
+            stream: 0,
+        }
+    }
+
+    /// Consume the response to the previous request (`None` before the first)
+    /// and produce the next request, or `Ok(None)` once the script finished.
+    ///
+    /// # Errors
+    ///
+    /// A device error or a read-back that fails validation aborts the script
+    /// with a message.
+    pub fn next(&mut self, last: Option<&Response>) -> Result<Option<Request>, String> {
+        if let Some(Response::Error { message }) = last {
+            return Err(format!("step {:?} failed: {message}", self.step));
+        }
+        match self.step {
+            Step::MallocA => {
+                self.step = Step::MallocB;
+                return Ok(Some(Request::Malloc { bytes: self.n as u64 * 4 }));
+            }
+            Step::MallocB => {
+                self.ha = expect_handle(last)?;
+                self.step = Step::MallocC;
+                return Ok(Some(Request::Malloc { bytes: self.n as u64 * 4 }));
+            }
+            Step::MallocC => {
+                self.hb = expect_handle(last)?;
+                self.step = Step::CopyA;
+                return Ok(Some(Request::Malloc { bytes: self.n as u64 * 4 }));
+            }
+            Step::CopyA => {
+                self.hc = expect_handle(last)?;
+                self.step = Step::CopyB;
+                return Ok(Some(Request::MemcpyH2D {
+                    handle: self.ha,
+                    data: self.payload(Self::value_a),
+                    stream: 0,
+                }));
+            }
+            Step::CopyB => {
+                self.step = Step::Launch(0);
+                return Ok(Some(Request::MemcpyH2D {
+                    handle: self.hb,
+                    data: self.payload(Self::value_b),
+                    stream: 0,
+                }));
+            }
+            Step::Launch(done) => {
+                let next = done + 1;
+                self.step = if next >= self.launches { Step::ReadBack } else { Step::Launch(next) };
+                return Ok(Some(self.launch_request()));
+            }
+            Step::ReadBack => {
+                self.step = Step::FreeA;
+                return Ok(Some(Request::MemcpyD2H {
+                    handle: self.hc,
+                    len: self.n as u64 * 4,
+                    stream: 0,
+                }));
+            }
+            Step::FreeA => {
+                self.verify(last)?;
+                self.step = Step::FreeB;
+                return Ok(Some(Request::Free { handle: self.ha }));
+            }
+            Step::FreeB => {
+                self.step = Step::FreeC;
+                return Ok(Some(Request::Free { handle: self.hb }));
+            }
+            Step::FreeC => {
+                self.step = Step::Done;
+                return Ok(Some(Request::Free { handle: self.hc }));
+            }
+            Step::Done => {}
+        }
+        Ok(None)
+    }
+
+    fn verify(&self, last: Option<&Response>) -> Result<(), String> {
+        let Some(Response::Data { data }) = last else {
+            return Err(format!("expected read-back data, got {last:?}"));
+        };
+        if data.len() != self.n as usize * 4 {
+            return Err(format!(
+                "read-back returned {} bytes, expected {}",
+                data.len(),
+                self.n * 4
+            ));
+        }
+        for i in 0..self.n {
+            let bytes: [u8; 4] =
+                data[i as usize * 4..i as usize * 4 + 4].try_into().expect("chunk is four bytes");
+            let got = f32::from_le_bytes(bytes);
+            let want = self.value_a(i) + self.value_b(i);
+            if (got - want).abs() > 1e-3 {
+                return Err(format!("element {i}: got {got}, want {want}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn expect_handle(last: Option<&Response>) -> Result<u64, String> {
+    match last {
+        Some(Response::Malloc { handle }) => Ok(*handle),
+        other => Err(format!("expected a malloc handle, got {other:?}")),
+    }
+}
+
+/// Drive `scripts` through `fleet` to completion in wavefront order (see the
+/// module docs), calling `hook(fleet, admitted_so_far)` after every accepted
+/// submission — the deterministic injection point for mid-run events such as
+/// killing a session. Returns the total number of requests submitted.
+///
+/// # Errors
+///
+/// Propagates script validation failures and unexpected fleet errors as
+/// strings. [`FleetError::Saturated`] is handled internally by backing off
+/// until capacity frees up.
+pub fn drive_with(
+    fleet: &Fleet,
+    scripts: &mut [(VpId, VpScript)],
+    mut hook: impl FnMut(&Fleet, u64),
+) -> Result<u64, String> {
+    let mut outstanding = vec![false; scripts.len()];
+    let mut last: Vec<Option<Response>> = vec![None; scripts.len()];
+    let mut submitted = 0u64;
+    loop {
+        let mut all_done = true;
+        for (i, (vp, script)) in scripts.iter_mut().enumerate() {
+            if script.is_done() {
+                continue;
+            }
+            all_done = false;
+            if outstanding[i] {
+                let (envelope, _) = fleet.wait(*vp).map_err(|e| format!("{vp}: wait: {e}"))?;
+                last[i] = Some(envelope.body);
+                outstanding[i] = false;
+            }
+            match script.next(last[i].take().as_ref()).map_err(|e| format!("{vp}: {e}"))? {
+                Some(request) => {
+                    loop {
+                        match fleet.submit(*vp, request.clone()) {
+                            Ok(_) => break,
+                            Err(FleetError::Saturated { .. }) => {
+                                // Shed: back off until completions free capacity.
+                                std::thread::sleep(std::time::Duration::from_micros(50));
+                            }
+                            Err(e) => return Err(format!("{vp}: submit: {e}")),
+                        }
+                    }
+                    outstanding[i] = true;
+                    submitted += 1;
+                    hook(fleet, submitted);
+                }
+                None => debug_assert!(script.is_done()),
+            }
+        }
+        if all_done {
+            return Ok(submitted);
+        }
+    }
+}
+
+/// [`drive_with`] without a hook.
+///
+/// # Errors
+///
+/// See [`drive_with`].
+pub fn drive(fleet: &Fleet, scripts: &mut [(VpId, VpScript)]) -> Result<u64, String> {
+    drive_with(fleet, scripts, |_, _| {})
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn script_emits_the_expected_sequence() {
+        let mut s = VpScript::vector_add(512, 2, 7);
+        assert_eq!(s.jobs_total(), 11);
+        let r1 = s.next(None).unwrap().unwrap();
+        assert!(matches!(r1, Request::Malloc { bytes: 2048 }));
+        let r2 = s.next(Some(&Response::Malloc { handle: 10 })).unwrap().unwrap();
+        assert!(matches!(r2, Request::Malloc { .. }));
+        let r3 = s.next(Some(&Response::Malloc { handle: 11 })).unwrap().unwrap();
+        assert!(matches!(r3, Request::Malloc { .. }));
+        let r4 = s.next(Some(&Response::Malloc { handle: 12 })).unwrap().unwrap();
+        assert!(matches!(r4, Request::MemcpyH2D { handle: 10, .. }));
+        let r5 = s.next(Some(&Response::Done)).unwrap().unwrap();
+        assert!(matches!(r5, Request::MemcpyH2D { handle: 11, .. }));
+        let r6 = s.next(Some(&Response::Done)).unwrap().unwrap();
+        assert!(matches!(r6, Request::Launch { .. }));
+        let r7 = s.next(Some(&Response::Launched { device_time_s: 0.0 })).unwrap().unwrap();
+        assert!(matches!(r7, Request::Launch { .. }));
+        let r8 = s.next(Some(&Response::Launched { device_time_s: 0.0 })).unwrap().unwrap();
+        assert!(matches!(r8, Request::MemcpyD2H { handle: 12, .. }));
+        // Correct read-back passes validation and moves on to the frees.
+        let data: Vec<u8> =
+            (0..512u32).flat_map(|i| (s.value_a(i) + s.value_b(i)).to_le_bytes()).collect();
+        let r9 = s.next(Some(&Response::Data { data })).unwrap().unwrap();
+        assert!(matches!(r9, Request::Free { handle: 10 }));
+        assert!(s.next(Some(&Response::Done)).unwrap().is_some());
+        assert!(s.next(Some(&Response::Done)).unwrap().is_some());
+        assert!(s.next(Some(&Response::Done)).unwrap().is_none());
+        assert!(s.is_done());
+    }
+
+    #[test]
+    fn script_rejects_bad_readback_and_device_errors() {
+        let mut s = VpScript::vector_add(4, 1, 0);
+        for _ in 0..5 {
+            // malloc ×3, h2d ×2 — drive to the launch with synthetic handles.
+            s.next(Some(&Response::Malloc { handle: 1 })).unwrap();
+        }
+        s.next(Some(&Response::Launched { device_time_s: 0.0 })).unwrap();
+        s.next(Some(&Response::Launched { device_time_s: 0.0 })).unwrap();
+        let err = s.next(Some(&Response::Data { data: vec![0u8; 16] })).unwrap_err();
+        assert!(err.contains("element"), "{err}");
+
+        let mut s2 = VpScript::vector_add(4, 1, 0);
+        s2.next(None).unwrap();
+        let err = s2.next(Some(&Response::Error { message: "boom".into() })).unwrap_err();
+        assert!(err.contains("boom"), "{err}");
+    }
+}

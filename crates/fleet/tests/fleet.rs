@@ -1,0 +1,209 @@
+//! Integration tests for the sharded fleet front-end: bounded admission,
+//! deterministic stealing, cross-session migration, and session failover.
+
+use sigmavp_fleet::{drive, drive_with, Fleet, FleetConfig, FleetError, VpScript};
+use sigmavp_ipc::message::{Request, Response, VpId};
+use sigmavp_vp::registry::KernelRegistry;
+use sigmavp_workloads::app::Application;
+use sigmavp_workloads::apps::VectorAddApp;
+
+fn registry() -> KernelRegistry {
+    VectorAddApp { n: 256 }.kernels().into_iter().collect()
+}
+
+fn scripts(count: u32, n: u32, launches: u32) -> Vec<(VpId, VpScript)> {
+    (0..count).map(|vp| (VpId(vp), VpScript::vector_add(n, launches, 1000 + vp as u64))).collect()
+}
+
+#[test]
+fn saturated_admission_sheds_with_typed_error() {
+    let fleet = Fleet::new(FleetConfig::new(1).with_capacity(2), registry()).expect("fleet builds");
+    fleet.hold_workers();
+    for vp in 0..3u32 {
+        fleet.admit(VpId(vp)).unwrap();
+    }
+    fleet.submit(VpId(0), Request::Malloc { bytes: 64 }).unwrap();
+    fleet.submit(VpId(1), Request::Malloc { bytes: 64 }).unwrap();
+    let err = fleet.submit(VpId(2), Request::Malloc { bytes: 64 }).unwrap_err();
+    assert_eq!(err, FleetError::Saturated { depth: 2, capacity: 2 });
+    assert_eq!(fleet.stats().shed, 1);
+    assert_eq!(fleet.depth(), 2, "the shed request was not buffered");
+
+    // Capacity frees as soon as workers drain the queue.
+    fleet.release_workers();
+    fleet.wait(VpId(0)).unwrap();
+    fleet.wait(VpId(1)).unwrap();
+    fleet.submit(VpId(2), Request::Malloc { bytes: 64 }).unwrap();
+    let (response, _) = fleet.wait(VpId(2)).unwrap();
+    assert!(matches!(response.body, Response::Malloc { .. }));
+    let outcome = fleet.shutdown();
+    assert_eq!(outcome.stats.completed, 3);
+    assert_eq!(outcome.stats.shed, 1);
+}
+
+#[test]
+fn typed_errors_for_unknown_busy_and_idle_vps() {
+    let fleet = Fleet::new(FleetConfig::new(1), registry()).expect("fleet builds");
+    assert_eq!(
+        fleet.submit(VpId(9), Request::Synchronize).unwrap_err(),
+        FleetError::UnknownVp(VpId(9))
+    );
+    fleet.admit(VpId(0)).unwrap();
+    assert_eq!(fleet.admit(VpId(0)).unwrap_err(), FleetError::AlreadyAdmitted(VpId(0)));
+    assert_eq!(fleet.wait(VpId(0)).unwrap_err(), FleetError::NothingOutstanding(VpId(0)));
+    fleet.hold_workers();
+    fleet.submit(VpId(0), Request::Synchronize).unwrap();
+    assert_eq!(fleet.submit(VpId(0), Request::Synchronize).unwrap_err(), FleetError::Busy(VpId(0)));
+    fleet.release_workers();
+    fleet.wait(VpId(0)).unwrap();
+    fleet.shutdown();
+}
+
+#[test]
+fn scripts_complete_end_to_end_across_sessions() {
+    let fleet = Fleet::new(FleetConfig::new(2), registry()).expect("fleet builds");
+    let mut scripts = scripts(12, 512, 2);
+    for (vp, _) in &scripts {
+        fleet.admit(*vp).unwrap();
+    }
+    let submitted = drive(&fleet, &mut scripts).expect("every script validates");
+    assert_eq!(submitted, 12 * 11);
+    let outcome = fleet.shutdown();
+    assert_eq!(outcome.stats.admitted, submitted);
+    assert_eq!(outcome.stats.completed, submitted);
+    assert_eq!(outcome.stats.shed, 0, "capacity was never hit");
+    // Device-touching jobs per VP: 2 uploads + 2 launches + 1 read-back
+    // (mallocs, frees and syncs never reach an engine).
+    assert_eq!(outcome.gpu_jobs(), 12 * 5);
+    // Both sessions did real work (the hash ring spreads 12 VPs over 2).
+    assert!(outcome.sessions.iter().all(|s| s.gpu_jobs() > 0));
+    // Queue waits are exposed per VP for the starvation gate.
+    assert_eq!(outcome.queue_wait_by_vp().len(), 12);
+    assert!(outcome.p99_queue_wait_s() >= 0.0);
+}
+
+#[test]
+fn work_stealing_rebalances_and_counters_are_deterministic() {
+    let run = || {
+        let config = FleetConfig::new(2).with_steal_interval(16);
+        let fleet = Fleet::new(config, registry()).expect("fleet builds");
+        // Skewed load: even VPs run 6 launches, odd VPs run 1, so whichever
+        // shard the ring loads more heavily stays hot until steals spread it.
+        let mut scripts: Vec<(VpId, VpScript)> = (0..16u32)
+            .map(|vp| {
+                let launches = if vp % 2 == 0 { 6 } else { 1 };
+                (VpId(vp), VpScript::vector_add(4096, launches, 2000 + vp as u64))
+            })
+            .collect();
+        for (vp, _) in &scripts {
+            fleet.admit(*vp).unwrap();
+        }
+        let submitted = drive(&fleet, &mut scripts).expect("every script validates");
+        let outcome = fleet.shutdown();
+        assert_eq!(outcome.stats.completed, submitted);
+        (outcome.stats.admitted, outcome.stats.steals, outcome.stats.migrations)
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first, second, "steal/migration counters are byte-identical across runs");
+    assert!(first.1 > 0, "the rebalancer planned at least one steal: {first:?}");
+    assert!(first.2 > 0, "at least one stolen VP actually migrated: {first:?}");
+}
+
+#[test]
+fn forced_migration_preserves_guest_handles_and_data() {
+    let fleet = Fleet::new(FleetConfig::new(2), registry()).expect("fleet builds");
+    let vp = VpId(3);
+    let home = fleet.admit(vp).unwrap();
+    let away = 1 - home;
+
+    let roundtrip = |request: Request| {
+        fleet.submit(vp, request).unwrap();
+        fleet.wait(vp).unwrap().0.body
+    };
+    let Response::Malloc { handle } = roundtrip(Request::Malloc { bytes: 16 }) else {
+        panic!("malloc failed")
+    };
+    let payload = vec![7u8, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22];
+    assert!(matches!(
+        roundtrip(Request::MemcpyH2D { handle, data: payload.clone(), stream: 0 }),
+        Response::Done
+    ));
+
+    // Migration is refused while a request is in flight.
+    fleet.hold_workers();
+    fleet.submit(vp, Request::Synchronize).unwrap();
+    assert_eq!(fleet.migrate(vp, away).unwrap_err(), FleetError::Busy(vp));
+    fleet.release_workers();
+    fleet.wait(vp).unwrap();
+
+    fleet.migrate(vp, away).expect("idle vp migrates");
+    assert_eq!(fleet.stats().migrations, 1);
+
+    // The guest handle survives the move: the journal replay re-created the
+    // buffer on the target session and the handle map translates reads.
+    let Response::Data { data } = roundtrip(Request::MemcpyD2H { handle, len: 16, stream: 0 })
+    else {
+        panic!("read-back failed after migration")
+    };
+    assert_eq!(data, payload);
+
+    // Post-migration allocations hand the guest virtualized handles that
+    // never collide with pre-migration ones.
+    let Response::Malloc { handle: fresh } = roundtrip(Request::Malloc { bytes: 16 }) else {
+        panic!("malloc after migration failed")
+    };
+    assert!(fresh >= 1 << 32, "virtualized handle expected, got {fresh}");
+    assert_ne!(fresh, handle);
+    assert!(matches!(roundtrip(Request::Free { handle: fresh }), Response::Done));
+    assert!(matches!(roundtrip(Request::Free { handle }), Response::Done));
+    fleet.shutdown();
+}
+
+#[test]
+fn killed_session_drains_to_survivors_and_all_jobs_complete() {
+    let fleet = Fleet::new(FleetConfig::new(2), registry()).expect("fleet builds");
+    let mut scripts = scripts(10, 512, 3);
+    for (vp, _) in &scripts {
+        fleet.admit(*vp).unwrap();
+    }
+    let expected: u64 = scripts.iter().map(|(_, s)| s.jobs_total()).sum();
+    let submitted = drive_with(&fleet, &mut scripts, |fleet, admitted| {
+        if admitted == expected / 2 {
+            fleet.kill_session(0).expect("session 0 exists");
+        }
+    })
+    .expect("every script completes on the survivor");
+    assert_eq!(submitted, expected);
+    assert!(!fleet.is_alive(0));
+    assert!(fleet.is_alive(1));
+
+    // Idempotent: a second kill is a no-op.
+    assert_eq!(fleet.kill_session(0).unwrap(), 0);
+
+    let outcome = fleet.shutdown();
+    assert_eq!(outcome.stats.completed, submitted);
+    assert_eq!(outcome.stats.session_trips, 1);
+    // 2 uploads + 3 launches + 1 read-back per VP: every device job ran
+    // exactly once (rescues re-enqueue, they do not re-execute, and journal
+    // replays are not recorded as jobs).
+    assert_eq!(outcome.gpu_jobs(), 10 * 6);
+    // VPs homed on session 0 moved over (lazily or via rescue).
+    assert!(outcome.stats.migrations > 0, "dead session's vps migrated: {:?}", outcome.stats);
+    // New admissions avoid the dead session.
+    assert_eq!(fleet.admit(VpId(99)).unwrap_err(), FleetError::Closed);
+}
+
+#[test]
+fn no_surviving_sessions_is_a_typed_error() {
+    let fleet = Fleet::new(FleetConfig::new(1), registry()).expect("fleet builds");
+    fleet.admit(VpId(0)).unwrap();
+    fleet.kill_session(0).unwrap();
+    assert_eq!(
+        fleet.submit(VpId(0), Request::Synchronize).unwrap_err(),
+        FleetError::NoSurvivingSessions
+    );
+    assert_eq!(fleet.admit(VpId(1)).unwrap_err(), FleetError::NoSurvivingSessions);
+    let outcome = fleet.shutdown();
+    assert_eq!(outcome.stats.session_trips, 1);
+}

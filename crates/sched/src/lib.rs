@@ -26,6 +26,7 @@ pub mod coalesce;
 pub mod deps;
 pub mod interleave;
 pub mod pipeline;
+pub mod placement;
 pub mod policy;
 pub mod rebalance;
 
@@ -36,5 +37,6 @@ pub use pipeline::{
     AdaptiveSelect, Coalesce, DepOrder, Interleave, JobStream, MergeGroup, PassCtx, Pipeline,
     SchedulePass, StreamEvaluator,
 };
+pub use placement::{HashRing, Placement};
 pub use policy::{Admission, BackendKind, InterleaveMode, Policy, RetryPolicy};
 pub use rebalance::{DeviceView, Rebalance};
