@@ -21,8 +21,8 @@ cargo bench --workspace --no-run
 echo "==> cargo test"
 cargo test -q --workspace
 
-echo "==> audit regression gate + chaos smoke (results/baselines/audit.json)"
-cargo run --release -p sigmavp-bench --bin audit -- --faults 42 --check
+echo "==> audit regression gate + chaos smoke + sync windows (results/baselines/audit.json)"
+cargo run --release -p sigmavp-bench --bin audit -- --faults 42 --sync --check
 
 echo "==> perf throughput gate (results/baselines/perf.json)"
 cargo run --release -p sigmavp-bench --bin perf -- --check --tolerance 0.25

@@ -26,6 +26,15 @@
 //! the drained trace events are reported (but *not* gated — wall time is
 //! nondeterministic).
 //!
+//! With `--sync`, a **sync-mode window scenario** also runs (and is gated):
+//! 4 VPs issue the identical synchronous `vector_add` under a stop/resume
+//! `sync_hold` policy, so the dispatcher parks all four guests, plans the held
+//! window with the full pipeline, and resumes them in planned completion
+//! order. The scenario runs twice in-process and hard-fails unless the window
+//! counters are byte-identical, at least one live cross-VP merge happened, the
+//! live plan's Eq. 7 makespan beats the reorder-only baseline, and every stop
+//! was matched by a resume; the counters are then gated under `sync.*`.
+//!
 //! A **chaos smoke** always runs as well: 4 VPs on 2 host GPUs over a lossy,
 //! delaying link, with GPU 1 killed 40% into the (calibrated) run. Every VP
 //! must still validate with every request executed exactly once, and the
@@ -75,6 +84,8 @@ struct Args {
     tolerance: f64,
     inject_slowdown: f64,
     fault_seed: u64,
+    /// Run (and gate) the sync-mode stop/resume window scenario.
+    sync: bool,
     /// Explicit pass composition for the planned scenarios (ablation); the
     /// policy-derived pipeline when absent. Gated numbers assume the default.
     passes: Option<String>,
@@ -83,7 +94,7 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: audit [--check] [--write-baseline] [--baseline PATH] [--out PATH] \
-         [--tolerance F] [--inject-slowdown F] [--faults SEED] [--passes a,b,c]"
+         [--tolerance F] [--inject-slowdown F] [--faults SEED] [--passes a,b,c] [--sync]"
     );
     std::process::exit(2);
 }
@@ -97,6 +108,7 @@ fn parse_args() -> Args {
         tolerance: DEFAULT_TOLERANCE,
         inject_slowdown: 1.0,
         fault_seed: DEFAULT_FAULT_SEED,
+        sync: false,
         passes: None,
     };
     let mut it = std::env::args().skip(1);
@@ -120,6 +132,7 @@ fn parse_args() -> Args {
                     value("--inject-slowdown").parse().unwrap_or_else(|_| usage())
             }
             "--faults" => args.fault_seed = value("--faults").parse().unwrap_or_else(|_| usage()),
+            "--sync" => args.sync = true,
             "--passes" => args.passes = Some(value("--passes")),
             _ => usage(),
         }
@@ -321,6 +334,61 @@ fn run_chaos(
     })
 }
 
+/// One 4-VP sync-hold fleet: every guest's synchronous `vector_add` is parked
+/// by the dispatcher, planned as one cross-VP window, and resumed in planned
+/// completion order.
+fn sync_fleet(arch: &GpuArch) -> Result<DispatchStats, String> {
+    let app = VectorAddApp { n: 2048 };
+    let registry: KernelRegistry = app.kernels().into_iter().collect();
+    let mut sys = DispatchedSigmaVp::single(arch.clone(), registry, TransportCost::shared_memory())
+        .with_policy(sigmavp::Policy::MultiplexedOptimized.with_sync_hold(true));
+    for _ in 0..4 {
+        sys.spawn(Box::new(VectorAddApp { n: 2048 }));
+    }
+    let (report, stats) = sys.join();
+    if !report.all_ok() {
+        return Err(format!("sync scenario failed validation: {:?}", report.outcomes));
+    }
+    Ok(stats)
+}
+
+/// The sync-mode scenario: run the held-window fleet twice and hard-fail
+/// unless the window ledger is byte-identical, merging happened live, the
+/// live plan beats reorder-only, and no VP was left stopped.
+fn run_sync(arch: &GpuArch) -> Result<DispatchStats, String> {
+    let a = sync_fleet(arch)?;
+    let b = sync_fleet(arch)?;
+    let identical = a.holds == b.holds
+        && a.sync_windows == b.sync_windows
+        && a.live_groups == b.live_groups
+        && a.live_members == b.live_members
+        && a.stop_events == b.stop_events
+        && a.resume_events == b.resume_events
+        && a.wave_slots == b.wave_slots
+        && a.wave_filled == b.wave_filled
+        && a.sync_makespan_s.to_bits() == b.sync_makespan_s.to_bits()
+        && a.sync_reorder_makespan_s.to_bits() == b.sync_reorder_makespan_s.to_bits();
+    if !identical {
+        return Err(format!("sync window ledger diverges across identical runs: {a:?} vs {b:?}"));
+    }
+    if a.holds == 0 || a.sync_windows == 0 {
+        return Err(format!("sync scenario held no windows: {a:?}"));
+    }
+    if a.live_groups == 0 {
+        return Err(format!("sync scenario coalesced nothing live: {a:?}"));
+    }
+    if a.stop_events != a.resume_events {
+        return Err(format!("sync scenario left a VP stopped: {a:?}"));
+    }
+    if a.sync_makespan_s >= a.sync_reorder_makespan_s {
+        return Err(format!(
+            "live sync plan ({:.9e} s) does not beat reorder-only ({:.9e} s)",
+            a.sync_makespan_s, a.sync_reorder_makespan_s
+        ));
+    }
+    Ok(a)
+}
+
 fn phase_name(phase: PathPhase) -> &'static str {
     match phase {
         PathPhase::Transfer => "transfer",
@@ -502,10 +570,22 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // --- Sync-mode window scenario (opt-in, gated). --------------------------
+    let sync = if args.sync {
+        match run_sync(&arch) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                eprintln!("audit: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
     let snapshot = telemetry.snapshot();
 
     // --- Gate metrics (deterministic simulated quantities only). -------------
-    let gate: Vec<(String, f64)> = vec![
+    let mut gate: Vec<(String, f64)> = vec![
         ("async4.makespan_s".into(), async4.makespan_s),
         ("async4.overlap_fraction".into(), async4.plan.timeline.overlap_fraction()),
         ("async4.eq7_residual_frac".into(), report.entry("eq7").expect("pushed").residual_frac),
@@ -525,6 +605,19 @@ fn main() -> ExitCode {
         ("chaos.gpu_trips".into(), chaos.gpu_trips as f64),
         ("chaos.migrations".into(), chaos.migrations as f64),
     ];
+    if let Some(s) = &sync {
+        // The window ledger is fully deterministic (and verified byte-identical
+        // across two in-process runs above), so it gates at face value.
+        gate.extend([
+            ("sync.holds".into(), s.holds as f64),
+            ("sync.windows".into(), s.sync_windows as f64),
+            ("sync.live_groups".into(), s.live_groups as f64),
+            ("sync.live_members".into(), s.live_members as f64),
+            ("sync.stop_events".into(), s.stop_events as f64),
+            ("sync.makespan_s".into(), s.sync_makespan_s),
+            ("sync.reorder_makespan_s".into(), s.sync_reorder_makespan_s),
+        ]);
+    }
 
     // --- BENCH_audit.json. ----------------------------------------------------
     let mut json = String::new();
@@ -567,6 +660,24 @@ fn main() -> ExitCode {
         queue_wait_mean_s,
         snapshot.dropped_events
     ));
+    if let Some(s) = &sync {
+        json.push_str(&format!(
+            "  \"sync\": {{\"holds\": {}, \"windows\": {}, \"live_groups\": {}, \
+             \"live_members\": {}, \"stop_events\": {}, \"resume_events\": {}, \
+             \"wave_slots\": {}, \"wave_filled\": {}, \"makespan_s\": {:.9e}, \
+             \"reorder_makespan_s\": {:.9e}}},\n",
+            s.holds,
+            s.sync_windows,
+            s.live_groups,
+            s.live_members,
+            s.stop_events,
+            s.resume_events,
+            s.wave_slots,
+            s.wave_filled,
+            s.sync_makespan_s,
+            s.sync_reorder_makespan_s
+        ));
+    }
     json.push_str(&format!(
         "  \"chaos\": {{\"seed\": {}, \"makespan_s\": {:.9e}, \"requests\": {}, \
          \"fault_retries\": {}, \"gpu_trips\": {}, \"migrations\": {}, \"dedup_hits\": {}}}\n}}\n",
@@ -617,6 +728,18 @@ fn main() -> ExitCode {
         wall_lifecycles.len(),
         queue_wait_mean_s * 1e3
     );
+    if let Some(s) = &sync {
+        println!(
+            "sync: {} holds over {} window(s), {} live group(s) absorbing {} launch(es), \
+             makespan {:.3} ms vs reorder-only {:.3} ms (ledger byte-identical across runs)",
+            s.holds,
+            s.sync_windows,
+            s.live_groups,
+            s.live_members,
+            s.sync_makespan_s * 1e3,
+            s.sync_reorder_makespan_s * 1e3
+        );
+    }
     println!(
         "chaos (seed {}): survived gpu kill — {} requests, {} retries, {} dedup hits, \
          {} trip(s), {} migration(s), makespan {:.3} ms",

@@ -79,13 +79,42 @@ fn written_baseline_round_trips_through_check() {
 
 #[test]
 fn committed_baseline_passes_check() {
+    // The committed baseline includes the sync.* keys, so the gate run needs
+    // the sync scenario enabled (as ci.sh does).
     let baseline = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/baselines/audit.json");
     assert!(std::path::Path::new(baseline).exists(), "committed baseline at {baseline}");
     let dir = tmp_dir("committed");
-    let check = audit(&dir, &["--check", "--baseline", baseline]);
+    let check = audit(&dir, &["--sync", "--check", "--baseline", baseline]);
     assert!(
         check.status.success(),
         "committed baseline must gate green:\n{}{}",
+        String::from_utf8_lossy(&check.stdout),
+        String::from_utf8_lossy(&check.stderr)
+    );
+}
+
+#[test]
+fn sync_scenario_gates_and_reports() {
+    let dir = tmp_dir("sync");
+    let baseline = dir.join("baseline.json");
+    let write =
+        audit(&dir, &["--sync", "--write-baseline", "--baseline", baseline.to_str().unwrap()]);
+    assert!(write.status.success(), "{}", String::from_utf8_lossy(&write.stderr));
+
+    let json = std::fs::read_to_string(dir.join("BENCH_audit.json")).expect("report written");
+    assert!(json.contains("\"sync\":"), "sync section present");
+    let gate = gate_metrics(&json);
+    assert!(metric(&gate, "sync.holds") >= 4.0);
+    assert!(metric(&gate, "sync.live_groups") >= 1.0);
+    assert!(
+        metric(&gate, "sync.makespan_s") < metric(&gate, "sync.reorder_makespan_s"),
+        "live window plan beats reorder-only"
+    );
+
+    let check = audit(&dir, &["--sync", "--check", "--baseline", baseline.to_str().unwrap()]);
+    assert!(
+        check.status.success(),
+        "sync self-check must pass:\n{}{}",
         String::from_utf8_lossy(&check.stdout),
         String::from_utf8_lossy(&check.stderr)
     );

@@ -50,21 +50,25 @@ use sigmavp_fault::{
     is_transient_error, replay_journal, CircuitBreaker, DedupCache, DropNotice, FaultPlan,
     FaultyTransport, HandleMap, LinkDirection, VpJournal, TRANSIENT_ERROR_PREFIX,
 };
+use sigmavp_gpu::engine::simulate;
 use sigmavp_gpu::GpuArch;
 use sigmavp_ipc::codec;
+use sigmavp_ipc::control::VpControl;
 use sigmavp_ipc::message::{Envelope, Request, Response, ResponseEnvelope, VpId, WireParam};
-use sigmavp_ipc::queue::{Job, JobKind, JobQueue};
+use sigmavp_ipc::queue::{Job, JobId, JobKind, JobQueue};
 use sigmavp_ipc::transport::{pair, Transport, TransportCost};
 use sigmavp_ipc::IpcError;
-use sigmavp_sched::{DeviceView, PassCtx, Pipeline, Policy, RetryPolicy};
+use sigmavp_sched::{DeviceView, LoadRebalance, PassCtx, Pipeline, Policy, Rebalance, RetryPolicy};
 use sigmavp_telemetry::{Lane, TimeDomain};
 use sigmavp_vp::error::VpError;
+use sigmavp_vp::gate::VpGate;
 use sigmavp_vp::platform::{SimClock, VirtualPlatform};
 use sigmavp_vp::registry::KernelRegistry;
 use sigmavp_vp::service::GpuService;
 use sigmavp_workloads::app::{AppEnv, Application};
 
 use crate::host::{JobRecord, RecordKind};
+use crate::plan::{lower_jobs, EngineEvaluator};
 use crate::session::ExecutionSession;
 use crate::threaded::{collect_vp_outcomes, ThreadedReport, VpHandle, VpOutcome};
 
@@ -94,10 +98,17 @@ struct RemoteGpu {
     /// Jitter source for backoff; seeded per VP (and from the fault plan when
     /// one is active) so runs are reproducible.
     rng: StdRng,
+    /// The VP half of the stop/resume protocol: pause points before each
+    /// request and inside quiet receive waits, so a dispatcher-held sync
+    /// request parks this thread instead of timing it out.
+    gate: VpGate,
 }
 
 impl RemoteGpu {
     fn round_trip(&mut self, body: Request) -> Result<(Response, f64), VpError> {
+        // Scheduling point (Fig. 4b): if the host still holds a stop from the
+        // previous sync window, park here before issuing anything new.
+        self.gate.pause_point();
         let seq = self.seq;
         self.seq += 1;
         let recorder = sigmavp_telemetry::recorder();
@@ -125,7 +136,7 @@ impl RemoteGpu {
             // guest): a starved dispatcher on a loaded CI machine must not be
             // mistaken for a dropped frame, or fault counters stop being
             // reproducible.
-            let deadline = Instant::now() + self.retry.timeout().max(WALL_DEADLINE_BACKSTOP);
+            let mut deadline = Instant::now() + self.retry.timeout().max(WALL_DEADLINE_BACKSTOP);
             // `Some` once a frame for *this* request decoded; stale responses
             // (retries answered twice) are discarded without ending the wait.
             let accepted = loop {
@@ -146,6 +157,16 @@ impl RemoteGpu {
                         }
                     }
                     None => {
+                        if self.gate.is_stopped() {
+                            // The dispatcher is deliberately holding this sync
+                            // request in a cross-VP window: silence is not a
+                            // fault. Park until resumed, then keep listening
+                            // without charging a timeout or a retry.
+                            self.gate.pause_point();
+                            deadline =
+                                Instant::now() + self.retry.timeout().max(WALL_DEADLINE_BACKSTOP);
+                            continue;
+                        }
                         recorder.count("fault.timeouts", 1);
                         last_err = IpcError::Timeout { waited_us: self.retry.timeout_us };
                         extra_sim_s += self.retry.timeout_s();
@@ -270,7 +291,7 @@ impl GpuService for RemoteGpu {
 }
 
 /// Statistics from one dispatcher run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct DispatchStats {
     /// Requests served.
     pub requests: u64,
@@ -280,10 +301,32 @@ pub struct DispatchStats {
     pub max_window: usize,
     /// Duplicate requests answered from the dedup cache instead of re-executed.
     pub dedup_hits: u64,
-    /// VP migrations performed after a device went down.
+    /// VP migrations performed (failover off a dead device or load-triggered).
     pub migrations: u64,
     /// Host GPUs taken out of service (scheduled outage or tripped breaker).
     pub gpu_trips: u64,
+    /// Synchronous launches held for a stop/resume window (Fig. 4b).
+    pub holds: u64,
+    /// Synchronous windows planned and flushed.
+    pub sync_windows: u64,
+    /// Merge groups the live sync planner found (coalesce plus wave-pack).
+    pub live_groups: u64,
+    /// Member launches those live groups absorbed.
+    pub live_members: u64,
+    /// VP stop events issued (0→1 stop-depth edges; one IPC round trip each).
+    pub stop_events: u64,
+    /// VP resume events issued (1→0 edges).
+    pub resume_events: u64,
+    /// Wave slots (λ-aligned block quanta) the live merged launches occupied.
+    pub wave_slots: u64,
+    /// Blocks actually launched into those slots; `wave_slots - wave_filled`
+    /// is the Eq. 9 alignment residual, zero for perfectly packed windows.
+    pub wave_filled: u64,
+    /// Summed Eq. 7 makespan of the executed sync windows under the live plan.
+    pub sync_makespan_s: f64,
+    /// The same windows priced under the reorder-only (no cross-VP merging)
+    /// plan — the async baseline the live path must beat.
+    pub sync_reorder_makespan_s: f64,
 }
 
 /// A live ΣVP system with an explicit dispatcher thread over real transports.
@@ -368,6 +411,9 @@ impl DispatchedSigmaVp {
         let mut host_ends: Vec<(VpId, Box<dyn Transport>)> = Vec::new();
         let mut handles: Vec<VpHandle> = Vec::new();
         let retry = self.policy.retry;
+        // The stop/resume switchboard, shared by every VP thread and the
+        // dispatcher (only exercised when the policy enables sync holds).
+        let control = Arc::new(VpControl::new());
         for (vp, app) in self.pending {
             session.assign(vp);
             let (vp_end, host_end) = pair(self.cost);
@@ -402,6 +448,7 @@ impl DispatchedSigmaVp {
             let jitter_seed = self.faults.as_ref().map_or(0, |p| p.seed())
                 ^ u64::from(vp.0).wrapping_mul(0x9E37_79B9_7F4A_7C15);
             let app_name = app.name().to_string();
+            let gate = VpGate::new(control.clone(), vp);
             let handle = std::thread::spawn(move || {
                 let mut platform = VirtualPlatform::new(vp);
                 let mut service = RemoteGpu {
@@ -411,6 +458,7 @@ impl DispatchedSigmaVp {
                     clock: platform.clock_handle(),
                     retry,
                     rng: StdRng::seed_from_u64(jitter_seed),
+                    gate,
                 };
                 let recorder = sigmavp_telemetry::recorder();
                 let started_wall_s = recorder.wall_now_s();
@@ -440,11 +488,12 @@ impl DispatchedSigmaVp {
         }
 
         let dispatcher = {
-            let pipeline = Pipeline::from_policy(&self.policy);
+            let policy = self.policy;
             let coalescible = self.coalescible;
             let faults = self.faults.clone();
+            let control = control.clone();
             std::thread::spawn(move || {
-                run_dispatcher(session, host_ends, pipeline, coalescible, faults)
+                run_dispatcher(session, host_ends, policy, coalescible, faults, control)
             })
         };
 
@@ -537,9 +586,8 @@ fn mark_device_down(
     }
 }
 
-/// Move `vp` onto `target`, reconstructing its device state by replaying the
-/// journal of successful mutating requests (without re-recording them in the
-/// timeline) and installing the resulting handle translation map.
+/// Failover: take `vp`'s current device out of service, then relocate the VP
+/// onto `target`.
 fn migrate_vp(
     session: &mut ExecutionSession,
     sup: &mut Supervision,
@@ -552,6 +600,25 @@ fn migrate_vp(
         return;
     }
     mark_device_down(session, sup, stats, current);
+    relocate_vp(session, sup, stats, vp, target);
+}
+
+/// Move `vp` onto `target` without touching the source device's health (a
+/// load-triggered rebalance moves VPs between *live* devices), reconstructing
+/// its device state by replaying the journal of successful mutating requests
+/// (without re-recording them in the timeline) and installing the resulting
+/// handle translation map.
+fn relocate_vp(
+    session: &mut ExecutionSession,
+    sup: &mut Supervision,
+    stats: &mut DispatchStats,
+    vp: VpId,
+    target: usize,
+) {
+    let Some(current) = session.device_of(vp) else { return };
+    if current == target {
+        return;
+    }
     let recorder = sigmavp_telemetry::recorder();
     let started_wall_s = recorder.wall_now_s();
     let started = Instant::now();
@@ -589,24 +656,439 @@ fn migrate_vp(
     );
 }
 
+/// A synchronous launch the dispatcher is holding while its VP is stopped
+/// (Fig. 4b): the reply — and the VP's resume — are deferred until the
+/// accumulated cross-VP window flushes.
+struct HeldJob {
+    job: Job,
+    envelope: Envelope,
+    arrived: Instant,
+    arrived_wall_s: f64,
+}
+
+/// Execute one job end to end — failover safety net, transient injection,
+/// handle translation, device dispatch, journaling, dedup storage and profiler
+/// feedback — and return its response envelope.
+///
+/// Every path produces exactly one response; callers differ only in *when*
+/// they deliver it (immediately on the async path, at window flush on the
+/// sync-hold path). That single-response invariant is what makes the hold
+/// protocol deadlock-free under faults: a stopped VP whose device tripped, or
+/// that migrated mid-window, still gets a (possibly error) answer and a
+/// resume.
+#[allow(clippy::too_many_arguments)]
+fn execute_job(
+    session: &mut ExecutionSession,
+    sup: &mut Supervision,
+    stats: &mut DispatchStats,
+    expected_kernel_s: &mut HashMap<String, f64>,
+    job: &Job,
+    envelope: &Envelope,
+    arrived: Instant,
+    arrived_wall_s: f64,
+    journal: bool,
+) -> ResponseEnvelope {
+    let recorder = sigmavp_telemetry::recorder();
+    let vp = envelope.vp;
+    let sent_at_s = envelope.sent_at_s;
+    let mut device = session.device_of(vp).expect("join assigned every vp");
+    // Safety net behind the rebalance pass: if the device went down after
+    // planning (or the plan saw an earlier timestamp), fail over now — or
+    // degrade to an error when no survivor is left.
+    if sup.is_down(session, device, sent_at_s) {
+        mark_device_down(session, sup, stats, device);
+        let survivor = (0..session.device_count())
+            .find(|&d| d != device && !sup.is_down(session, d, sent_at_s));
+        match survivor {
+            Some(target) => {
+                migrate_vp(session, sup, stats, vp, target);
+                device = target;
+            }
+            None => {
+                recorder.count("fault.no_survivor", 1);
+                return ResponseEnvelope {
+                    vp,
+                    seq: envelope.seq,
+                    sent_at_s,
+                    body: Response::Error {
+                        message: format!("no surviving host gpu: device {device} is down"),
+                    },
+                };
+            }
+        }
+    }
+    // Transient device-error injection: the plan marks attempted operation
+    // indexes per device; an injected failure feeds the breaker and is *not*
+    // cached, so the guest's retry re-executes.
+    let op = sup.op_count[device];
+    sup.op_count[device] += 1;
+    if sup.plan.as_ref().is_some_and(|p| p.transient_at(device, op)) {
+        recorder.count("fault.injected.transient", 1);
+        if sup.breakers[device].record_failure() {
+            mark_device_down(session, sup, stats, device);
+        }
+        return ResponseEnvelope {
+            vp,
+            seq: envelope.seq,
+            sent_at_s,
+            body: Response::Error {
+                message: format!("{TRANSIENT_ERROR_PREFIX} injected device fault"),
+            },
+        };
+    }
+    sup.breakers[device].record_success();
+    // Migrated VPs keep their original guest handle space; translate through
+    // the map built by the journal replay.
+    let exec_body = match sup.maps.get(&vp) {
+        Some(map) => match map.translate(&envelope.body) {
+            Ok(body) => body,
+            Err(handle) => {
+                return ResponseEnvelope {
+                    vp,
+                    seq: envelope.seq,
+                    sent_at_s,
+                    body: Response::Error {
+                        message: format!("handle {handle} was lost in failover"),
+                    },
+                };
+            }
+        },
+        None => envelope.body.clone(),
+    };
+    let exec_envelope = Envelope { vp, seq: envelope.seq, sent_at_s, body: exec_body };
+    let runtime = session.runtime(device);
+    let exec_started_wall_s = recorder.wall_now_s();
+    let exec_started = Instant::now();
+    let mut response: ResponseEnvelope = runtime.lock().process(&exec_envelope);
+    if let Some(map) = sup.maps.get_mut(&vp) {
+        // Keep the guest's handle space stable across the migration: new
+        // device handles get virtual guest-side names, frees drop their
+        // mapping.
+        match (&envelope.body, &mut response.body) {
+            (Request::Malloc { .. }, Response::Malloc { handle }) => {
+                *handle = map.virtualize(*handle);
+            }
+            (Request::Free { handle: guest }, Response::Done) => {
+                map.remove(*guest);
+            }
+            _ => {}
+        }
+    }
+    if recorder.enabled() {
+        let uid = sigmavp_telemetry::job_uid(vp.0, envelope.seq);
+        recorder.span_for_job(
+            TimeDomain::Wall,
+            Lane::Dispatcher,
+            dispatch_span_name(job),
+            exec_started_wall_s,
+            exec_started.elapsed().as_secs_f64(),
+            uid,
+        );
+        // Queue wait: dispatcher arrival to execution start, on the job-queue
+        // lane so the lifecycle join sees the wait phase.
+        recorder.span_for_job(
+            TimeDomain::Wall,
+            Lane::JobQueue,
+            dispatch_span_name(job),
+            arrived_wall_s,
+            (exec_started_wall_s - arrived_wall_s).max(0.0),
+            uid,
+        );
+        // Per-VP request latency: dispatcher arrival to response ready.
+        recorder
+            .observe_s(&format!("dispatch.vp{}.latency_s", vp.0), arrived.elapsed().as_secs_f64());
+    }
+    // Journal successful mutating requests (guest handle space) so a later
+    // failover or load-triggered relocation can reconstruct device state.
+    if journal {
+        sup.journals.entry(vp).or_default().record(&envelope.body, &response.body);
+    }
+    // Effect-once: remember the executed response for dedup resends.
+    sup.dedup.store(&response);
+    // Feed the profiler observation back into the expected-time table.
+    if let Some(JobRecord { kind: RecordKind::Kernel { name, .. }, duration_s, .. }) =
+        runtime.lock().records().last()
+    {
+        expected_kernel_s.insert(name.clone(), *duration_s);
+    }
+    response
+}
+
+/// Synthetic [`JobRecord`] for a held (not yet executed) job, so the live
+/// window can be planned with the same engine-model oracle as offline logs.
+/// Expected durations stand in for observed ones, and kernels are floored at
+/// the launch overhead so a never-profiled launch still prices its fixed cost.
+fn synth_record(h: &HeldJob, arch: &GpuArch) -> JobRecord {
+    let kind = match &h.job.kind {
+        JobKind::CopyIn { bytes } => RecordKind::H2d { bytes: *bytes, stream: 0 },
+        JobKind::CopyOut { bytes } => RecordKind::D2h { bytes: *bytes, stream: 0 },
+        JobKind::Kernel { name, grid_dim, block_dim } => {
+            let bpw = u64::from(arch.blocks_per_wave(*block_dim));
+            RecordKind::Kernel {
+                name: name.clone(),
+                grid_dim: *grid_dim,
+                block_dim: *block_dim,
+                launch_overhead_s: arch.launch_overhead_us * 1e-6,
+                waves: u64::from(*grid_dim).div_ceil(bpw).max(1),
+                stream: 0,
+            }
+        }
+    };
+    JobRecord {
+        vp: h.job.vp,
+        seq: h.job.seq,
+        kind,
+        duration_s: h.job.expected_duration_s,
+        sent_at_s: h.envelope.sent_at_s,
+    }
+}
+
+/// Flush an accumulated synchronous window (Fig. 4b): rebalance the held VPs
+/// across devices (load-triggered moves included), plan each device's slice
+/// with the *full* pipeline — the VPs are stopped, so cross-VP coalescing and
+/// wave-packing are safe on live traffic — execute the planned jobs, price the
+/// window against its reorder-only alternative (Eq. 7), and resume the VPs in
+/// planned completion order with their cached responses.
+#[allow(clippy::too_many_arguments)]
+fn flush_sync_window(
+    session: &mut ExecutionSession,
+    sup: &mut Supervision,
+    stats: &mut DispatchStats,
+    expected_kernel_s: &mut HashMap<String, f64>,
+    control: &VpControl,
+    endpoints: &[(VpId, Box<dyn Transport>)],
+    pipeline: &Pipeline,
+    coalescible: &HashMap<VpId, bool>,
+    held: &mut Vec<HeldJob>,
+    device_free_s: &mut [f64],
+) {
+    let recorder = sigmavp_telemetry::recorder();
+    let flush_started_wall_s = recorder.wall_now_s();
+    let flush_started = Instant::now();
+    // Canonical window order: arrival order races between VP threads, so sort
+    // by (vp, seq). The window's *set* is deterministic (each VP contributes
+    // its next sync launch), and now so is every decision below.
+    held.sort_by_key(|h| (h.job.vp.0, h.envelope.seq));
+    let window: Vec<HeldJob> = std::mem::take(held);
+    stats.sync_windows += 1;
+    recorder.count("dispatch.sync.windows", 1);
+    recorder.observe_s("dispatch.sync.window_jobs", window.len() as f64);
+
+    // Rebalance over the whole window: down devices drain as in the async
+    // path, and the load trigger may move VPs between *live* devices on
+    // sustained imbalance.
+    let t_now = window.iter().map(|h| h.envelope.sent_at_s).fold(0.0f64, f64::max);
+    let migrations = {
+        let mut queued = vec![0.0f64; session.device_count()];
+        for h in &window {
+            if let Some(d) = session.device_of(h.job.vp) {
+                queued[d] += h.job.expected_duration_s;
+            }
+        }
+        let route = |vp: VpId| session.device_of(vp);
+        let down_for = |d: usize, t: f64| sup.is_down(session, d, t);
+        let view = DeviceView {
+            queued_s: &queued,
+            route: &route,
+            down_for: &down_for,
+            load: Some(LoadRebalance::DEFAULT),
+        };
+        let ctx = PassCtx::reorder_only().with_devices(&view);
+        Pipeline::new()
+            .with_pass(Rebalance)
+            .plan(window.iter().map(|h| h.job.clone()).collect(), &ctx)
+            .migrations
+    };
+    for (vp, target) in migrations {
+        let Some(current) = session.device_of(vp) else { continue };
+        if current == target {
+            continue;
+        }
+        if sup.is_down(session, current, t_now) {
+            migrate_vp(session, sup, stats, vp, target);
+        } else {
+            // Load-triggered: the source device stays in service.
+            relocate_vp(session, sup, stats, vp, target);
+        }
+    }
+
+    // Partition by (post-migration) device, in first-appearance order of the
+    // canonical window.
+    let mut by_device: HashMap<usize, Vec<usize>> = HashMap::new();
+    let mut device_order: Vec<usize> = Vec::new();
+    for (i, h) in window.iter().enumerate() {
+        let d = session.device_of(h.job.vp).expect("held vp is assigned");
+        if !by_device.contains_key(&d) {
+            device_order.push(d);
+        }
+        by_device.entry(d).or_default().push(i);
+    }
+
+    let coalescible_fn = |vp: VpId| coalescible.get(&vp).copied().unwrap_or(false);
+    // (vp, seq, absolute completion time, response), across all devices.
+    let mut completions: Vec<(VpId, u64, f64, ResponseEnvelope)> = Vec::new();
+    for d in device_order {
+        let members = by_device[&d].clone();
+        let arch = session.arch(d).clone();
+        // Local job ids index the device slice (the lowering contract:
+        // `jobs[i].id == JobId(i)` into `records`).
+        let local_jobs: Vec<Job> = members
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| {
+                let mut j = window[w].job.clone();
+                j.id = JobId(i as u64);
+                j
+            })
+            .collect();
+        let mut records: Vec<JobRecord> =
+            members.iter().map(|&w| synth_record(&window[w], &arch)).collect();
+        let planned = {
+            let evaluator = EngineEvaluator::new(&arch, &records);
+            let lanes = |block_dim: u32| arch.blocks_per_wave(block_dim);
+            let ctx = PassCtx::new(&coalescible_fn)
+                .with_evaluator(&evaluator)
+                .with_wave_lanes(&lanes)
+                .with_live_sync(true);
+            pipeline.plan(local_jobs.clone(), &ctx)
+        };
+
+        // Execute every member functionally (coalescing is a *timing* merge;
+        // each member still runs on its own buffers), in planned order.
+        let mut responses: Vec<(u64, ResponseEnvelope)> = Vec::with_capacity(planned.jobs.len());
+        for job in &planned.jobs {
+            let h = &window[members[job.id.0 as usize]];
+            let response = execute_job(
+                session,
+                sup,
+                stats,
+                expected_kernel_s,
+                &h.job,
+                &h.envelope,
+                h.arrived,
+                h.arrived_wall_s,
+                true,
+            );
+            // Real observed durations re-price the window below.
+            if let Response::Launched { device_time_s } = &response.body {
+                records[job.id.0 as usize].duration_s = *device_time_s;
+            }
+            responses.push((job.id.0, response));
+        }
+
+        // Price the executed window (Eq. 7): the live merged plan against the
+        // reorder-only plan of the very same jobs — the async baseline.
+        let live_tl = simulate(&arch, &lower_jobs(&planned.jobs, &records, &planned.groups, &arch));
+        let reorder_stream = pipeline.plan(local_jobs, &PassCtx::reorder_only());
+        let reorder_tl = simulate(&arch, &lower_jobs(&reorder_stream.jobs, &records, &[], &arch));
+        stats.sync_makespan_s += live_tl.makespan_s;
+        stats.sync_reorder_makespan_s += reorder_tl.makespan_s;
+        stats.live_groups += planned.groups.len() as u64;
+        stats.live_members += planned.merged_members() as u64;
+        recorder.observe_s("dispatch.sync.makespan_s", live_tl.makespan_s);
+        recorder.observe_s("dispatch.sync.reorder_makespan_s", reorder_tl.makespan_s);
+        if !planned.groups.is_empty() {
+            recorder.count("dispatch.sync.live_groups", planned.groups.len() as u64);
+            recorder.count("dispatch.sync.live_members", planned.merged_members() as u64);
+        }
+        // Eq. 9 accounting per surviving kernel group: slots = λ-aligned block
+        // quanta of the merged grid, filled = blocks actually launched; the
+        // difference is the alignment residual.
+        let mut anchor_of: HashMap<u64, u64> = HashMap::new();
+        for group in &planned.groups {
+            for member in &group.dropped {
+                anchor_of.insert(member.0, group.anchor.0);
+            }
+            let geometry: Vec<(u32, u32)> = group
+                .member_ids()
+                .filter_map(|id| match &window[members[id.0 as usize]].job.kind {
+                    JobKind::Kernel { grid_dim, block_dim, .. } => Some((*grid_dim, *block_dim)),
+                    _ => None,
+                })
+                .collect();
+            if let Some(&(_, block_dim)) = geometry.first() {
+                let total_grid: u64 = geometry.iter().map(|&(g, _)| u64::from(g)).sum();
+                let bpw = u64::from(arch.blocks_per_wave(block_dim));
+                let slots = total_grid.div_ceil(bpw).max(1) * bpw;
+                stats.wave_slots += slots;
+                stats.wave_filled += total_grid;
+            }
+        }
+
+        // Per-VP completion on the shared simulated timeline: the window opens
+        // when its last request was stamped (and no earlier than the device's
+        // previous window draining), members complete at their op's end — a
+        // coalesced-away member at its anchor's.
+        let base = window.iter().map(|h| h.envelope.sent_at_s).fold(device_free_s[d], f64::max);
+        for (local_id, mut response) in responses {
+            let op = anchor_of.get(&local_id).copied().unwrap_or(local_id);
+            let end = live_tl.span(op).map_or(live_tl.makespan_s, |s| s.end_s);
+            let h = &window[members[local_id as usize]];
+            let abs_end = base + end;
+            if let Response::Launched { device_time_s } = &mut response.body {
+                // Charge the guest its observed completion: queueing behind
+                // the window plus its (possibly merged) execution.
+                let charge = (abs_end - h.envelope.sent_at_s).max(0.0);
+                *device_time_s = charge.max(*device_time_s);
+                // Keep the dedup cache consistent with the reply actually sent.
+                sup.dedup.store(&response);
+            }
+            completions.push((h.job.vp, h.envelope.seq, abs_end, response));
+        }
+        device_free_s[d] = base + live_tl.makespan_s;
+    }
+
+    // Resume in planned completion order: the earliest-finishing VP wakes
+    // first, exactly as the merged timeline completes (ties by VP id).
+    completions.sort_by(|a, b| {
+        a.2.partial_cmp(&b.2).unwrap_or(std::cmp::Ordering::Equal).then(a.0 .0.cmp(&b.0 .0))
+    });
+    for (vp, seq, _, response) in completions {
+        stats.requests += 1;
+        sup.in_flight.remove(&(vp.0, seq));
+        let frame = codec::encode_response(&response);
+        if let Some((_, endpoint)) = endpoints.iter().find(|(v, _)| *v == vp) {
+            let _ = endpoint.send(frame);
+        }
+        control.resume(vp);
+    }
+    recorder.span(
+        TimeDomain::Wall,
+        Lane::Dispatcher,
+        format!("sync window ({} jobs)", window.len()),
+        flush_started_wall_s,
+        flush_started.elapsed().as_secs_f64(),
+    );
+}
+
 /// The host-side dispatcher loop.
 fn run_dispatcher(
     mut session: ExecutionSession,
     mut endpoints: Vec<(VpId, Box<dyn Transport>)>,
-    pipeline: Pipeline,
+    policy: Policy,
     coalescible: HashMap<VpId, bool>,
     faults: Option<Arc<FaultPlan>>,
+    control: Arc<VpControl>,
 ) -> (crate::session::SessionOutcome, DispatchStats) {
+    let pipeline = Pipeline::from_policy(&policy);
+    let sync_hold = policy.sync_hold;
     let queue = JobQueue::new();
     let mut stats = DispatchStats::default();
     let recorder = sigmavp_telemetry::recorder();
     let mut sup = Supervision::new(faults, session.device_count());
+    // Sync windows journal unconditionally: a held VP may be relocated by the
+    // load trigger (or fail over) mid-run, and replay needs its history.
+    let journal = sup.plan.is_some() || sync_hold;
     // The profiler feedback loop: last observed duration per kernel name.
     let mut expected_kernel_s: HashMap<String, f64> = HashMap::new();
     // Envelopes waiting for execution, keyed by job id, with the wall-clock
     // instant (and collector-relative timestamp) the request arrived at the
     // dispatcher.
     let mut waiting: HashMap<u64, (Envelope, Instant, f64)> = HashMap::new();
+    // Held sync launches (at most one per stopped VP) awaiting the window
+    // flush, and the simulated time each device frees up after prior windows.
+    let mut held: Vec<HeldJob> = Vec::new();
+    let mut device_free_s = vec![0.0f64; session.device_count()];
 
     loop {
         // 1. Gather: poll every endpoint once, then triage the frames — corrupt
@@ -677,7 +1159,7 @@ fn run_dispatcher(
                     }
                 }
             };
-            queue.push(Job {
+            let job = Job {
                 id,
                 vp,
                 seq: envelope.seq,
@@ -685,7 +1167,29 @@ fn run_dispatcher(
                 sync: true,
                 enqueued_at_s: envelope.sent_at_s,
                 expected_duration_s: expected,
-            });
+            };
+            if sync_hold && matches!(&envelope.body, Request::Launch { sync: true, .. }) {
+                // Hold the launch and stop its VP (Fig. 4b): the reply is
+                // deferred until the cross-VP window flushes. Dedup and
+                // in-flight triage already ran above, so a retry of an
+                // executed or already-held request never holds twice.
+                control.stop(vp);
+                stats.holds += 1;
+                recorder.count("dispatch.sync.holds", 1);
+                let mut job = job;
+                // Floor a never-profiled kernel at its launch overhead so the
+                // window planner prices the fixed cost a merge would save.
+                let floor = session.arch(device).launch_overhead_us * 1e-6;
+                job.expected_duration_s = job.expected_duration_s.max(floor);
+                held.push(HeldJob {
+                    job,
+                    envelope,
+                    arrived: Instant::now(),
+                    arrived_wall_s: recorder.wall_now_s(),
+                });
+                continue;
+            }
+            queue.push(job);
             waiting.insert(id.0, (envelope, Instant::now(), recorder.wall_now_s()));
         }
 
@@ -712,7 +1216,8 @@ fn run_dispatcher(
             }
             let route = |vp: VpId| session.device_of(vp);
             let down_for = |d: usize, t: f64| sup.is_down(&session, d, t);
-            let view = DeviceView { queued_s: &queued, route: &route, down_for: &down_for };
+            let view =
+                DeviceView { queued_s: &queued, route: &route, down_for: &down_for, load: None };
             let ctx = PassCtx::reorder_only().with_devices(&view);
             pipeline.plan(window, &ctx)
         };
@@ -723,150 +1228,17 @@ fn run_dispatcher(
             let (envelope, arrived, arrived_wall_s) =
                 waiting.remove(&job.id.0).expect("every job has an envelope");
             let vp = envelope.vp;
-            let sent_at_s = envelope.sent_at_s;
-            let mut device = session.device_of(vp).expect("join assigned every vp");
-            // Safety net behind the rebalance pass: if the device went down
-            // after planning (or the plan saw an earlier timestamp), fail over
-            // now — or degrade to an error when no survivor is left.
-            if sup.is_down(&session, device, sent_at_s) {
-                mark_device_down(&mut session, &mut sup, &mut stats, device);
-                let survivor = (0..session.device_count())
-                    .find(|&d| d != device && !sup.is_down(&session, d, sent_at_s));
-                match survivor {
-                    Some(target) => {
-                        migrate_vp(&mut session, &mut sup, &mut stats, vp, target);
-                        device = target;
-                    }
-                    None => {
-                        recorder.count("fault.no_survivor", 1);
-                        let response = ResponseEnvelope {
-                            vp,
-                            seq: envelope.seq,
-                            sent_at_s,
-                            body: Response::Error {
-                                message: format!("no surviving host gpu: device {device} is down"),
-                            },
-                        };
-                        stats.requests += 1;
-                        sup.in_flight.remove(&(vp.0, envelope.seq));
-                        let frame = codec::encode_response(&response);
-                        if let Some((_, endpoint)) = endpoints.iter().find(|(v, _)| *v == vp) {
-                            let _ = endpoint.send(frame);
-                        }
-                        continue;
-                    }
-                }
-            }
-            // Transient device-error injection: the plan marks attempted
-            // operation indexes per device; an injected failure feeds the
-            // breaker and is *not* cached, so the guest's retry re-executes.
-            let op = sup.op_count[device];
-            sup.op_count[device] += 1;
-            if sup.plan.as_ref().is_some_and(|p| p.transient_at(device, op)) {
-                recorder.count("fault.injected.transient", 1);
-                if sup.breakers[device].record_failure() {
-                    mark_device_down(&mut session, &mut sup, &mut stats, device);
-                }
-                let response = ResponseEnvelope {
-                    vp,
-                    seq: envelope.seq,
-                    sent_at_s,
-                    body: Response::Error {
-                        message: format!("{TRANSIENT_ERROR_PREFIX} injected device fault"),
-                    },
-                };
-                stats.requests += 1;
-                sup.in_flight.remove(&(vp.0, envelope.seq));
-                let frame = codec::encode_response(&response);
-                if let Some((_, endpoint)) = endpoints.iter().find(|(v, _)| *v == vp) {
-                    let _ = endpoint.send(frame);
-                }
-                continue;
-            }
-            sup.breakers[device].record_success();
-            // Migrated VPs keep their original guest handle space; translate
-            // through the map built by the journal replay.
-            let exec_body = match sup.maps.get(&vp) {
-                Some(map) => match map.translate(&envelope.body) {
-                    Ok(body) => body,
-                    Err(handle) => {
-                        let response = ResponseEnvelope {
-                            vp,
-                            seq: envelope.seq,
-                            sent_at_s,
-                            body: Response::Error {
-                                message: format!("handle {handle} was lost in failover"),
-                            },
-                        };
-                        stats.requests += 1;
-                        sup.in_flight.remove(&(vp.0, envelope.seq));
-                        let frame = codec::encode_response(&response);
-                        if let Some((_, endpoint)) = endpoints.iter().find(|(v, _)| *v == vp) {
-                            let _ = endpoint.send(frame);
-                        }
-                        continue;
-                    }
-                },
-                None => envelope.body.clone(),
-            };
-            let exec_envelope = Envelope { vp, seq: envelope.seq, sent_at_s, body: exec_body };
-            let runtime = session.runtime(device);
-            let exec_started_wall_s = recorder.wall_now_s();
-            let exec_started = Instant::now();
-            let mut response: ResponseEnvelope = runtime.lock().process(&exec_envelope);
-            if let Some(map) = sup.maps.get_mut(&vp) {
-                // Keep the guest's handle space stable across the migration:
-                // new device handles get virtual guest-side names, frees drop
-                // their mapping.
-                match (&envelope.body, &mut response.body) {
-                    (Request::Malloc { .. }, Response::Malloc { handle }) => {
-                        *handle = map.virtualize(*handle);
-                    }
-                    (Request::Free { handle: guest }, Response::Done) => {
-                        map.remove(*guest);
-                    }
-                    _ => {}
-                }
-            }
-            if recorder.enabled() {
-                let uid = sigmavp_telemetry::job_uid(vp.0, envelope.seq);
-                recorder.span_for_job(
-                    TimeDomain::Wall,
-                    Lane::Dispatcher,
-                    dispatch_span_name(&job),
-                    exec_started_wall_s,
-                    exec_started.elapsed().as_secs_f64(),
-                    uid,
-                );
-                // Queue wait: dispatcher arrival to execution start, on the
-                // job-queue lane so the lifecycle join sees the wait phase.
-                recorder.span_for_job(
-                    TimeDomain::Wall,
-                    Lane::JobQueue,
-                    dispatch_span_name(&job),
-                    arrived_wall_s,
-                    (exec_started_wall_s - arrived_wall_s).max(0.0),
-                    uid,
-                );
-                // Per-VP request latency: dispatcher arrival to response ready.
-                recorder.observe_s(
-                    &format!("dispatch.vp{}.latency_s", vp.0),
-                    arrived.elapsed().as_secs_f64(),
-                );
-            }
-            // Journal successful mutating requests (guest handle space) so a
-            // later failover can reconstruct device state on a survivor.
-            if sup.plan.is_some() {
-                sup.journals.entry(vp).or_default().record(&envelope.body, &response.body);
-            }
-            // Effect-once: remember the executed response for dedup resends.
-            sup.dedup.store(&response);
-            // Feed the profiler observation back into the expected-time table.
-            if let Some(JobRecord { kind: RecordKind::Kernel { name, .. }, duration_s, .. }) =
-                runtime.lock().records().last()
-            {
-                expected_kernel_s.insert(name.clone(), *duration_s);
-            }
+            let response = execute_job(
+                &mut session,
+                &mut sup,
+                &mut stats,
+                &mut expected_kernel_s,
+                &job,
+                &envelope,
+                arrived,
+                arrived_wall_s,
+                journal,
+            );
             stats.requests += 1;
             sup.in_flight.remove(&(vp.0, envelope.seq));
             let frame = codec::encode_response(&response);
@@ -877,6 +1249,28 @@ fn run_dispatcher(
             }
         }
 
+        // 3. Sync window: once every still-connected VP has a held launch the
+        //    window cannot grow — flush it. Disconnections shrink the quorum,
+        //    so a lone survivor (or a fully drained fleet) still progresses;
+        //    no VP is ever left stopped past this point.
+        if sync_hold
+            && !held.is_empty()
+            && endpoints.iter().all(|(vp, _)| held.iter().any(|h| h.job.vp == *vp))
+        {
+            flush_sync_window(
+                &mut session,
+                &mut sup,
+                &mut stats,
+                &mut expected_kernel_s,
+                &control,
+                &endpoints,
+                &pipeline,
+                &coalescible,
+                &mut held,
+                &mut device_free_s,
+            );
+        }
+
         if endpoints.is_empty() {
             break;
         }
@@ -884,6 +1278,8 @@ fn run_dispatcher(
             std::thread::yield_now();
         }
     }
+    stats.stop_events = control.stop_events();
+    stats.resume_events = control.resume_events();
     let outcome =
         session.drain_and_plan(&pipeline, &|vp| coalescible.get(&vp).copied().unwrap_or(false));
     (outcome, stats)
@@ -892,6 +1288,7 @@ fn run_dispatcher(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sigmavp_fault::LinkFaultConfig;
     use sigmavp_workloads::apps::{BlackScholesApp, VectorAddApp};
 
     #[test]
@@ -962,6 +1359,138 @@ mod tests {
         assert!(two.device_records.iter().all(|r| r.len() == 3 * 4));
         let ratio = one.device_makespan_s / two.device_makespan_s;
         assert!(ratio >= 1.5, "makespan ratio {ratio:.2}");
+    }
+
+    #[test]
+    fn sync_hold_coalesces_a_live_window() {
+        let app = VectorAddApp { n: 2048 };
+        let registry: KernelRegistry = app.kernels().into_iter().collect();
+        let mut sys = DispatchedSigmaVp::single(
+            GpuArch::quadro_4000(),
+            registry,
+            TransportCost::shared_memory(),
+        )
+        .with_policy(Policy::MultiplexedOptimized.with_sync_hold(true));
+        for _ in 0..4 {
+            sys.spawn(Box::new(VectorAddApp { n: 2048 }));
+        }
+        let (report, stats) = sys.join();
+        assert!(report.all_ok(), "{:?}", report.outcomes);
+        // One sync launch per VP, all held into a single lockstep window.
+        assert_eq!(stats.holds, 4);
+        assert_eq!(stats.sync_windows, 1);
+        assert_eq!(stats.stop_events, 4);
+        assert_eq!(stats.resume_events, 4, "every stopped VP must be resumed");
+        // Four identical vector_add launches coalesce live.
+        assert!(stats.live_groups >= 1, "{stats:?}");
+        assert!(stats.live_members >= 2, "{stats:?}");
+        assert!(
+            stats.sync_makespan_s < stats.sync_reorder_makespan_s,
+            "live plan must beat reorder-only: {} vs {}",
+            stats.sync_makespan_s,
+            stats.sync_reorder_makespan_s
+        );
+        // Eq. 9 residual accounting: slots are λ-aligned, never below fill.
+        assert!(stats.wave_filled > 0);
+        assert!(stats.wave_slots >= stats.wave_filled);
+    }
+
+    #[test]
+    fn sync_hold_counters_are_reproducible() {
+        let run = || {
+            let app = BlackScholesApp { n: 1024, iterations: 3, ..BlackScholesApp::new(1) };
+            let registry: KernelRegistry = app.kernels().into_iter().collect();
+            let mut sys = DispatchedSigmaVp::single(
+                GpuArch::quadro_4000(),
+                registry,
+                TransportCost::shared_memory(),
+            )
+            .with_policy(Policy::MultiplexedOptimized.with_sync_hold(true));
+            for _ in 0..3 {
+                sys.spawn(Box::new(BlackScholesApp {
+                    n: 1024,
+                    iterations: 3,
+                    ..BlackScholesApp::new(1)
+                }));
+            }
+            let (report, stats) = sys.join();
+            assert!(report.all_ok(), "{:?}", report.outcomes);
+            stats
+        };
+        let a = run();
+        let b = run();
+        // Windows are lockstep (quorum = every connected VP held), so the
+        // whole sync-side ledger — counts and simulated makespans — must be
+        // byte-identical run to run; only wall-clock-shaped fields may differ.
+        assert_eq!(a.holds, b.holds);
+        assert_eq!(a.sync_windows, b.sync_windows);
+        assert_eq!(a.live_groups, b.live_groups);
+        assert_eq!(a.live_members, b.live_members);
+        assert_eq!(a.stop_events, b.stop_events);
+        assert_eq!(a.resume_events, b.resume_events);
+        assert_eq!(a.wave_slots, b.wave_slots);
+        assert_eq!(a.wave_filled, b.wave_filled);
+        assert_eq!(a.sync_makespan_s.to_bits(), b.sync_makespan_s.to_bits());
+        assert_eq!(a.sync_reorder_makespan_s.to_bits(), b.sync_reorder_makespan_s.to_bits());
+        assert!(a.sync_windows >= 3, "one window per lockstep iteration: {a:?}");
+    }
+
+    #[test]
+    fn sync_hold_survives_a_lossy_delayed_link() {
+        // Stop/resume must compose with the PR 4 fault machinery: dropped and
+        // delayed frames around a held response resolve through retry + dedup,
+        // never by deadlocking a parked VP.
+        let app = VectorAddApp { n: 2048 };
+        let registry: KernelRegistry = app.kernels().into_iter().collect();
+        let mut sys = DispatchedSigmaVp::single(
+            GpuArch::quadro_4000(),
+            registry,
+            TransportCost::shared_memory(),
+        )
+        .with_policy(Policy::MultiplexedOptimized.with_sync_hold(true))
+        .with_faults(FaultPlan::seeded(11).with_link(LinkFaultConfig {
+            drop_prob: 0.05,
+            corrupt_prob: 0.02,
+            delay_prob: 0.2,
+            delay_s: 0.002,
+        }));
+        for _ in 0..4 {
+            sys.spawn(Box::new(VectorAddApp { n: 2048 }));
+        }
+        let (report, stats) = sys.join();
+        assert!(report.all_ok(), "{:?}", report.outcomes);
+        assert!(stats.holds >= 4);
+        assert_eq!(stats.stop_events, stats.resume_events, "no VP left parked: {stats:?}");
+    }
+
+    #[test]
+    fn gpu_trip_while_vps_are_parked_fails_over() {
+        // Two devices, two VPs each. Each VectorAdd VP issues 5 ops (3 mallocs
+        // + 2 h2d) before its held launch, so device 0's ops 10 and 11 are
+        // exactly the two held launches of the first sync window. Making both
+        // transient trips the breaker (threshold 2) while the VPs are parked
+        // on held responses: they must be resumed with the transient error,
+        // retry, migrate to device 1 via journal replay, and still validate.
+        let app = VectorAddApp { n: 2048 };
+        let registry: KernelRegistry = app.kernels().into_iter().collect();
+        let mut sys = DispatchedSigmaVp::new(
+            vec![GpuArch::quadro_4000(), GpuArch::quadro_4000()],
+            registry,
+            TransportCost::shared_memory(),
+        )
+        .with_policy(Policy::MultiplexedOptimized.with_sync_hold(true))
+        .with_faults(
+            FaultPlan::seeded(9).with_transients(0, vec![10, 11]).with_breaker_threshold(2),
+        );
+        for _ in 0..4 {
+            sys.spawn(Box::new(VectorAddApp { n: 2048 }));
+        }
+        let (report, stats) = sys.join();
+        assert!(report.all_ok(), "{:?}", report.outcomes);
+        assert!(stats.gpu_trips >= 1, "{stats:?}");
+        assert!(stats.migrations >= 2, "both device-0 VPs fail over: {stats:?}");
+        assert!(stats.holds >= 6, "retried launches are held again: {stats:?}");
+        assert_eq!(stats.stop_events, stats.resume_events, "no VP left parked: {stats:?}");
     }
 
     #[test]

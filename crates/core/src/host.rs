@@ -109,6 +109,12 @@ impl HostRuntime {
         &self.records
     }
 
+    /// Number of device buffers currently allocated (leak accounting:
+    /// DESIGN.md §12's re-migration fix is asserted against this).
+    pub fn live_handles(&self) -> usize {
+        self.handles.len()
+    }
+
     /// Drain and return the job log.
     pub fn take_records(&mut self) -> Vec<JobRecord> {
         std::mem::take(&mut self.records)

@@ -104,6 +104,12 @@ impl ExecutionSession {
         self.devices[d].runtime.clone()
     }
 
+    /// Device buffers currently allocated across every device in the session
+    /// (leak accounting for the DESIGN.md §12 re-migration fix).
+    pub fn live_buffers(&self) -> usize {
+        self.devices.iter().map(|d| d.runtime.lock().live_handles()).sum()
+    }
+
     /// Route `vp` to a device: least-loaded *healthy* device first, ties to the
     /// lowest index (so sequential assignment of VPs 0..N over D devices yields
     /// the round-robin partition `vp % D`). Re-assigning a VP returns its

@@ -275,6 +275,70 @@ pub fn replay_journal(
     Ok(map)
 }
 
+/// Replay a VP's journal onto a device it has lived on before, reusing the
+/// allocations it left behind (DESIGN.md §12).
+///
+/// `retained` is the guest→device map snapshotted when the VP last migrated
+/// *away* from this device: those buffers were never freed, so a replayed
+/// `Malloc` whose guest handle is still retained is remapped in place instead
+/// of allocated a second time. Everything else — memcpys that restore current
+/// data, frees issued while the VP lived elsewhere, mallocs from later
+/// residencies — replays through `process` as usual. Without this, every
+/// A→B→A round trip doubles the VP's footprint on A.
+pub fn replay_journal_reusing(
+    journal: &VpJournal,
+    retained: &HandleMap,
+    mut process: impl FnMut(&Request) -> Response,
+) -> Result<HandleMap, String> {
+    let mut map = HandleMap::new();
+    for entry in journal.entries() {
+        if let (Request::Malloc { .. }, Response::Malloc { handle: guest }) =
+            (&entry.request, &entry.response)
+        {
+            if let Some(device) = retained.device_of(*guest) {
+                map.insert(*guest, device);
+                continue;
+            }
+        }
+        let translated = map
+            .translate(&entry.request)
+            .map_err(|h| format!("replay references unmapped handle {h}"))?;
+        let response = process(&translated);
+        match (&entry.request, &entry.response, &response) {
+            (
+                Request::Malloc { .. },
+                Response::Malloc { handle: guest },
+                Response::Malloc { handle: device },
+            ) => {
+                map.insert(*guest, *device);
+            }
+            (Request::Free { handle }, _, Response::Done) => {
+                map.remove(*handle);
+            }
+            (_, _, Response::Error { message }) => {
+                return Err(format!("replay failed: {message}"));
+            }
+            _ => {}
+        }
+    }
+    Ok(map)
+}
+
+/// The guest→device map a VP leaves behind on its *home* device: guest
+/// handles equal device handles there, so the departure snapshot is the
+/// identity over the handles the journal says are still live.
+pub fn journal_live_identity(journal: &VpJournal) -> HandleMap {
+    let mut map = HandleMap::new();
+    for entry in journal.entries() {
+        match (&entry.request, &entry.response) {
+            (Request::Malloc { .. }, Response::Malloc { handle }) => map.insert(*handle, *handle),
+            (Request::Free { handle }, Response::Done) => map.remove(*handle),
+            _ => {}
+        }
+    }
+    map
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -358,6 +422,77 @@ mod tests {
             Request::Launch { params, .. } => assert_eq!(params[0], WireParam::Buffer(42)),
             other => panic!("unexpected replayed request {other:?}"),
         }
+    }
+
+    #[test]
+    fn reusing_replay_skips_retained_mallocs_but_restores_data() {
+        let mut j = VpJournal::default();
+        j.record(&Request::Malloc { bytes: 16 }, &Response::Malloc { handle: 7 });
+        j.record(&Request::Malloc { bytes: 16 }, &Response::Malloc { handle: 8 });
+        j.record(
+            &Request::MemcpyH2D { handle: 7, data: b"abcd".to_vec(), stream: 0 },
+            &Response::Done,
+        );
+        // Guest 7 still has its original buffer on this device; guest 8 was
+        // allocated during a later residency elsewhere.
+        let mut retained = HandleMap::new();
+        retained.insert(7, 7);
+
+        let mut mallocs = 0u32;
+        let mut seen = Vec::new();
+        let map = replay_journal_reusing(&j, &retained, |req| {
+            seen.push(req.clone());
+            match req {
+                Request::Malloc { .. } => {
+                    mallocs += 1;
+                    Response::Malloc { handle: 40 + u64::from(mallocs) }
+                }
+                _ => Response::Done,
+            }
+        })
+        .expect("replay succeeds");
+
+        assert_eq!(mallocs, 1, "the retained buffer is not allocated again");
+        assert_eq!(map.device_of(7), Some(7), "guest 7 reuses its old buffer");
+        assert_eq!(map.device_of(8), Some(41), "guest 8 gets a fresh one");
+        match &seen[1] {
+            Request::MemcpyH2D { handle, .. } => {
+                assert_eq!(*handle, 7, "data restored into the reused buffer");
+            }
+            other => panic!("unexpected replayed request {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reusing_replay_frees_buffers_freed_while_away() {
+        let mut j = VpJournal::default();
+        j.record(&Request::Malloc { bytes: 16 }, &Response::Malloc { handle: 7 });
+        j.record(&Request::Free { handle: 7 }, &Response::Done);
+        let mut retained = HandleMap::new();
+        retained.insert(7, 7);
+
+        let mut freed = Vec::new();
+        let map = replay_journal_reusing(&j, &retained, |req| {
+            if let Request::Free { handle } = req {
+                freed.push(*handle);
+            }
+            Response::Done
+        })
+        .expect("replay succeeds");
+        assert_eq!(freed, vec![7], "the free issued while away lands here");
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn journal_identity_tracks_live_handles() {
+        let mut j = VpJournal::default();
+        j.record(&Request::Malloc { bytes: 16 }, &Response::Malloc { handle: 3 });
+        j.record(&Request::Malloc { bytes: 16 }, &Response::Malloc { handle: 4 });
+        j.record(&Request::Free { handle: 3 }, &Response::Done);
+        let map = journal_live_identity(&j);
+        assert_eq!(map.len(), 1);
+        assert_eq!(map.device_of(4), Some(4));
+        assert_eq!(map.device_of(3), None, "freed handles are not retained");
     }
 
     #[test]

@@ -41,7 +41,9 @@ use std::thread::JoinHandle;
 use parking_lot::{Condvar, Mutex};
 
 use sigmavp::{ExecutionSession, SessionOutcome, VpQueueWait};
-use sigmavp_fault::{replay_journal, HandleMap, VpJournal};
+use sigmavp_fault::{
+    journal_live_identity, replay_journal, replay_journal_reusing, HandleMap, VpJournal,
+};
 use sigmavp_gpu::GpuArch;
 use sigmavp_ipc::message::{Envelope, Request, Response, ResponseEnvelope, VpId};
 use sigmavp_sched::{HashRing, Pipeline};
@@ -72,6 +74,9 @@ pub struct FleetStats {
     pub migrations: u64,
     /// Journal replays the target session rejected.
     pub replay_failures: u64,
+    /// Migrations that returned a VP to a session it had lived on before and
+    /// reused the buffers it left there (DESIGN.md §12).
+    pub reuse_migrations: u64,
     /// Sessions killed ([`Fleet::kill_session`]).
     pub session_trips: u64,
     /// Queued jobs re-homed from a dead session onto survivors.
@@ -105,6 +110,10 @@ struct VpState {
     journal: VpJournal,
     /// Present once the VP has migrated at least once.
     map: Option<HandleMap>,
+    /// Per visited session: the device the VP lived on there and the
+    /// guest→device map it left behind, so returning reuses those buffers
+    /// instead of allocating them again (DESIGN.md §12).
+    visited: HashMap<usize, (usize, HandleMap)>,
     /// Completed response awaiting [`Fleet::wait`], with its sim-time advance.
     mailbox: Option<(ResponseEnvelope, f64)>,
 }
@@ -372,6 +381,12 @@ impl Fleet {
         self.front.state.lock().depth
     }
 
+    /// Device buffers currently allocated per session (leak accounting for
+    /// the DESIGN.md §12 re-migration fix).
+    pub fn live_buffers(&self) -> Vec<usize> {
+        self.shards.iter().map(|s| s.session.lock().live_buffers()).collect()
+    }
+
     /// Admit `vp` to the fleet, placing it on the consistent-hash ring.
     /// Returns the session index it landed on.
     ///
@@ -401,6 +416,7 @@ impl Fleet {
                 pending_target: None,
                 journal: VpJournal::default(),
                 map: None,
+                visited: HashMap::new(),
                 mailbox: None,
             },
         );
@@ -726,22 +742,48 @@ impl Fleet {
     /// counted in `replay_failures`.
     fn migrate_locked(&self, state: &mut FrontState, vp: VpId, target: usize) {
         let rec = recorder();
-        let (journal, sim_s) = {
+        let (journal, sim_s, source, departing) = {
             let st = state.vps.get(&vp).expect("migrating an admitted vp");
             debug_assert!(!st.outstanding, "migration requires an idle vp");
-            (st.journal.clone(), st.sim_s)
+            // The guest→device map this residency leaves behind: explicit for
+            // a previously-migrated VP, the identity over live handles on the
+            // VP's home session.
+            let departing = match &st.map {
+                Some(map) => map.clone(),
+                None => journal_live_identity(&st.journal),
+            };
+            (st.journal.clone(), st.sim_s, st.shard, departing)
         };
-        let runtime = {
+        let source_device = self.shards[source].session.lock().device_of(vp);
+        let (runtime, device) = {
             let mut session = self.shards[target].session.lock();
             let device = session.assign(vp);
-            session.runtime(device)
+            (session.runtime(device), device)
+        };
+        // Stash the departing map so a later return to `source` reuses the
+        // buffers stranded there; consume any stash for `target` now
+        // (DESIGN.md §12 — without this every A→B→A doubles the footprint).
+        let retained = {
+            let st = state.vps.get_mut(&vp).expect("migrating an admitted vp");
+            if let Some(d) = source_device {
+                st.visited.insert(source, (d, departing));
+            }
+            st.visited.remove(&target).and_then(|(d, map)| (d == device).then_some(map))
         };
         let mut rt = runtime.lock();
-        let replayed = replay_journal(&journal, |request| {
+        let process = |request: &Request| {
             rt.process_replay(&Envelope { vp, seq: 0, sent_at_s: sim_s, body: request.clone() })
                 .body
-        });
+        };
+        let replayed = match &retained {
+            Some(map) => replay_journal_reusing(&journal, map, process),
+            None => replay_journal(&journal, process),
+        };
         drop(rt);
+        if retained.is_some() {
+            state.stats.reuse_migrations += 1;
+            rec.count("fleet.reuse_migrations", 1);
+        }
         let st = state.vps.get_mut(&vp).expect("migrating an admitted vp");
         match replayed {
             Ok(map) => st.map = Some(map),

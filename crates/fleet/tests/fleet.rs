@@ -111,6 +111,66 @@ fn work_stealing_rebalances_and_counters_are_deterministic() {
 }
 
 #[test]
+fn remigration_reuses_original_buffers() {
+    // DESIGN.md §12: an A→B→A round trip must not leave two copies of the
+    // VP's buffers on A — the return replay reuses the allocations the VP
+    // left behind instead of allocating them again.
+    let fleet = Fleet::new(FleetConfig::new(2), registry()).expect("fleet builds");
+    let vp = VpId(3);
+    let home = fleet.admit(vp).unwrap();
+    let away = 1 - home;
+
+    let roundtrip = |request: Request| {
+        fleet.submit(vp, request).unwrap();
+        fleet.wait(vp).unwrap().0.body
+    };
+    let Response::Malloc { handle } = roundtrip(Request::Malloc { bytes: 16 }) else {
+        panic!("malloc failed")
+    };
+    let payload: Vec<u8> = (0u8..16).collect();
+    assert!(matches!(
+        roundtrip(Request::MemcpyH2D { handle, data: payload.clone(), stream: 0 }),
+        Response::Done
+    ));
+    assert_eq!(fleet.live_buffers()[home], 1);
+
+    fleet.migrate(vp, away).expect("idle vp migrates away");
+    assert_eq!(fleet.live_buffers()[away], 1, "replay re-created the buffer on B");
+    // Overwrite the data while away so the return replay provably restores
+    // the *current* contents into the reused buffer, not the stale ones.
+    let fresh: Vec<u8> = (100u8..116).collect();
+    assert!(matches!(
+        roundtrip(Request::MemcpyH2D { handle, data: fresh.clone(), stream: 0 }),
+        Response::Done
+    ));
+
+    fleet.migrate(vp, home).expect("idle vp migrates back");
+    assert_eq!(
+        fleet.live_buffers()[home],
+        1,
+        "the return replay reuses the original allocation instead of leaking it"
+    );
+    assert_eq!(fleet.stats().reuse_migrations, 1);
+
+    let Response::Data { data } = roundtrip(Request::MemcpyD2H { handle, len: 16, stream: 0 })
+    else {
+        panic!("read-back failed after re-migration")
+    };
+    assert_eq!(data, fresh, "reused buffer holds the data written while away");
+
+    // A second bounce keeps the footprint stable on both sessions.
+    fleet.migrate(vp, away).expect("second hop away");
+    fleet.migrate(vp, home).expect("second hop back");
+    assert_eq!(fleet.live_buffers()[home], 1);
+    assert_eq!(fleet.live_buffers()[away], 1);
+    assert_eq!(fleet.stats().reuse_migrations, 3, "both returns and the away hop reused");
+
+    assert!(matches!(roundtrip(Request::Free { handle }), Response::Done));
+    assert_eq!(fleet.live_buffers()[home], 0, "the reused buffer frees cleanly");
+    fleet.shutdown();
+}
+
+#[test]
 fn forced_migration_preserves_guest_handles_and_data() {
     let fleet = Fleet::new(FleetConfig::new(2), registry()).expect("fleet builds");
     let vp = VpId(3);

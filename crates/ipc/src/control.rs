@@ -18,7 +18,10 @@ use crate::message::VpId;
 
 #[derive(Debug, Default)]
 struct ControlState {
-    stopped: HashMap<VpId, bool>,
+    /// Stop *depth* per VP: 0 = running. Independent holders (the sync-window
+    /// dispatcher, a failover path, a test harness) may each stop the same VP;
+    /// it runs again only once every stop has been matched by a resume.
+    depth: HashMap<VpId, u32>,
     stop_events: u64,
     resume_events: u64,
 }
@@ -36,37 +39,47 @@ impl VpControl {
         Self::default()
     }
 
-    /// Stop a VP: it will park at its next `wait_while_stopped` call. Stopping an
-    /// already stopped VP is a no-op (no event recorded).
+    /// Stop a VP: it will park at its next `wait_while_stopped` call. Stops
+    /// nest — each call increments the VP's stop depth — but only the 0→1 edge
+    /// records a stop *event* (one IPC round trip); deepening an existing stop
+    /// is free.
     pub fn stop(&self, vp: VpId) {
         let mut s = self.state.lock();
-        let flag = s.stopped.entry(vp).or_insert(false);
-        if !*flag {
-            *flag = true;
+        let depth = s.depth.entry(vp).or_insert(0);
+        *depth += 1;
+        if *depth == 1 {
             s.stop_events += 1;
         }
     }
 
-    /// Resume a VP, waking any thread parked in `wait_while_stopped`. Resuming a
-    /// running VP is a no-op.
+    /// Resume a VP: decrement its stop depth, waking any thread parked in
+    /// `wait_while_stopped` once the depth reaches zero. Only the 1→0 edge
+    /// records a resume event; resuming a running VP is a no-op.
     pub fn resume(&self, vp: VpId) {
         let mut s = self.state.lock();
-        let flag = s.stopped.entry(vp).or_insert(false);
-        if *flag {
-            *flag = false;
-            s.resume_events += 1;
-            self.cv.notify_all();
+        let depth = s.depth.entry(vp).or_insert(0);
+        if *depth > 0 {
+            *depth -= 1;
+            if *depth == 0 {
+                s.resume_events += 1;
+                self.cv.notify_all();
+            }
         }
     }
 
-    /// Whether a VP is currently stopped.
+    /// Whether a VP is currently stopped (depth > 0).
     pub fn is_stopped(&self, vp: VpId) -> bool {
-        self.state.lock().stopped.get(&vp).copied().unwrap_or(false)
+        self.depth(vp) > 0
+    }
+
+    /// Current stop depth of a VP (0 = running).
+    pub fn depth(&self, vp: VpId) -> u32 {
+        self.state.lock().depth.get(&vp).copied().unwrap_or(0)
     }
 
     /// Number of currently stopped VPs.
     pub fn stopped_count(&self) -> usize {
-        self.state.lock().stopped.values().filter(|&&s| s).count()
+        self.state.lock().depth.values().filter(|&&d| d > 0).count()
     }
 
     /// Total stop events issued so far (for IPC-overhead accounting).
@@ -83,7 +96,7 @@ impl VpControl {
     /// running. This is the VP-thread side of the protocol.
     pub fn wait_while_stopped(&self, vp: VpId) {
         let mut s = self.state.lock();
-        while s.stopped.get(&vp).copied().unwrap_or(false) {
+        while s.depth.get(&vp).copied().unwrap_or(0) > 0 {
             self.cv.wait(&mut s);
         }
     }
@@ -155,5 +168,75 @@ mod tests {
         c.stop(VpId(0));
         assert!(!c.is_stopped(VpId(1)));
         c.wait_while_stopped(VpId(1)); // other VP unaffected
+    }
+
+    #[test]
+    fn nested_stops_require_matching_resumes() {
+        let c = VpControl::new();
+        let vp = VpId(4);
+        c.stop(vp);
+        c.stop(vp);
+        assert_eq!(c.depth(vp), 2);
+        assert_eq!(c.stop_events(), 1, "only the 0->1 edge is an event");
+        c.resume(vp);
+        assert!(c.is_stopped(vp), "one resume must not release a double stop");
+        assert_eq!(c.resume_events(), 0);
+        c.resume(vp);
+        assert!(!c.is_stopped(vp));
+        assert_eq!(c.resume_events(), 1, "only the 1->0 edge is an event");
+    }
+
+    #[test]
+    fn resume_underflow_saturates() {
+        let c = VpControl::new();
+        let vp = VpId(5);
+        c.resume(vp);
+        c.resume(vp);
+        assert_eq!(c.depth(vp), 0);
+        assert_eq!(c.resume_events(), 0);
+        // A later stop/resume pair still counts exactly one event each.
+        c.stop(vp);
+        c.resume(vp);
+        assert_eq!(c.stop_events(), 1);
+        assert_eq!(c.resume_events(), 1);
+    }
+
+    #[test]
+    fn resume_before_park_lets_thread_pass() {
+        // Stop, then resume *before* the VP thread ever reaches its scheduling
+        // point: the thread must pass straight through, and the event counts
+        // must show exactly one full stop/resume cycle.
+        let c = Arc::new(VpControl::new());
+        let vp = VpId(6);
+        c.stop(vp);
+        c.resume(vp);
+        let c2 = c.clone();
+        let handle = std::thread::spawn(move || {
+            c2.wait_while_stopped(vp);
+            true
+        });
+        assert!(handle.join().unwrap());
+        assert_eq!(c.stop_events(), 1);
+        assert_eq!(c.resume_events(), 1);
+    }
+
+    #[test]
+    fn parked_thread_survives_redundant_resumes() {
+        let c = Arc::new(VpControl::new());
+        let vp = VpId(7);
+        c.stop(vp);
+        c.stop(vp);
+        let c2 = c.clone();
+        let handle = std::thread::spawn(move || {
+            c2.wait_while_stopped(vp);
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(!handle.is_finished(), "depth 2: thread should be parked");
+        c.resume(vp);
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(!handle.is_finished(), "depth 1: thread should still be parked");
+        c.resume(vp);
+        handle.join().unwrap();
+        assert_eq!(c.depth(vp), 0);
     }
 }

@@ -29,6 +29,7 @@ pub mod pipeline;
 pub mod placement;
 pub mod policy;
 pub mod rebalance;
+pub mod wavepack;
 
 pub use coalesce::{CoalescePlan, MemoryLayout};
 pub use deps::{reorder_critical_path, JobDag};
@@ -39,4 +40,5 @@ pub use pipeline::{
 };
 pub use placement::{HashRing, Placement};
 pub use policy::{Admission, BackendKind, InterleaveMode, Policy, RetryPolicy};
-pub use rebalance::{DeviceView, Rebalance};
+pub use rebalance::{DeviceView, LoadRebalance, Rebalance};
+pub use wavepack::WavePack;

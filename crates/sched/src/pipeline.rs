@@ -125,18 +125,26 @@ pub struct PassCtx<'a> {
     coalescible: &'a dyn Fn(VpId) -> bool,
     evaluator: Option<&'a dyn StreamEvaluator>,
     devices: Option<&'a crate::rebalance::DeviceView<'a>>,
+    wave_lanes: Option<&'a dyn Fn(u32) -> u32>,
+    live_sync: bool,
 }
 
 impl<'a> PassCtx<'a> {
     /// A context in which no VP is coalescing-friendly and no evaluator is
     /// available (sufficient for pure reordering pipelines).
     pub fn reorder_only() -> PassCtx<'static> {
-        PassCtx { coalescible: &|_| false, evaluator: None, devices: None }
+        PassCtx {
+            coalescible: &|_| false,
+            evaluator: None,
+            devices: None,
+            wave_lanes: None,
+            live_sync: false,
+        }
     }
 
     /// A context with a per-VP coalescibility predicate.
     pub fn new(coalescible: &'a dyn Fn(VpId) -> bool) -> Self {
-        PassCtx { coalescible, evaluator: None, devices: None }
+        PassCtx { coalescible, evaluator: None, devices: None, wave_lanes: None, live_sync: false }
     }
 
     /// Attach a makespan oracle for [`AdaptiveSelect`].
@@ -149,6 +157,23 @@ impl<'a> PassCtx<'a> {
     /// [`Rebalance`](crate::rebalance::Rebalance).
     pub fn with_devices(mut self, devices: &'a crate::rebalance::DeviceView<'a>) -> Self {
         self.devices = Some(devices);
+        self
+    }
+
+    /// Attach the device's wave geometry — blocks per wave (λ of Eq. 9) as a
+    /// function of block size — enabling [`WavePack`](crate::wavepack::WavePack).
+    pub fn with_wave_lanes(mut self, wave_lanes: &'a dyn Fn(u32) -> u32) -> Self {
+        self.wave_lanes = Some(wave_lanes);
+        self
+    }
+
+    /// Mark this window as a *live synchronous* window: every job in it is an
+    /// in-flight request whose VP is stopped and waiting, so all jobs are
+    /// concurrently pending by construction and passes may group across per-VP
+    /// ordinals (offline plans must not — ordinals are their only evidence of
+    /// concurrency).
+    pub fn with_live_sync(mut self, live_sync: bool) -> Self {
+        self.live_sync = live_sync;
         self
     }
 
@@ -165,6 +190,17 @@ impl<'a> PassCtx<'a> {
     /// The injected device-health view, if any.
     pub fn devices(&self) -> Option<&crate::rebalance::DeviceView<'a>> {
         self.devices
+    }
+
+    /// Blocks per wave (λ) for `block_dim`, when wave geometry was injected.
+    pub fn wave_lanes(&self, block_dim: u32) -> Option<u32> {
+        self.wave_lanes.map(|f| f(block_dim))
+    }
+
+    /// Whether this is a live synchronous window (see
+    /// [`PassCtx::with_live_sync`]).
+    pub fn is_live_sync(&self) -> bool {
+        self.live_sync
     }
 }
 
@@ -355,8 +391,9 @@ impl Pipeline {
     /// The canonical pipeline for a [`Policy`]:
     /// [`Rebalance`](crate::rebalance::Rebalance) (identity unless the runtime
     /// injects a [`DeviceView`](crate::rebalance::DeviceView)), then
-    /// [`DepOrder`], then [`Interleave`] if enabled, then [`Coalesce`] +
-    /// [`AdaptiveSelect`] if enabled.
+    /// [`DepOrder`], then [`Interleave`] if enabled, then [`Coalesce`] (+
+    /// [`WavePack`](crate::wavepack::WavePack) under a sync-hold policy) +
+    /// [`AdaptiveSelect`] if coalescing is enabled.
     pub fn from_policy(policy: &Policy) -> Self {
         let mut pipeline =
             Pipeline::new().with_pass(crate::rebalance::Rebalance).with_pass(DepOrder);
@@ -364,7 +401,11 @@ impl Pipeline {
             pipeline = pipeline.with_pass(Interleave(policy.interleave));
         }
         if policy.coalesce {
-            pipeline = pipeline.with_pass(Coalesce).with_pass(AdaptiveSelect);
+            pipeline = pipeline.with_pass(Coalesce);
+            if policy.sync_hold {
+                pipeline = pipeline.with_pass(crate::wavepack::WavePack);
+            }
+            pipeline = pipeline.with_pass(AdaptiveSelect);
         }
         pipeline
     }
@@ -376,8 +417,8 @@ impl Pipeline {
     ///
     /// Recognized names (matching [`SchedulePass::name`]): `rebalance`,
     /// `dep_order`, `interleave` (earliest-start), `interleave_cp`
-    /// (critical-path), `coalesce`, `adaptive_select`. An empty spec yields the
-    /// identity pipeline; whitespace around names is ignored.
+    /// (critical-path), `coalesce`, `wave_pack`, `adaptive_select`. An empty
+    /// spec yields the identity pipeline; whitespace around names is ignored.
     ///
     /// # Errors
     ///
@@ -391,6 +432,7 @@ impl Pipeline {
                 "interleave" => pipeline.with_pass(Interleave(InterleaveMode::EarliestStart)),
                 "interleave_cp" => pipeline.with_pass(Interleave(InterleaveMode::CriticalPath)),
                 "coalesce" => pipeline.with_pass(Coalesce),
+                "wave_pack" => pipeline.with_pass(crate::wavepack::WavePack),
                 "adaptive_select" => pipeline.with_pass(AdaptiveSelect),
                 other => return Err(format!("unknown pass `{other}`")),
             };

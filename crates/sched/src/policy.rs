@@ -152,6 +152,13 @@ pub struct Policy {
     /// `0` means "one per available core"; `1` forces the sequential
     /// interpreter (the degenerate case used by differential tests).
     pub workers: u32,
+    /// Sync-mode stop/resume dispatching: the dispatcher *holds* synchronous
+    /// launches (stopping their VPs via `VpControl`) until every live VP has
+    /// one pending, then plans the whole window with the full pipeline —
+    /// including the wave-packing pass — and resumes VPs in planned completion
+    /// order. Off, synchronous launches are answered as they arrive and only
+    /// reordering applies to the live window.
+    pub sync_hold: bool,
 }
 
 #[allow(non_upper_case_globals)]
@@ -164,6 +171,7 @@ impl Policy {
         admission: Admission::Fifo,
         retry: RetryPolicy::DEFAULT,
         workers: 0,
+        sync_hold: false,
     };
     /// Legacy `GpuMode::Multiplexed`: host-GPU multiplexing without the
     /// re-scheduler optimizations.
@@ -174,6 +182,7 @@ impl Policy {
         admission: Admission::Fifo,
         retry: RetryPolicy::DEFAULT,
         workers: 0,
+        sync_hold: false,
     };
     /// Legacy `GpuMode::MultiplexedOptimized`: multiplexing plus Kernel
     /// Interleaving and Kernel Coalescing.
@@ -184,6 +193,7 @@ impl Policy {
         admission: Admission::Fifo,
         retry: RetryPolicy::DEFAULT,
         workers: 0,
+        sync_hold: false,
     };
     /// Legacy `SchedulingPolicy::Fifo`: live VPs race for the host runtime;
     /// the pending window is still interleaved by the re-scheduler.
@@ -194,6 +204,7 @@ impl Policy {
         admission: Admission::Fifo,
         retry: RetryPolicy::DEFAULT,
         workers: 0,
+        sync_hold: false,
     };
     /// Legacy `SchedulingPolicy::RoundRobin`: live VPs take strict turns
     /// through the VP-control gate.
@@ -204,6 +215,7 @@ impl Policy {
         admission: Admission::RoundRobin,
         retry: RetryPolicy::DEFAULT,
         workers: 0,
+        sync_hold: false,
     };
 
     /// The emulation baseline ([`Policy::EmulatedOnVp`]).
@@ -250,6 +262,12 @@ impl Policy {
     /// per available core, `1` = sequential execution.
     pub const fn with_workers(mut self, workers: u32) -> Policy {
         self.workers = workers;
+        self
+    }
+
+    /// Enable or disable sync-mode hold/resume dispatching (builder style).
+    pub const fn with_sync_hold(mut self, sync_hold: bool) -> Policy {
+        self.sync_hold = sync_hold;
         self
     }
 

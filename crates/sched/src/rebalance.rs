@@ -1,15 +1,51 @@
-//! Cross-device rebalancing: migrate VPs off dead or tripped host GPUs.
+//! Cross-device rebalancing: migrate VPs off dead, tripped, or overloaded
+//! host GPUs.
 //!
 //! The ROADMAP's cross-device rebalancing pass, landed as a [`SchedulePass`]:
 //! given a view of per-device health and queued load, [`Rebalance`] finds every
 //! VP in the window whose assigned device is down and plans its migration to
-//! the least-loaded surviving device. The pass never reorders jobs — it only
-//! fills [`JobStream::migrations`]; the runtime applies them (journal replay +
+//! the least-loaded surviving device. When the view carries a [`LoadRebalance`]
+//! threshold it additionally fires on *load imbalance* between healthy devices
+//! (not only on breaker trips), draining VPs from the hottest device toward
+//! the coolest. The pass never reorders jobs — it only fills
+//! [`JobStream::migrations`]; the runtime applies them (journal replay +
 //! reassignment) before executing the window.
 
 use sigmavp_ipc::message::VpId;
 
 use crate::pipeline::{JobStream, PassCtx, SchedulePass};
+
+/// Deterministic load-imbalance trigger for [`Rebalance`].
+///
+/// Queued seconds are an integral of backlog: a gap of `min_abs_s` between the
+/// hottest and coolest healthy device can only accumulate over a *sustained*
+/// run of lopsided windows, so the absolute floor doubles as the "sustained"
+/// test — one busy window cannot trip it. Both conditions must hold before
+/// any migration is planned:
+///
+/// * `hot > ratio × cool` (relative imbalance), and
+/// * `hot − cool ≥ min_abs_s` (absolute backlog gap).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadRebalance {
+    /// Relative trigger: hottest projected load must exceed `ratio` times the
+    /// coolest.
+    pub ratio: f64,
+    /// Absolute trigger: the hot−cool gap, in queued seconds, below which the
+    /// imbalance is not considered sustained.
+    pub min_abs_s: f64,
+}
+
+impl LoadRebalance {
+    /// Default thresholds: 2× relative imbalance with at least 1 ms of backlog
+    /// gap.
+    pub const DEFAULT: LoadRebalance = LoadRebalance { ratio: 2.0, min_abs_s: 1e-3 };
+}
+
+impl Default for LoadRebalance {
+    fn default() -> Self {
+        LoadRebalance::DEFAULT
+    }
+}
 
 /// A read-only snapshot of device state for one planning round.
 ///
@@ -25,6 +61,8 @@ pub struct DeviceView<'a> {
     /// Whether a device is down for a request stamped at the given simulated
     /// time (scheduled outage or tripped circuit breaker).
     pub down_for: &'a dyn Fn(usize, f64) -> bool,
+    /// Load-imbalance trigger; `None` keeps the pass failure-triggered only.
+    pub load: Option<LoadRebalance>,
 }
 
 impl std::fmt::Debug for DeviceView<'_> {
@@ -89,7 +127,83 @@ impl SchedulePass for Rebalance {
                 stream.migrations.push((vp, target));
             }
         }
+
+        if let Some(cfg) = view.load {
+            self.apply_load_trigger(&mut stream, view, &mut extra, cfg);
+        }
         stream
+    }
+}
+
+impl Rebalance {
+    /// Drain VPs from the hottest healthy device toward the coolest while the
+    /// [`LoadRebalance`] thresholds hold. Candidates move in first-appearance
+    /// order, each only if its window cost strictly shrinks the gap, so the
+    /// plan is deterministic for a fixed window and view.
+    fn apply_load_trigger(
+        &self,
+        stream: &mut JobStream,
+        view: &DeviceView<'_>,
+        extra: &mut [f64],
+        cfg: LoadRebalance,
+    ) {
+        let t =
+            stream.jobs.iter().map(|j| j.enqueued_at_s).fold(f64::NEG_INFINITY, f64::max).max(0.0);
+        let healthy: Vec<usize> =
+            (0..view.queued_s.len()).filter(|&d| !(view.down_for)(d, t)).collect();
+        if healthy.len() < 2 {
+            return;
+        }
+        let projected = |d: usize, extra: &[f64]| view.queued_s[d] + extra[d];
+        let rec = sigmavp_telemetry::recorder();
+
+        let mut seen: Vec<VpId> = Vec::new();
+        for vp in stream.jobs.iter().map(|j| j.vp) {
+            if !seen.contains(&vp) {
+                seen.push(vp);
+            }
+        }
+        let moved: Vec<VpId> = stream.migrations.iter().map(|&(vp, _)| vp).collect();
+        for vp in seen {
+            if moved.contains(&vp) {
+                continue;
+            }
+            let hot = *healthy
+                .iter()
+                .max_by(|&&a, &&b| {
+                    projected(a, extra)
+                        .partial_cmp(&projected(b, extra))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(b.cmp(&a)) // tie: lowest index wins the max scan
+                })
+                .expect("len >= 2");
+            let cool = *healthy
+                .iter()
+                .min_by(|&&a, &&b| {
+                    projected(a, extra)
+                        .partial_cmp(&projected(b, extra))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.cmp(&b))
+                })
+                .expect("len >= 2");
+            let (load_hot, load_cool) = (projected(hot, extra), projected(cool, extra));
+            let gap = load_hot - load_cool;
+            if hot == cool || load_hot <= cfg.ratio * load_cool || gap < cfg.min_abs_s {
+                return; // thresholds no longer hold: done for this round
+            }
+            if (view.route)(vp) != Some(hot) {
+                continue;
+            }
+            let cost: f64 =
+                stream.jobs.iter().filter(|j| j.vp == vp).map(|j| j.expected_duration_s).sum();
+            if cost >= gap {
+                continue; // moving this VP would overshoot, not balance
+            }
+            extra[hot] -= cost;
+            extra[cool] += cost;
+            stream.migrations.push((vp, cool));
+            rec.count("fault.rebalance.load_triggered", 1);
+        }
     }
 }
 
@@ -122,7 +236,7 @@ mod tests {
         let route = |vp: VpId| Some(if vp.0 < 2 { 0 } else { 1 });
         let down = |d: usize, _t: f64| d == 0;
         let queued = [0.0, 0.3];
-        let view = DeviceView { queued_s: &queued, route: &route, down_for: &down };
+        let view = DeviceView { queued_s: &queued, route: &route, down_for: &down, load: None };
         let ctx = PassCtx::reorder_only().with_devices(&view);
         let jobs = vec![job(0, 0, 0, 1.0, 0.5), job(1, 1, 0, 1.0, 0.5), job(2, 2, 0, 1.0, 0.5)];
         let out = Rebalance.apply(JobStream::new(jobs), &ctx);
@@ -137,7 +251,7 @@ mod tests {
         let route = |_vp: VpId| Some(0);
         let down = |d: usize, _t: f64| d == 0;
         let queued = [0.0, 0.4, 0.1];
-        let view = DeviceView { queued_s: &queued, route: &route, down_for: &down };
+        let view = DeviceView { queued_s: &queued, route: &route, down_for: &down, load: None };
         let ctx = PassCtx::reorder_only().with_devices(&view);
         let jobs = vec![job(0, 0, 0, 1.0, 1.0), job(1, 1, 0, 1.0, 1.0)];
         let out = Rebalance.apply(JobStream::new(jobs), &ctx);
@@ -149,7 +263,7 @@ mod tests {
         let route = |_vp: VpId| Some(0);
         let down = |_d: usize, _t: f64| true;
         let queued = [0.0, 0.0];
-        let view = DeviceView { queued_s: &queued, route: &route, down_for: &down };
+        let view = DeviceView { queued_s: &queued, route: &route, down_for: &down, load: None };
         let ctx = PassCtx::reorder_only().with_devices(&view);
         let out = Rebalance.apply(JobStream::new(vec![job(0, 0, 0, 1.0, 0.5)]), &ctx);
         assert!(out.migrations.is_empty(), "nowhere to go: degrade, don't migrate");
@@ -160,10 +274,97 @@ mod tests {
         let route = |vp: VpId| Some(vp.0 as usize % 2);
         let down = |_d: usize, _t: f64| false;
         let queued = [0.0, 0.0];
-        let view = DeviceView { queued_s: &queued, route: &route, down_for: &down };
+        let view = DeviceView { queued_s: &queued, route: &route, down_for: &down, load: None };
         let ctx = PassCtx::reorder_only().with_devices(&view);
         let jobs = vec![job(0, 0, 0, 1.0, 0.5), job(1, 1, 0, 1.0, 0.5)];
         let out = Rebalance.apply(JobStream::new(jobs), &ctx);
         assert!(out.migrations.is_empty());
+    }
+
+    #[test]
+    fn load_trigger_drains_the_hottest_device() {
+        // Device 0 carries 1.0 s of backlog, device 1 is idle; both healthy.
+        // VPs 0 and 1 live on device 0 with 0.2 s of window work each; both
+        // thresholds hold, so the trigger moves them to device 1 one at a
+        // time (each move shrinks the gap).
+        let route = |_vp: VpId| Some(0);
+        let down = |_d: usize, _t: f64| false;
+        let queued = [1.0, 0.0];
+        let view = DeviceView {
+            queued_s: &queued,
+            route: &route,
+            down_for: &down,
+            load: Some(LoadRebalance::DEFAULT),
+        };
+        let ctx = PassCtx::reorder_only().with_devices(&view);
+        let jobs = vec![job(0, 0, 0, 1.0, 0.2), job(1, 1, 0, 1.0, 0.2)];
+        let out = Rebalance.apply(JobStream::new(jobs), &ctx);
+        assert_eq!(out.migrations, vec![(VpId(0), 1), (VpId(1), 1)]);
+    }
+
+    #[test]
+    fn load_trigger_respects_both_thresholds() {
+        let route = |_vp: VpId| Some(0);
+        let down = |_d: usize, _t: f64| false;
+        let jobs = || vec![job(0, 0, 0, 1.0, 0.01)];
+
+        // Relative imbalance below the ratio: no trigger.
+        let queued = [1.0, 0.9];
+        let view = DeviceView {
+            queued_s: &queued,
+            route: &route,
+            down_for: &down,
+            load: Some(LoadRebalance::DEFAULT),
+        };
+        let ctx = PassCtx::reorder_only().with_devices(&view);
+        assert!(Rebalance.apply(JobStream::new(jobs()), &ctx).migrations.is_empty());
+
+        // Huge ratio but a gap below the absolute floor: not sustained.
+        let queued = [8e-4, 1e-5];
+        let view = DeviceView {
+            queued_s: &queued,
+            route: &route,
+            down_for: &down,
+            load: Some(LoadRebalance::DEFAULT),
+        };
+        let ctx = PassCtx::reorder_only().with_devices(&view);
+        assert!(Rebalance.apply(JobStream::new(jobs()), &ctx).migrations.is_empty());
+    }
+
+    #[test]
+    fn load_trigger_stops_before_overshooting() {
+        // One VP whose window cost exceeds the gap: moving it would just swap
+        // which device is hot, so nothing moves.
+        let route = |_vp: VpId| Some(0);
+        let down = |_d: usize, _t: f64| false;
+        let queued = [0.1, 0.0];
+        let view = DeviceView {
+            queued_s: &queued,
+            route: &route,
+            down_for: &down,
+            load: Some(LoadRebalance::DEFAULT),
+        };
+        let ctx = PassCtx::reorder_only().with_devices(&view);
+        let out = Rebalance.apply(JobStream::new(vec![job(0, 0, 0, 1.0, 0.5)]), &ctx);
+        assert!(out.migrations.is_empty());
+    }
+
+    #[test]
+    fn load_trigger_composes_with_failure_migrations() {
+        // Device 0 is down (VP 0 fails over to device 2, the coolest); the
+        // load trigger then still drains VP 1 off the overloaded device 1.
+        let route = |vp: VpId| Some(if vp.0 == 0 { 0 } else { 1 });
+        let down = |d: usize, _t: f64| d == 0;
+        let queued = [0.0, 1.0, 0.0];
+        let view = DeviceView {
+            queued_s: &queued,
+            route: &route,
+            down_for: &down,
+            load: Some(LoadRebalance::DEFAULT),
+        };
+        let ctx = PassCtx::reorder_only().with_devices(&view);
+        let jobs = vec![job(0, 0, 0, 1.0, 0.1), job(1, 1, 0, 1.0, 0.1)];
+        let out = Rebalance.apply(JobStream::new(jobs), &ctx);
+        assert_eq!(out.migrations, vec![(VpId(0), 2), (VpId(1), 2)]);
     }
 }
