@@ -3,31 +3,39 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "==> cargo fmt --check"
-cargo fmt --all -- --check
+# Run one gate step with a wall-clock timing line, so slow CI runs show where
+# the time went without re-running anything.
+step() {
+  local label="$1"
+  shift
+  echo "==> $label"
+  local t0=$SECONDS
+  "$@"
+  echo "    [$label: $((SECONDS - t0))s]"
+}
 
-echo "==> cargo clippy (deny warnings)"
-cargo clippy --workspace --all-targets -- -D warnings
+step "cargo fmt --check" cargo fmt --all -- --check
 
-echo "==> cargo build --release"
-cargo build --release --workspace
+step "cargo clippy (deny warnings)" cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> cargo build --examples"
-cargo build --examples
+step "cargo build --release" cargo build --release --workspace
 
-echo "==> cargo bench --no-run"
-cargo bench --workspace --no-run
+step "cargo build --examples" cargo build --examples
 
-echo "==> cargo test"
-cargo test -q --workspace
+step "cargo bench --no-run" cargo bench --workspace --no-run
 
-echo "==> audit regression gate + chaos smoke + sync windows (results/baselines/audit.json)"
-cargo run --release -p sigmavp-bench --bin audit -- --faults 42 --sync --check
+step "cargo test" cargo test -q --workspace
 
-echo "==> perf throughput gate (results/baselines/perf.json)"
-cargo run --release -p sigmavp-bench --bin perf -- --check --tolerance 0.25
+step "audit regression gate + chaos smoke + sync windows (results/baselines/audit.json)" \
+  cargo run --release -p sigmavp-bench --bin audit -- --faults 42 --sync --check
 
-echo "==> fleet scaling + failover gate (results/baselines/fleet.json)"
-cargo run --release -p sigmavp-bench --bin perf -- --fleet --check --tolerance 0.25
+step "post-mortem bundle well-formedness (BENCH_postmortem.json)" \
+  cargo run --release -p sigmavp-bench --bin top -- --check-bundle BENCH_postmortem.json
+
+step "perf throughput + observability-overhead gate (results/baselines/perf.json)" \
+  cargo run --release -p sigmavp-bench --bin perf -- --check --tolerance 0.25
+
+step "fleet scaling + failover gate (results/baselines/fleet.json)" \
+  cargo run --release -p sigmavp-bench --bin perf -- --fleet --check --tolerance 0.25
 
 echo "CI green."

@@ -27,6 +27,12 @@
 //! 2–3, and ≥ 0.5× on a single core (where no speedup is physically possible
 //! and the bar instead bounds the parallel engine's overhead).
 //!
+//! **Observability overhead.** The parallel configuration is then re-run with
+//! the always-on observability pair attached — the profile store folding every
+//! completion off the bus and the flight recorder sampling on a 2 ms cadence —
+//! and the wall-time cost is bounded: ≤ 5% with 4+ cores, scaled looser where
+//! the sampler has to fight the workload for cores (like the speedup bar).
+//!
 //! **Gate.** `--check` compares against the committed baseline
 //! (`results/baselines/perf.json`) through the direction-aware store:
 //! `perf.speedup_wall` is higher-is-better (a baseline near 1.0 from a 1-core
@@ -43,13 +49,17 @@
 //! recompiling.
 
 use std::process::ExitCode;
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use sigmavp::dispatcher::DispatchedSigmaVp;
 use sigmavp::plan_device;
 use sigmavp_gpu::GpuArch;
 use sigmavp_ipc::transport::TransportCost;
-use sigmavp_obs::{compare, format_flat_json, parse_flat_json};
+use sigmavp_obs::{
+    format_flat_json, run_gate, FlightConfig, FlightRecorder, GateConfig, SharedProfileStore,
+};
 use sigmavp_sched::{Pipeline, Policy};
 use sigmavp_sptx::exec::default_workers;
 use sigmavp_telemetry::export::escape_json;
@@ -237,6 +247,49 @@ fn required_speedup(host_parallelism: usize) -> f64 {
         2 | 3 => 1.3,
         _ => 2.0,
     }
+}
+
+/// The flight-recorder overhead bound, scaled like [`required_speedup`]:
+/// always-on observability must cost ≤ 5% wall where there is parallelism to
+/// absorb the sampler, looser where it fights the workload for 1–2 cores.
+fn allowed_overhead(host_parallelism: usize) -> f64 {
+    match host_parallelism {
+        0 | 1 => 0.50,
+        2 | 3 => 0.15,
+        _ => 0.05,
+    }
+}
+
+/// Re-run the parallel configuration with the always-on observability pair
+/// attached — profile store folding every completion off the bus, flight
+/// recorder sampling snapshots on a 2 ms cadence — and return the measured
+/// wall time plus what the instruments captured.
+fn run_flight_on(
+    workers: u32,
+    scale: u32,
+    repeats: u32,
+    telemetry: &sigmavp_telemetry::Telemetry,
+) -> Result<(Measure, u64, u64), String> {
+    let profiles = SharedProfileStore::new();
+    profiles.install();
+    let recorder = FlightRecorder::new(FlightConfig::default());
+    recorder.attach(*telemetry);
+    let stop = Arc::new(AtomicBool::new(false));
+    let sampler = {
+        let recorder = recorder.clone();
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                recorder.sample();
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        })
+    };
+    let result = run_config(workers, scale, repeats, telemetry);
+    stop.store(true, Ordering::Relaxed);
+    sampler.join().expect("sampler thread joins");
+    sigmavp_telemetry::bus::clear_sinks();
+    result.map(|m| (m, profiles.updates(), recorder.taken()))
 }
 
 // --- Fleet mode (`--fleet`): sharded multi-session scaling gate. -------------
@@ -558,46 +611,20 @@ fn fleet_main(args: &Args, host: usize) -> ExitCode {
     }
     println!("wrote {out}");
 
-    if args.write_baseline {
-        if let Some(dir) = std::path::Path::new(&baseline).parent() {
-            if let Err(e) = std::fs::create_dir_all(dir) {
-                eprintln!("perf --fleet: cannot create {}: {e}", dir.display());
-                return ExitCode::FAILURE;
-            }
-        }
-        if let Err(e) = std::fs::write(&baseline, format_flat_json(&gate)) {
-            eprintln!("perf --fleet: cannot write baseline {baseline}: {e}");
+    match run_gate(
+        &GateConfig {
+            tool: "perf --fleet",
+            baseline: &baseline,
+            tolerance: args.tolerance,
+            write_baseline: args.write_baseline,
+            check: args.check,
+        },
+        &gate,
+    ) {
+        Ok(regressed) => failed = failed || regressed,
+        Err(e) => {
+            eprintln!("{e}");
             return ExitCode::FAILURE;
-        }
-        println!("wrote baseline {baseline}");
-    }
-    if args.check {
-        let text = match std::fs::read_to_string(&baseline) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("perf --fleet: cannot read baseline {baseline}: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        let base = match parse_flat_json(&text) {
-            Ok(b) => b,
-            Err(e) => {
-                eprintln!("perf --fleet: malformed baseline {baseline}: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        let regressions = compare(&base, &gate, args.tolerance);
-        if regressions.is_empty() {
-            println!(
-                "check: {} metrics within {:.0}% of {baseline}",
-                base.len(),
-                args.tolerance * 100.0
-            );
-        } else {
-            for r in &regressions {
-                eprintln!("REGRESSION {}", r.describe());
-            }
-            failed = true;
         }
     }
     if failed {
@@ -711,6 +738,45 @@ fn main() -> ExitCode {
         args.workers
     );
 
+    // --- Always-on observability overhead bar. --------------------------------
+    // Same parallel configuration, flight recorder + profile store live; the
+    // workload must be untouched and the wall-time cost bounded.
+    let (flight, profile_updates, flight_snapshots) =
+        match run_flight_on(args.workers, args.scale, args.repeats, &telemetry) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("perf: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    if (flight.jobs, flight.instructions) != (par.jobs, par.instructions) {
+        eprintln!(
+            "perf: the flight recorder changed the workload: jobs {} vs {}, \
+             instructions {} vs {}",
+            flight.jobs, par.jobs, flight.instructions, par.instructions
+        );
+        return ExitCode::FAILURE;
+    }
+    if profile_updates == 0 || flight_snapshots == 0 {
+        eprintln!(
+            "perf: observability run captured nothing ({profile_updates} profile updates, \
+             {flight_snapshots} snapshots)"
+        );
+        return ExitCode::FAILURE;
+    }
+    let overhead = flight.wall_s / par.wall_s - 1.0;
+    let allowed = allowed_overhead(host);
+    println!(
+        "observability: flight-on wall {:.3} ms vs {:.3} ms off -> {:+.1}% overhead \
+         (allowed <= {:.0}% on {host}-core host; {} profile updates, {} snapshots)",
+        flight.wall_s * 1e3,
+        par.wall_s * 1e3,
+        overhead * 100.0,
+        allowed * 100.0,
+        profile_updates,
+        flight_snapshots
+    );
+
     // --- Optional pass ablation. ----------------------------------------------
     let ablation = match &args.passes {
         Some(spec) => {
@@ -756,6 +822,12 @@ fn main() -> ExitCode {
     json.push_str(&measure_json(&format!("workers_{}", args.workers), &par));
     json.push_str("\n  },\n");
     json.push_str(&format!(
+        "  \"observability\": {{\"wall_on_s\": {:.9e}, \"wall_off_s\": {:.9e}, \
+         \"overhead_frac\": {:.6}, \"allowed_frac\": {:.6}, \"profile_updates\": {}, \
+         \"snapshots\": {}}},\n",
+        flight.wall_s, par.wall_s, overhead, allowed, profile_updates, flight_snapshots
+    ));
+    json.push_str(&format!(
         "  \"speedup\": {{\"wall\": {:.6}, \"required\": {:.6}}}",
         speedup, required
     ));
@@ -776,49 +848,32 @@ fn main() -> ExitCode {
     println!("wrote {}", args.out);
 
     // --- Baseline write / check. ----------------------------------------------
-    if args.write_baseline {
-        if let Some(dir) = std::path::Path::new(&args.baseline).parent() {
-            if let Err(e) = std::fs::create_dir_all(dir) {
-                eprintln!("perf: cannot create {}: {e}", dir.display());
-                return ExitCode::FAILURE;
-            }
-        }
-        if let Err(e) = std::fs::write(&args.baseline, format_flat_json(&gate)) {
-            eprintln!("perf: cannot write baseline {}: {e}", args.baseline);
+    let mut failed = match run_gate(
+        &GateConfig {
+            tool: "perf",
+            baseline: &args.baseline,
+            tolerance: args.tolerance,
+            write_baseline: args.write_baseline,
+            check: args.check,
+        },
+        &gate,
+    ) {
+        Ok(regressed) => regressed,
+        Err(e) => {
+            eprintln!("{e}");
             return ExitCode::FAILURE;
         }
-        println!("wrote baseline {}", args.baseline);
-    }
-    let mut failed = false;
-    if args.check {
-        let text = match std::fs::read_to_string(&args.baseline) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("perf: cannot read baseline {}: {e}", args.baseline);
-                return ExitCode::FAILURE;
-            }
-        };
-        let baseline = match parse_flat_json(&text) {
-            Ok(b) => b,
-            Err(e) => {
-                eprintln!("perf: malformed baseline {}: {e}", args.baseline);
-                return ExitCode::FAILURE;
-            }
-        };
-        let regressions = compare(&baseline, &gate, args.tolerance);
-        if regressions.is_empty() {
-            println!(
-                "check: {} metrics within {:.0}% of {}",
-                baseline.len(),
-                args.tolerance * 100.0,
-                args.baseline
-            );
-        } else {
-            for r in &regressions {
-                eprintln!("REGRESSION {}", r.describe());
-            }
-            failed = true;
-        }
+    };
+    // The overhead bar gets a 10 ms absolute floor so a sub-50 ms workload
+    // cannot flake the gate on scheduler jitter alone.
+    if flight.wall_s > par.wall_s * (1.0 + allowed) + 0.010 {
+        eprintln!(
+            "perf: flight-recorder overhead {:.1}% exceeds the allowed {:.0}% for a \
+             {host}-core host",
+            overhead * 100.0,
+            allowed * 100.0
+        );
+        failed = true;
     }
     if speedup < required {
         eprintln!(

@@ -584,6 +584,17 @@ fn mark_device_down(
         // Graceful degradation: the fleet continues on a single device.
         recorder.gauge_set("fault.degraded_mode", 1.0);
     }
+    // Incident hook: an installed flight recorder dumps a post-mortem here.
+    sigmavp_telemetry::bus::publish(&sigmavp_telemetry::bus::ObsEvent::Incident(
+        sigmavp_telemetry::bus::Incident {
+            kind: sigmavp_telemetry::bus::IncidentKind::BreakerTrip { device },
+            wall_s: recorder.wall_now_s(),
+            detail: format!(
+                "device gpu{device} out of service; {} healthy remain",
+                session.healthy_count()
+            ),
+        },
+    ));
 }
 
 /// Failover: take `vp`'s current device out of service, then relocate the VP
@@ -627,9 +638,22 @@ fn relocate_vp(
     let runtime = session.runtime(target);
     let replay = {
         let mut rt = runtime.lock();
-        replay_journal(journal, |request| {
+        replay_journal(journal, |orig_seq, request| {
             let envelope = Envelope { vp, seq: u64::MAX, sent_at_s: 0.0, body: request.clone() };
-            rt.process_replay(&envelope).body
+            let op_started_wall_s = recorder.wall_now_s();
+            let op_started = Instant::now();
+            let body = rt.process_replay(&envelope).body;
+            // Stitch the replayed work onto the *original* job's uid so its
+            // lifecycle joins into one migration-tagged causal chain.
+            recorder.span_for_job(
+                TimeDomain::Wall,
+                Lane::Dispatcher,
+                format!("replay -> gpu{target}"),
+                op_started_wall_s,
+                op_started.elapsed().as_secs_f64(),
+                sigmavp_telemetry::job_uid(vp.0, orig_seq),
+            );
+            body
         })
     };
     match replay {
@@ -801,15 +825,20 @@ fn execute_job(
     // Journal successful mutating requests (guest handle space) so a later
     // failover or load-triggered relocation can reconstruct device state.
     if journal {
-        sup.journals.entry(vp).or_default().record(&envelope.body, &response.body);
+        sup.journals.entry(vp).or_default().record(envelope.seq, &envelope.body, &response.body);
     }
     // Effect-once: remember the executed response for dedup resends.
     sup.dedup.store(&response);
-    // Feed the profiler observation back into the expected-time table.
-    if let Some(JobRecord { kind: RecordKind::Kernel { name, .. }, duration_s, .. }) =
-        runtime.lock().records().last()
-    {
-        expected_kernel_s.insert(name.clone(), *duration_s);
+    // Feed the profiler observation back into the expected-time table, and
+    // publish it on the observation bus for any live profile store. Guard on
+    // (vp, seq): a non-device request leaves an older job as `last()`.
+    if let Some(record) = runtime.lock().records().last() {
+        if record.vp == vp && record.seq == envelope.seq {
+            crate::host::publish_record(session.arch(device), record);
+            if let RecordKind::Kernel { name, .. } = &record.kind {
+                expected_kernel_s.insert(name.clone(), record.duration_s);
+            }
+        }
     }
     response
 }

@@ -89,6 +89,10 @@ impl DedupCache {
 /// One successfully executed, guest-visible mutating operation.
 #[derive(Debug, Clone)]
 pub struct JournalEntry {
+    /// VP-local sequence number of the originating request — the key that
+    /// lets a migration replay stitch back onto the original job's telemetry
+    /// uid.
+    pub seq: u64,
     /// The request as the guest sent it (guest handle space).
     pub request: Request,
     /// The successful response the guest saw.
@@ -108,7 +112,10 @@ pub struct VpJournal {
 
 impl VpJournal {
     /// Append `(request, response)` if it is a successful mutating operation.
-    pub fn record(&mut self, request: &Request, response: &Response) {
+    /// `seq` is the VP-local sequence number of the originating request, kept
+    /// so a later replay can be stitched back onto the original job's
+    /// telemetry uid.
+    pub fn record(&mut self, seq: u64, request: &Request, response: &Response) {
         let mutating = matches!(
             (request, response),
             (Request::Malloc { .. }, Response::Malloc { .. })
@@ -117,8 +124,11 @@ impl VpJournal {
                 | (Request::Launch { .. }, Response::Launched { .. })
         );
         if mutating {
-            self.entries
-                .push(JournalEntry { request: request.clone(), response: response.clone() });
+            self.entries.push(JournalEntry {
+                seq,
+                request: request.clone(),
+                response: response.clone(),
+            });
         }
     }
 
@@ -243,18 +253,19 @@ impl HandleMap {
 /// [`HandleMap`] as allocations land.
 ///
 /// `process` executes one translated request on the survivor and returns its
-/// response. Returns the finished map, or `Err(message)` if the survivor
-/// rejected a replayed operation.
+/// response; it also receives the entry's original sequence number so callers
+/// can attribute the replayed work to the original job. Returns the finished
+/// map, or `Err(message)` if the survivor rejected a replayed operation.
 pub fn replay_journal(
     journal: &VpJournal,
-    mut process: impl FnMut(&Request) -> Response,
+    mut process: impl FnMut(u64, &Request) -> Response,
 ) -> Result<HandleMap, String> {
     let mut map = HandleMap::new();
     for entry in journal.entries() {
         let translated = map
             .translate(&entry.request)
             .map_err(|h| format!("replay references unmapped handle {h}"))?;
-        let response = process(&translated);
+        let response = process(entry.seq, &translated);
         match (&entry.request, &entry.response, &response) {
             (
                 Request::Malloc { .. },
@@ -288,7 +299,7 @@ pub fn replay_journal(
 pub fn replay_journal_reusing(
     journal: &VpJournal,
     retained: &HandleMap,
-    mut process: impl FnMut(&Request) -> Response,
+    mut process: impl FnMut(u64, &Request) -> Response,
 ) -> Result<HandleMap, String> {
     let mut map = HandleMap::new();
     for entry in journal.entries() {
@@ -303,7 +314,7 @@ pub fn replay_journal_reusing(
         let translated = map
             .translate(&entry.request)
             .map_err(|h| format!("replay references unmapped handle {h}"))?;
-        let response = process(&translated);
+        let response = process(entry.seq, &translated);
         match (&entry.request, &entry.response, &response) {
             (
                 Request::Malloc { .. },
@@ -369,13 +380,15 @@ mod tests {
     #[test]
     fn journal_keeps_only_successful_mutations() {
         let mut j = VpJournal::default();
-        j.record(&Request::Malloc { bytes: 64 }, &Response::Malloc { handle: 1 });
+        j.record(1, &Request::Malloc { bytes: 64 }, &Response::Malloc { handle: 1 });
         j.record(
+            101,
             &Request::MemcpyD2H { handle: 1, len: 64, stream: 0 },
             &Response::Data { data: Vec::new() },
         );
-        j.record(&Request::Synchronize, &Response::Done);
+        j.record(2, &Request::Synchronize, &Response::Done);
         j.record(
+            102,
             &Request::MemcpyH2D { handle: 1, data: b"abcd".to_vec(), stream: 0 },
             &Response::Error { message: "nope".into() },
         );
@@ -385,12 +398,14 @@ mod tests {
     #[test]
     fn replay_builds_handle_map_and_translates() {
         let mut j = VpJournal::default();
-        j.record(&Request::Malloc { bytes: 16 }, &Response::Malloc { handle: 7 });
+        j.record(3, &Request::Malloc { bytes: 16 }, &Response::Malloc { handle: 7 });
         j.record(
+            103,
             &Request::MemcpyH2D { handle: 7, data: b"abcd".to_vec(), stream: 0 },
             &Response::Done,
         );
         j.record(
+            104,
             &Request::Launch {
                 kernel: "k".into(),
                 grid_dim: 1,
@@ -403,7 +418,9 @@ mod tests {
         );
 
         let mut seen = Vec::new();
-        let map = replay_journal(&j, |req| {
+        let mut seqs = Vec::new();
+        let map = replay_journal(&j, |seq, req| {
+            seqs.push(seq);
             seen.push(req.clone());
             match req {
                 Request::Malloc { .. } => Response::Malloc { handle: 42 },
@@ -427,9 +444,10 @@ mod tests {
     #[test]
     fn reusing_replay_skips_retained_mallocs_but_restores_data() {
         let mut j = VpJournal::default();
-        j.record(&Request::Malloc { bytes: 16 }, &Response::Malloc { handle: 7 });
-        j.record(&Request::Malloc { bytes: 16 }, &Response::Malloc { handle: 8 });
+        j.record(4, &Request::Malloc { bytes: 16 }, &Response::Malloc { handle: 7 });
+        j.record(5, &Request::Malloc { bytes: 16 }, &Response::Malloc { handle: 8 });
         j.record(
+            105,
             &Request::MemcpyH2D { handle: 7, data: b"abcd".to_vec(), stream: 0 },
             &Response::Done,
         );
@@ -440,7 +458,7 @@ mod tests {
 
         let mut mallocs = 0u32;
         let mut seen = Vec::new();
-        let map = replay_journal_reusing(&j, &retained, |req| {
+        let map = replay_journal_reusing(&j, &retained, |_seq, req| {
             seen.push(req.clone());
             match req {
                 Request::Malloc { .. } => {
@@ -466,13 +484,13 @@ mod tests {
     #[test]
     fn reusing_replay_frees_buffers_freed_while_away() {
         let mut j = VpJournal::default();
-        j.record(&Request::Malloc { bytes: 16 }, &Response::Malloc { handle: 7 });
-        j.record(&Request::Free { handle: 7 }, &Response::Done);
+        j.record(6, &Request::Malloc { bytes: 16 }, &Response::Malloc { handle: 7 });
+        j.record(0, &Request::Free { handle: 7 }, &Response::Done);
         let mut retained = HandleMap::new();
         retained.insert(7, 7);
 
         let mut freed = Vec::new();
-        let map = replay_journal_reusing(&j, &retained, |req| {
+        let map = replay_journal_reusing(&j, &retained, |_seq, req| {
             if let Request::Free { handle } = req {
                 freed.push(*handle);
             }
@@ -486,9 +504,9 @@ mod tests {
     #[test]
     fn journal_identity_tracks_live_handles() {
         let mut j = VpJournal::default();
-        j.record(&Request::Malloc { bytes: 16 }, &Response::Malloc { handle: 3 });
-        j.record(&Request::Malloc { bytes: 16 }, &Response::Malloc { handle: 4 });
-        j.record(&Request::Free { handle: 3 }, &Response::Done);
+        j.record(1, &Request::Malloc { bytes: 16 }, &Response::Malloc { handle: 3 });
+        j.record(2, &Request::Malloc { bytes: 16 }, &Response::Malloc { handle: 4 });
+        j.record(3, &Request::Free { handle: 3 }, &Response::Done);
         let map = journal_live_identity(&j);
         assert_eq!(map.len(), 1);
         assert_eq!(map.device_of(4), Some(4));
@@ -498,8 +516,8 @@ mod tests {
     #[test]
     fn replay_surfaces_survivor_errors() {
         let mut j = VpJournal::default();
-        j.record(&Request::Malloc { bytes: 16 }, &Response::Malloc { handle: 7 });
-        let err = replay_journal(&j, |_| Response::Error { message: "oom".into() });
+        j.record(4, &Request::Malloc { bytes: 16 }, &Response::Malloc { handle: 7 });
+        let err = replay_journal(&j, |_, _| Response::Error { message: "oom".into() });
         assert!(err.is_err());
     }
 

@@ -47,7 +47,9 @@ use sigmavp_fault::{
 use sigmavp_gpu::GpuArch;
 use sigmavp_ipc::message::{Envelope, Request, Response, ResponseEnvelope, VpId};
 use sigmavp_sched::{HashRing, Pipeline};
-use sigmavp_telemetry::{job_uid, recorder, Lane, TimeDomain};
+use sigmavp_telemetry::bus::{self, Incident, IncidentKind, ObsEvent};
+use sigmavp_telemetry::metrics::MetricsSnapshot;
+use sigmavp_telemetry::{job_uid, recorder, Lane, Telemetry, TimeDomain};
 use sigmavp_vp::registry::KernelRegistry;
 
 use crate::config::FleetConfig;
@@ -155,7 +157,7 @@ impl Front {
                 _ => {}
             }
         }
-        st.journal.record(&job.guest, &response.body);
+        st.journal.record(job.seq, &job.guest, &response.body);
         let device_s = match &response.body {
             Response::Launched { device_time_s } => *device_time_s,
             _ => 0.0,
@@ -253,14 +255,28 @@ fn dispatch_loop(shard: Arc<Shard>, front: Arc<Front>) {
         // Take the session lock only long enough to resolve the device; the
         // runtime lock only for the execution itself; and the front lock only
         // after both are released (the lock order that keeps us deadlock-free).
-        let runtime = {
+        let (runtime, arch) = {
             let mut session = shard.session.lock();
             let device = session.assign(job.vp);
-            session.runtime(device)
+            // The arch clone feeds observation publishing; skip it (and the
+            // publish below) when nothing on the bus is listening.
+            let arch = bus::has_sinks().then(|| session.arch(device).clone());
+            (session.runtime(device), arch)
         };
         let envelope =
             Envelope { vp: job.vp, seq: job.seq, sent_at_s: job.sent_at_s, body: job.exec.clone() };
-        let response = runtime.lock().process(&envelope);
+        let response = {
+            let mut rt = runtime.lock();
+            let response = rt.process(&envelope);
+            if let (Some(arch), Some(record)) = (&arch, rt.records().last()) {
+                // Guard on (vp, seq): a non-device request (malloc/sync)
+                // leaves an older job as `last()`.
+                if record.vp == job.vp && record.seq == job.seq {
+                    sigmavp::host::publish_record(arch, record);
+                }
+            }
+            response
+        };
         let end_wall = rec.wall_now_s();
         rec.span_for_job(
             TimeDomain::Wall,
@@ -450,6 +466,16 @@ impl Fleet {
         if state.depth >= self.config.admission_capacity {
             state.stats.shed += 1;
             rec.count("fleet.shed", 1);
+            // Incident hook: the flight recorder debounces shed bursts into
+            // periodic post-mortem dumps.
+            bus::publish(&ObsEvent::Incident(Incident {
+                kind: IncidentKind::Shed {
+                    depth: state.depth as u64,
+                    capacity: self.config.admission_capacity as u64,
+                },
+                wall_s: rec.wall_now_s(),
+                detail: format!("vp {} shed at admission", vp.0),
+            }));
             return Err(FleetError::Saturated {
                 depth: state.depth,
                 capacity: self.config.admission_capacity,
@@ -608,6 +634,13 @@ impl Fleet {
             state.ring.retire(s);
             state.stats.session_trips += 1;
             rec.count("fleet.session_trips", 1);
+            let survivors = state.alive.iter().filter(|a| **a).count();
+            // Incident hook: an installed flight recorder dumps a post-mortem.
+            bus::publish(&ObsEvent::Incident(Incident {
+                kind: IncidentKind::SessionKilled { session: s },
+                wall_s: rec.wall_now_s(),
+                detail: format!("session s{s} killed; {survivors} survive"),
+            }));
         }
         // Stop the dispatcher *without* holding the front lock — its final
         // in-flight completion needs it.
@@ -688,6 +721,32 @@ impl Fleet {
         }
         self.front.cv.notify_all();
         Ok(rescued)
+    }
+
+    /// A point-in-time fleet-wide observability view: one merged metrics
+    /// registry snapshot (every shard records into the shared registry under
+    /// `fleet.s{i}.*` names) plus authoritative per-shard state read under the
+    /// fleet's own locks — gauges can lag a racing dispatcher, these cannot.
+    pub fn observability(&self, telemetry: &Telemetry) -> FleetObservability {
+        let state = self.front.state.lock();
+        let shards = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, shard)| ShardView {
+                index: i,
+                alive: state.alive[i],
+                vps: state.vps.values().filter(|st| st.shard == i).count(),
+                queue_depth: shard.queue.lock().jobs.len(),
+                live_buffers: shard.session.lock().live_buffers(),
+            })
+            .collect();
+        FleetObservability {
+            metrics: telemetry.snapshot(),
+            depth: state.depth,
+            stats: state.stats,
+            shards,
+        }
     }
 
     /// Park every dispatcher without popping (deterministic admission probes:
@@ -771,9 +830,22 @@ impl Fleet {
             st.visited.remove(&target).and_then(|(d, map)| (d == device).then_some(map))
         };
         let mut rt = runtime.lock();
-        let process = |request: &Request| {
-            rt.process_replay(&Envelope { vp, seq: 0, sent_at_s: sim_s, body: request.clone() })
-                .body
+        let process = |orig_seq: u64, request: &Request| {
+            let started_wall_s = rec.wall_now_s();
+            let body = rt
+                .process_replay(&Envelope { vp, seq: 0, sent_at_s: sim_s, body: request.clone() })
+                .body;
+            // Stitch the replayed work onto the *original* job's uid so its
+            // lifecycle joins into one migration-tagged causal chain.
+            rec.span_for_job(
+                TimeDomain::Wall,
+                Lane::Dispatcher,
+                format!("replay s{target}"),
+                started_wall_s,
+                (rec.wall_now_s() - started_wall_s).max(0.0),
+                job_uid(vp.0, orig_seq),
+            );
+            body
         };
         let replayed = match &retained {
             Some(map) => replay_journal_reusing(&journal, map, process),
@@ -795,6 +867,16 @@ impl Fleet {
         }
         let st = state.vps.get_mut(&vp).expect("migrating an admitted vp");
         st.shard = target;
+        // Zero-width marker carrying the uid of the first post-migration job,
+        // so its lifecycle is tagged `migrated` even if nothing was replayed.
+        rec.span_for_job(
+            TimeDomain::Wall,
+            Lane::Dispatcher,
+            format!("migration edge s{source} -> s{target}"),
+            rec.wall_now_s(),
+            0.0,
+            job_uid(vp.0, st.next_seq),
+        );
         state.stats.migrations += 1;
         rec.count("fleet.migrations", 1);
     }
@@ -851,6 +933,36 @@ impl Fleet {
         }
         state.window_cost_by_vp.clear();
     }
+}
+
+/// One shard's live state as seen by [`Fleet::observability`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardView {
+    /// Session index.
+    pub index: usize,
+    /// Whether the session is still serving (not killed).
+    pub alive: bool,
+    /// VPs currently homed on this session.
+    pub vps: usize,
+    /// Jobs queued (not yet executing) on this session.
+    pub queue_depth: usize,
+    /// Device buffers currently allocated across the session's GPUs.
+    pub live_buffers: usize,
+}
+
+/// Fleet-wide aggregation for dashboards and flight recorders: the merged
+/// metrics registry plus per-shard views and the fleet counters, all from one
+/// locked pass ([`Fleet::observability`]).
+#[derive(Debug, Clone)]
+pub struct FleetObservability {
+    /// Merged registry snapshot (counters, gauges, histogram quantiles).
+    pub metrics: MetricsSnapshot,
+    /// Queued + executing jobs fleet-wide (the admission-bound occupancy).
+    pub depth: usize,
+    /// Fleet-lifetime counters.
+    pub stats: FleetStats,
+    /// Per-shard live state, in session order.
+    pub shards: Vec<ShardView>,
 }
 
 /// Everything a finished fleet run yields: per-session planned outcomes plus

@@ -31,5 +31,5 @@ pub mod script;
 
 pub use config::FleetConfig;
 pub use error::FleetError;
-pub use fleet::{Fleet, FleetOutcome, FleetStats};
+pub use fleet::{Fleet, FleetObservability, FleetOutcome, FleetStats, ShardView};
 pub use script::{drive, drive_with, VpScript};

@@ -114,22 +114,56 @@ pub fn format_flat_json(pairs: &[(String, f64)]) -> String {
     format!("{{\n{}\n}}\n", rows.join(",\n"))
 }
 
+/// Why a baseline file failed to parse.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// The text is not a flat JSON object of string keys to numbers.
+    Syntax(String),
+    /// The same key appears more than once — a silently-shadowed gate metric
+    /// is a corrupt baseline, not a preference question.
+    DuplicateKey(String),
+    /// A value parsed to ±∞ or NaN. The gate's direction-aware comparison is
+    /// meaningless against a non-finite baseline, so it is rejected at load.
+    NonFinite {
+        /// The offending key.
+        key: String,
+        /// Its raw value text as it appeared in the file.
+        value: String,
+    },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Syntax(msg) => write!(f, "{msg}"),
+            ParseError::DuplicateKey(key) => write!(f, "duplicate key {key:?}"),
+            ParseError::NonFinite { key, value } => {
+                write!(f, "non-finite value {value:?} for key {key:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
 /// Parse a flat JSON object of string keys to numbers. Rejects nesting,
-/// arrays, and non-numeric values with a descriptive error — the baseline
-/// format is deliberately this small.
-pub fn parse_flat_json(text: &str) -> Result<Vec<(String, f64)>, String> {
+/// arrays, non-numeric and non-finite values, and duplicate keys with a
+/// typed [`ParseError`] — the baseline format is deliberately this small.
+pub fn parse_flat_json(text: &str) -> Result<Vec<(String, f64)>, ParseError> {
     let mut chars = text.chars().peekable();
-    let mut pairs = Vec::new();
+    let mut pairs: Vec<(String, f64)> = Vec::new();
+    let mut seen: std::collections::HashSet<String> = std::collections::HashSet::new();
 
     fn skip_ws(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) {
         while matches!(chars.peek(), Some(c) if c.is_whitespace()) {
             chars.next();
         }
     }
+    let syntax = ParseError::Syntax;
 
     skip_ws(&mut chars);
     if chars.next() != Some('{') {
-        return Err("expected '{' at start of baseline".into());
+        return Err(syntax("expected '{' at start of baseline".into()));
     }
     loop {
         skip_ws(&mut chars);
@@ -139,7 +173,7 @@ pub fn parse_flat_json(text: &str) -> Result<Vec<(String, f64)>, String> {
                 break;
             }
             Some('"') => {}
-            other => return Err(format!("expected key or '}}', found {other:?}")),
+            other => return Err(syntax(format!("expected key or '}}', found {other:?}"))),
         }
         // Key string (escapes beyond \" are not needed for metric names).
         chars.next();
@@ -148,33 +182,98 @@ pub fn parse_flat_json(text: &str) -> Result<Vec<(String, f64)>, String> {
             match chars.next() {
                 Some('\\') => match chars.next() {
                     Some(c) => key.push(c),
-                    None => return Err("unterminated escape in key".into()),
+                    None => return Err(syntax("unterminated escape in key".into())),
                 },
                 Some('"') => break,
                 Some(c) => key.push(c),
-                None => return Err("unterminated key string".into()),
+                None => return Err(syntax("unterminated key string".into())),
             }
         }
         skip_ws(&mut chars);
         if chars.next() != Some(':') {
-            return Err(format!("expected ':' after key {key:?}"));
+            return Err(syntax(format!("expected ':' after key {key:?}")));
         }
         skip_ws(&mut chars);
         let mut num = String::new();
         while matches!(chars.peek(), Some(c) if "+-0123456789.eE".contains(*c)) {
             num.push(chars.next().expect("peeked"));
         }
-        let value: f64 =
-            num.parse().map_err(|_| format!("non-numeric value {num:?} for key {key:?}"))?;
+        let value: f64 = num
+            .parse()
+            .map_err(|_| syntax(format!("non-numeric value {num:?} for key {key:?}")))?;
+        if !value.is_finite() {
+            return Err(ParseError::NonFinite { key, value: num });
+        }
+        if !seen.insert(key.clone()) {
+            return Err(ParseError::DuplicateKey(key));
+        }
         pairs.push((key, value));
         skip_ws(&mut chars);
         match chars.next() {
             Some(',') => continue,
             Some('}') => break,
-            other => return Err(format!("expected ',' or '}}', found {other:?}")),
+            other => return Err(syntax(format!("expected ',' or '}}', found {other:?}"))),
         }
     }
     Ok(pairs)
+}
+
+/// Everything the bench binaries' shared baseline-gate tail needs: write the
+/// baseline when asked, then load/parse/compare when checking.
+#[derive(Debug, Clone)]
+pub struct GateConfig<'a> {
+    /// Tool name used as the prefix of error messages (`audit`, `perf`, …).
+    pub tool: &'a str,
+    /// Path of the committed baseline file.
+    pub baseline: &'a str,
+    /// Relative tolerance passed to [`compare`].
+    pub tolerance: f64,
+    /// Rewrite the baseline from the current gate values (`--write-baseline`).
+    pub write_baseline: bool,
+    /// Compare against the committed baseline (`--check`).
+    pub check: bool,
+}
+
+/// Run the baseline write/check tail shared by the bench binaries: optionally
+/// rewrite the baseline (creating parent directories), then — when checking —
+/// load it with [`parse_flat_json`], [`compare`], and print either the
+/// `check: N metrics within X%` line or one `REGRESSION …` line per failure.
+///
+/// Returns `Ok(true)` when the check found regressions (the caller's gate
+/// should fail), `Ok(false)` otherwise.
+///
+/// # Errors
+///
+/// `Err` carries an already-prefixed fatal message (I/O failure, malformed
+/// baseline) for the caller to print before exiting non-zero.
+pub fn run_gate(config: &GateConfig<'_>, gate: &[(String, f64)]) -> Result<bool, String> {
+    let GateConfig { tool, baseline, tolerance, write_baseline, check } = *config;
+    if write_baseline {
+        if let Some(dir) = std::path::Path::new(baseline).parent() {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("{tool}: cannot create {}: {e}", dir.display()))?;
+        }
+        std::fs::write(baseline, format_flat_json(gate))
+            .map_err(|e| format!("{tool}: cannot write baseline {baseline}: {e}"))?;
+        println!("wrote baseline {baseline}");
+    }
+    if !check {
+        return Ok(false);
+    }
+    let text = std::fs::read_to_string(baseline)
+        .map_err(|e| format!("{tool}: cannot read baseline {baseline}: {e}"))?;
+    let base = parse_flat_json(&text)
+        .map_err(|e| format!("{tool}: malformed baseline {baseline}: {e}"))?;
+    let regressions = compare(&base, gate, tolerance);
+    if regressions.is_empty() {
+        println!("check: {} metrics within {:.0}% of {baseline}", base.len(), tolerance * 100.0);
+        Ok(false)
+    } else {
+        for r in &regressions {
+            eprintln!("REGRESSION {}", r.describe());
+        }
+        Ok(true)
+    }
 }
 
 #[cfg(test)]
@@ -203,12 +302,73 @@ mod tests {
 
     #[test]
     fn parse_rejects_malformed_input() {
-        assert!(parse_flat_json("").is_err());
-        assert!(parse_flat_json("[1, 2]").is_err());
-        assert!(parse_flat_json("{\"a\": }").is_err());
-        assert!(parse_flat_json("{\"a\": \"str\"}").is_err());
-        assert!(parse_flat_json("{\"a\": 1").is_err());
+        assert!(matches!(parse_flat_json(""), Err(ParseError::Syntax(_))));
+        assert!(matches!(parse_flat_json("[1, 2]"), Err(ParseError::Syntax(_))));
+        assert!(matches!(parse_flat_json("{\"a\": }"), Err(ParseError::Syntax(_))));
+        assert!(matches!(parse_flat_json("{\"a\": \"str\"}"), Err(ParseError::Syntax(_))));
+        assert!(matches!(parse_flat_json("{\"a\": 1"), Err(ParseError::Syntax(_))));
         assert!(parse_flat_json("{}").unwrap().is_empty());
+    }
+
+    #[test]
+    fn parse_rejects_duplicate_keys_with_typed_error() {
+        let text = "{\"a.makespan_s\": 1.0, \"b\": 2.0, \"a.makespan_s\": 3.0}";
+        let err = parse_flat_json(text).unwrap_err();
+        assert_eq!(err, ParseError::DuplicateKey("a.makespan_s".into()));
+        assert!(err.to_string().contains("duplicate key"));
+        assert!(err.to_string().contains("a.makespan_s"));
+        // A single occurrence of each key stays accepted.
+        assert_eq!(parse_flat_json("{\"a\": 1.0, \"b\": 2.0}").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn parse_rejects_non_finite_values_with_typed_error() {
+        // 1e999 overflows f64 to +inf; Rust's parser accepts it, the gate
+        // must not.
+        let err = parse_flat_json("{\"k.makespan_s\": 1e999}").unwrap_err();
+        assert_eq!(
+            err,
+            ParseError::NonFinite { key: "k.makespan_s".into(), value: "1e999".into() }
+        );
+        assert!(err.to_string().contains("non-finite"));
+        assert!(matches!(parse_flat_json("{\"k\": -1e999}"), Err(ParseError::NonFinite { .. })));
+        // std::error::Error is implemented, so ? and dyn Error work.
+        let boxed: Box<dyn std::error::Error> = Box::new(err);
+        assert!(boxed.to_string().contains("k.makespan_s"));
+    }
+
+    #[test]
+    fn run_gate_writes_then_checks_and_flags_regressions() {
+        let dir = std::env::temp_dir().join(format!("sigmavp-gate-{}", std::process::id()));
+        let path = dir.join("nested/base.json");
+        let path_str = path.to_str().unwrap().to_string();
+        let gate = pairs(&[("g.makespan_s", 1.0), ("g.speedup", 2.0)]);
+
+        // Write pass: creates parent dirs and the file; no check requested.
+        let cfg = GateConfig {
+            tool: "test",
+            baseline: &path_str,
+            tolerance: 0.10,
+            write_baseline: true,
+            check: false,
+        };
+        assert_eq!(run_gate(&cfg, &gate), Ok(false));
+        assert!(path.exists());
+
+        // Clean check against what was just written.
+        let cfg = GateConfig { write_baseline: false, check: true, ..cfg };
+        assert_eq!(run_gate(&cfg, &gate), Ok(false));
+
+        // A bad-direction move beyond tolerance fails the gate (Ok(true)).
+        let slow = pairs(&[("g.makespan_s", 1.5), ("g.speedup", 2.0)]);
+        assert_eq!(run_gate(&cfg, &slow), Ok(true));
+
+        // Missing baseline is a fatal, prefixed error.
+        let missing = format!("{path_str}.does-not-exist");
+        let cfg = GateConfig { baseline: &missing, ..cfg };
+        let err = run_gate(&cfg, &gate).unwrap_err();
+        assert!(err.starts_with("test:"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -27,10 +27,19 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod flight;
 pub mod lifecycle;
 pub mod model;
+pub mod profile;
 
-pub use baseline::{compare, format_flat_json, parse_flat_json, Direction, Regression};
+pub use baseline::{
+    compare, format_flat_json, parse_flat_json, run_gate, Direction, GateConfig, ParseError,
+    Regression,
+};
+pub use flight::{
+    validate_bundle, well_formed_json, Bundle, FlightConfig, FlightRecorder, Snapshot,
+    BUNDLE_SCHEMA,
+};
 pub use lifecycle::{
     critical_path, device_critical_path, join_lifecycles, CriticalPath, JobLifecycle, PathPhase,
     PathSegment,
@@ -39,3 +48,4 @@ pub use model::{
     eq7_makespan_s, eq8_speedup_bound, eq9_merged_kernel_s, observed_inputs, residual_frac,
     AuditReport, ModelInputs, ResidualEntry,
 };
+pub use profile::{Estimate, ProfileSnapshot, ProfileStore, SharedProfileStore};

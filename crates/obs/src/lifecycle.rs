@@ -40,6 +40,16 @@ pub struct JobLifecycle {
     pub queue_wall_s: f64,
     /// Host-side execution of the request (wall clock, dispatcher lane).
     pub dispatch_wall_s: f64,
+    /// Host-side re-execution during VP migration replay (wall clock,
+    /// dispatcher lane, span names prefixed `replay`). Kept apart from
+    /// [`dispatch_wall_s`](Self::dispatch_wall_s) so original and replayed
+    /// work never double-count in one phase.
+    pub replay_wall_s: f64,
+    /// Number of replayed dispatcher spans stitched into this lifecycle.
+    pub replays: usize,
+    /// Whether this job's VP migrated: set by a replayed span or by the
+    /// zero-width `migration edge` marker the migrator stamps with this uid.
+    pub migrated: bool,
     /// Copy-engine busy time attributed to this job (simulated time).
     pub transfer_sim_s: f64,
     /// Compute-engine busy time attributed to this job (simulated time). For
@@ -112,7 +122,21 @@ pub fn join_lifecycles(events: &[TraceEvent]) -> Vec<JobLifecycle> {
             }
             (TimeDomain::Wall, Lane::Vp(_)) => life.request_wall_s += dur_s,
             (TimeDomain::Wall, Lane::JobQueue) => life.queue_wall_s += dur_s,
-            (TimeDomain::Wall, Lane::Dispatcher) => life.dispatch_wall_s += dur_s,
+            (TimeDomain::Wall, Lane::Dispatcher) => {
+                // Migration stitching: replayed work and the migration-edge
+                // marker carry the *original* job uid, so a migrated job's
+                // whole history lands in one lifecycle — but replays must not
+                // inflate the original dispatch phase.
+                if event.name.starts_with("replay") {
+                    life.replay_wall_s += dur_s;
+                    life.replays += 1;
+                    life.migrated = true;
+                } else if event.name.starts_with("migration edge") {
+                    life.migrated = true;
+                } else {
+                    life.dispatch_wall_s += dur_s;
+                }
+            }
             _ => {}
         }
     }
@@ -435,5 +459,108 @@ mod tests {
         assert!(path.segments.is_empty());
         assert_eq!(path.total_s(), 0.0);
         assert!(path.is_conserved(1e-12));
+    }
+
+    #[test]
+    fn replay_spans_stitch_into_one_lifecycle_without_inflating_dispatch() {
+        let uid = job_uid(4, 2);
+        let events = vec![
+            TraceEvent::span(TimeDomain::Wall, Lane::Dispatcher, "memcpy h2d", 0.0, 1e-3)
+                .with_job(uid),
+            TraceEvent::span(TimeDomain::Wall, Lane::Dispatcher, "replay s1", 5.0, 2e-3)
+                .with_job(uid),
+            TraceEvent::span(
+                TimeDomain::Wall,
+                Lane::Dispatcher,
+                "migration edge s0 -> s1",
+                5.0,
+                0.0,
+            )
+            .with_job(job_uid(4, 3)),
+        ];
+        let lives = join_lifecycles(&events);
+        assert_eq!(lives.len(), 2, "replays join the original job, not a new one");
+        let migrated = &lives[0];
+        assert_eq!((migrated.vp, migrated.seq), (4, 2));
+        assert!(migrated.migrated);
+        assert_eq!(migrated.replays, 1);
+        assert!((migrated.dispatch_wall_s - 1e-3).abs() < 1e-12, "replay excluded");
+        assert!((migrated.replay_wall_s - 2e-3).abs() < 1e-12);
+        // The edge marker flags the first post-migration job without any
+        // replayed work of its own.
+        let edge = &lives[1];
+        assert_eq!((edge.vp, edge.seq), (4, 3));
+        assert!(edge.migrated);
+        assert_eq!(edge.replays, 0);
+        assert_eq!(edge.replay_wall_s, 0.0);
+    }
+
+    #[test]
+    fn forced_fleet_migration_yields_stitched_deterministic_lifecycles() {
+        use sigmavp_fleet::{Fleet, FleetConfig};
+        use sigmavp_ipc::message::{Request, Response, VpId};
+        use sigmavp_workloads::app::Application;
+        use sigmavp_workloads::apps::VectorAddApp;
+
+        let _guard = crate::flight::test_bus_lock();
+        // One full fleet run with a forced mid-run migration; returns the
+        // stitched lifecycles of the migrated VP plus the device outcomes.
+        let run = || {
+            let telemetry = sigmavp_telemetry::install();
+            let registry = VectorAddApp { n: 64 }.kernels().into_iter().collect();
+            let fleet = Fleet::new(FleetConfig::new(2), registry).expect("fleet builds");
+            let vp = VpId(3);
+            let home = fleet.admit(vp).expect("admit");
+            fleet.submit(vp, Request::Malloc { bytes: 256 }).unwrap();
+            let (response, _) = fleet.wait(vp).unwrap();
+            let Response::Malloc { handle } = response.body else { panic!("malloc reply") };
+            fleet
+                .submit(vp, Request::MemcpyH2D { handle, data: vec![7u8; 256], stream: 0 })
+                .unwrap();
+            fleet.wait(vp).unwrap();
+            // Force the migration while the VP is idle, then run one more
+            // request so the first post-migration job exists.
+            fleet.migrate(vp, 1 - home).expect("forced migration");
+            fleet.submit(vp, Request::Synchronize).unwrap();
+            fleet.wait(vp).unwrap();
+            let outcome = fleet.shutdown();
+            let events = telemetry.drain_events();
+            sigmavp_telemetry::uninstall();
+            assert_eq!(outcome.stats.migrations, 1);
+            (join_lifecycles(&events), outcome)
+        };
+
+        let (lives, outcome) = run();
+        // The journaled pre-migration jobs (malloc seq 0, upload seq 1) each
+        // stitch their replay back onto the original uid — one causal chain
+        // per job, not a second lifecycle.
+        for seq in [0, 1] {
+            let life = lives
+                .iter()
+                .find(|l| (l.vp, l.seq) == (3, seq))
+                .unwrap_or_else(|| panic!("lifecycle for seq {seq}"));
+            assert!(life.migrated, "seq {seq} tagged with the migration");
+            assert_eq!(life.replays, 1, "seq {seq} replayed exactly once");
+            assert!(life.request_wall_s > 0.0, "original request phase kept");
+        }
+        // The first post-migration job carries the migration edge.
+        let edge = lives.iter().find(|l| (l.vp, l.seq) == (3, 2)).expect("post-migration job");
+        assert!(edge.migrated && edge.replays == 0);
+        // Device critical paths stay conserved for every device that ran work.
+        for session in &outcome.sessions {
+            for device in &session.devices {
+                if !device.records.is_empty() {
+                    let path = device_critical_path(device);
+                    assert!(path.is_conserved(1e-9), "conserved path on migrated-job device");
+                }
+            }
+        }
+        // Same-seed determinism: the stitched structure is identical across
+        // runs (wall durations differ; the causal chain may not).
+        let (lives2, _) = run();
+        let shape = |ls: &[JobLifecycle]| {
+            ls.iter().map(|l| (l.job, l.replays, l.migrated)).collect::<Vec<_>>()
+        };
+        assert_eq!(shape(&lives), shape(&lives2));
     }
 }

@@ -15,7 +15,11 @@
 //!   the device's copy/compute engines;
 //! * [`export`] — a unified Chrome-trace JSON writer (open in
 //!   `chrome://tracing` / Perfetto), a JSON metrics snapshot and a plaintext
-//!   summary table.
+//!   summary table;
+//! * [`bus`] — a structured observation bus (completed copy/kernel work,
+//!   operational incidents) fanned out to installed sinks, so live
+//!   observability layers can consume payloads that don't fit a name-keyed
+//!   metric — same no-op-when-empty facade discipline as the recorder.
 //!
 //! # The recorder handle
 //!
@@ -36,10 +40,12 @@
 
 #![warn(missing_docs)]
 
+pub mod bus;
 pub mod export;
 pub mod metrics;
 pub mod recorder;
 pub mod trace;
 
+pub use bus::{Incident, IncidentKind, ObsEvent};
 pub use recorder::{install, recorder, uninstall, Recorder, Telemetry};
 pub use trace::{job_uid, job_uid_seq, job_uid_vp, EventKind, Lane, TimeDomain, TraceEvent};

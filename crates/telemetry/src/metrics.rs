@@ -150,14 +150,40 @@ impl Histogram {
     }
 
     /// An immutable summary (count, sum, min, max, p50/p90/p99).
+    ///
+    /// # NaN-free quantile contract
+    ///
+    /// The quantiles (`p50`/`p90`/`p99`) and extremes (`min`/`max`) of the
+    /// returned summary are **always finite and never NaN**, for every
+    /// sequence of `observe` calls:
+    ///
+    /// * an **empty** histogram returns [`HistogramSummary::default()`] —
+    ///   every field zero (min/max report 0.0, not the internal ±∞
+    ///   sentinels);
+    /// * a **single-sample** histogram collapses every quantile to that
+    ///   sample's bucket midpoint clamped to the observed value, so
+    ///   `p50 == p90 == p99` and `min == max == sample`;
+    /// * **NaN samples** are routed to the underflow bucket by `observe` and
+    ///   ignored by the min/max tracking (`f64::min`/`max` discard NaN), so a
+    ///   histogram of only NaN samples reports zero extremes and zero
+    ///   quantiles instead of panicking in the clamp.
+    ///
+    /// `sum` (and therefore [`HistogramSummary::mean`]) is the one field that
+    /// faithfully reflects NaN poisoning: summing a NaN sample yields a NaN
+    /// sum, by design — masking it would hide the bad input.
     pub fn summary(&self) -> HistogramSummary {
         let count = self.count();
         if count == 0 {
             return HistogramSummary::default();
         }
         let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
-        let min = f64::from_bits(self.min_bits.load(Ordering::Relaxed));
-        let max = f64::from_bits(self.max_bits.load(Ordering::Relaxed));
+        let mut min = f64::from_bits(self.min_bits.load(Ordering::Relaxed));
+        let mut max = f64::from_bits(self.max_bits.load(Ordering::Relaxed));
+        if min > max {
+            // Every sample was NaN: the ±∞ init sentinels never moved.
+            // Report zero extremes so the quantile clamp below stays valid.
+            (min, max) = (0.0, 0.0);
+        }
         let total: u64 = counts.iter().sum();
         let percentile = |p: f64| -> f64 {
             let rank = (p * total as f64).ceil().max(1.0) as u64;
@@ -417,6 +443,72 @@ mod tests {
         assert_eq!(s.max, 5e-4);
         assert_eq!(s.p50, s.p99);
         assert!((s.p50 - 5e-4).abs() <= 5e-4 * 0.6, "p50 {} too far", s.p50);
+    }
+
+    #[test]
+    fn empty_histogram_summary_is_all_zero_and_nan_free() {
+        let h = Histogram::new();
+        let s = h.summary();
+        assert_eq!(s, HistogramSummary::default());
+        // The contract: no ±∞ sentinels and no NaN leak out of an empty
+        // histogram — every field is exactly zero.
+        for v in [s.sum, s.min, s.max, s.p50, s.p90, s.p99, s.mean()] {
+            assert_eq!(v, 0.0);
+        }
+    }
+
+    #[test]
+    fn single_sample_summary_quantiles_are_finite_and_collapse() {
+        let h = Histogram::new();
+        h.observe(3e-4);
+        let s = h.summary();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.min, 3e-4);
+        assert_eq!(s.max, 3e-4);
+        assert_eq!((s.p50, s.p90), (s.p99, s.p99), "one sample: all quantiles equal");
+        assert!(s.p50.is_finite());
+        // Clamped to the observed extremes, a one-sample quantile IS the sample.
+        assert_eq!(s.p50, 3e-4);
+        assert!((s.mean() - 3e-4).abs() < 1e-18);
+    }
+
+    #[test]
+    fn nan_samples_never_poison_quantiles_or_extremes() {
+        // Only-NaN histogram: min/max sentinels never move; summary must not
+        // panic in the quantile clamp and must report finite zeros.
+        let h = Histogram::new();
+        h.observe(f64::NAN);
+        let s = h.summary();
+        assert_eq!(s.count, 1);
+        assert_eq!((s.min, s.max), (0.0, 0.0));
+        for q in [s.p50, s.p90, s.p99] {
+            assert!(q.is_finite() && !q.is_nan());
+            assert_eq!(q, 0.0);
+        }
+        // Sum (and mean) faithfully reflect the bad input.
+        assert!(s.sum.is_nan());
+        assert!(s.mean().is_nan());
+
+        // Mixed NaN + real samples: extremes and quantiles track the real ones.
+        let h = Histogram::new();
+        h.observe(1e-3);
+        h.observe(f64::NAN);
+        let s = h.summary();
+        assert_eq!(s.count, 2);
+        assert_eq!((s.min, s.max), (1e-3, 1e-3));
+        for q in [s.p50, s.p90, s.p99] {
+            assert!(q.is_finite());
+        }
+    }
+
+    #[test]
+    fn negative_single_sample_stays_finite() {
+        let h = Histogram::new();
+        h.observe(-2.0);
+        let s = h.summary();
+        assert_eq!((s.min, s.max), (-2.0, -2.0));
+        assert_eq!(s.p50, -2.0, "underflow-bucket quantile clamps to the sample");
+        assert!(s.p99.is_finite());
     }
 
     #[test]

@@ -1,0 +1,69 @@
+//! Live-observability smoke: run a small fleet with the online profile store
+//! and the flight recorder attached, kill a session mid-run, and render the
+//! newest snapshot the way `sigmavp-top` does.
+//!
+//! Run with `cargo run -p sigmavp-obs --example top`.
+
+use sigmavp_fleet::{drive_with, Fleet, FleetConfig, VpScript};
+use sigmavp_ipc::message::VpId;
+use sigmavp_obs::{FlightConfig, FlightRecorder, SharedProfileStore};
+use sigmavp_telemetry::export::summary_table;
+use sigmavp_vp::registry::KernelRegistry;
+use sigmavp_workloads::app::Application;
+use sigmavp_workloads::apps::VectorAddApp;
+
+fn main() {
+    let telemetry = sigmavp_telemetry::install();
+
+    // The always-on pair: profiles fold completed jobs, the recorder keeps a
+    // bounded ring of snapshots and dumps a post-mortem on incidents.
+    let profiles = SharedProfileStore::new();
+    profiles.install();
+    let recorder = FlightRecorder::new(FlightConfig::default());
+    recorder.attach(telemetry);
+    recorder.install_incident_sink();
+
+    let registry: KernelRegistry = VectorAddApp { n: 256 }.kernels().into_iter().collect();
+    let fleet = Fleet::new(FleetConfig::new(2).with_capacity(64), registry).expect("fleet builds");
+    let mut scripts: Vec<(VpId, VpScript)> =
+        (0..16u32).map(|vp| (VpId(vp), VpScript::vector_add(2048, 2, vp as u64))).collect();
+    for (vp, _) in &scripts {
+        fleet.admit(*vp).expect("admission succeeds");
+    }
+    let total: u64 = scripts.iter().map(|(_, s)| s.jobs_total()).sum();
+    drive_with(&fleet, &mut scripts, |fleet, admitted| {
+        if admitted % 32 == 0 {
+            recorder.sample();
+        }
+        if admitted == total / 2 {
+            fleet.kill_session(0).expect("session 0 exists");
+        }
+    })
+    .expect("every script validates");
+    let view = fleet.observability(&telemetry);
+    fleet.shutdown();
+    recorder.sample();
+
+    // The `top`-style render: fleet row, per-shard rows, metric table, then
+    // what the incident machinery captured.
+    println!("snapshots taken: {}", recorder.taken());
+    println!("fleet depth {} | completed {}", view.depth, view.stats.completed);
+    for shard in &view.shards {
+        println!(
+            "  s{} alive={} vps={} queue={} buffers={}",
+            shard.index, shard.alive, shard.vps, shard.queue_depth, shard.live_buffers
+        );
+    }
+    let newest = recorder.newest().expect("sampled at least once");
+    print!("{}", summary_table(&newest.metrics));
+    let snapshot = profiles.snapshot();
+    println!("profile store: {} updates over {} entries", snapshot.updates, snapshot.entries());
+    for bundle in recorder.bundles() {
+        println!("post-mortem: {} ({} bytes)", bundle.name, bundle.json.len());
+    }
+
+    assert!(snapshot.updates > 0, "live observations reached the profile store");
+    assert!(!recorder.bundles().is_empty(), "the session kill produced a post-mortem");
+    sigmavp_telemetry::bus::clear_sinks();
+    sigmavp_telemetry::uninstall();
+}
