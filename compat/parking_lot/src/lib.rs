@@ -82,6 +82,20 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
     }
 }
 
+/// Whether a [`Condvar::wait_for`] returned because the timeout elapsed
+/// rather than a notification, mirroring parking_lot's type of the same name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// `true` when the wait ended by timeout, not notification.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
 /// A condition variable paired with [`Mutex`].
 #[derive(Debug, Default)]
 pub struct Condvar {
@@ -100,6 +114,21 @@ impl Condvar {
         let std_guard = guard.inner.take().expect("guard present before wait");
         let std_guard = self.inner.wait(std_guard).unwrap_or_else(|p| p.into_inner());
         guard.inner = Some(std_guard);
+    }
+
+    /// [`Condvar::wait`] with a timeout: park until notified or until
+    /// `timeout` elapses, whichever comes first. The lock is re-acquired
+    /// before returning either way.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let std_guard = guard.inner.take().expect("guard present before wait");
+        let (std_guard, result) =
+            self.inner.wait_timeout(std_guard, timeout).unwrap_or_else(|p| p.into_inner());
+        guard.inner = Some(std_guard);
+        WaitTimeoutResult { timed_out: result.timed_out() }
     }
 
     /// Wake one parked thread.
@@ -124,6 +153,31 @@ mod tests {
         *m.lock() += 1;
         assert_eq!(*m.lock(), 2);
         assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn wait_for_times_out_and_sees_notifies() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let (m, cv) = &*pair;
+        let mut flag = m.lock();
+        let result = cv.wait_for(&mut flag, std::time::Duration::from_millis(5));
+        assert!(result.timed_out());
+        drop(flag);
+
+        let p2 = pair.clone();
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut flag = m.lock();
+            while !*flag {
+                let result = cv.wait_for(&mut flag, std::time::Duration::from_secs(30));
+                assert!(!result.timed_out(), "notified well before the timeout");
+            }
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        let (m, cv) = &*pair;
+        *m.lock() = true;
+        cv.notify_all();
+        t.join().unwrap();
     }
 
     #[test]

@@ -35,6 +35,20 @@
 //! live plan's Eq. 7 makespan beats the reorder-only baseline, and every stop
 //! was matched by a resume; the counters are then gated under `sync.*`.
 //!
+//! `--sync` also runs three **liveness scenarios** (each twice, hard-failing
+//! unless its window ledger is byte-identical across the runs):
+//!
+//! * **quorum** — `sync_quorum(0.5)` flushes a partial window the moment the
+//!   quorum threshold of VPs is held; gated under `sync.quorum.*`.
+//! * **timeout** — a 1 µs simulated `sync_window_timeout` flushes a held
+//!   window that can never reach quorum (its companion only copies); gated
+//!   under `liveness.timeout_*`.
+//! * **hang** — a VP wedges mid-run with the watchdog armed; the wall-clock
+//!   stall backstop quarantines it out of the quorum (failing its journal
+//!   over and dumping a `vp_hung` post-mortem, which becomes the
+//!   `BENCH_postmortem.json` CI validates), the survivor finishes solo, and
+//!   the sleeper rejoins on wake; gated under `liveness.hang_*`.
+//!
 //! A **chaos smoke** always runs as well: 4 VPs on 2 host GPUs over a lossy,
 //! delaying link, with GPU 1 killed 40% into the (calibrated) run. Every VP
 //! must still validate with every request executed exactly once, and the
@@ -49,6 +63,7 @@
 //! scales the measured makespans (for testing the gate itself).
 
 use std::process::ExitCode;
+use std::time::Duration;
 
 use sigmavp::dispatcher::{DispatchStats, DispatchedSigmaVp};
 use sigmavp::host::{JobRecord, RecordKind};
@@ -68,8 +83,9 @@ use sigmavp_obs::{
 use sigmavp_sched::{Pipeline, Policy};
 use sigmavp_telemetry::export::escape_json;
 use sigmavp_telemetry::{job_uid_seq, job_uid_vp};
+use sigmavp_vp::error::VpError;
 use sigmavp_vp::registry::KernelRegistry;
-use sigmavp_workloads::app::Application;
+use sigmavp_workloads::app::{download, p, pi, upload, AppEnv, Application};
 use sigmavp_workloads::apps::VectorAddApp;
 
 const DEFAULT_BASELINE: &str = "results/baselines/audit.json";
@@ -393,6 +409,250 @@ fn run_sync(arch: &GpuArch) -> Result<DispatchStats, String> {
     Ok(a)
 }
 
+/// A vector-add guest with configurable wall-clock stalls around its
+/// synchronous launches, used by the liveness scenarios: `pre_ms` delays the
+/// first launch (staggers arrival against other VPs), `mid_ms` wedges the VP
+/// between launches (exercises the hung-VP watchdog), `post_ms` keeps the
+/// guest connected after its last request (pins the quorum denominator so a
+/// later partial flush stays a *quorum* flush, not a lone-survivor full one).
+struct StaggeredAdd {
+    n: u64,
+    launches: u32,
+    pre_ms: u64,
+    mid_ms: u64,
+    post_ms: u64,
+}
+
+impl Application for StaggeredAdd {
+    fn name(&self) -> &str {
+        "staggeredAdd"
+    }
+    fn kernels(&self) -> Vec<sigmavp_sptx::KernelProgram> {
+        vec![sigmavp_workloads::kernels::vector_add()]
+    }
+    fn characteristics(&self) -> sigmavp_workloads::AppTraits {
+        sigmavp_workloads::AppTraits::pure_cuda()
+    }
+    fn run_once(&self, env: &mut AppEnv<'_>) -> Result<(), VpError> {
+        let n = self.n;
+        let ones = vec![1u8; (n * 4) as usize];
+        let mut cuda = env.cuda();
+        let da = upload(&mut cuda, &ones)?;
+        let db = upload(&mut cuda, &ones)?;
+        let dc = cuda.malloc(n * 4)?;
+        if self.pre_ms > 0 {
+            std::thread::sleep(Duration::from_millis(self.pre_ms));
+        }
+        for launch in 0..self.launches {
+            cuda.launch_sync(
+                "vector_add",
+                n.div_ceil(256) as u32,
+                256,
+                &[p(da), p(db), p(dc), pi(n as i64)],
+            )?;
+            if self.mid_ms > 0 && launch + 1 < self.launches {
+                std::thread::sleep(Duration::from_millis(self.mid_ms));
+            }
+        }
+        download(&mut cuda, dc)?;
+        for buf in [da, db, dc] {
+            cuda.free(buf)?;
+        }
+        if self.post_ms > 0 {
+            std::thread::sleep(Duration::from_millis(self.post_ms));
+        }
+        Ok(())
+    }
+}
+
+/// A guest that only moves bytes: it never launches, so it never holds, and
+/// its steady frame stream advances the dispatcher's simulated `sim_now`
+/// clock past a held window's timeout while keeping the full-house flush
+/// predicate unreachable.
+struct CopyStream {
+    iterations: u32,
+}
+
+impl Application for CopyStream {
+    fn name(&self) -> &str {
+        "copyStream"
+    }
+    fn kernels(&self) -> Vec<sigmavp_sptx::KernelProgram> {
+        vec![]
+    }
+    fn characteristics(&self) -> sigmavp_workloads::AppTraits {
+        sigmavp_workloads::AppTraits::pure_cuda()
+    }
+    fn run_once(&self, env: &mut AppEnv<'_>) -> Result<(), VpError> {
+        let mut cuda = env.cuda();
+        for _ in 0..self.iterations {
+            let buf = upload(&mut cuda, &[7u8; 4096])?;
+            download(&mut cuda, buf)?;
+            cuda.free(buf)?;
+        }
+        Ok(())
+    }
+}
+
+/// The deterministic window ledgers of the three `--sync` liveness scenarios
+/// (partial-quorum flush, sim-time timeout flush, hung-VP quarantine).
+struct LivenessOutcome {
+    quorum: DispatchStats,
+    timeout: DispatchStats,
+    hang: DispatchStats,
+}
+
+/// Run one liveness fleet over `devices` identical host GPUs and fail if any
+/// guest does not validate.
+fn liveness_fleet(
+    arch: &GpuArch,
+    devices: usize,
+    policy: Policy,
+    apps: Vec<Box<dyn Application + Send>>,
+    label: &str,
+) -> Result<DispatchStats, String> {
+    let registry: KernelRegistry =
+        vec![sigmavp_workloads::kernels::vector_add()].into_iter().collect();
+    let mut sys = DispatchedSigmaVp::new(
+        vec![arch.clone(); devices],
+        registry,
+        TransportCost::shared_memory(),
+    )
+    .with_policy(policy);
+    for app in apps {
+        sys.spawn(app);
+    }
+    let (report, stats) = sys.join();
+    if !report.all_ok() {
+        return Err(format!("liveness {label} scenario failed validation: {:?}", report.outcomes));
+    }
+    Ok(stats)
+}
+
+/// The liveness ledger fields that must be byte-identical across two
+/// same-configuration runs (wall-clock staggers position the VPs, but every
+/// gated counter is a function of the window algebra alone).
+fn liveness_ledger_identical(a: &DispatchStats, b: &DispatchStats) -> bool {
+    a.holds == b.holds
+        && a.sync_windows == b.sync_windows
+        && a.quorum_flushes == b.quorum_flushes
+        && a.timeout_flushes == b.timeout_flushes
+        && a.backstop_trips == b.backstop_trips
+        && a.quarantined == b.quarantined
+        && a.rejoins == b.rejoins
+        && a.deadline_misses == b.deadline_misses
+        && a.stop_events == b.stop_events
+        && a.resume_events == b.resume_events
+        && a.sync_makespan_s.to_bits() == b.sync_makespan_s.to_bits()
+}
+
+/// The liveness scenarios (run with `--sync`): each runs twice in-process and
+/// hard-fails unless its window ledger is byte-identical across the runs and
+/// matches the structurally-determined expectation.
+///
+/// * **quorum** — two VPs under `sync_quorum(0.5)` (threshold 1): the prompt
+///   VP's held launch flushes alone the moment it arrives, and the 60 ms-late
+///   VP's launch rolls into its own quorum window (the first VP lingers
+///   connected so the denominator stays 2). Exactly 2 holds over 2 windows,
+///   both quorum flushes.
+/// * **timeout** — one sync VP behind a copies-only companion under lockstep
+///   quorum (unreachable: the companion never holds) and a 1 µs simulated
+///   window timeout: both of the sync VP's launches must flush via the
+///   timeout, never via quorum.
+/// * **hang** — two VPs on two host GPUs with the watchdog armed
+///   (`hang_windows(2)`): after a first full-house window, one VP wedges for
+///   900 ms of wall time mid-run. The other VP's held launch freezes
+///   simulated time, so only the wall-clock stall backstop can fire: it
+///   quarantines the sleeper (failing its journal over to the other device
+///   and dumping a `vp_hung` post-mortem), the survivor finishes solo over
+///   the shrunken quorum, and the sleeper rejoins on wake and completes.
+fn run_liveness(arch: &GpuArch) -> Result<LivenessOutcome, String> {
+    let quorum = || {
+        liveness_fleet(
+            arch,
+            1,
+            Policy::MultiplexedOptimized.with_sync_hold(true).sync_quorum(0.5),
+            vec![
+                Box::new(StaggeredAdd { n: 2048, launches: 1, pre_ms: 0, mid_ms: 0, post_ms: 250 }),
+                Box::new(StaggeredAdd { n: 2048, launches: 1, pre_ms: 60, mid_ms: 0, post_ms: 0 }),
+            ],
+            "quorum",
+        )
+    };
+    let timeout = || {
+        liveness_fleet(
+            arch,
+            1,
+            Policy::MultiplexedOptimized.with_sync_hold(true).with_sync_timeout_us(1),
+            vec![
+                Box::new(StaggeredAdd { n: 2048, launches: 2, pre_ms: 0, mid_ms: 0, post_ms: 0 }),
+                Box::new(CopyStream { iterations: 600 }),
+            ],
+            "timeout",
+        )
+    };
+    let hang = || {
+        liveness_fleet(
+            arch,
+            2,
+            Policy::MultiplexedOptimized.with_sync_hold(true).with_hang_windows(2),
+            vec![
+                Box::new(StaggeredAdd { n: 1024, launches: 3, pre_ms: 0, mid_ms: 0, post_ms: 0 }),
+                Box::new(StaggeredAdd { n: 1024, launches: 2, pre_ms: 0, mid_ms: 900, post_ms: 0 }),
+            ],
+            "hang",
+        )
+    };
+
+    let (qa, qb) = (quorum()?, quorum()?);
+    if !liveness_ledger_identical(&qa, &qb) {
+        return Err(format!(
+            "liveness quorum ledger diverges across identical runs: {qa:?} vs {qb:?}"
+        ));
+    }
+    if qa.holds != 2 || qa.sync_windows != 2 || qa.quorum_flushes != 2 || qa.timeout_flushes != 0 {
+        return Err(format!("liveness quorum scenario did not flush 2 partial windows: {qa:?}"));
+    }
+    if qa.quarantined != 0 || qa.deadline_misses != 0 || qa.stop_events != qa.resume_events {
+        return Err(format!("liveness quorum scenario left a VP parked or degraded: {qa:?}"));
+    }
+
+    let (ta, tb) = (timeout()?, timeout()?);
+    if !liveness_ledger_identical(&ta, &tb) {
+        return Err(format!(
+            "liveness timeout ledger diverges across identical runs: {ta:?} vs {tb:?}"
+        ));
+    }
+    if ta.holds != 2 || ta.sync_windows != 2 || ta.timeout_flushes != 2 || ta.quorum_flushes != 0 {
+        return Err(format!("liveness timeout scenario did not flush by deadline: {ta:?}"));
+    }
+    if ta.stop_events != ta.resume_events {
+        return Err(format!("liveness timeout scenario left a VP stopped: {ta:?}"));
+    }
+
+    let (ha, hb) = (hang()?, hang()?);
+    if !liveness_ledger_identical(&ha, &hb) {
+        return Err(format!(
+            "liveness hang ledger diverges across identical runs: {ha:?} vs {hb:?}"
+        ));
+    }
+    if ha.quarantined != 1 || ha.rejoins != 1 || ha.backstop_trips != 1 {
+        return Err(format!(
+            "liveness hang scenario must quarantine and rejoin exactly one VP: {ha:?}"
+        ));
+    }
+    if ha.holds != 5 || ha.sync_windows != 4 {
+        return Err(format!("liveness hang scenario window ledger is off: {ha:?}"));
+    }
+    if ha.migrations < 1 {
+        return Err(format!("liveness hang quarantine did not fail the VP over: {ha:?}"));
+    }
+    if ha.stop_events != ha.resume_events {
+        return Err(format!("liveness hang scenario left a VP stopped: {ha:?}"));
+    }
+    Ok(LivenessOutcome { quorum: qa, timeout: ta, hang: ha })
+}
+
 fn phase_name(phase: PathPhase) -> &'static str {
     match phase {
         PathPhase::Transfer => "transfer",
@@ -624,13 +884,32 @@ fn main() -> ExitCode {
     } else {
         None
     };
+    // --- Liveness scenarios: quorum flush, timeout flush, hung-VP watchdog. --
+    let liveness = if args.sync {
+        match run_liveness(&arch) {
+            Ok(l) => Some(l),
+            Err(e) => {
+                eprintln!("audit: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
     recorder.sample();
     let snapshot = telemetry.snapshot();
 
-    // --- Post-mortem: the chaos breaker trip must have dumped a bundle. ------
+    // --- Post-mortem: the chaos breaker trip must have dumped a bundle; with
+    // the liveness scenarios on, the hang quarantine's `vp_hung` dump is the
+    // one CI's bundle check exercises.
     let bundles = recorder.bundles();
-    let Some(bundle) = bundles.last() else {
-        eprintln!("audit: chaos breaker trip produced no post-mortem bundle");
+    let bundle = if liveness.is_some() {
+        bundles.iter().rev().find(|b| b.name.ends_with("vp_hung"))
+    } else {
+        bundles.last()
+    };
+    let Some(bundle) = bundle else {
+        eprintln!("audit: no post-mortem bundle was dumped (breaker trip / vp_hung quarantine)");
         return ExitCode::FAILURE;
     };
     if let Err(e) = validate_bundle(&bundle.json) {
@@ -682,6 +961,23 @@ fn main() -> ExitCode {
             ("sync.stop_events".into(), s.stop_events as f64),
             ("sync.makespan_s".into(), s.sync_makespan_s),
             ("sync.reorder_makespan_s".into(), s.sync_reorder_makespan_s),
+        ]);
+    }
+    if let Some(l) = &liveness {
+        // Each liveness ledger is verified byte-identical across two
+        // in-process runs above, so the counters gate at face value.
+        gate.extend([
+            ("sync.quorum.holds".into(), l.quorum.holds as f64),
+            ("sync.quorum.windows".into(), l.quorum.sync_windows as f64),
+            ("sync.quorum.partial_flushes".into(), l.quorum.quorum_flushes as f64),
+            ("sync.quorum.makespan_s".into(), l.quorum.sync_makespan_s),
+            ("liveness.timeout_windows".into(), l.timeout.sync_windows as f64),
+            ("liveness.timeout_flushes".into(), l.timeout.timeout_flushes as f64),
+            ("liveness.hang_holds".into(), l.hang.holds as f64),
+            ("liveness.hang_windows_flushed".into(), l.hang.sync_windows as f64),
+            ("liveness.hang_backstop_trips".into(), l.hang.backstop_trips as f64),
+            ("liveness.hang_quarantined".into(), l.hang.quarantined as f64),
+            ("liveness.hang_rejoins".into(), l.hang.rejoins as f64),
         ]);
     }
 
@@ -742,6 +1038,29 @@ fn main() -> ExitCode {
             s.wave_filled,
             s.sync_makespan_s,
             s.sync_reorder_makespan_s
+        ));
+    }
+    if let Some(l) = &liveness {
+        json.push_str(&format!(
+            "  \"liveness\": {{\
+             \"quorum\": {{\"holds\": {}, \"windows\": {}, \"partial_flushes\": {}, \
+             \"makespan_s\": {:.9e}}}, \
+             \"timeout\": {{\"holds\": {}, \"windows\": {}, \"timeout_flushes\": {}}}, \
+             \"hang\": {{\"holds\": {}, \"windows\": {}, \"backstop_trips\": {}, \
+             \"quarantined\": {}, \"rejoins\": {}, \"migrations\": {}}}}},\n",
+            l.quorum.holds,
+            l.quorum.sync_windows,
+            l.quorum.quorum_flushes,
+            l.quorum.sync_makespan_s,
+            l.timeout.holds,
+            l.timeout.sync_windows,
+            l.timeout.timeout_flushes,
+            l.hang.holds,
+            l.hang.sync_windows,
+            l.hang.backstop_trips,
+            l.hang.quarantined,
+            l.hang.rejoins,
+            l.hang.migrations
         ));
     }
     json.push_str(&format!(
@@ -812,6 +1131,13 @@ fn main() -> ExitCode {
             s.live_members,
             s.sync_makespan_s * 1e3,
             s.sync_reorder_makespan_s * 1e3
+        );
+    }
+    if let Some(l) = &liveness {
+        println!(
+            "liveness: quorum flushed {} partial window(s), timeout flushed {}, watchdog \
+             quarantined {} hung VP(s) ({} rejoined; ledgers byte-identical across runs)",
+            l.quorum.quorum_flushes, l.timeout.timeout_flushes, l.hang.quarantined, l.hang.rejoins
         );
     }
     println!(

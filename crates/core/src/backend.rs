@@ -74,7 +74,13 @@ impl MultiplexedGpu {
     /// Perform one request/response round trip. Returns the response body and the
     /// transport delay (device time is carried inside the response).
     fn round_trip(&mut self, body: Request) -> Result<(Response, f64), VpError> {
-        let envelope = Envelope { vp: self.vp, seq: self.seq, sent_at_s: self.clock.now_s(), body };
+        let envelope = Envelope {
+            vp: self.vp,
+            seq: self.seq,
+            sent_at_s: self.clock.now_s(),
+            deadline_s: f64::INFINITY,
+            body,
+        };
         self.seq += 1;
 
         let frame = codec::encode_request(&envelope);

@@ -47,8 +47,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use sigmavp_fault::{
-    is_transient_error, replay_journal, CircuitBreaker, DedupCache, DropNotice, FaultPlan,
-    FaultyTransport, HandleMap, LinkDirection, VpJournal, TRANSIENT_ERROR_PREFIX,
+    is_transient_error, journal_live_identity, replay_journal, replay_journal_reusing,
+    CircuitBreaker, DedupCache, DropNotice, FaultPlan, FaultyTransport, HandleMap, LinkDirection,
+    VpJournal, TRANSIENT_ERROR_PREFIX,
 };
 use sigmavp_gpu::engine::simulate;
 use sigmavp_gpu::GpuArch;
@@ -58,9 +59,14 @@ use sigmavp_ipc::message::{Envelope, Request, Response, ResponseEnvelope, VpId, 
 use sigmavp_ipc::queue::{Job, JobId, JobKind, JobQueue};
 use sigmavp_ipc::transport::{pair, Transport, TransportCost};
 use sigmavp_ipc::IpcError;
-use sigmavp_sched::{DeviceView, LoadRebalance, PassCtx, Pipeline, Policy, Rebalance, RetryPolicy};
+use sigmavp_sched::{
+    quorum_met, quorum_threshold, DeviceView, LoadRebalance, PassCtx, Pipeline, Policy, Rebalance,
+    RetryPolicy,
+};
 use sigmavp_telemetry::{Lane, TimeDomain};
-use sigmavp_vp::error::VpError;
+use sigmavp_vp::error::{
+    format_deadline_violation, parse_deadline_violation, DeadlineStage, VpError,
+};
 use sigmavp_vp::gate::VpGate;
 use sigmavp_vp::platform::{SimClock, VirtualPlatform};
 use sigmavp_vp::registry::KernelRegistry;
@@ -87,6 +93,13 @@ use rand::{Rng, SeedableRng};
 /// Wall-clock floor on every receive wait; see the comment at its use site.
 const WALL_DEADLINE_BACKSTOP: Duration = Duration::from_secs(2);
 
+/// Wall-clock stall backstop for the hung-VP watchdog: if sync launches are
+/// parked but no frame has arrived for this long, every unheld VP is presumed
+/// wedged and quarantined so the held window can flush. Only consulted when
+/// `Policy::hang_windows > 0`; with the watchdog off the dispatcher keeps the
+/// original wait-forever lockstep semantics.
+const STALL_WALL_BACKSTOP: Duration = Duration::from_millis(500);
+
 struct RemoteGpu {
     vp: VpId,
     transport: Box<dyn Transport>,
@@ -95,6 +108,10 @@ struct RemoteGpu {
     /// `sent_at_s` so the host can measure guest-observed queueing delay.
     clock: SimClock,
     retry: RetryPolicy,
+    /// Per-request end-to-end deadline budget in simulated microseconds
+    /// (`Policy::deadline_us`); 0 disables deadlines and every envelope
+    /// carries [`Envelope::NO_DEADLINE`].
+    deadline_us: u64,
     /// Jitter source for backoff; seeded per VP (and from the fault plan when
     /// one is active) so runs are reproducible.
     rng: StdRng,
@@ -119,12 +136,19 @@ impl RemoteGpu {
         let mut extra_sim_s = 0.0f64;
         let mut attempts = 0u32;
         let mut last_err = IpcError::Timeout { waited_us: 0 };
+        // The request's absolute deadline on the simulated timeline, fixed at
+        // birth: retries reuse it, so recovery cost eats into the same budget.
+        let birth_s = self.clock.now_s();
+        let budget_s = self.deadline_us as f64 * 1e-6;
+        let deadline_s =
+            if self.deadline_us > 0 { birth_s + budget_s } else { Envelope::NO_DEADLINE };
         loop {
             attempts += 1;
             let envelope = Envelope {
                 vp: self.vp,
                 seq,
                 sent_at_s: self.clock.now_s() + extra_sim_s,
+                deadline_s,
                 body: body.clone(),
             };
             let frame = codec::encode_request(&envelope);
@@ -181,7 +205,20 @@ impl RemoteGpu {
                             return Err(VpError::Device(message));
                         }
                     }
-                    Response::Error { message } => return Err(VpError::Device(message)),
+                    Response::Error { message } => {
+                        // A host-side deadline violation travels as a
+                        // structured error string (the dispatcher has no typed
+                        // channel); surface it as the typed variant with the
+                        // budget/elapsed view this guest actually experienced.
+                        if let Some((stage, _, now_s)) = parse_deadline_violation(&message) {
+                            return Err(VpError::DeadlineExceeded {
+                                stage,
+                                budget_s,
+                                elapsed_s: (now_s - birth_s).max(0.0),
+                            });
+                        }
+                        return Err(VpError::Device(message));
+                    }
                     other => {
                         // The guest-observed round trip, stamped with the job uid
                         // so lifecycle joins can line the envelope send up against
@@ -207,6 +244,18 @@ impl RemoteGpu {
             let unit: f64 = self.rng.gen_range(0.0..1.0);
             let backoff = self.retry.backoff_s(attempts, unit);
             extra_sim_s += backoff;
+            // Execute boundary: the accumulated recovery cost (timeouts plus
+            // backoff, all simulated time) has outlived the request's budget —
+            // surface the typed deadline error instead of burning the
+            // remaining attempts.
+            if birth_s + extra_sim_s > deadline_s {
+                recorder.count("liveness.deadline_misses", 1);
+                return Err(VpError::DeadlineExceeded {
+                    stage: DeadlineStage::Execute,
+                    budget_s,
+                    elapsed_s: extra_sim_s,
+                });
+            }
             if backoff > 0.0 {
                 std::thread::sleep(std::time::Duration::from_secs_f64(backoff.min(0.005)));
             }
@@ -327,6 +376,25 @@ pub struct DispatchStats {
     /// The same windows priced under the reorder-only (no cross-VP merging)
     /// plan — the async baseline the live path must beat.
     pub sync_reorder_makespan_s: f64,
+    /// Partial windows flushed because the hold quorum was met before every
+    /// eligible VP was held (`Policy::sync_quorum` below 1.0).
+    pub quorum_flushes: u64,
+    /// Windows flushed because the sim-time window timeout expired before
+    /// any quorum was reached (`Policy::sync_window_timeout`).
+    pub timeout_flushes: u64,
+    /// Wall-clock stall-backstop trips: every unheld VP went silent while a
+    /// window sat held, so the silent VPs were quarantined and the window
+    /// released (only armed when the watchdog is on).
+    pub backstop_trips: u64,
+    /// VPs quarantined by the hung-VP watchdog (removed from the quorum
+    /// denominator and failed over to a healthy placement).
+    pub quarantined: u64,
+    /// Quarantined VPs that showed fresh activity and rejoined the quorum.
+    pub rejoins: u64,
+    /// Requests refused at the admission, hold, or plan boundary because
+    /// their end-to-end deadline had expired (guest-side execute-boundary
+    /// misses surface as typed errors, not here).
+    pub deadline_misses: u64,
 }
 
 /// A live ΣVP system with an explicit dispatcher thread over real transports.
@@ -411,6 +479,7 @@ impl DispatchedSigmaVp {
         let mut host_ends: Vec<(VpId, Box<dyn Transport>)> = Vec::new();
         let mut handles: Vec<VpHandle> = Vec::new();
         let retry = self.policy.retry;
+        let deadline_us = self.policy.deadline_us;
         // The stop/resume switchboard, shared by every VP thread and the
         // dispatcher (only exercised when the policy enables sync holds).
         let control = Arc::new(VpControl::new());
@@ -457,6 +526,7 @@ impl DispatchedSigmaVp {
                     seq: 0,
                     clock: platform.clock_handle(),
                     retry,
+                    deadline_us,
                     rng: StdRng::seed_from_u64(jitter_seed),
                     gate,
                 };
@@ -532,6 +602,11 @@ struct Supervision {
     journals: HashMap<VpId, VpJournal>,
     /// Handle translation for migrated VPs (guest handle space → survivor's).
     maps: HashMap<VpId, HandleMap>,
+    /// Live handle maps a VP left behind on devices it migrated away from,
+    /// keyed by `(vp, device)`. A later relocation *back* replays through
+    /// [`replay_journal_reusing`], re-adopting the retained buffers instead of
+    /// leaking them and re-mallocing (the §12 fleet fix, applied here).
+    visited: HashMap<(VpId, usize), HandleMap>,
     /// Requests currently enqueued but not yet executed, as `(vp, seq)`;
     /// guards against a delayed duplicate being enqueued twice.
     in_flight: HashSet<(u32, u64)>,
@@ -550,6 +625,7 @@ impl Supervision {
             dedup: DedupCache::new(),
             journals: HashMap::new(),
             maps: HashMap::new(),
+            visited: HashMap::new(),
             in_flight: HashSet::new(),
         }
     }
@@ -619,6 +695,11 @@ fn migrate_vp(
 /// its device state by replaying the journal of successful mutating requests
 /// (without re-recording them in the timeline) and installing the resulting
 /// handle translation map.
+///
+/// The map of live handles left behind on the departed device is stashed under
+/// `(vp, device)`; a later relocation back to a visited device replays through
+/// [`replay_journal_reusing`], re-adopting still-live retained buffers instead
+/// of leaking them and allocating fresh ones.
 fn relocate_vp(
     session: &mut ExecutionSession,
     sup: &mut Supervision,
@@ -635,11 +716,21 @@ fn relocate_vp(
     let started = Instant::now();
     let journal = sup.journals.entry(vp).or_default();
     let replayed = journal.len() as u64;
+    // What this VP leaves behind on `current`: its explicit translation map if
+    // it migrated before, else the identity view of its live journal handles.
+    let departing = sup.maps.get(&vp).cloned().unwrap_or_else(|| journal_live_identity(journal));
+    let retained = sup.visited.remove(&(vp, target));
     let runtime = session.runtime(target);
     let replay = {
         let mut rt = runtime.lock();
-        replay_journal(journal, |orig_seq, request| {
-            let envelope = Envelope { vp, seq: u64::MAX, sent_at_s: 0.0, body: request.clone() };
+        let mut process = |orig_seq: u64, request: &Request| {
+            let envelope = Envelope {
+                vp,
+                seq: u64::MAX,
+                sent_at_s: 0.0,
+                deadline_s: Envelope::NO_DEADLINE,
+                body: request.clone(),
+            };
             let op_started_wall_s = recorder.wall_now_s();
             let op_started = Instant::now();
             let body = rt.process_replay(&envelope).body;
@@ -654,7 +745,14 @@ fn relocate_vp(
                 sigmavp_telemetry::job_uid(vp.0, orig_seq),
             );
             body
-        })
+        };
+        match &retained {
+            Some(map) => {
+                recorder.count("fault.reuse_migrations", 1);
+                replay_journal_reusing(journal, map, &mut process)
+            }
+            None => replay_journal(journal, &mut process),
+        }
     };
     match replay {
         Ok(map) => {
@@ -668,6 +766,7 @@ fn relocate_vp(
             sup.maps.insert(vp, HandleMap::new());
         }
     }
+    sup.visited.insert((vp, current), departing);
     session.reassign(vp, target);
     stats.migrations += 1;
     recorder.count("fault.migrations", 1);
@@ -688,6 +787,101 @@ struct HeldJob {
     envelope: Envelope,
     arrived: Instant,
     arrived_wall_s: f64,
+}
+
+impl HeldJob {
+    /// The canonical window-ordering key.
+    fn key(&self) -> (u32, u64) {
+        (self.job.vp.0, self.envelope.seq)
+    }
+}
+
+/// Insert a held launch preserving the canonical `(vp, seq)` order, so every
+/// window — full or quorum-partial — reads off a sorted prefix and a VP's
+/// launches can never interleave out of sequence order across windows.
+fn insert_held(held: &mut Vec<HeldJob>, h: HeldJob) {
+    let key = h.key();
+    let pos = held.partition_point(|x| x.key() < key);
+    held.insert(pos, h);
+    debug_assert!(held.windows(2).all(|w| w[0].key() < w[1].key()), "held must stay sorted");
+}
+
+/// Quarantine `vp`: count it out of the sync-flush quorum, publish a
+/// [`VpHung`](sigmavp_telemetry::bus::IncidentKind::VpHung) incident (an
+/// installed flight recorder dumps a postmortem bundle on it), and fail the
+/// VP's journal over to the least-loaded healthy *other* device through the
+/// retained-map replay path — so when (if) the VP wakes, its state is already
+/// off the placement it wedged on. The caller owns the quarantine set; this
+/// records the side effects.
+fn quarantine_vp(
+    session: &mut ExecutionSession,
+    sup: &mut Supervision,
+    stats: &mut DispatchStats,
+    vp: VpId,
+    device_free_s: &[f64],
+    idle_windows: u64,
+) {
+    let recorder = sigmavp_telemetry::recorder();
+    stats.quarantined += 1;
+    recorder.count("liveness.quarantined", 1);
+    let current = session.device_of(vp);
+    sigmavp_telemetry::bus::publish(&sigmavp_telemetry::bus::ObsEvent::Incident(
+        sigmavp_telemetry::bus::Incident {
+            kind: sigmavp_telemetry::bus::IncidentKind::VpHung { vp: vp.0 },
+            wall_s: recorder.wall_now_s(),
+            detail: format!(
+                "VP {} stopped progressing for {idle_windows} flushed windows on gpu{}; \
+                 quarantined out of the sync quorum",
+                vp.0,
+                current.map_or(-1i64, |d| d as i64),
+            ),
+        },
+    ));
+    // Failover: move its journal to the healthiest other device (least
+    // simulated backlog, ties to the lowest index). Single-device sessions
+    // keep the placement; quarantine still shrinks the quorum.
+    if let Some(current) = current {
+        let target = (0..session.device_count())
+            .filter(|&d| d != current && session.is_healthy(d))
+            .min_by(|&a, &b| {
+                device_free_s[a]
+                    .partial_cmp(&device_free_s[b])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.cmp(&b))
+            });
+        if let Some(target) = target {
+            relocate_vp(session, sup, stats, vp, target);
+            recorder.count("liveness.quarantine_failovers", 1);
+        }
+    }
+}
+
+/// Build and send the structured deadline-violation reply for a request
+/// refused at a host-side boundary, and release its in-flight guard.
+fn refuse_past_deadline(
+    sup: &mut Supervision,
+    stats: &mut DispatchStats,
+    endpoints: &[(VpId, Box<dyn Transport>)],
+    envelope: &Envelope,
+    stage: DeadlineStage,
+    now_s: f64,
+) {
+    let recorder = sigmavp_telemetry::recorder();
+    stats.deadline_misses += 1;
+    recorder.count("liveness.deadline_misses", 1);
+    sup.in_flight.remove(&(envelope.vp.0, envelope.seq));
+    let response = ResponseEnvelope {
+        vp: envelope.vp,
+        seq: envelope.seq,
+        sent_at_s: envelope.sent_at_s,
+        body: Response::Error {
+            message: format_deadline_violation(stage, envelope.deadline_s, now_s),
+        },
+    };
+    let frame = codec::encode_response(&response);
+    if let Some((_, endpoint)) = endpoints.iter().find(|(v, _)| *v == envelope.vp) {
+        let _ = endpoint.send(frame);
+    }
 }
 
 /// Execute one job end to end — failover safety net, transient injection,
@@ -779,7 +973,13 @@ fn execute_job(
         },
         None => envelope.body.clone(),
     };
-    let exec_envelope = Envelope { vp, seq: envelope.seq, sent_at_s, body: exec_body };
+    let exec_envelope = Envelope {
+        vp,
+        seq: envelope.seq,
+        sent_at_s,
+        deadline_s: envelope.deadline_s,
+        body: exec_body,
+    };
     let runtime = session.runtime(device);
     let exec_started_wall_s = recorder.wall_now_s();
     let exec_started = Instant::now();
@@ -872,12 +1072,19 @@ fn synth_record(h: &HeldJob, arch: &GpuArch) -> JobRecord {
     }
 }
 
-/// Flush an accumulated synchronous window (Fig. 4b): rebalance the held VPs
+/// Flush a selected synchronous window (Fig. 4b): rebalance the held VPs
 /// across devices (load-triggered moves included), plan each device's slice
 /// with the *full* pipeline — the VPs are stopped, so cross-VP coalescing and
 /// wave-packing are safe on live traffic — execute the planned jobs, price the
 /// window against its reorder-only alternative (Eq. 7), and resume the VPs in
 /// planned completion order with their cached responses.
+///
+/// The caller selects the window (full, quorum-partial, or timeout-forced) and
+/// hands it over already in canonical `(vp, seq)` order — the invariant lives
+/// at [`insert_held`], so every selection strategy reads off sorted slices.
+/// Held launches whose end-to-end deadline expired while waiting are refused
+/// here (the `hold` boundary) instead of being planned: their VPs still resume,
+/// carrying the structured violation instead of a completion.
 #[allow(clippy::too_many_arguments)]
 fn flush_sync_window(
     session: &mut ExecutionSession,
@@ -888,17 +1095,19 @@ fn flush_sync_window(
     endpoints: &[(VpId, Box<dyn Transport>)],
     pipeline: &Pipeline,
     coalescible: &HashMap<VpId, bool>,
-    held: &mut Vec<HeldJob>,
+    window: Vec<HeldJob>,
     device_free_s: &mut [f64],
 ) {
     let recorder = sigmavp_telemetry::recorder();
     let flush_started_wall_s = recorder.wall_now_s();
     let flush_started = Instant::now();
-    // Canonical window order: arrival order races between VP threads, so sort
-    // by (vp, seq). The window's *set* is deterministic (each VP contributes
-    // its next sync launch), and now so is every decision below.
-    held.sort_by_key(|h| (h.job.vp.0, h.envelope.seq));
-    let window: Vec<HeldJob> = std::mem::take(held);
+    // Canonical window order is an *insertion* invariant now (`insert_held`):
+    // arrival order races between VP threads, so holds are placed by (vp, seq)
+    // as they land and every selection below reads off a sorted window.
+    assert!(
+        window.windows(2).all(|w| w[0].key() < w[1].key()),
+        "sync window must arrive in canonical (vp, seq) order"
+    );
     stats.sync_windows += 1;
     recorder.count("dispatch.sync.windows", 1);
     recorder.observe_s("dispatch.sync.window_jobs", window.len() as f64);
@@ -907,6 +1116,33 @@ fn flush_sync_window(
     // path, and the load trigger may move VPs between *live* devices on
     // sustained imbalance.
     let t_now = window.iter().map(|h| h.envelope.sent_at_s).fold(0.0f64, f64::max);
+    // Hold-boundary deadline check: anything that expired while parked is
+    // refused now, before planning, and resumes with the violation.
+    let mut expired: Vec<(VpId, u64, f64, ResponseEnvelope)> = Vec::new();
+    let window: Vec<HeldJob> = window
+        .into_iter()
+        .filter_map(|h| {
+            if t_now <= h.envelope.deadline_s {
+                return Some(h);
+            }
+            stats.deadline_misses += 1;
+            recorder.count("liveness.deadline_misses", 1);
+            let response = ResponseEnvelope {
+                vp: h.job.vp,
+                seq: h.envelope.seq,
+                sent_at_s: h.envelope.sent_at_s,
+                body: Response::Error {
+                    message: format_deadline_violation(
+                        DeadlineStage::Hold,
+                        h.envelope.deadline_s,
+                        t_now,
+                    ),
+                },
+            };
+            expired.push((h.job.vp, h.envelope.seq, h.envelope.sent_at_s, response));
+            None
+        })
+        .collect();
     let migrations = {
         let mut queued = vec![0.0f64; session.device_count()];
         for h in &window {
@@ -954,8 +1190,9 @@ fn flush_sync_window(
     }
 
     let coalescible_fn = |vp: VpId| coalescible.get(&vp).copied().unwrap_or(false);
-    // (vp, seq, absolute completion time, response), across all devices.
-    let mut completions: Vec<(VpId, u64, f64, ResponseEnvelope)> = Vec::new();
+    // (vp, seq, absolute completion time, response), across all devices —
+    // seeded with the deadline-expired refusals so their VPs resume too.
+    let mut completions: Vec<(VpId, u64, f64, ResponseEnvelope)> = expired;
     for d in device_order {
         let members = by_device[&d].clone();
         let arch = session.arch(d).clone();
@@ -1115,9 +1352,25 @@ fn run_dispatcher(
     // dispatcher.
     let mut waiting: HashMap<u64, (Envelope, Instant, f64)> = HashMap::new();
     // Held sync launches (at most one per stopped VP) awaiting the window
-    // flush, and the simulated time each device frees up after prior windows.
+    // flush, kept in canonical (vp, seq) order by `insert_held`, and the
+    // simulated time each device frees up after prior windows.
     let mut held: Vec<HeldJob> = Vec::new();
     let mut device_free_s = vec![0.0f64; session.device_count()];
+    // Liveness state. `sim_now` is the max simulated timestamp observed on any
+    // arrived envelope — the deterministic clock the window timeout runs on.
+    // The watchdog counts flushed windows since each VP's last frame; VPs that
+    // fall `hang_windows` behind are quarantined out of the quorum until they
+    // speak again. `last_frame` is the wall-clock backstop for the one shape
+    // sim-time cannot see: every unheld VP wedged at once, so no frames arrive
+    // and no window can flush.
+    let quorum_pct = policy.sync_quorum_pct;
+    let sync_timeout_s = policy.sync_timeout_s();
+    let hang_windows = u64::from(policy.hang_windows);
+    let mut quarantined: HashSet<VpId> = HashSet::new();
+    let mut last_activity_flush: HashMap<VpId, u64> = HashMap::new();
+    let mut flush_count: u64 = 0;
+    let mut sim_now: f64 = 0.0;
+    let mut last_frame = Instant::now();
 
     loop {
         // 1. Gather: poll every endpoint once, then triage the frames — corrupt
@@ -1142,6 +1395,16 @@ fn run_dispatcher(
                 continue;
             };
             debug_assert_eq!(envelope.vp, vp);
+            // Progress bookkeeping: any decoded frame is proof of life. A
+            // quarantined VP that speaks again rejoins the quorum — its late
+            // launch simply rolls into the next window.
+            sim_now = sim_now.max(envelope.sent_at_s);
+            last_frame = Instant::now();
+            last_activity_flush.insert(vp, flush_count);
+            if quarantined.remove(&vp) {
+                stats.rejoins += 1;
+                recorder.count("liveness.rejoins", 1);
+            }
             if let Some(cached) = sup.dedup.lookup(vp, envelope.seq) {
                 // Effect-once: this request already executed but its response was
                 // lost in flight; resend the cached response without re-executing.
@@ -1155,6 +1418,20 @@ fn run_dispatcher(
             }
             if !sup.in_flight.insert((vp.0, envelope.seq)) {
                 // A delayed duplicate of a request that is still queued.
+                continue;
+            }
+            // Admission boundary: a request stamped past its own end-to-end
+            // deadline (retries eat into the same budget) is refused before it
+            // enters any queue.
+            if envelope.has_deadline() && envelope.sent_at_s > envelope.deadline_s {
+                refuse_past_deadline(
+                    &mut sup,
+                    &mut stats,
+                    &endpoints,
+                    &envelope,
+                    DeadlineStage::Admission,
+                    envelope.sent_at_s,
+                );
                 continue;
             }
             let id = queue.next_id();
@@ -1210,12 +1487,15 @@ fn run_dispatcher(
                 // window planner prices the fixed cost a merge would save.
                 let floor = session.arch(device).launch_overhead_us * 1e-6;
                 job.expected_duration_s = job.expected_duration_s.max(floor);
-                held.push(HeldJob {
-                    job,
-                    envelope,
-                    arrived: Instant::now(),
-                    arrived_wall_s: recorder.wall_now_s(),
-                });
+                insert_held(
+                    &mut held,
+                    HeldJob {
+                        job,
+                        envelope,
+                        arrived: Instant::now(),
+                        arrived_wall_s: recorder.wall_now_s(),
+                    },
+                );
                 continue;
             }
             queue.push(job);
@@ -1257,6 +1537,20 @@ fn run_dispatcher(
             let (envelope, arrived, arrived_wall_s) =
                 waiting.remove(&job.id.0).expect("every job has an envelope");
             let vp = envelope.vp;
+            // Plan boundary: refuse work whose *projected* completion already
+            // overshoots its deadline, instead of burning device time on it.
+            let projected_s = envelope.sent_at_s + job.expected_duration_s;
+            if envelope.has_deadline() && projected_s > envelope.deadline_s {
+                refuse_past_deadline(
+                    &mut sup,
+                    &mut stats,
+                    &endpoints,
+                    &envelope,
+                    DeadlineStage::Plan,
+                    projected_s,
+                );
+                continue;
+            }
             let response = execute_job(
                 &mut session,
                 &mut sup,
@@ -1278,32 +1572,148 @@ fn run_dispatcher(
             }
         }
 
-        // 3. Sync window: once every still-connected VP has a held launch the
-        //    window cannot grow — flush it. Disconnections shrink the quorum,
-        //    so a lone survivor (or a fully drained fleet) still progresses;
-        //    no VP is ever left stopped past this point.
-        if sync_hold
-            && !held.is_empty()
-            && endpoints.iter().all(|(vp, _)| held.iter().any(|h| h.job.vp == *vp))
-        {
-            flush_sync_window(
-                &mut session,
-                &mut sup,
-                &mut stats,
-                &mut expected_kernel_s,
-                &control,
-                &endpoints,
-                &pipeline,
-                &coalescible,
-                &mut held,
-                &mut device_free_s,
-            );
+        // 3. Sync window triage, in precedence order:
+        //    (a) *full* — every still-connected, non-quarantined VP has a held
+        //        launch: the window cannot grow, flush everything. With the
+        //        default knobs (quorum 100 %, no timeout, no watchdog) this is
+        //        the only branch and reproduces lockstep flushing exactly.
+        //        Disconnections and quarantines shrink the quorum, so a lone
+        //        survivor still progresses.
+        //    (b) *quorum* — a configured fraction < 100 % of eligible VPs is
+        //        held: flush exactly the threshold-sized selection with the
+        //        earliest (sent_at, vp) stamps — deterministic on simulated
+        //        time and starvation-free — and let late arrivals roll into
+        //        the next window.
+        //    (c) *timeout* — the window has been open longer (in simulated
+        //        time) than the configured limit: flush everything held rather
+        //        than park VPs behind a straggler indefinitely.
+        if sync_hold && !held.is_empty() {
+            let eligible = endpoints.iter().filter(|(v, _)| !quarantined.contains(v)).count();
+            let full = endpoints
+                .iter()
+                .filter(|(v, _)| !quarantined.contains(v))
+                .all(|(v, _)| held.iter().any(|h| h.job.vp == *v));
+            let quorum = !full && quorum_pct < 100 && quorum_met(held.len(), eligible, quorum_pct);
+            let window_open_s =
+                held.iter().map(|h| h.envelope.sent_at_s).fold(f64::INFINITY, f64::min);
+            let timed_out = !full
+                && !quorum
+                && sync_timeout_s.is_some_and(|limit| sim_now - window_open_s >= limit);
+            if full || quorum || timed_out {
+                let window: Vec<HeldJob> = if quorum {
+                    stats.quorum_flushes += 1;
+                    recorder.count("dispatch.sync.quorum_flushes", 1);
+                    // Take exactly the quorum threshold, earliest stamps first
+                    // (ties by VP id), so no straggler's launch waits forever.
+                    let threshold = quorum_threshold(eligible, quorum_pct);
+                    let mut order: Vec<usize> = (0..held.len()).collect();
+                    order.sort_by(|&a, &b| {
+                        held[a]
+                            .envelope
+                            .sent_at_s
+                            .partial_cmp(&held[b].envelope.sent_at_s)
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                            .then(held[a].key().cmp(&held[b].key()))
+                    });
+                    order.truncate(threshold);
+                    // Removing in descending index order keeps the remaining
+                    // indices valid; reversing restores canonical (vp, seq).
+                    order.sort_unstable();
+                    let mut window = Vec::with_capacity(order.len());
+                    for &i in order.iter().rev() {
+                        window.push(held.remove(i));
+                    }
+                    window.reverse();
+                    window
+                } else {
+                    if timed_out {
+                        stats.timeout_flushes += 1;
+                        recorder.count("dispatch.sync.timeout_flushes", 1);
+                    }
+                    std::mem::take(&mut held)
+                };
+                flush_sync_window(
+                    &mut session,
+                    &mut sup,
+                    &mut stats,
+                    &mut expected_kernel_s,
+                    &control,
+                    &endpoints,
+                    &pipeline,
+                    &coalescible,
+                    window,
+                    &mut device_free_s,
+                );
+                flush_count += 1;
+                // Watchdog sweep: the fleet just proved it can make progress
+                // without the VPs that are neither held nor recently heard
+                // from. Any eligible VP `hang_windows` flushes behind is
+                // quarantined — removed from the quorum denominator and failed
+                // over to a healthy placement.
+                if hang_windows > 0 {
+                    let hung: Vec<VpId> = endpoints
+                        .iter()
+                        .map(|(v, _)| *v)
+                        .filter(|v| {
+                            !quarantined.contains(v)
+                                && !held.iter().any(|h| h.job.vp == *v)
+                                && flush_count.saturating_sub(
+                                    last_activity_flush.get(v).copied().unwrap_or(flush_count),
+                                ) >= hang_windows
+                        })
+                        .collect();
+                    for vp in hung {
+                        quarantined.insert(vp);
+                        quarantine_vp(
+                            &mut session,
+                            &mut sup,
+                            &mut stats,
+                            vp,
+                            &device_free_s,
+                            hang_windows,
+                        );
+                    }
+                }
+            }
         }
 
         if endpoints.is_empty() {
             break;
         }
         if !any {
+            // Wall-clock stall backstop (watchdog-gated, so default behavior
+            // is untouched): if launches are parked but no frame has arrived
+            // for a long wall interval, *every* unheld VP is wedged at once —
+            // simulated time is frozen, so neither the quorum nor the timeout
+            // can ever fire. Quarantine the silent VPs; the next iteration's
+            // full-flush branch then releases the window.
+            if sync_hold
+                && hang_windows > 0
+                && !held.is_empty()
+                && last_frame.elapsed() >= STALL_WALL_BACKSTOP
+            {
+                let stuck: Vec<VpId> = endpoints
+                    .iter()
+                    .map(|(v, _)| *v)
+                    .filter(|v| !quarantined.contains(v) && !held.iter().any(|h| h.job.vp == *v))
+                    .collect();
+                if !stuck.is_empty() {
+                    stats.backstop_trips += 1;
+                    recorder.count("liveness.backstop_trips", 1);
+                    for vp in stuck {
+                        quarantined.insert(vp);
+                        quarantine_vp(
+                            &mut session,
+                            &mut sup,
+                            &mut stats,
+                            vp,
+                            &device_free_s,
+                            hang_windows,
+                        );
+                    }
+                }
+                last_frame = Instant::now();
+            }
             std::thread::yield_now();
         }
     }
@@ -1520,6 +1930,205 @@ mod tests {
         assert!(stats.migrations >= 2, "both device-0 VPs fail over: {stats:?}");
         assert!(stats.holds >= 6, "retried launches are held again: {stats:?}");
         assert_eq!(stats.stop_events, stats.resume_events, "no VP left parked: {stats:?}");
+    }
+
+    /// A vector-add guest with configurable wall-clock stalls: `pre_ms` before
+    /// its first sync launch (staggers arrival against other VPs), `mid_ms`
+    /// between launches (simulates a VP that wedges mid-run and later wakes).
+    struct SleepyAdd {
+        n: u64,
+        pre_ms: u64,
+        mid_ms: u64,
+        launches: u32,
+    }
+    impl Application for SleepyAdd {
+        fn name(&self) -> &str {
+            "sleepyAdd"
+        }
+        fn kernels(&self) -> Vec<sigmavp_sptx::KernelProgram> {
+            vec![sigmavp_workloads::kernels::vector_add()]
+        }
+        fn characteristics(&self) -> sigmavp_workloads::AppTraits {
+            sigmavp_workloads::AppTraits::pure_cuda()
+        }
+        fn run_once(&self, env: &mut AppEnv<'_>) -> Result<(), VpError> {
+            use sigmavp_workloads::app::{download, p, pi, upload};
+            let n = self.n;
+            let bytes = vec![1u8; (n * 4) as usize];
+            let mut cuda = env.cuda();
+            let da = upload(&mut cuda, &bytes)?;
+            let db = upload(&mut cuda, &bytes)?;
+            let dc = cuda.malloc(n * 4)?;
+            if self.pre_ms > 0 {
+                std::thread::sleep(Duration::from_millis(self.pre_ms));
+            }
+            for launch in 0..self.launches {
+                cuda.launch_sync(
+                    "vector_add",
+                    n.div_ceil(256) as u32,
+                    256,
+                    &[p(da), p(db), p(dc), pi(n as i64)],
+                )?;
+                if self.mid_ms > 0 && launch + 1 < self.launches {
+                    std::thread::sleep(Duration::from_millis(self.mid_ms));
+                }
+            }
+            download(&mut cuda, dc)?;
+            Ok(())
+        }
+    }
+
+    /// A guest that only moves bytes — it never launches, so it never holds,
+    /// and its steady frame stream is what advances the dispatcher's
+    /// deterministic `sim_now` clock past a held window's timeout.
+    struct CopiesOnly {
+        iterations: u32,
+    }
+    impl Application for CopiesOnly {
+        fn name(&self) -> &str {
+            "copiesOnly"
+        }
+        fn kernels(&self) -> Vec<sigmavp_sptx::KernelProgram> {
+            vec![]
+        }
+        fn characteristics(&self) -> sigmavp_workloads::AppTraits {
+            sigmavp_workloads::AppTraits::pure_cuda()
+        }
+        fn run_once(&self, env: &mut AppEnv<'_>) -> Result<(), VpError> {
+            use sigmavp_workloads::app::{download, upload};
+            let mut cuda = env.cuda();
+            for _ in 0..self.iterations {
+                let buf = upload(&mut cuda, &[7u8; 4096])?;
+                download(&mut cuda, buf)?;
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn quorum_flush_releases_a_partial_window() {
+        // Two VPs, quorum 0.5 → threshold 1: the prompt VP's held launch must
+        // flush alone, long before the deliberately late VP even arrives.
+        let registry: KernelRegistry =
+            vec![sigmavp_workloads::kernels::vector_add()].into_iter().collect();
+        let mut sys = DispatchedSigmaVp::single(
+            GpuArch::quadro_4000(),
+            registry,
+            TransportCost::shared_memory(),
+        )
+        .with_policy(Policy::MultiplexedOptimized.with_sync_hold(true).sync_quorum(0.5));
+        sys.spawn(Box::new(SleepyAdd { n: 2048, pre_ms: 0, mid_ms: 0, launches: 1 }));
+        sys.spawn(Box::new(SleepyAdd { n: 2048, pre_ms: 60, mid_ms: 0, launches: 1 }));
+        let (report, stats) = sys.join();
+        assert!(report.all_ok(), "{:?}", report.outcomes);
+        assert_eq!(stats.holds, 2);
+        // Each hold flushed in its own quorum-sized window, exactly once.
+        assert_eq!(stats.sync_windows, 2, "{stats:?}");
+        assert!(stats.quorum_flushes >= 1, "{stats:?}");
+        assert_eq!(stats.stop_events, stats.resume_events, "no VP left parked: {stats:?}");
+    }
+
+    #[test]
+    fn window_timeout_flushes_without_quorum() {
+        // One sync VP held behind a copies-only companion that never holds:
+        // the full-quorum predicate can never fire, so only the sim-time
+        // window timeout (advanced by the companion's frames) releases it.
+        let registry: KernelRegistry =
+            vec![sigmavp_workloads::kernels::vector_add()].into_iter().collect();
+        let mut sys = DispatchedSigmaVp::single(
+            GpuArch::quadro_4000(),
+            registry,
+            TransportCost::shared_memory(),
+        )
+        .with_policy(Policy::MultiplexedOptimized.with_sync_hold(true).with_sync_timeout_us(1));
+        sys.spawn(Box::new(SleepyAdd { n: 2048, pre_ms: 0, mid_ms: 0, launches: 1 }));
+        sys.spawn(Box::new(CopiesOnly { iterations: 400 }));
+        let (report, stats) = sys.join();
+        assert!(report.all_ok(), "{:?}", report.outcomes);
+        assert_eq!(stats.holds, 1);
+        assert!(stats.timeout_flushes >= 1, "{stats:?}");
+        assert_eq!(stats.stop_events, stats.resume_events, "no VP left parked: {stats:?}");
+    }
+
+    #[test]
+    fn hung_vp_is_quarantined_and_rejoins() {
+        // Three busy VPs iterate sync launches under quorum 0.5 while a fourth
+        // wedges for 150 ms between its two launches. The watchdog must
+        // quarantine the sleeper (it stops counting toward the quorum and its
+        // journal fails over to the other device), then let it rejoin — and
+        // finish — when it wakes.
+        let registry: KernelRegistry = BlackScholesApp::new(1)
+            .kernels()
+            .into_iter()
+            .chain(std::iter::once(sigmavp_workloads::kernels::vector_add()))
+            .collect();
+        let mut sys = DispatchedSigmaVp::new(
+            vec![GpuArch::quadro_4000(), GpuArch::quadro_4000()],
+            registry,
+            TransportCost::shared_memory(),
+        )
+        .with_policy(
+            Policy::MultiplexedOptimized.with_sync_hold(true).sync_quorum(0.5).with_hang_windows(2),
+        );
+        for _ in 0..3 {
+            sys.spawn(Box::new(BlackScholesApp {
+                n: 1024,
+                iterations: 4,
+                ..BlackScholesApp::new(1)
+            }));
+        }
+        sys.spawn(Box::new(SleepyAdd { n: 1024, pre_ms: 0, mid_ms: 150, launches: 2 }));
+        let (report, stats) = sys.join();
+        assert!(report.all_ok(), "{:?}", report.outcomes);
+        assert!(stats.quarantined >= 1, "{stats:?}");
+        assert!(stats.rejoins >= 1, "the sleeper must rejoin on wake: {stats:?}");
+        assert!(stats.migrations >= 1, "quarantine fails the VP over: {stats:?}");
+        assert_eq!(stats.stop_events, stats.resume_events, "no VP left parked: {stats:?}");
+    }
+
+    #[test]
+    fn plan_boundary_refuses_doomed_requests() {
+        // A 1 µs budget is below even a zero-byte copy's fixed latency, so the
+        // very first projected completion overshoots and the dispatcher
+        // refuses at the plan boundary with the typed violation.
+        let app = VectorAddApp { n: 2048 };
+        let registry: KernelRegistry = app.kernels().into_iter().collect();
+        let mut sys = DispatchedSigmaVp::single(
+            GpuArch::quadro_4000(),
+            registry,
+            TransportCost::shared_memory(),
+        )
+        .with_policy(Policy::MultiplexedOptimized.with_deadline_us(1));
+        sys.spawn(Box::new(app));
+        let (report, stats) = sys.join();
+        let err = report.outcomes[0].error.as_deref().expect("budget must be unmeetable");
+        assert!(err.contains("deadline exceeded at plan"), "{err}");
+        assert!(stats.deadline_misses >= 1, "{stats:?}");
+    }
+
+    #[test]
+    fn execute_boundary_charges_recovery_into_the_budget() {
+        // A lossy link forces retries whose simulated recovery cost (25 ms
+        // receive timeout) dwarfs the 5 ms budget: the guest surfaces the
+        // execute-stage violation instead of burning its remaining attempts.
+        let app = VectorAddApp { n: 2048 };
+        let registry: KernelRegistry = app.kernels().into_iter().collect();
+        let mut sys = DispatchedSigmaVp::single(
+            GpuArch::quadro_4000(),
+            registry,
+            TransportCost::shared_memory(),
+        )
+        .with_policy(Policy::MultiplexedOptimized.with_deadline_us(5_000))
+        .with_faults(FaultPlan::seeded(7).with_link(LinkFaultConfig {
+            drop_prob: 0.6,
+            corrupt_prob: 0.0,
+            delay_prob: 0.0,
+            delay_s: 0.0,
+        }));
+        sys.spawn(Box::new(app));
+        let (report, _) = sys.join();
+        let err = report.outcomes[0].error.as_deref().expect("drops must blow the budget");
+        assert!(err.contains("deadline exceeded at execute"), "{err}");
     }
 
     #[test]

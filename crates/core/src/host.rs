@@ -278,7 +278,7 @@ mod tests {
     }
 
     fn env(seq: u64, body: Request) -> Envelope {
-        Envelope { vp: VpId(0), seq, sent_at_s: 0.0, body }
+        Envelope { vp: VpId(0), seq, sent_at_s: 0.0, deadline_s: f64::INFINITY, body }
     }
 
     #[test]

@@ -94,6 +94,12 @@ impl FleetConfig {
         if self.vnodes == 0 {
             return Err(crate::FleetError::Config("need at least one vnode per session".into()));
         }
+        if self.policy.sync_quorum_pct == 0 || self.policy.sync_quorum_pct > 100 {
+            return Err(crate::FleetError::Config(format!(
+                "sync quorum must be in 1..=100 percent, got {}",
+                self.policy.sync_quorum_pct
+            )));
+        }
         Ok(())
     }
 }

@@ -3,6 +3,7 @@
 use std::fmt;
 
 use sigmavp_ipc::message::VpId;
+use sigmavp_vp::VpError;
 
 /// Any failure at the fleet front door.
 ///
@@ -36,6 +37,27 @@ pub enum FleetError {
     Closed,
     /// Invalid fleet configuration (zero sessions, zero capacity, …).
     Config(String),
+    /// The request's end-to-end deadline cannot be met; refused at the front
+    /// door instead of burning device time. The cause — the typed
+    /// [`VpError::DeadlineExceeded`] with stage, budget, and elapsed — is
+    /// preserved as this error's [`source`](std::error::Error::source),
+    /// mirroring the [`VpError::Ipc`] convention.
+    DeadlineExceeded {
+        /// The VP whose request was refused.
+        vp: VpId,
+        /// The underlying typed violation.
+        source: VpError,
+    },
+    /// The VP is quarantined by the hung-VP watchdog: its submissions are shed
+    /// at admission until it is readmitted, so a wedged guest cannot wedge its
+    /// shard's sync windows. The typed cause ([`VpError::Quarantined`]) is the
+    /// [`source`](std::error::Error::source).
+    Quarantined {
+        /// The quarantined VP.
+        vp: VpId,
+        /// The underlying typed cause.
+        source: VpError,
+    },
 }
 
 impl fmt::Display for FleetError {
@@ -53,11 +75,25 @@ impl fmt::Display for FleetError {
             FleetError::NoSurvivingSessions => write!(f, "every execution session is dead"),
             FleetError::Closed => write!(f, "the fleet has been shut down"),
             FleetError::Config(msg) => write!(f, "fleet configuration error: {msg}"),
+            FleetError::DeadlineExceeded { vp, source } => {
+                write!(f, "{vp} request refused: {source}")
+            }
+            FleetError::Quarantined { vp, source } => {
+                write!(f, "{vp} submission shed: {source}")
+            }
         }
     }
 }
 
-impl std::error::Error for FleetError {}
+impl std::error::Error for FleetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FleetError::DeadlineExceeded { source, .. }
+            | FleetError::Quarantined { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -69,5 +105,28 @@ mod tests {
         assert!(e.to_string().contains("8/8"));
         assert!(FleetError::Busy(VpId(3)).to_string().contains("vp3"));
         assert!(FleetError::NoSurvivingSessions.to_string().contains("dead"));
+    }
+
+    #[test]
+    fn liveness_errors_preserve_their_typed_cause() {
+        use sigmavp_vp::DeadlineStage;
+        use std::error::Error;
+        let e = FleetError::DeadlineExceeded {
+            vp: VpId(2),
+            source: VpError::DeadlineExceeded {
+                stage: DeadlineStage::Admission,
+                budget_s: 1e-3,
+                elapsed_s: 2e-3,
+            },
+        };
+        assert!(e.to_string().contains("vp2"), "{e}");
+        let source = e.source().expect("deadline errors carry a source");
+        assert!(source.to_string().contains("admission"), "{source}");
+
+        let q = FleetError::Quarantined { vp: VpId(5), source: VpError::Quarantined { vp: 5 } };
+        assert!(q.to_string().contains("vp5"), "{q}");
+        let source = q.source().expect("quarantine errors carry a source");
+        assert!(source.to_string().contains("watchdog"), "{source}");
+        assert!(FleetError::Closed.source().is_none());
     }
 }

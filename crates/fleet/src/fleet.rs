@@ -37,6 +37,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 
@@ -46,11 +47,13 @@ use sigmavp_fault::{
 };
 use sigmavp_gpu::GpuArch;
 use sigmavp_ipc::message::{Envelope, Request, Response, ResponseEnvelope, VpId};
-use sigmavp_sched::{HashRing, Pipeline};
+use sigmavp_sched::{quorum_met, HashRing, Pipeline, Policy};
 use sigmavp_telemetry::bus::{self, Incident, IncidentKind, ObsEvent};
 use sigmavp_telemetry::metrics::MetricsSnapshot;
 use sigmavp_telemetry::{job_uid, recorder, Lane, Telemetry, TimeDomain};
+use sigmavp_vp::error::format_deadline_violation;
 use sigmavp_vp::registry::KernelRegistry;
+use sigmavp_vp::{DeadlineStage, VpError};
 
 use crate::config::FleetConfig;
 use crate::error::FleetError;
@@ -83,6 +86,27 @@ pub struct FleetStats {
     pub session_trips: u64,
     /// Queued jobs re-homed from a dead session onto survivors.
     pub rescued_jobs: u64,
+    /// Synchronous launches parked in a shard's sync window instead of
+    /// executing immediately (sync-hold mode).
+    pub sync_holds: u64,
+    /// Sync windows flushed, whatever the trigger (full house, quorum,
+    /// timeout, or shutdown drain).
+    pub sync_windows: u64,
+    /// Sync windows flushed by the partial quorum before every eligible VP
+    /// was held.
+    pub quorum_flushes: u64,
+    /// Sync windows flushed by the simulated-time window timeout.
+    pub timeout_flushes: u64,
+    /// Requests refused because their end-to-end deadline could not be met
+    /// (at admission) or had already expired (while held).
+    pub deadline_misses: u64,
+    /// VPs quarantined by the hung-VP watchdog.
+    pub quarantined_vps: u64,
+    /// Requests shed at admission because their VP was quarantined.
+    pub quarantined: u64,
+    /// Quarantined VPs readmitted after proving liveness
+    /// ([`Fleet::readmit`]).
+    pub readmitted: u64,
 }
 
 /// One in-flight request: the guest-space original (for journaling) and the
@@ -95,6 +119,9 @@ struct FleetJob {
     exec: Request,
     sent_at_s: f64,
     cost_s: f64,
+    /// Absolute simulated-time deadline ([`f64::INFINITY`] when deadlines are
+    /// off), stamped at admission as `sim_s + budget`.
+    deadline_s: f64,
     enqueued_wall_s: f64,
 }
 
@@ -118,6 +145,12 @@ struct VpState {
     visited: HashMap<usize, (usize, HandleMap)>,
     /// Completed response awaiting [`Fleet::wait`], with its sim-time advance.
     mailbox: Option<(ResponseEnvelope, f64)>,
+    /// Quarantined by the hung-VP watchdog: submissions are shed and the VP
+    /// no longer counts toward its shard's sync quorum until readmitted.
+    quarantined: bool,
+    /// Voluntarily retired ([`Fleet::retire`]): a finished guest that must
+    /// not hold up its shard's sync quorums.
+    retired: bool,
 }
 
 #[derive(Debug)]
@@ -181,11 +214,105 @@ impl Front {
         rec.gauge_set("fleet.depth", state.depth as f64);
         self.cv.notify_all();
     }
+
+    /// Record a flushed sync window and what triggered it.
+    fn note_window(&self, trigger: WindowTrigger) {
+        let rec = recorder();
+        let mut state = self.state.lock();
+        state.stats.sync_windows += 1;
+        rec.count("fleet.sync_windows", 1);
+        match trigger {
+            WindowTrigger::Quorum => {
+                state.stats.quorum_flushes += 1;
+                rec.count("fleet.quorum_flushes", 1);
+            }
+            WindowTrigger::Timeout => {
+                state.stats.timeout_flushes += 1;
+                rec.count("fleet.timeout_flushes", 1);
+            }
+            WindowTrigger::Full | WindowTrigger::Drain => {}
+        }
+    }
+
+    /// Complete a held job whose deadline expired before its window flushed:
+    /// a typed hold-stage violation instead of burning device time on a
+    /// result nobody can use in time.
+    fn refuse_hold_deadline(&self, job: FleetJob, now_s: f64) {
+        let rec = recorder();
+        self.state.lock().stats.deadline_misses += 1;
+        rec.count("fleet.deadline_misses", 1);
+        let message = format_deadline_violation(DeadlineStage::Hold, job.deadline_s, now_s);
+        let response = ResponseEnvelope {
+            vp: job.vp,
+            seq: job.seq,
+            sent_at_s: job.sent_at_s,
+            body: Response::Error { message },
+        };
+        self.complete(job, response);
+    }
+
+    /// The stall backstop fired on `shard`: quarantine every VP homed there
+    /// that is provably idle — nothing outstanding, nothing waiting in its
+    /// mailbox — so the held window's quorum denominator shrinks and the
+    /// window can flush. Held VPs are never victims (their request *is* the
+    /// window). Publishes a [`IncidentKind::VpHung`] incident per victim so an
+    /// installed flight recorder dumps a post-mortem.
+    fn quarantine_idle(&self, shard: &Shard) {
+        let rec = recorder();
+        let victims: Vec<VpId> = {
+            let mut state = self.state.lock();
+            let victims: Vec<VpId> = state
+                .vps
+                .iter()
+                .filter(|(_, st)| {
+                    st.shard == shard.index
+                        && !st.quarantined
+                        && !st.retired
+                        && !st.outstanding
+                        && st.mailbox.is_none()
+                })
+                .map(|(vp, _)| *vp)
+                .collect();
+            for vp in &victims {
+                state.vps.get_mut(vp).expect("victim is admitted").quarantined = true;
+            }
+            state.stats.quarantined_vps += victims.len() as u64;
+            victims
+        };
+        for vp in &victims {
+            rec.count("fleet.quarantined_vps", 1);
+            bus::publish(&ObsEvent::Incident(Incident {
+                kind: IncidentKind::VpHung { vp: vp.0 },
+                wall_s: rec.wall_now_s(),
+                detail: format!(
+                    "vp{} made no progress while shard s{}'s sync window stalled; \
+                     quarantined from the quorum",
+                    vp.0, shard.index
+                ),
+            }));
+        }
+        if !victims.is_empty() {
+            let mut q = shard.queue.lock();
+            q.eligible = q.eligible.saturating_sub(victims.len());
+            shard.cv.notify_all();
+        }
+    }
 }
 
 #[derive(Debug, Default)]
 struct ShardQueue {
     jobs: VecDeque<FleetJob>,
+    /// Synchronous launches parked for this shard's next sync window, kept in
+    /// canonical `(vp, seq)` order at insertion (one entry per VP: guests are
+    /// synchronous).
+    sync_held: Vec<FleetJob>,
+    /// Eligible quorum denominator: VPs homed here that are neither
+    /// quarantined nor retired. Maintained by the front under the
+    /// front → queue lock order.
+    eligible: usize,
+    /// Newest simulated timestamp submitted to this shard — the sync-window
+    /// timeout clock (simulated time, never the wall).
+    sim_now: f64,
     /// The session died: the dispatcher drains the queue into `orphans`
     /// and exits.
     down: bool,
@@ -210,16 +337,58 @@ impl Shard {
     }
 }
 
-/// The dispatcher loop: pop, execute on the shard's session, deliver.
-fn dispatch_loop(shard: Arc<Shard>, front: Arc<Front>) {
+/// What triggered a sync-window flush.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WindowTrigger {
+    /// Every eligible VP held a launch (lockstep — the legacy trigger).
+    Full,
+    /// The partial quorum was met before a full house.
+    Quorum,
+    /// The simulated-time window timeout expired.
+    Timeout,
+    /// Shutdown: the final window flushes whatever is still held so no job
+    /// is lost.
+    Drain,
+}
+
+/// One unit of dispatcher work.
+enum Work {
+    /// An ordinary queued job.
+    One(FleetJob),
+    /// A flushed sync window (canonical `(vp, seq)` order) with its trigger
+    /// and the shard's simulated clock at the flush decision.
+    Window(Vec<FleetJob>, WindowTrigger, f64),
+    /// The wall-clock stall backstop fired while a window was held: ask the
+    /// front to quarantine idle VPs, then re-evaluate.
+    Stalled,
+}
+
+/// How long a dispatcher with a held sync window waits for progress before
+/// invoking the hung-VP watchdog. A *wall*-clock backstop, active only when
+/// `hang_windows > 0`: simulated time cannot advance on its own when the VP
+/// that would advance it is wedged, so liveness needs one real clock.
+const STALL_WALL_BACKSTOP: Duration = Duration::from_millis(500);
+
+/// The dispatcher loop: pop, execute on the shard's session, deliver. With
+/// sync-hold on, synchronous launches park in the shard's sync window and
+/// flush together on a full house, a partial quorum, or a simulated-time
+/// window timeout (DESIGN.md §15). Unlike the single-session dispatcher —
+/// which flushes exactly the quorum threshold and leaves the rest held — the
+/// fleet flushes *every* held job: shards are independent sessions, so there
+/// is no cross-shard planning benefit to withholding the stragglers.
+fn dispatch_loop(shard: Arc<Shard>, front: Arc<Front>, policy: Policy) {
     let rec = recorder();
+    let quorum_pct = policy.sync_quorum_pct;
+    let timeout_s = policy.sync_timeout_s();
+    let watchdog = policy.sync_hold && policy.hang_windows > 0;
     loop {
-        let job = {
+        let work = {
             let mut q = shard.queue.lock();
             loop {
                 if q.down {
                     let q = &mut *q;
                     q.orphans.extend(q.jobs.drain(..));
+                    q.orphans.append(&mut q.sync_held);
                     q.worker_done = true;
                     shard.cv.notify_all();
                     return;
@@ -227,9 +396,49 @@ fn dispatch_loop(shard: Arc<Shard>, front: Arc<Front>) {
                 if !q.held {
                     if let Some(job) = q.jobs.pop_front() {
                         rec.gauge_set(&shard.depth_gauge(), q.jobs.len() as f64);
-                        break job;
+                        break Work::One(job);
                     }
-                    if q.closed {
+                    if !q.sync_held.is_empty() {
+                        let held_vps = q.sync_held.len();
+                        let full = q.eligible > 0 && held_vps >= q.eligible;
+                        let quorum = !full
+                            && quorum_pct < 100
+                            && quorum_met(held_vps, q.eligible, quorum_pct);
+                        let window_open_s =
+                            q.sync_held.iter().map(|j| j.sent_at_s).fold(f64::INFINITY, f64::min);
+                        let timed_out = !full
+                            && !quorum
+                            && timeout_s.is_some_and(|limit| q.sim_now - window_open_s >= limit);
+                        if full || quorum || timed_out {
+                            let trigger = if full {
+                                WindowTrigger::Full
+                            } else if quorum {
+                                WindowTrigger::Quorum
+                            } else {
+                                WindowTrigger::Timeout
+                            };
+                            break Work::Window(
+                                std::mem::take(&mut q.sync_held),
+                                trigger,
+                                q.sim_now,
+                            );
+                        }
+                        if q.closed {
+                            break Work::Window(
+                                std::mem::take(&mut q.sync_held),
+                                WindowTrigger::Drain,
+                                q.sim_now,
+                            );
+                        }
+                        if watchdog {
+                            let stalled =
+                                shard.cv.wait_for(&mut q, STALL_WALL_BACKSTOP).timed_out();
+                            if stalled && !q.down && !q.held && q.jobs.is_empty() {
+                                break Work::Stalled;
+                            }
+                            continue;
+                        }
+                    } else if q.closed {
                         q.worker_done = true;
                         shard.cv.notify_all();
                         return;
@@ -239,6 +448,31 @@ fn dispatch_loop(shard: Arc<Shard>, front: Arc<Front>) {
             }
         };
 
+        match work {
+            Work::One(job) => execute_one(&shard, &front, job),
+            Work::Window(window, trigger, flush_now_s) => {
+                debug_assert!(
+                    window.windows(2).all(|w| (w[0].vp.0, w[0].seq) < (w[1].vp.0, w[1].seq)),
+                    "sync window must flush in canonical (vp, seq) order"
+                );
+                front.note_window(trigger);
+                for job in window {
+                    if flush_now_s > job.deadline_s {
+                        front.refuse_hold_deadline(job, flush_now_s);
+                    } else {
+                        execute_one(&shard, &front, job);
+                    }
+                }
+            }
+            Work::Stalled => front.quarantine_idle(&shard),
+        }
+    }
+}
+
+/// Execute one job on the shard's session and deliver its response.
+fn execute_one(shard: &Shard, front: &Front, job: FleetJob) {
+    let rec = recorder();
+    {
         let uid = job_uid(job.vp.0, job.seq);
         let start_wall = rec.wall_now_s();
         let wait_s = (start_wall - job.enqueued_wall_s).max(0.0);
@@ -263,8 +497,13 @@ fn dispatch_loop(shard: Arc<Shard>, front: Arc<Front>) {
             let arch = bus::has_sinks().then(|| session.arch(device).clone());
             (session.runtime(device), arch)
         };
-        let envelope =
-            Envelope { vp: job.vp, seq: job.seq, sent_at_s: job.sent_at_s, body: job.exec.clone() };
+        let envelope = Envelope {
+            vp: job.vp,
+            seq: job.seq,
+            sent_at_s: job.sent_at_s,
+            deadline_s: job.deadline_s,
+            body: job.exec.clone(),
+        };
         let response = {
             let mut rt = runtime.lock();
             let response = rt.process(&envelope);
@@ -366,12 +605,13 @@ impl Fleet {
             }),
             cv: Condvar::new(),
         });
+        let policy = config.policy;
         let workers = shards
             .iter()
             .map(|shard| {
                 let shard = Arc::clone(shard);
                 let front = Arc::clone(&front);
-                std::thread::spawn(move || dispatch_loop(shard, front))
+                std::thread::spawn(move || dispatch_loop(shard, front, policy))
             })
             .collect();
         Ok(Fleet { config, shards, front, workers: Mutex::new(workers) })
@@ -434,8 +674,11 @@ impl Fleet {
                 map: None,
                 visited: HashMap::new(),
                 mailbox: None,
+                quarantined: false,
+                retired: false,
             },
         );
+        self.shards[shard].queue.lock().eligible += 1;
         recorder().gauge_set("fleet.vps", state.vps.len() as f64);
         Ok(shard)
     }
@@ -461,6 +704,35 @@ impl Fleet {
             let st = state.vps.get(&vp).ok_or(FleetError::UnknownVp(vp))?;
             if st.outstanding || st.mailbox.is_some() {
                 return Err(FleetError::Busy(vp));
+            }
+            // Quarantine feeds admission: a wedged VP's work is *shed* with a
+            // typed error instead of buffered against a quorum it no longer
+            // counts toward.
+            if st.quarantined {
+                state.stats.quarantined += 1;
+                rec.count("fleet.quarantined", 1);
+                return Err(FleetError::Quarantined {
+                    vp,
+                    source: VpError::Quarantined { vp: vp.0 },
+                });
+            }
+        }
+        // Admission-boundary deadline check: if the request's own submitted
+        // cost already exceeds the budget, no schedule can save it — refuse
+        // at the front door instead of burning device time.
+        let cost_s = request_cost(&self.config.arch, &request);
+        if let Some(budget_s) = self.config.policy.deadline_s() {
+            if cost_s > budget_s {
+                state.stats.deadline_misses += 1;
+                rec.count("fleet.deadline_misses", 1);
+                return Err(FleetError::DeadlineExceeded {
+                    vp,
+                    source: VpError::DeadlineExceeded {
+                        stage: DeadlineStage::Admission,
+                        budget_s,
+                        elapsed_s: cost_s,
+                    },
+                });
             }
         }
         if state.depth >= self.config.admission_capacity {
@@ -525,8 +797,8 @@ impl Fleet {
             },
             None => request.clone(),
         };
-        let cost_s = request_cost(&self.config.arch, &request);
         let sent_at_s = st.sim_s;
+        let deadline_s = self.config.policy.deadline_s().map_or(f64::INFINITY, |b| sent_at_s + b);
         let shard_idx = st.shard;
         st.outstanding = true;
         st.submitted_wall_s = rec.wall_now_s();
@@ -539,19 +811,32 @@ impl Fleet {
         rec.count("fleet.admitted", 1);
         rec.gauge_set("fleet.depth", state.depth as f64);
 
+        let sync_launch =
+            self.config.policy.sync_hold && matches!(&request, Request::Launch { sync: true, .. });
+        let job = FleetJob {
+            vp,
+            seq,
+            guest: request,
+            exec,
+            sent_at_s,
+            cost_s,
+            deadline_s,
+            enqueued_wall_s: rec.wall_now_s(),
+        };
         let shard = &self.shards[shard_idx];
         {
             let mut q = shard.queue.lock();
-            q.jobs.push_back(FleetJob {
-                vp,
-                seq,
-                guest: request,
-                exec,
-                sent_at_s,
-                cost_s,
-                enqueued_wall_s: rec.wall_now_s(),
-            });
-            rec.gauge_set(&shard.depth_gauge(), q.jobs.len() as f64);
+            q.sim_now = q.sim_now.max(sent_at_s);
+            if sync_launch {
+                // Park in the shard's sync window, canonical (vp, seq) order.
+                let at = q.sync_held.partition_point(|j| (j.vp.0, j.seq) < (vp.0, seq));
+                q.sync_held.insert(at, job);
+                state.stats.sync_holds += 1;
+                rec.count("fleet.sync_holds", 1);
+            } else {
+                q.jobs.push_back(job);
+                rec.gauge_set(&shard.depth_gauge(), q.jobs.len() as f64);
+            }
             shard.cv.notify_one();
         }
 
@@ -608,6 +893,67 @@ impl Fleet {
         }
         if st.shard != target {
             self.migrate_locked(&mut state, vp, target);
+        }
+        Ok(())
+    }
+
+    /// Retire a finished `vp` from its shard's sync-quorum denominator. A
+    /// guest that has completed its script must not hold up lockstep windows
+    /// for the VPs still running; retirement is the graceful counterpart of
+    /// the watchdog's quarantine. Idempotent.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::Busy`] while a request is in flight or a response is
+    /// uncollected; [`FleetError::UnknownVp`] as named.
+    pub fn retire(&self, vp: VpId) -> Result<(), FleetError> {
+        let mut state = self.front.state.lock();
+        let st = state.vps.get_mut(&vp).ok_or(FleetError::UnknownVp(vp))?;
+        if st.outstanding || st.mailbox.is_some() {
+            return Err(FleetError::Busy(vp));
+        }
+        if st.retired {
+            return Ok(());
+        }
+        let counted = !st.quarantined;
+        st.retired = true;
+        let shard = &self.shards[st.shard];
+        if counted {
+            {
+                let mut q = shard.queue.lock();
+                q.eligible = q.eligible.saturating_sub(1);
+            }
+            shard.cv.notify_all();
+        }
+        Ok(())
+    }
+
+    /// Readmit a quarantined `vp`: clear the quarantine and restore it to its
+    /// shard's quorum denominator. The caller vouches the guest is live again
+    /// (e.g. it reconnected or its hang resolved). No-op for a VP that is not
+    /// quarantined.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::UnknownVp`] as named.
+    pub fn readmit(&self, vp: VpId) -> Result<(), FleetError> {
+        let mut state = self.front.state.lock();
+        let st = state.vps.get_mut(&vp).ok_or(FleetError::UnknownVp(vp))?;
+        if !st.quarantined {
+            return Ok(());
+        }
+        st.quarantined = false;
+        let counted = !st.retired;
+        let shard_idx = st.shard;
+        state.stats.readmitted += 1;
+        recorder().count("fleet.readmitted", 1);
+        if counted {
+            let shard = &self.shards[shard_idx];
+            {
+                let mut q = shard.queue.lock();
+                q.eligible += 1;
+            }
+            shard.cv.notify_all();
         }
         Ok(())
     }
@@ -710,6 +1056,7 @@ impl Fleet {
                     exec,
                     sent_at_s: job.sent_at_s,
                     cost_s: job.cost_s,
+                    deadline_s: job.deadline_s,
                     enqueued_wall_s: rec.wall_now_s(),
                 });
                 rec.gauge_set(&target_shard.depth_gauge(), q.jobs.len() as f64);
@@ -833,7 +1180,13 @@ impl Fleet {
         let process = |orig_seq: u64, request: &Request| {
             let started_wall_s = rec.wall_now_s();
             let body = rt
-                .process_replay(&Envelope { vp, seq: 0, sent_at_s: sim_s, body: request.clone() })
+                .process_replay(&Envelope {
+                    vp,
+                    seq: 0,
+                    sent_at_s: sim_s,
+                    deadline_s: f64::INFINITY,
+                    body: request.clone(),
+                })
                 .body;
             // Stitch the replayed work onto the *original* job's uid so its
             // lifecycle joins into one migration-tagged causal chain.
@@ -867,6 +1220,16 @@ impl Fleet {
         }
         let st = state.vps.get_mut(&vp).expect("migrating an admitted vp");
         st.shard = target;
+        // Move the VP's quorum-denominator slot with it; waking the source
+        // dispatcher lets a window that was waiting on this VP flush.
+        if !st.quarantined && !st.retired {
+            {
+                let mut q = self.shards[source].queue.lock();
+                q.eligible = q.eligible.saturating_sub(1);
+            }
+            self.shards[source].cv.notify_all();
+            self.shards[target].queue.lock().eligible += 1;
+        }
         // Zero-width marker carrying the uid of the first post-migration job,
         // so its lifecycle is tagged `migrated` even if nothing was replayed.
         rec.span_for_job(

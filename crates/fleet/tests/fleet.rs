@@ -3,6 +3,7 @@
 
 use sigmavp_fleet::{drive, drive_with, Fleet, FleetConfig, FleetError, VpScript};
 use sigmavp_ipc::message::{Request, Response, VpId};
+use sigmavp_sched::Policy;
 use sigmavp_vp::registry::KernelRegistry;
 use sigmavp_workloads::app::Application;
 use sigmavp_workloads::apps::VectorAddApp;
@@ -266,4 +267,297 @@ fn no_surviving_sessions_is_a_typed_error() {
     assert_eq!(fleet.admit(VpId(1)).unwrap_err(), FleetError::NoSurvivingSessions);
     let outcome = fleet.shutdown();
     assert_eq!(outcome.stats.session_trips, 1);
+}
+
+// --- Liveness layer (DESIGN.md §15): quorum flushing, deadlines, watchdog ---
+
+/// Drive one VP's script to completion with strict submit/wait alternation
+/// (a deterministic single-threaded guest).
+fn run_script(fleet: &Fleet, vp: VpId, script: &mut VpScript) {
+    let mut last: Option<Response> = None;
+    while let Some(request) = script.next(last.as_ref()).expect("script step validates") {
+        fleet.submit(vp, request).expect("submit accepted");
+        let (envelope, _) = fleet.wait(vp).expect("response delivered");
+        last = Some(envelope.body);
+    }
+}
+
+#[test]
+fn quorum_flushes_partial_sync_windows_deterministically() {
+    let run = || {
+        let mut config = FleetConfig::new(1);
+        config.policy = Policy::Fifo.with_sync_hold(true).sync_quorum(0.5);
+        let fleet = Fleet::new(config, registry()).expect("fleet builds");
+        fleet.admit(VpId(0)).unwrap();
+        fleet.admit(VpId(1)).unwrap();
+        // Two eligible VPs at quorum 0.5: a single held launch meets the
+        // threshold, so each guest's sync launch flushes alone instead of
+        // deadlocking against a peer that never launches concurrently.
+        run_script(&fleet, VpId(0), &mut VpScript::vector_add(256, 1, 41));
+        run_script(&fleet, VpId(1), &mut VpScript::vector_add(256, 1, 42));
+        fleet.shutdown().stats
+    };
+    let first = run();
+    assert_eq!(first.sync_holds, 2);
+    assert_eq!(first.sync_windows, 2);
+    assert_eq!(first.quorum_flushes, 2, "neither window was a full house: {first:?}");
+    assert_eq!(first.timeout_flushes, 0);
+    assert_eq!(first.completed, first.admitted);
+    assert_eq!(first, run(), "liveness counters are byte-identical across same runs");
+}
+
+#[test]
+fn window_timeout_flushes_when_quorum_is_unreachable() {
+    let mut config = FleetConfig::new(1);
+    // Lockstep quorum (100%) with a copies-only companion that never
+    // launches: only the simulated-time window timeout can flush.
+    config.policy = Policy::Fifo.with_sync_hold(true).with_sync_timeout_us(1);
+    let fleet = Fleet::new(config, registry()).expect("fleet builds");
+    let (a, b) = (VpId(0), VpId(1));
+    fleet.admit(a).unwrap();
+    fleet.admit(b).unwrap();
+
+    // Drive A up to (and including) submitting its sync launch, then leave
+    // it parked in the window.
+    let mut script = VpScript::vector_add(256, 1, 7);
+    let mut last: Option<Response> = None;
+    loop {
+        let request = script.next(last.as_ref()).expect("step validates").expect("not done");
+        let is_launch = matches!(request, Request::Launch { .. });
+        fleet.submit(a, request).unwrap();
+        if is_launch {
+            break;
+        }
+        last = Some(fleet.wait(a).unwrap().0.body);
+    }
+    assert_eq!(fleet.stats().sync_holds, 1);
+
+    // B's async traffic advances the shard's simulated clock past the
+    // window's deadline; no launch from B is ever needed.
+    fleet.submit(b, Request::Malloc { bytes: 4096 }).unwrap();
+    let Response::Malloc { handle } = fleet.wait(b).unwrap().0.body else {
+        panic!("malloc failed")
+    };
+    for _ in 0..8 {
+        fleet.submit(b, Request::MemcpyH2D { handle, data: vec![0u8; 4096], stream: 0 }).unwrap();
+        fleet.wait(b).unwrap();
+    }
+
+    let (envelope, _) = fleet.wait(a).expect("the timeout released the held launch");
+    assert!(matches!(envelope.body, Response::Launched { .. }), "{:?}", envelope.body);
+    let stats = fleet.stats();
+    assert_eq!(stats.sync_windows, 1);
+    assert_eq!(stats.timeout_flushes, 1, "{stats:?}");
+    assert_eq!(stats.quorum_flushes, 0);
+    fleet.shutdown();
+}
+
+#[test]
+fn admission_deadline_refuses_uncompletable_requests() {
+    let mut config = FleetConfig::new(1);
+    config.policy = Policy::Fifo.with_deadline_us(1);
+    let fleet = Fleet::new(config, registry()).expect("fleet builds");
+    fleet.admit(VpId(0)).unwrap();
+    // A 4 KiB copy costs ~8.7 simulated microseconds against a 1 µs budget:
+    // no schedule can save it, so the front door refuses it outright.
+    let err = fleet
+        .submit(VpId(0), Request::MemcpyH2D { handle: 1, data: vec![0u8; 4096], stream: 0 })
+        .unwrap_err();
+    let FleetError::DeadlineExceeded { vp, source } = &err else {
+        panic!("expected a deadline refusal, got {err:?}")
+    };
+    assert_eq!(*vp, VpId(0));
+    assert!(source.to_string().contains("admission"), "{source}");
+    let stats = fleet.stats();
+    assert_eq!(stats.deadline_misses, 1);
+    assert_eq!(fleet.depth(), 0, "the refused request was not buffered");
+    // A request that fits the budget still goes through.
+    fleet.submit(VpId(0), Request::Malloc { bytes: 64 }).unwrap();
+    fleet.wait(VpId(0)).unwrap();
+    fleet.shutdown();
+}
+
+#[test]
+fn held_launch_past_its_deadline_gets_a_typed_hold_error() {
+    let mut config = FleetConfig::new(1);
+    config.policy = Policy::Fifo.with_sync_hold(true).with_sync_timeout_us(2).with_deadline_us(1);
+    let fleet = Fleet::new(config, registry()).expect("fleet builds");
+    let (a, b) = (VpId(0), VpId(1));
+    fleet.admit(a).unwrap();
+    fleet.admit(b).unwrap();
+
+    // A allocates (cheap, within budget) and launches on uninitialized
+    // buffers; the launch parks in the sync window.
+    let mut handles = Vec::new();
+    for _ in 0..3 {
+        fleet.submit(a, Request::Malloc { bytes: 1024 }).unwrap();
+        let Response::Malloc { handle } = fleet.wait(a).unwrap().0.body else {
+            panic!("malloc failed")
+        };
+        handles.push(handle);
+    }
+    fleet
+        .submit(
+            a,
+            Request::Launch {
+                kernel: "vector_add".into(),
+                grid_dim: 1,
+                block_dim: 256,
+                params: vec![
+                    sigmavp_ipc::message::WireParam::Buffer(handles[0]),
+                    sigmavp_ipc::message::WireParam::Buffer(handles[1]),
+                    sigmavp_ipc::message::WireParam::Buffer(handles[2]),
+                    sigmavp_ipc::message::WireParam::I64(256),
+                ],
+                sync: true,
+                stream: 0,
+            },
+        )
+        .unwrap();
+
+    // B's cheap mallocs (the only traffic that fits a 1 µs budget) advance
+    // simulated time past both the window timeout and A's deadline.
+    for _ in 0..40 {
+        fleet.submit(b, Request::Malloc { bytes: 16 }).unwrap();
+        fleet.wait(b).unwrap();
+    }
+
+    let (envelope, _) = fleet.wait(a).expect("the expired launch still completes");
+    let Response::Error { message } = &envelope.body else {
+        panic!("expected a hold-stage deadline error, got {:?}", envelope.body)
+    };
+    assert!(message.starts_with("deadline-exceeded:"), "{message}");
+    assert!(message.contains("stage=hold"), "{message}");
+    let stats = fleet.stats();
+    assert_eq!(stats.timeout_flushes, 1, "{stats:?}");
+    assert_eq!(stats.deadline_misses, 1, "{stats:?}");
+    fleet.shutdown();
+}
+
+#[test]
+fn hung_vp_is_quarantined_sheds_and_readmits() {
+    let run = || {
+        let mut config = FleetConfig::new(1);
+        // Lockstep quorum plus the watchdog: the only way A's window can
+        // flush is for the watchdog to quarantine the wedged peer.
+        config.policy = Policy::Fifo.with_sync_hold(true).with_hang_windows(1);
+        let fleet = Fleet::new(config, registry()).expect("fleet builds");
+        let (a, d) = (VpId(0), VpId(1));
+        fleet.admit(a).unwrap();
+        fleet.admit(d).unwrap();
+
+        // D does a little work, then wedges (never submits again).
+        fleet.submit(d, Request::Malloc { bytes: 64 }).unwrap();
+        fleet.wait(d).unwrap();
+
+        // A's script stalls at its sync launch (1 of 2 eligible VPs held)
+        // until the stall backstop quarantines D; then the window is a full
+        // house over the shrunken denominator and A finishes alone.
+        run_script(&fleet, a, &mut VpScript::vector_add(256, 1, 11));
+
+        // Quarantine feeds admission: D's later submissions shed with a
+        // typed error instead of buffering against a dead quorum.
+        let mut shed = 0u64;
+        for _ in 0..3 {
+            let err = fleet.submit(d, Request::Malloc { bytes: 64 }).unwrap_err();
+            assert!(
+                matches!(err, FleetError::Quarantined { vp, .. } if vp == d),
+                "expected quarantine shed, got {err:?}"
+            );
+            shed += 1;
+        }
+
+        // Readmission restores D to the quorum denominator and its work flows.
+        fleet.readmit(d).expect("readmit clears the quarantine");
+        fleet.submit(d, Request::Malloc { bytes: 64 }).unwrap();
+        fleet.wait(d).unwrap();
+
+        let stats = fleet.shutdown().stats;
+        assert_eq!(stats.quarantined, shed);
+        stats
+    };
+    let first = run();
+    assert_eq!(first.quarantined_vps, 1, "{first:?}");
+    assert_eq!(first.quarantined, 3, "{first:?}");
+    assert_eq!(first.readmitted, 1, "{first:?}");
+    assert_eq!(first.sync_holds, 1, "{first:?}");
+    assert_eq!(first.completed, first.admitted, "every non-shed submission completed: {first:?}");
+    assert_eq!(first, run(), "chaos counters are byte-identical across same runs");
+}
+
+#[test]
+fn retirement_shrinks_the_quorum_denominator() {
+    let mut config = FleetConfig::new(1);
+    config.policy = Policy::Fifo.with_sync_hold(true);
+    let fleet = Fleet::new(config, registry()).expect("fleet builds");
+    let (a, b) = (VpId(0), VpId(1));
+    fleet.admit(a).unwrap();
+    fleet.admit(b).unwrap();
+    // B finishes its (trivial) run and retires; A's lockstep windows must
+    // not wait for it afterwards.
+    fleet.submit(b, Request::Malloc { bytes: 64 }).unwrap();
+    fleet.wait(b).unwrap();
+    fleet.retire(b).expect("idle vp retires");
+    run_script(&fleet, a, &mut VpScript::vector_add(256, 2, 13));
+    let stats = fleet.shutdown().stats;
+    assert_eq!(stats.sync_holds, 2);
+    assert_eq!(stats.sync_windows, 2);
+    assert_eq!(stats.quorum_flushes, 0, "full houses over the shrunken denominator: {stats:?}");
+    assert_eq!(stats.completed, stats.admitted);
+}
+
+#[test]
+fn shutdown_drains_a_held_sync_window() {
+    let mut config = FleetConfig::new(1);
+    config.policy = Policy::Fifo.with_sync_hold(true);
+    let fleet = Fleet::new(config, registry()).expect("fleet builds");
+    let (a, b) = (VpId(0), VpId(1));
+    fleet.admit(a).unwrap();
+    fleet.admit(b).unwrap();
+    let mut handles = Vec::new();
+    for _ in 0..3 {
+        fleet.submit(a, Request::Malloc { bytes: 1024 }).unwrap();
+        let Response::Malloc { handle } = fleet.wait(a).unwrap().0.body else {
+            panic!("malloc failed")
+        };
+        handles.push(handle);
+    }
+    fleet
+        .submit(
+            a,
+            Request::Launch {
+                kernel: "vector_add".into(),
+                grid_dim: 1,
+                block_dim: 256,
+                params: vec![
+                    sigmavp_ipc::message::WireParam::Buffer(handles[0]),
+                    sigmavp_ipc::message::WireParam::Buffer(handles[1]),
+                    sigmavp_ipc::message::WireParam::Buffer(handles[2]),
+                    sigmavp_ipc::message::WireParam::I64(256),
+                ],
+                sync: true,
+                stream: 0,
+            },
+        )
+        .unwrap();
+    // B never launches, so the lockstep window can only flush at shutdown:
+    // the final drain completes A's launch instead of losing it.
+    let outcome = fleet.shutdown();
+    assert_eq!(outcome.stats.sync_windows, 1);
+    assert_eq!(outcome.stats.completed, outcome.stats.admitted);
+    let (envelope, _) = fleet.try_take(a).expect("drained response is in the mailbox");
+    assert!(matches!(envelope.body, Response::Launched { .. }), "{:?}", envelope.body);
+}
+
+#[test]
+fn sync_quorum_knob_is_validated() {
+    let mut config = FleetConfig::new(1);
+    config.policy.sync_quorum_pct = 0;
+    assert!(matches!(
+        Fleet::new(config, registry()).unwrap_err(),
+        FleetError::Config(msg) if msg.contains("quorum")
+    ));
+    let mut config = FleetConfig::new(1);
+    config.policy.sync_quorum_pct = 150;
+    assert!(Fleet::new(config, registry()).is_err());
 }

@@ -50,6 +50,7 @@ pub fn encode_request_into(envelope: &Envelope, buf: &mut BytesMut) {
     payload.put_u32_le(envelope.vp.0);
     payload.put_u64_le(envelope.seq);
     payload.put_f64_le(envelope.sent_at_s);
+    payload.put_f64_le(envelope.deadline_s);
     match &envelope.body {
         Request::Malloc { bytes } => {
             payload.put_u8(TAG_MALLOC);
@@ -111,6 +112,7 @@ pub fn decode_request(frame: &[u8]) -> Result<Envelope, IpcError> {
     let vp = VpId(get_u32(&mut buf, frame.len())?);
     let seq = get_u64(&mut buf, frame.len())?;
     let sent_at_s = get_f64(&mut buf, frame.len())?;
+    let deadline_s = get_f64(&mut buf, frame.len())?;
     let tag = get_u8(&mut buf, frame.len())?;
     let body = match tag {
         TAG_MALLOC => Request::Malloc { bytes: get_u64(&mut buf, frame.len())? },
@@ -160,7 +162,7 @@ pub fn decode_request(frame: &[u8]) -> Result<Envelope, IpcError> {
             })
         }
     };
-    Ok(Envelope { vp, seq, sent_at_s, body })
+    Ok(Envelope { vp, seq, sent_at_s, deadline_s, body })
 }
 
 /// Encode a response envelope into a framed byte buffer.
@@ -310,7 +312,7 @@ mod tests {
     use super::*;
 
     fn roundtrip_request(body: Request) {
-        let e = Envelope { vp: VpId(3), seq: 42, sent_at_s: 1.5, body };
+        let e = Envelope { vp: VpId(3), seq: 42, sent_at_s: 1.5, deadline_s: f64::INFINITY, body };
         let encoded = encode_request(&e);
         let decoded = decode_request(&encoded).unwrap();
         assert_eq!(e, decoded);
@@ -350,7 +352,13 @@ mod tests {
 
     #[test]
     fn truncated_frames_are_rejected() {
-        let e = Envelope { vp: VpId(0), seq: 1, sent_at_s: 0.0, body: Request::Synchronize };
+        let e = Envelope {
+            vp: VpId(0),
+            seq: 1,
+            sent_at_s: 0.0,
+            deadline_s: f64::INFINITY,
+            body: Request::Synchronize,
+        };
         let encoded = encode_request(&e);
         for cut in [0, 3, encoded.len() - 1] {
             assert!(decode_request(&encoded[..cut]).is_err(), "cut at {cut} accepted");
@@ -381,6 +389,7 @@ mod tests {
             vp: VpId(1),
             seq: 1,
             sent_at_s: 0.0,
+            deadline_s: f64::INFINITY,
             body: Request::MemcpyH2D { handle: 3, data: vec![7u8; payload_len], stream: 0 },
         };
         let telemetry = sigmavp_telemetry::install();
@@ -404,8 +413,13 @@ mod tests {
     #[test]
     fn reusable_buffer_roundtrips_both_directions() {
         let mut buf = BytesMut::new();
-        let req =
-            Envelope { vp: VpId(2), seq: 7, sent_at_s: 0.5, body: Request::Malloc { bytes: 128 } };
+        let req = Envelope {
+            vp: VpId(2),
+            seq: 7,
+            sent_at_s: 0.5,
+            deadline_s: f64::INFINITY,
+            body: Request::Malloc { bytes: 128 },
+        };
         encode_request_into(&req, &mut buf);
         assert_eq!(decode_request(&buf).unwrap(), req);
         // Re-encoding into the same buffer replaces the previous frame.
@@ -421,7 +435,13 @@ mod tests {
 
     #[test]
     fn mismatched_length_prefix_is_rejected() {
-        let e = Envelope { vp: VpId(0), seq: 1, sent_at_s: 0.0, body: Request::Synchronize };
+        let e = Envelope {
+            vp: VpId(0),
+            seq: 1,
+            sent_at_s: 0.0,
+            deadline_s: f64::INFINITY,
+            body: Request::Synchronize,
+        };
         let mut bytes = encode_request(&e).to_vec();
         bytes.push(0xFF); // extra trailing garbage
         assert!(decode_request(&bytes).is_err());

@@ -145,8 +145,23 @@ pub struct Envelope {
     pub seq: u64,
     /// Simulated send timestamp in seconds.
     pub sent_at_s: f64,
+    /// Absolute end-to-end deadline in simulated seconds. `f64::INFINITY`
+    /// (the default) means the request has no deadline; otherwise every
+    /// pipeline boundary (admission, hold, plan, execute) checks simulated
+    /// time against it instead of waiting indefinitely.
+    pub deadline_s: f64,
     /// The request itself.
     pub body: Request,
+}
+
+impl Envelope {
+    /// The no-deadline sentinel carried by requests without a budget.
+    pub const NO_DEADLINE: f64 = f64::INFINITY;
+
+    /// Whether the envelope carries a finite deadline.
+    pub fn has_deadline(&self) -> bool {
+        self.deadline_s.is_finite()
+    }
 }
 
 /// A response with routing and timing metadata.

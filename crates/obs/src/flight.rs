@@ -177,15 +177,17 @@ impl FlightRecorder {
         self.lock().bundles.clone()
     }
 
-    /// Feed one incident. Breaker trips and session kills dump immediately;
-    /// sheds dump once a consecutive burst reaches the configured threshold
-    /// (then the streak resets so a sustained storm yields periodic bundles,
-    /// not one per shed).
+    /// Feed one incident. Breaker trips, session kills, and hung-VP
+    /// quarantines dump immediately; sheds dump once a consecutive burst
+    /// reaches the configured threshold (then the streak resets so a
+    /// sustained storm yields periodic bundles, not one per shed).
     pub fn on_incident(&self, incident: &Incident) {
         let mut inner = self.lock();
         inner.incidents.push(incident.clone());
         let dump = match incident.kind {
-            IncidentKind::BreakerTrip { .. } | IncidentKind::SessionKilled { .. } => {
+            IncidentKind::BreakerTrip { .. }
+            | IncidentKind::SessionKilled { .. }
+            | IncidentKind::VpHung { .. } => {
                 inner.shed_streak = 0;
                 true
             }

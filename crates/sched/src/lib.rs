@@ -25,6 +25,7 @@
 pub mod coalesce;
 pub mod deps;
 pub mod interleave;
+pub mod liveness;
 pub mod pipeline;
 pub mod placement;
 pub mod policy;
@@ -34,6 +35,7 @@ pub mod wavepack;
 pub use coalesce::{CoalescePlan, MemoryLayout};
 pub use deps::{reorder_critical_path, JobDag};
 pub use interleave::reorder_async;
+pub use liveness::{quorum_met, quorum_threshold};
 pub use pipeline::{
     AdaptiveSelect, Coalesce, DepOrder, Interleave, JobStream, MergeGroup, PassCtx, Pipeline,
     SchedulePass, StreamEvaluator,

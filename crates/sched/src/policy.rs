@@ -159,6 +159,29 @@ pub struct Policy {
     /// order. Off, synchronous launches are answered as they arrive and only
     /// reordering applies to the live window.
     pub sync_hold: bool,
+    /// Sync-mode flush quorum, in percent of eligible (connected and not
+    /// quarantined) VPs. `100` (the default) reproduces lockstep flushing:
+    /// a window dispatches only once every eligible VP holds a launch. Lower
+    /// values flush a partial window as soon as
+    /// `ceil(eligible * pct / 100)` VPs are held; late arrivals roll into the
+    /// next window. Set via [`Policy::sync_quorum`].
+    pub sync_quorum_pct: u32,
+    /// Sync-mode window timeout in *simulated* microseconds. `0` disables the
+    /// timeout. When set, a held window flushes once the newest observed
+    /// simulated timestamp is this far past the window's oldest held launch,
+    /// even if the quorum was never reached — so one slow VP bounds, rather
+    /// than stalls, the platform. Set via [`Policy::sync_window_timeout`].
+    pub sync_timeout_us: u64,
+    /// End-to-end request deadline budget in *simulated* microseconds. `0`
+    /// disables deadlines. When set, every request carries an absolute
+    /// simulated-time deadline on its envelope; admission, hold, plan, and
+    /// execute boundaries surface `DeadlineExceeded` instead of waiting past
+    /// it. Set via [`Policy::with_deadline`].
+    pub deadline_us: u64,
+    /// Hung-VP watchdog threshold: quarantine a connected, unheld VP after
+    /// this many consecutive flushed sync windows with no activity from it.
+    /// `0` (the default) disables the watchdog.
+    pub hang_windows: u32,
 }
 
 #[allow(non_upper_case_globals)]
@@ -172,6 +195,10 @@ impl Policy {
         retry: RetryPolicy::DEFAULT,
         workers: 0,
         sync_hold: false,
+        sync_quorum_pct: 100,
+        sync_timeout_us: 0,
+        deadline_us: 0,
+        hang_windows: 0,
     };
     /// Legacy `GpuMode::Multiplexed`: host-GPU multiplexing without the
     /// re-scheduler optimizations.
@@ -183,6 +210,10 @@ impl Policy {
         retry: RetryPolicy::DEFAULT,
         workers: 0,
         sync_hold: false,
+        sync_quorum_pct: 100,
+        sync_timeout_us: 0,
+        deadline_us: 0,
+        hang_windows: 0,
     };
     /// Legacy `GpuMode::MultiplexedOptimized`: multiplexing plus Kernel
     /// Interleaving and Kernel Coalescing.
@@ -194,6 +225,10 @@ impl Policy {
         retry: RetryPolicy::DEFAULT,
         workers: 0,
         sync_hold: false,
+        sync_quorum_pct: 100,
+        sync_timeout_us: 0,
+        deadline_us: 0,
+        hang_windows: 0,
     };
     /// Legacy `SchedulingPolicy::Fifo`: live VPs race for the host runtime;
     /// the pending window is still interleaved by the re-scheduler.
@@ -205,6 +240,10 @@ impl Policy {
         retry: RetryPolicy::DEFAULT,
         workers: 0,
         sync_hold: false,
+        sync_quorum_pct: 100,
+        sync_timeout_us: 0,
+        deadline_us: 0,
+        hang_windows: 0,
     };
     /// Legacy `SchedulingPolicy::RoundRobin`: live VPs take strict turns
     /// through the VP-control gate.
@@ -216,6 +255,10 @@ impl Policy {
         retry: RetryPolicy::DEFAULT,
         workers: 0,
         sync_hold: false,
+        sync_quorum_pct: 100,
+        sync_timeout_us: 0,
+        deadline_us: 0,
+        hang_windows: 0,
     };
 
     /// The emulation baseline ([`Policy::EmulatedOnVp`]).
@@ -269,6 +312,82 @@ impl Policy {
     pub const fn with_sync_hold(mut self, sync_hold: bool) -> Policy {
         self.sync_hold = sync_hold;
         self
+    }
+
+    /// Set the sync-mode flush quorum as a fraction of eligible VPs (builder
+    /// style). Values are clamped to `(0, 1]` and stored in whole percent so
+    /// [`Policy`] keeps deriving `Eq`/`Hash`; `1.0` reproduces lockstep
+    /// all-VPs flushing.
+    pub fn sync_quorum(mut self, fraction: f64) -> Policy {
+        let pct = (fraction * 100.0).round() as i64;
+        self.sync_quorum_pct = pct.clamp(1, 100) as u32;
+        self
+    }
+
+    /// Set the sync-mode flush quorum in whole percent (builder style,
+    /// const-friendly). `100` reproduces lockstep flushing.
+    pub const fn with_sync_quorum_pct(mut self, pct: u32) -> Policy {
+        self.sync_quorum_pct = if pct == 0 {
+            1
+        } else if pct > 100 {
+            100
+        } else {
+            pct
+        };
+        self
+    }
+
+    /// Set the sync-mode window timeout in simulated seconds (builder style).
+    /// `0.0` disables the timeout; otherwise a held window flushes once
+    /// simulated time advances `sim_s` past its oldest held launch.
+    pub fn sync_window_timeout(mut self, sim_s: f64) -> Policy {
+        self.sync_timeout_us = if sim_s <= 0.0 { 0 } else { (sim_s * 1e6).ceil() as u64 };
+        self
+    }
+
+    /// Set the sync-mode window timeout in simulated microseconds (builder
+    /// style, const-friendly). `0` disables the timeout.
+    pub const fn with_sync_timeout_us(mut self, us: u64) -> Policy {
+        self.sync_timeout_us = us;
+        self
+    }
+
+    /// Set the end-to-end request deadline budget in simulated seconds
+    /// (builder style). `0.0` disables deadlines.
+    pub fn with_deadline(mut self, sim_s: f64) -> Policy {
+        self.deadline_us = if sim_s <= 0.0 { 0 } else { (sim_s * 1e6).ceil() as u64 };
+        self
+    }
+
+    /// Set the end-to-end request deadline budget in simulated microseconds
+    /// (builder style, const-friendly). `0` disables deadlines.
+    pub const fn with_deadline_us(mut self, us: u64) -> Policy {
+        self.deadline_us = us;
+        self
+    }
+
+    /// Set the hung-VP watchdog threshold (builder style): quarantine a
+    /// connected, unheld VP after this many consecutive flushed sync windows
+    /// with no activity from it. `0` disables the watchdog.
+    pub const fn with_hang_windows(mut self, windows: u32) -> Policy {
+        self.hang_windows = windows;
+        self
+    }
+
+    /// The sync-mode flush quorum as a fraction of eligible VPs.
+    pub fn sync_quorum_fraction(&self) -> f64 {
+        self.sync_quorum_pct as f64 / 100.0
+    }
+
+    /// The sync-mode window timeout in simulated seconds, if enabled.
+    pub fn sync_timeout_s(&self) -> Option<f64> {
+        (self.sync_timeout_us > 0).then_some(self.sync_timeout_us as f64 / 1e6)
+    }
+
+    /// The end-to-end request deadline budget in simulated seconds, if
+    /// enabled.
+    pub fn deadline_s(&self) -> Option<f64> {
+        (self.deadline_us > 0).then_some(self.deadline_us as f64 / 1e6)
     }
 
     /// Whether any planning pass beyond dependency ordering is active.
@@ -335,6 +454,44 @@ mod tests {
         let hi = r.backoff_s(1, 0.999);
         assert!(lo < b1 && b1 < hi, "jitter spreads around the base");
         assert!((lo - 150e-6).abs() < 1e-9, "-25 % at unit=0");
+    }
+
+    #[test]
+    fn liveness_knobs_default_off_and_encode_as_integers() {
+        let d = Policy::default();
+        assert_eq!(d.sync_quorum_pct, 100, "default quorum is lockstep (all VPs)");
+        assert_eq!(d.sync_timeout_us, 0);
+        assert_eq!(d.deadline_us, 0);
+        assert_eq!(d.hang_windows, 0);
+        assert_eq!(d.sync_timeout_s(), None);
+        assert_eq!(d.deadline_s(), None);
+
+        let p = Policy::MultiplexedOptimized
+            .with_sync_hold(true)
+            .sync_quorum(0.5)
+            .sync_window_timeout(2e-5)
+            .with_deadline(1e-3)
+            .with_hang_windows(3);
+        assert_eq!(p.sync_quorum_pct, 50);
+        assert!((p.sync_quorum_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(p.sync_timeout_us, 20);
+        assert_eq!(p.sync_timeout_s(), Some(2e-5));
+        assert_eq!(p.deadline_us, 1_000);
+        assert_eq!(p.deadline_s(), Some(1e-3));
+        assert_eq!(p.hang_windows, 3);
+
+        // Clamping: fractions outside (0, 1] snap to the nearest valid pct.
+        assert_eq!(Policy::default().sync_quorum(0.0).sync_quorum_pct, 1);
+        assert_eq!(Policy::default().sync_quorum(7.0).sync_quorum_pct, 100);
+        assert_eq!(Policy::default().with_sync_quorum_pct(0).sync_quorum_pct, 1);
+        assert_eq!(Policy::default().sync_window_timeout(0.0).sync_timeout_us, 0);
+
+        // Integer encoding keeps the whole policy hashable.
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Policy::default());
+        set.insert(p);
+        assert_eq!(set.len(), 2);
     }
 
     #[test]

@@ -91,6 +91,13 @@ pub enum IncidentKind {
         /// The admission capacity that was hit.
         capacity: u64,
     },
+    /// The hung-VP watchdog quarantined a VP that stopped making progress:
+    /// it no longer counts toward the sync-flush quorum and its journal is
+    /// failed over to a healthy placement.
+    VpHung {
+        /// The quarantined VP.
+        vp: u32,
+    },
 }
 
 impl IncidentKind {
@@ -100,6 +107,7 @@ impl IncidentKind {
             IncidentKind::BreakerTrip { .. } => "breaker_trip",
             IncidentKind::SessionKilled { .. } => "session_killed",
             IncidentKind::Shed { .. } => "shed",
+            IncidentKind::VpHung { .. } => "vp_hung",
         }
     }
 }
@@ -210,5 +218,6 @@ mod tests {
         assert_eq!(IncidentKind::BreakerTrip { device: 0 }.label(), "breaker_trip");
         assert_eq!(IncidentKind::SessionKilled { session: 0 }.label(), "session_killed");
         assert_eq!(IncidentKind::Shed { depth: 1, capacity: 1 }.label(), "shed");
+        assert_eq!(IncidentKind::VpHung { vp: 3 }.label(), "vp_hung");
     }
 }

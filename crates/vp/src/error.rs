@@ -4,6 +4,87 @@ use std::fmt;
 
 use sigmavp_ipc::error::IpcError;
 
+/// The pipeline boundary at which a request's end-to-end deadline was found
+/// to be exceeded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeadlineStage {
+    /// The request arrived at the dispatcher already past its deadline.
+    Admission,
+    /// The request expired while held in a sync window.
+    Hold,
+    /// Planning predicted the request could not complete within its deadline.
+    Plan,
+    /// The guest-side wait for a response outlived the deadline.
+    Execute,
+}
+
+impl DeadlineStage {
+    /// Stable lowercase label, used both for display and on the wire.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DeadlineStage::Admission => "admission",
+            DeadlineStage::Hold => "hold",
+            DeadlineStage::Plan => "plan",
+            DeadlineStage::Execute => "execute",
+        }
+    }
+
+    /// Parse a label produced by [`DeadlineStage::label`].
+    pub fn parse(label: &str) -> Option<DeadlineStage> {
+        match label {
+            "admission" => Some(DeadlineStage::Admission),
+            "hold" => Some(DeadlineStage::Hold),
+            "plan" => Some(DeadlineStage::Plan),
+            "execute" => Some(DeadlineStage::Execute),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for DeadlineStage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Message prefix marking a host-side deadline violation carried over a
+/// `Response::Error` frame, mirroring the transient-error prefix convention:
+/// the dispatcher has no typed error channel, so the violation travels as a
+/// structured string and the guest backend parses it back into
+/// [`VpError::DeadlineExceeded`].
+pub const DEADLINE_ERROR_PREFIX: &str = "deadline-exceeded:";
+
+/// Encode a host-side deadline violation for the wire: the stage plus the
+/// absolute simulated deadline and the simulated time at which the violation
+/// was observed (both in hex bits, so the round trip is bit-exact).
+pub fn format_deadline_violation(stage: DeadlineStage, deadline_s: f64, now_s: f64) -> String {
+    format!(
+        "{DEADLINE_ERROR_PREFIX} stage={} deadline_bits={:016x} now_bits={:016x}",
+        stage.label(),
+        deadline_s.to_bits(),
+        now_s.to_bits(),
+    )
+}
+
+/// Parse a message produced by [`format_deadline_violation`] back into
+/// `(stage, deadline_s, now_s)`. Returns `None` for any other message.
+pub fn parse_deadline_violation(message: &str) -> Option<(DeadlineStage, f64, f64)> {
+    let rest = message.strip_prefix(DEADLINE_ERROR_PREFIX)?.trim();
+    let mut stage = None;
+    let mut deadline = None;
+    let mut now = None;
+    for field in rest.split_whitespace() {
+        if let Some(v) = field.strip_prefix("stage=") {
+            stage = DeadlineStage::parse(v);
+        } else if let Some(v) = field.strip_prefix("deadline_bits=") {
+            deadline = u64::from_str_radix(v, 16).ok().map(f64::from_bits);
+        } else if let Some(v) = field.strip_prefix("now_bits=") {
+            now = u64::from_str_radix(v, 16).ok().map(f64::from_bits);
+        }
+    }
+    Some((stage?, deadline?, now?))
+}
+
 /// Errors raised inside a VP or by the GPU service it talks to.
 #[derive(Debug, Clone, PartialEq)]
 pub enum VpError {
@@ -25,6 +106,25 @@ pub enum VpError {
     /// An IPC-level failure the retry layer could not mask: the cause
     /// (timeout vs. corrupt frame vs. disconnect) is preserved, not erased.
     Ipc(IpcError),
+    /// The request's end-to-end deadline expired before it completed. The
+    /// stage records which pipeline boundary observed the violation; both
+    /// times are *simulated* seconds.
+    DeadlineExceeded {
+        /// The boundary that surfaced the violation.
+        stage: DeadlineStage,
+        /// The configured end-to-end budget.
+        budget_s: f64,
+        /// Simulated time elapsed since the request was born when the
+        /// violation was observed.
+        elapsed_s: f64,
+    },
+    /// The VP was quarantined by the hung-VP watchdog: it stopped making
+    /// progress while peers were parked on it, so it no longer counts toward
+    /// sync quorums and its work is shed until it proves liveness again.
+    Quarantined {
+        /// The quarantined VP's id.
+        vp: u32,
+    },
     /// A guest application's self-check failed: the GPU path produced data that
     /// does not match the reference computation.
     Validation {
@@ -46,6 +146,13 @@ impl fmt::Display for VpError {
             VpError::Device(msg) => write!(f, "device error: {msg}"),
             VpError::Disconnected => write!(f, "lost connection to the host gpu runtime"),
             VpError::Ipc(inner) => write!(f, "ipc failure: {inner}"),
+            VpError::DeadlineExceeded { stage, budget_s, elapsed_s } => write!(
+                f,
+                "deadline exceeded at {stage}: {elapsed_s:.3e} s elapsed of a {budget_s:.3e} s budget"
+            ),
+            VpError::Quarantined { vp } => {
+                write!(f, "vp{vp} is quarantined by the hung-vp watchdog")
+            }
             VpError::Validation { app, message } => {
                 write!(f, "validation failed in `{app}`: {message}")
             }
@@ -76,6 +183,34 @@ mod tests {
     fn displays() {
         assert!(VpError::UnknownKernel("vecAdd".into()).to_string().contains("vecAdd"));
         assert!(VpError::SizeMismatch { buffer: 8, host: 4 }.to_string().contains('8'));
+    }
+
+    #[test]
+    fn deadline_violation_round_trips_bit_exactly() {
+        for stage in [
+            DeadlineStage::Admission,
+            DeadlineStage::Hold,
+            DeadlineStage::Plan,
+            DeadlineStage::Execute,
+        ] {
+            assert_eq!(DeadlineStage::parse(stage.label()), Some(stage));
+            let msg = format_deadline_violation(stage, 1.25e-4, 7.3e-4);
+            assert!(msg.starts_with(DEADLINE_ERROR_PREFIX));
+            let (s, d, n) = parse_deadline_violation(&msg).expect("round trip");
+            assert_eq!(s, stage);
+            assert_eq!(d.to_bits(), 1.25e-4f64.to_bits());
+            assert_eq!(n.to_bits(), 7.3e-4f64.to_bits());
+        }
+        assert_eq!(parse_deadline_violation("device error: oom"), None);
+        assert_eq!(parse_deadline_violation("deadline-exceeded: stage=bogus"), None);
+        let e = VpError::DeadlineExceeded {
+            stage: DeadlineStage::Hold,
+            budget_s: 1e-3,
+            elapsed_s: 2e-3,
+        };
+        assert!(e.to_string().contains("hold"));
+        use std::error::Error;
+        assert!(e.source().is_none());
     }
 
     #[test]

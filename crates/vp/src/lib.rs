@@ -34,6 +34,6 @@ pub mod platform;
 pub mod registry;
 pub mod service;
 
-pub use error::VpError;
+pub use error::{DeadlineStage, VpError};
 pub use gate::VpGate;
 pub use platform::{SimClock, VirtualPlatform};

@@ -60,8 +60,14 @@ fn arb_response() -> impl Strategy<Value = Response> {
 
 proptest! {
     #[test]
-    fn request_codec_roundtrips(vp in any::<u32>(), seq in any::<u64>(), t in 0.0f64..1e9, body in arb_request()) {
-        let env = Envelope { vp: VpId(vp), seq, sent_at_s: t, body };
+    fn request_codec_roundtrips(
+        vp in any::<u32>(),
+        seq in any::<u64>(),
+        t in 0.0f64..1e9,
+        deadline in prop_oneof![Just(f64::INFINITY), 0.0f64..1e9],
+        body in arb_request(),
+    ) {
+        let env = Envelope { vp: VpId(vp), seq, sent_at_s: t, deadline_s: deadline, body };
         let decoded = decode_request(&encode_request(&env)).expect("roundtrip decodes");
         prop_assert_eq!(env, decoded);
     }
@@ -75,7 +81,7 @@ proptest! {
 
     #[test]
     fn truncated_requests_never_panic(body in arb_request(), cut in 0usize..64) {
-        let env = Envelope { vp: VpId(0), seq: 0, sent_at_s: 0.0, body };
+        let env = Envelope { vp: VpId(0), seq: 0, sent_at_s: 0.0, deadline_s: f64::INFINITY, body };
         let frame = encode_request(&env);
         let cut = cut.min(frame.len());
         // Must error or succeed, never panic.
@@ -492,5 +498,95 @@ proptest! {
             })
             .collect();
         assert_valid_json(&sigmavp_telemetry::export::chrome_trace_json(&events));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Partial-quorum sync flushing: for any quorum fraction and any arrival order,
+// the flushed windows partition the held jobs — every job exactly once, each
+// VP's sequence order preserved across windows (DESIGN.md §15).
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn quorum_windows_partition_held_jobs(
+        job_counts in proptest::collection::vec(0usize..5, 1..6),
+        pct in 1u32..101,
+        choices in proptest::collection::vec(any::<usize>(), 1..128),
+    ) {
+        use sigmavp_sched::{quorum_met, quorum_threshold};
+
+        // Model of the dispatcher's hold loop: each VP is parked while one of
+        // its launches is held (at most one held job per VP), arrivals are an
+        // adversarial interleaving, and a window flushes the moment the
+        // quorum is met — taking the earliest-arrived jobs, exactly like the
+        // dispatcher's threshold selection. Whenever no VP can arrive (every
+        // remaining job belongs to an already-held VP, or its peers are done
+        // — the timeout/retire case) the held window drains whole, releasing
+        // its VPs so their later jobs roll into subsequent windows.
+        let eligible = job_counts.len();
+        let threshold = quorum_threshold(eligible, pct);
+        let total: usize = job_counts.iter().sum();
+        let mut next_seq = vec![0usize; eligible];
+        let mut held: Vec<(usize, usize, usize)> = Vec::new(); // (arrival, vp, seq)
+        let mut arrivals = 0usize;
+        // (quorum-triggered, window of (vp, seq))
+        let mut windows: Vec<(bool, Vec<(usize, usize)>)> = Vec::new();
+        let mut step = 0usize;
+        loop {
+            let ready: Vec<usize> = (0..eligible)
+                .filter(|&v| {
+                    next_seq[v] < job_counts[v] && !held.iter().any(|&(_, hv, _)| hv == v)
+                })
+                .collect();
+            let Some(&pick) = ready.get(choices[step % choices.len()] % ready.len().max(1))
+            else {
+                if held.is_empty() {
+                    break;
+                }
+                // Timeout drain: flush everything held, whole.
+                held.sort_by_key(|&(arrived, _, _)| arrived);
+                windows.push((false, held.drain(..).map(|(_, v, s)| (v, s)).collect()));
+                continue;
+            };
+            step += 1;
+            held.push((arrivals, pick, next_seq[pick]));
+            next_seq[pick] += 1;
+            arrivals += 1;
+            if quorum_met(held.len(), eligible, pct) {
+                held.sort_by_key(|&(arrived, _, _)| arrived);
+                let take = threshold.min(held.len());
+                windows.push((true, held.drain(..take).map(|(_, v, s)| (v, s)).collect()));
+            }
+        }
+
+        // Coverage: the union of all windows is every held job, exactly once.
+        let mut seen = std::collections::HashSet::new();
+        for (_, window) in &windows {
+            prop_assert!(window.len() <= eligible, "at most one held job per VP");
+            for &job in window {
+                prop_assert!(seen.insert(job), "job {job:?} flushed twice");
+            }
+        }
+        prop_assert_eq!(seen.len(), total, "every held job flushed exactly once");
+
+        // Order: each VP's jobs appear across windows in sequence order, so a
+        // late arrival rolls into a *later* window, never an earlier one.
+        let mut last_seq = vec![None; eligible];
+        for (_, window) in &windows {
+            for &(vp, seq) in window {
+                prop_assert!(last_seq[vp].is_none_or(|prev| prev < seq));
+                last_seq[vp] = Some(seq);
+            }
+        }
+
+        // Quorum-triggered windows are exactly threshold-sized: held grows
+        // one arrival at a time, so the trigger fires the instant the
+        // threshold is reached.
+        for (by_quorum, window) in &windows {
+            if *by_quorum {
+                prop_assert_eq!(window.len(), threshold);
+            }
+        }
     }
 }
