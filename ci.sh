@@ -32,7 +32,10 @@ step "audit regression gate + chaos smoke + sync windows (results/baselines/audi
 step "post-mortem bundle well-formedness (BENCH_postmortem.json)" \
   cargo run --release -p sigmavp-bench --bin top -- --check-bundle BENCH_postmortem.json
 
-step "perf throughput + observability-overhead gate (results/baselines/perf.json)" \
+# The perf gate measures BOTH execution tiers each run (scalar reference vs
+# warp lockstep at one worker) and hard-fails unless warp beats scalar on
+# wall clock, in addition to the baseline regression check.
+step "perf throughput + tier (warp >= scalar) + observability-overhead gate (results/baselines/perf.json)" \
   cargo run --release -p sigmavp-bench --bin perf -- --check --tolerance 0.25
 
 step "fleet scaling + failover gate (results/baselines/fleet.json)" \

@@ -1,15 +1,20 @@
-//! Criterion bench: raw interpreter block throughput, sequential vs
-//! block-parallel.
+//! Criterion bench: raw interpreter block throughput, scalar vs warp tier,
+//! sequential vs block-parallel.
 //!
 //! A compute-heavy 32-block Mandelbrot-style kernel is launched through the
-//! interpreter at `workers = 1` (the sequential grid loop) and `workers = 4`
-//! (the persistent worker pool with deterministic merge). On a multi-core
-//! host the parallel rows should approach the core count; on a single core
-//! they bound the parallel engine's overhead instead.
+//! interpreter on every (tier, workers) combination: `workers = 1` is the
+//! sequential grid loop, `workers = 4` the persistent worker pool with
+//! deterministic merge; [`Tier::Scalar`] is the per-thread reference
+//! interpreter and [`Tier::Warp`] the 32-lane lockstep engine over the
+//! pre-decoded op stream. On a multi-core host the parallel rows should
+//! approach the core count; on a single core they bound the parallel
+//! engine's overhead instead. Warp rows should beat their scalar
+//! counterparts outright — that is the tier's whole claim.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use sigmavp_sptx::asm;
 use sigmavp_sptx::interp::{Interpreter, LaunchConfig, Memory, ParamValue};
+use sigmavp_sptx::Tier;
 
 /// An iteration-heavy kernel: every thread runs a 64-trip escape loop over
 /// its own f64 cell, then stores the iteration count — compute-dominated,
@@ -45,19 +50,21 @@ fn bench_interp(c: &mut Criterion) {
     let cfg = LaunchConfig::linear(grid, block);
     let mut g = c.benchmark_group("interp");
     g.sample_size(10);
-    for workers in [1u32, 4] {
-        let interp = Interpreter::new().with_workers(workers);
-        g.bench_function(format!("escape_32x64_workers_{workers}"), |b| {
-            let mut mem = Memory::new(bytes as usize);
-            for t in 0..(grid * block) as u64 {
-                mem.write_f64(t * 8, -0.1 - (t as f64) * 1e-6).unwrap();
-            }
-            b.iter(|| {
-                interp
-                    .run(&program, &cfg, black_box(&[ParamValue::Ptr(0)]), &mut mem)
-                    .expect("launch succeeds")
-            })
-        });
+    for (tier, tier_name) in [(Tier::Scalar, "scalar"), (Tier::Warp, "warp")] {
+        for workers in [1u32, 4] {
+            let interp = Interpreter::new().with_tier(tier).with_workers(workers);
+            g.bench_function(format!("escape_32x64_{tier_name}_workers_{workers}"), |b| {
+                let mut mem = Memory::new(bytes as usize);
+                for t in 0..(grid * block) as u64 {
+                    mem.write_f64(t * 8, -0.1 - (t as f64) * 1e-6).unwrap();
+                }
+                b.iter(|| {
+                    interp
+                        .run(&program, &cfg, black_box(&[ParamValue::Ptr(0)]), &mut mem)
+                        .expect("launch succeeds")
+                })
+            });
+        }
     }
     g.finish();
 }

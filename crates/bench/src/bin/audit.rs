@@ -80,7 +80,7 @@ use sigmavp_obs::{
     FlightConfig, FlightRecorder, GateConfig, JobLifecycle, PathPhase, ProfileStore,
     SharedProfileStore,
 };
-use sigmavp_sched::{Pipeline, Policy};
+use sigmavp_sched::{ExecTier, Pipeline, Policy};
 use sigmavp_telemetry::export::escape_json;
 use sigmavp_telemetry::{job_uid_seq, job_uid_vp};
 use sigmavp_vp::error::VpError;
@@ -109,14 +109,28 @@ struct Args {
     /// Explicit pass composition for the planned scenarios (ablation); the
     /// policy-derived pipeline when absent. Gated numbers assume the default.
     passes: Option<String>,
+    /// SPTX execution tier for every live fleet (the planned scenarios never
+    /// run guest code). Gated numbers are tier-independent by construction —
+    /// both tiers produce byte-identical profiles — so this is an ablation
+    /// knob, mirroring `--tier` on the perf binary.
+    tier: ExecTier,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: audit [--check] [--write-baseline] [--baseline PATH] [--out PATH] \
-         [--tolerance F] [--inject-slowdown F] [--faults SEED] [--passes a,b,c] [--sync]"
+         [--tolerance F] [--inject-slowdown F] [--faults SEED] [--passes a,b,c] \
+         [--tier scalar|warp] [--sync]"
     );
     std::process::exit(2);
+}
+
+fn parse_tier(s: &str) -> ExecTier {
+    match s {
+        "scalar" => ExecTier::Scalar,
+        "warp" => ExecTier::Warp,
+        _ => usage(),
+    }
 }
 
 fn parse_args() -> Args {
@@ -130,6 +144,7 @@ fn parse_args() -> Args {
         fault_seed: DEFAULT_FAULT_SEED,
         sync: false,
         passes: None,
+        tier: ExecTier::default(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -154,6 +169,7 @@ fn parse_args() -> Args {
             "--faults" => args.fault_seed = value("--faults").parse().unwrap_or_else(|_| usage()),
             "--sync" => args.sync = true,
             "--passes" => args.passes = Some(value("--passes")),
+            "--tier" => args.tier = parse_tier(&value("--tier")),
             _ => usage(),
         }
     }
@@ -283,7 +299,11 @@ struct ChaosOutcome {
 }
 
 /// 4 vectorAdd VPs on two host GPUs, optionally under a fault plan.
-fn chaos_fleet(arch: &GpuArch, plan: Option<FaultPlan>) -> (ThreadedReport, DispatchStats) {
+fn chaos_fleet(
+    arch: &GpuArch,
+    plan: Option<FaultPlan>,
+    tier: ExecTier,
+) -> (ThreadedReport, DispatchStats) {
     let app = VectorAddApp { n: 2048 };
     let registry: KernelRegistry = app.kernels().into_iter().collect();
     let mut sys = DispatchedSigmaVp::new(
@@ -291,7 +311,7 @@ fn chaos_fleet(arch: &GpuArch, plan: Option<FaultPlan>) -> (ThreadedReport, Disp
         registry,
         TransportCost::shared_memory(),
     )
-    .with_policy(sigmavp::Policy::Fifo.with_retry(CHAOS_RETRY));
+    .with_policy(sigmavp::Policy::Fifo.with_retry(CHAOS_RETRY).with_tier(tier));
     if let Some(plan) = plan {
         sys = sys.with_faults(plan);
     }
@@ -309,8 +329,9 @@ fn run_chaos(
     seed: u64,
     arch: &GpuArch,
     telemetry: &sigmavp_telemetry::Telemetry,
+    tier: ExecTier,
 ) -> Result<ChaosOutcome, String> {
-    let (clean, _) = chaos_fleet(arch, None);
+    let (clean, _) = chaos_fleet(arch, None, tier);
     if !clean.all_ok() {
         return Err(format!("chaos calibration run failed: {:?}", clean.outcomes));
     }
@@ -320,7 +341,7 @@ fn run_chaos(
         .with_link(LinkFaultConfig::lossy(0.05, 0.03).with_delay(0.04, 50e-6))
         .with_outage(1, t_kill);
     let before = telemetry.snapshot();
-    let (report, stats) = chaos_fleet(arch, Some(plan));
+    let (report, stats) = chaos_fleet(arch, Some(plan), tier);
     let after = telemetry.snapshot();
     if !report.all_ok() {
         return Err(format!(
@@ -357,11 +378,11 @@ fn run_chaos(
 /// One 4-VP sync-hold fleet: every guest's synchronous `vector_add` is parked
 /// by the dispatcher, planned as one cross-VP window, and resumed in planned
 /// completion order.
-fn sync_fleet(arch: &GpuArch) -> Result<DispatchStats, String> {
+fn sync_fleet(arch: &GpuArch, tier: ExecTier) -> Result<DispatchStats, String> {
     let app = VectorAddApp { n: 2048 };
     let registry: KernelRegistry = app.kernels().into_iter().collect();
     let mut sys = DispatchedSigmaVp::single(arch.clone(), registry, TransportCost::shared_memory())
-        .with_policy(sigmavp::Policy::MultiplexedOptimized.with_sync_hold(true));
+        .with_policy(sigmavp::Policy::MultiplexedOptimized.with_sync_hold(true).with_tier(tier));
     for _ in 0..4 {
         sys.spawn(Box::new(VectorAddApp { n: 2048 }));
     }
@@ -375,9 +396,9 @@ fn sync_fleet(arch: &GpuArch) -> Result<DispatchStats, String> {
 /// The sync-mode scenario: run the held-window fleet twice and hard-fail
 /// unless the window ledger is byte-identical, merging happened live, the
 /// live plan beats reorder-only, and no VP was left stopped.
-fn run_sync(arch: &GpuArch) -> Result<DispatchStats, String> {
-    let a = sync_fleet(arch)?;
-    let b = sync_fleet(arch)?;
+fn run_sync(arch: &GpuArch, tier: ExecTier) -> Result<DispatchStats, String> {
+    let a = sync_fleet(arch, tier)?;
+    let b = sync_fleet(arch, tier)?;
     let identical = a.holds == b.holds
         && a.sync_windows == b.sync_windows
         && a.live_groups == b.live_groups
@@ -566,12 +587,12 @@ fn liveness_ledger_identical(a: &DispatchStats, b: &DispatchStats) -> bool {
 ///   quarantines the sleeper (failing its journal over to the other device
 ///   and dumping a `vp_hung` post-mortem), the survivor finishes solo over
 ///   the shrunken quorum, and the sleeper rejoins on wake and completes.
-fn run_liveness(arch: &GpuArch) -> Result<LivenessOutcome, String> {
+fn run_liveness(arch: &GpuArch, tier: ExecTier) -> Result<LivenessOutcome, String> {
     let quorum = || {
         liveness_fleet(
             arch,
             1,
-            Policy::MultiplexedOptimized.with_sync_hold(true).sync_quorum(0.5),
+            Policy::MultiplexedOptimized.with_sync_hold(true).sync_quorum(0.5).with_tier(tier),
             vec![
                 Box::new(StaggeredAdd { n: 2048, launches: 1, pre_ms: 0, mid_ms: 0, post_ms: 250 }),
                 Box::new(StaggeredAdd { n: 2048, launches: 1, pre_ms: 60, mid_ms: 0, post_ms: 0 }),
@@ -583,7 +604,10 @@ fn run_liveness(arch: &GpuArch) -> Result<LivenessOutcome, String> {
         liveness_fleet(
             arch,
             1,
-            Policy::MultiplexedOptimized.with_sync_hold(true).with_sync_timeout_us(1),
+            Policy::MultiplexedOptimized
+                .with_sync_hold(true)
+                .with_sync_timeout_us(1)
+                .with_tier(tier),
             vec![
                 Box::new(StaggeredAdd { n: 2048, launches: 2, pre_ms: 0, mid_ms: 0, post_ms: 0 }),
                 Box::new(CopyStream { iterations: 600 }),
@@ -595,7 +619,7 @@ fn run_liveness(arch: &GpuArch) -> Result<LivenessOutcome, String> {
         liveness_fleet(
             arch,
             2,
-            Policy::MultiplexedOptimized.with_sync_hold(true).with_hang_windows(2),
+            Policy::MultiplexedOptimized.with_sync_hold(true).with_hang_windows(2).with_tier(tier),
             vec![
                 Box::new(StaggeredAdd { n: 1024, launches: 3, pre_ms: 0, mid_ms: 0, post_ms: 0 }),
                 Box::new(StaggeredAdd { n: 1024, launches: 2, pre_ms: 0, mid_ms: 900, post_ms: 0 }),
@@ -835,7 +859,8 @@ fn main() -> ExitCode {
         let app = VectorAddApp { n: 4096 };
         let registry: KernelRegistry = app.kernels().into_iter().collect();
         let mut sys =
-            DispatchedSigmaVp::single(arch.clone(), registry, TransportCost::shared_memory());
+            DispatchedSigmaVp::single(arch.clone(), registry, TransportCost::shared_memory())
+                .with_policy(sigmavp::Policy::Fifo.with_tier(args.tier));
         for _ in 0..4 {
             sys.spawn(Box::new(VectorAddApp { n: 4096 }));
         }
@@ -864,7 +889,7 @@ fn main() -> ExitCode {
     }
 
     // --- Chaos smoke: kill a GPU mid-run under a lossy link. -----------------
-    let chaos = match run_chaos(args.fault_seed, &arch, &telemetry) {
+    let chaos = match run_chaos(args.fault_seed, &arch, &telemetry, args.tier) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("audit: {e}");
@@ -874,7 +899,7 @@ fn main() -> ExitCode {
     recorder.sample();
     // --- Sync-mode window scenario (opt-in, gated). --------------------------
     let sync = if args.sync {
-        match run_sync(&arch) {
+        match run_sync(&arch, args.tier) {
             Ok(s) => Some(s),
             Err(e) => {
                 eprintln!("audit: {e}");
@@ -886,7 +911,7 @@ fn main() -> ExitCode {
     };
     // --- Liveness scenarios: quorum flush, timeout flush, hung-VP watchdog. --
     let liveness = if args.sync {
-        match run_liveness(&arch) {
+        match run_liveness(&arch, args.tier) {
             Ok(l) => Some(l),
             Err(e) => {
                 eprintln!("audit: {e}");

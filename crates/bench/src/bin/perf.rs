@@ -5,7 +5,17 @@
 //! cargo run --release -p sigmavp-bench --bin perf -- --write-baseline
 //! cargo run --release -p sigmavp-bench --bin perf -- --check        # gate against the committed baseline
 //! cargo run --release -p sigmavp-bench --bin perf -- --passes dep_order,coalesce
+//! cargo run --release -p sigmavp-bench --bin perf -- --tier scalar    # pin the interpreter tier
 //! ```
+//!
+//! **Tier comparison.** Before the worker sweep, the fleet is executed at
+//! `workers = 1` under both SPTX interpreter tiers — the scalar reference and
+//! the decoded warp-lockstep tier — asserting the workload is identical and
+//! reporting the warp tier's wall-clock speedup plus its decode-cache and
+//! warp-execution counters (`sptx.decode.*`, `sptx.warp.*`). The warp tier
+//! must never be slower than scalar (the run hard-fails if the measured tier
+//! speedup drops below 1.0); the worker sweep itself runs at the tier
+//! selected by `--tier` (warp by default).
 //!
 //! A fixed multi-VP fleet — four VPs running compute-heavy suite apps
 //! (Mandelbrot ×2, MatrixMul, N-body) against one host GPU — is executed twice
@@ -60,7 +70,7 @@ use sigmavp_ipc::transport::TransportCost;
 use sigmavp_obs::{
     format_flat_json, run_gate, FlightConfig, FlightRecorder, GateConfig, SharedProfileStore,
 };
-use sigmavp_sched::{Pipeline, Policy};
+use sigmavp_sched::{ExecTier, Pipeline, Policy};
 use sigmavp_sptx::exec::default_workers;
 use sigmavp_telemetry::export::escape_json;
 use sigmavp_vp::registry::KernelRegistry;
@@ -89,15 +99,34 @@ struct Args {
     passes: Option<String>,
     fleet: bool,
     vps: u32,
+    tier: ExecTier,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: perf [--check] [--write-baseline] [--baseline PATH] [--out PATH] \
          [--tolerance F] [--workers N] [--repeats N] [--scale N] [--passes a,b,c] \
-         [--fleet] [--vps N]"
+         [--tier scalar|warp] [--fleet] [--vps N]"
     );
     std::process::exit(2);
+}
+
+fn parse_tier(s: &str) -> ExecTier {
+    match s {
+        "scalar" => ExecTier::Scalar,
+        "warp" => ExecTier::Warp,
+        _ => {
+            eprintln!("--tier must be 'scalar' or 'warp', got '{s}'");
+            usage()
+        }
+    }
+}
+
+fn tier_name(tier: ExecTier) -> &'static str {
+    match tier {
+        ExecTier::Scalar => "scalar",
+        ExecTier::Warp => "warp",
+    }
 }
 
 fn parse_args() -> Args {
@@ -113,6 +142,7 @@ fn parse_args() -> Args {
         passes: None,
         fleet: false,
         vps: DEFAULT_VPS,
+        tier: ExecTier::Warp,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -136,6 +166,7 @@ fn parse_args() -> Args {
             }
             "--scale" => args.scale = value("--scale").parse().unwrap_or_else(|_| usage()),
             "--passes" => args.passes = Some(value("--passes")),
+            "--tier" => args.tier = parse_tier(&value("--tier")),
             "--fleet" => args.fleet = true,
             "--vps" => args.vps = value("--vps").parse::<u32>().unwrap_or_else(|_| usage()).max(8),
             _ => usage(),
@@ -165,6 +196,14 @@ struct Measure {
     parallel_launches: u64,
     sim_makespan_s: f64,
     device_records: Vec<Vec<sigmavp::host::JobRecord>>,
+    /// Warp-tier observability deltas (all zero under the scalar tier). The
+    /// decode counters are *not* deterministic across repeats — the decode
+    /// cache is process-global, so only the first run of a program misses.
+    decode_hits: u64,
+    decode_misses: u64,
+    warps: u64,
+    uniform_loads: u64,
+    divergent_branches: u64,
 }
 
 impl Measure {
@@ -179,12 +218,13 @@ impl Measure {
 fn run_fleet(
     workers: u32,
     scale: u32,
+    tier: ExecTier,
     telemetry: &sigmavp_telemetry::Telemetry,
 ) -> Result<Measure, String> {
     let registry: KernelRegistry = fleet_apps(scale).iter().flat_map(|app| app.kernels()).collect();
     let mut sys =
         DispatchedSigmaVp::single(GpuArch::quadro_4000(), registry, TransportCost::shared_memory())
-            .with_policy(Policy::Fifo.with_workers(workers));
+            .with_policy(Policy::Fifo.with_workers(workers).with_tier(tier));
     for app in fleet_apps(scale) {
         sys.spawn(app);
     }
@@ -210,6 +250,11 @@ fn run_fleet(
         parallel_launches: delta("sptx.parallel.launches"),
         sim_makespan_s: report.device_makespan_s,
         device_records: report.device_records,
+        decode_hits: delta("sptx.decode.hits"),
+        decode_misses: delta("sptx.decode.misses"),
+        warps: delta("sptx.warp.warps"),
+        uniform_loads: delta("sptx.warp.uniform_loads"),
+        divergent_branches: delta("sptx.warp.divergent_branches"),
     })
 }
 
@@ -219,11 +264,12 @@ fn run_config(
     workers: u32,
     scale: u32,
     repeats: u32,
+    tier: ExecTier,
     telemetry: &sigmavp_telemetry::Telemetry,
 ) -> Result<Measure, String> {
     let mut best: Option<Measure> = None;
     for _ in 0..repeats {
-        let m = run_fleet(workers, scale, telemetry)?;
+        let m = run_fleet(workers, scale, tier, telemetry)?;
         if let Some(b) = &best {
             if (m.jobs, m.instructions, m.launches) != (b.jobs, b.instructions, b.launches) {
                 return Err(format!(
@@ -268,6 +314,7 @@ fn run_flight_on(
     workers: u32,
     scale: u32,
     repeats: u32,
+    tier: ExecTier,
     telemetry: &sigmavp_telemetry::Telemetry,
 ) -> Result<(Measure, u64, u64), String> {
     let profiles = SharedProfileStore::new();
@@ -285,7 +332,7 @@ fn run_flight_on(
             }
         })
     };
-    let result = run_config(workers, scale, repeats, telemetry);
+    let result = run_config(workers, scale, repeats, tier, telemetry);
     stop.store(true, Ordering::Relaxed);
     sampler.join().expect("sampler thread joins");
     sigmavp_telemetry::bus::clear_sinks();
@@ -684,19 +731,73 @@ fn main() -> ExitCode {
 
     println!(
         "perf: fleet of 4 VPs (mandelbrot x2, matrixMul, nbody) at scale {}, \
-         1 host GPU, {} repeat(s), host parallelism {}",
-        args.scale, args.repeats, host
+         1 host GPU, {} repeat(s), host parallelism {}, tier {}",
+        args.scale,
+        args.repeats,
+        host,
+        tier_name(args.tier)
     );
 
-    // --- Measure both configurations. ----------------------------------------
-    let seq = match run_config(1, args.scale, args.repeats, &telemetry) {
+    // --- Tier comparison at workers = 1. --------------------------------------
+    // Scalar reference vs decoded warp-lockstep, single worker, so the tier —
+    // not block parallelism — is the only variable. Both must execute the
+    // identical workload; the warp tier must not be slower.
+    let tier_scalar = match run_config(1, args.scale, args.repeats, ExecTier::Scalar, &telemetry) {
         Ok(m) => m,
         Err(e) => {
             eprintln!("perf: {e}");
             return ExitCode::FAILURE;
         }
     };
-    let par = match run_config(args.workers, args.scale, args.repeats, &telemetry) {
+    let tier_warp = match run_config(1, args.scale, args.repeats, ExecTier::Warp, &telemetry) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("perf: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if (tier_scalar.jobs, tier_scalar.instructions, tier_scalar.launches)
+        != (tier_warp.jobs, tier_warp.instructions, tier_warp.launches)
+    {
+        eprintln!(
+            "perf: the warp tier changed the workload: jobs {} vs {}, instructions {} vs {}",
+            tier_scalar.jobs, tier_warp.jobs, tier_scalar.instructions, tier_warp.instructions
+        );
+        return ExitCode::FAILURE;
+    }
+    if tier_warp.warps == 0 {
+        eprintln!("perf: the warp tier never executed a warp");
+        return ExitCode::FAILURE;
+    }
+    let tier_speedup = tier_scalar.wall_s / tier_warp.wall_s;
+    for (name, m) in [("tier=scalar w=1", &tier_scalar), ("tier=warp   w=1", &tier_warp)] {
+        println!(
+            "{name}: wall {:.3} ms, {:.3e} instr/s ({} instr)",
+            m.wall_s * 1e3,
+            m.instructions_per_s(),
+            m.instructions
+        );
+    }
+    println!(
+        "  warp counters: decode {} hits / {} misses, {} warps, {} uniform loads, \
+         {} divergent branches",
+        tier_warp.decode_hits,
+        tier_warp.decode_misses,
+        tier_warp.warps,
+        tier_warp.uniform_loads,
+        tier_warp.divergent_branches
+    );
+    println!("tier speedup: {tier_speedup:.2}x wall-clock, warp over scalar (required >= 1.0x)");
+
+    // --- Measure both worker configurations at the selected tier. -------------
+    let seq = match run_config(1, args.scale, args.repeats, args.tier, &telemetry) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("perf: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let par = match run_config(args.workers, args.scale, args.repeats, args.tier, &telemetry) {
         Ok(m) => m,
         Err(e) => {
             eprintln!("perf: {e}");
@@ -742,7 +843,7 @@ fn main() -> ExitCode {
     // Same parallel configuration, flight recorder + profile store live; the
     // workload must be untouched and the wall-time cost bounded.
     let (flight, profile_updates, flight_snapshots) =
-        match run_flight_on(args.workers, args.scale, args.repeats, &telemetry) {
+        match run_flight_on(args.workers, args.scale, args.repeats, args.tier, &telemetry) {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("perf: {e}");
@@ -798,29 +899,57 @@ fn main() -> ExitCode {
     };
 
     // --- Gate metrics: ratios and deterministic counts only. ------------------
+    // The tier speedup itself is a ratio of two short wall-clock runs and far
+    // too noisy to diff against a baseline (it swings 2-3x run to run); it is
+    // enforced by the hard `>= 1.0` check below instead. Only the
+    // deterministic warp-count rides in the baseline.
     let gate: Vec<(String, f64)> = vec![
         ("perf.speedup_wall".into(), speedup),
         ("perf.jobs".into(), seq.jobs as f64),
         ("perf.instructions".into(), seq.instructions as f64),
         ("perf.launches".into(), seq.launches as f64),
         ("perf.parallel_launches".into(), par.parallel_launches as f64),
+        ("perf.warp_warps".into(), tier_warp.warps as f64),
     ];
 
     // --- BENCH_perf.json. ------------------------------------------------------
     let mut json = String::new();
-    json.push_str("{\n  \"schema\": \"sigmavp-perf-v1\",\n");
+    json.push_str("{\n  \"schema\": \"sigmavp-perf-v2\",\n");
     json.push_str(&format!(
         "  \"host_parallelism\": {host},\n  \"workers_compared\": [1, {}],\n  \
-         \"scale\": {},\n  \"repeats\": {},\n  \"tolerance\": {:.6},\n",
-        args.workers, args.scale, args.repeats, args.tolerance
+         \"scale\": {},\n  \"repeats\": {},\n  \"tolerance\": {:.6},\n  \"tier\": \"{}\",\n",
+        args.workers,
+        args.scale,
+        args.repeats,
+        args.tolerance,
+        tier_name(args.tier)
     ));
     let flat = format_flat_json(&gate);
     json.push_str(&format!("  \"gate\": {},\n", flat.trim_end().replace('\n', "\n  ")));
     json.push_str("  \"runs\": {\n");
+    json.push_str(&measure_json("tier_scalar_workers_1", &tier_scalar));
+    json.push_str(",\n");
+    json.push_str(&measure_json("tier_warp_workers_1", &tier_warp));
+    json.push_str(",\n");
     json.push_str(&measure_json("workers_1", &seq));
     json.push_str(",\n");
     json.push_str(&measure_json(&format!("workers_{}", args.workers), &par));
     json.push_str("\n  },\n");
+    json.push_str(&format!(
+        "  \"tier_speedup\": {{\"wall\": {tier_speedup:.6}, \"required\": 1.0, \
+         \"scalar_instructions_per_s\": {:.9e}, \"warp_instructions_per_s\": {:.9e}}},\n",
+        tier_scalar.instructions_per_s(),
+        tier_warp.instructions_per_s()
+    ));
+    json.push_str(&format!(
+        "  \"warp_counters\": {{\"decode_hits\": {}, \"decode_misses\": {}, \"warps\": {}, \
+         \"uniform_loads\": {}, \"divergent_branches\": {}}},\n",
+        tier_warp.decode_hits,
+        tier_warp.decode_misses,
+        tier_warp.warps,
+        tier_warp.uniform_loads,
+        tier_warp.divergent_branches
+    ));
     json.push_str(&format!(
         "  \"observability\": {{\"wall_on_s\": {:.9e}, \"wall_off_s\": {:.9e}, \
          \"overhead_frac\": {:.6}, \"allowed_frac\": {:.6}, \"profile_updates\": {}, \
@@ -880,6 +1009,12 @@ fn main() -> ExitCode {
             "perf: speedup {speedup:.2}x below the required {required:.1}x for a \
              {host}-core host"
         );
+        failed = true;
+    }
+    // The warp tier is a pure single-thread optimization: it must never lose
+    // to the scalar reference, on any host.
+    if tier_speedup < 1.0 {
+        eprintln!("perf: warp tier is slower than scalar ({tier_speedup:.2}x)");
         failed = true;
     }
     sigmavp_telemetry::uninstall();

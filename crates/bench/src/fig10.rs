@@ -72,7 +72,7 @@ pub fn fig10a(arch: &GpuArch, splits: &[u32]) -> Vec<CoalescePoint> {
                 let dc = dev.malloc(pa.len() as u64).expect("alloc c");
                 separate_s += dev.memcpy_h2d(da, &pa).expect("h2d a");
                 separate_s += dev.memcpy_h2d(db, &pb).expect("h2d b");
-                let cfg = LaunchConfig::covering((hi - lo) as u64, BLOCK);
+                let cfg = LaunchConfig::covering((hi - lo) as u64, BLOCK).expect("launch shape");
                 let run = dev
                     .launch(
                         &program,
@@ -118,7 +118,7 @@ pub fn fig10a(arch: &GpuArch, splits: &[u32]) -> Vec<CoalescePoint> {
             let mut coalesced_s = 0.0;
             coalesced_s += dev.memcpy_h2d(da, &gathered_a).expect("merged h2d a");
             coalesced_s += dev.memcpy_h2d(db, &gathered_b).expect("merged h2d b");
-            let cfg = LaunchConfig::covering(TOTAL_ELEMENTS, BLOCK);
+            let cfg = LaunchConfig::covering(TOTAL_ELEMENTS, BLOCK).expect("launch shape");
             let run = dev
                 .launch(
                     &program,

@@ -296,6 +296,7 @@ impl ThreadedSigmaVp {
         let mut session = ExecutionSession::new(archs, registry, cost)
             .expect("threaded runtime needs at least one host gpu");
         session.set_workers(policy.workers);
+        session.set_tier(policy.tier);
         ThreadedSigmaVp {
             session,
             policy,

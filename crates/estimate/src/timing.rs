@@ -144,8 +144,12 @@ exit:
         let n = 4096u64;
         let buf = dev.malloc(n * 4).unwrap();
         dev.memcpy_h2d(buf, &vec![1u8; (n * 4) as usize]).unwrap();
-        dev.launch(&program, &LaunchConfig::covering(n, 256), &[ParamValue::Ptr(buf.addr())])
-            .unwrap();
+        dev.launch(
+            &program,
+            &LaunchConfig::covering(n, 256).unwrap(),
+            &[ParamValue::Ptr(buf.addr())],
+        )
+        .unwrap();
         let profile = dev.profiler_log().last().unwrap().clone();
         (program, profile, host_arch)
     }
@@ -156,7 +160,11 @@ exit:
         let buf = dev.malloc(n * 4).unwrap();
         dev.memcpy_h2d(buf, &vec![1u8; (n * 4) as usize]).unwrap();
         let run = dev
-            .launch(program, &LaunchConfig::covering(n, 256), &[ParamValue::Ptr(buf.addr())])
+            .launch(
+                program,
+                &LaunchConfig::covering(n, 256).unwrap(),
+                &[ParamValue::Ptr(buf.addr())],
+            )
             .unwrap();
         run.cost.time_s
     }

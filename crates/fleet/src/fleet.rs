@@ -584,6 +584,7 @@ impl Fleet {
             )
             .map_err(|e| FleetError::Config(e.to_string()))?;
             session.set_workers(config.workers);
+            session.set_tier(config.policy.tier);
             shards.push(Arc::new(Shard {
                 index,
                 session: Mutex::new(session),

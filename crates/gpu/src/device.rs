@@ -16,6 +16,7 @@ use crate::timing::{kernel_cost, KernelCost};
 use sigmavp_sptx::counters::ExecutionProfile;
 use sigmavp_sptx::interp::{Interpreter, LaunchConfig, Memory, ParamValue};
 use sigmavp_sptx::program::KernelProgram;
+use sigmavp_sptx::Tier;
 
 /// Default simulated device-memory size: large enough for every paper workload at
 /// reproduction scale, small enough to allocate eagerly.
@@ -83,7 +84,15 @@ impl GpuDevice {
     /// Set the block-parallel worker count used for kernel launches
     /// (`0` = one worker per available core, `1` = sequential).
     pub fn set_workers(&mut self, workers: u32) {
-        self.interp = Interpreter::new().with_workers(workers);
+        self.interp = self.interp.clone().with_workers(workers);
+    }
+
+    /// Select the SPTX execution tier used for kernel launches
+    /// ([`Tier::Warp`] decoded lockstep by default, [`Tier::Scalar`] for the
+    /// reference interpreter). Both tiers produce byte-identical results and
+    /// profiles.
+    pub fn set_tier(&mut self, tier: Tier) {
+        self.interp = self.interp.clone().with_tier(tier);
     }
 
     /// The device's architecture.
@@ -229,7 +238,7 @@ mod tests {
         let run = dev
             .launch(
                 &scale_kernel(),
-                &LaunchConfig::covering(n, 128),
+                &LaunchConfig::covering(n, 128).unwrap(),
                 &[ParamValue::Ptr(buf.addr())],
             )
             .unwrap();
@@ -313,7 +322,7 @@ mod tests {
         let n = 512u64;
         let buf = host.malloc(n * 4).unwrap();
         host.memcpy_h2d(buf, &vec![0u8; (n * 4) as usize]).unwrap();
-        let cfg = LaunchConfig::covering(n, 128);
+        let cfg = LaunchConfig::covering(n, 128).unwrap();
         let run = host.launch(&scale_kernel(), &cfg, &[ParamValue::Ptr(buf.addr())]).unwrap();
 
         let target = GpuDevice::new(GpuArch::tegra_k1());

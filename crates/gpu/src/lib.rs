@@ -42,7 +42,7 @@
 //! device.memcpy_h2d(buf, &host)?;
 //! let run = device.launch(
 //!     &program,
-//!     &LaunchConfig::covering(1024, 256),
+//!     &LaunchConfig::covering(1024, 256)?,
 //!     &[ParamValue::Ptr(buf.addr())],
 //! )?;
 //! assert!(run.cost.time_s > 0.0);

@@ -41,6 +41,6 @@ pub use pipeline::{
     SchedulePass, StreamEvaluator,
 };
 pub use placement::{HashRing, Placement};
-pub use policy::{Admission, BackendKind, InterleaveMode, Policy, RetryPolicy};
+pub use policy::{Admission, BackendKind, ExecTier, InterleaveMode, Policy, RetryPolicy};
 pub use rebalance::{DeviceView, LoadRebalance, Rebalance};
 pub use wavepack::WavePack;

@@ -61,6 +61,24 @@ pub enum Admission {
     RoundRobin,
 }
 
+/// Which SPTX interpreter tier executes kernel launches.
+///
+/// Mirrors `sigmavp_sptx::Tier` without making `sigmavp-sched` depend on the
+/// interpreter crate; the runtime layer maps this onto the interpreter's own
+/// tier enum when it builds an execution session. Both tiers are
+/// byte-identical in results, profiles, and error reporting — the warp tier is
+/// purely a throughput optimization (pre-decoded op streams executed in
+/// 32-lane lockstep; see `DESIGN.md` §16).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ExecTier {
+    /// One thread at a time through the tree-walking scalar interpreter.
+    Scalar,
+    /// 32-lane warp-lockstep execution over a pre-decoded op stream, with a
+    /// transparent per-CTA scalar fallback (the default).
+    #[default]
+    Warp,
+}
+
 /// Bounded-retry configuration for guest→host requests.
 ///
 /// Fields are integers (microseconds / counts) so [`Policy`] keeps deriving
@@ -182,6 +200,10 @@ pub struct Policy {
     /// this many consecutive flushed sync windows with no activity from it.
     /// `0` (the default) disables the watchdog.
     pub hang_windows: u32,
+    /// Which SPTX interpreter tier executes kernel launches (warp-lockstep by
+    /// default; scalar for the reference interpreter). Both produce
+    /// byte-identical results and profiles.
+    pub tier: ExecTier,
 }
 
 #[allow(non_upper_case_globals)]
@@ -199,6 +221,7 @@ impl Policy {
         sync_timeout_us: 0,
         deadline_us: 0,
         hang_windows: 0,
+        tier: ExecTier::Warp,
     };
     /// Legacy `GpuMode::Multiplexed`: host-GPU multiplexing without the
     /// re-scheduler optimizations.
@@ -214,6 +237,7 @@ impl Policy {
         sync_timeout_us: 0,
         deadline_us: 0,
         hang_windows: 0,
+        tier: ExecTier::Warp,
     };
     /// Legacy `GpuMode::MultiplexedOptimized`: multiplexing plus Kernel
     /// Interleaving and Kernel Coalescing.
@@ -229,6 +253,7 @@ impl Policy {
         sync_timeout_us: 0,
         deadline_us: 0,
         hang_windows: 0,
+        tier: ExecTier::Warp,
     };
     /// Legacy `SchedulingPolicy::Fifo`: live VPs race for the host runtime;
     /// the pending window is still interleaved by the re-scheduler.
@@ -244,6 +269,7 @@ impl Policy {
         sync_timeout_us: 0,
         deadline_us: 0,
         hang_windows: 0,
+        tier: ExecTier::Warp,
     };
     /// Legacy `SchedulingPolicy::RoundRobin`: live VPs take strict turns
     /// through the VP-control gate.
@@ -259,6 +285,7 @@ impl Policy {
         sync_timeout_us: 0,
         deadline_us: 0,
         hang_windows: 0,
+        tier: ExecTier::Warp,
     };
 
     /// The emulation baseline ([`Policy::EmulatedOnVp`]).
@@ -374,6 +401,14 @@ impl Policy {
         self
     }
 
+    /// Set the SPTX interpreter tier (builder style). [`ExecTier::Scalar`]
+    /// forces the reference interpreter; [`ExecTier::Warp`] (the default)
+    /// enables decoded warp-lockstep execution.
+    pub const fn with_tier(mut self, tier: ExecTier) -> Policy {
+        self.tier = tier;
+        self
+    }
+
     /// The sync-mode flush quorum as a fraction of eligible VPs.
     pub fn sync_quorum_fraction(&self) -> f64 {
         self.sync_quorum_pct as f64 / 100.0
@@ -432,6 +467,8 @@ mod tests {
         assert!(p.plans());
         assert_eq!(p.workers, 3);
         assert_eq!(Policy::default().workers, 0, "default is one worker per core");
+        assert_eq!(Policy::default().tier, ExecTier::Warp, "warp tier is the default");
+        assert_eq!(p.with_tier(ExecTier::Scalar).tier, ExecTier::Scalar);
         assert_eq!(p.interleave, InterleaveMode::CriticalPath);
         assert!(p.coalesce);
         assert_eq!(p.admission, Admission::RoundRobin);

@@ -46,13 +46,24 @@ impl LaunchConfig {
     /// The launch shape that covers `n` elements with `block_dim`-thread blocks
     /// (`⌈n / block_dim⌉` blocks).
     ///
+    /// # Errors
+    ///
+    /// Returns [`SptxError::BadLaunch`] when the required grid exceeds
+    /// `u32::MAX` blocks (previously the count was silently truncated).
+    ///
     /// # Panics
     ///
     /// Panics if `block_dim` is zero.
-    pub fn covering(n: u64, block_dim: u32) -> Self {
+    pub fn covering(n: u64, block_dim: u32) -> Result<Self, SptxError> {
         assert!(block_dim > 0, "block_dim must be positive");
         let grid = n.div_ceil(block_dim as u64).max(1);
-        Self { grid_dim: grid as u32, block_dim }
+        if grid > u32::MAX as u64 {
+            return Err(SptxError::BadLaunch(format!(
+                "covering {n} elements with {block_dim}-thread blocks needs {grid} blocks, \
+                 exceeding the u32 grid limit"
+            )));
+        }
+        Ok(Self { grid_dim: grid as u32, block_dim })
     }
 
     /// Total number of threads launched.
@@ -245,14 +256,14 @@ pub(crate) enum Value {
 }
 
 impl Value {
-    fn as_f64(self) -> f64 {
+    pub(crate) fn as_f64(self) -> f64 {
         match self {
             Value::F(v) => v,
             Value::I(v) => v as f64,
         }
     }
 
-    fn as_i64(self) -> i64 {
+    pub(crate) fn as_i64(self) -> i64 {
         match self {
             Value::F(v) => v as i64,
             Value::I(v) => v,
@@ -273,6 +284,21 @@ pub(crate) trait DataSpace {
     fn write_f32(&mut self, addr: u64, v: f32) -> Result<(), SptxError>;
     fn write_f64(&mut self, addr: u64, v: f64) -> Result<(), SptxError>;
     fn write_i64(&mut self, addr: u64, v: i64) -> Result<(), SptxError>;
+    /// Bounds-check a whole span at once; the warp tier uses this to validate
+    /// a coalesced access with one check instead of one per lane.
+    fn check_span(&self, addr: u64, len: u64) -> Result<(), SptxError>;
+    /// Reads for spans already validated by [`DataSpace::check_span`]. The
+    /// defaults fall back to the checked reads, so implementors only override
+    /// them when skipping the per-access check is worth it.
+    fn read_f32_unchecked(&self, addr: u64) -> f32 {
+        self.read_f32(addr).expect("span pre-checked")
+    }
+    fn read_f64_unchecked(&self, addr: u64) -> f64 {
+        self.read_f64(addr).expect("span pre-checked")
+    }
+    fn read_i64_unchecked(&self, addr: u64) -> i64 {
+        self.read_i64(addr).expect("span pre-checked")
+    }
 }
 
 impl DataSpace for Memory {
@@ -294,6 +320,37 @@ impl DataSpace for Memory {
     fn write_i64(&mut self, addr: u64, v: i64) -> Result<(), SptxError> {
         Memory::write_i64(self, addr, v)
     }
+    fn check_span(&self, addr: u64, len: u64) -> Result<(), SptxError> {
+        self.check(addr, len).map(|_| ())
+    }
+    fn read_f32_unchecked(&self, addr: u64) -> f32 {
+        let o = addr as usize;
+        f32::from_le_bytes(self.bytes[o..o + 4].try_into().expect("span pre-checked"))
+    }
+    fn read_f64_unchecked(&self, addr: u64) -> f64 {
+        let o = addr as usize;
+        f64::from_le_bytes(self.bytes[o..o + 8].try_into().expect("span pre-checked"))
+    }
+    fn read_i64_unchecked(&self, addr: u64) -> i64 {
+        let o = addr as usize;
+        i64::from_le_bytes(self.bytes[o..o + 8].try_into().expect("span pre-checked"))
+    }
+}
+
+/// Selects how the interpreter executes a launch.
+///
+/// Both tiers produce byte-identical memory, [`ExecutionProfile`]s and
+/// errors; the warp tier is simply faster on the common case. See
+/// `DESIGN.md` §16 for the tier architecture and the determinism argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Tier {
+    /// One thread at a time over the program AST — the reference semantics.
+    Scalar,
+    /// 32-lane warp lockstep over a predecoded op stream, falling back to
+    /// [`Tier::Scalar`] per CTA on cross-lane hazards, faults, or budget
+    /// exhaustion, and for programs the decoder rejects.
+    #[default]
+    Warp,
 }
 
 /// The SPTX interpreter.
@@ -306,6 +363,8 @@ pub struct Interpreter {
     pub(crate) budget: u64,
     /// Block-level parallelism: 0 = all available cores, 1 = sequential.
     pub(crate) workers: u32,
+    /// Execution tier; [`Tier::Warp`] by default.
+    pub(crate) tier: Tier,
 }
 
 impl Default for Interpreter {
@@ -321,7 +380,7 @@ impl Interpreter {
     /// An interpreter with the default instruction budget, using every
     /// available core for block-parallel execution.
     pub fn new() -> Self {
-        Self { budget: Self::DEFAULT_BUDGET, workers: 0 }
+        Self { budget: Self::DEFAULT_BUDGET, workers: 0, tier: Tier::default() }
     }
 
     /// Set the per-launch instruction budget; execution aborts with
@@ -339,6 +398,19 @@ impl Interpreter {
     pub fn with_workers(mut self, workers: u32) -> Self {
         self.workers = workers;
         self
+    }
+
+    /// Select the execution [`Tier`]. The default is [`Tier::Warp`]; both
+    /// tiers are byte-identical in results, profiles, and errors, so this is
+    /// purely a performance/ablation knob.
+    pub fn with_tier(mut self, tier: Tier) -> Self {
+        self.tier = tier;
+        self
+    }
+
+    /// The currently selected execution tier.
+    pub fn tier(&self) -> Tier {
+        self.tier
     }
 
     /// The effective worker count: `workers`, with 0 resolved to the host's
@@ -372,9 +444,25 @@ impl Interpreter {
             });
         }
 
+        let decoded = match self.tier {
+            Tier::Warp => crate::decode::decode(program),
+            Tier::Scalar => None,
+        };
+
         let workers = self.effective_workers();
         if workers > 1 && cfg.grid_dim > 1 {
-            return crate::parallel::run_parallel(self, program, cfg, params, mem, workers);
+            return crate::parallel::run_parallel(
+                self,
+                program,
+                decoded.as_deref(),
+                cfg,
+                params,
+                mem,
+                workers,
+            );
+        }
+        if let Some(dec) = decoded {
+            return crate::warp::run_sequential(self, program, &dec, cfg, params, mem);
         }
 
         let mut class_counts = [0u64; 7];
@@ -611,7 +699,7 @@ fn effective_addr(
     base_v.wrapping_add(idx_v.wrapping_mul(ty.width() as i64)).wrapping_add(offset) as u64
 }
 
-fn eval_bin(
+pub(crate) fn eval_bin(
     op: BinOp,
     ty: ScalarType,
     a: Value,
@@ -669,7 +757,7 @@ fn eval_bin(
     Ok(Value::F(v))
 }
 
-fn eval_un(op: UnaryOp, ty: ScalarType, a: Value) -> Value {
+pub(crate) fn eval_un(op: UnaryOp, ty: ScalarType, a: Value) -> Value {
     if op.is_bitwise() {
         return Value::I(!a.as_i64());
     }
@@ -695,7 +783,7 @@ fn eval_un(op: UnaryOp, ty: ScalarType, a: Value) -> Value {
     Value::F(if ty == ScalarType::F32 { v as f32 as f64 } else { v })
 }
 
-fn compare_ord(cmp: CmpOp, ord: std::cmp::Ordering) -> bool {
+pub(crate) fn compare_ord(cmp: CmpOp, ord: std::cmp::Ordering) -> bool {
     use std::cmp::Ordering::*;
     match cmp {
         CmpOp::Eq => ord == Equal,
@@ -707,7 +795,7 @@ fn compare_ord(cmp: CmpOp, ord: std::cmp::Ordering) -> bool {
     }
 }
 
-fn compare_f(cmp: CmpOp, a: f64, b: f64) -> bool {
+pub(crate) fn compare_f(cmp: CmpOp, a: f64, b: f64) -> bool {
     match cmp {
         CmpOp::Eq => a == b,
         CmpOp::Ne => a != b,
@@ -758,8 +846,11 @@ mod tests {
         assert!(LaunchConfig::linear(4, 0).validate().is_err());
         assert!(LaunchConfig::linear(4, 2048).validate().is_err());
         assert!(LaunchConfig::linear(4, 512).validate().is_ok());
-        assert_eq!(LaunchConfig::covering(1000, 512), LaunchConfig::linear(2, 512));
-        assert_eq!(LaunchConfig::covering(0, 512).grid_dim, 1);
+        assert_eq!(LaunchConfig::covering(1000, 512), Ok(LaunchConfig::linear(2, 512)));
+        assert_eq!(LaunchConfig::covering(0, 512).unwrap().grid_dim, 1);
+        // A grid that would overflow u32 must be rejected, not truncated.
+        let huge = LaunchConfig::covering(u64::MAX, 1);
+        assert!(matches!(huge, Err(SptxError::BadLaunch(_))));
     }
 
     #[test]

@@ -63,6 +63,7 @@
 pub mod asm;
 pub mod builder;
 pub mod counters;
+mod decode;
 pub mod error;
 pub mod exec;
 pub mod interp;
@@ -71,6 +72,8 @@ pub mod opt;
 mod parallel;
 pub mod program;
 pub mod validate;
+mod warp;
 
 pub use error::SptxError;
+pub use interp::Tier;
 pub use program::KernelProgram;

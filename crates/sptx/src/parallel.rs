@@ -41,11 +41,13 @@ use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Mutex;
 
 use crate::counters::{ExecutionProfile, MemoryTraceSummary, SegmentSet};
+use crate::decode::DecodedProgram;
 use crate::error::SptxError;
 use crate::exec::WorkerPool;
 use crate::interp::{DataSpace, Interpreter, LaunchConfig, Memory, ParamValue, Value};
 use crate::isa::BlockId;
 use crate::program::KernelProgram;
+use crate::warp::{CtaCounters, CtaOutcome, WarpExec, WarpStats};
 
 /// One journaled global-memory write: up to 8 little-endian bytes at `addr`.
 struct JournalEntry {
@@ -55,9 +57,10 @@ struct JournalEntry {
 }
 
 /// Identity-strength hasher for 8-byte-aligned slot indices (splitmix-style
-/// finalizer); cheaper than SipHash on the per-access overlay lookups.
+/// finalizer); cheaper than SipHash on the per-access overlay lookups. Also
+/// used by the warp tier's store-slot hazard map.
 #[derive(Default)]
-struct SlotHasher(u64);
+pub(crate) struct SlotHasher(u64);
 
 impl Hasher for SlotHasher {
     fn finish(&self) -> u64 {
@@ -158,6 +161,9 @@ impl DataSpace for OverlayMem<'_> {
     fn write_i64(&mut self, addr: u64, v: i64) -> Result<(), SptxError> {
         self.write(addr, &v.to_le_bytes())
     }
+    fn check_span(&self, addr: u64, len: u64) -> Result<(), SptxError> {
+        self.base.check(addr, len).map(|_| ())
+    }
 }
 
 /// Outcome of one block's isolated execution.
@@ -179,6 +185,7 @@ struct WorkerLog {
     segments: SegmentSet,
     journal: Vec<JournalEntry>,
     records: Vec<BlockRecord>,
+    stats: WarpStats,
 }
 
 impl WorkerLog {
@@ -190,6 +197,7 @@ impl WorkerLog {
             segments: SegmentSet::new(),
             journal: Vec::new(),
             records: Vec::new(),
+            stats: WarpStats::default(),
         }
     }
 }
@@ -200,6 +208,7 @@ impl WorkerLog {
 pub(crate) fn run_parallel(
     interp: &Interpreter,
     program: &KernelProgram,
+    dec: Option<&DecodedProgram>,
     cfg: &LaunchConfig,
     params: &[ParamValue],
     mem: &mut Memory,
@@ -222,6 +231,7 @@ pub(crate) fn run_parallel(
         let mut regs = vec![Value::I(0); program.num_regs() as usize];
         let mut preds = vec![false; program.num_preds() as usize];
         let mut slots = SlotMap::default();
+        let mut warp = dec.map(|d| (WarpExec::new(d), CtaCounters::new(program.blocks().len())));
         loop {
             let ctaid = next_block.fetch_add(1, Ordering::Relaxed);
             if ctaid >= grid || ctaid > min_error.load(Ordering::Acquire) {
@@ -231,7 +241,53 @@ pub(crate) fn run_parallel(
             let journal_start = log.journal.len();
             let mut executed = 0u64;
             let mut error = None;
-            {
+
+            // Warp-lockstep attempt first: a clean CTA leaves exactly the
+            // journal, counters and instruction count the scalar loop below
+            // would have produced. On abort the overlay is reset and the CTA
+            // re-runs scalar, so records and the merge walk are unchanged.
+            let mut lockstep_done = false;
+            if let (Some(d), Some((we, cc))) = (dec, warp.as_mut()) {
+                cc.reset();
+                let outcome = {
+                    let mut overlay =
+                        OverlayMem { base, slots: &mut slots, journal: &mut log.journal };
+                    crate::warp::run_cta(
+                        we,
+                        d,
+                        cfg,
+                        params,
+                        &mut overlay,
+                        ctaid,
+                        interp.budget,
+                        0,
+                        cc,
+                    )
+                };
+                match outcome {
+                    CtaOutcome::Done => {
+                        executed = cc.instrs;
+                        for (a, b) in log.class_counts.iter_mut().zip(cc.class_counts) {
+                            *a += b;
+                        }
+                        for (a, b) in log.block_iters.iter_mut().zip(&cc.block_iters) {
+                            *a += b;
+                        }
+                        log.trace.accesses += cc.trace.accesses;
+                        log.trace.load_bytes += cc.trace.load_bytes;
+                        log.trace.store_bytes += cc.trace.store_bytes;
+                        log.segments.absorb(std::mem::take(&mut cc.segments));
+                        log.stats.merge_cta(cc);
+                        lockstep_done = true;
+                    }
+                    CtaOutcome::Abort => {
+                        log.journal.truncate(journal_start);
+                        slots.clear();
+                        log.stats.fallback_ctas += 1;
+                    }
+                }
+            }
+            if !lockstep_done {
                 let mut overlay = OverlayMem { base, slots: &mut slots, journal: &mut log.journal };
                 for tid in 0..cfg.block_dim {
                     regs.iter_mut().for_each(|r| *r = Value::I(0));
@@ -324,7 +380,9 @@ pub(crate) fn run_parallel(
     let mut segments = SegmentSet::new();
     let mut journal_bytes = 0u64;
     let mut steals = 0u64;
+    let mut stats = WarpStats::default();
     for (s, log) in logs.into_iter().enumerate() {
+        stats.absorb(&log.stats);
         for (a, b) in class_counts.iter_mut().zip(log.class_counts) {
             *a += b;
         }
@@ -363,6 +421,9 @@ pub(crate) fn run_parallel(
         r.count("sptx.parallel.blocks", grid as u64);
         r.count("sptx.parallel.steals", steals);
         r.count("sptx.parallel.journal_bytes", journal_bytes);
+    }
+    if dec.is_some() {
+        stats.emit();
     }
     Ok(profile)
 }

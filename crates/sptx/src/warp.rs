@@ -1,0 +1,1057 @@
+//! Stage 2 of the tiered interpreter: warp-lockstep execution.
+//!
+//! The warp tier runs all 32 threads of a warp in lockstep over the decoded
+//! op stream from [`crate::decode`]: registers live in SoA banks
+//! (`Vec<[Value; 32]>`), control flow uses a SIMT divergence stack with
+//! reconvergence at each branch's immediate post-dominator, and wide memory
+//! ops detect uniform/consecutive lane addresses so a coalesced access
+//! bounds-checks and touches the [`SegmentSet`] per segment instead of per
+//! lane. Dispatch, class accounting, and the budget check are paid once per
+//! op (or once per block) instead of once per lane, which is where the
+//! speedup over the scalar tier comes from.
+//!
+//! # Byte-identity with the scalar tier
+//!
+//! The scalar interpreter runs threads strictly sequentially: tid `t`
+//! completes before tid `t + 1` starts. Lockstep reorders instructions
+//! *between* lanes of a warp, which is observable only through memory.
+//! The tier therefore keeps the following contract:
+//!
+//! * **Warps commit in tid order.** A CTA's warps run one after another
+//!   against the CTA's memory view, so any cross-warp dependence is exactly
+//!   sequential.
+//! * **Intra-warp hazards abort.** Every store records its 4-byte slots in a
+//!   per-warp map; a load or store touching a slot written by a *different*
+//!   lane aborts the CTA. (Same-lane program order is preserved by lockstep,
+//!   so own-slot traffic is exact.)
+//! * **Any abort falls back to the scalar tier for the whole CTA.** The
+//!   CTA's writes are rolled back, its counter deltas discarded, and the CTA
+//!   is re-run thread-by-thread via [`Interpreter::run_thread`] — so faults,
+//!   partial writes, and budget exhaustion land at the exact `(ctaid, tid)`
+//!   and instruction the scalar tier would produce. Lane faults, hazards,
+//!   and budget crossings all take this path.
+//! * **Counters are additive and order-insensitive.** Class counts and λ
+//!   block iterations advance by the active-lane count per op/visit, and the
+//!   memory trace by the active-lane count per access, so the aggregate
+//!   equals the scalar tier's per-thread sum. `SegmentSet` is an unordered
+//!   union.
+//!
+//! Budget accounting is block-granular: each visit charges every active lane
+//! the block's cost. Since per-lane counts are non-negative, the sequential
+//! prefix sum over tids crosses the budget iff the total does — so one
+//! total-crossing check per visit both detects exhaustion exactly and bounds
+//! runaway loops (the scalar rerun then reproduces the precise abort point).
+
+use std::collections::HashMap;
+use std::hash::BuildHasherDefault;
+
+use crate::counters::{ExecutionProfile, MemoryTraceSummary, SegmentSet};
+use crate::decode::{DOp, DTerm, DecodedProgram, EXIT, NO_INDEX};
+use crate::error::SptxError;
+use crate::interp::{
+    DataSpace, Interpreter, LaunchConfig, Memory, ParamValue, Value, MEMORY_SEGMENT_BYTES,
+};
+use crate::isa::{BlockId, InstrClass, ScalarType, Special};
+use crate::parallel::SlotHasher;
+use crate::program::KernelProgram;
+
+/// Lanes per warp, matching the CUDA warp size the paper assumes.
+pub(crate) const WARP_WIDTH: usize = 32;
+
+const BRANCH_CLASS: usize = 4; // InstrClass::Branch.index(), asserted in tests
+
+/// Iterate the set lane indices of `mask`; the full-mask case takes the
+/// unmasked fixed loop, which the compiler unrolls.
+macro_rules! for_lanes {
+    ($mask:expr, $l:ident, $body:block) => {
+        if $mask == u32::MAX {
+            for $l in 0..WARP_WIDTH {
+                $body
+            }
+        } else {
+            let mut bits = $mask;
+            while bits != 0 {
+                let $l = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                $body
+            }
+        }
+    };
+}
+
+/// One SIMT stack frame: `mask` lanes execute from block `next` until control
+/// reaches block `reconv`, where they park and the frame below resumes them.
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    next: u32,
+    mask: u32,
+    reconv: u32,
+}
+
+/// Per-CTA counter deltas, kept separate from the launch accumulators so an
+/// aborted CTA can be discarded wholesale before the scalar rerun.
+#[derive(Debug)]
+pub(crate) struct CtaCounters {
+    /// Dynamic instruction counts by class index.
+    pub class_counts: [u64; 7],
+    /// Per-block visit counts (λ), weighted by active lanes.
+    pub block_iters: Vec<u64>,
+    /// 128-byte segments touched.
+    pub segments: SegmentSet,
+    /// Load/store byte and access totals.
+    pub trace: MemoryTraceSummary,
+    /// Total dynamic instructions executed by the CTA.
+    pub instrs: u64,
+    /// Warps run.
+    pub warps: u64,
+    /// Warp-wide loads where every active lane read the same address.
+    pub uniform_loads: u64,
+    /// Conditional branches where the warp's lanes took both sides.
+    pub divergent_branches: u64,
+}
+
+impl CtaCounters {
+    pub(crate) fn new(nblocks: usize) -> Self {
+        Self {
+            class_counts: [0; 7],
+            block_iters: vec![0; nblocks],
+            segments: SegmentSet::new(),
+            trace: MemoryTraceSummary::default(),
+            instrs: 0,
+            warps: 0,
+            uniform_loads: 0,
+            divergent_branches: 0,
+        }
+    }
+
+    pub(crate) fn reset(&mut self) {
+        self.class_counts = [0; 7];
+        self.block_iters.iter_mut().for_each(|b| *b = 0);
+        self.segments = SegmentSet::new();
+        self.trace = MemoryTraceSummary::default();
+        self.instrs = 0;
+        self.warps = 0;
+        self.uniform_loads = 0;
+        self.divergent_branches = 0;
+    }
+}
+
+/// Launch-level warp statistics, merged from successful CTAs and emitted as
+/// `sptx.warp.*` telemetry by the drivers.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct WarpStats {
+    pub warps: u64,
+    pub uniform_loads: u64,
+    pub divergent_branches: u64,
+    /// CTAs that aborted lockstep and re-ran on the scalar tier.
+    pub fallback_ctas: u64,
+}
+
+impl WarpStats {
+    pub(crate) fn merge_cta(&mut self, cta: &CtaCounters) {
+        self.warps += cta.warps;
+        self.uniform_loads += cta.uniform_loads;
+        self.divergent_branches += cta.divergent_branches;
+    }
+
+    pub(crate) fn absorb(&mut self, other: &WarpStats) {
+        self.warps += other.warps;
+        self.uniform_loads += other.uniform_loads;
+        self.divergent_branches += other.divergent_branches;
+        self.fallback_ctas += other.fallback_ctas;
+    }
+
+    pub(crate) fn emit(&self) {
+        let r = sigmavp_telemetry::recorder();
+        if r.enabled() {
+            r.count("sptx.warp.warps", self.warps);
+            r.count("sptx.warp.uniform_loads", self.uniform_loads);
+            r.count("sptx.warp.divergent_branches", self.divergent_branches);
+            if self.fallback_ctas > 0 {
+                r.count("sptx.warp.fallback_ctas", self.fallback_ctas);
+            }
+        }
+    }
+}
+
+/// Reusable warp-execution state: SoA register/predicate banks, the SIMT
+/// stack, the per-warp store-slot map, and the lane address buffer. One of
+/// these lives per sequential launch or per parallel worker.
+pub(crate) struct WarpExec {
+    regs: Vec<[Value; WARP_WIDTH]>,
+    preds: Vec<[bool; WARP_WIDTH]>,
+    stack: Vec<Frame>,
+    store_map: HashMap<u64, u8, BuildHasherDefault<SlotHasher>>,
+    addrs: [u64; WARP_WIDTH],
+}
+
+impl WarpExec {
+    pub(crate) fn new(dec: &DecodedProgram) -> Self {
+        Self {
+            regs: vec![[Value::I(0); WARP_WIDTH]; dec.num_regs as usize],
+            preds: vec![[false; WARP_WIDTH]; dec.num_preds as usize],
+            stack: Vec::with_capacity(8),
+            store_map: HashMap::default(),
+            addrs: [0; WARP_WIDTH],
+        }
+    }
+}
+
+/// Outcome of one lockstep CTA attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CtaOutcome {
+    /// The CTA completed; `cta.instrs` instructions were executed and its
+    /// memory writes are in place.
+    Done,
+    /// Lockstep hit a hazard, lane fault, or budget crossing. The caller must
+    /// roll back the CTA's writes, discard its counters, and re-run it on
+    /// the scalar tier.
+    Abort,
+}
+
+/// Run one CTA (all its warps, in tid order) in lockstep. `executed_before`
+/// is the launch's dynamic instruction count when this CTA starts, used for
+/// the budget-crossing check.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_cta<M: DataSpace>(
+    exec: &mut WarpExec,
+    dec: &DecodedProgram,
+    cfg: &LaunchConfig,
+    params: &[ParamValue],
+    mem: &mut M,
+    ctaid: u32,
+    budget: u64,
+    executed_before: u64,
+    cta: &mut CtaCounters,
+) -> CtaOutcome {
+    let nwarps = (cfg.block_dim as usize).div_ceil(WARP_WIDTH);
+    for w in 0..nwarps {
+        let base_tid = (w * WARP_WIDTH) as u32;
+        let lanes = ((cfg.block_dim - base_tid) as usize).min(WARP_WIDTH);
+        let full: u32 = if lanes == WARP_WIDTH { u32::MAX } else { (1u32 << lanes) - 1 };
+        cta.warps += 1;
+        if run_warp(
+            exec,
+            dec,
+            cfg,
+            params,
+            mem,
+            ctaid,
+            base_tid,
+            full,
+            budget,
+            executed_before,
+            cta,
+        )
+        .is_err()
+        {
+            return CtaOutcome::Abort;
+        }
+    }
+    CtaOutcome::Done
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_warp<M: DataSpace>(
+    exec: &mut WarpExec,
+    dec: &DecodedProgram,
+    cfg: &LaunchConfig,
+    params: &[ParamValue],
+    mem: &mut M,
+    ctaid: u32,
+    base_tid: u32,
+    full_mask: u32,
+    budget: u64,
+    executed_before: u64,
+    cta: &mut CtaCounters,
+) -> Result<(), ()> {
+    for row in &mut exec.regs {
+        *row = [Value::I(0); WARP_WIDTH];
+    }
+    for row in &mut exec.preds {
+        *row = [false; WARP_WIDTH];
+    }
+    exec.store_map.clear();
+    exec.stack.clear();
+    exec.stack.push(Frame { next: 0, mask: full_mask, reconv: EXIT });
+
+    loop {
+        let Some(&Frame { next, mask, reconv }) = exec.stack.last() else {
+            return Ok(());
+        };
+        if mask == 0 || next == reconv || next == EXIT {
+            debug_assert!(next != EXIT || mask == 0 || next == reconv);
+            exec.stack.pop();
+            continue;
+        }
+        let bi = next as usize;
+        let blk = dec.blocks[bi];
+        let active = mask.count_ones() as u64;
+
+        cta.block_iters[bi] += active;
+        cta.instrs += blk.cost * active;
+        // One total-crossing check per visit detects exact budget exhaustion
+        // (see module docs) and bounds runaway loops.
+        if executed_before + cta.instrs > budget {
+            return Err(());
+        }
+
+        for dop in &dec.ops[blk.start as usize..(blk.start + blk.len) as usize] {
+            cta.class_counts[dop.class as usize] += active;
+            exec_op(
+                &dop.op,
+                &mut exec.regs,
+                &mut exec.preds,
+                &mut exec.store_map,
+                &mut exec.addrs,
+                cta,
+                mem,
+                cfg,
+                params,
+                ctaid,
+                base_tid,
+                mask,
+            )?;
+        }
+
+        match blk.term {
+            DTerm::Ret => {
+                for f in exec.stack.iter_mut() {
+                    f.mask &= !mask;
+                }
+            }
+            DTerm::Bra(t) => {
+                cta.class_counts[BRANCH_CLASS] += active;
+                exec.stack.last_mut().expect("frame present").next = t;
+            }
+            DTerm::CondBra { pred, if_true, if_false } => {
+                cta.class_counts[BRANCH_CLASS] += active;
+                let bank = &exec.preds[pred as usize];
+                let mut taken = 0u32;
+                for_lanes!(mask, l, {
+                    if bank[l] {
+                        taken |= 1 << l;
+                    }
+                });
+                let top = exec.stack.last_mut().expect("frame present");
+                if taken == mask {
+                    top.next = if_true;
+                } else if taken == 0 {
+                    top.next = if_false;
+                } else {
+                    cta.divergent_branches += 1;
+                    let r = blk.reconv;
+                    // The current frame parks at the reconvergence point with
+                    // the pre-divergence mask; each side that is not already
+                    // the reconvergence block gets its own frame.
+                    top.next = r;
+                    let not_taken = mask & !taken;
+                    if if_false != r {
+                        exec.stack.push(Frame { next: if_false, mask: not_taken, reconv: r });
+                    }
+                    if if_true != r {
+                        exec.stack.push(Frame { next: if_true, mask: taken, reconv: r });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Apply `f` over the float view of two register rows. The op/type dispatch
+/// happens once per warp-op at the call site; the lane loop only touches
+/// values. Rows are copied to the stack so the loop indexes fixed-size arrays
+/// without bounds checks (and `dst` may alias `a`/`b`).
+#[inline(always)]
+fn bin_f(
+    regs: &mut [[Value; WARP_WIDTH]],
+    mask: u32,
+    dst: usize,
+    a: usize,
+    b: usize,
+    f: impl Fn(f64, f64) -> f64,
+) {
+    let ra = regs[a];
+    let rb = regs[b];
+    let rd = &mut regs[dst];
+    for_lanes!(mask, l, {
+        rd[l] = Value::F(f(ra[l].as_f64(), rb[l].as_f64()));
+    });
+}
+
+/// Integer-view counterpart of [`bin_f`].
+#[inline(always)]
+fn bin_i(
+    regs: &mut [[Value; WARP_WIDTH]],
+    mask: u32,
+    dst: usize,
+    a: usize,
+    b: usize,
+    f: impl Fn(i64, i64) -> i64,
+) {
+    let ra = regs[a];
+    let rb = regs[b];
+    let rd = &mut regs[dst];
+    for_lanes!(mask, l, {
+        rd[l] = Value::I(f(ra[l].as_i64(), rb[l].as_i64()));
+    });
+}
+
+/// Unary float op over one register row; `f` already folds in any F32
+/// round-tripping.
+#[inline(always)]
+fn un_f(regs: &mut [[Value; WARP_WIDTH]], mask: u32, dst: usize, a: usize, f: impl Fn(f64) -> f64) {
+    let ra = regs[a];
+    let rd = &mut regs[dst];
+    for_lanes!(mask, l, {
+        rd[l] = Value::F(f(ra[l].as_f64()));
+    });
+}
+
+/// Predicate compare over the integer view of two rows.
+#[inline(always)]
+fn setp_i(
+    regs: &[[Value; WARP_WIDTH]],
+    pb: &mut [bool; WARP_WIDTH],
+    mask: u32,
+    a: usize,
+    b: usize,
+    f: impl Fn(i64, i64) -> bool,
+) {
+    let ra = regs[a];
+    let rb = regs[b];
+    for_lanes!(mask, l, {
+        pb[l] = f(ra[l].as_i64(), rb[l].as_i64());
+    });
+}
+
+/// Predicate compare over the float view of two rows; `f32_round` pins F32
+/// semantics (compare the values after a round-trip through f32).
+#[inline(always)]
+fn setp_f(
+    regs: &[[Value; WARP_WIDTH]],
+    pb: &mut [bool; WARP_WIDTH],
+    mask: u32,
+    a: usize,
+    b: usize,
+    f32_round: bool,
+    f: impl Fn(f64, f64) -> bool,
+) {
+    let ra = regs[a];
+    let rb = regs[b];
+    if f32_round {
+        for_lanes!(mask, l, {
+            pb[l] = f(ra[l].as_f64() as f32 as f64, rb[l].as_f64() as f32 as f64);
+        });
+    } else {
+        for_lanes!(mask, l, {
+            pb[l] = f(ra[l].as_f64(), rb[l].as_f64());
+        });
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn exec_op<M: DataSpace>(
+    op: &DOp,
+    regs: &mut [[Value; WARP_WIDTH]],
+    preds: &mut [[bool; WARP_WIDTH]],
+    store_map: &mut HashMap<u64, u8, BuildHasherDefault<SlotHasher>>,
+    addrs: &mut [u64; WARP_WIDTH],
+    cta: &mut CtaCounters,
+    mem: &mut M,
+    cfg: &LaunchConfig,
+    params: &[ParamValue],
+    ctaid: u32,
+    base_tid: u32,
+    mask: u32,
+) -> Result<(), ()> {
+    match *op {
+        DOp::Bin { op, ty, dst, a, b } => {
+            let (d, a, b) = (dst as usize, a as usize, b as usize);
+            use crate::isa::BinOp as B;
+            if op.is_bitwise() || ty == ScalarType::I64 {
+                match op {
+                    B::Add => bin_i(regs, mask, d, a, b, |x, y| x.wrapping_add(y)),
+                    B::Sub => bin_i(regs, mask, d, a, b, |x, y| x.wrapping_sub(y)),
+                    B::Mul => bin_i(regs, mask, d, a, b, |x, y| x.wrapping_mul(y)),
+                    B::Min => bin_i(regs, mask, d, a, b, i64::min),
+                    B::Max => bin_i(regs, mask, d, a, b, i64::max),
+                    B::And => bin_i(regs, mask, d, a, b, |x, y| x & y),
+                    B::Or => bin_i(regs, mask, d, a, b, |x, y| x | y),
+                    B::Xor => bin_i(regs, mask, d, a, b, |x, y| x ^ y),
+                    B::Shl => bin_i(regs, mask, d, a, b, |x, y| x.wrapping_shl(y as u32 & 63)),
+                    B::Shr => bin_i(regs, mask, d, a, b, |x, y| x.wrapping_shr(y as u32 & 63)),
+                    B::Div | B::Rem => {
+                        // Fault-capable: a zero divisor in any lane aborts the
+                        // CTA; the scalar rerun reproduces the exact error.
+                        for_lanes!(mask, l, {
+                            let y = regs[b][l].as_i64();
+                            if y == 0 {
+                                return Err(());
+                            }
+                            let x = regs[a][l].as_i64();
+                            regs[d][l] = Value::I(if matches!(op, B::Div) {
+                                x.wrapping_div(y)
+                            } else {
+                                x.wrapping_rem(y)
+                            });
+                        });
+                    }
+                }
+            } else if ty == ScalarType::F32 {
+                match op {
+                    B::Add => bin_f(regs, mask, d, a, b, |x, y| ((x as f32) + (y as f32)) as f64),
+                    B::Sub => bin_f(regs, mask, d, a, b, |x, y| ((x as f32) - (y as f32)) as f64),
+                    B::Mul => bin_f(regs, mask, d, a, b, |x, y| ((x as f32) * (y as f32)) as f64),
+                    B::Div => bin_f(regs, mask, d, a, b, |x, y| ((x as f32) / (y as f32)) as f64),
+                    B::Rem => bin_f(regs, mask, d, a, b, |x, y| ((x as f32) % (y as f32)) as f64),
+                    B::Min => bin_f(regs, mask, d, a, b, |x, y| (x as f32).min(y as f32) as f64),
+                    B::Max => bin_f(regs, mask, d, a, b, |x, y| (x as f32).max(y as f32) as f64),
+                    _ => unreachable!("bitwise handled above"),
+                }
+            } else {
+                match op {
+                    B::Add => bin_f(regs, mask, d, a, b, |x, y| x + y),
+                    B::Sub => bin_f(regs, mask, d, a, b, |x, y| x - y),
+                    B::Mul => bin_f(regs, mask, d, a, b, |x, y| x * y),
+                    B::Div => bin_f(regs, mask, d, a, b, |x, y| x / y),
+                    B::Rem => bin_f(regs, mask, d, a, b, |x, y| x % y),
+                    B::Min => bin_f(regs, mask, d, a, b, f64::min),
+                    B::Max => bin_f(regs, mask, d, a, b, f64::max),
+                    _ => unreachable!("bitwise handled above"),
+                }
+            }
+        }
+        DOp::Un { op, ty, dst, a } => {
+            let (d, a) = (dst as usize, a as usize);
+            use crate::isa::UnaryOp as U;
+            // `f32r` folds F32's round-trip (input and result through f32)
+            // into the hoisted closure, matching `eval_un` exactly.
+            macro_rules! un_float {
+                ($f:expr) => {{
+                    if ty == ScalarType::F32 {
+                        un_f(regs, mask, d, a, |x| {
+                            let v: f64 = $f(x as f32 as f64);
+                            v as f32 as f64
+                        })
+                    } else {
+                        un_f(regs, mask, d, a, $f)
+                    }
+                }};
+            }
+            if op.is_bitwise() {
+                let ra = regs[a];
+                let rd = &mut regs[d];
+                for_lanes!(mask, l, {
+                    rd[l] = Value::I(!ra[l].as_i64());
+                });
+            } else if ty == ScalarType::I64 && matches!(op, U::Neg | U::Abs) {
+                let ra = regs[a];
+                let rd = &mut regs[d];
+                if matches!(op, U::Neg) {
+                    for_lanes!(mask, l, {
+                        rd[l] = Value::I(ra[l].as_i64().wrapping_neg());
+                    });
+                } else {
+                    for_lanes!(mask, l, {
+                        rd[l] = Value::I(ra[l].as_i64().wrapping_abs());
+                    });
+                }
+            } else {
+                match op {
+                    U::Neg => un_float!(|x: f64| -x),
+                    U::Abs => un_float!(|x: f64| x.abs()),
+                    U::Sqrt => un_float!(|x: f64| x.sqrt()),
+                    U::Exp => un_float!(|x: f64| x.exp()),
+                    U::Log => un_float!(|x: f64| x.ln()),
+                    U::Sin => un_float!(|x: f64| x.sin()),
+                    U::Cos => un_float!(|x: f64| x.cos()),
+                    U::Not => unreachable!("bitwise handled above"),
+                }
+            }
+        }
+        DOp::Mad { ty, dst, a, b, c } => {
+            let (d, a, b, c) = (dst as usize, a as usize, b as usize, c as usize);
+            let ra = regs[a];
+            let rb = regs[b];
+            let rc = regs[c];
+            let rd = &mut regs[d];
+            match ty {
+                ScalarType::F32 => {
+                    for_lanes!(mask, l, {
+                        rd[l] = Value::F(
+                            (ra[l].as_f64() as f32)
+                                .mul_add(rb[l].as_f64() as f32, rc[l].as_f64() as f32)
+                                as f64,
+                        );
+                    });
+                }
+                ScalarType::F64 => {
+                    for_lanes!(mask, l, {
+                        rd[l] = Value::F(ra[l].as_f64() * rb[l].as_f64() + rc[l].as_f64());
+                    });
+                }
+                ScalarType::I64 => {
+                    for_lanes!(mask, l, {
+                        rd[l] = Value::I(
+                            ra[l]
+                                .as_i64()
+                                .wrapping_mul(rb[l].as_i64())
+                                .wrapping_add(rc[l].as_i64()),
+                        );
+                    });
+                }
+            }
+        }
+        DOp::MovImm { dst, val } => {
+            let dst = dst as usize;
+            for_lanes!(mask, l, {
+                regs[dst][l] = val;
+            });
+        }
+        DOp::Mov { dst, src } => {
+            let (dst, src) = (dst as usize, src as usize);
+            if dst != src {
+                let rs = regs[src];
+                let rd = &mut regs[dst];
+                for_lanes!(mask, l, {
+                    rd[l] = rs[l];
+                });
+            }
+        }
+        DOp::Cvt { to, from, dst, src } => {
+            let (d, s) = (dst as usize, src as usize);
+            let rs = regs[s];
+            let rd = &mut regs[d];
+            match (from, to) {
+                (_, ScalarType::I64) => {
+                    for_lanes!(mask, l, {
+                        rd[l] = Value::I(rs[l].as_i64());
+                    });
+                }
+                (ScalarType::I64, ScalarType::F32) => {
+                    for_lanes!(mask, l, {
+                        rd[l] = Value::F(rs[l].as_i64() as f32 as f64);
+                    });
+                }
+                (ScalarType::I64, ScalarType::F64) => {
+                    for_lanes!(mask, l, {
+                        rd[l] = Value::F(rs[l].as_i64() as f64);
+                    });
+                }
+                (_, ScalarType::F32) => {
+                    for_lanes!(mask, l, {
+                        rd[l] = Value::F(rs[l].as_f64() as f32 as f64);
+                    });
+                }
+                (_, ScalarType::F64) => {
+                    for_lanes!(mask, l, {
+                        rd[l] = Value::F(rs[l].as_f64());
+                    });
+                }
+            }
+        }
+        DOp::Setp { cmp, ty, pred, a, b } => {
+            let (p, a, b) = (pred as usize, a as usize, b as usize);
+            use crate::isa::CmpOp as C;
+            let pb = &mut preds[p];
+            match ty {
+                ScalarType::I64 => match cmp {
+                    C::Eq => setp_i(regs, pb, mask, a, b, |x, y| x == y),
+                    C::Ne => setp_i(regs, pb, mask, a, b, |x, y| x != y),
+                    C::Lt => setp_i(regs, pb, mask, a, b, |x, y| x < y),
+                    C::Le => setp_i(regs, pb, mask, a, b, |x, y| x <= y),
+                    C::Gt => setp_i(regs, pb, mask, a, b, |x, y| x > y),
+                    C::Ge => setp_i(regs, pb, mask, a, b, |x, y| x >= y),
+                },
+                ScalarType::F32 | ScalarType::F64 => {
+                    let r32 = ty == ScalarType::F32;
+                    match cmp {
+                        C::Eq => setp_f(regs, pb, mask, a, b, r32, |x, y| x == y),
+                        C::Ne => setp_f(regs, pb, mask, a, b, r32, |x, y| x != y),
+                        C::Lt => setp_f(regs, pb, mask, a, b, r32, |x, y| x < y),
+                        C::Le => setp_f(regs, pb, mask, a, b, r32, |x, y| x <= y),
+                        C::Gt => setp_f(regs, pb, mask, a, b, r32, |x, y| x > y),
+                        C::Ge => setp_f(regs, pb, mask, a, b, r32, |x, y| x >= y),
+                    }
+                }
+            }
+        }
+        DOp::ReadSpecial { dst, special } => {
+            let dst = dst as usize;
+            match special {
+                Special::TidX => {
+                    for_lanes!(mask, l, {
+                        regs[dst][l] = Value::I(base_tid as i64 + l as i64);
+                    });
+                }
+                Special::GlobalTid => {
+                    let base = ctaid as i64 * cfg.block_dim as i64 + base_tid as i64;
+                    for_lanes!(mask, l, {
+                        regs[dst][l] = Value::I(base + l as i64);
+                    });
+                }
+                Special::NTidX | Special::CtaIdX | Special::NCtaIdX => {
+                    let v = Value::I(match special {
+                        Special::NTidX => cfg.block_dim as i64,
+                        Special::CtaIdX => ctaid as i64,
+                        _ => cfg.grid_dim as i64,
+                    });
+                    for_lanes!(mask, l, {
+                        regs[dst][l] = v;
+                    });
+                }
+            }
+        }
+        DOp::LdParam { dst, index } => {
+            let dst = dst as usize;
+            let Some(p) = params.get(index as usize) else {
+                return Err(());
+            };
+            let v = match *p {
+                ParamValue::Ptr(a) => Value::I(a as i64),
+                ParamValue::F64(v) => Value::F(v),
+                ParamValue::F32(v) => Value::F(v as f64),
+                ParamValue::I64(v) => Value::I(v),
+            };
+            for_lanes!(mask, l, {
+                regs[dst][l] = v;
+            });
+        }
+        DOp::Ld { ty, dst, base, index, offset } => {
+            let dst = dst as usize;
+            let w = ty.width();
+            let (uniform, consec, first) = lane_addrs(regs, addrs, base, index, offset, w, mask);
+            let active = mask.count_ones() as u64;
+            cta.trace.accesses += active;
+            cta.trace.load_bytes += w * active;
+            if !store_map.is_empty() {
+                check_load_hazards(store_map, addrs, w, mask)?;
+            }
+            if uniform {
+                cta.uniform_loads += 1;
+                cta.segments.insert(first / MEMORY_SEGMENT_BYTES);
+                let v = load_val(mem, ty, first).map_err(drop)?;
+                for_lanes!(mask, l, {
+                    regs[dst][l] = v;
+                });
+            } else if consec {
+                // One bounds check covers the whole coalesced span; segment
+                // inserts hit SegmentSet's last-value fast path. The type
+                // dispatch is hoisted out of the lane loop.
+                mem.check_span(first, active * w).map_err(drop)?;
+                match ty {
+                    ScalarType::F32 => {
+                        for_lanes!(mask, l, {
+                            cta.segments.insert(addrs[l] / MEMORY_SEGMENT_BYTES);
+                            regs[dst][l] = Value::F(mem.read_f32_unchecked(addrs[l]) as f64);
+                        });
+                    }
+                    ScalarType::F64 => {
+                        for_lanes!(mask, l, {
+                            cta.segments.insert(addrs[l] / MEMORY_SEGMENT_BYTES);
+                            regs[dst][l] = Value::F(mem.read_f64_unchecked(addrs[l]));
+                        });
+                    }
+                    ScalarType::I64 => {
+                        for_lanes!(mask, l, {
+                            cta.segments.insert(addrs[l] / MEMORY_SEGMENT_BYTES);
+                            regs[dst][l] = Value::I(mem.read_i64_unchecked(addrs[l]));
+                        });
+                    }
+                }
+            } else {
+                for_lanes!(mask, l, {
+                    cta.segments.insert(addrs[l] / MEMORY_SEGMENT_BYTES);
+                    regs[dst][l] = load_val(mem, ty, addrs[l]).map_err(drop)?;
+                });
+            }
+        }
+        DOp::St { ty, base, index, offset, src } => {
+            let src = src as usize;
+            let w = ty.width();
+            let (_, _, _) = lane_addrs(regs, addrs, base, index, offset, w, mask);
+            let active = mask.count_ones() as u64;
+            cta.trace.accesses += active;
+            cta.trace.store_bytes += w * active;
+            // Record slots first: a cross-lane overlap is a hazard even if
+            // the write itself would fault.
+            for_lanes!(mask, l, {
+                let a0 = addrs[l] >> 2;
+                let a1 = addrs[l].wrapping_add(w - 1) >> 2;
+                let mut s = a0;
+                while s <= a1 {
+                    if let Some(prev) = store_map.insert(s, l as u8) {
+                        if prev != l as u8 {
+                            return Err(());
+                        }
+                    }
+                    s += 1;
+                }
+            });
+            for_lanes!(mask, l, {
+                cta.segments.insert(addrs[l] / MEMORY_SEGMENT_BYTES);
+                let v = regs[src][l];
+                match ty {
+                    ScalarType::F32 => mem.write_f32(addrs[l], v.as_f64() as f32),
+                    ScalarType::F64 => mem.write_f64(addrs[l], v.as_f64()),
+                    ScalarType::I64 => mem.write_i64(addrs[l], v.as_i64()),
+                }
+                .map_err(drop)?;
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Compute every active lane's effective address into `addrs`, returning
+/// `(uniform, consecutive, first_addr)` — `consecutive` meaning each active
+/// lane's address follows the previous active lane's by exactly the access
+/// width.
+#[inline]
+fn lane_addrs(
+    regs: &[[Value; WARP_WIDTH]],
+    addrs: &mut [u64; WARP_WIDTH],
+    base: u16,
+    index: u16,
+    offset: i64,
+    width: u64,
+    mask: u32,
+) -> (bool, bool, u64) {
+    let base = base as usize;
+    let has_index = index != NO_INDEX;
+    let index = index as usize;
+    let mut first = 0u64;
+    let mut prev = 0u64;
+    let mut started = false;
+    let mut uniform = true;
+    let mut consec = true;
+    for_lanes!(mask, l, {
+        let bv = regs[base][l].as_i64();
+        let iv = if has_index { regs[index][l].as_i64() } else { 0 };
+        let addr = bv.wrapping_add(iv.wrapping_mul(width as i64)).wrapping_add(offset) as u64;
+        addrs[l] = addr;
+        if started {
+            uniform &= addr == first;
+            consec &= addr == prev.wrapping_add(width);
+        } else {
+            started = true;
+            first = addr;
+        }
+        prev = addr;
+    });
+    (uniform, consec && !uniform, first)
+}
+
+/// Abort if any active lane loads a slot another lane has stored this warp.
+fn check_load_hazards(
+    store_map: &HashMap<u64, u8, BuildHasherDefault<SlotHasher>>,
+    addrs: &[u64; WARP_WIDTH],
+    width: u64,
+    mask: u32,
+) -> Result<(), ()> {
+    for_lanes!(mask, l, {
+        let a0 = addrs[l] >> 2;
+        let a1 = addrs[l].wrapping_add(width - 1) >> 2;
+        let mut s = a0;
+        while s <= a1 {
+            if let Some(&lane) = store_map.get(&s) {
+                if lane != l as u8 {
+                    return Err(());
+                }
+            }
+            s += 1;
+        }
+    });
+    Ok(())
+}
+
+fn load_val<M: DataSpace>(mem: &M, ty: ScalarType, addr: u64) -> Result<Value, SptxError> {
+    Ok(match ty {
+        ScalarType::F32 => Value::F(mem.read_f32(addr)? as f64),
+        ScalarType::F64 => Value::F(mem.read_f64(addr)?),
+        ScalarType::I64 => Value::I(mem.read_i64(addr)?),
+    })
+}
+
+/// Direct-to-[`Memory`] data space for the sequential warp path, with an undo
+/// journal so an aborted CTA's writes can be rolled back before the scalar
+/// rerun. Reads pay no overlay cost — they hit `Memory` straight.
+pub(crate) struct DirectMem<'a> {
+    mem: &'a mut Memory,
+    undo: Vec<(u64, [u8; 8], u8)>,
+}
+
+impl<'a> DirectMem<'a> {
+    pub(crate) fn new(mem: &'a mut Memory) -> Self {
+        Self { mem, undo: Vec::new() }
+    }
+
+    /// Keep the CTA's writes; the undo log is discarded.
+    pub(crate) fn commit(self) {}
+
+    /// Restore every byte this CTA wrote, newest first.
+    pub(crate) fn rollback(self) {
+        let DirectMem { mem, undo } = self;
+        for (addr, old, width) in undo.into_iter().rev() {
+            let o = addr as usize;
+            mem.as_bytes_mut()[o..o + width as usize].copy_from_slice(&old[..width as usize]);
+        }
+    }
+
+    fn record(&mut self, addr: u64, width: usize) -> Result<(), SptxError> {
+        let o = self.mem.check(addr, width as u64)?;
+        let mut old = [0u8; 8];
+        old[..width].copy_from_slice(&self.mem.as_bytes()[o..o + width]);
+        self.undo.push((addr, old, width as u8));
+        Ok(())
+    }
+}
+
+impl DataSpace for DirectMem<'_> {
+    fn read_f32(&self, addr: u64) -> Result<f32, SptxError> {
+        self.mem.read_f32(addr)
+    }
+    fn read_f64(&self, addr: u64) -> Result<f64, SptxError> {
+        self.mem.read_f64(addr)
+    }
+    fn read_i64(&self, addr: u64) -> Result<i64, SptxError> {
+        self.mem.read_i64(addr)
+    }
+    fn write_f32(&mut self, addr: u64, v: f32) -> Result<(), SptxError> {
+        self.record(addr, 4)?;
+        self.mem.write_f32(addr, v)
+    }
+    fn write_f64(&mut self, addr: u64, v: f64) -> Result<(), SptxError> {
+        self.record(addr, 8)?;
+        self.mem.write_f64(addr, v)
+    }
+    fn write_i64(&mut self, addr: u64, v: i64) -> Result<(), SptxError> {
+        self.record(addr, 8)?;
+        self.mem.write_i64(addr, v)
+    }
+    fn check_span(&self, addr: u64, len: u64) -> Result<(), SptxError> {
+        self.mem.check(addr, len).map(|_| ())
+    }
+    fn read_f32_unchecked(&self, addr: u64) -> f32 {
+        self.mem.read_f32_unchecked(addr)
+    }
+    fn read_f64_unchecked(&self, addr: u64) -> f64 {
+        self.mem.read_f64_unchecked(addr)
+    }
+    fn read_i64_unchecked(&self, addr: u64) -> i64 {
+        self.mem.read_i64_unchecked(addr)
+    }
+}
+
+/// Sequential (single-worker) warp-tier driver: CTAs run one at a time in
+/// ctaid order directly against `mem`, so cross-CTA visibility matches the
+/// scalar sequential path exactly. Aborted CTAs roll back and re-run on the
+/// scalar tier.
+pub(crate) fn run_sequential(
+    interp: &Interpreter,
+    program: &KernelProgram,
+    dec: &DecodedProgram,
+    cfg: &LaunchConfig,
+    params: &[ParamValue],
+    mem: &mut Memory,
+) -> Result<ExecutionProfile, SptxError> {
+    let nblocks = program.blocks().len();
+    let mut class_counts = [0u64; 7];
+    let mut block_iters = vec![0u64; nblocks];
+    let mut segments = SegmentSet::new();
+    let mut trace = MemoryTraceSummary::default();
+    let mut executed: u64 = 0;
+    let mut stats = WarpStats::default();
+
+    let mut exec = WarpExec::new(dec);
+    let mut cta = CtaCounters::new(nblocks);
+    let mut scalar_regs = vec![Value::I(0); program.num_regs() as usize];
+    let mut scalar_preds = vec![false; program.num_preds() as usize];
+
+    for ctaid in 0..cfg.grid_dim {
+        cta.reset();
+        let mut dmem = DirectMem::new(mem);
+        let outcome = run_cta(
+            &mut exec,
+            dec,
+            cfg,
+            params,
+            &mut dmem,
+            ctaid,
+            interp.budget,
+            executed,
+            &mut cta,
+        );
+        match outcome {
+            CtaOutcome::Done => {
+                dmem.commit();
+                executed += cta.instrs;
+                for (g, c) in class_counts.iter_mut().zip(cta.class_counts) {
+                    *g += c;
+                }
+                for (g, c) in block_iters.iter_mut().zip(&cta.block_iters) {
+                    *g += c;
+                }
+                segments.absorb(std::mem::take(&mut cta.segments));
+                trace.accesses += cta.trace.accesses;
+                trace.load_bytes += cta.trace.load_bytes;
+                trace.store_bytes += cta.trace.store_bytes;
+                stats.merge_cta(&cta);
+            }
+            CtaOutcome::Abort => {
+                dmem.rollback();
+                stats.fallback_ctas += 1;
+                for tid in 0..cfg.block_dim {
+                    scalar_regs.iter_mut().for_each(|r| *r = Value::I(0));
+                    scalar_preds.iter_mut().for_each(|p| *p = false);
+                    interp.run_thread(
+                        program,
+                        cfg,
+                        params,
+                        mem,
+                        ctaid,
+                        tid,
+                        &mut scalar_regs,
+                        &mut scalar_preds,
+                        &mut class_counts,
+                        &mut block_iters,
+                        &mut segments,
+                        &mut trace,
+                        &mut executed,
+                    )?;
+                }
+            }
+        }
+    }
+
+    let mut profile = ExecutionProfile::new();
+    for (c, n) in InstrClass::ALL.iter().zip(class_counts.iter()) {
+        profile.counts.add(*c, *n);
+    }
+    for (i, n) in block_iters.iter().enumerate() {
+        if *n > 0 {
+            profile.block_iterations.insert(BlockId(i as u32), *n);
+        }
+    }
+    trace.unique_segments = segments.distinct();
+    profile.memory = trace;
+    profile.threads = cfg.total_threads();
+    let r = sigmavp_telemetry::recorder();
+    if r.enabled() {
+        r.count("sptx.launches", 1);
+        r.count("sptx.instructions_executed", executed);
+    }
+    stats.emit();
+    Ok(profile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn branch_class_index_matches_isa() {
+        assert_eq!(BRANCH_CLASS, InstrClass::Branch.index());
+    }
+}

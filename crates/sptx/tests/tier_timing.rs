@@ -1,0 +1,63 @@
+//! Manual timing harness (ignored by default): compares scalar vs warp tier
+//! wall time on the bench escape kernel. Run with
+//! `cargo test -p sigmavp-sptx --release --test tier_timing -- --ignored --nocapture`.
+
+use std::time::Instant;
+
+use sigmavp_sptx::asm;
+use sigmavp_sptx::interp::{Interpreter, LaunchConfig, Memory, ParamValue};
+use sigmavp_sptx::Tier;
+
+const KERNEL: &str = r#".kernel escape
+entry:
+    rs r0, gtid
+    ldp r1, 0
+    mov r2, 8
+    mul.i64 r2, r0, r2
+    add.i64 r2, r2, r1
+    ld.f64 r3, [r2]
+    mov.f64 r4, 0.0
+    mov r5, 0
+    mov r6, 1
+    mov r7, 64
+    bra loop
+loop:
+    mul.f64 r4, r4, r4
+    add.f64 r4, r4, r3
+    add.i64 r5, r5, r6
+    setp.lt.i64 p0, r5, r7
+    @p0 bra loop, done
+done:
+    st.i64 [r2], r5
+    ret
+"#;
+
+#[test]
+#[ignore]
+fn tier_timing() {
+    let program = asm::parse(KERNEL).unwrap();
+    let (grid, block) = (32u32, 64u32);
+    let bytes = u64::from(grid) * u64::from(block) * 8;
+    let cfg = LaunchConfig::linear(grid, block);
+    let mut walls = [0.0f64; 2];
+    for (i, tier) in [Tier::Scalar, Tier::Warp].into_iter().enumerate() {
+        let interp = Interpreter::new().with_tier(tier);
+        let mut mem = Memory::new(bytes as usize);
+        for t in 0..u64::from(grid * block) {
+            mem.write_f64(t * 8, -0.1 - (t as f64) * 1e-6).unwrap();
+        }
+        let reps = 50;
+        // warm
+        for _ in 0..5 {
+            interp.run(&program, &cfg, &[ParamValue::Ptr(0)], &mut mem).unwrap();
+        }
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            interp.run(&program, &cfg, &[ParamValue::Ptr(0)], &mut mem).unwrap();
+        }
+        let wall = t0.elapsed().as_secs_f64() / f64::from(reps);
+        walls[i] = wall;
+        println!("{tier:?}: {:.3} ms per launch", wall * 1e3);
+    }
+    println!("speedup: {:.2}x", walls[0] / walls[1]);
+}

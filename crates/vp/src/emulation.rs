@@ -110,7 +110,13 @@ impl EmulatedGpu {
     /// Set the block-parallel worker count used for emulated launches
     /// (`0` = one worker per core, `1` = sequential).
     pub fn set_workers(&mut self, workers: u32) {
-        self.interp = Interpreter::new().with_workers(workers);
+        self.interp = self.interp.clone().with_workers(workers);
+    }
+
+    /// Select the SPTX execution tier used for emulated launches
+    /// (warp-lockstep by default; scalar for the reference interpreter).
+    pub fn set_tier(&mut self, tier: sigmavp_sptx::Tier) {
+        self.interp = self.interp.clone().with_tier(tier);
     }
 
     /// Execution profiles of every launch so far, oldest first.

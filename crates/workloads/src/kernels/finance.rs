@@ -192,7 +192,7 @@ mod tests {
         let put_base = 3 * n * 4;
         let out = run(
             &black_scholes(),
-            LaunchConfig::covering(n, 16),
+            LaunchConfig::covering(n, 16).unwrap(),
             &[
                 ParamValue::Ptr(0),
                 ParamValue::Ptr(n * 4),
@@ -230,7 +230,7 @@ mod tests {
         let mem = vec![0u8; (n * 4) as usize];
         let out = run(
             &monte_carlo(),
-            LaunchConfig::covering(n, 4),
+            LaunchConfig::covering(n, 4).unwrap(),
             &[ParamValue::Ptr(0), ParamValue::I64(n as i64), ParamValue::I64(paths)],
             mem,
         );

@@ -466,7 +466,7 @@ mod tests {
         mem.extend(vec![0u8; expected.len() * 8]);
         let out = run(
             &sobel(),
-            LaunchConfig::covering(expected.len() as u64, 8),
+            LaunchConfig::covering(expected.len() as u64, 8).unwrap(),
             &[
                 ParamValue::Ptr(0),
                 ParamValue::Ptr(out_base),
@@ -499,7 +499,7 @@ mod tests {
         mem.extend(vec![0u8; n_out * 4]);
         let out = run(
             &convolution_separable(),
-            LaunchConfig::covering(n_out as u64, 16),
+            LaunchConfig::covering(n_out as u64, 16).unwrap(),
             &[
                 ParamValue::Ptr(0),
                 ParamValue::Ptr(taps_base),
@@ -521,7 +521,7 @@ mod tests {
         mem.extend(vec![0u8; nblocks * 64 * 4]);
         let out = run(
             &dct8x8(),
-            LaunchConfig::covering((nblocks * 64) as u64, 64),
+            LaunchConfig::covering((nblocks * 64) as u64, 64).unwrap(),
             &[ParamValue::Ptr(0), ParamValue::Ptr(out_base), ParamValue::I64(nblocks as i64)],
             mem,
         );
@@ -553,7 +553,7 @@ mod tests {
         mem.extend(vec![0u8; n_out * 4]);
         let out = run(
             &bicubic(),
-            LaunchConfig::covering(n_out as u64, 16),
+            LaunchConfig::covering(n_out as u64, 16).unwrap(),
             &[
                 ParamValue::Ptr(0),
                 ParamValue::Ptr(out_base),
@@ -577,7 +577,7 @@ mod tests {
         mem.extend(vec![0u8; rows * width * 4]);
         let out = run(
             &recursive_gaussian(),
-            LaunchConfig::covering(rows as u64, 4),
+            LaunchConfig::covering(rows as u64, 4).unwrap(),
             &[
                 ParamValue::Ptr(0),
                 ParamValue::Ptr(out_base),
@@ -602,7 +602,7 @@ mod tests {
         mem.extend(vec![0u8; n_out * 8]);
         let out = run(
             &volume_filter(),
-            LaunchConfig::covering(n_out as u64, 32),
+            LaunchConfig::covering(n_out as u64, 32).unwrap(),
             &[ParamValue::Ptr(0), ParamValue::Ptr(out_base), ParamValue::I64(n_out as i64)],
             mem,
         );
@@ -628,7 +628,7 @@ mod tests {
         mem.extend(vec![0u8; n * 8]);
         let out = run(
             &stereo_disparity(),
-            LaunchConfig::covering(n as u64, 16),
+            LaunchConfig::covering(n as u64, 16).unwrap(),
             &[
                 ParamValue::Ptr(0),
                 ParamValue::Ptr(right_base),

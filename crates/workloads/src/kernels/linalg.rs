@@ -184,7 +184,7 @@ mod tests {
         mem.extend(vec![0u8; (n * 4) as usize]);
         let out = run(
             &vector_add(),
-            LaunchConfig::covering(n, 32),
+            LaunchConfig::covering(n, 32).unwrap(),
             &[
                 ParamValue::Ptr(0),
                 ParamValue::Ptr(n * 4),
@@ -213,7 +213,7 @@ mod tests {
         let base_c = 2 * base_b;
         let out = run(
             &matrix_mul(),
-            LaunchConfig::covering((n * n) as u64, 16),
+            LaunchConfig::covering((n * n) as u64, 16).unwrap(),
             &[
                 ParamValue::Ptr(0),
                 ParamValue::Ptr(base_b),
@@ -263,7 +263,7 @@ mod tests {
         mem.extend(vec![0u8; (pairs * 4) as usize]);
         let out = run(
             &scalar_prod(),
-            LaunchConfig::covering(pairs, 4),
+            LaunchConfig::covering(pairs, 4).unwrap(),
             &[
                 ParamValue::Ptr(0),
                 ParamValue::Ptr(n as u64 * 4),
@@ -293,7 +293,7 @@ mod tests {
         let out_base = (rows * cols * 4) as u64;
         let out = run(
             &transpose(),
-            LaunchConfig::covering((rows * cols) as u64, 8),
+            LaunchConfig::covering((rows * cols) as u64, 8).unwrap(),
             &[
                 ParamValue::Ptr(0),
                 ParamValue::Ptr(out_base),
@@ -321,7 +321,7 @@ mod tests {
         let out_base = (n * 4) as u64;
         let out = run(
             &reduction(),
-            LaunchConfig::covering(nthreads, 2),
+            LaunchConfig::covering(nthreads, 2).unwrap(),
             &[
                 ParamValue::Ptr(0),
                 ParamValue::Ptr(out_base),

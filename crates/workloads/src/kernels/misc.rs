@@ -435,7 +435,7 @@ mod tests {
         let n = (w * h) as usize;
         let out = run(
             &mandelbrot(),
-            LaunchConfig::covering(n as u64, 32),
+            LaunchConfig::covering(n as u64, 32).unwrap(),
             &[ParamValue::Ptr(0), ParamValue::I64(w), ParamValue::I64(h), ParamValue::I64(maxiter)],
             vec![0u8; n * 8],
         );
@@ -462,7 +462,7 @@ mod tests {
             Interpreter::new()
                 .run(
                     &p,
-                    &LaunchConfig::covering(n as u64, 16),
+                    &LaunchConfig::covering(n as u64, 16).unwrap(),
                     &[
                         ParamValue::Ptr(0),
                         ParamValue::I64(w),
@@ -492,7 +492,7 @@ mod tests {
                 Interpreter::new()
                     .run(
                         &program,
-                        &LaunchConfig::covering(n, 32),
+                        &LaunchConfig::covering(n, 32).unwrap(),
                         &[
                             ParamValue::Ptr(0),
                             ParamValue::I64(n as i64),
@@ -529,7 +529,7 @@ mod tests {
         mem.extend(vec![0u8; (nthreads * 64 * 8) as usize]);
         let out = run(
             &histogram(),
-            LaunchConfig::covering(nthreads, 2),
+            LaunchConfig::covering(nthreads, 2).unwrap(),
             &[
                 ParamValue::Ptr(0),
                 ParamValue::Ptr(bins_base),
@@ -565,7 +565,7 @@ mod tests {
         mem.extend(vec![0u8; n * 8]);
         let out = run(
             &nbody(),
-            LaunchConfig::covering(n as u64, 8),
+            LaunchConfig::covering(n as u64, 8).unwrap(),
             &[
                 ParamValue::Ptr(0),
                 ParamValue::Ptr(n as u64 * 4),
@@ -591,7 +591,7 @@ mod tests {
         let (time, freq) = (0.5f32, 4.0f32);
         let out = run(
             &sine_wave(),
-            LaunchConfig::covering(n as u64, 16),
+            LaunchConfig::covering(n as u64, 16).unwrap(),
             &[
                 ParamValue::Ptr(0),
                 ParamValue::I64(n as i64),
@@ -622,7 +622,7 @@ mod tests {
         let stride = n as u64 * 4;
         let out = run(
             &particle_advect(),
-            LaunchConfig::covering(n as u64, 8),
+            LaunchConfig::covering(n as u64, 8).unwrap(),
             &[
                 ParamValue::Ptr(0),
                 ParamValue::Ptr(stride),
@@ -655,7 +655,7 @@ mod tests {
         mem.extend(vec![0u8; ncells * 8]);
         let out = run(
             &marching_threshold(),
-            LaunchConfig::covering(ncells as u64, 8),
+            LaunchConfig::covering(ncells as u64, 8).unwrap(),
             &[
                 ParamValue::Ptr(0),
                 ParamValue::Ptr(out_base),
@@ -685,7 +685,7 @@ mod tests {
             mem.extend(vec![0u8; n * 8]);
             let out = run(
                 &program,
-                LaunchConfig::covering(n as u64, 16),
+                LaunchConfig::covering(n as u64, 16).unwrap(),
                 &[ParamValue::Ptr(0), ParamValue::Ptr(n as u64 * 8), ParamValue::I64(n as i64)],
                 mem,
             );

@@ -1,0 +1,128 @@
+//! Full-suite tier differential: every Fig. 11 application produces
+//! byte-identical results under the scalar reference interpreter
+//! ([`Tier::Scalar`]) and the warp-lockstep tier ([`Tier::Warp`]), at both
+//! one worker and several.
+//!
+//! A forwarding [`GpuService`] runs every call against two emulators — one
+//! pinned scalar, one pinned to the warp tier — and checks the visible
+//! outputs agree call by call (device-to-host bytes, costs). After each app
+//! completes, the per-launch [`ExecutionProfile`]s must be identical: class
+//! counts, per-block iteration counts, memory trace, and unique segments.
+
+use sigmavp_ipc::message::{VpId, WireParam};
+use sigmavp_sptx::Tier;
+use sigmavp_vp::emulation::EmulatedGpu;
+use sigmavp_vp::error::VpError;
+use sigmavp_vp::platform::VirtualPlatform;
+use sigmavp_vp::registry::KernelRegistry;
+use sigmavp_vp::service::GpuService;
+use sigmavp_workloads::app::AppEnv;
+use sigmavp_workloads::suite::fig11_suite;
+
+struct TierDifferentialGpu {
+    scalar: EmulatedGpu,
+    warp: EmulatedGpu,
+}
+
+impl TierDifferentialGpu {
+    fn new(registry: KernelRegistry, workers: u32) -> Self {
+        let mut scalar = EmulatedGpu::on_cpu(registry.clone());
+        scalar.set_tier(Tier::Scalar);
+        scalar.set_workers(1);
+        let mut warp = EmulatedGpu::on_cpu(registry);
+        warp.set_tier(Tier::Warp);
+        warp.set_workers(workers);
+        TierDifferentialGpu { scalar, warp }
+    }
+}
+
+impl GpuService for TierDifferentialGpu {
+    fn malloc(&mut self, bytes: u64) -> Result<(u64, f64), VpError> {
+        let (handle, cost) = self.scalar.malloc(bytes)?;
+        assert_eq!((handle, cost), self.warp.malloc(bytes)?);
+        Ok((handle, cost))
+    }
+
+    fn free(&mut self, handle: u64) -> Result<f64, VpError> {
+        let cost = self.scalar.free(handle)?;
+        assert_eq!(cost, self.warp.free(handle)?);
+        Ok(cost)
+    }
+
+    fn memcpy_h2d(&mut self, handle: u64, data: &[u8]) -> Result<f64, VpError> {
+        let cost = self.scalar.memcpy_h2d(handle, data)?;
+        assert_eq!(cost, self.warp.memcpy_h2d(handle, data)?);
+        Ok(cost)
+    }
+
+    fn memcpy_d2h(&mut self, handle: u64, out: &mut [u8]) -> Result<f64, VpError> {
+        let cost = self.scalar.memcpy_d2h(handle, out)?;
+        let mut other = vec![0u8; out.len()];
+        assert_eq!(cost, self.warp.memcpy_d2h(handle, &mut other)?);
+        assert_eq!(out, &other[..], "device-to-host bytes diverged on handle {handle}");
+        Ok(cost)
+    }
+
+    fn launch(
+        &mut self,
+        kernel: &str,
+        grid_dim: u32,
+        block_dim: u32,
+        params: &[WireParam],
+        sync: bool,
+    ) -> Result<f64, VpError> {
+        let cost = self.scalar.launch(kernel, grid_dim, block_dim, params, sync)?;
+        assert_eq!(
+            cost,
+            self.warp.launch(kernel, grid_dim, block_dim, params, sync)?,
+            "launch cost diverged for kernel {kernel}"
+        );
+        Ok(cost)
+    }
+
+    fn synchronize(&mut self) -> Result<f64, VpError> {
+        let cost = self.scalar.synchronize()?;
+        assert_eq!(cost, self.warp.synchronize()?);
+        Ok(cost)
+    }
+}
+
+fn run_suite_at(workers: u32) {
+    for app in fig11_suite(1) {
+        let registry: KernelRegistry = app.kernels().into_iter().collect();
+        let mut gpu = TierDifferentialGpu::new(registry, workers);
+        let mut vp = VirtualPlatform::new(VpId(0));
+        let mut env = AppEnv::new(&mut vp, &mut gpu);
+        app.run_once(&mut env).unwrap_or_else(|e| panic!("{} failed: {e}", app.name()));
+
+        let scalar = gpu.scalar.profiles();
+        let warp = gpu.warp.profiles();
+        assert!(!scalar.is_empty(), "{} launched no kernels", app.name());
+        assert_eq!(scalar.len(), warp.len(), "{} launch counts diverged", app.name());
+        for (i, (s, w)) in scalar.iter().zip(warp).enumerate() {
+            assert_eq!(
+                s.memory.unique_segments,
+                w.memory.unique_segments,
+                "{} launch {i}: unique_segments diverged",
+                app.name()
+            );
+            assert_eq!(s, w, "{} launch {i}: profile diverged", app.name());
+        }
+        assert_eq!(
+            gpu.scalar.emulated_instructions(),
+            gpu.warp.emulated_instructions(),
+            "{}",
+            app.name()
+        );
+    }
+}
+
+#[test]
+fn every_suite_app_is_tier_deterministic_sequential() {
+    run_suite_at(1);
+}
+
+#[test]
+fn every_suite_app_is_tier_deterministic_parallel() {
+    run_suite_at(4);
+}
